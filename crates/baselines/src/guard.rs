@@ -1,0 +1,109 @@
+//! The dynamic-2PL access guard: locks acquired as accesses happen.
+//!
+//! This is the conflated-functionality design of Section 2.1 — the same
+//! thread runs transaction logic and, on each access, drops into the
+//! shared lock manager. Phase accounting: lock-table work is `Locking`,
+//! blocked time is `Waiting`, everything between accesses is `Execution`
+//! (Figure 10's three buckets).
+
+use std::sync::Arc;
+
+use orthrus_common::{Key, LockMode, Phase, PhaseTimer, ThreadStats, TxnId};
+use orthrus_lockmgr::{AbortReason, DeadlockPolicy, LockManager, LockWaiter, WaitEvent};
+use orthrus_txn::{AbortKind, AccessGuard};
+
+/// Guard borrowing the worker's per-thread state for one execution
+/// attempt.
+pub struct Dynamic2plGuard<'a, P> {
+    pub mgr: &'a LockManager<P>,
+    pub txn: TxnId,
+    pub waiter: &'a Arc<LockWaiter>,
+    /// Keys successfully locked so far (the release set).
+    pub held: &'a mut Vec<Key>,
+    pub stats: &'a mut ThreadStats,
+    pub timer: &'a mut PhaseTimer,
+}
+
+impl<P: DeadlockPolicy> AccessGuard for Dynamic2plGuard<'_, P> {
+    fn access(&mut self, key: Key, mode: LockMode) -> Result<(), AbortKind> {
+        let Dynamic2plGuard {
+            mgr,
+            txn,
+            waiter,
+            held,
+            stats,
+            timer,
+        } = self;
+        timer.switch(stats, Phase::Locking);
+        let result = mgr.acquire_observed(*txn, key, mode, waiter, |ev| match ev {
+            WaitEvent::Begin => timer.switch(stats, Phase::Waiting),
+            WaitEvent::End => timer.switch(stats, Phase::Locking),
+        });
+        match result {
+            Ok(()) => {
+                held.push(key);
+                timer.switch(stats, Phase::Execution);
+                Ok(())
+            }
+            Err(AbortReason::WaitDie) => Err(AbortKind::WaitDie),
+            Err(AbortReason::Deadlock) => Err(AbortKind::Deadlock),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_lockmgr::WaitDie;
+    use orthrus_common::ThreadId;
+
+    #[test]
+    fn guard_tracks_held_keys_and_phases() {
+        let mgr = LockManager::new(16, WaitDie);
+        let waiter = Arc::new(LockWaiter::new());
+        let mut held = Vec::new();
+        let mut stats = ThreadStats::default();
+        let mut timer = PhaseTimer::start(Phase::Execution);
+        let txn = TxnId::compose(1, ThreadId(0));
+        {
+            let mut g = Dynamic2plGuard {
+                mgr: &mgr,
+                txn,
+                waiter: &waiter,
+                held: &mut held,
+                stats: &mut stats,
+                timer: &mut timer,
+            };
+            g.access(10, LockMode::Exclusive).unwrap();
+            g.access(11, LockMode::Shared).unwrap();
+        }
+        assert_eq!(held, vec![10, 11]);
+        assert_eq!(timer.current(), Phase::Execution);
+        mgr.release_all(txn, &held);
+        assert!(mgr.table().holders_of(10).is_empty());
+    }
+
+    #[test]
+    fn wait_die_abort_maps_to_abort_kind() {
+        let mgr = LockManager::new(16, WaitDie);
+        let w_old = Arc::new(LockWaiter::new());
+        let old = TxnId::compose(1, ThreadId(0));
+        mgr.acquire(old, 5, LockMode::Exclusive, &w_old).unwrap();
+
+        let w_young = Arc::new(LockWaiter::new());
+        let young = TxnId::compose(2, ThreadId(1));
+        let mut held = Vec::new();
+        let mut stats = ThreadStats::default();
+        let mut timer = PhaseTimer::start(Phase::Execution);
+        let mut g = Dynamic2plGuard {
+            mgr: &mgr,
+            txn: young,
+            waiter: &w_young,
+            held: &mut held,
+            stats: &mut stats,
+            timer: &mut timer,
+        };
+        assert_eq!(g.access(5, LockMode::Exclusive), Err(AbortKind::WaitDie));
+        assert!(held.is_empty(), "failed access must not be tracked as held");
+    }
+}

@@ -1,0 +1,39 @@
+//! The paper's comparison systems (Section 4).
+//!
+//! - [`TwoPlEngine`]: conventional dynamic two-phase locking — each worker
+//!   thread executes transaction logic *and* manipulates the shared lock
+//!   table ("conflated functionality"), acquiring locks in program order
+//!   with a pluggable deadlock-handling policy (wait-for graph, wait-die,
+//!   Dreadlocks).
+//! - [`DeadlockFreeEngine`]: same shared lock table, but transactions are
+//!   analyzed in advance and locks acquired in ascending key order, so no
+//!   deadlock handling runs at all (the paper's "Deadlock free locking").
+//!   Run it over a partitioned [`orthrus_txn::Database`] to get "Split
+//!   Deadlock-free" (Section 4.3).
+//! - [`PartitionedStoreEngine`]: the H-Store/HyPer-style shared-nothing
+//!   baseline — physically partitioned data, one coarse spinlock per
+//!   partition, partition locks acquired in ascending order.
+//!
+//! Every engine runs the same interpreter from `orthrus-txn`; they differ
+//! only in concurrency control, exactly as in the paper's single-codebase
+//! evaluation.
+
+pub mod deadlock_free;
+pub mod guard;
+pub mod partitioned_store;
+pub mod spin;
+pub mod two_pl;
+
+pub use deadlock_free::DeadlockFreeEngine;
+pub use guard::Dynamic2plGuard;
+pub use partitioned_store::PartitionedStoreEngine;
+pub use spin::SpinLock;
+pub use two_pl::TwoPlEngine;
+
+/// Serializes this crate's timed-engine tests: two concurrent multi-thread
+/// engine runs on a small CI host can starve one measurement window.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,258 @@
+//! The conventional dynamic-2PL engine (the paper's "2PL w/ X" baselines).
+//!
+//! One worker thread per core; each worker runs a transaction end-to-end,
+//! acquiring logical locks from the *shared* lock manager in program order
+//! as accesses happen, and restarts the transaction on wait-die or
+//! deadlock aborts. A restarted transaction keeps its original id
+//! (wait-die's age-based progress guarantee).
+
+use std::sync::Arc;
+
+use orthrus_common::runtime::{timed_run, RunParams};
+use orthrus_common::{Key, Phase, PhaseTimer, RunStats, ThreadId, ThreadStats, TxnId};
+use orthrus_lockmgr::{DeadlockPolicy, LockManager, LockWaiter};
+use orthrus_txn::{execute, AbortKind, Database};
+use orthrus_workload::Spec;
+
+use crate::guard::Dynamic2plGuard;
+
+/// Dynamic 2PL over a shared lock table.
+pub struct TwoPlEngine<P> {
+    db: Arc<Database>,
+    mgr: Arc<LockManager<P>>,
+    spec: Spec,
+}
+
+impl<P: DeadlockPolicy> TwoPlEngine<P> {
+    /// Build an engine. `n_buckets` sizes the shared lock table.
+    pub fn new(db: Arc<Database>, policy: P, n_buckets: usize, spec: Spec) -> Self {
+        TwoPlEngine {
+            db,
+            mgr: Arc::new(LockManager::new(n_buckets, policy)),
+            spec,
+        }
+    }
+
+    /// The deadlock policy in use (reports).
+    pub fn policy_name(&self) -> &'static str {
+        self.mgr.policy().name()
+    }
+
+    /// Run the workload on `params.threads` workers.
+    pub fn run(&self, params: &RunParams) -> RunStats {
+        timed_run(
+            params.threads,
+            params.warmup,
+            params.measure,
+            |_| true,
+            |idx, ctl| self.worker(idx, ctl, params),
+        )
+    }
+
+    fn worker(
+        &self,
+        idx: usize,
+        ctl: &orthrus_common::RunCtl,
+        params: &RunParams,
+    ) -> ThreadStats {
+        let mut gen = self.spec.generator(params.seed, idx);
+        let waiter = Arc::new(LockWaiter::new());
+        let mut stats = ThreadStats::default();
+        let mut timer = PhaseTimer::start(Phase::Execution);
+        let mut held: Vec<Key> = Vec::with_capacity(16);
+        let mut seq = 0u64;
+        let mut in_window = false;
+
+        while !ctl.is_stopped() {
+            if !in_window && ctl.is_measuring() {
+                // Discard warmup numbers.
+                stats.reset_window();
+                timer = PhaseTimer::start(Phase::Execution);
+                in_window = true;
+            }
+            let program = gen.next_program();
+            let txn = TxnId::compose(seq, ThreadId(idx as u32));
+            seq += 1;
+            let started = std::time::Instant::now();
+            loop {
+                held.clear();
+                let result = {
+                    let mut guard = Dynamic2plGuard {
+                        mgr: &self.mgr,
+                        txn,
+                        waiter: &waiter,
+                        held: &mut held,
+                        stats: &mut stats,
+                        timer: &mut timer,
+                    };
+                    execute(&program, &self.db, &mut guard, None)
+                };
+                timer.switch(&mut stats, Phase::Locking);
+                self.mgr.release_all(txn, &held);
+                match result {
+                    Ok(v) => {
+                        std::hint::black_box(v);
+                        stats.committed += 1;
+                        stats.committed_all += 1;
+                        stats
+                            .latency
+                            .record(started.elapsed().as_nanos() as u64);
+                        timer.switch(&mut stats, Phase::Execution);
+                        break;
+                    }
+                    Err(kind) => {
+                        match kind {
+                            AbortKind::WaitDie => stats.aborts_wait_die += 1,
+                            AbortKind::Deadlock => {
+                                stats.aborts_deadlock += 1;
+                                stats.cycles_found += 1;
+                            }
+                            AbortKind::OllpMismatch => stats.aborts_ollp += 1,
+                        }
+                        timer.switch(&mut stats, Phase::Waiting);
+                        // Brief politeness pause before the retry so the
+                        // conflicting transaction can finish.
+                        std::thread::yield_now();
+                        if ctl.is_stopped() {
+                            break;
+                        }
+                        timer.switch(&mut stats, Phase::Execution);
+                    }
+                }
+            }
+        }
+        timer.finish(&mut stats);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::XorShift64;
+    use orthrus_lockmgr::{Dreadlocks, WaitDie, WaitForGraph};
+    use orthrus_storage::Table;
+    use orthrus_txn::{plan_accesses, Program};
+    use orthrus_workload::MicroSpec;
+
+    fn contended_spec() -> Spec {
+        // 4 hot keys, every op hot: maximal conflicts.
+        Spec::Micro(MicroSpec::hot_cold(64, 4, 2, 4, false))
+    }
+
+    fn verify_total(db: &Database, spec_commits: u64) {
+        // Every committed RMW increments 4 distinct counters exactly once;
+        // the sum of all counters equals commits*4 iff no lost updates and
+        // no phantom (aborted-but-applied) updates. Aborts must not leave
+        // partial increments … but an abort *can* happen mid-transaction
+        // after some RMWs applied! Dynamic 2PL without undo would break
+        // this invariant — which is why the workloads' RMW programs only
+        // abort on lock acquisition, i.e. *before* the failed access
+        // writes, but earlier writes of the same txn persist in the paper's
+        // prototype too (no undo log, Section 2.2 discusses the wasted
+        // work). So the invariant here is weaker: total >= commits*ops and
+        // every counter's final value is the number of exclusive-lock
+        // critical sections that ran — serialized, hence no torn counts.
+        let total: u64 = (0..64)
+            .map(|k| unsafe { db.read_counter(k) })
+            .sum();
+        assert!(
+            total >= spec_commits * 4,
+            "lost updates: {} < {}",
+            total,
+            spec_commits * 4
+        );
+    }
+
+    fn run_engine<P: DeadlockPolicy>(policy: P) {
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let engine = TwoPlEngine::new(Arc::clone(&db), policy, 64, contended_spec());
+        let stats = engine.run(&RunParams::quick(4));
+        assert!(stats.totals.committed > 0, "no progress under contention");
+        verify_total(&db, stats.totals.committed);
+    }
+
+    #[test]
+    fn wait_die_engine_makes_progress() {
+        let _serial = crate::test_serial();
+        run_engine(WaitDie);
+    }
+
+    #[test]
+    fn wfg_engine_makes_progress() {
+        let _serial = crate::test_serial();
+        run_engine(WaitForGraph::new(4));
+    }
+
+    #[test]
+    fn dreadlocks_engine_makes_progress() {
+        let _serial = crate::test_serial();
+        run_engine(Dreadlocks::new(4));
+    }
+
+    #[test]
+    fn read_only_workload_never_aborts() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, true));
+        let engine = TwoPlEngine::new(db, WaitDie, 64, spec);
+        let stats = engine.run(&RunParams::quick(4));
+        assert!(stats.totals.committed > 0);
+        assert_eq!(stats.totals.aborts(), 0, "readers cannot conflict");
+    }
+
+    #[test]
+    fn tpcc_mix_runs_under_2pl() {
+        let _serial = crate::test_serial();
+        use orthrus_storage::tpcc::{TpccConfig, TpccDb};
+        use orthrus_workload::TpccSpec;
+        let cfg = TpccConfig::tiny(2);
+        let db = Arc::new(Database::Tpcc(TpccDb::load(cfg, 7)));
+        let spec = Spec::Tpcc(TpccSpec::paper_mix(cfg));
+        let engine = TwoPlEngine::new(Arc::clone(&db), Dreadlocks::new(4), 256, spec);
+        let stats = engine.run(&RunParams::quick(4));
+        assert!(stats.totals.committed > 0);
+        // Warehouse ytd must equal initial + sum of committed payment
+        // amounts — we can't know the sum, but monotone growth past the
+        // initial value implies payments applied under locks.
+        let t = db.tpcc();
+        let mut ytd_total = 0u64;
+        for w in 0..2 {
+            ytd_total += unsafe {
+                t.warehouses.read_with(w as usize, |r| r.ytd_cents)
+            };
+        }
+        assert!(ytd_total >= 2 * 30_000_000);
+    }
+
+    #[test]
+    fn breakdown_buckets_are_populated() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let engine = TwoPlEngine::new(db, WaitDie, 64, contended_spec());
+        let stats = engine.run(&RunParams::quick(4));
+        let b = stats.breakdown();
+        let sum = b.execution_pct + b.locking_pct + b.waiting_pct;
+        assert!((sum - 100.0).abs() < 1.0, "breakdown sums to {sum}");
+        assert!(b.locking_pct > 0.0, "lock work must be visible");
+    }
+
+    #[test]
+    fn deterministic_workload_stream_is_exercised() {
+        let _serial = crate::test_serial();
+        // Sanity: the generator draws differ across threads (no accidental
+        // identical streams hammering identical keys in lockstep).
+        let spec = contended_spec();
+        let mut g0 = spec.generator(1, 0);
+        let mut g1 = spec.generator(1, 1);
+        let p0 = g0.next_program();
+        let p1 = g1.next_program();
+        assert!(matches!(p0, Program::Rmw { .. }));
+        // Same-thread determinism is used by the harness for paired runs.
+        let mut g0b = spec.generator(1, 0);
+        assert_eq!(p0, g0b.next_program());
+        let mut rng = XorShift64::new(1);
+        let db = Database::Flat(Table::new(64, 64));
+        let _ = plan_accesses(&p1, &db, 0, &mut rng);
+    }
+}

@@ -1,0 +1,9 @@
+//! Bench target regenerating ablation A1 (forwarding) of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench abl01_forwarding`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::ablations::abl01_forwarding(&bc).print();
+}

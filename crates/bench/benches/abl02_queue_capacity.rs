@@ -1,0 +1,9 @@
+//! Bench target regenerating ablation A2 (queue capacity) of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench abl02_queue_capacity`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::ablations::abl02_queue_capacity(&bc).print();
+}

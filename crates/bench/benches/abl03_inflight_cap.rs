@@ -1,0 +1,9 @@
+//! Bench target regenerating ablation A3 (asynchrony depth) of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench abl03_inflight_cap`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::ablations::abl03_inflight_cap(&bc).print();
+}

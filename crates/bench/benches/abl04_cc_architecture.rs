@@ -1,0 +1,9 @@
+//! Bench target regenerating ablation A4 (CC architecture, Section 3.4).
+//! Run: `cargo bench -p orthrus-bench --bench abl04_cc_architecture`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::ablations::abl04_cc_architecture(&bc).print();
+}

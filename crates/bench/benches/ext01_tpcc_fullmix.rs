@@ -1,0 +1,10 @@
+//! Extension bench: full TPC-C five-transaction mix vs warehouses
+//! (companion to Figure 8; beyond the paper's NewOrder+Payment subset).
+//! Run: `cargo bench -p orthrus-bench --bench ext01_tpcc_fullmix`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::ext01_tpcc_fullmix(&bc).print();
+}

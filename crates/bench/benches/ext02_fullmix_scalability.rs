@@ -1,0 +1,10 @@
+//! Extension bench: full TPC-C mix scalability at 8 warehouses (companion
+//! to Figure 9). Run:
+//! `cargo bench -p orthrus-bench --bench ext02_fullmix_scalability`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::ext02_fullmix_scalability(&bc).print();
+}

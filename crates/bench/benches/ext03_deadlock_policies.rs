@@ -1,0 +1,13 @@
+//! Extension bench: five deadlock strategies vs hot-set size (companion
+//! to Figure 4, adding no-wait and wound-wait from Yu et al.).
+//! Run: `cargo bench -p orthrus-bench --bench ext03_deadlock_policies`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    println!("== panel (a): 10 threads ==");
+    orthrus_harness::figures::ext03_deadlock_policies(&bc, 10).print();
+    println!("== panel (b): 80 threads ==");
+    orthrus_harness::figures::ext03_deadlock_policies(&bc, 80).print();
+}

@@ -1,0 +1,10 @@
+//! Extension bench: Zipfian skew and the skew-aware CC assignment planner
+//! (Section 3.3's utilization-imbalance discussion, made concrete).
+//! Run: `cargo bench -p orthrus-bench --bench ext04_skew`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::ext04_skew(&bc).print();
+}

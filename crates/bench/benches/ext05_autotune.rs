@@ -1,0 +1,30 @@
+//! Extension bench: the SEDA-style CC/exec split auto-tuner (Section 4.2)
+//! against a full sweep of static splits.
+//! Run: `cargo bench -p orthrus-bench --bench ext05_autotune`
+
+use orthrus_harness::{systems, tune_cc_split, BenchConfig};
+use orthrus_workload::MicroSpec;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    let threads = bc.clamp_threads(20).max(2);
+    let spec = MicroSpec::uniform(bc.n_records as u64, 10, false);
+
+    println!("# ext05 — SEDA-style CC/exec split tuning ({threads} threads)");
+    println!("{:<10}{:>16}", "n_cc", "txns/sec");
+    for n_cc in 1..threads {
+        let t = systems::run_orthrus_split(spec.clone(), n_cc, threads - n_cc, &bc).throughput();
+        println!("{n_cc:<10}{t:>16.0}");
+    }
+
+    let result = tune_cc_split(threads, |n_cc| {
+        systems::run_orthrus_split(spec.clone(), n_cc, threads - n_cc, &bc).throughput()
+    });
+    println!(
+        "tuned pick: {} CC ({} epochs vs {} for the sweep) → {:.0} txns/sec",
+        result.best.n_cc,
+        result.trace.len(),
+        threads - 1,
+        result.best.throughput
+    );
+}

@@ -1,0 +1,17 @@
+//! Extension bench: commit-latency profile on the high-contention YCSB
+//! RMW workload (the throughput-for-latency trade of Section 3.3's
+//! asynchrony). Run: `cargo bench -p orthrus-bench --bench ext06_latency`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    let rows = orthrus_harness::figures::ext06_latency(&bc);
+    print!(
+        "{}",
+        orthrus_harness::figures::LatencyRow::render(
+            &rows,
+            "commit latency, high-contention 10RMW"
+        )
+    );
+}

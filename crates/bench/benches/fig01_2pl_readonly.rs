@@ -1,0 +1,9 @@
+//! Bench target regenerating Figure 1 of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig01_2pl_readonly`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::fig01_2pl_readonly(&bc).print();
+}

@@ -1,0 +1,12 @@
+//! Bench target regenerating Figure 4 (panels a and b) of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig04_deadlock_overhead`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    println!("== panel (a): 10 threads ==");
+    orthrus_harness::figures::fig04_deadlock_overhead(&bc, 10).print();
+    println!("== panel (b): 80 threads ==");
+    orthrus_harness::figures::fig04_deadlock_overhead(&bc, 80).print();
+}

@@ -1,0 +1,9 @@
+//! Bench target regenerating Figure 5 of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig05_thread_allocation`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::fig05_thread_allocation(&bc).print();
+}

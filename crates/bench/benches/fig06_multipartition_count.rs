@@ -1,0 +1,9 @@
+//! Bench target regenerating Figure 6 of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig06_multipartition_count`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::fig06_multipartition_count(&bc).print();
+}

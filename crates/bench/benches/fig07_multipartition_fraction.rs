@@ -1,0 +1,9 @@
+//! Bench target regenerating Figure 7 of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig07_multipartition_fraction`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::fig07_multipartition_fraction(&bc).print();
+}

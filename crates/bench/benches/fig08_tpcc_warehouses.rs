@@ -1,0 +1,9 @@
+//! Bench target regenerating Figure 8 of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig08_tpcc_warehouses`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::fig08_tpcc_warehouses(&bc).print();
+}

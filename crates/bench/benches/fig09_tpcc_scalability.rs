@@ -1,0 +1,9 @@
+//! Bench target regenerating Figure 9 of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig09_tpcc_scalability`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::fig09_tpcc_scalability(&bc).print();
+}

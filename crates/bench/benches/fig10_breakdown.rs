@@ -1,0 +1,10 @@
+//! Bench target regenerating Figure 10 of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig10_breakdown`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    let rows = orthrus_harness::figures::fig10_breakdown(&bc);
+    print!("{}", orthrus_harness::figures::BreakdownRow::render(&rows));
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Figure 11 (panels a and b) of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig11_ycsb_readonly`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::fig11_ycsb_readonly(&bc, false).print();
+    orthrus_harness::figures::fig11_ycsb_readonly(&bc, true).print();
+}

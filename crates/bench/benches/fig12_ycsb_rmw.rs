@@ -1,0 +1,10 @@
+//! Bench target regenerating Figure 12 (panels a and b) of the paper.
+//! Run: `cargo bench -p orthrus-bench --bench fig12_ycsb_rmw`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::figures::fig12_ycsb_rmw(&bc, false).print();
+    orthrus_harness::figures::fig12_ycsb_rmw(&bc, true).print();
+}

@@ -1,0 +1,114 @@
+//! Criterion microbenches for the shared (latched) lock table vs the
+//! ORTHRUS CC-thread lock state — the per-operation asymmetry behind the
+//! paper's Section 2.1 argument.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orthrus_common::{LockMode, ThreadId, TxnId};
+use orthrus_core::cc::CcState;
+use orthrus_core::msg::{CcRequest, Token};
+use orthrus_core::LockPlan;
+use orthrus_lockmgr::{LockTable, LockWaiter};
+use orthrus_txn::AccessSet;
+
+fn bench_lock_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locktable");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("latched_acquire_release_uncontended", |b| {
+        let table = LockTable::new(1024);
+        let waiter = Arc::new(LockWaiter::new());
+        let txn = TxnId::compose(1, ThreadId(0));
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 512;
+            let out = table.acquire(k, txn, LockMode::Exclusive, &waiter, |_| true);
+            std::hint::black_box(&out);
+            table.release(k, txn);
+        });
+    });
+
+    g.bench_function("cc_state_acquire_release_uncontended", |b| {
+        let mut cc = CcState::new(0, 1024);
+        let mut out = Vec::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 512;
+            let plan = Arc::new(LockPlan::build(
+                &AccessSet::from_unsorted(vec![(k, LockMode::Exclusive)]),
+                |_| 0,
+            ));
+            cc.handle(
+                CcRequest::Acquire {
+                    token: Token { exec: 0, slot: 0, gen: 0 },
+                    plan: Arc::clone(&plan),
+                    span_idx: 0,
+                    forward: true,
+                },
+                &mut out,
+            );
+            cc.handle(
+                CcRequest::Release {
+                    token: Token { exec: 0, slot: 0, gen: 0 },
+                    plan,
+                    span_idx: 0,
+                },
+                &mut out,
+            );
+            out.clear();
+        });
+    });
+
+    g.bench_function("latched_acquire_contended_4_threads", |b| {
+        // Four threads hammering the same bucket's latch: the
+        // cache-coherence cost of Section 2.1. Measured thread does the
+        // same op as the background ones.
+        let table = Arc::new(LockTable::new(16));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 1..4u32 {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let waiter = Arc::new(LockWaiter::new());
+                let mut seq = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let txn = TxnId::compose(seq, ThreadId(t));
+                    seq += 1;
+                    // Distinct keys in one bucket region: latch contention
+                    // without logical conflicts.
+                    let k = 1_000 + t as u64;
+                    if let orthrus_lockmgr::AcquireOutcome::Granted =
+                        table.acquire(k, txn, LockMode::Exclusive, &waiter, |_| true)
+                    {
+                        table.release(k, txn);
+                    }
+                }
+            }));
+        }
+        let waiter = Arc::new(LockWaiter::new());
+        let mut seq = 0u64;
+        b.iter(|| {
+            let txn = TxnId::compose(seq, ThreadId(0));
+            seq += 1;
+            if let orthrus_lockmgr::AcquireOutcome::Granted =
+                table.acquire(1_000, txn, LockMode::Exclusive, &waiter, |_| true)
+            {
+                table.release(1_000, txn);
+            }
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_lock_paths);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion microbenches for the SPSC ring — the message-passing
+//! substrate whose cost underlies every ORTHRUS number.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use orthrus_spsc::channel;
+
+fn bench_uncontended_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop_same_thread", |b| {
+        let (mut tx, mut rx) = channel::<u64>(1024);
+        b.iter(|| {
+            tx.try_push(42).unwrap();
+            std::hint::black_box(rx.try_pop().unwrap());
+        });
+    });
+
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("batch_1024_same_thread", |b| {
+        let (mut tx, mut rx) = channel::<u64>(1024);
+        b.iter(|| {
+            for i in 0..1024u64 {
+                tx.try_push(i).unwrap();
+            }
+            for _ in 0..1024 {
+                std::hint::black_box(rx.try_pop().unwrap());
+            }
+        });
+    });
+
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("cross_thread_stream_100k", |b| {
+        b.iter_batched(
+            || channel::<u64>(256),
+            |(mut tx, mut rx)| {
+                let h = std::thread::spawn(move || {
+                    for i in 0..100_000u64 {
+                        tx.push(i);
+                    }
+                });
+                let mut got = 0u64;
+                while got < 100_000 {
+                    if rx.try_pop().is_some() {
+                        got += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                h.join().unwrap();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncontended_push_pop);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Bench crate: all targets live under `benches/`; see each figure bench
+//! and the criterion microbenches. `cargo bench -p orthrus-bench`
+//! regenerates every table/figure at the scales set by `ORTHRUS_*`
+//! environment variables (see `orthrus_harness::BenchConfig`).

@@ -1,0 +1,82 @@
+//! Bounded spin-then-yield backoff.
+//!
+//! The paper's prototype busy-spins (it owns all 80 cores). On an
+//! oversubscribed host, pure spinning livelocks: a waiter can burn its
+//! whole quantum while the lock holder sits runnable but descheduled.
+//! Every wait loop in this reproduction therefore spins a short bounded
+//! burst (cheap when the event is imminent, the common uncontended case)
+//! and then yields to the scheduler. See DESIGN.md substitution #1.
+
+use std::hint;
+use std::thread;
+
+/// Number of `spin_loop` hints per step before escalating.
+const SPINS_PER_STEP: u32 = 1 << 6;
+/// Steps of pure spinning before the backoff starts yielding.
+const SPIN_STEPS: u32 = 4;
+
+/// Exponential spin followed by `yield_now`. Reset per wait episode.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    #[inline]
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// One backoff step: spin while young, yield once mature.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step < SPIN_STEPS {
+            for _ in 0..(SPINS_PER_STEP << self.step) {
+                hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            thread::yield_now();
+        }
+    }
+
+    /// Whether the backoff has escalated to yielding (useful for callers
+    /// that want to switch to heavier-weight waiting).
+    #[inline]
+    pub fn is_yielding(&self) -> bool {
+        self.step >= SPIN_STEPS
+    }
+
+    /// Restart the episode (call after making progress).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_to_yielding() {
+        let mut b = Backoff::new();
+        assert!(!b.is_yielding());
+        for _ in 0..SPIN_STEPS {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+        b.snooze(); // yielding steps must not panic
+        assert!(b.is_yielding());
+    }
+
+    #[test]
+    fn reset_restarts_episode() {
+        let mut b = Backoff::new();
+        for _ in 0..10 {
+            b.snooze();
+        }
+        b.reset();
+        assert!(!b.is_yielding());
+    }
+}

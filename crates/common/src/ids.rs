@@ -1,0 +1,162 @@
+//! Typed identifiers used throughout the system.
+//!
+//! The paper's prototype works on a single logical key space: every lockable
+//! object (a record, identified by table + row in TPC-C) is mapped to a
+//! 64-bit [`Key`]. Engines never interpret keys beyond hashing and ordering.
+
+use serde::{Deserialize, Serialize};
+
+/// A lockable object: 64 bits identifying a record in the database.
+///
+/// Multi-table workloads (TPC-C) pack a table tag into the high bits, see
+/// `orthrus-storage::tpcc`. Keys are totally ordered; the deadlock-free
+/// baselines acquire locks in ascending key order (Section 3.2 of the
+/// paper).
+pub type Key = u64;
+
+/// A transaction identifier, unique within a run.
+///
+/// The layout follows the paper's wait-die timestamping (Section 4): each
+/// worker thread draws from a thread-local monotonic sequence, and the
+/// thread id is packed into the low bits so ids are globally unique and
+/// per-thread monotonic without any shared counter:
+/// `raw = (local_seq << THREAD_BITS) | thread_id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Number of low bits reserved for the originating thread id.
+    pub const THREAD_BITS: u32 = 10;
+    /// Maximum number of worker threads supported by the id layout.
+    pub const MAX_THREADS: usize = 1 << Self::THREAD_BITS;
+
+    /// Compose a transaction id from a thread-local sequence number and the
+    /// originating thread.
+    #[inline]
+    pub fn compose(local_seq: u64, thread: ThreadId) -> Self {
+        debug_assert!((thread.0 as usize) < Self::MAX_THREADS);
+        TxnId((local_seq << Self::THREAD_BITS) | thread.0 as u64)
+    }
+
+    /// The thread that started this transaction.
+    #[inline]
+    pub fn thread(self) -> ThreadId {
+        ThreadId((self.0 & ((1 << Self::THREAD_BITS) - 1)) as u32)
+    }
+
+    /// The thread-local sequence number (restart-preserving priority in
+    /// wait-die: a restarted transaction keeps its original id, hence its
+    /// original priority).
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0 >> Self::THREAD_BITS
+    }
+
+    /// Wait-die ordering: smaller id = older = higher priority.
+    #[inline]
+    pub fn is_older_than(self, other: TxnId) -> bool {
+        self.0 < other.0
+    }
+}
+
+/// A worker thread index (execution thread in ORTHRUS, worker in the
+/// baselines). Dense, starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A concurrency-control thread index in ORTHRUS. Dense, starting at zero.
+/// The deadlock-avoidance order of Section 3.2 is ascending `CcId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CcId(pub u32);
+
+impl CcId {
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An execution thread index in ORTHRUS. Dense, starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ExecId(pub u32);
+
+impl ExecId {
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A data partition index (Partitioned-store physical partitions, or the
+/// index partitions of the SPLIT variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Logical lock mode. The paper's lock manager supports shared (read) and
+/// exclusive (write) record locks; no intention locks are acquired
+/// (Section 4, "our 2PL implementation does not acquire high-level
+/// intention locks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+impl LockMode {
+    /// Two requests conflict unless both are shared.
+    #[inline]
+    pub fn conflicts_with(self, other: LockMode) -> bool {
+        !(self == LockMode::Shared && other == LockMode::Shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_roundtrip() {
+        let id = TxnId::compose(42, ThreadId(7));
+        assert_eq!(id.thread(), ThreadId(7));
+        assert_eq!(id.seq(), 42);
+    }
+
+    #[test]
+    fn txn_id_thread_monotonic() {
+        let a = TxnId::compose(1, ThreadId(3));
+        let b = TxnId::compose(2, ThreadId(3));
+        assert!(a.is_older_than(b));
+        assert!(!b.is_older_than(a));
+    }
+
+    #[test]
+    fn txn_id_max_thread_fits() {
+        let last = ThreadId((TxnId::MAX_THREADS - 1) as u32);
+        let id = TxnId::compose(5, last);
+        assert_eq!(id.thread(), last);
+        assert_eq!(id.seq(), 5);
+    }
+
+    #[test]
+    fn lock_mode_conflicts() {
+        use LockMode::*;
+        assert!(!Shared.conflicts_with(Shared));
+        assert!(Shared.conflicts_with(Exclusive));
+        assert!(Exclusive.conflicts_with(Shared));
+        assert!(Exclusive.conflicts_with(Exclusive));
+    }
+}

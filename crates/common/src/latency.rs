@@ -1,0 +1,169 @@
+//! Log-bucketed latency histogram.
+//!
+//! The paper reports only throughput, but a transaction manager that a
+//! downstream user would adopt needs commit-latency visibility: ORTHRUS
+//! trades latency (message hops, queueing delay) for throughput, and the
+//! histogram makes that trade measurable. Recording is a handful of
+//! instructions (leading-zeros bucket index); merging and quantile
+//! extraction happen off the hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds; bucket 63 is the overflow.
+const BUCKETS: usize = 64;
+
+/// A histogram over nanosecond samples with power-of-two buckets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        let bucket = (63 - ns.max(1).leading_zeros()) as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum_ns / self.total as u128) as u64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate quantile (upper bound of the bucket containing it).
+    /// `q` in [0, 1]. Returns 0 with no samples.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i, clamped to the observed max.
+                let upper = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_ns(), 1000);
+        assert_eq!(h.max_ns(), 1000);
+        // Bucket upper bound clamped to observed max.
+        assert_eq!(h.quantile_ns(0.5), 1000);
+        assert_eq!(h.quantile_ns(1.0), 1000);
+    }
+
+    #[test]
+    fn quantiles_order_correctly() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 100); // 100ns .. 100µs
+        }
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        let p999 = h.quantile_ns(0.999);
+        assert!(p50 <= p99 && p99 <= p999);
+        // p50 of uniform 100..100_000 is ~50_000; bucket bound ≤ 2×.
+        assert!((32_768..=131_072).contains(&p50), "p50={p50}");
+        assert!(p999 <= h.max_ns());
+    }
+
+    #[test]
+    fn zero_sample_goes_to_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // clamped to 1
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_ns(1.0) <= 2);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..10 {
+            a.record(100);
+            b.record(10_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert_eq!(a.max_ns(), 10_000);
+        assert!(a.quantile_ns(0.25) <= 256);
+        assert!(a.quantile_ns(0.95) >= 8192);
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.mean_ns(), 200);
+    }
+}

@@ -1,0 +1,154 @@
+//! A tiny deterministic per-thread RNG.
+//!
+//! Workload generators draw keys on the critical path of every transaction;
+//! a full `rand` generator there would bias the measurements. XorShift64*
+//! gives a few ns per draw and full reproducibility from a seed. The
+//! `rand` crate is still used in tests and loaders where speed is
+//! irrelevant.
+
+/// XorShift64* PRNG. Never yields zero state; period 2^64 - 1.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Create a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant (XorShift state must be non-zero).
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Derive a stream for worker `index` from a base seed so threads get
+    /// decorrelated sequences.
+    #[inline]
+    pub fn for_thread(base_seed: u64, index: usize) -> Self {
+        // SplitMix64 step decorrelates nearby seeds.
+        let mut z = base_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self::new(z ^ (z >> 31))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift bounded sampling (slightly biased for huge
+        // bounds; irrelevant for workload sampling).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` inclusive.
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw: true with probability `percent / 100`.
+    #[inline]
+    pub fn chance_percent(&mut self, percent: u32) -> bool {
+        self.next_below(100) < percent as u64
+    }
+
+    /// Sample `n` distinct values from `[0, bound)`. For the small `n`
+    /// (≤ ~15) used by transactions, rejection over a linear scan beats any
+    /// set structure.
+    pub fn sample_distinct(&mut self, bound: u64, n: usize, out: &mut Vec<u64>) {
+        debug_assert!(bound as usize >= n);
+        out.clear();
+        while out.len() < n {
+            let v = self.next_below(bound);
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn threads_get_distinct_streams() {
+        let mut a = XorShift64::for_thread(42, 0);
+        let mut b = XorShift64::for_thread(42, 1);
+        let firsts: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seconds: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(firsts, seconds);
+    }
+
+    #[test]
+    fn bounded_sampling_is_in_range() {
+        let mut r = XorShift64::new(99);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+            let v = r.next_range(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_covers_range() {
+        let mut r = XorShift64::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.next_below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_distinct_yields_distinct() {
+        let mut r = XorShift64::new(11);
+        let mut out = Vec::new();
+        r.sample_distinct(20, 10, &mut out);
+        assert_eq!(out.len(), 10);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(out.iter().all(|&v| v < 20));
+    }
+
+    #[test]
+    fn chance_percent_extremes() {
+        let mut r = XorShift64::new(5);
+        for _ in 0..100 {
+            assert!(!r.chance_percent(0));
+            assert!(r.chance_percent(100));
+        }
+    }
+}

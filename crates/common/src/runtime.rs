@@ -1,0 +1,199 @@
+//! Timed-run scaffolding shared by every engine.
+//!
+//! All experiments follow the same shape: spawn one long-lived pinned
+//! thread per "core" (Section 3.1), run a warmup, measure a fixed window,
+//! stop, and merge per-thread statistics. Engines differ only in what each
+//! worker does, so they pass a worker closure.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::affinity::pin_to_core;
+use crate::stats::{RunStats, ThreadStats};
+
+/// Run-control flags polled by workers.
+pub struct RunCtl {
+    measuring: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl RunCtl {
+    fn new() -> Self {
+        RunCtl {
+            measuring: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the measurement window is open (workers count commits only
+    /// while it is).
+    #[inline]
+    pub fn is_measuring(&self) -> bool {
+        self.measuring.load(Ordering::Relaxed)
+    }
+
+    /// Whether workers must wind down.
+    #[inline]
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Common run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunParams {
+    /// Worker ("core") count. For ORTHRUS this is CC + execution threads.
+    pub threads: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Warmup before the measured window.
+    pub warmup: Duration,
+    /// Measured window length.
+    pub measure: Duration,
+    /// OLLP estimate-noise percentage (planned engines; see
+    /// `orthrus_txn::plan_accesses`).
+    pub ollp_noise_pct: u32,
+}
+
+impl RunParams {
+    /// Quick defaults for tests: short windows, fixed seed.
+    pub fn quick(threads: usize) -> Self {
+        RunParams {
+            threads,
+            seed: 42,
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(200),
+            ollp_noise_pct: 0,
+        }
+    }
+}
+
+/// Spawn `n_workers` pinned threads running `worker(index, ctl)`, drive
+/// the warmup → measure → stop protocol, and merge the returned stats.
+///
+/// `counted` limits which worker indexes contribute to
+/// [`RunStats::threads`] (ORTHRUS counts only execution threads there);
+/// all returned stats are merged regardless.
+pub fn timed_run<F>(
+    n_workers: usize,
+    warmup: Duration,
+    measure: Duration,
+    counted: impl Fn(usize) -> bool,
+    worker: F,
+) -> RunStats
+where
+    F: Fn(usize, &RunCtl) -> ThreadStats + Sync,
+{
+    let ctl = RunCtl::new();
+    let mut per_thread: Vec<ThreadStats> = Vec::new();
+    let mut elapsed = Duration::ZERO;
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let ctl = &ctl;
+            let worker = &worker;
+            handles.push(scope.spawn(move |_| {
+                pin_to_core(i);
+                worker(i, ctl)
+            }));
+        }
+        std::thread::sleep(warmup);
+        ctl.measuring.store(true, Ordering::SeqCst);
+        let t0 = Instant::now();
+        std::thread::sleep(measure);
+        ctl.stop.store(true, Ordering::SeqCst);
+        elapsed = t0.elapsed();
+        for (i, h) in handles.into_iter().enumerate() {
+            let stats = h.join().expect("worker panicked");
+            if counted(i) {
+                per_thread.push(stats);
+            } else {
+                // Merge uncounted workers into the last counted slot so no
+                // signal is lost, without inflating the thread count.
+                if let Some(last) = per_thread.last_mut() {
+                    last.merge(&stats);
+                } else {
+                    per_thread.push(stats);
+                }
+            }
+        }
+    })
+    .expect("engine thread panicked");
+    RunStats::collect(&per_thread, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_only_the_window() {
+        let stats = timed_run(
+            4,
+            Duration::from_millis(30),
+            Duration::from_millis(100),
+            |_| true,
+            |_, ctl| {
+                let mut s = ThreadStats::default();
+                while !ctl.is_stopped() {
+                    std::thread::sleep(Duration::from_millis(1));
+                    if ctl.is_measuring() {
+                        s.committed += 1;
+                    }
+                }
+                s
+            },
+        );
+        assert_eq!(stats.threads, 4);
+        assert!(stats.totals.committed > 0);
+        // ~100 per thread if sleeps were exact; allow wide slack but catch
+        // counting during warmup (~130/thread) or forever (unbounded).
+        assert!(
+            stats.totals.committed < 4 * 130,
+            "counted outside the window: {}",
+            stats.totals.committed
+        );
+        assert!(stats.elapsed >= Duration::from_millis(95));
+    }
+
+    #[test]
+    fn uncounted_workers_merge_without_inflating() {
+        let stats = timed_run(
+            3,
+            Duration::from_millis(1),
+            Duration::from_millis(20),
+            |i| i < 2,
+            |i, ctl| {
+                while !ctl.is_stopped() {
+                    std::thread::yield_now();
+                }
+                ThreadStats {
+                    committed: 10 + i as u64,
+                    ..Default::default()
+                }
+            },
+        );
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.totals.committed, 10 + 11 + 12);
+    }
+
+    #[test]
+    fn throughput_reflects_commits_over_window() {
+        let stats = timed_run(
+            1,
+            Duration::from_millis(1),
+            Duration::from_millis(50),
+            |_| true,
+            |_, ctl| {
+                let mut s = ThreadStats::default();
+                while !ctl.is_stopped() {
+                    if ctl.is_measuring() {
+                        s.committed += 1;
+                    }
+                }
+                s
+            },
+        );
+        assert!(stats.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Run statistics and the CPU-time phase accounting behind Figure 10.
+//!
+//! Each worker owns a local [`ThreadStats`] (no shared counters on the hot
+//! path — shared statistics would reintroduce exactly the cache-line
+//! ping-pong the paper is about). At the end of a run the harness merges
+//! them into a [`RunStats`].
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::latency::LatencyHistogram;
+
+/// The three execution-thread CPU-time categories of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Running transaction logic (reads/writes of record payloads).
+    Execution,
+    /// Concurrency-control work performed by this thread: lock table
+    /// manipulation, planning, building/sending lock messages.
+    Locking,
+    /// Blocked or idle: spinning on a lock grant, waiting for responses
+    /// from CC threads with no runnable transaction.
+    Waiting,
+}
+
+/// Per-thread counters, owned by the worker and merged after the run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Committed transactions within the measurement window.
+    pub committed: u64,
+    /// Committed transactions over the worker's whole lifetime (warmup +
+    /// window + drain). Not a throughput input — it lets tests state
+    /// *exact* effect invariants (e.g. every commit applied its N writes
+    /// exactly once), which the windowed counter cannot.
+    pub committed_all: u64,
+    /// Aborts caused by detected deadlocks (wait-for graph / Dreadlocks).
+    pub aborts_deadlock: u64,
+    /// Aborts caused by the wait-die timestamp rule (includes false
+    /// positives, which the paper calls out in Section 4.1).
+    pub aborts_wait_die: u64,
+    /// Aborts caused by an OLLP access-estimate mismatch (Section 3.2).
+    pub aborts_ollp: u64,
+    /// Nanoseconds spent in each Figure-10 phase.
+    pub execution_ns: u64,
+    pub locking_ns: u64,
+    pub waiting_ns: u64,
+    /// Messages sent (ORTHRUS only; validates the Ncc+1 analysis of
+    /// Section 3.3).
+    pub messages_sent: u64,
+    /// Deadlock-detection passes that found a cycle (wait-for graph).
+    pub cycles_found: u64,
+    /// Commit latency (transaction start → commit, including retries).
+    pub latency: LatencyHistogram,
+}
+
+impl ThreadStats {
+    /// Total aborts across all causes.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_deadlock + self.aborts_wait_die + self.aborts_ollp
+    }
+
+    /// Zero the window counters at measurement start, preserving lifetime
+    /// counters.
+    pub fn reset_window(&mut self) {
+        let committed_all = self.committed_all;
+        *self = ThreadStats::default();
+        self.committed_all = committed_all;
+    }
+
+    /// Merge another thread's counters into this one.
+    pub fn merge(&mut self, other: &ThreadStats) {
+        self.committed += other.committed;
+        self.committed_all += other.committed_all;
+        self.aborts_deadlock += other.aborts_deadlock;
+        self.aborts_wait_die += other.aborts_wait_die;
+        self.aborts_ollp += other.aborts_ollp;
+        self.execution_ns += other.execution_ns;
+        self.locking_ns += other.locking_ns;
+        self.waiting_ns += other.waiting_ns;
+        self.messages_sent += other.messages_sent;
+        self.cycles_found += other.cycles_found;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Add elapsed nanoseconds to a phase bucket.
+    #[inline]
+    pub fn add_phase(&mut self, phase: Phase, ns: u64) {
+        match phase {
+            Phase::Execution => self.execution_ns += ns,
+            Phase::Locking => self.locking_ns += ns,
+            Phase::Waiting => self.waiting_ns += ns,
+        }
+    }
+}
+
+/// Tracks which phase a worker is currently in and accumulates wall time
+/// into its [`ThreadStats`]. `Instant`-based: ~25 ns per transition, paid
+/// only at phase boundaries (a handful per transaction).
+#[derive(Debug)]
+pub struct PhaseTimer {
+    current: Phase,
+    since: Instant,
+}
+
+impl PhaseTimer {
+    /// Start timing in the given phase.
+    pub fn start(initial: Phase) -> Self {
+        PhaseTimer {
+            current: initial,
+            since: Instant::now(),
+        }
+    }
+
+    /// Switch phases, attributing elapsed time to the previous phase.
+    /// No-ops (cheaply) when the phase is unchanged.
+    #[inline]
+    pub fn switch(&mut self, stats: &mut ThreadStats, next: Phase) {
+        if next == self.current {
+            return;
+        }
+        let now = Instant::now();
+        stats.add_phase(self.current, (now - self.since).as_nanos() as u64);
+        self.current = next;
+        self.since = now;
+    }
+
+    /// Flush the currently accumulating interval (call at end of run).
+    pub fn finish(self, stats: &mut ThreadStats) {
+        stats.add_phase(self.current, self.since.elapsed().as_nanos() as u64);
+    }
+
+    /// Current phase (for assertions/tests).
+    pub fn current(&self) -> Phase {
+        self.current
+    }
+}
+
+/// Percent breakdown of exec-thread CPU time (Figure 10 rows).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    pub execution_pct: f64,
+    pub locking_pct: f64,
+    pub waiting_pct: f64,
+}
+
+/// Aggregated results of a timed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Merged per-thread counters.
+    pub totals: ThreadStats,
+    /// Measured wall-clock window.
+    pub elapsed: Duration,
+    /// Number of worker (execution) threads that contributed.
+    pub threads: usize,
+}
+
+impl RunStats {
+    /// Combine per-thread stats into a run summary.
+    pub fn collect(per_thread: &[ThreadStats], elapsed: Duration) -> Self {
+        let mut totals = ThreadStats::default();
+        for t in per_thread {
+            totals.merge(t);
+        }
+        RunStats {
+            totals,
+            elapsed,
+            threads: per_thread.len(),
+        }
+    }
+
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.totals.committed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of started transactions that aborted at least once.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.totals.committed + self.totals.aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.totals.aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Median commit latency in microseconds.
+    pub fn p50_latency_us(&self) -> f64 {
+        self.totals.latency.quantile_ns(0.50) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile commit latency in microseconds.
+    pub fn p99_latency_us(&self) -> f64 {
+        self.totals.latency.quantile_ns(0.99) as f64 / 1_000.0
+    }
+
+    /// Figure-10 style breakdown over the three phase buckets.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        let total =
+            (self.totals.execution_ns + self.totals.locking_ns + self.totals.waiting_ns) as f64;
+        if total == 0.0 {
+            return PhaseBreakdown {
+                execution_pct: 0.0,
+                locking_pct: 0.0,
+                waiting_pct: 0.0,
+            };
+        }
+        PhaseBreakdown {
+            execution_pct: 100.0 * self.totals.execution_ns as f64 / total,
+            locking_pct: 100.0 * self.totals.locking_ns as f64 / total,
+            waiting_pct: 100.0 * self.totals.waiting_ns as f64 / total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let a = ThreadStats {
+            committed: 10,
+            committed_all: 12,
+            aborts_deadlock: 1,
+            aborts_wait_die: 2,
+            aborts_ollp: 3,
+            execution_ns: 100,
+            locking_ns: 200,
+            waiting_ns: 300,
+            messages_sent: 5,
+            cycles_found: 1,
+            latency: LatencyHistogram::new(),
+        };
+        let mut b = a.clone();
+        b.merge(&a);
+        assert_eq!(b.committed, 20);
+        assert_eq!(b.aborts(), 12);
+        assert_eq!(b.waiting_ns, 600);
+        assert_eq!(b.messages_sent, 10);
+    }
+
+    #[test]
+    fn reset_window_preserves_lifetime_counter() {
+        let mut s = ThreadStats {
+            committed: 5,
+            committed_all: 9,
+            waiting_ns: 100,
+            ..Default::default()
+        };
+        s.reset_window();
+        assert_eq!(s.committed, 0);
+        assert_eq!(s.waiting_ns, 0);
+        assert_eq!(s.committed_all, 9);
+    }
+
+    #[test]
+    fn phase_timer_attributes_time() {
+        let mut stats = ThreadStats::default();
+        let mut timer = PhaseTimer::start(Phase::Waiting);
+        std::thread::sleep(Duration::from_millis(5));
+        timer.switch(&mut stats, Phase::Execution);
+        std::thread::sleep(Duration::from_millis(5));
+        timer.finish(&mut stats);
+        assert!(stats.waiting_ns >= 3_000_000, "waiting {}", stats.waiting_ns);
+        assert!(
+            stats.execution_ns >= 3_000_000,
+            "execution {}",
+            stats.execution_ns
+        );
+        assert_eq!(stats.locking_ns, 0);
+    }
+
+    #[test]
+    fn switch_to_same_phase_is_noop() {
+        let mut stats = ThreadStats::default();
+        let mut timer = PhaseTimer::start(Phase::Locking);
+        timer.switch(&mut stats, Phase::Locking);
+        assert_eq!(stats.locking_ns, 0);
+        assert_eq!(timer.current(), Phase::Locking);
+    }
+
+    #[test]
+    fn run_stats_throughput_and_breakdown() {
+        let per_thread = vec![
+            ThreadStats {
+                committed: 500,
+                execution_ns: 50,
+                locking_ns: 25,
+                waiting_ns: 25,
+                ..Default::default()
+            },
+            ThreadStats {
+                committed: 500,
+                execution_ns: 50,
+                locking_ns: 25,
+                waiting_ns: 25,
+                ..Default::default()
+            },
+        ];
+        let rs = RunStats::collect(&per_thread, Duration::from_secs(1));
+        assert!((rs.throughput() - 1000.0).abs() < 1e-6);
+        let b = rs.breakdown();
+        assert!((b.execution_pct - 50.0).abs() < 1e-9);
+        assert!((b.locking_pct - 25.0).abs() < 1e-9);
+        assert!((b.waiting_pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_zero_when_no_attempts() {
+        let rs = RunStats::collect(&[], Duration::from_secs(1));
+        assert_eq!(rs.abort_rate(), 0.0);
+    }
+}

@@ -1,0 +1,516 @@
+//! The concurrency-control thread: a latch-free, single-owner lock
+//! manager partition.
+//!
+//! "Every lock acquisition and release request for a particular object is
+//! serviced by a single concurrency control thread; reads and writes of
+//! an object's meta-data are restricted to one thread" (Section 3.1). The
+//! state here is deliberately plain — no atomics, no latches — because
+//! only the owning thread ever touches it. [`CcState`] is the pure state
+//! machine (unit-testable single-threadedly); the engine drives it from
+//! the message loop.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use orthrus_common::{FxHashMap, Key, LockMode};
+
+use crate::msg::{CcRequest, ExecResponse, Token};
+use crate::plan::LockPlan;
+
+/// An outgoing message produced while handling a request.
+pub enum OutMsg {
+    /// Forward an acquire to the next CC thread in the chain.
+    ToCc { cc: u32, req: CcRequest },
+    /// Answer an execution thread.
+    ToExec { exec: u16, resp: ExecResponse },
+}
+
+/// A transaction whose span is partially granted: the countdown to
+/// completion.
+struct Pending {
+    token: Token,
+    plan: Arc<LockPlan>,
+    span_idx: u16,
+    forward: bool,
+    remaining: u32,
+}
+
+struct Waiter {
+    token: u64, // Token::pack()
+    mode: LockMode,
+    pending_idx: u32,
+}
+
+#[derive(Default)]
+struct CcEntry {
+    holders: Vec<(u64, LockMode)>,
+    waiters: VecDeque<Waiter>,
+}
+
+impl CcEntry {
+    fn compatible(&self, mode: LockMode) -> bool {
+        self.holders.iter().all(|&(_, m)| !m.conflicts_with(mode))
+    }
+
+    fn grantable(&self, mode: LockMode) -> bool {
+        self.waiters.is_empty() && self.compatible(mode)
+    }
+}
+
+/// The lock state owned by one CC thread.
+pub struct CcState {
+    id: u32,
+    table: FxHashMap<Key, CcEntry>,
+    pending: Vec<Option<Pending>>,
+    free: Vec<u32>,
+}
+
+impl CcState {
+    /// Create the state for CC thread `id`, pre-sizing for `capacity`
+    /// distinct keys.
+    pub fn new(id: u32, capacity: usize) -> Self {
+        let mut table = FxHashMap::default();
+        table.reserve(capacity);
+        CcState {
+            id,
+            table,
+            pending: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// This CC thread's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Number of partially-granted transactions parked here (tests).
+    pub fn pending_count(&self) -> usize {
+        self.pending.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Handle one request, appending any outgoing messages to `out`.
+    pub fn handle(&mut self, req: CcRequest, out: &mut Vec<OutMsg>) {
+        match req {
+            CcRequest::Acquire {
+                token,
+                plan,
+                span_idx,
+                forward,
+            } => self.handle_acquire(token, plan, span_idx, forward, out),
+            CcRequest::Release {
+                token,
+                plan,
+                span_idx,
+            } => self.handle_release(token, &plan, span_idx, out),
+        }
+    }
+
+    fn handle_acquire(
+        &mut self,
+        token: Token,
+        plan: Arc<LockPlan>,
+        span_idx: u16,
+        forward: bool,
+        out: &mut Vec<OutMsg>,
+    ) {
+        debug_assert_eq!(plan.spans()[span_idx as usize].cc, self.id);
+        // Pass 1: how many of the span's locks must wait? (Single-threaded
+        // state: nothing can change between the passes.)
+        let mut ungranted = 0u32;
+        for &(key, mode) in plan.span_entries(span_idx as usize) {
+            let grantable = self
+                .table
+                .get(&key)
+                .map(|e| e.grantable(mode))
+                .unwrap_or(true);
+            if !grantable {
+                ungranted += 1;
+            }
+        }
+
+        let pending_idx = if ungranted > 0 {
+            Some(self.alloc_pending(Pending {
+                token,
+                plan: Arc::clone(&plan),
+                span_idx,
+                forward,
+                remaining: ungranted,
+            }))
+        } else {
+            None
+        };
+
+        // Pass 2: grant or enqueue.
+        let packed = token.pack();
+        for &(key, mode) in plan.span_entries(span_idx as usize) {
+            let entry = self.table.entry(key).or_default();
+            debug_assert!(
+                !entry.holders.iter().any(|&(t, _)| t == packed),
+                "token {packed:#x} re-acquiring key {key:#x}"
+            );
+            if entry.grantable(mode) {
+                entry.holders.push((packed, mode));
+            } else {
+                entry.waiters.push_back(Waiter {
+                    token: packed,
+                    mode,
+                    pending_idx: pending_idx.unwrap(),
+                });
+            }
+        }
+
+        if ungranted == 0 {
+            self.complete(token, &plan, span_idx, forward, out);
+        }
+        // "The response may take a while; the lock acquisition request may
+        // have to wait for prior conflicting requests to release locks."
+    }
+
+    fn handle_release(
+        &mut self,
+        token: Token,
+        plan: &Arc<LockPlan>,
+        span_idx: u16,
+        out: &mut Vec<OutMsg>,
+    ) {
+        debug_assert_eq!(plan.spans()[span_idx as usize].cc, self.id);
+        let packed = token.pack();
+        // Completions are deferred past the table borrow; emission order
+        // within one release step is not semantically meaningful.
+        let mut done: Vec<Pending> = Vec::new();
+        for &(key, _) in plan.span_entries(span_idx as usize) {
+            let entry = self
+                .table
+                .get_mut(&key)
+                .expect("release of never-acquired key");
+            let before = entry.holders.len();
+            entry.holders.retain(|&(t, _)| t != packed);
+            debug_assert_eq!(before, entry.holders.len() + 1, "unheld release");
+
+            // Grant the longest compatible prefix of the queue.
+            while let Some(front) = entry.waiters.front() {
+                if !entry.compatible(front.mode) {
+                    break;
+                }
+                let w = entry.waiters.pop_front().unwrap();
+                entry.holders.push((w.token, w.mode));
+                let slot = &mut self.pending[w.pending_idx as usize];
+                let finished = {
+                    let p = slot.as_mut().expect("waiter points at freed pending");
+                    p.remaining -= 1;
+                    p.remaining == 0
+                };
+                if finished {
+                    done.push(slot.take().unwrap());
+                    self.free.push(w.pending_idx);
+                }
+            }
+            // Entries are left in the map when empty (capacity reuse).
+        }
+        for p in done {
+            self.complete(p.token, &p.plan, p.span_idx, p.forward, out);
+        }
+    }
+
+    /// Every lock of the span is held: forward down the chain or answer
+    /// the execution thread (Section 3.3).
+    fn complete(
+        &mut self,
+        token: Token,
+        plan: &Arc<LockPlan>,
+        span_idx: u16,
+        forward: bool,
+        out: &mut Vec<OutMsg>,
+    ) {
+        let next = span_idx as usize + 1;
+        if forward && next < plan.spans().len() {
+            out.push(OutMsg::ToCc {
+                cc: plan.spans()[next].cc,
+                req: CcRequest::Acquire {
+                    token,
+                    plan: Arc::clone(plan),
+                    span_idx: next as u16,
+                    forward,
+                },
+            });
+        } else {
+            out.push(OutMsg::ToExec {
+                exec: token.exec,
+                resp: ExecResponse::Granted {
+                    slot: token.slot,
+                    span_idx,
+                },
+            });
+        }
+    }
+
+    fn alloc_pending(&mut self, p: Pending) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.pending[i as usize] = Some(p);
+                i
+            }
+            None => {
+                self.pending.push(Some(p));
+                (self.pending.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Holders of a key (tests/diagnostics).
+    pub fn holders_of(&self, key: Key) -> Vec<u64> {
+        self.table
+            .get(&key)
+            .map(|e| e.holders.iter().map(|&(t, _)| t).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_txn::AccessSet;
+
+    fn plan_on_cc0(keys: &[(Key, LockMode)]) -> Arc<LockPlan> {
+        Arc::new(LockPlan::build(
+            &AccessSet::from_unsorted(keys.to_vec()),
+            |_| 0,
+        ))
+    }
+
+    fn tok(exec: u16, slot: u16) -> Token {
+        Token { exec, slot, gen: 0 }
+    }
+
+    fn tok_gen(exec: u16, slot: u16, gen: u32) -> Token {
+        Token { exec, slot, gen }
+    }
+
+    fn acquire(token: Token, plan: &Arc<LockPlan>, span: u16) -> CcRequest {
+        CcRequest::Acquire {
+            token,
+            plan: Arc::clone(plan),
+            span_idx: span,
+            forward: true,
+        }
+    }
+
+    fn release(token: Token, plan: &Arc<LockPlan>, span: u16) -> CcRequest {
+        CcRequest::Release {
+            token,
+            plan: Arc::clone(plan),
+            span_idx: span,
+        }
+    }
+
+    #[test]
+    fn uncontended_acquire_responds_immediately() {
+        let mut cc = CcState::new(0, 64);
+        let plan = plan_on_cc0(&[(1, LockMode::Exclusive), (2, LockMode::Exclusive)]);
+        let mut out = Vec::new();
+        cc.handle(acquire(tok(0, 0), &plan, 0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            OutMsg::ToExec {
+                exec: 0,
+                resp: ExecResponse::Granted { slot: 0, span_idx: 0 }
+            }
+        ));
+        assert_eq!(cc.pending_count(), 0);
+    }
+
+    #[test]
+    fn conflicting_acquire_waits_until_release() {
+        let mut cc = CcState::new(0, 64);
+        let plan1 = plan_on_cc0(&[(7, LockMode::Exclusive)]);
+        let plan2 = plan_on_cc0(&[(7, LockMode::Exclusive), (8, LockMode::Exclusive)]);
+        let mut out = Vec::new();
+        cc.handle(acquire(tok(0, 0), &plan1, 0), &mut out);
+        out.clear();
+        cc.handle(acquire(tok(0, 1), &plan2, 0), &mut out);
+        assert!(out.is_empty(), "conflicting span must park");
+        assert_eq!(cc.pending_count(), 1);
+        // Key 8 was granted eagerly even though 7 waits.
+        assert_eq!(cc.holders_of(8), vec![tok(0, 1).pack()]);
+        // Release 7 → slot 1 completes.
+        cc.handle(release(tok(0, 0), &plan1, 0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            OutMsg::ToExec {
+                resp: ExecResponse::Granted { slot: 1, .. },
+                ..
+            }
+        ));
+        assert_eq!(cc.pending_count(), 0);
+        assert_eq!(cc.holders_of(7), vec![tok(0, 1).pack()]);
+    }
+
+    #[test]
+    fn shared_holders_coexist_and_batch_grant() {
+        let mut cc = CcState::new(0, 64);
+        let w = plan_on_cc0(&[(5, LockMode::Exclusive)]);
+        let r1 = plan_on_cc0(&[(5, LockMode::Shared)]);
+        let r2 = plan_on_cc0(&[(5, LockMode::Shared)]);
+        let mut out = Vec::new();
+        cc.handle(acquire(tok(0, 0), &w, 0), &mut out);
+        out.clear();
+        cc.handle(acquire(tok(0, 1), &r1, 0), &mut out);
+        cc.handle(acquire(tok(0, 2), &r2, 0), &mut out);
+        assert!(out.is_empty());
+        cc.handle(release(tok(0, 0), &w, 0), &mut out);
+        assert_eq!(out.len(), 2, "both shared waiters granted together");
+        assert_eq!(cc.holders_of(5).len(), 2);
+    }
+
+    #[test]
+    fn fifo_prevents_shared_jumping_queued_exclusive() {
+        let mut cc = CcState::new(0, 64);
+        let r0 = plan_on_cc0(&[(3, LockMode::Shared)]);
+        let w = plan_on_cc0(&[(3, LockMode::Exclusive)]);
+        let r1 = plan_on_cc0(&[(3, LockMode::Shared)]);
+        let mut out = Vec::new();
+        cc.handle(acquire(tok(0, 0), &r0, 0), &mut out); // shared holder
+        out.clear();
+        cc.handle(acquire(tok(0, 1), &w, 0), &mut out); // queued writer
+        cc.handle(acquire(tok(0, 2), &r1, 0), &mut out); // must queue too
+        assert!(out.is_empty());
+        cc.handle(release(tok(0, 0), &r0, 0), &mut out);
+        // Writer granted, reader still parked.
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            OutMsg::ToExec {
+                resp: ExecResponse::Granted { slot: 1, .. },
+                ..
+            }
+        ));
+        out.clear();
+        cc.handle(release(tok(0, 1), &w, 0), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn forwarding_chains_to_next_cc() {
+        // Plan spanning cc0 and cc1 (cc_of = key % 2).
+        let plan = Arc::new(LockPlan::build(
+            &AccessSet::from_unsorted(vec![
+                (2, LockMode::Exclusive), // cc0
+                (3, LockMode::Exclusive), // cc1
+            ]),
+            |k| (k % 2) as u32,
+        ));
+        let mut cc0 = CcState::new(0, 64);
+        let mut out = Vec::new();
+        cc0.handle(
+            CcRequest::Acquire {
+                token: tok(1, 4),
+                plan: Arc::clone(&plan),
+                span_idx: 0,
+                forward: true,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            OutMsg::ToCc { cc, req: CcRequest::Acquire { span_idx, .. } } => {
+                assert_eq!(*cc, 1);
+                assert_eq!(*span_idx, 1);
+            }
+            _ => panic!("expected forward to cc1"),
+        }
+        // cc1 completes the chain with a single response to the exec.
+        let mut cc1 = CcState::new(1, 64);
+        let fwd = out.pop().unwrap();
+        let OutMsg::ToCc { req, .. } = fwd else { unreachable!() };
+        cc1.handle(req, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            OutMsg::ToExec {
+                exec: 1,
+                resp: ExecResponse::Granted { slot: 4, span_idx: 1 }
+            }
+        ));
+    }
+
+    #[test]
+    fn no_forwarding_answers_exec_per_span() {
+        let plan = Arc::new(LockPlan::build(
+            &AccessSet::from_unsorted(vec![
+                (2, LockMode::Exclusive),
+                (3, LockMode::Exclusive),
+            ]),
+            |k| (k % 2) as u32,
+        ));
+        let mut cc0 = CcState::new(0, 64);
+        let mut out = Vec::new();
+        cc0.handle(
+            CcRequest::Acquire {
+                token: tok(0, 0),
+                plan,
+                span_idx: 0,
+                forward: false,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            OutMsg::ToExec {
+                resp: ExecResponse::Granted { span_idx: 0, .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn slot_reuse_parks_behind_stale_holder() {
+        // Regression test for the forwarding/slot-reuse race: exec 0
+        // committed transaction (slot 3, gen 0) and enqueued its release,
+        // then reused slot 3 for a new transaction whose *forwarded*
+        // acquire arrives at this CC thread before the release does. The
+        // new generation must be treated as an ordinary conflicting
+        // transaction, parked, and granted once the release drains.
+        let mut cc = CcState::new(0, 64);
+        let plan = plan_on_cc0(&[(9, LockMode::Exclusive)]);
+        let mut out = Vec::new();
+        cc.handle(acquire(tok_gen(0, 3, 0), &plan, 0), &mut out);
+        out.clear();
+
+        // The successor (same exec, same slot, new gen) arrives early.
+        cc.handle(acquire(tok_gen(0, 3, 1), &plan, 0), &mut out);
+        assert!(out.is_empty(), "successor must park, not self-grant");
+        assert_eq!(cc.pending_count(), 1);
+
+        // The in-flight release of gen 0 lands; gen 1 is granted.
+        cc.handle(release(tok_gen(0, 3, 0), &plan, 0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            OutMsg::ToExec {
+                resp: ExecResponse::Granted { slot: 3, .. },
+                ..
+            }
+        ));
+        assert_eq!(cc.holders_of(9), vec![tok_gen(0, 3, 1).pack()]);
+    }
+
+    #[test]
+    fn pending_slab_reuses_slots() {
+        let mut cc = CcState::new(0, 64);
+        let holder = plan_on_cc0(&[(1, LockMode::Exclusive)]);
+        let waiter_plan = plan_on_cc0(&[(1, LockMode::Exclusive)]);
+        let mut out = Vec::new();
+        for round in 0..10 {
+            cc.handle(acquire(tok(0, 0), &holder, 0), &mut out);
+            cc.handle(acquire(tok(0, 1), &waiter_plan, 0), &mut out);
+            cc.handle(release(tok(0, 0), &holder, 0), &mut out);
+            cc.handle(release(tok(0, 1), &waiter_plan, 0), &mut out);
+            assert_eq!(cc.pending_count(), 0, "round {round}");
+        }
+        assert!(cc.pending.len() <= 2, "slab must not grow unboundedly");
+    }
+}

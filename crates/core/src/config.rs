@@ -1,0 +1,169 @@
+//! ORTHRUS engine configuration.
+
+use std::sync::Arc;
+
+use orthrus_common::{fx_hash_u64, Key};
+use orthrus_txn::Database;
+
+/// How lockable keys map to CC threads ("ORTHRUS partitions
+/// responsibility for database objects across concurrency control threads
+/// such that each database object is controlled by a single thread").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcAssignment {
+    /// `key % n_cc` — the flat-keyspace experiments. Aligned with the
+    /// workload generators' partition constraints and with the SPLIT
+    /// variant's index partitions.
+    KeyModulo,
+    /// `warehouse(key) % n_cc` — TPC-C ("partitions database tables across
+    /// concurrency control threads based on each row's warehouse_id
+    /// attribute", Section 4.4).
+    Warehouse,
+    /// Skew-aware two-level mapping: `table[fx_hash(key) & (len − 1)]`
+    /// names the owning CC thread. Tables come from
+    /// [`crate::rebalance::balanced_assignment`], which packs sampled
+    /// bucket load evenly across CC threads — the paper's answer to
+    /// "concurrency control threads may be subject to over- and
+    /// under-utilization due to workload skew" (Section 3.3). The table
+    /// length must be a power of two.
+    Balanced(Arc<[u32]>),
+}
+
+/// Which concurrency-control architecture the CC threads run
+/// (Section 3.4: partitioning is "orthogonal to the design principle of
+/// separating functionality").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcMode {
+    /// Each CC thread owns a disjoint lock partition; latch-free state
+    /// (the main ORTHRUS design).
+    Partitioned,
+    /// All CC threads share one latched lock table; an execution thread
+    /// sends its whole plan to any one CC thread (Section 3.4's
+    /// alternative). Synchronization exists, but only among the small set
+    /// of CC threads.
+    SharedTable,
+}
+
+/// Engine shape and tuning.
+#[derive(Debug, Clone)]
+pub struct OrthrusConfig {
+    /// Concurrency-control thread count.
+    pub n_cc: usize,
+    /// Execution thread count.
+    pub n_exec: usize,
+    /// Key → CC mapping.
+    pub assignment: CcAssignment,
+    /// In-flight transactions per execution thread (the asynchrony depth
+    /// of Section 3.3).
+    pub max_inflight: usize,
+    /// CC→CC forwarding (Section 3.3). Disable for the `Ncc+1` vs `2·Ncc`
+    /// ablation.
+    pub forwarding: bool,
+    /// OLLP estimate noise (see `orthrus_txn::plan_accesses`).
+    pub ollp_noise_pct: u32,
+    /// CC architecture (Section 3.4).
+    pub cc_mode: CcMode,
+    /// Buckets of the shared lock table when `cc_mode == SharedTable`.
+    pub shared_table_buckets: usize,
+    /// Override the exec→CC ring capacity (ablation A2). Only this ring
+    /// may be shrunk safely: an execution thread blocked on a full input
+    /// ring of a *live, draining* CC thread always makes progress, whereas
+    /// undersized CC→CC rings could deadlock mutually-blocked CC threads.
+    pub exec_queue_capacity: Option<usize>,
+}
+
+impl OrthrusConfig {
+    /// A paper-style configuration: given a total "core" budget, dedicate
+    /// 1/5 of threads to concurrency control (the 16 CC / 64 exec split
+    /// the paper uses at 80 cores) and the rest to execution.
+    pub fn for_cores(total: usize, assignment: CcAssignment) -> Self {
+        let n_cc = (total / 5).max(1);
+        OrthrusConfig {
+            n_cc,
+            n_exec: (total - n_cc).max(1),
+            assignment,
+            max_inflight: 16,
+            forwarding: true,
+            ollp_noise_pct: 0,
+            cc_mode: CcMode::Partitioned,
+            shared_table_buckets: 1 << 14,
+            exec_queue_capacity: None,
+        }
+    }
+
+    /// Explicit CC/exec split.
+    pub fn with_threads(n_cc: usize, n_exec: usize, assignment: CcAssignment) -> Self {
+        assert!(n_cc >= 1 && n_exec >= 1);
+        OrthrusConfig {
+            n_cc,
+            n_exec,
+            assignment,
+            max_inflight: 16,
+            forwarding: true,
+            ollp_noise_pct: 0,
+            cc_mode: CcMode::Partitioned,
+            shared_table_buckets: 1 << 14,
+            exec_queue_capacity: None,
+        }
+    }
+
+    /// Total thread (core) budget.
+    pub fn total_threads(&self) -> usize {
+        self.n_cc + self.n_exec
+    }
+
+    /// Resolve the CC thread owning `key`.
+    #[inline]
+    pub fn cc_of(&self, db: &Database, key: Key) -> u32 {
+        match &self.assignment {
+            CcAssignment::KeyModulo => (key % self.n_cc as u64) as u32,
+            CcAssignment::Warehouse => {
+                let layout = &db.tpcc().layout;
+                layout.warehouse_of(key) % self.n_cc as u32
+            }
+            CcAssignment::Balanced(table) => {
+                debug_assert!(table.len().is_power_of_two());
+                table[(fx_hash_u64(key) as usize) & (table.len() - 1)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_storage::tpcc::{TpccConfig, TpccDb};
+    use orthrus_storage::Table;
+
+    #[test]
+    fn for_cores_keeps_paper_ratio() {
+        let c = OrthrusConfig::for_cores(80, CcAssignment::KeyModulo);
+        assert_eq!(c.n_cc, 16);
+        assert_eq!(c.n_exec, 64);
+        assert_eq!(c.total_threads(), 80);
+        let c = OrthrusConfig::for_cores(5, CcAssignment::KeyModulo);
+        assert_eq!((c.n_cc, c.n_exec), (1, 4));
+    }
+
+    #[test]
+    fn key_modulo_assignment() {
+        let c = OrthrusConfig::with_threads(4, 4, CcAssignment::KeyModulo);
+        let db = Database::Flat(Table::new(16, 64));
+        for k in 0..16u64 {
+            assert_eq!(c.cc_of(&db, k), (k % 4) as u32);
+        }
+    }
+
+    #[test]
+    fn warehouse_assignment_groups_by_warehouse() {
+        let c = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+        let db = Database::Tpcc(TpccDb::load(TpccConfig::tiny(4), 1));
+        let l = db.tpcc().layout;
+        for w in 0..4u32 {
+            let expected = w % 2;
+            assert_eq!(c.cc_of(&db, l.warehouse_key(w)), expected);
+            assert_eq!(c.cc_of(&db, l.district_key(w, 1)), expected);
+            assert_eq!(c.cc_of(&db, l.customer_key(w, 1, 3)), expected);
+            assert_eq!(c.cc_of(&db, l.stock_key(w, 9)), expected);
+        }
+    }
+}

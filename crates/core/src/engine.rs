@@ -1,0 +1,514 @@
+//! The ORTHRUS engine: queue fabric wiring and the run protocol.
+//!
+//! The fabric is a full mesh of SPSC rings, one per (producer, consumer)
+//! pair (Section 3.1): every execution thread has a private ring into
+//! every CC thread (acquires and releases), every CC thread has a private
+//! ring into every other CC thread (forwards) and into every execution
+//! thread (grants). Ring capacities are sized from the in-flight bounds so
+//! the steady state never blocks on a full ring:
+//!
+//! - exec→cc: ≤ 1 acquire + 1 release per in-flight transaction;
+//! - cc→cc: ≤ 1 in-flight forward per in-flight transaction system-wide;
+//! - cc→exec: ≤ 1 outstanding grant per in-flight transaction.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+use orthrus_common::runtime::{timed_run, RunCtl, RunParams};
+use orthrus_common::{Backoff, RunStats, ThreadStats};
+use orthrus_spsc::{channel, Consumer, FanIn, Producer};
+use orthrus_txn::Database;
+use orthrus_workload::Spec;
+use parking_lot::Mutex;
+
+use crate::cc::{CcState, OutMsg};
+use crate::config::OrthrusConfig;
+use crate::msg::{CcRequest, ExecResponse};
+
+/// Endpoints handed to one CC thread at startup.
+struct CcEndpoints {
+    fanin: FanIn<CcRequest>,
+    to_cc: Vec<Producer<CcRequest>>,
+    to_exec: Vec<Producer<ExecResponse>>,
+}
+
+/// Endpoints handed to one execution thread at startup.
+struct ExecEndpoints {
+    fanin: FanIn<ExecResponse>,
+    to_cc: Vec<Producer<CcRequest>>,
+}
+
+/// The assembled engine.
+pub struct OrthrusEngine {
+    db: Arc<Database>,
+    spec: Spec,
+    cfg: OrthrusConfig,
+}
+
+impl OrthrusEngine {
+    /// Build an engine over `db` running `spec`.
+    pub fn new(db: Arc<Database>, spec: Spec, cfg: OrthrusConfig) -> Self {
+        assert!(cfg.n_cc <= u16::MAX as usize && cfg.n_exec <= u16::MAX as usize);
+        OrthrusEngine { db, spec, cfg }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &OrthrusConfig {
+        &self.cfg
+    }
+
+    /// Run the workload. `params.threads` is ignored in favour of the
+    /// engine's CC/exec split (the harness sets them consistently).
+    // Indexed loops keep the (producer, consumer) ring-matrix wiring
+    // visibly symmetric; iterator forms obscure which side is which.
+    #[allow(clippy::needless_range_loop)]
+    pub fn run(&self, params: &RunParams) -> RunStats {
+        let c = self.cfg.n_cc;
+        let e = self.cfg.n_exec;
+        let inflight = self.cfg.max_inflight;
+        let exec_cc_cap = self.cfg.exec_queue_capacity.unwrap_or(2 * inflight + 4);
+        let cc_cc_cap = e * inflight + 4;
+        let cc_exec_cap = inflight + 4;
+
+        // Build the mesh. Consumer lane order inside each fan-in does not
+        // matter (round-robin polling), only completeness does.
+        let mut cc_in: Vec<Vec<Consumer<CcRequest>>> = (0..c).map(|_| Vec::new()).collect();
+        let mut exec_in: Vec<Vec<Consumer<ExecResponse>>> = (0..e).map(|_| Vec::new()).collect();
+        let mut exec_to_cc: Vec<Vec<Producer<CcRequest>>> = (0..e).map(|_| Vec::new()).collect();
+        let mut cc_to_cc: Vec<Vec<Producer<CcRequest>>> = (0..c).map(|_| Vec::new()).collect();
+        let mut cc_to_exec: Vec<Vec<Producer<ExecResponse>>> =
+            (0..c).map(|_| Vec::new()).collect();
+
+        for ex in 0..e {
+            for cc in 0..c {
+                let (p, co) = channel(exec_cc_cap);
+                exec_to_cc[ex].push(p);
+                cc_in[cc].push(co);
+            }
+        }
+        for src in 0..c {
+            for dst in 0..c {
+                let (p, co) = channel(cc_cc_cap);
+                cc_to_cc[src].push(p);
+                cc_in[dst].push(co);
+            }
+        }
+        for cc in 0..c {
+            for ex in 0..e {
+                let (p, co) = channel(cc_exec_cap);
+                cc_to_exec[cc].push(p);
+                exec_in[ex].push(co);
+            }
+        }
+
+        let cc_slots: Vec<Mutex<Option<CcEndpoints>>> = cc_in
+            .into_iter()
+            .zip(cc_to_cc)
+            .zip(cc_to_exec)
+            .map(|((lanes, to_cc), to_exec)| {
+                Mutex::new(Some(CcEndpoints {
+                    fanin: FanIn::new(lanes),
+                    to_cc,
+                    to_exec,
+                }))
+            })
+            .collect();
+        let exec_slots: Vec<Mutex<Option<ExecEndpoints>>> = exec_in
+            .into_iter()
+            .zip(exec_to_cc)
+            .map(|(lanes, to_cc)| {
+                Mutex::new(Some(ExecEndpoints {
+                    fanin: FanIn::new(lanes),
+                    to_cc,
+                }))
+            })
+            .collect();
+
+        let active_execs = AtomicUsize::new(e);
+        // Pre-size each CC's table for its share of hot keys; entries are
+        // created on demand and kept forever.
+        let table_capacity = 4096;
+        // Shared-table mode (Section 3.4): one latched table serves every
+        // CC thread.
+        let shared_table = match self.cfg.cc_mode {
+            crate::config::CcMode::Partitioned => None,
+            crate::config::CcMode::SharedTable => Some(Arc::new(
+                orthrus_lockmgr::LockTable::new(self.cfg.shared_table_buckets),
+            )),
+        };
+
+        timed_run(
+            c + e,
+            params.warmup,
+            params.measure,
+            |i| i >= c, // only execution threads define the breakdown
+            |i, ctl| {
+                if i < c {
+                    let ep = cc_slots[i].lock().take().expect("cc endpoints taken twice");
+                    match &shared_table {
+                        None => run_cc(i as u32, table_capacity, ep, ctl, &active_execs),
+                        Some(table) => {
+                            run_cc_shared(Arc::clone(table), ep, ctl, &active_execs)
+                        }
+                    }
+                } else {
+                    let ex = i - c;
+                    let ep = exec_slots[ex]
+                        .lock()
+                        .take()
+                        .expect("exec endpoints taken twice");
+                    let gen = self.spec.generator(params.seed, ex);
+                    let thread = crate::exec::ExecThread::new(
+                        ex as u16,
+                        &self.db,
+                        &self.cfg,
+                        ep.to_cc,
+                        ep.fanin,
+                        gen,
+                        params.seed,
+                    );
+                    thread.run(ctl, &active_execs)
+                }
+            },
+        )
+    }
+}
+
+/// The CC thread loop: a tight, latch-free request pump (Section 3.1,
+/// "concurrency control threads run a tight loop which sequentially
+/// processes requests").
+fn run_cc(
+    id: u32,
+    table_capacity: usize,
+    mut ep: CcEndpoints,
+    ctl: &RunCtl,
+    active_execs: &AtomicUsize,
+) -> ThreadStats {
+    let mut state = CcState::new(id, table_capacity);
+    let mut stats = ThreadStats::default();
+    let mut out: Vec<OutMsg> = Vec::with_capacity(16);
+    let mut backoff = Backoff::new();
+    let mut in_window = false;
+    loop {
+        if !in_window && ctl.is_measuring() {
+            stats.reset_window();
+            in_window = true;
+        }
+        match ep.fanin.try_pop() {
+            Some(req) => {
+                state.handle(req, &mut out);
+                for msg in out.drain(..) {
+                    match msg {
+                        OutMsg::ToCc { cc, req } => {
+                            ep.to_cc[cc as usize].push(req);
+                            stats.messages_sent += 1;
+                        }
+                        OutMsg::ToExec { exec, resp } => {
+                            ep.to_exec[exec as usize].push(resp);
+                            stats.messages_sent += 1;
+                        }
+                    }
+                }
+                backoff.reset();
+            }
+            None => {
+                if ctl.is_stopped()
+                    && active_execs.load(std::sync::atomic::Ordering::Acquire) == 0
+                {
+                    // Every exec finished its final sends before
+                    // decrementing, and forwards only exist while acquires
+                    // are unresolved — one last sweep and we are done.
+                    if ep.fanin.is_empty() {
+                        break;
+                    }
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+    // CC threads contribute only message counts to the merged stats; their
+    // CPU time is not part of the Figure-10 execution-thread breakdown.
+    stats.execution_ns = 0;
+    stats.locking_ns = 0;
+    stats.waiting_ns = 0;
+    stats
+}
+
+/// The Section-3.4 CC loop: pump requests against the shared latched
+/// table, re-polling parked acquisitions each iteration (grants arrive
+/// from *other* CC threads' releases through the shared table).
+fn run_cc_shared(
+    table: Arc<orthrus_lockmgr::LockTable>,
+    mut ep: CcEndpoints,
+    ctl: &RunCtl,
+    active_execs: &AtomicUsize,
+) -> ThreadStats {
+    let mut state = crate::shared::SharedCcState::new(table);
+    let mut stats = ThreadStats::default();
+    let mut out: Vec<OutMsg> = Vec::with_capacity(16);
+    let mut backoff = Backoff::new();
+    let mut in_window = false;
+    loop {
+        if !in_window && ctl.is_measuring() {
+            stats.reset_window();
+            in_window = true;
+        }
+        let mut progress = false;
+        if let Some(req) = ep.fanin.try_pop() {
+            state.handle(req, &mut out);
+            progress = true;
+        }
+        progress |= state.poll_pending(&mut out) > 0;
+        for msg in out.drain(..) {
+            match msg {
+                OutMsg::ToCc { cc, req } => {
+                    ep.to_cc[cc as usize].push(req);
+                    stats.messages_sent += 1;
+                }
+                OutMsg::ToExec { exec, resp } => {
+                    ep.to_exec[exec as usize].push(resp);
+                    stats.messages_sent += 1;
+                }
+            }
+        }
+        if progress {
+            backoff.reset();
+        } else if ctl.is_stopped()
+            && active_execs.load(std::sync::atomic::Ordering::Acquire) == 0
+            && state.pending_count() == 0
+        {
+            if ep.fanin.is_empty() {
+                break;
+            }
+        } else {
+            backoff.snooze();
+        }
+    }
+    stats.execution_ns = 0;
+    stats.locking_ns = 0;
+    stats.waiting_ns = 0;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::runtime::RunParams;
+    use orthrus_storage::tpcc::{TpccConfig, TpccDb};
+    use orthrus_storage::{PartitionedTable, Table};
+    use orthrus_workload::{MicroSpec, PartitionConstraint, TpccSpec};
+
+    use crate::config::CcAssignment;
+
+    fn quick() -> RunParams {
+        RunParams::quick(0) // threads field unused by OrthrusEngine
+    }
+
+    #[test]
+    fn single_cc_uniform_rmw_exact_counts() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(128, 64)));
+        let spec = Spec::Micro(MicroSpec::uniform(128, 4, false));
+        let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo);
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0, "no progress");
+        assert_eq!(stats.totals.aborts(), 0);
+        let total: u64 = (0..128).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 4);
+    }
+
+    #[test]
+    fn multi_cc_contended_rmw_exact_counts() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        // 2 hot of 8, 4 ops total: heavy conflicts across 4 CC threads.
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
+        let cfg = OrthrusConfig::with_threads(4, 4, CcAssignment::KeyModulo);
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 4);
+    }
+
+    #[test]
+    fn read_only_workload_counts_nothing_but_commits() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, true));
+        let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        assert_eq!(stats.totals.aborts(), 0);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, 0, "read-only must not write");
+    }
+
+    #[test]
+    fn exact_partition_spans_drive_multiple_ccs() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(256, 64)));
+        let spec = Spec::Micro(
+            MicroSpec::uniform(256, 8, false)
+                .with_constraint(PartitionConstraint::Exact { count: 4, of: 4 }),
+        );
+        let cfg = OrthrusConfig::with_threads(4, 2, CcAssignment::KeyModulo);
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let total: u64 = (0..256).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 8);
+        // Message economics with forwarding: Ncc+1 acquire-path messages +
+        // Ncc releases per txn = 2·Ncc + 1 = 9 per commit.
+        let per_commit = stats.totals.messages_sent as f64 / stats.totals.committed as f64;
+        assert!(
+            (8.0..=10.5).contains(&per_commit),
+            "messages/commit {per_commit:.2}, expected ≈9"
+        );
+    }
+
+    #[test]
+    fn forwarding_saves_messages() {
+        let _serial = crate::test_serial();
+        let mk = |forwarding: bool| {
+            let db = Arc::new(Database::Flat(Table::new(256, 64)));
+            let spec = Spec::Micro(
+                MicroSpec::uniform(256, 8, false)
+                    .with_constraint(PartitionConstraint::Exact { count: 4, of: 4 }),
+            );
+            let mut cfg = OrthrusConfig::with_threads(4, 2, CcAssignment::KeyModulo);
+            cfg.forwarding = forwarding;
+            let engine = OrthrusEngine::new(db, spec, cfg);
+            let stats = engine.run(&quick());
+            stats.totals.messages_sent as f64 / stats.totals.committed.max(1) as f64
+        };
+        let with = mk(true); // Ncc+1 + Ncc releases ≈ 9
+        let without = mk(false); // 2·Ncc + Ncc releases ≈ 12
+        assert!(
+            without > with + 1.5,
+            "forwarding must cut messages: with={with:.2} without={without:.2}"
+        );
+    }
+
+    #[test]
+    fn split_orthrus_runs_on_partitioned_database() {
+        let _serial = crate::test_serial();
+        // SPLIT ORTHRUS (Section 4.3): index partitions aligned with CC
+        // partitions (both key % 4).
+        let db = Arc::new(Database::Partitioned(PartitionedTable::new(256, 64, 4)));
+        let spec = Spec::Micro(
+            MicroSpec::uniform(256, 4, false)
+                .with_constraint(PartitionConstraint::Exact { count: 2, of: 4 }),
+        );
+        let cfg = OrthrusConfig::with_threads(4, 2, CcAssignment::KeyModulo);
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let total: u64 = (0..256).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 4);
+    }
+
+    #[test]
+    fn tpcc_money_conservation_under_orthrus() {
+        let _serial = crate::test_serial();
+        let cfg_t = TpccConfig::tiny(4);
+        let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 21)));
+        let spec = Spec::Tpcc(TpccSpec::paper_mix(cfg_t));
+        let cfg = OrthrusConfig::with_threads(2, 3, CcAssignment::Warehouse);
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let t = db.tpcc();
+        let w_delta: u64 = (0..t.warehouses.len())
+            .map(|w| unsafe { t.warehouses.read_with(w, |r| r.ytd_cents) } - 30_000_000)
+            .sum();
+        let d_delta: u64 = (0..t.districts.len())
+            .map(|d| unsafe { t.districts.read_with(d, |r| r.ytd_cents) } - 3_000_000)
+            .sum();
+        assert_eq!(w_delta, d_delta);
+        let hist_cnt: u64 = (0..t.districts.len())
+            .map(|d| unsafe { t.districts.read_with(d, |r| r.history_ctr as u64) })
+            .sum();
+        let pay_cnt: u64 = (0..t.customers.len())
+            .map(|c| unsafe { t.customers.read_with(c, |r| (r.payment_cnt - 1) as u64) })
+            .sum();
+        assert_eq!(hist_cnt, pay_cnt);
+    }
+
+    #[test]
+    fn tpcc_with_ollp_noise_recovers() {
+        let _serial = crate::test_serial();
+        let cfg_t = TpccConfig::tiny(2);
+        let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 33)));
+        let spec = Spec::Tpcc(TpccSpec::paper_mix(cfg_t));
+        let mut cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+        cfg.ollp_noise_pct = 50;
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        assert!(stats.totals.aborts_ollp > 0, "noise must hit the OLLP path");
+        // Conservation must survive the abort/retry churn.
+        let t = db.tpcc();
+        let w_delta: u64 = (0..t.warehouses.len())
+            .map(|w| unsafe { t.warehouses.read_with(w, |r| r.ytd_cents) } - 30_000_000)
+            .sum();
+        let d_delta: u64 = (0..t.districts.len())
+            .map(|d| unsafe { t.districts.read_with(d, |r| r.ytd_cents) } - 3_000_000)
+            .sum();
+        assert_eq!(w_delta, d_delta);
+    }
+
+    #[test]
+    fn shared_table_mode_exact_counts() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        // Hot contention, multi-key plans: the shared table must still
+        // serialize exactly.
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
+        let mut cfg = OrthrusConfig::with_threads(2, 3, CcAssignment::KeyModulo);
+        cfg.cc_mode = crate::config::CcMode::SharedTable;
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0, "shared mode made no progress");
+        assert_eq!(stats.totals.aborts(), 0);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 4);
+    }
+
+    #[test]
+    fn shared_table_mode_read_only() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, true));
+        let mut cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+        cfg.cc_mode = crate::config::CcMode::SharedTable;
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn single_partition_messages_are_three_per_commit() {
+        let _serial = crate::test_serial();
+        // Single-CC transactions: acquire + grant + release = 3 messages
+        // (the Appendix-A "2 message delays" acquire path plus 1 release).
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(
+            MicroSpec::uniform(64, 4, false)
+                .with_constraint(PartitionConstraint::Exact { count: 1, of: 2 }),
+        );
+        let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+        let engine = OrthrusEngine::new(db, spec, cfg);
+        let stats = engine.run(&quick());
+        let per_commit = stats.totals.messages_sent as f64 / stats.totals.committed as f64;
+        assert!(
+            (2.5..=3.5).contains(&per_commit),
+            "messages/commit {per_commit:.2}, expected ≈3"
+        );
+    }
+}

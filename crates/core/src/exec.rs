@@ -1,0 +1,271 @@
+//! The execution thread: transaction logic only, no lock metadata.
+//!
+//! "Execution threads do not contain instructions nor data pertaining to
+//! concurrency control; they are only responsible for performing each
+//! transaction's logic" (Section 3.1). Each thread multiplexes a slab of
+//! in-flight transactions: after sending a lock request it does not wait —
+//! it handles responses for older transactions or starts new ones
+//! (Section 3.3's asynchrony).
+//!
+//! Figure-10 accounting on this thread: `Execution` = running transaction
+//! logic; `Locking` = planning, building lock plans, sending/receiving
+//! lock messages; `Waiting` = idle polls with nothing runnable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use orthrus_common::runtime::RunCtl;
+use orthrus_common::{Backoff, Phase, PhaseTimer, ThreadStats, XorShift64};
+use orthrus_spsc::{FanIn, Producer};
+use orthrus_txn::{execute, plan_accesses, AbortKind, Database, Plan, PreLocked, Program};
+use orthrus_workload::Gen;
+
+use crate::config::OrthrusConfig;
+use crate::msg::{CcRequest, ExecResponse, Token};
+use crate::plan::LockPlan;
+
+struct Inflight {
+    program: Program,
+    plan: Plan,
+    lock_plan: Arc<LockPlan>,
+    /// Token generation of the current acquire chain (see [`Token`]):
+    /// fresh per transaction *and* per OLLP retry, so CC threads never
+    /// confuse a successor's early-arriving forwarded acquire with a
+    /// double-acquire by the predecessor whose releases are still in
+    /// flight.
+    gen: u32,
+    /// Transaction admission time; commit latency spans OLLP retries.
+    started: std::time::Instant,
+}
+
+/// One execution thread's state and endpoints.
+pub struct ExecThread<'a> {
+    exec_id: u16,
+    db: &'a Database,
+    cfg: &'a OrthrusConfig,
+    to_cc: Vec<Producer<CcRequest>>,
+    from_cc: FanIn<ExecResponse>,
+    slots: Vec<Option<Inflight>>,
+    free: Vec<u16>,
+    inflight: usize,
+    gen: Gen,
+    plan_rng: XorShift64,
+    stats: ThreadStats,
+    /// Round-robin CC choice for `CcMode::SharedTable`.
+    next_cc: u32,
+    /// Wrapping token-generation counter (see [`Inflight::gen`]).
+    next_token_gen: u32,
+}
+
+impl<'a> ExecThread<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        exec_id: u16,
+        db: &'a Database,
+        cfg: &'a OrthrusConfig,
+        to_cc: Vec<Producer<CcRequest>>,
+        from_cc: FanIn<ExecResponse>,
+        gen: Gen,
+        seed: u64,
+    ) -> Self {
+        let cap = cfg.max_inflight.max(1);
+        ExecThread {
+            exec_id,
+            db,
+            cfg,
+            to_cc,
+            from_cc,
+            slots: (0..cap).map(|_| None).collect(),
+            free: (0..cap as u16).rev().collect(),
+            inflight: 0,
+            gen,
+            plan_rng: XorShift64::for_thread(seed ^ 0x6578_6563, exec_id as usize),
+            stats: ThreadStats::default(),
+            next_cc: exec_id as u32,
+            next_token_gen: 0,
+        }
+    }
+
+    /// A fresh token generation for a new acquire chain.
+    fn fresh_gen(&mut self) -> u32 {
+        let g = self.next_token_gen;
+        self.next_token_gen = self.next_token_gen.wrapping_add(1);
+        g
+    }
+
+    /// Build the lock plan under the configured CC architecture: grouped
+    /// per owning CC thread (partitioned), or one span bound to a
+    /// round-robin-chosen CC thread (Section 3.4 shared table).
+    fn build_lock_plan(&mut self, plan: &Plan) -> Arc<LockPlan> {
+        let (cfg, db) = (self.cfg, self.db);
+        match cfg.cc_mode {
+            crate::config::CcMode::Partitioned => {
+                Arc::new(LockPlan::build(&plan.accesses, |k| cfg.cc_of(db, k)))
+            }
+            crate::config::CcMode::SharedTable => {
+                let pick = self.next_cc % cfg.n_cc as u32;
+                self.next_cc = self.next_cc.wrapping_add(1);
+                Arc::new(LockPlan::build(&plan.accesses, |_| pick))
+            }
+        }
+    }
+
+    /// Main loop: run until stopped *and* every in-flight transaction has
+    /// drained, then decrement `active_execs` (CC threads exit once it
+    /// reaches zero and their queues are dry).
+    pub fn run(mut self, ctl: &RunCtl, active_execs: &AtomicUsize) -> ThreadStats {
+        let mut timer = PhaseTimer::start(Phase::Locking);
+        let mut backoff = Backoff::new();
+        let mut in_window = false;
+        loop {
+            if !in_window && ctl.is_measuring() {
+                self.stats.reset_window();
+                timer = PhaseTimer::start(Phase::Locking);
+                in_window = true;
+            }
+            let mut progress = false;
+            while let Some(resp) = self.from_cc.try_pop() {
+                self.on_response(resp, &mut timer);
+                progress = true;
+            }
+            if !ctl.is_stopped() {
+                if self.inflight < self.cfg.max_inflight {
+                    self.start_txn(&mut timer, self.cfg.ollp_noise_pct);
+                    progress = true;
+                }
+            } else if self.inflight == 0 {
+                break;
+            }
+            if progress {
+                backoff.reset();
+            } else {
+                timer.switch(&mut self.stats, Phase::Waiting);
+                backoff.snooze();
+            }
+        }
+        timer.finish(&mut self.stats);
+        active_execs.fetch_sub(1, Ordering::AcqRel);
+        self.stats
+    }
+
+    /// Pull a program, plan it, and fire the first lock request.
+    fn start_txn(&mut self, timer: &mut PhaseTimer, noise: u32) {
+        timer.switch(&mut self.stats, Phase::Locking);
+        let db = self.db;
+        let program = self.gen.next_program();
+        let plan = plan_accesses(&program, db, noise, &mut self.plan_rng);
+        let lock_plan = self.build_lock_plan(&plan);
+        debug_assert!(!lock_plan.is_empty(), "programs always lock something");
+
+        let slot = self.free.pop().expect("inflight cap exceeded");
+        let gen = self.fresh_gen();
+        self.slots[slot as usize] = Some(Inflight {
+            program,
+            plan,
+            lock_plan: Arc::clone(&lock_plan),
+            gen,
+            started: std::time::Instant::now(),
+        });
+        self.inflight += 1;
+        self.send_acquire(&lock_plan, slot, gen, 0);
+    }
+
+    fn send_acquire(&mut self, lock_plan: &Arc<LockPlan>, slot: u16, gen: u32, span_idx: u16) {
+        let cc = lock_plan.spans()[span_idx as usize].cc;
+        self.to_cc[cc as usize].push(CcRequest::Acquire {
+            token: Token {
+                exec: self.exec_id,
+                slot,
+                gen,
+            },
+            plan: Arc::clone(lock_plan),
+            span_idx,
+            forward: self.cfg.forwarding,
+        });
+        self.stats.messages_sent += 1;
+    }
+
+    fn send_releases(&mut self, lock_plan: &Arc<LockPlan>, slot: u16, gen: u32) {
+        for (i, span) in lock_plan.spans().iter().enumerate() {
+            self.to_cc[span.cc as usize].push(CcRequest::Release {
+                token: Token {
+                    exec: self.exec_id,
+                    slot,
+                    gen,
+                },
+                plan: Arc::clone(lock_plan),
+                span_idx: i as u16,
+            });
+            self.stats.messages_sent += 1;
+        }
+    }
+
+    fn on_response(&mut self, resp: ExecResponse, timer: &mut PhaseTimer) {
+        let ExecResponse::Granted { slot, span_idx } = resp;
+        // Without forwarding, the execution thread mediates each span
+        // itself: 2·Ncc message delays (Section 3.3's unoptimized mode).
+        if !self.cfg.forwarding {
+            let next = span_idx as usize + 1;
+            let lock_plan = {
+                let inf = self.slots[slot as usize].as_ref().expect("grant for free slot");
+                if next < inf.lock_plan.spans().len() {
+                    Some((Arc::clone(&inf.lock_plan), inf.gen))
+                } else {
+                    None
+                }
+            };
+            if let Some((lp, gen)) = lock_plan {
+                timer.switch(&mut self.stats, Phase::Locking);
+                self.send_acquire(&lp, slot, gen, next as u16);
+                return;
+            }
+        }
+
+        // All locks held: run the transaction.
+        let inf = self.slots[slot as usize].take().expect("grant for free slot");
+        timer.switch(&mut self.stats, Phase::Execution);
+        let result = {
+            let mut guard = PreLocked::new(&inf.plan);
+            execute(&inf.program, self.db, &mut guard, Some(&inf.plan))
+        };
+        timer.switch(&mut self.stats, Phase::Locking);
+        self.send_releases(&inf.lock_plan, slot, inf.gen);
+        match result {
+            Ok(v) => {
+                std::hint::black_box(v);
+                self.stats.committed += 1;
+                self.stats.committed_all += 1;
+                self.stats
+                    .latency
+                    .record(inf.started.elapsed().as_nanos() as u64);
+                self.slots[slot as usize] = None;
+                self.free.push(slot);
+                self.inflight -= 1;
+            }
+            Err(AbortKind::OllpMismatch) => {
+                // Update the annotation and restart (Section 3.2): re-plan
+                // with the corrected estimate and re-acquire under a fresh
+                // token generation. The retry's direct acquire is ordered
+                // behind the releases on its own exec→CC ring; where the
+                // retry reaches a CC thread through forwarding instead, the
+                // fresh generation makes it an ordinary conflicting
+                // transaction that parks until the in-flight release
+                // drains.
+                self.stats.aborts_ollp += 1;
+                let db = self.db;
+                let plan = plan_accesses(&inf.program, db, 0, &mut self.plan_rng);
+                let lock_plan = self.build_lock_plan(&plan);
+                let gen = self.fresh_gen();
+                self.slots[slot as usize] = Some(Inflight {
+                    program: inf.program,
+                    plan,
+                    lock_plan: Arc::clone(&lock_plan),
+                    gen,
+                    started: inf.started,
+                });
+                self.send_acquire(&lock_plan, slot, gen, 0);
+            }
+            Err(other) => unreachable!("planned execution abort: {other:?}"),
+        }
+    }
+}

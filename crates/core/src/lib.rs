@@ -1,0 +1,48 @@
+//! ORTHRUS: the paper's prototype (Section 3).
+//!
+//! Two design principles, faithfully reproduced:
+//!
+//! 1. **Partitioned functionality** — the engine pins two kinds of
+//!    long-lived threads: *concurrency-control (CC) threads*, each owning
+//!    a disjoint partition of the lock space with completely latch-free,
+//!    thread-local lock state ([`cc`]), and *execution threads* that run
+//!    transaction logic and never touch lock metadata ([`exec`]). The two
+//!    kinds share no data structures; they communicate exclusively via
+//!    latch-free SPSC rings (`orthrus-spsc`), one per (producer, consumer)
+//!    pair ([`msg`]).
+//! 2. **Planned, deadlock-free locking** — each transaction's access set
+//!    is analyzed (or OLLP-reconnoitered) up front, grouped into per-CC
+//!    *spans* sorted by CC id ([`plan`]), and acquired strictly in that
+//!    order. With the CC→CC **forwarding optimization** of Section 3.3 a
+//!    transaction touching `Ncc` CC threads costs `Ncc + 1` messages;
+//!    without it (ablation) the execution thread mediates every span and
+//!    pays `2·Ncc`.
+//!
+//! Execution threads are asynchronous: each multiplexes a slab of
+//! in-flight transactions, starting new ones while older ones wait for
+//! lock grants (Section 3.3).
+
+pub mod cc;
+pub mod config;
+pub mod engine;
+pub mod exec;
+pub mod msg;
+pub mod plan;
+pub mod rebalance;
+pub mod shared;
+
+#[cfg(test)]
+mod proptests;
+
+pub use config::{CcAssignment, CcMode, OrthrusConfig};
+pub use engine::OrthrusEngine;
+pub use plan::LockPlan;
+pub use rebalance::{balanced_assignment, LoadHistogram};
+
+/// Serializes this crate's timed-engine tests: two concurrent multi-thread
+/// engine runs on a small CI host can starve one measurement window.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

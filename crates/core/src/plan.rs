@@ -1,0 +1,136 @@
+//! The lock plan: a transaction's access set grouped into per-CC spans.
+//!
+//! Spans are ordered by ascending CC id — the global acquisition order of
+//! Section 3.2. Each CC thread processes its whole span in one atomic step
+//! (it is single-threaded), which together with per-key FIFO queues makes
+//! wait-for edges point strictly from later requests to earlier ones:
+//! deadlock is impossible.
+
+use orthrus_common::{Key, LockMode};
+use orthrus_txn::AccessSet;
+
+/// One contiguous run of plan entries owned by a single CC thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Owning CC thread.
+    pub cc: u32,
+    /// Start index into `entries`.
+    pub start: u32,
+    /// One past the last index.
+    pub end: u32,
+}
+
+/// An immutable, shareable lock plan. Passed by `Arc` through the message
+/// fabric so CC threads never touch execution-thread state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockPlan {
+    entries: Vec<(Key, LockMode)>,
+    spans: Vec<Span>,
+}
+
+impl LockPlan {
+    /// Group a (key-sorted, deduplicated) access set by CC thread.
+    pub fn build(set: &AccessSet, mut cc_of: impl FnMut(Key) -> u32) -> Self {
+        let mut entries: Vec<(u32, Key, LockMode)> = set
+            .entries()
+            .iter()
+            .map(|&(k, m)| (cc_of(k), k, m))
+            .collect();
+        // Ascending (cc, key): the global deadlock-avoidance order.
+        entries.sort_unstable_by_key(|&(cc, k, _)| (cc, k));
+
+        let mut spans: Vec<Span> = Vec::new();
+        for (i, &(cc, _, _)) in entries.iter().enumerate() {
+            match spans.last_mut() {
+                Some(s) if s.cc == cc => s.end = (i + 1) as u32,
+                _ => spans.push(Span {
+                    cc,
+                    start: i as u32,
+                    end: (i + 1) as u32,
+                }),
+            }
+        }
+        LockPlan {
+            entries: entries.into_iter().map(|(_, k, m)| (k, m)).collect(),
+            spans,
+        }
+    }
+
+    /// All entries in acquisition order.
+    pub fn entries(&self) -> &[(Key, LockMode)] {
+        &self.entries
+    }
+
+    /// The per-CC spans, ascending by CC id.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of CC threads involved (the paper's `Ncc`).
+    pub fn n_cc_involved(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The entries of span `idx`.
+    pub fn span_entries(&self, idx: usize) -> &[(Key, LockMode)] {
+        let s = self.spans[idx];
+        &self.entries[s.start as usize..s.end as usize]
+    }
+
+    /// Whether the plan is empty (degenerate transactions).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(Key, LockMode)]) -> AccessSet {
+        AccessSet::from_unsorted(pairs.to_vec())
+    }
+
+    #[test]
+    fn groups_by_cc_ascending() {
+        use LockMode::*;
+        // cc_of = key % 3
+        let plan = LockPlan::build(
+            &set(&[(1, Exclusive), (2, Shared), (3, Exclusive), (4, Shared), (6, Exclusive)]),
+            |k| (k % 3) as u32,
+        );
+        // cc0: {3,6}, cc1: {1,4}, cc2: {2}
+        assert_eq!(plan.n_cc_involved(), 3);
+        assert_eq!(plan.spans()[0].cc, 0);
+        assert_eq!(plan.span_entries(0), &[(3, Exclusive), (6, Exclusive)]);
+        assert_eq!(plan.span_entries(1), &[(1, Exclusive), (4, Shared)]);
+        assert_eq!(plan.span_entries(2), &[(2, Shared)]);
+        // Spans tile the entries exactly.
+        let n: u32 = plan.spans().iter().map(|s| s.end - s.start).sum();
+        assert_eq!(n as usize, plan.entries().len());
+    }
+
+    #[test]
+    fn single_cc_single_span() {
+        let plan = LockPlan::build(&set(&[(10, LockMode::Shared), (20, LockMode::Shared)]), |_| 5);
+        assert_eq!(plan.n_cc_involved(), 1);
+        assert_eq!(plan.spans()[0], Span { cc: 5, start: 0, end: 2 });
+    }
+
+    #[test]
+    fn keys_sorted_within_span() {
+        let plan = LockPlan::build(
+            &set(&[(9, LockMode::Exclusive), (3, LockMode::Exclusive), (6, LockMode::Exclusive)]),
+            |_| 0,
+        );
+        let keys: Vec<u64> = plan.span_entries(0).iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = LockPlan::build(&set(&[]), |_| 0);
+        assert!(plan.is_empty());
+        assert_eq!(plan.n_cc_involved(), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Property tests for the lock-plan grouping — the structure the whole
+//! deadlock-freedom argument rests on — and a model-based check of the CC
+//! thread's lock state machine.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use orthrus_common::{FxHashMap, Key, LockMode};
+use orthrus_txn::AccessSet;
+
+use crate::cc::{CcState, OutMsg};
+use crate::msg::{CcRequest, ExecResponse, Token};
+use crate::plan::LockPlan;
+
+fn mode_strategy() -> impl Strategy<Value = LockMode> {
+    prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Spans tile the entry list exactly, ascend strictly by CC id, and
+    /// every entry lands on the CC thread the mapping assigns it.
+    #[test]
+    fn spans_tile_and_ascend(
+        raw in prop::collection::vec((0u64..512, mode_strategy()), 1..64),
+        n_cc in 1u32..16,
+    ) {
+        let set = AccessSet::from_unsorted(raw);
+        let plan = LockPlan::build(&set, |k| (k % n_cc as u64) as u32);
+
+        // Tiling: spans cover [0, entries.len()) contiguously.
+        let mut cursor = 0u32;
+        for s in plan.spans() {
+            prop_assert_eq!(s.start, cursor);
+            prop_assert!(s.end > s.start);
+            cursor = s.end;
+        }
+        prop_assert_eq!(cursor as usize, plan.entries().len());
+
+        // Strictly ascending CC order (the global acquisition order).
+        for w in plan.spans().windows(2) {
+            prop_assert!(w[0].cc < w[1].cc);
+        }
+
+        // Ownership and intra-span key order.
+        for (i, s) in plan.spans().iter().enumerate() {
+            let entries = plan.span_entries(i);
+            for &(k, _) in entries {
+                prop_assert_eq!((k % n_cc as u64) as u32, s.cc);
+            }
+            for w in entries.windows(2) {
+                prop_assert!(w[0].0 < w[1].0, "keys sorted within span");
+            }
+        }
+    }
+
+    /// The plan loses nothing: its entries are a permutation of the access
+    /// set's entries.
+    #[test]
+    fn plan_preserves_access_set(
+        raw in prop::collection::vec((0u64..256, mode_strategy()), 1..64),
+        n_cc in 1u32..8,
+    ) {
+        let set = AccessSet::from_unsorted(raw);
+        let plan = LockPlan::build(&set, |k| (k % n_cc as u64) as u32);
+        let mut from_plan: Vec<_> = plan.entries().to_vec();
+        let mut from_set: Vec<_> = set.entries().to_vec();
+        from_plan.sort_unstable_by_key(|e| e.0);
+        from_set.sort_unstable_by_key(|e| e.0);
+        prop_assert_eq!(from_plan, from_set);
+    }
+
+    /// `n_cc_involved` counts exactly the distinct CC threads.
+    #[test]
+    fn ncc_counts_distinct_ccs(
+        raw in prop::collection::vec((0u64..64, mode_strategy()), 1..32),
+        n_cc in 1u32..8,
+    ) {
+        let set = AccessSet::from_unsorted(raw);
+        let plan = LockPlan::build(&set, |k| (k % n_cc as u64) as u32);
+        let mut ccs: Vec<u32> = set
+            .entries()
+            .iter()
+            .map(|&(k, _)| (k % n_cc as u64) as u32)
+            .collect();
+        ccs.sort_unstable();
+        ccs.dedup();
+        prop_assert_eq!(plan.n_cc_involved(), ccs.len());
+    }
+}
+
+// ---- Model-based check of the CC state machine --------------------------
+//
+// A reference implementation of the single-CC lock discipline (FIFO
+// queues, longest-compatible-prefix grants, whole-span completion) runs
+// in lockstep with `CcState` over randomly generated acquire/release
+// schedules; grant emissions must match step by step (as multisets: the
+// order of completions within one release step is not semantically
+// meaningful).
+
+/// Per-key model state: current holders and the FIFO wait queue.
+type ModelEntry = (Vec<(u64, LockMode)>, VecDeque<(u64, LockMode)>);
+
+/// The reference model: per-key holders + FIFO waiters, per-transaction
+/// ungranted countdown.
+#[derive(Default)]
+struct Model {
+    entries: FxHashMap<Key, ModelEntry>,
+    remaining: FxHashMap<u64, usize>,
+}
+
+impl Model {
+    fn compatible(holders: &[(u64, LockMode)], mode: LockMode) -> bool {
+        holders.iter().all(|&(_, m)| !m.conflicts_with(mode))
+    }
+
+    /// Returns the tokens completed by this acquire (0 or 1).
+    fn acquire(&mut self, token: u64, plan: &[(Key, LockMode)]) -> Vec<u64> {
+        let mut ungranted = 0usize;
+        for &(k, m) in plan {
+            let (holders, waiters) = self.entries.entry(k).or_default();
+            if waiters.is_empty() && Self::compatible(holders, m) {
+                holders.push((token, m));
+            } else {
+                waiters.push_back((token, m));
+                ungranted += 1;
+            }
+        }
+        if ungranted == 0 {
+            vec![token]
+        } else {
+            self.remaining.insert(token, ungranted);
+            Vec::new()
+        }
+    }
+
+    /// Returns the tokens completed by this release (any number).
+    fn release(&mut self, token: u64, plan: &[(Key, LockMode)]) -> Vec<u64> {
+        let mut done = Vec::new();
+        for &(k, _) in plan {
+            let (holders, waiters) = self.entries.get_mut(&k).expect("release unknown key");
+            holders.retain(|&(t, _)| t != token);
+            while let Some(&(t, m)) = waiters.front() {
+                if !Self::compatible(holders, m) {
+                    break;
+                }
+                waiters.pop_front();
+                holders.push((t, m));
+                let r = self.remaining.get_mut(&t).expect("waiter without countdown");
+                *r -= 1;
+                if *r == 0 {
+                    self.remaining.remove(&t);
+                    done.push(t);
+                }
+            }
+        }
+        done
+    }
+
+    fn holders_of(&self, k: Key) -> Vec<u64> {
+        self.entries
+            .get(&k)
+            .map(|(h, _)| h.iter().map(|&(t, _)| t).collect())
+            .unwrap_or_default()
+    }
+}
+
+fn grants_of(out: &[OutMsg]) -> Vec<u16> {
+    out.iter()
+        .map(|m| match m {
+            OutMsg::ToExec {
+                resp: ExecResponse::Granted { slot, .. },
+                ..
+            } => *slot,
+            OutMsg::ToCc { .. } => panic!("single-CC plans never forward"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CcState and the reference model emit identical grants over random
+    /// schedules, and both drain to empty.
+    #[test]
+    fn cc_state_matches_reference_model(
+        plans in prop::collection::vec(
+            prop::collection::vec((0u64..12, mode_strategy()), 1..6),
+            1..24,
+        ),
+        schedule in prop::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let mut cc = CcState::new(0, 64);
+        let mut model = Model::default();
+        let mut out = Vec::new();
+
+        // Per-transaction state: its deduplicated plan and lifecycle.
+        let plans: Vec<Arc<LockPlan>> = plans
+            .iter()
+            .map(|raw| Arc::new(LockPlan::build(&AccessSet::from_unsorted(raw.clone()), |_| 0)))
+            .collect();
+        let token = |i: usize| Token { exec: 0, slot: i as u16, gen: 0 };
+
+        let mut next_submit = 0usize;
+        let mut granted: Vec<usize> = Vec::new(); // awaiting release
+        let mut outstanding = 0usize;             // submitted, not granted
+
+        let mut step = |cc: &mut CcState,
+                        model: &mut Model,
+                        submit: bool,
+                        next_submit: &mut usize,
+                        granted: &mut Vec<usize>,
+                        outstanding: &mut usize|
+         -> Result<(), TestCaseError> {
+            out.clear();
+            let expected: Vec<u64>;
+            if submit && *next_submit < plans.len() {
+                let i = *next_submit;
+                *next_submit += 1;
+                let entries = plans[i].entries().to_vec();
+                expected = model.acquire(token(i).pack(), &entries);
+                cc.handle(
+                    CcRequest::Acquire {
+                        token: token(i),
+                        plan: Arc::clone(&plans[i]),
+                        span_idx: 0,
+                        forward: true,
+                    },
+                    &mut out,
+                );
+                *outstanding += 1;
+            } else if let Some(i) = granted.pop() {
+                let entries = plans[i].entries().to_vec();
+                expected = model.release(token(i).pack(), &entries);
+                cc.handle(
+                    CcRequest::Release {
+                        token: token(i),
+                        plan: Arc::clone(&plans[i]),
+                        span_idx: 0,
+                    },
+                    &mut out,
+                );
+            } else {
+                return Ok(());
+            }
+            // Grants must match as multisets. For exec 0, gen 0 the packed
+            // token equals the slot, so expected tokens recover slots
+            // directly.
+            let mut got = grants_of(&out);
+            let mut want: Vec<u16> = expected.iter().map(|&t| t as u16).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "grant mismatch");
+            for &slot in &got {
+                granted.push(slot as usize);
+                *outstanding -= 1;
+            }
+            // Holder sets agree on every key.
+            for k in 0u64..12 {
+                let mut a = cc.holders_of(k);
+                let mut b = model.holders_of(k);
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "holders diverge on key {}", k);
+            }
+            prop_assert_eq!(cc.pending_count(), *outstanding, "pending count");
+            Ok(())
+        };
+
+        for &submit in &schedule {
+            step(&mut cc, &mut model, submit, &mut next_submit, &mut granted, &mut outstanding)?;
+        }
+        // Drain: submit everything left, then release until quiescent.
+        while next_submit < plans.len() {
+            step(&mut cc, &mut model, true, &mut next_submit, &mut granted, &mut outstanding)?;
+        }
+        while !granted.is_empty() {
+            step(&mut cc, &mut model, false, &mut next_submit, &mut granted, &mut outstanding)?;
+        }
+        prop_assert_eq!(outstanding, 0, "every transaction granted");
+        prop_assert_eq!(cc.pending_count(), 0);
+        for k in 0u64..12 {
+            prop_assert!(cc.holders_of(k).is_empty(), "key {} still held", k);
+        }
+    }
+}

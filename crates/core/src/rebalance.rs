@@ -1,0 +1,201 @@
+//! Skew-aware CC-thread assignment planning.
+//!
+//! "Concurrency control threads may be subject to over- and
+//! under-utilization due to workload skew. ORTHRUS can re-use prior
+//! techniques for addressing utilization imbalance in shared-nothing
+//! systems in order to partition data among concurrency control threads"
+//! (Section 3.3, citing Schism/E-store-style planners [6, 37, 43]).
+//!
+//! This module is the minimal faithful version of such a planner: sample
+//! the workload, histogram lock-request weight over a power-of-two bucket
+//! space (`fx_hash(key) & mask`), and pack buckets onto CC threads with
+//! the greedy longest-processing-time rule (heaviest bucket to the
+//! currently lightest CC thread). The result is a [`CcAssignment::Balanced`]
+//! table the engine consults on its planning path.
+
+use std::sync::Arc;
+
+use orthrus_common::{fx_hash_u64, XorShift64};
+use orthrus_txn::{plan_accesses, Database};
+use orthrus_workload::Spec;
+
+use crate::config::CcAssignment;
+
+/// Histogram of sampled lock-request weight per hash bucket.
+#[derive(Debug, Clone)]
+pub struct LoadHistogram {
+    weights: Vec<u64>,
+}
+
+impl LoadHistogram {
+    /// Build by sampling `samples` transactions from `spec` and planning
+    /// their access sets (reconnaissance included, so TPC-C by-name
+    /// lookups weigh the right rows). `n_buckets` must be a power of two.
+    pub fn sample(
+        spec: &Spec,
+        db: &Database,
+        n_buckets: usize,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n_buckets.is_power_of_two(), "bucket count must be 2^k");
+        assert!(samples > 0);
+        let mut weights = vec![0u64; n_buckets];
+        let mut gen = spec.generator(seed ^ 0x7265_6261, 0);
+        let mut rng = XorShift64::new(seed ^ 0x6c61_6e63);
+        for _ in 0..samples {
+            let program = gen.next_program();
+            let plan = plan_accesses(&program, db, 0, &mut rng);
+            for &(key, _) in plan.accesses.entries() {
+                weights[(fx_hash_u64(key) as usize) & (n_buckets - 1)] += 1;
+            }
+        }
+        LoadHistogram { weights }
+    }
+
+    /// The per-bucket weights.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Per-CC load induced by an assignment table over this histogram.
+    pub fn cc_load(&self, table: &[u32], n_cc: usize) -> Vec<u64> {
+        assert_eq!(table.len(), self.weights.len());
+        let mut load = vec![0u64; n_cc];
+        for (b, &w) in self.weights.iter().enumerate() {
+            load[table[b] as usize] += w;
+        }
+        load
+    }
+
+    /// Max/mean load ratio of an assignment (1.0 = perfectly balanced).
+    pub fn imbalance(&self, table: &[u32], n_cc: usize) -> f64 {
+        let load = self.cc_load(table, n_cc);
+        let total: u64 = load.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / n_cc as f64;
+        *load.iter().max().unwrap() as f64 / mean
+    }
+}
+
+/// Greedy LPT packing of histogram buckets onto `n_cc` CC threads.
+/// Zero-weight buckets are sprayed round-robin so every key remains
+/// owned by a valid thread.
+pub fn pack_buckets(hist: &LoadHistogram, n_cc: usize) -> Arc<[u32]> {
+    assert!(n_cc >= 1);
+    let n_buckets = hist.weights.len();
+    let mut order: Vec<usize> = (0..n_buckets).collect();
+    order.sort_unstable_by_key(|&b| std::cmp::Reverse(hist.weights[b]));
+    let mut table = vec![0u32; n_buckets];
+    let mut load = vec![0u64; n_cc];
+    let mut rr = 0u32;
+    for b in order {
+        if hist.weights[b] == 0 {
+            table[b] = rr % n_cc as u32;
+            rr += 1;
+            continue;
+        }
+        let lightest = (0..n_cc).min_by_key(|&c| load[c]).unwrap();
+        table[b] = lightest as u32;
+        load[lightest] += hist.weights[b];
+    }
+    table.into()
+}
+
+/// One-call skew-aware planner: sample the workload, pack, and return the
+/// assignment (Section 3.3's utilization-imbalance answer).
+pub fn balanced_assignment(
+    spec: &Spec,
+    db: &Database,
+    n_cc: usize,
+    n_buckets: usize,
+    samples: usize,
+    seed: u64,
+) -> CcAssignment {
+    let hist = LoadHistogram::sample(spec, db, n_buckets, samples, seed);
+    CcAssignment::Balanced(pack_buckets(&hist, n_cc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_storage::Table;
+    use orthrus_workload::MicroSpec;
+
+    fn zipf_setup() -> (Spec, Database) {
+        let spec = Spec::Micro(MicroSpec::zipf(4096, 8, 0.99, false));
+        let db = Database::Flat(Table::new(4096, 64));
+        (spec, db)
+    }
+
+    #[test]
+    fn histogram_counts_all_sampled_accesses() {
+        let (spec, db) = zipf_setup();
+        let hist = LoadHistogram::sample(&spec, &db, 256, 500, 7);
+        let total: u64 = hist.weights().iter().sum();
+        assert_eq!(total, 500 * 8, "8 distinct keys per sampled txn");
+    }
+
+    #[test]
+    fn packing_beats_modulo_under_skew() {
+        let (spec, db) = zipf_setup();
+        let hist = LoadHistogram::sample(&spec, &db, 256, 2_000, 7);
+        let n_cc = 4;
+        let packed = pack_buckets(&hist, n_cc);
+        // The naive placement: bucket b → b % n_cc.
+        let modulo: Vec<u32> = (0..256).map(|b| (b % n_cc) as u32).collect();
+        let packed_imb = hist.imbalance(&packed, n_cc);
+        let modulo_imb = hist.imbalance(&modulo, n_cc);
+        assert!(
+            packed_imb <= modulo_imb + 1e-9,
+            "LPT ({packed_imb:.3}) must not lose to modulo ({modulo_imb:.3})"
+        );
+        assert!(
+            packed_imb < 1.5,
+            "packed imbalance should be modest, got {packed_imb:.3}"
+        );
+    }
+
+    #[test]
+    fn table_entries_are_valid_cc_ids() {
+        let (spec, db) = zipf_setup();
+        let CcAssignment::Balanced(table) =
+            balanced_assignment(&spec, &db, 3, 128, 300, 5)
+        else {
+            panic!("wrong variant")
+        };
+        assert_eq!(table.len(), 128);
+        assert!(table.iter().all(|&c| c < 3));
+        // Every CC thread owns at least one bucket (round-robin spray of
+        // empties plus packing of non-empties).
+        for c in 0..3u32 {
+            assert!(table.contains(&c), "cc {c} owns nothing");
+        }
+    }
+
+    #[test]
+    fn uniform_workload_packs_evenly() {
+        let spec = Spec::Micro(MicroSpec::uniform(4096, 8, false));
+        let db = Database::Flat(Table::new(4096, 64));
+        let hist = LoadHistogram::sample(&spec, &db, 256, 2_000, 3);
+        let packed = pack_buckets(&hist, 4);
+        assert!(hist.imbalance(&packed, 4) < 1.1);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let (spec, db) = zipf_setup();
+        let a = balanced_assignment(&spec, &db, 4, 64, 200, 9);
+        let b = balanced_assignment(&spec, &db, 4, 64, 200, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count must be 2^k")]
+    fn rejects_non_power_of_two_buckets() {
+        let (spec, db) = zipf_setup();
+        let _ = LoadHistogram::sample(&spec, &db, 100, 10, 1);
+    }
+}

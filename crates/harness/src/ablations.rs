@@ -1,0 +1,203 @@
+//! Ablation experiments beyond the paper's figures, probing the design
+//! choices DESIGN.md calls out: CC→CC forwarding, queue capacity, and
+//! execution-thread asynchrony depth.
+
+use std::sync::Arc;
+
+use orthrus_common::RunStats;
+use orthrus_core::{CcAssignment, CcMode, OrthrusConfig, OrthrusEngine};
+use orthrus_storage::Table;
+use orthrus_txn::Database;
+use orthrus_workload::{MicroSpec, PartitionConstraint, Spec};
+
+use crate::config::BenchConfig;
+use crate::report::{FigureResult, Series};
+
+/// Run ORTHRUS with explicit knobs (also used by Figure 5).
+pub fn run_orthrus_custom(
+    spec: MicroSpec,
+    n_cc: usize,
+    n_exec: usize,
+    forwarding: bool,
+    exec_queue_capacity: Option<usize>,
+    max_inflight: usize,
+    bc: &BenchConfig,
+) -> RunStats {
+    let n = spec.n_records as usize;
+    let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
+    let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
+    cfg.forwarding = forwarding;
+    cfg.exec_queue_capacity = exec_queue_capacity;
+    cfg.max_inflight = max_inflight;
+    let engine = OrthrusEngine::new(db, Spec::Micro(spec), cfg);
+    engine.run(&bc.params(n_cc + n_exec))
+}
+
+fn split(bc: &BenchConfig) -> (usize, usize) {
+    let total = bc.clamp_threads(80);
+    let n_cc = (total / 5).max(1);
+    (n_cc, (total - n_cc).max(1))
+}
+
+/// A1: the value of CC→CC forwarding (`Ncc+1` vs `2·Ncc` message delays,
+/// Section 3.3) as transactions span more CC threads.
+pub fn abl01_forwarding(bc: &BenchConfig) -> FigureResult {
+    let (n_cc, n_exec) = split(bc);
+    let mut fig = FigureResult::new(
+        "abl01",
+        format!("Forwarding ablation ({n_cc} CC / {n_exec} exec threads)"),
+        "cc_threads/txn",
+        "txns/sec",
+    );
+    let counts: Vec<u32> = [1u32, 2, 4, 8]
+        .into_iter()
+        .filter(|&c| c <= n_cc as u32)
+        .collect();
+    for (label, forwarding) in [("forwarding (Ncc+1)", true), ("exec-mediated (2Ncc)", false)] {
+        let mut s = Series::new(label);
+        for &count in &counts {
+            let spec = MicroSpec::uniform(bc.n_records as u64, 10, false).with_constraint(
+                PartitionConstraint::Exact {
+                    count,
+                    of: n_cc as u32,
+                },
+            );
+            let stats = run_orthrus_custom(spec, n_cc, n_exec, forwarding, None, 16, bc);
+            s.push(count as f64, stats.throughput());
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// A2: sensitivity to the exec→CC ring capacity. Tiny rings make the
+/// paper's "rare case where the queue fills up" common.
+pub fn abl02_queue_capacity(bc: &BenchConfig) -> FigureResult {
+    let (n_cc, n_exec) = split(bc);
+    let mut fig = FigureResult::new(
+        "abl02",
+        format!("exec→CC queue capacity sensitivity ({n_cc} CC / {n_exec} exec)"),
+        "ring_capacity",
+        "txns/sec",
+    );
+    let mut s = Series::new("ORTHRUS");
+    for cap in [2usize, 4, 8, 16, 32, 64] {
+        let spec = MicroSpec::uniform(bc.n_records as u64, 10, false).with_constraint(
+            PartitionConstraint::Exact {
+                count: 2.min(n_cc as u32),
+                of: n_cc as u32,
+            },
+        );
+        let stats = run_orthrus_custom(spec, n_cc, n_exec, true, Some(cap), 16, bc);
+        s.push(cap as f64, stats.throughput());
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// A3: asynchrony depth — in-flight transactions per execution thread
+/// (Section 3.3). Depth 1 serializes each exec thread on its lock-grant
+/// round trips; beyond saturation extra depth only lengthens lock hold
+/// times.
+pub fn abl03_inflight_cap(bc: &BenchConfig) -> FigureResult {
+    let (n_cc, n_exec) = split(bc);
+    let mut fig = FigureResult::new(
+        "abl03",
+        format!("In-flight cap (asynchrony depth) ({n_cc} CC / {n_exec} exec)"),
+        "max_inflight",
+        "txns/sec",
+    );
+    let mut s = Series::new("ORTHRUS");
+    for depth in [1usize, 2, 4, 8, 16, 32, 64] {
+        let spec = MicroSpec::uniform(bc.n_records as u64, 10, false).with_constraint(
+            PartitionConstraint::Exact {
+                count: 1,
+                of: n_cc as u32,
+            },
+        );
+        let stats = run_orthrus_custom(spec, n_cc, n_exec, true, None, depth, bc);
+        s.push(depth as f64, stats.throughput());
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// A4: the Section-3.4 architecture choice — partitioned CC threads
+/// (latch-free, message-forwarded) vs CC threads sharing one latched lock
+/// table — across hot-set contention levels.
+pub fn abl04_cc_architecture(bc: &BenchConfig) -> FigureResult {
+    let (n_cc, n_exec) = split(bc);
+    let mut fig = FigureResult::new(
+        "abl04",
+        format!("CC architecture: partitioned vs shared table ({n_cc} CC / {n_exec} exec)"),
+        "hot_records",
+        "txns/sec",
+    );
+    let hots: Vec<u64> = [1024u64, 256, 64]
+        .into_iter()
+        .filter(|&h| h <= bc.n_records as u64)
+        .collect();
+    for (label, mode) in [
+        ("partitioned CC", CcMode::Partitioned),
+        ("shared-table CC", CcMode::SharedTable),
+    ] {
+        let mut s = Series::new(label);
+        for &hot in &hots {
+            let spec = MicroSpec::hot_cold(bc.n_records as u64, hot, 2, 10, false);
+            let n = spec.n_records as usize;
+            let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
+            let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
+            cfg.cc_mode = mode;
+            let engine = OrthrusEngine::new(db, Spec::Micro(spec), cfg);
+            let stats = engine.run(&bc.params(n_cc + n_exec));
+            s.push(hot as f64, stats.throughput());
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_ablation_runs_both_modes() {
+        let _serial = crate::test_serial();
+        let bc = BenchConfig::test_quick();
+        let fig = abl01_forwarding(&bc);
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0), "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn tiny_queues_still_complete() {
+        let _serial = crate::test_serial();
+        let bc = BenchConfig::test_quick();
+        let fig = abl02_queue_capacity(&bc);
+        // Correctness under backpressure is the point: every capacity,
+        // even 2, must finish and commit.
+        assert!(fig.series[0].points.iter().all(|&(_, y)| y > 0.0));
+    }
+
+    #[test]
+    fn cc_architecture_ablation_runs_both_modes() {
+        let _serial = crate::test_serial();
+        let bc = BenchConfig::test_quick();
+        let fig = abl04_cc_architecture(&bc);
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0), "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn inflight_depth_one_works() {
+        let _serial = crate::test_serial();
+        let bc = BenchConfig::test_quick();
+        let fig = abl03_inflight_cap(&bc);
+        assert!(fig.series[0].points.iter().all(|&(_, y)| y > 0.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Bench-run configuration, overridable from the environment.
+
+use std::time::Duration;
+
+use orthrus_common::RunParams;
+
+/// Scales and windows for figure runs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Measured window per point (`ORTHRUS_MEASURE_MS`, default 250).
+    pub measure: Duration,
+    /// Warmup per point (`ORTHRUS_WARMUP_MS`, default 100).
+    pub warmup: Duration,
+    /// Workload seed (`ORTHRUS_SEED`, default 42).
+    pub seed: u64,
+    /// Microbench table size (`ORTHRUS_RECORDS`, default 200_000; paper:
+    /// 10M — DESIGN.md substitution #2).
+    pub n_records: usize,
+    /// Record payload bytes (`ORTHRUS_RECSIZE`, default 100; paper: 1000).
+    pub record_size: usize,
+    /// TPC-C customers per district (`ORTHRUS_TPCC_CPD`, default 300;
+    /// spec: 3000 — contention lives in warehouse/district rows either
+    /// way).
+    pub tpcc_cpd: u32,
+    /// TPC-C items (`ORTHRUS_TPCC_ITEMS`, default 10_000; spec: 100_000).
+    pub tpcc_items: u32,
+    /// TPC-C pre-allocated order slots per district
+    /// (`ORTHRUS_TPCC_OSLOTS`, default 512 — sized so a measured window
+    /// never wraps a district's slot ring; order lines dominate memory at
+    /// 128 warehouses).
+    pub tpcc_order_slots: u32,
+    /// Cap on the thread sweeps (`ORTHRUS_MAX_THREADS`; default 0 = the
+    /// paper's full 10–80 sweep, oversubscribed on small hosts).
+    pub max_threads: usize,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchConfig {
+    /// Read overrides from the environment.
+    pub fn from_env() -> Self {
+        BenchConfig {
+            measure: Duration::from_millis(env_u64("ORTHRUS_MEASURE_MS", 250)),
+            warmup: Duration::from_millis(env_u64("ORTHRUS_WARMUP_MS", 100)),
+            seed: env_u64("ORTHRUS_SEED", 42),
+            n_records: env_u64("ORTHRUS_RECORDS", 200_000) as usize,
+            record_size: env_u64("ORTHRUS_RECSIZE", 100) as usize,
+            tpcc_cpd: env_u64("ORTHRUS_TPCC_CPD", 300) as u32,
+            tpcc_items: env_u64("ORTHRUS_TPCC_ITEMS", 10_000) as u32,
+            tpcc_order_slots: env_u64("ORTHRUS_TPCC_OSLOTS", 512) as u32,
+            max_threads: env_u64("ORTHRUS_MAX_THREADS", 0) as usize,
+        }
+    }
+
+    /// A fast configuration for tests.
+    pub fn test_quick() -> Self {
+        BenchConfig {
+            measure: Duration::from_millis(120),
+            warmup: Duration::from_millis(40),
+            seed: 42,
+            n_records: 4096,
+            record_size: 64,
+            tpcc_cpd: 60,
+            tpcc_items: 200,
+            tpcc_order_slots: 128,
+            max_threads: 4,
+        }
+    }
+
+    /// Run parameters for `threads` workers.
+    pub fn params(&self, threads: usize) -> RunParams {
+        RunParams {
+            threads,
+            seed: self.seed,
+            warmup: self.warmup,
+            measure: self.measure,
+            ollp_noise_pct: 0,
+        }
+    }
+
+    /// The paper's core-count sweep {10, 20, 40, 60, 80}, capped by
+    /// `max_threads`.
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        let paper = [10usize, 20, 40, 60, 80];
+        if self.max_threads == 0 {
+            return paper.to_vec();
+        }
+        let mut v: Vec<usize> = paper.iter().copied().filter(|&t| t <= self.max_threads).collect();
+        if v.is_empty() || *v.last().unwrap() < self.max_threads {
+            v.push(self.max_threads);
+        }
+        v
+    }
+
+    /// Clamp an arbitrary thread count to the cap.
+    pub fn clamp_threads(&self, t: usize) -> usize {
+        if self.max_threads == 0 {
+            t
+        } else {
+            t.min(self.max_threads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let bc = BenchConfig::from_env();
+        assert!(bc.n_records > 0);
+        assert!(bc.measure > Duration::ZERO);
+    }
+
+    #[test]
+    fn thread_sweep_respects_cap() {
+        let mut bc = BenchConfig::test_quick();
+        bc.max_threads = 0;
+        assert_eq!(bc.thread_sweep(), vec![10, 20, 40, 60, 80]);
+        bc.max_threads = 40;
+        assert_eq!(bc.thread_sweep(), vec![10, 20, 40]);
+        bc.max_threads = 4;
+        assert_eq!(bc.thread_sweep(), vec![4]);
+        bc.max_threads = 25;
+        assert_eq!(bc.thread_sweep(), vec![10, 20, 25]);
+        assert_eq!(bc.clamp_threads(80), 25);
+    }
+}

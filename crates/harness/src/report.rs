@@ -1,0 +1,165 @@
+//! Figure results and plain-text rendering.
+
+use std::fmt::Write as _;
+
+/// One curve of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    /// (x, throughput txns/sec) points, in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// One reproduced figure: series over a shared x-axis.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    pub id: &'static str,
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    pub fn new(
+        id: &'static str,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureResult {
+            id,
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Render the figure as an aligned table, series as columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# y = {}", self.y_label);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default();
+        let _ = write!(out, "{:<14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>18}", s.label);
+        }
+        let _ = writeln!(out);
+        for (i, &x) in xs.iter().enumerate() {
+            let _ = write!(out, "{:<14}", trim_float(x));
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, "{:>18}", trim_float(y));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Print to stdout and persist a TSV copy under `target/figures/`.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        let _ = self.write_tsv();
+    }
+
+    fn write_tsv(&self) -> std::io::Result<()> {
+        use std::io::Write;
+        let dir = std::path::Path::new("target/figures");
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.tsv", self.id)))?;
+        write!(f, "{}", self.x_label)?;
+        for s in &self.series {
+            write!(f, "\t{}", s.label)?;
+        }
+        writeln!(f)?;
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default();
+        for (i, &x) in xs.iter().enumerate() {
+            write!(f, "{x}")?;
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => write!(f, "\t{y:.1}")?,
+                    None => write!(f, "\t")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_series_columns() {
+        let mut fig = FigureResult::new("figX", "demo", "threads", "txns/sec");
+        let mut a = Series::new("sys-a");
+        a.push(10.0, 1000.0);
+        a.push(20.0, 1800.5);
+        let mut b = Series::new("sys-b");
+        b.push(10.0, 900.0);
+        b.push(20.0, 950.0);
+        fig.series.push(a);
+        fig.series.push(b);
+        let text = fig.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("sys-a"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 + 1 + 2); // 2 headers + column row + 2 xs
+        assert!(lines[3].starts_with("10"));
+        assert!(lines[3].contains("1000"));
+        assert!(lines[4].contains("1800.5"));
+    }
+
+    #[test]
+    fn missing_points_render_as_dash() {
+        let mut fig = FigureResult::new("figY", "demo", "x", "y");
+        let mut a = Series::new("a");
+        a.push(1.0, 1.0);
+        a.push(2.0, 2.0);
+        let mut b = Series::new("b");
+        b.push(1.0, 1.0);
+        fig.series.push(a);
+        fig.series.push(b);
+        let text = fig.render();
+        assert!(text.lines().last().unwrap().trim_end().ends_with('-'));
+    }
+}

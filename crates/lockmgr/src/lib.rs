@@ -1,0 +1,32 @@
+//! Centralized lock manager: the two-phase-locking substrate of the
+//! paper's baselines (Section 4, evaluation preamble).
+//!
+//! Faithful to the paper's 2PL implementation notes:
+//!
+//! - the lock table is a hash table with **per-bucket latches** (no global
+//!   latch, no intention locks) — [`table::LockTable`];
+//! - deadlock handling is pluggable — [`policy`] implements the paper's
+//!   three mechanisms (**wait-for graph**, **wait-die**, **Dreadlocks**)
+//!   plus the no-op policy used by deadlock-free ordered acquisition;
+//! - allocator traffic is kept off the steady-state path: lock entries are
+//!   never removed from the table (their queues' capacity is reused), and
+//!   each thread reuses a single [`waiter::LockWaiter`] across wait
+//!   episodes ("each database thread manually manages a pre-allocated
+//!   thread-local pool of memory").
+//!
+//! The ORTHRUS engine does **not** use this crate's table — its CC threads
+//! own partitioned, latch-free lock state (`orthrus-core`). That asymmetry
+//! *is* the paper's point.
+
+pub mod manager;
+pub mod policy;
+pub mod table;
+pub mod waiter;
+
+#[cfg(test)]
+mod proptests;
+
+pub use manager::{AbortReason, LockManager, WaitEvent};
+pub use policy::{DeadlockPolicy, Dreadlocks, NoDeadlockPolicy, NoWait, WaitDie, WaitForGraph, WoundWait};
+pub use table::{AcquireOutcome, LockTable};
+pub use waiter::{LockWaiter, WaitState};

@@ -1,0 +1,207 @@
+//! Dreadlocks: digest-based deadlock detection (Koskinen & Herlihy,
+//! SPAA'08), as used in Shore-MT and evaluated in Section 4 of the paper.
+//!
+//! Each transaction keeps a *digest* — a bitmap over transaction slots
+//! approximating the transitive closure of its waits-for set. "If T fails
+//! to acquire a lock, T performs a set-union of its digest with the digest
+//! of the current lock holder. If T ever finds itself in its own digest,
+//! then ... a deadlock has occurred." Digests are owner-written,
+//! peer-read: the waiting thread updates only its own bitmap, and spins
+//! reading its blockers' bitmaps — exactly the cache-coherence traffic
+//! pattern the paper blames for Dreadlocks' overhead on TPC-C
+//! (Section 4.4.1), which is why the bitmap words are plain shared atomics
+//! and not padded per word.
+//!
+//! Slots are worker threads (each runs one transaction at a time). A
+//! just-ended blocker can leave a momentarily stale digest; like the
+//! original algorithm's compressed digests, this can only cause a spurious
+//! abort (safety is unaffected), and [`Dreadlocks::on_txn_end`] resets
+//! digests eagerly to keep it rare.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use orthrus_common::TxnId;
+
+use super::DeadlockPolicy;
+
+struct Digest {
+    words: Box<[AtomicU64]>,
+}
+
+impl Digest {
+    fn new(n_words: usize) -> Self {
+        Digest {
+            words: (0..n_words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn reset_to_self(&self, slot: usize) {
+        for (i, w) in self.words.iter().enumerate() {
+            let self_bit = if i == slot / 64 { 1u64 << (slot % 64) } else { 0 };
+            w.store(self_bit, Ordering::Release);
+        }
+    }
+
+    fn clear(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Release);
+        }
+    }
+}
+
+/// The Dreadlocks detector over up to `n_threads` transaction slots.
+pub struct Dreadlocks {
+    digests: Box<[Digest]>,
+    n_words: usize,
+}
+
+impl Dreadlocks {
+    /// Create a detector for `n_threads` worker threads.
+    pub fn new(n_threads: usize) -> Self {
+        let n_words = n_threads.div_ceil(64).max(1);
+        Dreadlocks {
+            digests: (0..n_threads).map(|_| Digest::new(n_words)).collect(),
+            n_words,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, txn: TxnId) -> usize {
+        txn.thread().as_usize() % self.digests.len()
+    }
+
+    /// Union the blockers' digests plus our self-bit into our own digest;
+    /// report whether our own bit appeared in any blocker's closure.
+    fn propagate(&self, txn: TxnId, blockers: &[TxnId]) -> bool {
+        let me = self.slot(txn);
+        let my_word = me / 64;
+        let my_bit = 1u64 << (me % 64);
+        let mut found_self = false;
+        for w in 0..self.n_words {
+            let mut acc = if w == my_word { my_bit } else { 0 };
+            for &b in blockers {
+                let bs = self.slot(b);
+                if bs == me {
+                    // A blocker on our own slot is a stale echo of an old
+                    // transaction from this thread; skip it rather than
+                    // self-trigger.
+                    continue;
+                }
+                let v = self.digests[bs].words[w].load(Ordering::Acquire);
+                acc |= v;
+                if w == my_word && (v & my_bit) != 0 {
+                    found_self = true;
+                }
+            }
+            self.digests[me].words[w].store(acc, Ordering::Release);
+        }
+        found_self
+    }
+}
+
+impl DeadlockPolicy for Dreadlocks {
+    fn on_wait_begin(&self, txn: TxnId, blockers: &[TxnId]) {
+        self.propagate(txn, blockers);
+    }
+
+    fn check_deadlock(&self, txn: TxnId, blockers: &[TxnId]) -> bool {
+        self.propagate(txn, blockers)
+    }
+
+    fn on_wait_end(&self, txn: TxnId) {
+        let me = self.slot(txn);
+        self.digests[me].reset_to_self(me);
+    }
+
+    fn on_txn_end(&self, txn: TxnId) {
+        // Not running and not waiting: empty digest, so peers that still
+        // union us observe nothing.
+        self.digests[self.slot(txn)].clear();
+    }
+
+    /// Dreadlocks is designed for tight spin integration: poll often.
+    fn poll_stride(&self) -> u32 {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "dreadlocks"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::ThreadId;
+
+    fn t(thread: u32) -> TxnId {
+        TxnId::compose(1, ThreadId(thread))
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let d = Dreadlocks::new(4);
+        assert!(!d.check_deadlock(t(0), &[t(1)]));
+        // t1 unions digest(t0) = {t0}: t1 not in it yet — detection lands
+        // at the *peer's* next poll, once t1's digest (now {t0,t1}) has
+        // propagated. This two-round dance is inherent to the algorithm.
+        assert!(!d.check_deadlock(t(1), &[t(0)]));
+        assert!(d.check_deadlock(t(0), &[t(1)]));
+    }
+
+    #[test]
+    fn three_cycle_detected_via_propagation() {
+        let d = Dreadlocks::new(8);
+        assert!(!d.check_deadlock(t(0), &[t(1)]));
+        assert!(!d.check_deadlock(t(1), &[t(2)]));
+        // t2 waits on t0; t0's digest contains {t0, t1's closure}. After a
+        // propagation round t0's digest contains t2? No — detection is at
+        // the *waiter*: t2 unions digest(t0) = {t0,t1,...}. t2 not in it
+        // yet, so first check may pass; then t0 re-polls and unions
+        // digest(t1) ∪ ... which now includes t2, and eventually someone
+        // sees themselves. Drive a few rounds like the real spin loop:
+        let mut detected = false;
+        for _ in 0..4 {
+            detected |= d.check_deadlock(t(2), &[t(0)]);
+            detected |= d.check_deadlock(t(0), &[t(1)]);
+            detected |= d.check_deadlock(t(1), &[t(2)]);
+        }
+        assert!(detected, "cycle must surface within a few polls");
+    }
+
+    #[test]
+    fn chain_is_not_a_cycle() {
+        let d = Dreadlocks::new(4);
+        for _ in 0..4 {
+            assert!(!d.check_deadlock(t(0), &[t(1)]));
+            assert!(!d.check_deadlock(t(1), &[t(2)]));
+        }
+    }
+
+    #[test]
+    fn wait_end_resets_digest() {
+        let d = Dreadlocks::new(4);
+        d.check_deadlock(t(0), &[t(1)]);
+        d.on_wait_end(t(0));
+        // t1 waiting on t0 must now see only {t0}: no cycle.
+        assert!(!d.check_deadlock(t(1), &[t(0)]));
+    }
+
+    #[test]
+    fn txn_end_clears_digest() {
+        let d = Dreadlocks::new(4);
+        d.check_deadlock(t(0), &[t(1)]);
+        d.on_txn_end(t(0));
+        assert!(!d.check_deadlock(t(1), &[t(0)]));
+    }
+
+    #[test]
+    fn many_threads_multiword_digests() {
+        let d = Dreadlocks::new(130); // 3 words
+        let a = TxnId::compose(1, ThreadId(129));
+        let b = TxnId::compose(1, ThreadId(64));
+        assert!(!d.check_deadlock(a, &[b]));
+        assert!(!d.check_deadlock(b, &[a]));
+        assert!(d.check_deadlock(a, &[b]), "cycle crosses digest words");
+    }
+}

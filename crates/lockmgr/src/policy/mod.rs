@@ -1,0 +1,76 @@
+//! Deadlock-handling policies (Section 4 of the paper).
+//!
+//! The 2PL engine acquires locks dynamically in program order, so it can
+//! deadlock; these policies are the paper's three handling mechanisms. The
+//! deadlock-free baselines plug in [`NoDeadlockPolicy`] and rely on global
+//! acquisition order instead.
+//!
+//! Hook protocol (driven by [`crate::LockManager`]):
+//!
+//! 1. On conflict, `may_wait(txn, blockers)` is called under the bucket
+//!    latch. The blocker set is the conflicting holders plus everything
+//!    queued ahead (FIFO queueing means the requester waits behind those
+//!    too, so the wait-die timestamp rule must cover them — this keeps
+//!    every wait edge pointing old → young and preserves wait-die's
+//!    deadlock-freedom under FIFO grants).
+//! 2. If queued, `on_wait_begin` registers the wait; while blocked, every
+//!    `poll_stride()` backoff steps the manager refreshes the blocker set
+//!    and calls `check_deadlock`; returning `true` makes the waiter abort.
+//! 3. `on_wait_end` runs when the wait resolves either way; `on_txn_end`
+//!    runs at commit/abort for state cleanup.
+
+mod dreadlocks;
+mod none;
+mod nowait;
+mod waitdie;
+mod wfg;
+mod woundwait;
+
+pub use dreadlocks::Dreadlocks;
+pub use none::NoDeadlockPolicy;
+pub use nowait::NoWait;
+pub use waitdie::WaitDie;
+pub use wfg::WaitForGraph;
+pub use woundwait::WoundWait;
+
+use orthrus_common::TxnId;
+
+/// A pluggable deadlock-handling mechanism.
+pub trait DeadlockPolicy: Send + Sync {
+    /// Whether `txn` may block behind `blockers`. Called under the bucket
+    /// latch; must be cheap. Default: always wait.
+    fn may_wait(&self, txn: TxnId, blockers: &[TxnId]) -> bool {
+        let _ = (txn, blockers);
+        true
+    }
+
+    /// A wait was enqueued against `blockers`.
+    fn on_wait_begin(&self, txn: TxnId, blockers: &[TxnId]) {
+        let _ = (txn, blockers);
+    }
+
+    /// Periodic detection poll with a *refreshed* blocker set. Return
+    /// `true` to abort the waiter.
+    fn check_deadlock(&self, txn: TxnId, blockers: &[TxnId]) -> bool {
+        let _ = (txn, blockers);
+        false
+    }
+
+    /// The wait resolved (granted or cancelled).
+    fn on_wait_end(&self, txn: TxnId) {
+        let _ = txn;
+    }
+
+    /// The transaction committed or aborted; drop any per-txn state.
+    fn on_txn_end(&self, txn: TxnId) {
+        let _ = txn;
+    }
+
+    /// Backoff steps between detection polls.
+    fn poll_stride(&self) -> u32 {
+        8
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}

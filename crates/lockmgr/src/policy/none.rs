@@ -1,0 +1,40 @@
+//! The inert policy for deadlock-free ordered acquisition.
+//!
+//! "Deadlock free locking only has to analyze transactions' read- and
+//! write-sets in advance, and request locks in the correct order"
+//! (Section 4.1) — so its lock manager runs with no deadlock handling at
+//! all; waits are unconditional and detection never runs.
+
+use super::DeadlockPolicy;
+
+/// No deadlock handling: always wait, never detect. Correct only when the
+/// caller acquires locks in a global order.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoDeadlockPolicy;
+
+impl DeadlockPolicy for NoDeadlockPolicy {
+    fn poll_stride(&self) -> u32 {
+        // Detection never fires; poll as rarely as possible.
+        u32::MAX
+    }
+
+    fn name(&self) -> &'static str {
+        "deadlock-free"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::{ThreadId, TxnId};
+
+    #[test]
+    fn always_waits_never_aborts() {
+        let p = NoDeadlockPolicy;
+        let a = TxnId::compose(1, ThreadId(0));
+        let b = TxnId::compose(2, ThreadId(1));
+        assert!(p.may_wait(b, &[a]));
+        assert!(p.may_wait(a, &[b]));
+        assert!(!p.check_deadlock(a, &[b]));
+    }
+}

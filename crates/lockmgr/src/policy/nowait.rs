@@ -1,0 +1,48 @@
+//! No-wait: abort on any conflict.
+//!
+//! The simplest deadlock-avoidance scheme in the literature (one of the
+//! schemes of Yu et al. [50], which the paper's analysis builds on): a
+//! transaction that cannot be granted a lock immediately aborts and
+//! restarts — deadlock is impossible because nothing ever waits. The
+//! price is maximal wasted work under contention, which makes it a useful
+//! extreme point next to the paper's three mechanisms.
+
+use orthrus_common::TxnId;
+
+use super::DeadlockPolicy;
+
+/// The no-wait policy. Stateless.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoWait;
+
+impl DeadlockPolicy for NoWait {
+    #[inline]
+    fn may_wait(&self, _txn: TxnId, _blockers: &[TxnId]) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "no-wait"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::ThreadId;
+
+    #[test]
+    fn never_waits() {
+        let t = |s| TxnId::compose(s, ThreadId(0));
+        assert!(!NoWait.may_wait(t(1), &[t(5)]));
+        assert!(!NoWait.may_wait(t(5), &[t(1)]));
+        assert!(!NoWait.may_wait(t(1), &[]), "even an empty blocker set: \
+            the hook is only reached on conflict, so the answer is still no");
+    }
+
+    #[test]
+    fn detection_hook_is_inert() {
+        let t = |s| TxnId::compose(s, ThreadId(0));
+        assert!(!NoWait.check_deadlock(t(1), &[t(0)]));
+    }
+}

@@ -1,0 +1,66 @@
+//! Wait-die: timestamp-priority deadlock *avoidance*.
+//!
+//! "If a transaction fails to immediately acquire a lock, then wait die
+//! only allows the transaction to wait on prior transactions if its
+//! timestamp is smaller than that of the current lock holder. If not, the
+//! transaction is aborted and restarted" (Section 4). Timestamps come for
+//! free from the [`TxnId`] layout: per-thread monotonic sequence plus
+//! thread id, the reproduction of the paper's contention-free core-local
+//! timestamp counters (DESIGN.md substitution #4). A restarted transaction
+//! keeps its original id, so its priority rises with age and progress is
+//! guaranteed.
+
+use orthrus_common::TxnId;
+
+use super::DeadlockPolicy;
+
+/// The wait-die policy. Stateless: the decision needs only ids.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WaitDie;
+
+impl DeadlockPolicy for WaitDie {
+    #[inline]
+    fn may_wait(&self, txn: TxnId, blockers: &[TxnId]) -> bool {
+        // Wait only if older than every transaction we would wait behind.
+        blockers.iter().all(|&b| txn.is_older_than(b))
+    }
+
+    fn name(&self) -> &'static str {
+        "wait-die"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::ThreadId;
+
+    fn t(seq: u64) -> TxnId {
+        TxnId::compose(seq, ThreadId(0))
+    }
+
+    #[test]
+    fn older_waits_younger_dies() {
+        let p = WaitDie;
+        assert!(p.may_wait(t(1), &[t(5)]), "older txn must wait");
+        assert!(!p.may_wait(t(5), &[t(1)]), "younger txn must die");
+    }
+
+    #[test]
+    fn must_be_older_than_all_blockers() {
+        let p = WaitDie;
+        assert!(p.may_wait(t(1), &[t(2), t(3)]));
+        assert!(!p.may_wait(t(2), &[t(1), t(3)]));
+    }
+
+    #[test]
+    fn no_blockers_always_waits() {
+        assert!(WaitDie.may_wait(t(9), &[]));
+    }
+
+    #[test]
+    fn never_detects_deadlock_while_waiting() {
+        // Avoidance, not detection: the poll hook is inert.
+        assert!(!WaitDie.check_deadlock(t(1), &[t(0)]));
+    }
+}

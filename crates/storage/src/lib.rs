@@ -1,0 +1,43 @@
+//! In-memory storage substrate for the ORTHRUS reproduction.
+//!
+//! The paper's prototype is a *transaction management* component: it
+//! assumes main-memory resident data and provides no SQL layer, no
+//! durability, and no B-trees. This crate provides exactly the storage that
+//! component needs:
+//!
+//! - [`RecordStore`]: a contiguous array of fixed-size record payloads with
+//!   interior mutability gated by the engines' logical-locking protocol.
+//! - [`SlotArena`]: the typed equivalent, used by the TPC-C tables.
+//! - [`HashIndex`]: an open-addressing key → slot index (build once, read
+//!   concurrently).
+//! - [`PartitionedTable`]: physical partitioning of records + indexes, the
+//!   substrate of the Partitioned-store baseline and the SPLIT variants of
+//!   Section 4.3.
+//! - [`tpcc`]: the TPC-C subset schema (Section 4.4): row types, key
+//!   layout, and loader.
+//!
+//! # Safety model
+//!
+//! Record payload accessors are `unsafe fn`: the caller must guarantee the
+//! logical-lock discipline (no write without an exclusive logical lock on
+//! the record's key; no read without at least a shared lock, or an
+//! explicitly unlocked *speculative* read for OLLP reconnaissance that the
+//! caller validates later). This mirrors how the paper's C++ prototype —
+//! and production engines — touch rows, and keeps per-record atomics out of
+//! the measured data path.
+
+pub mod arena;
+pub mod index;
+pub mod partitioned;
+pub mod record;
+pub mod table;
+pub mod tpcc;
+
+#[cfg(test)]
+mod proptests;
+
+pub use arena::SlotArena;
+pub use index::HashIndex;
+pub use partitioned::PartitionedTable;
+pub use record::RecordStore;
+pub use table::Table;

@@ -1,0 +1,192 @@
+//! Physically partitioned table: the Partitioned-store data layout and the
+//! SPLIT index layout of Section 4.3.
+//!
+//! Records with key `k` live in partition `k % P`, local slot `k / P`
+//! ("these 10,000,000 records are uniformly spread across
+//! Partitioned-store's physical partitions"). Each partition has its own
+//! index and its own payload store, so a worker operating on its own
+//! partition touches only partition-local memory — the cache-locality
+//! advantage the paper measures.
+
+use orthrus_common::Key;
+
+use crate::{HashIndex, RecordStore};
+
+/// One physical partition: local index + local store.
+pub struct Partition {
+    index: HashIndex,
+    store: RecordStore,
+}
+
+impl Partition {
+    /// Resolve a key (global key space) against this partition's index.
+    #[inline]
+    pub fn lookup(&self, key: Key) -> Option<usize> {
+        self.index.get(key)
+    }
+
+    /// The partition's payload store.
+    #[inline]
+    pub fn store(&self) -> &RecordStore {
+        &self.store
+    }
+
+    /// Read-modify-write under the owning partition lock / logical lock.
+    ///
+    /// # Safety
+    /// Caller must hold the exclusive right to this record (partition
+    /// spinlock in Partitioned-store; exclusive logical lock in SPLIT
+    /// variants).
+    #[inline]
+    pub unsafe fn rmw(&self, key: Key) -> u64 {
+        let slot = self.index.get(key).expect("key not in partition");
+        self.store.rmw_increment(slot)
+    }
+
+    /// Read the record counter.
+    ///
+    /// # Safety
+    /// Caller must hold at least shared access rights to this record.
+    #[inline]
+    pub unsafe fn read_counter(&self, key: Key) -> u64 {
+        let slot = self.index.get(key).expect("key not in partition");
+        self.store.read_u64(slot)
+    }
+}
+
+/// A table split into `P` partitions by `key % P`.
+pub struct PartitionedTable {
+    partitions: Vec<Partition>,
+    n_records: usize,
+}
+
+impl PartitionedTable {
+    /// Build with round-robin placement of dense keys `0..n_records`.
+    pub fn new(n_records: usize, record_size: usize, n_partitions: usize) -> Self {
+        assert!(n_partitions > 0);
+        let mut partitions = Vec::with_capacity(n_partitions);
+        for p in 0..n_partitions {
+            // Keys p, p+P, p+2P, ... land here.
+            let local_n = (n_records + n_partitions - 1 - p) / n_partitions;
+            let mut index = HashIndex::with_capacity(local_n.max(1));
+            for local in 0..local_n {
+                let key = (local * n_partitions + p) as u64;
+                index.insert(key, local);
+            }
+            partitions.push(Partition {
+                index,
+                store: RecordStore::new(local_n.max(1), record_size),
+            });
+        }
+        PartitionedTable {
+            partitions,
+            n_records,
+        }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total records across partitions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_records
+    }
+
+    /// Whether the table holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_records == 0
+    }
+
+    /// Which partition owns a key.
+    #[inline]
+    pub fn partition_of(&self, key: Key) -> usize {
+        (key % self.partitions.len() as u64) as usize
+    }
+
+    /// Access a partition.
+    #[inline]
+    pub fn partition(&self, p: usize) -> &Partition {
+        &self.partitions[p]
+    }
+
+    /// Route a key to its partition and RMW it.
+    ///
+    /// # Safety
+    /// Same contract as [`Partition::rmw`].
+    #[inline]
+    pub unsafe fn rmw(&self, key: Key) -> u64 {
+        self.partitions[self.partition_of(key)].rmw(key)
+    }
+
+    /// Route a key to its partition and read its counter.
+    ///
+    /// # Safety
+    /// Same contract as [`Partition::read_counter`].
+    #[inline]
+    pub unsafe fn read_counter(&self, key: Key) -> u64 {
+        self.partitions[self.partition_of(key)].read_counter(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_route_to_owning_partition() {
+        let t = PartitionedTable::new(100, 64, 7);
+        assert_eq!(t.n_partitions(), 7);
+        assert_eq!(t.len(), 100);
+        for key in 0..100u64 {
+            let p = t.partition_of(key);
+            assert_eq!(p, (key % 7) as usize);
+            assert!(t.partition(p).lookup(key).is_some());
+            // Key must NOT resolve in any other partition.
+            for q in 0..7 {
+                if q != p {
+                    assert!(t.partition(q).lookup(key).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rmw_is_partition_local() {
+        let t = PartitionedTable::new(10, 64, 3);
+        unsafe {
+            t.rmw(4);
+            t.rmw(4);
+            t.rmw(5);
+            assert_eq!(t.read_counter(4), 2);
+            assert_eq!(t.read_counter(5), 1);
+            assert_eq!(t.read_counter(7), 0); // same partition as 4
+        }
+    }
+
+    #[test]
+    fn uneven_division_covers_all_keys() {
+        let t = PartitionedTable::new(11, 64, 4);
+        for key in 0..11u64 {
+            assert!(t.partition(t.partition_of(key)).lookup(key).is_some());
+        }
+        // Key 11 was never loaded.
+        assert!(t.partition(t.partition_of(11)).lookup(11).is_none());
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_table() {
+        let t = PartitionedTable::new(50, 64, 1);
+        for key in 0..50u64 {
+            assert_eq!(t.partition_of(key), 0);
+        }
+        unsafe {
+            t.rmw(49);
+            assert_eq!(t.read_counter(49), 1);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the storage substrates.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use crate::{HashIndex, PartitionedTable, RecordStore};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The open-addressing index must agree with a BTreeMap on arbitrary
+    /// (deduplicated) key sets, both for hits and misses.
+    #[test]
+    fn hash_index_matches_map(
+        entries in prop::collection::btree_map(0u64..100_000, 0usize..1_000_000, 0..200),
+        probes in prop::collection::vec(0u64..100_000, 0..100),
+    ) {
+        let mut idx = HashIndex::with_capacity(entries.len().max(1));
+        for (&k, &v) in &entries {
+            idx.insert(k, v);
+        }
+        prop_assert_eq!(idx.len(), entries.len());
+        for (&k, &v) in &entries {
+            prop_assert_eq!(idx.get(k), Some(v));
+        }
+        for p in probes {
+            prop_assert_eq!(idx.get(p), entries.get(&p).copied());
+        }
+    }
+
+    /// Partitioned placement is a bijection: every loaded key resolves in
+    /// exactly its own partition.
+    #[test]
+    fn partitioned_table_placement_is_bijective(
+        n_records in 1usize..300,
+        n_parts in 1usize..12,
+    ) {
+        let t = PartitionedTable::new(n_records, 64, n_parts);
+        for key in 0..n_records as u64 {
+            let owner = t.partition_of(key);
+            prop_assert_eq!(owner, (key % n_parts as u64) as usize);
+            prop_assert!(t.partition(owner).lookup(key).is_some());
+            for p in 0..n_parts {
+                if p != owner {
+                    prop_assert!(t.partition(p).lookup(key).is_none());
+                }
+            }
+        }
+    }
+
+    /// Record payload round-trips are byte-exact and neighbour-isolated.
+    #[test]
+    fn record_store_roundtrip_isolated(
+        n_records in 2usize..32,
+        record_size in 8usize..256,
+        writes in prop::collection::vec((0usize..32, any::<u8>()), 1..32),
+    ) {
+        let store = RecordStore::new(n_records, record_size);
+        let mut model: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+        for (rid, fill) in writes {
+            let rid = rid % n_records;
+            let payload = vec![fill; record_size];
+            // SAFETY: single-threaded test — trivially exclusive.
+            unsafe { store.write_from(rid, &payload) };
+            model.insert(rid, payload);
+        }
+        let mut buf = vec![0u8; record_size];
+        for rid in 0..n_records {
+            // SAFETY: single-threaded test.
+            unsafe { store.read_into(rid, &mut buf) };
+            match model.get(&rid) {
+                Some(expect) => prop_assert_eq!(&buf, expect),
+                None => prop_assert!(buf.iter().all(|&b| b == 0)),
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The loaded TPC-C database: arenas per table plus the customer-last-name
+//! secondary index that forces OLLP in Payment.
+
+use orthrus_common::XorShift64;
+
+use crate::SlotArena;
+
+use super::layout::TpccLayout;
+use super::recon::{CustomerOrders, DistrictCursors, OrderSummary, ReconBoard};
+use super::schema::*;
+
+/// Number of distinct customer last names per the spec's syllable rule.
+pub const N_LAST_NAMES: usize = 1000;
+
+/// Decorrelates the loader RNG stream from workload generator streams that
+/// share the user-facing seed.
+const LOADER_SEED_SALT: u64 = 0x7063_7063_7063_7063;
+
+/// The loaded database.
+pub struct TpccDb {
+    pub layout: TpccLayout,
+    pub warehouses: SlotArena<WarehouseRow>,
+    pub districts: SlotArena<DistrictRow>,
+    pub customers: SlotArena<CustomerRow>,
+    pub stock: SlotArena<StockRow>,
+    pub items: SlotArena<ItemRow>,
+    pub orders: SlotArena<OrderRow>,
+    pub new_orders: SlotArena<NewOrderRow>,
+    pub order_lines: SlotArena<OrderLineRow>,
+    pub history: SlotArena<HistoryRow>,
+    /// Secondary index: (district_no * 1000 + last_name_id) → customer
+    /// offsets within the district, sorted. Static after load; Payment's
+    /// by-last-name lookup reads it speculatively (OLLP reconnaissance).
+    cust_by_name: Vec<Vec<u32>>,
+    /// OLLP reconnaissance board (see [`ReconBoard`]): the atomically
+    /// published metadata that data-dependent transactions read without
+    /// locks to estimate their access sets.
+    pub recon: ReconBoard,
+}
+
+impl TpccDb {
+    /// Load a database at the given scale with deterministic contents.
+    pub fn load(cfg: TpccConfig, seed: u64) -> Self {
+        let layout = TpccLayout::new(cfg);
+        let mut rng = XorShift64::new(seed ^ LOADER_SEED_SALT);
+
+        let mut warehouses: SlotArena<WarehouseRow> = SlotArena::new(cfg.warehouses as usize);
+        for w in 0..cfg.warehouses as usize {
+            warehouses.get_mut(w).tax_bp = rng.next_below(2001) as u32; // 0–20%
+        }
+
+        let mut districts: SlotArena<DistrictRow> = SlotArena::new(cfg.n_districts() as usize);
+        for d in 0..cfg.n_districts() as usize {
+            districts.get_mut(d).tax_bp = rng.next_below(2001) as u32;
+        }
+
+        let n_cust = cfg.n_customers() as usize;
+        let mut customers: SlotArena<CustomerRow> = SlotArena::new(n_cust);
+        let n_districts = cfg.n_districts() as usize;
+        let mut cust_by_name: Vec<Vec<u32>> = vec![Vec::new(); n_districts * N_LAST_NAMES];
+        for dn in 0..n_districts {
+            for c in 0..cfg.customers_per_district {
+                // Spec 4.3.3.1: the first 1,000 customers get last names
+                // 0..999 in order; the rest draw NURand(255, 0, 999).
+                let name_id = if c < N_LAST_NAMES as u32 {
+                    c as usize
+                } else {
+                    nurand(&mut rng, 255, 0, (N_LAST_NAMES - 1) as u64) as usize
+                };
+                let slot = dn * cfg.customers_per_district as usize + c as usize;
+                let row = customers.get_mut(slot);
+                row.last_name_id = name_id as u16;
+                row.discount_bp = rng.next_below(5001) as u32; // 0–50%
+                row.bad_credit = rng.chance_percent(10);
+                cust_by_name[dn * N_LAST_NAMES + name_id].push(c);
+            }
+        }
+        // Offsets were pushed in ascending c order; they are already
+        // sorted, which the middle-customer rule relies on.
+
+        let mut stock: SlotArena<StockRow> = SlotArena::new(cfg.n_stock() as usize);
+        for s in 0..cfg.n_stock() as usize {
+            stock.get_mut(s).quantity = rng.next_range(10, 100) as u32;
+        }
+
+        let mut items: SlotArena<ItemRow> = SlotArena::new(cfg.items as usize);
+        for i in 0..cfg.items as usize {
+            items.get_mut(i).price_cents = rng.next_range(100, 10_000) as u32;
+        }
+
+        let mut db = TpccDb {
+            layout,
+            warehouses,
+            districts,
+            customers,
+            stock,
+            items,
+            orders: SlotArena::new(cfg.n_order_slots() as usize),
+            new_orders: SlotArena::new(cfg.n_order_slots() as usize),
+            order_lines: SlotArena::new(cfg.n_orderline_slots() as usize),
+            history: SlotArena::new(cfg.n_history_slots() as usize),
+            cust_by_name,
+            recon: ReconBoard::new(
+                cfg.n_districts() as usize,
+                cfg.n_customers() as usize,
+                cfg.n_order_slots() as usize,
+                cfg.n_orderline_slots() as usize,
+            ),
+        };
+        if cfg.initial_orders_per_district > 0 {
+            db.load_initial_orders(&mut rng);
+        }
+        db
+    }
+
+    /// Populate each district with `initial_orders_per_district` historical
+    /// orders: random customers, 5–15 single-warehouse lines, the oldest
+    /// ~70% already delivered (the spec loads 3,000 orders with the last
+    /// 900 undelivered). Runs single-threaded at load time, so plain
+    /// `get_mut` access is safe; the recon board is published alongside.
+    fn load_initial_orders(&mut self, rng: &mut XorShift64) {
+        let cfg = self.layout.cfg;
+        let n_orders = cfg.initial_orders_per_district;
+        let delivered_upto = n_orders - (n_orders * 3 / 10); // ~70% delivered
+        for w in 0..cfg.warehouses {
+            for d in 0..cfg.districts_per_wh {
+                let dn = self.layout.district_no(w, d) as usize;
+                // Track each customer's latest order and count for the board.
+                let mut last: Vec<(u32, u32, u32)> = Vec::new(); // (c, latest o_id, count)
+                for o_id in 0..n_orders {
+                    let c = rng.next_below(cfg.customers_per_district as u64) as u32;
+                    let ol_cnt = rng.next_range(5, (cfg.max_lines as u64).min(15)) as u32;
+                    let delivered = o_id < delivered_upto;
+                    let o_slot =
+                        TpccLayout::slot(self.layout.order_key(w, d, o_id));
+                    {
+                        let row = self.orders.get_mut(o_slot);
+                        row.o_id = o_id;
+                        row.c_id = c;
+                        row.ol_cnt = ol_cnt;
+                        row.all_local = true;
+                        row.carrier_id = if delivered {
+                            1 + rng.next_below(10) as u8
+                        } else {
+                            0
+                        };
+                    }
+                    self.recon.publish_order(o_slot, OrderSummary { c_id: c, ol_cnt });
+                    let no_slot =
+                        TpccLayout::slot(self.layout.new_order_key(w, d, o_id));
+                    {
+                        let m = self.new_orders.get_mut(no_slot);
+                        m.o_id = o_id;
+                        m.valid = !delivered;
+                    }
+                    for line in 0..ol_cnt {
+                        let i_id = rng.next_below(cfg.items as u64) as u32;
+                        let qty = rng.next_range(1, 10) as u32;
+                        let price = unsafe { self.items.read_with(i_id as usize, |r| r.price_cents) };
+                        let l_slot = TpccLayout::slot(
+                            self.layout.order_line_key(w, d, o_id, line),
+                        );
+                        {
+                            let lr = self.order_lines.get_mut(l_slot);
+                            lr.i_id = i_id;
+                            lr.supply_w = w;
+                            lr.qty = qty;
+                            lr.delivered = delivered;
+                            lr.amount_cents = qty as u64 * price as u64;
+                        }
+                        self.recon.publish_line_item(l_slot, i_id);
+                    }
+                    match last.iter_mut().find(|(lc, _, _)| *lc == c) {
+                        Some(e) => {
+                            e.1 = o_id;
+                            e.2 += 1;
+                        }
+                        None => last.push((c, o_id, 1)),
+                    }
+                }
+                {
+                    let row = self.districts.get_mut(dn);
+                    row.next_o_id = n_orders;
+                    row.next_deliv_o_id = delivered_upto;
+                }
+                self.recon.publish_district(
+                    dn,
+                    DistrictCursors {
+                        next_o_id: n_orders,
+                        next_deliv_o_id: delivered_upto,
+                    },
+                );
+                for (c, o_id, cnt) in last {
+                    let c_slot = TpccLayout::slot(self.layout.customer_key(w, d, c));
+                    self.recon.publish_customer(
+                        c_slot,
+                        CustomerOrders {
+                            order_cnt: cnt,
+                            last_o_id: o_id,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scale configuration.
+    pub fn cfg(&self) -> &TpccConfig {
+        &self.layout.cfg
+    }
+
+    /// Customers (offsets within the district) bearing `last_name_id` in
+    /// district (w, d), ascending. The by-last-name Payment picks the
+    /// middle entry (spec: position ⌈n/2⌉).
+    pub fn customers_by_last_name(&self, w: u32, d: u32, last_name_id: usize) -> &[u32] {
+        let dn = self.layout.district_no(w, d) as usize;
+        &self.cust_by_name[dn * N_LAST_NAMES + last_name_id]
+    }
+
+    /// The spec's middle-customer rule over a by-name lookup. Returns
+    /// `None` when the name has no customers in the district (possible at
+    /// tiny scales).
+    pub fn middle_customer_by_name(&self, w: u32, d: u32, last_name_id: usize) -> Option<u32> {
+        let list = self.customers_by_last_name(w, d, last_name_id);
+        if list.is_empty() {
+            None
+        } else {
+            Some(list[list.len() / 2])
+        }
+    }
+}
+
+/// TPC-C NURand(A, x, y) with a fixed C constant (deterministic loads).
+pub fn nurand(rng: &mut XorShift64, a: u64, x: u64, y: u64) -> u64 {
+    const C: u64 = 123;
+    (((rng.next_below(a + 1) | rng.next_range(x, y)) + C) % (y - x + 1)) + x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> TpccDb {
+        TpccDb::load(TpccConfig::tiny(2), 42)
+    }
+
+    #[test]
+    fn load_is_deterministic() {
+        let a = TpccDb::load(TpccConfig::tiny(2), 7);
+        let b = TpccDb::load(TpccConfig::tiny(2), 7);
+        for s in 0..a.customers.len() {
+            let (la, ba) = unsafe { a.customers.read_with(s, |c| (c.last_name_id, c.bad_credit)) };
+            let (lb, bb) = unsafe { b.customers.read_with(s, |c| (c.last_name_id, c.bad_credit)) };
+            assert_eq!(la, lb);
+            assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn arenas_sized_to_config() {
+        let db = tiny_db();
+        let cfg = *db.cfg();
+        assert_eq!(db.warehouses.len(), 2);
+        assert_eq!(db.districts.len(), cfg.n_districts() as usize);
+        assert_eq!(db.customers.len(), cfg.n_customers() as usize);
+        assert_eq!(db.stock.len(), cfg.n_stock() as usize);
+        assert_eq!(db.order_lines.len(), cfg.n_orderline_slots() as usize);
+    }
+
+    #[test]
+    fn name_index_matches_rows() {
+        let db = tiny_db();
+        let cfg = *db.cfg();
+        for w in 0..cfg.warehouses {
+            for d in 0..cfg.districts_per_wh {
+                let dn = db.layout.district_no(w, d) as usize;
+                let mut total = 0;
+                for name in 0..N_LAST_NAMES {
+                    for &c in db.customers_by_last_name(w, d, name) {
+                        let slot = dn * cfg.customers_per_district as usize + c as usize;
+                        let row_name =
+                            unsafe { db.customers.read_with(slot, |r| r.last_name_id) };
+                        assert_eq!(row_name as usize, name);
+                        total += 1;
+                    }
+                }
+                assert_eq!(total, cfg.customers_per_district as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn first_customers_get_sequential_names() {
+        // tiny config has 30 customers/district, all below 1000 → names
+        // must be 0..30 in order.
+        let db = tiny_db();
+        for c in 0..30usize {
+            let name = unsafe { db.customers.read_with(c, |r| r.last_name_id) };
+            assert_eq!(name as usize, c);
+        }
+    }
+
+    #[test]
+    fn middle_customer_rule() {
+        let db = tiny_db();
+        // Name 5 exists exactly once per district at tiny scale.
+        assert_eq!(db.middle_customer_by_name(0, 0, 5), Some(5));
+        // Missing name.
+        assert_eq!(db.middle_customer_by_name(0, 0, 999), None);
+    }
+
+    #[test]
+    fn initial_orders_populate_rows_and_board() {
+        let cfg = TpccConfig::tiny(2).with_initial_orders(20);
+        let db = TpccDb::load(cfg, 13);
+        let delivered_upto = 20 - 20 * 3 / 10;
+        for w in 0..2 {
+            for d in 0..cfg.districts_per_wh {
+                let dn = db.layout.district_no(w, d) as usize;
+                let (next_o, next_deliv) = unsafe {
+                    db.districts
+                        .read_with(dn, |r| (r.next_o_id, r.next_deliv_o_id))
+                };
+                assert_eq!(next_o, 20);
+                assert_eq!(next_deliv, delivered_upto);
+                assert_eq!(
+                    db.recon.district(dn),
+                    crate::tpcc::DistrictCursors {
+                        next_o_id: 20,
+                        next_deliv_o_id: delivered_upto
+                    }
+                );
+                for o in 0..20u32 {
+                    let slot = TpccLayout::slot(db.layout.order_key(w, d, o));
+                    let (o_id, c_id, ol_cnt, carrier) = unsafe {
+                        db.orders
+                            .read_with(slot, |r| (r.o_id, r.c_id, r.ol_cnt, r.carrier_id))
+                    };
+                    assert_eq!(o_id, o);
+                    assert!(c_id < cfg.customers_per_district);
+                    assert!((5..=15).contains(&ol_cnt));
+                    assert_eq!(carrier == 0, o >= delivered_upto, "order {o}");
+                    let marker = unsafe {
+                        db.new_orders
+                            .read_with(TpccLayout::slot(db.layout.new_order_key(w, d, o)), |m| {
+                                m.valid
+                            })
+                    };
+                    assert_eq!(marker, o >= delivered_upto);
+                    let summary = db.recon.order(slot);
+                    assert_eq!((summary.c_id, summary.ol_cnt), (c_id, ol_cnt));
+                    for line in 0..ol_cnt {
+                        let ls =
+                            TpccLayout::slot(db.layout.order_line_key(w, d, o, line));
+                        let (i_id, delivered, amount) = unsafe {
+                            db.order_lines
+                                .read_with(ls, |l| (l.i_id, l.delivered, l.amount_cents))
+                        };
+                        assert!(i_id < cfg.items);
+                        assert_eq!(delivered, o < delivered_upto);
+                        assert!(amount > 0);
+                        assert_eq!(db.recon.line_item(ls), i_id);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_orders_customer_board_counts_match() {
+        let cfg = TpccConfig::tiny(1).with_initial_orders(30);
+        let db = TpccDb::load(cfg, 21);
+        for d in 0..cfg.districts_per_wh {
+            let dn = db.layout.district_no(0, d) as usize;
+            let mut total = 0u32;
+            for c in 0..cfg.customers_per_district {
+                let slot = TpccLayout::slot(db.layout.customer_key(0, d, c));
+                let summary = db.recon.customer(slot);
+                total += summary.order_cnt;
+                if summary.order_cnt > 0 {
+                    // The published latest order must indeed name c.
+                    let o_slot =
+                        TpccLayout::slot(db.layout.order_key(0, d, summary.last_o_id));
+                    let c_id = unsafe { db.orders.read_with(o_slot, |r| r.c_id) };
+                    assert_eq!(c_id, c);
+                }
+            }
+            assert_eq!(total, 30, "district {dn} counts");
+        }
+    }
+
+    #[test]
+    fn zero_initial_orders_leaves_arenas_untouched() {
+        let db = tiny_db();
+        let next = unsafe { db.districts.read_with(0, |r| (r.next_o_id, r.next_deliv_o_id)) };
+        assert_eq!(next, (0, 0));
+        assert_eq!(db.recon.district(0).next_o_id, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial orders cannot exceed")]
+    fn initial_orders_bounded_by_slots() {
+        let _ = TpccConfig::tiny(1).with_initial_orders(65);
+    }
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = XorShift64::new(9);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 255, 0, 999);
+            assert!(v <= 999);
+            let v = nurand(&mut rng, 1023, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        // The OR with random(0, A) skews the distribution; sanity-check the
+        // skew exists (some values far more frequent than uniform).
+        let mut rng = XorShift64::new(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[nurand(&mut rng, 255, 0, 999) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let avg = 100.0;
+        assert!(max > avg * 2.0, "expected skew, max={max}");
+    }
+}

@@ -1,0 +1,271 @@
+//! TPC-C key layout: packing (table, row) into the single 64-bit lock key
+//! space, with warehouse extraction.
+//!
+//! Both ORTHRUS ("partitions database tables across concurrency control
+//! threads based on each row's warehouse_id attribute") and
+//! Partitioned-store need to map any key to its warehouse; the layout
+//! makes that a few integer ops.
+
+use orthrus_common::Key;
+
+use super::schema::TpccConfig;
+
+const TAG_SHIFT: u32 = 56;
+
+/// Table tags packed into the key's high byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Table {
+    Warehouse = 1,
+    District = 2,
+    Customer = 3,
+    Stock = 4,
+    Order = 5,
+    NewOrder = 6,
+    OrderLine = 7,
+    History = 8,
+    /// Read-only; never locked, tagged for completeness.
+    Item = 9,
+}
+
+/// Extract the table tag from a key.
+#[inline]
+pub fn table_of(key: Key) -> Table {
+    match (key >> TAG_SHIFT) as u8 {
+        1 => Table::Warehouse,
+        2 => Table::District,
+        3 => Table::Customer,
+        4 => Table::Stock,
+        5 => Table::Order,
+        6 => Table::NewOrder,
+        7 => Table::OrderLine,
+        8 => Table::History,
+        9 => Table::Item,
+        t => panic!("invalid table tag {t} in key {key:#x}"),
+    }
+}
+
+/// Extract the warehouse id from any TPC-C key (requires the layout that
+/// minted it).
+#[inline]
+pub fn warehouse_of_key(layout: &TpccLayout, key: Key) -> u32 {
+    layout.warehouse_of(key)
+}
+
+/// Key minting and decoding for a given scale configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpccLayout {
+    pub cfg: TpccConfig,
+}
+
+impl TpccLayout {
+    pub fn new(cfg: TpccConfig) -> Self {
+        // The largest locator (order lines) must fit in 56 bits.
+        let max_locator = cfg.n_orderline_slots();
+        assert!(max_locator < (1 << TAG_SHIFT), "scale too large for key layout");
+        TpccLayout { cfg }
+    }
+
+    #[inline]
+    fn pack(table: Table, locator: u64) -> Key {
+        debug_assert!(locator < (1 << TAG_SHIFT));
+        ((table as u64) << TAG_SHIFT) | locator
+    }
+
+    /// Locator (low 56 bits) of a key.
+    #[inline]
+    pub fn locator(key: Key) -> u64 {
+        key & ((1 << TAG_SHIFT) - 1)
+    }
+
+    // ---- District-scoped helpers -------------------------------------
+
+    /// Dense district number in `[0, warehouses * districts_per_wh)`.
+    #[inline]
+    pub fn district_no(&self, w: u32, d: u32) -> u64 {
+        debug_assert!(w < self.cfg.warehouses);
+        debug_assert!(d < self.cfg.districts_per_wh);
+        w as u64 * self.cfg.districts_per_wh as u64 + d as u64
+    }
+
+    // ---- Key minting ---------------------------------------------------
+
+    pub fn warehouse_key(&self, w: u32) -> Key {
+        Self::pack(Table::Warehouse, w as u64)
+    }
+
+    pub fn district_key(&self, w: u32, d: u32) -> Key {
+        Self::pack(Table::District, self.district_no(w, d))
+    }
+
+    pub fn customer_key(&self, w: u32, d: u32, c: u32) -> Key {
+        debug_assert!(c < self.cfg.customers_per_district);
+        Self::pack(
+            Table::Customer,
+            self.district_no(w, d) * self.cfg.customers_per_district as u64 + c as u64,
+        )
+    }
+
+    pub fn stock_key(&self, w: u32, i: u32) -> Key {
+        debug_assert!(i < self.cfg.items);
+        Self::pack(Table::Stock, w as u64 * self.cfg.items as u64 + i as u64)
+    }
+
+    pub fn item_key(&self, i: u32) -> Key {
+        Self::pack(Table::Item, i as u64)
+    }
+
+    pub fn order_key(&self, w: u32, d: u32, o_id: u32) -> Key {
+        let slot = o_id as u64 % self.cfg.order_slots_per_district as u64;
+        Self::pack(
+            Table::Order,
+            self.district_no(w, d) * self.cfg.order_slots_per_district as u64 + slot,
+        )
+    }
+
+    pub fn new_order_key(&self, w: u32, d: u32, o_id: u32) -> Key {
+        let slot = o_id as u64 % self.cfg.order_slots_per_district as u64;
+        Self::pack(
+            Table::NewOrder,
+            self.district_no(w, d) * self.cfg.order_slots_per_district as u64 + slot,
+        )
+    }
+
+    pub fn order_line_key(&self, w: u32, d: u32, o_id: u32, line: u32) -> Key {
+        debug_assert!(line < self.cfg.max_lines);
+        let slot = o_id as u64 % self.cfg.order_slots_per_district as u64;
+        let order_slot = self.district_no(w, d) * self.cfg.order_slots_per_district as u64 + slot;
+        Self::pack(
+            Table::OrderLine,
+            order_slot * self.cfg.max_lines as u64 + line as u64,
+        )
+    }
+
+    pub fn history_key(&self, w: u32, d: u32, h: u32) -> Key {
+        let slot = h as u64 % self.cfg.history_slots_per_district as u64;
+        Self::pack(
+            Table::History,
+            self.district_no(w, d) * self.cfg.history_slots_per_district as u64 + slot,
+        )
+    }
+
+    // ---- Slot resolution (key → arena slot) ---------------------------
+
+    /// Arena slot for a key; the arenas are laid out exactly in locator
+    /// order, so this is the locator itself.
+    #[inline]
+    pub fn slot(key: Key) -> usize {
+        Self::locator(key) as usize
+    }
+
+    // ---- Warehouse extraction -----------------------------------------
+
+    /// Which warehouse a key belongs to (ORTHRUS CC partitioning and
+    /// Partitioned-store both key on this).
+    pub fn warehouse_of(&self, key: Key) -> u32 {
+        let loc = Self::locator(key);
+        let dpw = self.cfg.districts_per_wh as u64;
+        match table_of(key) {
+            Table::Warehouse => loc as u32,
+            Table::District => (loc / dpw) as u32,
+            Table::Customer => (loc / self.cfg.customers_per_district as u64 / dpw) as u32,
+            Table::Stock => (loc / self.cfg.items as u64) as u32,
+            Table::Order | Table::NewOrder => {
+                (loc / self.cfg.order_slots_per_district as u64 / dpw) as u32
+            }
+            Table::OrderLine => (loc
+                / self.cfg.max_lines as u64
+                / self.cfg.order_slots_per_district as u64
+                / dpw) as u32,
+            Table::History => (loc / self.cfg.history_slots_per_district as u64 / dpw) as u32,
+            Table::Item => 0, // replicated/read-only; never partitioned
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::schema::TpccConfig;
+    use super::*;
+
+    fn layout() -> TpccLayout {
+        TpccLayout::new(TpccConfig::tiny(4))
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        let l = layout();
+        assert_eq!(table_of(l.warehouse_key(1)), Table::Warehouse);
+        assert_eq!(table_of(l.district_key(1, 1)), Table::District);
+        assert_eq!(table_of(l.customer_key(1, 1, 5)), Table::Customer);
+        assert_eq!(table_of(l.stock_key(2, 3)), Table::Stock);
+        assert_eq!(table_of(l.order_key(1, 0, 7)), Table::Order);
+        assert_eq!(table_of(l.new_order_key(1, 0, 7)), Table::NewOrder);
+        assert_eq!(table_of(l.order_line_key(1, 0, 7, 2)), Table::OrderLine);
+        assert_eq!(table_of(l.history_key(1, 0, 3)), Table::History);
+        assert_eq!(table_of(l.item_key(9)), Table::Item);
+    }
+
+    #[test]
+    fn warehouse_extraction_all_tables() {
+        let l = layout();
+        for w in 0..4 {
+            assert_eq!(l.warehouse_of(l.warehouse_key(w)), w);
+            assert_eq!(l.warehouse_of(l.district_key(w, 1)), w);
+            assert_eq!(l.warehouse_of(l.customer_key(w, 1, 29)), w);
+            assert_eq!(l.warehouse_of(l.stock_key(w, 99)), w);
+            assert_eq!(l.warehouse_of(l.order_key(w, 1, 63)), w);
+            assert_eq!(l.warehouse_of(l.new_order_key(w, 1, 1000)), w);
+            assert_eq!(l.warehouse_of(l.order_line_key(w, 1, 63, 14)), w);
+            assert_eq!(l.warehouse_of(l.history_key(w, 0, 70)), w);
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_across_tables_and_rows() {
+        let l = layout();
+        let mut keys = vec![
+            l.warehouse_key(0),
+            l.warehouse_key(1),
+            l.district_key(0, 0),
+            l.district_key(0, 1),
+            l.district_key(1, 0),
+            l.customer_key(0, 0, 0),
+            l.customer_key(0, 0, 1),
+            l.customer_key(0, 1, 0),
+            l.stock_key(0, 0),
+            l.stock_key(1, 0),
+            l.order_key(0, 0, 0),
+            l.new_order_key(0, 0, 0),
+            l.order_line_key(0, 0, 0, 0),
+            l.history_key(0, 0, 0),
+        ];
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn order_slots_wrap() {
+        let l = layout(); // 64 slots/district in tiny config
+        assert_eq!(l.order_key(1, 1, 0), l.order_key(1, 1, 64));
+        assert_ne!(l.order_key(1, 1, 0), l.order_key(1, 1, 63));
+    }
+
+    #[test]
+    fn slot_matches_locator() {
+        let l = layout();
+        let k = l.customer_key(2, 1, 17);
+        assert_eq!(
+            TpccLayout::slot(k) as u64,
+            (2 * 2 + 1) * 30 + 17 // district_no * customers_per_district + c
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid table tag")]
+    fn bad_tag_panics() {
+        table_of(0);
+    }
+}

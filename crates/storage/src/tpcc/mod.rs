@@ -1,0 +1,44 @@
+//! TPC-C subset storage (Section 4.4 of the paper).
+//!
+//! The paper evaluates the NewOrder + Payment mix only ("these two
+//! transactions make up the vast majority of the benchmark"), one-shot
+//! stored procedures, no client think time. This module provides the
+//! schema rows, the key layout (with warehouse extraction, since both
+//! ORTHRUS's CC partitioning and Partitioned-store partition *by
+//! warehouse*), the customer-last-name secondary index that forces OLLP,
+//! and the loader.
+//!
+//! Modeling choices (DESIGN.md substitution #3):
+//!
+//! - Inserted rows (Order, NewOrder, OrderLine, History) go to
+//!   pre-allocated per-district slot arenas addressed by the district's
+//!   order counter. A transaction that allocated `o_id` under the
+//!   district's exclusive lock is the unique owner of those slots, so
+//!   insert writes need no logical locks — exactly like heap inserts of
+//!   fresh rows in the paper's prototype, which conflict on nothing.
+//! - Cardinalities keep the spec *ratios* that drive contention
+//!   (10 districts/WH, 3,000 customers/district); the item/stock count is
+//!   configurable (default 10,000) to fit laptop-scale memory.
+//! - **The district lock doubles as the arena lock for the district's
+//!   order/marker/line slots** (full-mix extension): the creating NewOrder
+//!   and the delivering Delivery hold it exclusively, OrderStatus and
+//!   StockLevel hold it shared while reading historical orders. This is
+//!   the hierarchical analogue of an index-page lock and keeps per-order
+//!   lock counts out of the hot path.
+//! - Data-dependent access sets (Delivery's oldest-undelivered order,
+//!   OrderStatus's latest order, StockLevel's recent items) are estimated
+//!   from the lock-free [`ReconBoard`] and validated under locks, per
+//!   OLLP.
+
+mod db;
+mod layout;
+mod recon;
+mod schema;
+
+pub use db::{nurand, TpccDb, N_LAST_NAMES};
+pub use layout::{table_of, warehouse_of_key, Table as TpccTable, TpccLayout};
+pub use recon::{CustomerOrders, DistrictCursors, OrderSummary, ReconBoard};
+pub use schema::{
+    CustomerRow, DistrictRow, HistoryRow, ItemRow, NewOrderRow, OrderLineRow, OrderRow, StockRow,
+    TpccConfig, WarehouseRow,
+};

@@ -1,0 +1,260 @@
+//! The OLLP reconnaissance board: lock-free-readable metadata for planning
+//! data-dependent transactions.
+//!
+//! OLLP (Section 3.2) partially executes a transaction "in reconnaissance
+//! mode": *no locks are acquired ... and all reads are not assumed to be
+//! consistent*. Rust forbids reading the `UnsafeCell` row arenas without
+//! holding the protecting logical lock (that would be a data race), so the
+//! handful of words reconnaissance needs are *published* here as plain
+//! atomics:
+//!
+//! - per district: the order-allocation and delivery cursors,
+//! - per customer: the most recent order id (the OrderStatus lookup),
+//! - per order slot: the ordering customer and the line count,
+//! - per order-line slot: the item id (the StockLevel item sweep).
+//!
+//! Writers update the board *while holding the district's exclusive
+//! logical lock* (NewOrder and Delivery already hold it), so reads taken
+//! under the district lock observe ground truth. Reads taken with no lock
+//! (reconnaissance) observe a possibly-stale snapshot — exactly the
+//! "estimate, not a guarantee" OLLP prescribes — which execution later
+//! validates under locks, aborting and re-planning on mismatch.
+//!
+//! This mirrors a real engine, where reconnaissance reads index and
+//! catalog structures that are individually atomic but not transactionally
+//! consistent.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A district's published cursors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistrictCursors {
+    /// Next order id the district will allocate.
+    pub next_o_id: u32,
+    /// Oldest order id not yet delivered.
+    pub next_deliv_o_id: u32,
+}
+
+/// A customer's published order summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomerOrders {
+    /// Orders this customer has placed (0 = never ordered).
+    pub order_cnt: u32,
+    /// Most recent order id (meaningful only when `order_cnt > 0`).
+    pub last_o_id: u32,
+}
+
+/// An order slot's published header summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderSummary {
+    /// The ordering customer (district offset).
+    pub c_id: u32,
+    /// Number of order lines.
+    pub ol_cnt: u32,
+}
+
+#[inline]
+fn pack(hi: u32, lo: u32) -> u64 {
+    ((hi as u64) << 32) | lo as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// The board itself: one atomic word per published entity.
+///
+/// All operations use `Relaxed` ordering: each word is independently
+/// meaningful, cross-word consistency is never assumed (that is the whole
+/// point of OLLP validation), and truth reads happen under the district
+/// logical lock whose acquire/release provide the necessary ordering.
+pub struct ReconBoard {
+    /// Per district: `(next_o_id, next_deliv_o_id)`.
+    districts: Box<[AtomicU64]>,
+    /// Per customer slot: `(order_cnt, last_o_id)`.
+    customers: Box<[AtomicU64]>,
+    /// Per order slot: `(c_id, ol_cnt)`.
+    orders: Box<[AtomicU64]>,
+    /// Per order-line slot: item id.
+    lines: Box<[AtomicU32]>,
+}
+
+impl ReconBoard {
+    /// Allocate a zeroed board for the given arena sizes.
+    pub fn new(n_districts: usize, n_customers: usize, n_orders: usize, n_lines: usize) -> Self {
+        fn zeroed64(n: usize) -> Box<[AtomicU64]> {
+            (0..n).map(|_| AtomicU64::new(0)).collect()
+        }
+        ReconBoard {
+            districts: zeroed64(n_districts),
+            customers: zeroed64(n_customers),
+            orders: zeroed64(n_orders),
+            lines: (0..n_lines).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    // ---- District cursors ----------------------------------------------
+
+    /// Publish a district's cursors (caller holds the district X lock).
+    #[inline]
+    pub fn publish_district(&self, district_no: usize, c: DistrictCursors) {
+        self.districts[district_no].store(pack(c.next_o_id, c.next_deliv_o_id), Ordering::Relaxed);
+    }
+
+    /// Load a district's cursors (reconnaissance: possibly stale).
+    #[inline]
+    pub fn district(&self, district_no: usize) -> DistrictCursors {
+        let (next_o_id, next_deliv_o_id) = unpack(self.districts[district_no].load(Ordering::Relaxed));
+        DistrictCursors {
+            next_o_id,
+            next_deliv_o_id,
+        }
+    }
+
+    // ---- Customer order summaries ---------------------------------------
+
+    /// Publish a customer's latest order (caller holds the home district's
+    /// X lock — NewOrders for one district are serialized by it).
+    #[inline]
+    pub fn publish_customer(&self, customer_slot: usize, c: CustomerOrders) {
+        self.customers[customer_slot].store(pack(c.order_cnt, c.last_o_id), Ordering::Relaxed);
+    }
+
+    /// Load a customer's order summary. Ground truth when the caller holds
+    /// the customer's home-district lock (any mode); an estimate otherwise.
+    #[inline]
+    pub fn customer(&self, customer_slot: usize) -> CustomerOrders {
+        let (order_cnt, last_o_id) = unpack(self.customers[customer_slot].load(Ordering::Relaxed));
+        CustomerOrders {
+            order_cnt,
+            last_o_id,
+        }
+    }
+
+    // ---- Order summaries -------------------------------------------------
+
+    /// Publish an order slot's header summary (caller holds the district X
+    /// lock that allocated the order id).
+    #[inline]
+    pub fn publish_order(&self, order_slot: usize, s: OrderSummary) {
+        self.orders[order_slot].store(pack(s.c_id, s.ol_cnt), Ordering::Relaxed);
+    }
+
+    /// Load an order slot's summary (see [`Self::customer`] for the truth
+    /// conditions).
+    #[inline]
+    pub fn order(&self, order_slot: usize) -> OrderSummary {
+        let (c_id, ol_cnt) = unpack(self.orders[order_slot].load(Ordering::Relaxed));
+        OrderSummary { c_id, ol_cnt }
+    }
+
+    // ---- Order-line items -------------------------------------------------
+
+    /// Publish an order line's item id (caller holds the district X lock).
+    #[inline]
+    pub fn publish_line_item(&self, line_slot: usize, i_id: u32) {
+        self.lines[line_slot].store(i_id, Ordering::Relaxed);
+    }
+
+    /// Load an order line's item id.
+    #[inline]
+    pub fn line_item(&self, line_slot: usize) -> u32 {
+        self.lines[line_slot].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let b = ReconBoard::new(2, 4, 8, 16);
+        b.publish_district(
+            1,
+            DistrictCursors {
+                next_o_id: 7,
+                next_deliv_o_id: 3,
+            },
+        );
+        assert_eq!(
+            b.district(1),
+            DistrictCursors {
+                next_o_id: 7,
+                next_deliv_o_id: 3
+            }
+        );
+        assert_eq!(
+            b.district(0),
+            DistrictCursors {
+                next_o_id: 0,
+                next_deliv_o_id: 0
+            }
+        );
+
+        b.publish_customer(
+            3,
+            CustomerOrders {
+                order_cnt: 2,
+                last_o_id: 41,
+            },
+        );
+        assert_eq!(
+            b.customer(3),
+            CustomerOrders {
+                order_cnt: 2,
+                last_o_id: 41
+            }
+        );
+
+        b.publish_order(5, OrderSummary { c_id: 9, ol_cnt: 12 });
+        assert_eq!(b.order(5), OrderSummary { c_id: 9, ol_cnt: 12 });
+
+        b.publish_line_item(15, 1234);
+        assert_eq!(b.line_item(15), 1234);
+        assert_eq!(b.line_item(0), 0);
+    }
+
+    #[test]
+    fn extreme_values_pack_safely() {
+        let b = ReconBoard::new(1, 1, 1, 1);
+        b.publish_district(
+            0,
+            DistrictCursors {
+                next_o_id: u32::MAX,
+                next_deliv_o_id: u32::MAX - 1,
+            },
+        );
+        let c = b.district(0);
+        assert_eq!(c.next_o_id, u32::MAX);
+        assert_eq!(c.next_deliv_o_id, u32::MAX - 1);
+    }
+
+    #[test]
+    fn concurrent_publish_and_load_are_race_free() {
+        use std::sync::Arc;
+        let b = Arc::new(ReconBoard::new(1, 1, 1, 1));
+        let w = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || {
+                for i in 0..100_000u32 {
+                    b.publish_district(
+                        0,
+                        DistrictCursors {
+                            next_o_id: i,
+                            next_deliv_o_id: i / 2,
+                        },
+                    );
+                }
+            })
+        };
+        // Reader: every observed snapshot must be internally consistent
+        // (a single atomic word cannot tear).
+        for _ in 0..100_000 {
+            let c = b.district(0);
+            assert_eq!(c.next_deliv_o_id, c.next_o_id / 2);
+        }
+        w.join().unwrap();
+    }
+}

@@ -1,0 +1,291 @@
+//! TPC-C row types and scale configuration.
+//!
+//! Rows carry the fields NewOrder and Payment actually touch, plus padding
+//! so a row update costs a realistic number of cache lines. Monetary
+//! amounts are fixed-point cents in integers (a real engine would not put
+//! floats in hot rows either).
+
+/// Scale parameters. Defaults keep spec ratios for the contention-carrying
+/// tables and scale the bulky ones (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    /// Number of warehouses — the contention knob of Figures 8–10.
+    pub warehouses: u32,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_wh: u32,
+    /// Customers per district (spec: 3,000).
+    pub customers_per_district: u32,
+    /// Item count == stock rows per warehouse (spec: 100,000; default
+    /// scaled to 10,000).
+    pub items: u32,
+    /// Pre-allocated order slots per district (orders wrap around; nothing
+    /// in the NewOrder+Payment mix reads old orders).
+    pub order_slots_per_district: u32,
+    /// Max order lines per order (spec: 15).
+    pub max_lines: u32,
+    /// Pre-allocated history slots per district (wrapping).
+    pub history_slots_per_district: u32,
+    /// Orders pre-loaded into each district (spec: 3,000, of which the
+    /// last 900 are undelivered). Zero keeps the original NewOrder+Payment
+    /// experiments byte-identical; the full-mix workload sets this so
+    /// OrderStatus/Delivery/StockLevel have data from the first transaction.
+    pub initial_orders_per_district: u32,
+}
+
+impl TpccConfig {
+    /// Scale with the given warehouse count and default ratios.
+    pub fn with_warehouses(warehouses: u32) -> Self {
+        TpccConfig {
+            warehouses,
+            districts_per_wh: 10,
+            customers_per_district: 3000,
+            items: 10_000,
+            order_slots_per_district: 4096,
+            max_lines: 15,
+            history_slots_per_district: 4096,
+            initial_orders_per_district: 0,
+        }
+    }
+
+    /// A tiny configuration for unit/integration tests.
+    pub fn tiny(warehouses: u32) -> Self {
+        TpccConfig {
+            warehouses,
+            districts_per_wh: 2,
+            customers_per_district: 30,
+            items: 100,
+            order_slots_per_district: 64,
+            max_lines: 15,
+            history_slots_per_district: 64,
+            initial_orders_per_district: 0,
+        }
+    }
+
+    /// Enable initial order population (for the full five-transaction mix;
+    /// spec ratio: ~70% of pre-loaded orders already delivered).
+    pub fn with_initial_orders(mut self, per_district: u32) -> Self {
+        assert!(
+            per_district <= self.order_slots_per_district,
+            "initial orders cannot exceed the slot arena"
+        );
+        self.initial_orders_per_district = per_district;
+        self
+    }
+
+    pub fn n_districts(&self) -> u64 {
+        self.warehouses as u64 * self.districts_per_wh as u64
+    }
+
+    pub fn n_customers(&self) -> u64 {
+        self.n_districts() * self.customers_per_district as u64
+    }
+
+    pub fn n_stock(&self) -> u64 {
+        self.warehouses as u64 * self.items as u64
+    }
+
+    pub fn n_order_slots(&self) -> u64 {
+        self.n_districts() * self.order_slots_per_district as u64
+    }
+
+    pub fn n_orderline_slots(&self) -> u64 {
+        self.n_order_slots() * self.max_lines as u64
+    }
+
+    pub fn n_history_slots(&self) -> u64 {
+        self.n_districts() * self.history_slots_per_district as u64
+    }
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self::with_warehouses(16)
+    }
+}
+
+/// Warehouse: Payment writes `ytd`; NewOrder reads `tax`.
+#[derive(Debug, Clone)]
+pub struct WarehouseRow {
+    pub ytd_cents: u64,
+    pub tax_bp: u32, // basis points
+    pub pad: [u8; 72],
+}
+
+impl Default for WarehouseRow {
+    fn default() -> Self {
+        WarehouseRow {
+            ytd_cents: 30_000_000,
+            tax_bp: 0,
+            pad: [0; 72],
+        }
+    }
+}
+
+/// District: NewOrder reads `tax` and increments `next_o_id`; Payment
+/// writes `ytd`. `history_ctr` hands out private history slots under the
+/// same exclusive lock Payment already holds. `next_deliv_o_id` is the
+/// Delivery cursor: the oldest order id not yet delivered (full-mix
+/// extension; advanced under the district's exclusive lock).
+/// `delivered_cents`/`delivered_cnt` accumulate what Delivery credited —
+/// the wrap-proof side of the delivery conservation law the tests check
+/// (order slots recycle, these counters do not).
+#[derive(Debug, Clone)]
+pub struct DistrictRow {
+    pub ytd_cents: u64,
+    pub delivered_cents: u64,
+    pub tax_bp: u32,
+    pub next_o_id: u32,
+    pub next_deliv_o_id: u32,
+    pub history_ctr: u32,
+    pub delivered_cnt: u32,
+    pub pad: [u8; 56],
+}
+
+impl Default for DistrictRow {
+    fn default() -> Self {
+        DistrictRow {
+            ytd_cents: 3_000_000,
+            delivered_cents: 0,
+            tax_bp: 0,
+            next_o_id: 0,
+            next_deliv_o_id: 0,
+            history_ctr: 0,
+            delivered_cnt: 0,
+            pad: [0; 56],
+        }
+    }
+}
+
+/// Customer: Payment updates balance/ytd/payment_cnt (and data for bad
+/// credit); NewOrder reads discount & credit; Delivery credits the balance
+/// and bumps `delivery_cnt`; OrderStatus reads the balance.
+#[derive(Debug, Clone)]
+pub struct CustomerRow {
+    pub balance_cents: i64,
+    pub ytd_payment_cents: u64,
+    pub payment_cnt: u32,
+    pub delivery_cnt: u32,
+    pub discount_bp: u32,
+    /// Index into the 1,000 spec last names; the secondary index key.
+    pub last_name_id: u16,
+    /// True for the 10% "BC" (bad credit) customers whose Payment does
+    /// extra work.
+    pub bad_credit: bool,
+    pub pad: [u8; 92],
+}
+
+impl Default for CustomerRow {
+    fn default() -> Self {
+        CustomerRow {
+            balance_cents: -1000,
+            ytd_payment_cents: 1000,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            discount_bp: 0,
+            last_name_id: 0,
+            bad_credit: false,
+            pad: [0; 92],
+        }
+    }
+}
+
+/// Stock: NewOrder decrements quantity and bumps counters per line.
+#[derive(Debug, Clone)]
+pub struct StockRow {
+    pub quantity: u32,
+    pub ytd: u32,
+    pub order_cnt: u32,
+    pub remote_cnt: u32,
+    pub pad: [u8; 48],
+}
+
+impl Default for StockRow {
+    fn default() -> Self {
+        StockRow {
+            quantity: 50,
+            ytd: 0,
+            order_cnt: 0,
+            remote_cnt: 0,
+            pad: [0; 48],
+        }
+    }
+}
+
+/// Item: read-only ("none of our baselines perform any concurrency control
+/// on reads to Item table's rows").
+#[derive(Debug, Clone)]
+pub struct ItemRow {
+    pub price_cents: u32,
+    pub pad: [u8; 28],
+}
+
+impl Default for ItemRow {
+    fn default() -> Self {
+        ItemRow {
+            price_cents: 100,
+            pad: [0; 28],
+        }
+    }
+}
+
+/// Order header, written by the creating NewOrder; Delivery stamps the
+/// carrier. Readers and the delivering writer hold the district lock (the
+/// arena lock for a district's order/marker/line slots — see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct OrderRow {
+    pub o_id: u32,
+    pub c_id: u32,
+    pub ol_cnt: u32,
+    pub all_local: bool,
+    /// 0 = undelivered; Delivery writes 1..=10.
+    pub carrier_id: u8,
+}
+
+/// NewOrder marker row; Delivery clears `valid`.
+#[derive(Debug, Clone, Default)]
+pub struct NewOrderRow {
+    pub o_id: u32,
+    pub valid: bool,
+}
+
+/// One order line; Delivery flags `delivered`.
+#[derive(Debug, Clone, Default)]
+pub struct OrderLineRow {
+    pub i_id: u32,
+    pub supply_w: u32,
+    pub qty: u32,
+    pub delivered: bool,
+    pub amount_cents: u64,
+}
+
+/// Payment history row.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryRow {
+    pub amount_cents: u64,
+    pub c_w: u32,
+    pub c_d: u32,
+    pub c_id: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_ratios() {
+        let c = TpccConfig::with_warehouses(4);
+        assert_eq!(c.n_districts(), 40);
+        assert_eq!(c.n_customers(), 120_000);
+        assert_eq!(c.n_stock(), 40_000);
+        assert_eq!(c.n_orderline_slots(), c.n_order_slots() * 15);
+    }
+
+    #[test]
+    fn rows_are_cache_line_scale() {
+        // Row updates should cost at least one full cache line, like real
+        // TPC-C rows; customers are the widest.
+        assert!(std::mem::size_of::<CustomerRow>() >= 64);
+        assert!(std::mem::size_of::<WarehouseRow>() >= 64);
+        assert!(std::mem::size_of::<DistrictRow>() >= 64);
+    }
+}

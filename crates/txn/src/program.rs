@@ -1,0 +1,215 @@
+//! The one-shot stored procedures of the paper's evaluation.
+
+use orthrus_common::Key;
+
+/// One order line of a NewOrder (inputs chosen by the generator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderLineInput {
+    /// Item id in `[0, items)`.
+    pub i_id: u32,
+    /// Supplying warehouse (≠ home warehouse for the ~1% remote lines).
+    pub supply_w: u32,
+    /// Quantity ordered (1–10).
+    pub qty: u32,
+}
+
+/// NewOrder inputs. All keys are statically deducible, so NewOrder never
+/// needs OLLP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewOrderInput {
+    pub w: u32,
+    pub d: u32,
+    pub c: u32,
+    pub lines: Vec<OrderLineInput>,
+}
+
+/// How Payment identifies its customer (TPC-C 2.5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CustomerSelector {
+    /// 40%: direct by customer number.
+    ById { c_w: u32, c_d: u32, c: u32 },
+    /// 60%: by last name via the secondary index — the data-dependent
+    /// access that forces OLLP in the planned engines (Section 3.2).
+    ByLastName { c_w: u32, c_d: u32, name_id: u16 },
+}
+
+/// Payment inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaymentInput {
+    pub w: u32,
+    pub d: u32,
+    pub amount_cents: u64,
+    pub customer: CustomerSelector,
+}
+
+/// OrderStatus inputs (TPC-C 2.6, full-mix extension). The customer is
+/// always in their home district; 60% select by last name. The *order* to
+/// read is data-dependent (the customer's most recent), so OrderStatus
+/// always needs reconnaissance in planned engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderStatusInput {
+    pub customer: CustomerSelector,
+}
+
+/// Delivery inputs (TPC-C 2.7, full-mix extension): deliver the oldest
+/// undelivered order of every district in warehouse `w`. Which orders (and
+/// hence which customers to credit) is data-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryInput {
+    pub w: u32,
+    /// Carrier stamped onto delivered orders (spec: 1–10).
+    pub carrier: u8,
+}
+
+/// StockLevel inputs (TPC-C 2.8, full-mix extension): count the distinct
+/// items of the district's last `depth` orders whose stock quantity is
+/// below `threshold`. The item set is data-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StockLevelInput {
+    pub w: u32,
+    pub d: u32,
+    /// Spec: uniform in 10–20.
+    pub threshold: u32,
+    /// Recent orders examined (spec: 20).
+    pub depth: u32,
+}
+
+/// A transaction program. The `keys` vectors are in *access order*: the
+/// high-contention generators put hot keys first ("locks on two hot
+/// records are acquired before locks on cold records", Appendix A), which
+/// is the order dynamic 2PL acquires in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Program {
+    /// Read every key under shared locks (YCSB read-only, Figures 1, 11).
+    ReadOnly { keys: Vec<Key> },
+    /// Read-modify-write every key under exclusive locks (microbench and
+    /// YCSB 10RMW, Figures 4–7, 12).
+    Rmw { keys: Vec<Key> },
+    /// TPC-C NewOrder (Figures 8–10).
+    NewOrder(NewOrderInput),
+    /// TPC-C Payment (Figures 8–10).
+    Payment(PaymentInput),
+    /// TPC-C OrderStatus (full-mix extension).
+    OrderStatus(OrderStatusInput),
+    /// TPC-C Delivery (full-mix extension).
+    Delivery(DeliveryInput),
+    /// TPC-C StockLevel (full-mix extension).
+    StockLevel(StockLevelInput),
+}
+
+impl Program {
+    /// Short label for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Program::ReadOnly { .. } => "read-only",
+            Program::Rmw { .. } => "rmw",
+            Program::NewOrder(_) => "new-order",
+            Program::Payment(_) => "payment",
+            Program::OrderStatus(_) => "order-status",
+            Program::Delivery(_) => "delivery",
+            Program::StockLevel(_) => "stock-level",
+        }
+    }
+
+    /// Whether the program's *lock set* depends on data (needs OLLP when
+    /// planned). OrderStatus's order read is data-dependent but covered by
+    /// the district lock, so only its by-name customer selection needs
+    /// reconnaissance; Delivery's customer locks and StockLevel's stock
+    /// locks always do.
+    pub fn needs_reconnaissance(&self) -> bool {
+        match self {
+            Program::ReadOnly { .. } | Program::Rmw { .. } | Program::NewOrder(_) => false,
+            Program::Payment(p) => {
+                matches!(p.customer, CustomerSelector::ByLastName { .. })
+            }
+            Program::OrderStatus(o) => {
+                matches!(o.customer, CustomerSelector::ByLastName { .. })
+            }
+            Program::Delivery(_) | Program::StockLevel(_) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconnaissance_only_for_by_name_payment() {
+        assert!(!Program::ReadOnly { keys: vec![1] }.needs_reconnaissance());
+        assert!(!Program::Rmw { keys: vec![1] }.needs_reconnaissance());
+        assert!(!Program::NewOrder(NewOrderInput {
+            w: 0,
+            d: 0,
+            c: 0,
+            lines: vec![],
+        })
+        .needs_reconnaissance());
+        assert!(!Program::Payment(PaymentInput {
+            w: 0,
+            d: 0,
+            amount_cents: 1,
+            customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 0 },
+        })
+        .needs_reconnaissance());
+        assert!(Program::Payment(PaymentInput {
+            w: 0,
+            d: 0,
+            amount_cents: 1,
+            customer: CustomerSelector::ByLastName {
+                c_w: 0,
+                c_d: 0,
+                name_id: 5,
+            },
+        })
+        .needs_reconnaissance());
+    }
+
+    #[test]
+    fn full_mix_reconnaissance_rules() {
+        // OrderStatus by id has a data-dependent order read, but it is
+        // covered by the district lock — the lock set is static.
+        assert!(!Program::OrderStatus(OrderStatusInput {
+            customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 1 },
+        })
+        .needs_reconnaissance());
+        assert!(Program::OrderStatus(OrderStatusInput {
+            customer: CustomerSelector::ByLastName { c_w: 0, c_d: 0, name_id: 2 },
+        })
+        .needs_reconnaissance());
+        assert!(Program::Delivery(DeliveryInput { w: 0, carrier: 3 }).needs_reconnaissance());
+        assert!(Program::StockLevel(StockLevelInput {
+            w: 0,
+            d: 0,
+            threshold: 15,
+            depth: 20,
+        })
+        .needs_reconnaissance());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            Program::ReadOnly { keys: vec![] }.kind(),
+            Program::Rmw { keys: vec![] }.kind(),
+            Program::NewOrder(NewOrderInput { w: 0, d: 0, c: 0, lines: vec![] }).kind(),
+            Program::Payment(PaymentInput {
+                w: 0,
+                d: 0,
+                amount_cents: 0,
+                customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 0 },
+            })
+            .kind(),
+            Program::OrderStatus(OrderStatusInput {
+                customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 0 },
+            })
+            .kind(),
+            Program::Delivery(DeliveryInput { w: 0, carrier: 1 }).kind(),
+            Program::StockLevel(StockLevelInput { w: 0, d: 0, threshold: 10, depth: 20 }).kind(),
+        ];
+        let mut dedup = kinds.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Workload generators for every experiment in the paper's evaluation.
+//!
+//! A [`Spec`] is a cheap, cloneable description of a workload; each worker
+//! thread derives its own [`Gen`] (decorrelated RNG stream) and pulls
+//! [`Program`]s from it on its critical path. Generators are enum-
+//! dispatched: no boxing or virtual calls per transaction.
+//!
+//! | Experiment | Spec |
+//! |---|---|
+//! | Fig 1, 11 (read-only, low/high contention) | [`MicroSpec`] `read_only` |
+//! | Fig 4 (hot-set sweep) | [`MicroSpec`] with `n_hot` |
+//! | Fig 5 (uniform RMW) | [`MicroSpec`] uniform |
+//! | Fig 6/7 (multi-partition) | [`MicroSpec`] with [`PartitionConstraint`] |
+//! | Fig 8–10 (TPC-C) | [`TpccSpec`] |
+
+pub mod micro;
+pub mod tpcc_gen;
+pub mod zipf;
+
+#[cfg(test)]
+mod proptests;
+
+pub use micro::{MicroGen, MicroSpec, PartitionConstraint};
+pub use zipf::Zipfian;
+pub use tpcc_gen::{TpccGen, TpccSpec};
+
+use orthrus_txn::Program;
+
+/// A workload description shared by all worker threads.
+#[derive(Debug, Clone)]
+pub enum Spec {
+    Micro(MicroSpec),
+    Tpcc(TpccSpec),
+}
+
+impl Spec {
+    /// Instantiate this thread's generator.
+    pub fn generator(&self, seed: u64, thread: usize) -> Gen {
+        match self {
+            Spec::Micro(s) => Gen::Micro(s.generator(seed, thread)),
+            Spec::Tpcc(s) => Gen::Tpcc(s.generator(seed, thread)),
+        }
+    }
+}
+
+/// A per-thread program source.
+pub enum Gen {
+    Micro(MicroGen),
+    Tpcc(TpccGen),
+}
+
+impl Gen {
+    /// Produce the next transaction program.
+    #[inline]
+    pub fn next_program(&mut self) -> Program {
+        match self {
+            Gen::Micro(g) => g.next_program(),
+            Gen::Tpcc(g) => g.next_program(),
+        }
+    }
+}

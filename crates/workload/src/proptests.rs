@@ -1,0 +1,124 @@
+//! Property tests: generated transactions must satisfy their spec's
+//! constraints for *arbitrary* parameter combinations, not just the
+//! paper's points.
+
+use proptest::prelude::*;
+
+use orthrus_storage::tpcc::TpccConfig;
+use orthrus_txn::{CustomerSelector, Program};
+
+use crate::micro::{MicroSpec, PartitionConstraint};
+use crate::tpcc_gen::TpccSpec;
+
+fn keys_of(p: Program) -> Vec<u64> {
+    match p {
+        Program::ReadOnly { keys } | Program::Rmw { keys } => keys,
+        _ => panic!("micro programs only"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn micro_keys_distinct_in_range_hot_first(
+        n_records in 128u64..100_000,
+        n_hot in prop::option::of(2u64..128),
+        total_ops in 1usize..12,
+        seed in any::<u64>(),
+        thread in 0usize..8,
+        read_only in any::<bool>(),
+    ) {
+        let n_hot = n_hot.filter(|&h| h < n_records);
+        let hot_ops = n_hot.map(|h| (h as usize).min(2).min(total_ops)).unwrap_or(0);
+        let spec = match n_hot {
+            Some(h) => MicroSpec::hot_cold(n_records, h, hot_ops, total_ops, read_only),
+            None => MicroSpec::uniform(n_records, total_ops, read_only),
+        };
+        let mut g = spec.generator(seed, thread);
+        for _ in 0..20 {
+            let keys = keys_of(g.next_program());
+            prop_assert_eq!(keys.len(), total_ops);
+            prop_assert!(keys.iter().all(|&k| k < n_records));
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), total_ops, "distinct keys");
+            if let Some(h) = n_hot {
+                for (i, &k) in keys.iter().enumerate() {
+                    if i < hot_ops {
+                        prop_assert!(k < h, "op {i} must be hot");
+                    } else {
+                        prop_assert!(k >= h, "op {i} must be cold");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_constraint_spans_exactly(
+        of in 1u32..16,
+        count_seed in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let total_ops = 10usize;
+        let count = 1 + count_seed % of.min(total_ops as u32);
+        // Partitioned key space must be big enough that every partition
+        // has keys in both hot and cold regions — use uniform.
+        let spec = MicroSpec::uniform(100_000, total_ops, false)
+            .with_constraint(PartitionConstraint::Exact { count, of });
+        let mut g = spec.generator(seed, 1);
+        for _ in 0..20 {
+            let keys = keys_of(g.next_program());
+            let mut parts: Vec<u64> = keys.iter().map(|k| k % of as u64).collect();
+            parts.sort_unstable();
+            parts.dedup();
+            prop_assert_eq!(parts.len() as u32, count);
+        }
+    }
+
+    #[test]
+    fn tpcc_generated_inputs_always_in_range(
+        warehouses in 1u32..8,
+        seed in any::<u64>(),
+        thread in 0usize..4,
+    ) {
+        let cfg = TpccConfig::tiny(warehouses);
+        let spec = TpccSpec::paper_mix(cfg);
+        let mut g = spec.generator(seed, thread);
+        for _ in 0..50 {
+            match g.next_program() {
+                Program::NewOrder(no) => {
+                    prop_assert!(no.w < cfg.warehouses);
+                    prop_assert!(no.d < cfg.districts_per_wh);
+                    prop_assert!(no.c < cfg.customers_per_district);
+                    prop_assert!(!no.lines.is_empty());
+                    for l in &no.lines {
+                        prop_assert!(l.i_id < cfg.items);
+                        prop_assert!(l.supply_w < cfg.warehouses);
+                        prop_assert!(l.qty >= 1 && l.qty <= 10);
+                    }
+                }
+                Program::Payment(p) => {
+                    prop_assert!(p.w < cfg.warehouses);
+                    prop_assert!(p.amount_cents > 0);
+                    match p.customer {
+                        CustomerSelector::ById { c_w, c_d, c } => {
+                            prop_assert!(c_w < cfg.warehouses);
+                            prop_assert!(c_d < cfg.districts_per_wh);
+                            prop_assert!(c < cfg.customers_per_district);
+                        }
+                        CustomerSelector::ByLastName { c_w, c_d, name_id } => {
+                            prop_assert!(c_w < cfg.warehouses);
+                            prop_assert!(c_d < cfg.districts_per_wh);
+                            // Bounded so the loaded index always resolves.
+                            prop_assert!((name_id as u32) < cfg.customers_per_district.min(1000));
+                        }
+                    }
+                }
+                other => prop_assert!(false, "unexpected program {}", other.kind()),
+            }
+        }
+    }
+}

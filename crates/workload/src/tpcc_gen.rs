@@ -1,0 +1,463 @@
+//! TPC-C transaction-mix generator (Section 4.4 and the full-mix
+//! extension).
+//!
+//! The paper's mix is equal NewOrder/Payment ("both types of transaction
+//! are equally likely to occur"), with the spec's remote rates the paper
+//! calls out: ~10% of NewOrders span two warehouses (via the spec's
+//! 1%-per-line remote-supplier rule) and 15% of Payments pay a remote
+//! customer; 60% of Payments select the customer by last name (the
+//! OLLP-forcing path). [`TpccSpec::full_mix`] extends this to the spec's
+//! five-transaction mix (45/43/4/4/4) with OrderStatus, Delivery, and
+//! StockLevel.
+
+use orthrus_common::XorShift64;
+use orthrus_storage::tpcc::{nurand, TpccConfig, N_LAST_NAMES};
+use orthrus_txn::{
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput,
+    PaymentInput, Program, StockLevelInput,
+};
+
+/// TPC-C workload description. Any percentage of the mix not claimed by
+/// NewOrder/OrderStatus/Delivery/StockLevel goes to Payment.
+#[derive(Debug, Clone)]
+pub struct TpccSpec {
+    pub cfg: TpccConfig,
+    /// Percent of Payments/OrderStatuses selecting the customer by last
+    /// name (spec & paper: 60).
+    pub by_name_pct: u32,
+    /// Percent of Payments paying a customer of another warehouse
+    /// (spec & paper: 15).
+    pub remote_payment_pct: u32,
+    /// Percent of NewOrder lines supplied by another warehouse (spec: 1,
+    /// yielding the paper's ~10% two-warehouse NewOrders at 10 lines).
+    pub remote_line_pct: u32,
+    /// Percent of the mix that is NewOrder (paper: 50; spec: 45).
+    pub new_order_pct: u32,
+    /// Percent of the mix that is OrderStatus (paper: 0; spec: 4).
+    pub order_status_pct: u32,
+    /// Percent of the mix that is Delivery (paper: 0; spec: 4).
+    pub delivery_pct: u32,
+    /// Percent of the mix that is StockLevel (paper: 0; spec: 4).
+    pub stock_level_pct: u32,
+    /// Recent orders StockLevel examines (spec: 20).
+    pub stock_level_depth: u32,
+}
+
+impl TpccSpec {
+    /// The paper's mix at a given warehouse count: NewOrder and Payment
+    /// only, equally likely.
+    pub fn paper_mix(cfg: TpccConfig) -> Self {
+        TpccSpec {
+            cfg,
+            by_name_pct: 60,
+            remote_payment_pct: 15,
+            remote_line_pct: 1,
+            new_order_pct: 50,
+            order_status_pct: 0,
+            delivery_pct: 0,
+            stock_level_pct: 0,
+            stock_level_depth: 20,
+        }
+    }
+
+    /// The spec's full five-transaction mix (45% NewOrder, 43% Payment,
+    /// 4% each of OrderStatus, Delivery, StockLevel). Pair with a
+    /// [`TpccConfig`] that pre-loads initial orders so the read-side
+    /// transactions have data from the first transaction.
+    pub fn full_mix(cfg: TpccConfig) -> Self {
+        TpccSpec {
+            new_order_pct: 45,
+            order_status_pct: 4,
+            delivery_pct: 4,
+            stock_level_pct: 4,
+            ..Self::paper_mix(cfg)
+        }
+    }
+
+    /// Percent of the mix that is Payment (the remainder).
+    pub fn payment_pct(&self) -> u32 {
+        100 - self.new_order_pct - self.order_status_pct - self.delivery_pct
+            - self.stock_level_pct
+    }
+
+    /// Instantiate this thread's generator.
+    pub fn generator(&self, seed: u64, thread: usize) -> TpccGen {
+        assert!(
+            self.new_order_pct + self.order_status_pct + self.delivery_pct + self.stock_level_pct
+                <= 100,
+            "mix percentages exceed 100"
+        );
+        TpccGen {
+            spec: self.clone(),
+            rng: XorShift64::for_thread(seed ^ 0x7470_6363, thread),
+            items: Vec::new(),
+        }
+    }
+}
+
+/// Per-thread generator.
+pub struct TpccGen {
+    spec: TpccSpec,
+    rng: XorShift64,
+    items: Vec<u64>,
+}
+
+impl TpccGen {
+    /// Produce the next transaction of the mix (cumulative draw over the
+    /// configured percentages; Payment takes the remainder).
+    pub fn next_program(&mut self) -> Program {
+        let draw = self.rng.next_below(100) as u32;
+        let s = &self.spec;
+        let mut edge = s.new_order_pct;
+        if draw < edge {
+            return Program::NewOrder(self.new_order());
+        }
+        edge += s.order_status_pct;
+        if draw < edge {
+            return Program::OrderStatus(self.order_status());
+        }
+        edge += s.delivery_pct;
+        if draw < edge {
+            return Program::Delivery(self.delivery());
+        }
+        edge += s.stock_level_pct;
+        if draw < edge {
+            return Program::StockLevel(self.stock_level());
+        }
+        Program::Payment(self.payment())
+    }
+
+    /// Largest last-name id guaranteed to have customers (every name id
+    /// below `min(customers_per_district, 1000)` is assigned during load).
+    fn name_bound(&self) -> u64 {
+        (self.spec.cfg.customers_per_district as u64).min(N_LAST_NAMES as u64)
+    }
+
+    fn new_order(&mut self) -> NewOrderInput {
+        let cfg = &self.spec.cfg;
+        let w = self.rng.next_below(cfg.warehouses as u64) as u32;
+        let d = self.rng.next_below(cfg.districts_per_wh as u64) as u32;
+        let c = nurand(&mut self.rng, 1023, 0, cfg.customers_per_district as u64 - 1) as u32;
+        let ol_cnt = self.rng.next_range(5, (cfg.max_lines as u64).min(15)) as usize;
+        // Distinct items per order (spec: unique within the order).
+        self.items.clear();
+        while self.items.len() < ol_cnt {
+            let i = nurand(&mut self.rng, 8191, 0, cfg.items as u64 - 1);
+            if !self.items.contains(&i) {
+                self.items.push(i);
+            }
+        }
+        let lines = self
+            .items
+            .iter()
+            .map(|&i| {
+                let remote = cfg.warehouses > 1
+                    && self.rng.chance_percent(self.spec.remote_line_pct);
+                let supply_w = if remote {
+                    // A uniformly chosen *other* warehouse.
+                    let mut s = self.rng.next_below(cfg.warehouses as u64 - 1) as u32;
+                    if s >= w {
+                        s += 1;
+                    }
+                    s
+                } else {
+                    w
+                };
+                OrderLineInput {
+                    i_id: i as u32,
+                    supply_w,
+                    qty: self.rng.next_range(1, 10) as u32,
+                }
+            })
+            .collect();
+        NewOrderInput { w, d, c, lines }
+    }
+
+    fn payment(&mut self) -> PaymentInput {
+        let cfg = &self.spec.cfg;
+        let w = self.rng.next_below(cfg.warehouses as u64) as u32;
+        let d = self.rng.next_below(cfg.districts_per_wh as u64) as u32;
+        let (c_w, c_d) = if cfg.warehouses > 1
+            && self.rng.chance_percent(self.spec.remote_payment_pct)
+        {
+            let mut rw = self.rng.next_below(cfg.warehouses as u64 - 1) as u32;
+            if rw >= w {
+                rw += 1;
+            }
+            (rw, self.rng.next_below(cfg.districts_per_wh as u64) as u32)
+        } else {
+            (w, d)
+        };
+        let customer = if self.rng.chance_percent(self.spec.by_name_pct) {
+            let bound = self.name_bound();
+            CustomerSelector::ByLastName {
+                c_w,
+                c_d,
+                name_id: nurand(&mut self.rng, 255, 0, bound - 1) as u16,
+            }
+        } else {
+            CustomerSelector::ById {
+                c_w,
+                c_d,
+                c: nurand(&mut self.rng, 1023, 0, cfg.customers_per_district as u64 - 1) as u32,
+            }
+        };
+        PaymentInput {
+            w,
+            d,
+            amount_cents: self.rng.next_range(100, 500_000),
+            customer,
+        }
+    }
+
+    fn order_status(&mut self) -> OrderStatusInput {
+        let cfg = &self.spec.cfg;
+        // Spec 2.6.1.2: the customer is always in their home district.
+        let c_w = self.rng.next_below(cfg.warehouses as u64) as u32;
+        let c_d = self.rng.next_below(cfg.districts_per_wh as u64) as u32;
+        let bound = self.name_bound();
+        let customer = if self.rng.chance_percent(self.spec.by_name_pct) {
+            CustomerSelector::ByLastName {
+                c_w,
+                c_d,
+                name_id: nurand(&mut self.rng, 255, 0, bound - 1) as u16,
+            }
+        } else {
+            CustomerSelector::ById {
+                c_w,
+                c_d,
+                c: nurand(&mut self.rng, 1023, 0, cfg.customers_per_district as u64 - 1) as u32,
+            }
+        };
+        OrderStatusInput { customer }
+    }
+
+    fn delivery(&mut self) -> DeliveryInput {
+        DeliveryInput {
+            w: self.rng.next_below(self.spec.cfg.warehouses as u64) as u32,
+            carrier: self.rng.next_range(1, 10) as u8,
+        }
+    }
+
+    fn stock_level(&mut self) -> StockLevelInput {
+        let cfg = &self.spec.cfg;
+        StockLevelInput {
+            w: self.rng.next_below(cfg.warehouses as u64) as u32,
+            d: self.rng.next_below(cfg.districts_per_wh as u64) as u32,
+            threshold: self.rng.next_range(10, 20) as u32,
+            depth: self.spec.stock_level_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TpccSpec {
+        TpccSpec::paper_mix(TpccConfig::tiny(4))
+    }
+
+    #[test]
+    fn mix_is_roughly_half_half() {
+        let mut g = spec().generator(1, 0);
+        let mut new_orders = 0;
+        for _ in 0..2000 {
+            if matches!(g.next_program(), Program::NewOrder(_)) {
+                new_orders += 1;
+            }
+        }
+        assert!((800..1200).contains(&new_orders), "{new_orders}");
+    }
+
+    #[test]
+    fn new_order_inputs_in_range() {
+        let mut g = spec().generator(2, 1);
+        let cfg = TpccConfig::tiny(4);
+        for _ in 0..500 {
+            if let Program::NewOrder(no) = g.next_program() {
+                assert!(no.w < cfg.warehouses);
+                assert!(no.d < cfg.districts_per_wh);
+                assert!(no.c < cfg.customers_per_district);
+                assert!((5..=15).contains(&no.lines.len()));
+                let mut items: Vec<u32> = no.lines.iter().map(|l| l.i_id).collect();
+                let n = items.len();
+                items.sort_unstable();
+                items.dedup();
+                assert_eq!(items.len(), n, "items must be distinct");
+                for l in &no.lines {
+                    assert!(l.i_id < cfg.items);
+                    assert!(l.supply_w < cfg.warehouses);
+                    assert!((1..=10).contains(&l.qty));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payment_remote_and_by_name_rates() {
+        let mut g = spec().generator(3, 0);
+        let (mut payments, mut by_name, mut remote) = (0u32, 0u32, 0u32);
+        for _ in 0..20_000 {
+            if let Program::Payment(p) = g.next_program() {
+                payments += 1;
+                match p.customer {
+                    CustomerSelector::ByLastName { c_w, .. } => {
+                        by_name += 1;
+                        if c_w != p.w {
+                            remote += 1;
+                        }
+                    }
+                    CustomerSelector::ById { c_w, .. } => {
+                        if c_w != p.w {
+                            remote += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let by_name_pct = by_name * 100 / payments;
+        let remote_pct = remote * 100 / payments;
+        assert!((55..=65).contains(&by_name_pct), "by-name {by_name_pct}%");
+        assert!((11..=19).contains(&remote_pct), "remote {remote_pct}%");
+    }
+
+    #[test]
+    fn new_order_remote_order_rate_near_ten_pct() {
+        // 1% per line × 5–15 lines ≈ 10% multi-warehouse orders.
+        let mut g = spec().generator(4, 0);
+        let (mut orders, mut multi) = (0u32, 0u32);
+        for _ in 0..40_000 {
+            if let Program::NewOrder(no) = g.next_program() {
+                orders += 1;
+                if no.lines.iter().any(|l| l.supply_w != no.w) {
+                    multi += 1;
+                }
+            }
+        }
+        let pct = multi as f64 / orders as f64 * 100.0;
+        assert!((5.0..=15.0).contains(&pct), "multi-warehouse rate {pct:.1}%");
+    }
+
+    #[test]
+    fn single_warehouse_never_remote() {
+        let mut g = TpccSpec::paper_mix(TpccConfig::tiny(1)).generator(5, 0);
+        for _ in 0..500 {
+            match g.next_program() {
+                Program::NewOrder(no) => {
+                    assert!(no.lines.iter().all(|l| l.supply_w == 0));
+                }
+                Program::Payment(p) => match p.customer {
+                    CustomerSelector::ById { c_w, .. } => assert_eq!(c_w, 0),
+                    CustomerSelector::ByLastName { c_w, .. } => assert_eq!(c_w, 0),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn full_mix_rates_match_spec() {
+        let mut g = TpccSpec::full_mix(TpccConfig::tiny(4)).generator(7, 0);
+        let mut counts = [0u32; 5]; // no, pay, os, del, sl
+        for _ in 0..50_000 {
+            let i = match g.next_program() {
+                Program::NewOrder(_) => 0,
+                Program::Payment(_) => 1,
+                Program::OrderStatus(_) => 2,
+                Program::Delivery(_) => 3,
+                Program::StockLevel(_) => 4,
+                other => panic!("unexpected {}", other.kind()),
+            };
+            counts[i] += 1;
+        }
+        let pct = |i: usize| counts[i] as f64 / 500.0;
+        assert!((42.0..=48.0).contains(&pct(0)), "NewOrder {}%", pct(0));
+        assert!((40.0..=46.0).contains(&pct(1)), "Payment {}%", pct(1));
+        for (i, name) in [(2, "OrderStatus"), (3, "Delivery"), (4, "StockLevel")] {
+            assert!((2.5..=5.5).contains(&pct(i)), "{name} {}%", pct(i));
+        }
+    }
+
+    #[test]
+    fn full_mix_inputs_in_range() {
+        let cfg = TpccConfig::tiny(4);
+        let mut g = TpccSpec::full_mix(cfg).generator(8, 1);
+        let mut seen = [false; 3];
+        for _ in 0..5_000 {
+            match g.next_program() {
+                Program::OrderStatus(os) => {
+                    seen[0] = true;
+                    match os.customer {
+                        CustomerSelector::ById { c_w, c_d, c } => {
+                            assert!(c_w < cfg.warehouses);
+                            assert!(c_d < cfg.districts_per_wh);
+                            assert!(c < cfg.customers_per_district);
+                        }
+                        CustomerSelector::ByLastName { c_w, c_d, name_id } => {
+                            assert!(c_w < cfg.warehouses);
+                            assert!(c_d < cfg.districts_per_wh);
+                            assert!((name_id as u32) < cfg.customers_per_district);
+                        }
+                    }
+                }
+                Program::Delivery(d) => {
+                    seen[1] = true;
+                    assert!(d.w < cfg.warehouses);
+                    assert!((1..=10).contains(&d.carrier));
+                }
+                Program::StockLevel(sl) => {
+                    seen[2] = true;
+                    assert!(sl.w < cfg.warehouses);
+                    assert!(sl.d < cfg.districts_per_wh);
+                    assert!((10..=20).contains(&sl.threshold));
+                    assert_eq!(sl.depth, 20);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(seen, [true; 3], "all extension kinds drawn");
+    }
+
+    #[test]
+    fn paper_mix_never_draws_extension_transactions() {
+        let mut g = spec().generator(9, 0);
+        for _ in 0..5_000 {
+            assert!(matches!(
+                g.next_program(),
+                Program::NewOrder(_) | Program::Payment(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn payment_pct_is_the_remainder() {
+        let cfg = TpccConfig::tiny(1);
+        assert_eq!(TpccSpec::paper_mix(cfg).payment_pct(), 50);
+        assert_eq!(TpccSpec::full_mix(cfg).payment_pct(), 43);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix percentages exceed 100")]
+    fn overfull_mix_is_rejected() {
+        let mut s = TpccSpec::full_mix(TpccConfig::tiny(1));
+        s.new_order_pct = 95;
+        let _ = s.generator(1, 0);
+    }
+
+    #[test]
+    fn names_stay_below_customer_count() {
+        // tiny config has 30 customers/district: names must stay < 30 so
+        // the by-name lookup always finds a customer.
+        let mut g = spec().generator(6, 0);
+        for _ in 0..2000 {
+            if let Program::Payment(PaymentInput {
+                customer: CustomerSelector::ByLastName { name_id, .. },
+                ..
+            }) = g.next_program()
+            {
+                assert!((name_id as u32) < 30);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! SEDA-style thread-allocation tuning (Section 4.2).
+//!
+//! Given a fixed thread budget, how many threads should be concurrency
+//! control and how many execution? The paper observes the optimum "is not
+//! obvious" and points at SEDA-style dynamic resource allocation. This
+//! example runs the harness's auto-tuner — short measurement epochs
+//! driving an integer ternary search over the split — and compares the
+//! split it finds against the paper's static 1/5 rule.
+//!
+//! Run: `cargo run --release --example adaptive_allocation [threads]`
+
+use std::time::Duration;
+
+use orthrus::harness::{systems, tune_cc_split, BenchConfig};
+use orthrus::workload::MicroSpec;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    assert!(threads >= 2, "need at least one CC and one exec thread");
+
+    let mut bc = BenchConfig::from_env();
+    bc.measure = Duration::from_millis(300);
+    bc.warmup = Duration::from_millis(100);
+
+    // The Figure-5 workload: uniform 10-RMW, single-CC placement implied
+    // by the uniform key spread.
+    let spec = MicroSpec::uniform(bc.n_records as u64, 10, false);
+
+    println!("Tuning the CC/exec split for a {threads}-thread budget\n");
+    let result = tune_cc_split(threads, |n_cc| {
+        let stats = systems::run_orthrus_split(spec.clone(), n_cc, threads - n_cc, &bc);
+        let t = stats.throughput();
+        println!("  epoch: {n_cc:>3} CC / {:>3} exec → {t:>12.0} txns/sec", threads - n_cc);
+        t
+    });
+
+    let paper_cc = (threads / 5).max(1);
+    let paper = systems::run_orthrus_split(spec.clone(), paper_cc, threads - paper_cc, &bc);
+
+    println!(
+        "\ntuned:      {} CC / {} exec → {:>12.0} txns/sec ({} epochs)",
+        result.best.n_cc,
+        threads - result.best.n_cc,
+        result.best.throughput,
+        result.trace.len()
+    );
+    println!(
+        "paper 1/5:  {} CC / {} exec → {:>12.0} txns/sec",
+        paper_cc,
+        threads - paper_cc,
+        paper.throughput()
+    );
+}

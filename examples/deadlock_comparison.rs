@@ -1,0 +1,55 @@
+//! Deadlock-handling comparison: the Section 4.1 experiment in miniature.
+//! Four 2PL variants (wait-for graph, wait-die, Dreadlocks, deadlock-free
+//! ordered) run the same contended 10-RMW workload while the hot-set
+//! shrinks; watch the deadlock handlers fall behind the planner.
+//!
+//! Run: `cargo run --release --example deadlock_comparison [threads]`
+
+use orthrus::harness::{systems, BenchConfig, SystemKind};
+use orthrus::workload::MicroSpec;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let mut bc = BenchConfig::from_env();
+    bc.n_records = 100_000;
+
+    let systems_under_test = [
+        SystemKind::DeadlockFree,
+        SystemKind::TwoPlDreadlocks,
+        SystemKind::TwoPlWaitDie,
+        SystemKind::TwoPlWfg,
+    ];
+
+    println!("10-RMW (2 hot + 8 cold), {threads} threads — txns/sec by hot-set size\n");
+    print!("{:<14}", "hot records");
+    for kind in systems_under_test {
+        print!("{:>20}", kind.label());
+    }
+    println!();
+
+    for hot in [1024u64, 256, 64] {
+        print!("{hot:<14}");
+        for kind in systems_under_test {
+            let spec = MicroSpec::hot_cold(bc.n_records as u64, hot, 2, 10, false);
+            let stats = systems::run_micro(kind, spec, threads, &bc);
+            print!("{:>20.0}", stats.throughput());
+        }
+        println!();
+    }
+
+    println!("\nabort sources at hot=64:");
+    for kind in systems_under_test {
+        let spec = MicroSpec::hot_cold(bc.n_records as u64, 64, 2, 10, false);
+        let stats = systems::run_micro(kind, spec, threads, &bc);
+        println!(
+            "  {:<20} deadlock={:<8} wait-die={:<8} ({:.2}% of attempts)",
+            kind.label(),
+            stats.totals.aborts_deadlock,
+            stats.totals.aborts_wait_die,
+            100.0 * stats.abort_rate(),
+        );
+    }
+}

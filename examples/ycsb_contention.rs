@@ -1,0 +1,56 @@
+//! YCSB shoot-out: ORTHRUS vs deadlock-free locking vs dynamic 2PL on the
+//! paper's high-contention 10-RMW mix (2 records from a 64-record hot
+//! set + 8 cold), the workload behind Figure 12(b).
+//!
+//! Run: `cargo run --release --example ycsb_contention [threads]`
+
+use orthrus::harness::{systems, BenchConfig, SystemKind};
+use orthrus::workload::MicroSpec;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+    let mut bc = BenchConfig::from_env();
+    bc.n_records = 100_000;
+
+    println!("YCSB 10-RMW, 2 hot of 64 + 8 cold, {threads} threads\n");
+    println!("{:<22}{:>14}{:>12}{:>10}", "system", "txns/sec", "aborts", "abort%");
+
+    let systems_under_test = [
+        SystemKind::Orthrus,
+        SystemKind::DeadlockFree,
+        SystemKind::TwoPlWaitDie,
+        SystemKind::TwoPlDreadlocks,
+        SystemKind::TwoPlWfg,
+    ];
+    let mut results = Vec::new();
+    for kind in systems_under_test {
+        let spec = MicroSpec::hot_cold(bc.n_records as u64, 64, 2, 10, false);
+        let stats = systems::run_micro(kind, spec, threads, &bc);
+        println!(
+            "{:<22}{:>14.0}{:>12}{:>9.1}%",
+            kind.label(),
+            stats.throughput(),
+            stats.totals.aborts(),
+            100.0 * stats.abort_rate(),
+        );
+        results.push((kind, stats.throughput()));
+    }
+
+    let orthrus = results
+        .iter()
+        .find(|(k, _)| *k == SystemKind::Orthrus)
+        .unwrap()
+        .1;
+    println!("\nORTHRUS speedups over the dynamic-2PL baselines:");
+    for (kind, tput) in &results {
+        if matches!(
+            kind,
+            SystemKind::TwoPlWaitDie | SystemKind::TwoPlDreadlocks | SystemKind::TwoPlWfg
+        ) {
+            println!("  vs {:<20} {:>5.2}x", kind.label(), orthrus / tput.max(1.0));
+        }
+    }
+}

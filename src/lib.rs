@@ -1,0 +1,50 @@
+//! # ORTHRUS — a reproduction of "Design Principles for Scaling Multi-core
+//! # OLTP Under High Contention" (Ren, Faleiro, Abadi — SIGMOD 2016)
+//!
+//! This umbrella crate re-exports the whole workspace behind one
+//! dependency. The system under study is **ORTHRUS**
+//! ([`core::OrthrusEngine`]): a main-memory transaction manager that
+//! (1) partitions *functionality* across cores — dedicated
+//! concurrency-control threads own disjoint slices of the lock space and
+//! talk to execution threads only via latch-free SPSC message rings — and
+//! (2) plans each transaction's data accesses in advance so locks are
+//! acquired in a global order and deadlock never occurs.
+//!
+//! The paper's baselines ship alongside: dynamic two-phase locking with
+//! wait-die / wait-for-graph / Dreadlocks deadlock handling
+//! ([`baselines::TwoPlEngine`]), planned deadlock-free locking over a
+//! shared lock table ([`baselines::DeadlockFreeEngine`]), and an
+//! H-Store-style partitioned store ([`baselines::PartitionedStoreEngine`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use orthrus::common::RunParams;
+//! use orthrus::core::{CcAssignment, OrthrusConfig, OrthrusEngine};
+//! use orthrus::storage::Table;
+//! use orthrus::txn::Database;
+//! use orthrus::workload::{MicroSpec, Spec};
+//!
+//! // 10,000 records; transactions RMW 4 uniformly random records.
+//! let db = Arc::new(Database::Flat(Table::new(10_000, 100)));
+//! let spec = Spec::Micro(MicroSpec::uniform(10_000, 4, false));
+//! let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo);
+//! let engine = OrthrusEngine::new(db, spec, cfg);
+//! let stats = engine.run(&RunParams::quick(3));
+//! assert!(stats.totals.committed > 0);
+//! println!("{:.0} txns/sec", stats.throughput());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! per-figure reproduction harness.
+
+pub use orthrus_baselines as baselines;
+pub use orthrus_common as common;
+pub use orthrus_core as core;
+pub use orthrus_harness as harness;
+pub use orthrus_lockmgr as lockmgr;
+pub use orthrus_spsc as spsc;
+pub use orthrus_storage as storage;
+pub use orthrus_txn as txn;
+pub use orthrus_workload as workload;

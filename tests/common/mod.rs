@@ -1,0 +1,12 @@
+//! Shared helpers for the integration-test binaries.
+
+#![allow(dead_code)]
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes timed engine runs within one test binary: concurrent
+/// multi-thread engine windows starve each other on small CI hosts.
+pub fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,176 @@
+//! Cross-engine integration tests: every system in the paper runs the
+//! same workloads against the same invariants.
+//!
+//! For increment-only RMW workloads, "sum of all counters == total applied
+//! increments" is a full serializability witness (any lost update breaks
+//! it; any torn write breaks per-record counts). Planned engines never
+//! leave partial effects, so they satisfy the exact form; dynamic 2PL may
+//! retry after applying a prefix (no undo log, as in the paper's
+//! prototype), so it satisfies the one-sided form.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orthrus::baselines::{DeadlockFreeEngine, PartitionedStoreEngine, TwoPlEngine};
+use orthrus::common::RunParams;
+use orthrus::core::{CcAssignment, OrthrusConfig, OrthrusEngine};
+use orthrus::lockmgr::{Dreadlocks, WaitDie, WaitForGraph};
+use orthrus::storage::{PartitionedTable, Table};
+use orthrus::txn::Database;
+use orthrus::workload::{MicroSpec, PartitionConstraint, Spec, TpccSpec};
+
+const N: usize = 512;
+const OPS: usize = 6;
+
+fn params() -> RunParams {
+    RunParams {
+        threads: 4,
+        seed: 99,
+        warmup: Duration::from_millis(30),
+        measure: Duration::from_millis(150),
+        ollp_noise_pct: 0,
+    }
+}
+
+fn contended_spec() -> Spec {
+    Spec::Micro(MicroSpec::hot_cold(N as u64, 8, 2, OPS, false))
+}
+
+fn counter_total(db: &Database) -> u64 {
+    (0..N as u64).map(|k| unsafe { db.read_counter(k) }).sum()
+}
+
+#[test]
+fn orthrus_exact_serializability_witness() {
+    let _serial = common::serial();
+    let db = Arc::new(Database::Flat(Table::new(N, 64)));
+    let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+    let stats = OrthrusEngine::new(Arc::clone(&db), contended_spec(), cfg.clone()).run(&params());
+    assert!(stats.totals.committed > 0);
+    assert_eq!(counter_total(&db), stats.totals.committed_all * OPS as u64);
+}
+
+#[test]
+fn deadlock_free_exact_serializability_witness() {
+    let _serial = common::serial();
+    let db = Arc::new(Database::Flat(Table::new(N, 64)));
+    let stats =
+        DeadlockFreeEngine::new(Arc::clone(&db), 256, contended_spec()).run(&params());
+    assert!(stats.totals.committed > 0);
+    assert_eq!(counter_total(&db), stats.totals.committed_all * OPS as u64);
+}
+
+#[test]
+fn partitioned_store_exact_serializability_witness() {
+    let _serial = common::serial();
+    let db = Arc::new(Database::Partitioned(PartitionedTable::new(N, 64, 4)));
+    let spec = Spec::Micro(
+        MicroSpec::uniform(N as u64, OPS, false)
+            .with_constraint(PartitionConstraint::MultiFraction { pct: 50, of: 4 }),
+    );
+    let stats = PartitionedStoreEngine::new(Arc::clone(&db), spec).run(&params());
+    assert!(stats.totals.committed > 0);
+    assert_eq!(counter_total(&db), stats.totals.committed_all * OPS as u64);
+}
+
+#[test]
+fn dynamic_2pl_one_sided_witness_all_policies() {
+    let _serial = common::serial();
+    // Wait-die.
+    let db = Arc::new(Database::Flat(Table::new(N, 64)));
+    let stats =
+        TwoPlEngine::new(Arc::clone(&db), WaitDie, 256, contended_spec()).run(&params());
+    assert!(counter_total(&db) >= stats.totals.committed_all * OPS as u64);
+
+    // Wait-for graph.
+    let db = Arc::new(Database::Flat(Table::new(N, 64)));
+    let stats = TwoPlEngine::new(Arc::clone(&db), WaitForGraph::new(4), 256, contended_spec())
+        .run(&params());
+    assert!(counter_total(&db) >= stats.totals.committed_all * OPS as u64);
+
+    // Dreadlocks.
+    let db = Arc::new(Database::Flat(Table::new(N, 64)));
+    let stats = TwoPlEngine::new(Arc::clone(&db), Dreadlocks::new(4), 256, contended_spec())
+        .run(&params());
+    assert!(counter_total(&db) >= stats.totals.committed_all * OPS as u64);
+}
+
+#[test]
+fn read_only_writes_nothing_on_any_engine() {
+    let _serial = common::serial();
+    let spec = Spec::Micro(MicroSpec::hot_cold(N as u64, 8, 2, OPS, true));
+
+    let db = Arc::new(Database::Flat(Table::new(N, 64)));
+    let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+    OrthrusEngine::new(Arc::clone(&db), spec.clone(), cfg.clone()).run(&params());
+    assert_eq!(counter_total(&db), 0);
+
+    let db = Arc::new(Database::Flat(Table::new(N, 64)));
+    TwoPlEngine::new(Arc::clone(&db), WaitDie, 256, spec.clone()).run(&params());
+    assert_eq!(counter_total(&db), 0);
+
+    let db = Arc::new(Database::Flat(Table::new(N, 64)));
+    DeadlockFreeEngine::new(Arc::clone(&db), 256, spec).run(&params());
+    assert_eq!(counter_total(&db), 0);
+}
+
+#[test]
+fn tpcc_conservation_matches_between_planned_engines() {
+    let _serial = common::serial();
+    use orthrus::storage::tpcc::{TpccConfig, TpccDb};
+    let cfg_t = TpccConfig::tiny(2);
+    let spec = Spec::Tpcc(TpccSpec::paper_mix(cfg_t));
+
+    let conservation = |db: &Database| {
+        let t = db.tpcc();
+        let w: u64 = (0..t.warehouses.len())
+            .map(|i| unsafe { t.warehouses.read_with(i, |r| r.ytd_cents) } - 30_000_000)
+            .sum();
+        let d: u64 = (0..t.districts.len())
+            .map(|i| unsafe { t.districts.read_with(i, |r| r.ytd_cents) } - 3_000_000)
+            .sum();
+        assert_eq!(w, d, "payment totals must agree");
+        // Order headers == sum of district o_id counters.
+        let orders: u64 = (0..t.districts.len())
+            .map(|i| unsafe { t.districts.read_with(i, |r| r.next_o_id as u64) })
+            .sum();
+        orders
+    };
+
+    let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 5)));
+    let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+    let stats = OrthrusEngine::new(Arc::clone(&db), spec.clone(), cfg.clone()).run(&params());
+    let orders = conservation(&db);
+    assert!(orders > 0);
+    assert!(stats.totals.committed > 0);
+
+    let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 5)));
+    let stats = DeadlockFreeEngine::new(Arc::clone(&db), 1024, spec).run(&params());
+    let orders = conservation(&db);
+    assert!(orders > 0);
+    assert!(stats.totals.committed > 0);
+}
+
+#[test]
+fn split_variants_agree_with_unsplit_on_effects() {
+    let _serial = common::serial();
+    // Same workload on ORTHRUS vs SPLIT ORTHRUS: different physical
+    // layout, same logical outcome (exact witness both times).
+    let spec = || {
+        Spec::Micro(
+            MicroSpec::uniform(N as u64, OPS, false)
+                .with_constraint(PartitionConstraint::Exact { count: 2, of: 2 }),
+        )
+    };
+    let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+
+    let flat = Arc::new(Database::Flat(Table::new(N, 64)));
+    let s1 = OrthrusEngine::new(Arc::clone(&flat), spec(), cfg.clone()).run(&params());
+    assert_eq!(counter_total(&flat), s1.totals.committed_all * OPS as u64);
+
+    let split = Arc::new(Database::Partitioned(PartitionedTable::new(N, 64, 2)));
+    let s2 = OrthrusEngine::new(Arc::clone(&split), spec(), cfg.clone()).run(&params());
+    assert_eq!(counter_total(&split), s2.totals.committed_all * OPS as u64);
+}

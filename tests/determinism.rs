@@ -1,0 +1,109 @@
+//! Determinism and reproducibility guarantees the harness relies on:
+//! identical seeds must produce identical workload streams and plans, so
+//! paired system comparisons see the same transaction population.
+
+use orthrus::common::XorShift64;
+use orthrus::storage::tpcc::{TpccConfig, TpccDb};
+use orthrus::storage::Table;
+use orthrus::txn::{plan_accesses, Database, Program};
+use orthrus::workload::{MicroSpec, PartitionConstraint, Spec, TpccSpec};
+
+#[test]
+fn micro_streams_are_reproducible_and_thread_decorrelated() {
+    let spec = Spec::Micro(
+        MicroSpec::hot_cold(10_000, 64, 2, 10, false)
+            .with_constraint(PartitionConstraint::Exact { count: 2, of: 8 }),
+    );
+    for thread in 0..4 {
+        let a: Vec<Program> = {
+            let mut g = spec.generator(7, thread);
+            (0..50).map(|_| g.next_program()).collect()
+        };
+        let b: Vec<Program> = {
+            let mut g = spec.generator(7, thread);
+            (0..50).map(|_| g.next_program()).collect()
+        };
+        assert_eq!(a, b, "thread {thread} stream not reproducible");
+    }
+    let mut g0 = spec.generator(7, 0);
+    let mut g1 = spec.generator(7, 1);
+    let s0: Vec<Program> = (0..10).map(|_| g0.next_program()).collect();
+    let s1: Vec<Program> = (0..10).map(|_| g1.next_program()).collect();
+    assert_ne!(s0, s1, "threads must not replay each other's stream");
+}
+
+#[test]
+fn tpcc_streams_are_reproducible() {
+    let spec = Spec::Tpcc(TpccSpec::paper_mix(TpccConfig::tiny(4)));
+    let a: Vec<Program> = {
+        let mut g = spec.generator(3, 2);
+        (0..100).map(|_| g.next_program()).collect()
+    };
+    let b: Vec<Program> = {
+        let mut g = spec.generator(3, 2);
+        (0..100).map(|_| g.next_program()).collect()
+    };
+    assert_eq!(a, b);
+}
+
+#[test]
+fn plans_are_deterministic_given_program_and_db() {
+    let db = Database::Tpcc(TpccDb::load(TpccConfig::tiny(2), 17));
+    let spec = Spec::Tpcc(TpccSpec::paper_mix(TpccConfig::tiny(2)));
+    let mut g = spec.generator(17, 0);
+    for _ in 0..200 {
+        let program = g.next_program();
+        let mut r1 = XorShift64::new(1);
+        let mut r2 = XorShift64::new(1);
+        let p1 = plan_accesses(&program, &db, 0, &mut r1);
+        let p2 = plan_accesses(&program, &db, 0, &mut r2);
+        assert_eq!(p1, p2);
+        // Plans are sorted and deduplicated.
+        let keys: Vec<u64> = p1.accesses.entries().iter().map(|e| e.0).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "plan must be sorted and deduped");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_stream() {
+    let spec = Spec::Micro(MicroSpec::uniform(100_000, 10, false));
+    let a: Vec<Program> = {
+        let mut g = spec.generator(1, 0);
+        (0..10).map(|_| g.next_program()).collect()
+    };
+    let b: Vec<Program> = {
+        let mut g = spec.generator(2, 0);
+        (0..10).map(|_| g.next_program()).collect()
+    };
+    assert_ne!(a, b);
+}
+
+#[test]
+fn tpcc_loads_are_identical_across_engine_instances() {
+    // The harness loads one TpccDb per engine run; identical seeds must
+    // give byte-identical contention structure (same last-name index).
+    let a = TpccDb::load(TpccConfig::tiny(2), 123);
+    let b = TpccDb::load(TpccConfig::tiny(2), 123);
+    for w in 0..2 {
+        for d in 0..2 {
+            for name in 0..30 {
+                assert_eq!(
+                    a.customers_by_last_name(w, d, name),
+                    b.customers_by_last_name(w, d, name)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_table_lookup_is_total_on_loaded_range() {
+    let t = Table::new(1000, 64);
+    for k in 0..1000u64 {
+        assert!(t.lookup(k).is_some());
+    }
+    assert!(t.lookup(1000).is_none());
+}

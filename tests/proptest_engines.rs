@@ -1,0 +1,79 @@
+//! Property-based integration tests: the serializability witness must hold
+//! for *arbitrary* workload shapes and engine configurations, not just the
+//! paper's points.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use orthrus::baselines::DeadlockFreeEngine;
+use orthrus::common::RunParams;
+use orthrus::core::{CcAssignment, OrthrusConfig, OrthrusEngine};
+use orthrus::storage::Table;
+use orthrus::txn::Database;
+use orthrus::workload::{MicroSpec, Spec};
+
+fn short_params(threads: usize, seed: u64) -> RunParams {
+    RunParams {
+        threads,
+        seed,
+        warmup: Duration::from_millis(10),
+        measure: Duration::from_millis(60),
+        ollp_noise_pct: 0,
+    }
+}
+
+proptest! {
+    // Each case spins up real threads; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn orthrus_witness_holds_for_arbitrary_shapes(
+        n_records in 64usize..1024,
+        ops in 1usize..8,
+        hot in prop::option::of(4u64..32),
+        n_cc in 1usize..4,
+        n_exec in 1usize..4,
+        inflight in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let _serial = common::serial();
+        let hot = hot.filter(|&h| h <= n_records as u64 && h >= 2);
+        let spec = match hot {
+            Some(h) => MicroSpec::hot_cold(n_records as u64, h, ops.min(2), ops, false),
+            None => MicroSpec::uniform(n_records as u64, ops, false),
+        };
+        let db = Arc::new(Database::Flat(Table::new(n_records, 64)));
+        let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
+        cfg.max_inflight = inflight;
+        let stats = OrthrusEngine::new(Arc::clone(&db), Spec::Micro(spec), cfg)
+            .run(&short_params(n_cc + n_exec, seed));
+        prop_assert!(stats.totals.committed_all > 0);
+        let total: u64 = (0..n_records as u64)
+            .map(|k| unsafe { db.read_counter(k) })
+            .sum();
+        prop_assert_eq!(total, stats.totals.committed_all * ops as u64);
+    }
+
+    #[test]
+    fn deadlock_free_witness_holds_for_arbitrary_shapes(
+        n_records in 64usize..1024,
+        ops in 1usize..8,
+        threads in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let _serial = common::serial();
+        let spec = MicroSpec::uniform(n_records as u64, ops, false);
+        let db = Arc::new(Database::Flat(Table::new(n_records, 64)));
+        let stats = DeadlockFreeEngine::new(Arc::clone(&db), 128, Spec::Micro(spec))
+            .run(&short_params(threads, seed));
+        prop_assert!(stats.totals.committed_all > 0);
+        let total: u64 = (0..n_records as u64)
+            .map(|k| unsafe { db.read_counter(k) })
+            .sum();
+        prop_assert_eq!(total, stats.totals.committed_all * ops as u64);
+    }
+}

@@ -1,0 +1,248 @@
+//! Full TPC-C five-transaction mix across engines (extension beyond the
+//! paper's NewOrder+Payment subset).
+//!
+//! The read-side and delivery transactions make the OLLP machinery work
+//! for a living: Delivery's order/customer set, StockLevel's item set, and
+//! the by-name lookups are all data-dependent, estimated from the
+//! reconnaissance board, and validated under locks.
+//!
+//! Conservation laws checked on planned engines (which never leave partial
+//! effects):
+//!
+//! 1. **Payment**: Σ warehouse ytd deltas == Σ district ytd deltas, and
+//!    history rows == customer payment counts.
+//! 2. **Delivery (wrap-proof)**: every Payment moves `amount` from
+//!    `balance` to `ytd_payment` (their sum is invariant), and every
+//!    Delivery adds the credited amount to `balance` *and* to the home
+//!    district's `delivered_cents`. Hence
+//!    Σ(balance + ytd_payment − initial) == Σ district `delivered_cents`,
+//!    no matter how many order slots were recycled.
+//! 3. **Delivery counts**: Σ customer `delivery_cnt` == Σ district
+//!    `delivered_cnt`.
+//! 4. **Order-state coherence** within each district's surviving slot
+//!    window: a stamped carrier implies a cleared NewOrder marker and
+//!    fully-flagged lines; orders at/after the delivery cursor are
+//!    unstamped.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orthrus::baselines::{DeadlockFreeEngine, TwoPlEngine};
+use orthrus::common::RunParams;
+use orthrus::core::{CcAssignment, OrthrusConfig, OrthrusEngine};
+use orthrus::lockmgr::{Dreadlocks, WaitDie};
+use orthrus::storage::tpcc::{TpccConfig, TpccDb, TpccLayout};
+use orthrus::txn::Database;
+use orthrus::workload::{Spec, TpccSpec};
+
+fn params() -> RunParams {
+    RunParams {
+        threads: 4,
+        seed: 321,
+        warmup: Duration::from_millis(30),
+        measure: Duration::from_millis(150),
+        ollp_noise_pct: 0,
+    }
+}
+
+fn cfg_t() -> TpccConfig {
+    TpccConfig::tiny(2).with_initial_orders(20)
+}
+
+fn spec() -> Spec {
+    Spec::Tpcc(TpccSpec::full_mix(cfg_t()))
+}
+
+fn db() -> Arc<Database> {
+    Arc::new(Database::Tpcc(TpccDb::load(cfg_t(), 77)))
+}
+
+/// The exact conservation laws (planned engines only).
+fn check_conservation(db: &Database) {
+    let t = db.tpcc();
+    let cfg = *t.cfg();
+
+    // 1. Payment totals agree between the two ledger levels.
+    let w_ytd: u64 = (0..t.warehouses.len())
+        .map(|i| unsafe { t.warehouses.read_with(i, |r| r.ytd_cents) } - 30_000_000)
+        .sum();
+    let d_ytd: u64 = (0..t.districts.len())
+        .map(|i| unsafe { t.districts.read_with(i, |r| r.ytd_cents) } - 3_000_000)
+        .sum();
+    assert_eq!(w_ytd, d_ytd, "warehouse vs district payment totals");
+
+    // History rows vs customer payment counters.
+    let hist: u64 = (0..t.districts.len())
+        .map(|i| unsafe { t.districts.read_with(i, |r| r.history_ctr as u64) })
+        .sum();
+    let pays: u64 = (0..t.customers.len())
+        .map(|i| unsafe { t.customers.read_with(i, |r| (r.payment_cnt - 1) as u64) })
+        .sum();
+    assert_eq!(hist, pays, "history rows vs customer payments");
+
+    // 2 & 3. Delivery conservation, immune to slot recycling.
+    let cust_sum: i128 = (0..t.customers.len())
+        .map(|i| unsafe {
+            t.customers
+                .read_with(i, |r| r.balance_cents as i128 + r.ytd_payment_cents as i128)
+        })
+        .sum();
+    // Loader initials: balance −1000, ytd_payment 1000 → per-customer sum 0.
+    let initial: i128 = 0;
+    let delivered: i128 = (0..t.districts.len())
+        .map(|i| unsafe { t.districts.read_with(i, |r| r.delivered_cents as i128) })
+        .sum();
+    assert_eq!(cust_sum - initial, delivered, "delivery credit conservation");
+
+    let cust_deliveries: u64 = (0..t.customers.len())
+        .map(|i| unsafe { t.customers.read_with(i, |r| r.delivery_cnt as u64) })
+        .sum();
+    let district_deliveries: u64 = (0..t.districts.len())
+        .map(|i| unsafe { t.districts.read_with(i, |r| r.delivered_cnt as u64) })
+        .sum();
+    assert_eq!(cust_deliveries, district_deliveries, "delivery counts");
+
+    // 4. Order-state coherence within each surviving window.
+    for w in 0..cfg.warehouses {
+        for d in 0..cfg.districts_per_wh {
+            let dn = t.layout.district_no(w, d) as usize;
+            let (next_o, next_deliv) = unsafe {
+                t.districts
+                    .read_with(dn, |r| (r.next_o_id, r.next_deliv_o_id))
+            };
+            assert!(next_deliv <= next_o, "cursor may not pass allocation");
+            let window_lo = next_o.saturating_sub(cfg.order_slots_per_district);
+            for o in window_lo..next_o {
+                let o_slot = TpccLayout::slot(t.layout.order_key(w, d, o));
+                let (slot_o, carrier, ol_cnt) = unsafe {
+                    t.orders
+                        .read_with(o_slot, |r| (r.o_id, r.carrier_id, r.ol_cnt))
+                };
+                if slot_o != o {
+                    continue; // recycled before this order was ever written
+                }
+                let marker = unsafe {
+                    t.new_orders
+                        .read_with(TpccLayout::slot(t.layout.new_order_key(w, d, o)), |m| {
+                            m.valid
+                        })
+                };
+                if carrier != 0 {
+                    assert!(!marker, "delivered order {o} retains its marker");
+                    for line in 0..ol_cnt.min(cfg.max_lines) {
+                        let ls = TpccLayout::slot(t.layout.order_line_key(w, d, o, line));
+                        assert!(
+                            unsafe { t.order_lines.read_with(ls, |l| l.delivered) },
+                            "delivered order {o} has unflagged line {line}"
+                        );
+                    }
+                } else if o >= next_deliv {
+                    assert!(marker, "undelivered order {o} lost its marker");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn orthrus_full_mix_conserves() {
+    let _serial = common::serial();
+    let db = db();
+    let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+    let stats = OrthrusEngine::new(Arc::clone(&db), spec(), cfg.clone()).run(&params());
+    assert!(stats.totals.committed > 0);
+    check_conservation(&db);
+}
+
+#[test]
+fn deadlock_free_full_mix_conserves() {
+    let _serial = common::serial();
+    let db = db();
+    let stats = DeadlockFreeEngine::new(Arc::clone(&db), 1024, spec()).run(&params());
+    assert!(stats.totals.committed > 0);
+    check_conservation(&db);
+}
+
+#[test]
+fn orthrus_full_mix_with_ollp_noise_recovers() {
+    let _serial = common::serial();
+    let db = db();
+    let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+    let mut engine_cfg = cfg;
+    engine_cfg.ollp_noise_pct = 30;
+    let stats = OrthrusEngine::new(Arc::clone(&db), spec(), engine_cfg).run(&params());
+    assert!(stats.totals.committed > 0);
+    assert!(
+        stats.totals.aborts_ollp > 0,
+        "noise must exercise the OLLP retry path"
+    );
+    check_conservation(&db);
+}
+
+#[test]
+fn dynamic_2pl_full_mix_makes_progress_under_both_policies() {
+    let _serial = common::serial();
+    // The full mix introduces a genuine lock-order inversion (OrderStatus
+    // takes customer→district; Payment takes district→customer), so the
+    // dynamic engines' deadlock handling earns its keep here. Dynamic 2PL
+    // has no undo log: only the one-sided invariants hold.
+    for policy in ["wait-die", "dreadlocks"] {
+        let db = db();
+        let stats = match policy {
+            "wait-die" => {
+                TwoPlEngine::new(Arc::clone(&db), WaitDie, 1024, spec()).run(&params())
+            }
+            _ => TwoPlEngine::new(Arc::clone(&db), Dreadlocks::new(4), 1024, spec())
+                .run(&params()),
+        };
+        assert!(stats.totals.committed > 0, "{policy} made no progress");
+        let t = db.tpcc();
+        let w_ytd: u64 = (0..t.warehouses.len())
+            .map(|i| unsafe { t.warehouses.read_with(i, |r| r.ytd_cents) })
+            .sum();
+        assert!(w_ytd >= 2 * 30_000_000, "{policy}: payments must apply");
+        for i in 0..t.districts.len() {
+            let (next_o, next_deliv) = unsafe {
+                t.districts
+                    .read_with(i, |r| (r.next_o_id, r.next_deliv_o_id))
+            };
+            assert!(next_deliv <= next_o, "{policy}: cursor past allocation");
+        }
+    }
+}
+
+#[test]
+fn full_mix_read_transactions_leave_no_trace() {
+    let _serial = common::serial();
+    // A mix of only OrderStatus + StockLevel must not change any row the
+    // conservation laws look at.
+    let mut s = TpccSpec::full_mix(cfg_t());
+    s.new_order_pct = 0;
+    s.delivery_pct = 0;
+    s.order_status_pct = 50;
+    s.stock_level_pct = 50;
+    let db = db();
+    let before: i128 = {
+        let t = db.tpcc();
+        (0..t.customers.len())
+            .map(|i| unsafe { t.customers.read_with(i, |r| r.balance_cents as i128) })
+            .sum()
+    };
+    let cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+    let stats = OrthrusEngine::new(Arc::clone(&db), Spec::Tpcc(s), cfg.clone()).run(&params());
+    assert!(stats.totals.committed > 0);
+    let t = db.tpcc();
+    let after: i128 = (0..t.customers.len())
+        .map(|i| unsafe { t.customers.read_with(i, |r| r.balance_cents as i128) })
+        .sum();
+    assert_eq!(before, after);
+    for i in 0..t.districts.len() {
+        let (next_o, delivered) = unsafe {
+            t.districts.read_with(i, |r| (r.next_o_id, r.delivered_cnt))
+        };
+        assert_eq!(next_o, 20, "readers must not allocate orders");
+        assert_eq!(delivered, 0, "readers must not deliver");
+    }
+}

