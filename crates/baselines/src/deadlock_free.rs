@@ -44,12 +44,7 @@ impl DeadlockFreeEngine {
         )
     }
 
-    fn worker(
-        &self,
-        idx: usize,
-        ctl: &orthrus_common::RunCtl,
-        params: &RunParams,
-    ) -> ThreadStats {
+    fn worker(&self, idx: usize, ctl: &orthrus_common::RunCtl, params: &RunParams) -> ThreadStats {
         let mut gen = self.spec.generator(params.seed, idx);
         let mut plan_rng = XorShift64::for_thread(params.seed ^ 0x6f6c_6c70, idx);
         let waiter = Arc::new(LockWaiter::new());
@@ -98,9 +93,7 @@ impl DeadlockFreeEngine {
                         std::hint::black_box(v);
                         stats.committed += 1;
                         stats.committed_all += 1;
-                        stats
-                            .latency
-                            .record(started.elapsed().as_nanos() as u64);
+                        stats.latency.record(started.elapsed().as_nanos() as u64);
                         timer.switch(&mut stats, Phase::Execution);
                         break;
                     }
@@ -193,8 +186,7 @@ mod tests {
                 let slots = cfg.order_slots_per_district.min(next);
                 for o in 0..slots.min(4) {
                     let k = t.layout.order_key(w, d, o);
-                    let o_id =
-                        unsafe { t.orders.read_with(TpccLayout::slot(k), |r| r.o_id) };
+                    let o_id = unsafe { t.orders.read_with(TpccLayout::slot(k), |r| r.o_id) };
                     // Slot was written by order o or a wrapped successor.
                     assert_eq!(o_id % cfg.order_slots_per_district, o);
                 }

@@ -54,8 +54,8 @@ impl<P: DeadlockPolicy> AccessGuard for Dynamic2plGuard<'_, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orthrus_lockmgr::WaitDie;
     use orthrus_common::ThreadId;
+    use orthrus_lockmgr::WaitDie;
 
     #[test]
     fn guard_tracks_held_keys_and_phases() {

@@ -63,12 +63,7 @@ impl PartitionedStoreEngine {
         )
     }
 
-    fn worker(
-        &self,
-        idx: usize,
-        ctl: &orthrus_common::RunCtl,
-        params: &RunParams,
-    ) -> ThreadStats {
+    fn worker(&self, idx: usize, ctl: &orthrus_common::RunCtl, params: &RunParams) -> ThreadStats {
         let mut gen = self.spec.generator(params.seed, idx);
         let mut stats = ThreadStats::default();
         let mut timer = PhaseTimer::start(Phase::Execution);
@@ -187,9 +182,6 @@ mod tests {
     fn rejects_flat_database() {
         let _serial = crate::test_serial();
         let flat = Arc::new(Database::Flat(orthrus_storage::Table::new(8, 64)));
-        let _ = PartitionedStoreEngine::new(
-            flat,
-            Spec::Micro(MicroSpec::uniform(8, 1, false)),
-        );
+        let _ = PartitionedStoreEngine::new(flat, Spec::Micro(MicroSpec::uniform(8, 1, false)));
     }
 }

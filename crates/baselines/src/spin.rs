@@ -76,7 +76,8 @@ mod tests {
         unsafe impl Send for Wrap {}
         // SAFETY (Sync): all access to the cell happens under `lock`.
         unsafe impl Sync for Wrap {}
-        #[allow(clippy::arc_with_non_send_sync)] // Wrap supplies Sync; the inner Arc is never shared bare
+        #[allow(clippy::arc_with_non_send_sync)]
+        // Wrap supplies Sync; the inner Arc is never shared bare
         let cell = Arc::new(Wrap(Arc::new(std::cell::UnsafeCell::new(0u64))));
         let mut handles = Vec::new();
         for _ in 0..4 {

@@ -49,12 +49,7 @@ impl<P: DeadlockPolicy> TwoPlEngine<P> {
         )
     }
 
-    fn worker(
-        &self,
-        idx: usize,
-        ctl: &orthrus_common::RunCtl,
-        params: &RunParams,
-    ) -> ThreadStats {
+    fn worker(&self, idx: usize, ctl: &orthrus_common::RunCtl, params: &RunParams) -> ThreadStats {
         let mut gen = self.spec.generator(params.seed, idx);
         let waiter = Arc::new(LockWaiter::new());
         let mut stats = ThreadStats::default();
@@ -94,9 +89,7 @@ impl<P: DeadlockPolicy> TwoPlEngine<P> {
                         std::hint::black_box(v);
                         stats.committed += 1;
                         stats.committed_all += 1;
-                        stats
-                            .latency
-                            .record(started.elapsed().as_nanos() as u64);
+                        stats.latency.record(started.elapsed().as_nanos() as u64);
                         timer.switch(&mut stats, Phase::Execution);
                         break;
                     }
@@ -153,9 +146,7 @@ mod tests {
         // work). So the invariant here is weaker: total >= commits*ops and
         // every counter's final value is the number of exclusive-lock
         // critical sections that ran — serialized, hence no torn counts.
-        let total: u64 = (0..64)
-            .map(|k| unsafe { db.read_counter(k) })
-            .sum();
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
         assert!(
             total >= spec_commits * 4,
             "lost updates: {} < {}",
@@ -218,9 +209,7 @@ mod tests {
         let t = db.tpcc();
         let mut ytd_total = 0u64;
         for w in 0..2 {
-            ytd_total += unsafe {
-                t.warehouses.read_with(w as usize, |r| r.ytd_cents)
-            };
+            ytd_total += unsafe { t.warehouses.read_with(w as usize, |r| r.ytd_cents) };
         }
         assert!(ytd_total >= 2 * 30_000_000);
     }

@@ -1,0 +1,16 @@
+//! Bench target for ablation A5: message-fabric batching.
+//!
+//! Runs the high-contention microbenchmark with
+//! `flush_threshold ∈ {1, 4, 16}` — `1` is the seed's per-message fabric,
+//! deeper thresholds publish per-destination slices, drain rounds, and
+//! coalesced grants. Throughput should be monotonically non-decreasing in
+//! the threshold.
+//!
+//! Run: `cargo bench -p orthrus-bench --bench abl05_batching`
+
+use orthrus_harness::BenchConfig;
+
+fn main() {
+    let bc = BenchConfig::from_env();
+    orthrus_harness::ablations::abl05_batching(&bc).print();
+}

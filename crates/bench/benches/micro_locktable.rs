@@ -44,7 +44,11 @@ fn bench_lock_paths(c: &mut Criterion) {
             ));
             cc.handle(
                 CcRequest::Acquire {
-                    token: Token { exec: 0, slot: 0, gen: 0 },
+                    token: Token {
+                        exec: 0,
+                        slot: 0,
+                        gen: 0,
+                    },
                     plan: Arc::clone(&plan),
                     span_idx: 0,
                     forward: true,
@@ -53,7 +57,11 @@ fn bench_lock_paths(c: &mut Criterion) {
             );
             cc.handle(
                 CcRequest::Release {
-                    token: Token { exec: 0, slot: 0, gen: 0 },
+                    token: Token {
+                        exec: 0,
+                        slot: 0,
+                        gen: 0,
+                    },
                     plan,
                     span_idx: 0,
                 },

@@ -32,6 +32,91 @@ fn bench_uncontended_push_pop(c: &mut Criterion) {
         });
     });
 
+    // Batched vs single-message transfer at batch size 16: the slice ops
+    // publish/consume 16 messages per atomic store, the single ops pay a
+    // store (and potential cached-index refresh) per message. The batched
+    // variant must sustain ≥ 2× the msgs/sec of the single variant.
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("single_16_same_thread", |b| {
+        let (mut tx, mut rx) = channel::<u64>(32);
+        b.iter(|| {
+            for i in 0..16u64 {
+                tx.try_push(i).unwrap();
+            }
+            for _ in 0..16 {
+                std::hint::black_box(rx.try_pop().unwrap());
+            }
+        });
+    });
+
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("batched_16_same_thread", |b| {
+        let (mut tx, mut rx) = channel::<u64>(32);
+        let src: [u64; 16] = std::array::from_fn(|i| i as u64);
+        let mut batch: Vec<u64> = Vec::with_capacity(16);
+        let mut out: Vec<u64> = Vec::with_capacity(16);
+        b.iter(|| {
+            batch.extend_from_slice(&src);
+            std::hint::black_box(tx.try_push_slice(&mut batch));
+            std::hint::black_box(rx.drain_into(&mut out, 16));
+            std::hint::black_box(out.last().copied());
+            out.clear();
+        });
+    });
+
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("cross_thread_single_100k", |b| {
+        b.iter_batched(
+            || channel::<u64>(256),
+            |(mut tx, mut rx)| {
+                let h = std::thread::spawn(move || {
+                    for i in 0..100_000u64 {
+                        tx.push(i);
+                    }
+                });
+                let mut got = 0u64;
+                while got < 100_000 {
+                    if rx.try_pop().is_some() {
+                        got += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                h.join().unwrap();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("cross_thread_batched16_100k", |b| {
+        b.iter_batched(
+            || channel::<u64>(256),
+            |(mut tx, mut rx)| {
+                let h = std::thread::spawn(move || {
+                    let mut batch = Vec::with_capacity(16);
+                    for chunk in 0..(100_000u64 / 16) {
+                        batch.extend(chunk * 16..(chunk + 1) * 16);
+                        tx.push_slice(&mut batch);
+                    }
+                });
+                let mut out = Vec::with_capacity(256);
+                let mut got = 0u64;
+                while got < 100_000 {
+                    let n = rx.drain_into(&mut out, 256);
+                    if n == 0 {
+                        std::hint::spin_loop();
+                    } else {
+                        got += n as u64;
+                        out.clear();
+                    }
+                }
+                h.join().unwrap();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
     g.throughput(Throughput::Elements(100_000));
     g.bench_function("cross_thread_stream_100k", |b| {
         b.iter_batched(

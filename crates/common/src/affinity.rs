@@ -15,16 +15,26 @@ pub fn available_cores() -> usize {
 
 /// Pin the calling thread to `core % available_cores()`. Returns whether
 /// the pin took effect.
+///
+/// `sched_setaffinity` is declared directly (no `libc` crate — the build
+/// environment is offline): the kernel ABI takes a bitmask of
+/// `cpusetsize` bytes, here 128 bytes = 1024 CPUs, matching glibc's
+/// `cpu_set_t`.
 #[cfg(target_os = "linux")]
 pub fn pin_to_core(core: usize) -> bool {
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
     let ncores = available_cores();
     let target = core % ncores;
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_ZERO(&mut set);
-        libc::CPU_SET(target, &mut set);
-        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set) == 0
+    let mut mask = [0u64; 16]; // 1024 CPU bits
+    if target >= mask.len() * 64 {
+        return false;
     }
+    mask[target / 64] = 1u64 << (target % 64);
+    // SAFETY: the mask outlives the call and is exactly `cpusetsize`
+    // bytes; pid 0 targets the calling thread.
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
 }
 
 /// Non-Linux fallback: no-op.

@@ -4,8 +4,6 @@
 //! object (a record, identified by table + row in TPC-C) is mapped to a
 //! 64-bit [`Key`]. Engines never interpret keys beyond hashing and ordering.
 
-use serde::{Deserialize, Serialize};
-
 /// A lockable object: 64 bits identifying a record in the database.
 ///
 /// Multi-table workloads (TPC-C) pack a table tag into the high bits, see
@@ -21,7 +19,7 @@ pub type Key = u64;
 /// thread id is packed into the low bits so ids are globally unique and
 /// per-thread monotonic without any shared counter:
 /// `raw = (local_seq << THREAD_BITS) | thread_id`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
 impl TxnId {
@@ -61,7 +59,7 @@ impl TxnId {
 
 /// A worker thread index (execution thread in ORTHRUS, worker in the
 /// baselines). Dense, starting at zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u32);
 
 impl ThreadId {
@@ -73,7 +71,7 @@ impl ThreadId {
 
 /// A concurrency-control thread index in ORTHRUS. Dense, starting at zero.
 /// The deadlock-avoidance order of Section 3.2 is ascending `CcId`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CcId(pub u32);
 
 impl CcId {
@@ -84,7 +82,7 @@ impl CcId {
 }
 
 /// An execution thread index in ORTHRUS. Dense, starting at zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExecId(pub u32);
 
 impl ExecId {
@@ -96,7 +94,7 @@ impl ExecId {
 
 /// A data partition index (Partitioned-store physical partitions, or the
 /// index partitions of the SPLIT variants).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PartitionId(pub u32);
 
 impl PartitionId {
@@ -110,7 +108,7 @@ impl PartitionId {
 /// exclusive (write) record locks; no intention locks are acquired
 /// (Section 4, "our 2PL implementation does not acquire high-level
 /// intention locks").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LockMode {
     Shared,
     Exclusive,

@@ -7,14 +7,12 @@
 //! instructions (leading-zeros bucket index); merging and quantile
 //! extraction happen off the hot path.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of power-of-two buckets: bucket `i` counts samples in
 /// `[2^i, 2^(i+1))` nanoseconds; bucket 63 is the overflow.
 const BUCKETS: usize = 64;
 
 /// A histogram over nanosecond samples with power-of-two buckets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,

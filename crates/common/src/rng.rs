@@ -18,7 +18,11 @@ impl XorShift64 {
     #[inline]
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -27,8 +31,8 @@ impl XorShift64 {
     #[inline]
     pub fn for_thread(base_seed: u64, index: usize) -> Self {
         // SplitMix64 step decorrelates nearby seeds.
-        let mut z = base_seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1));
+        let mut z =
+            base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         Self::new(z ^ (z >> 31))

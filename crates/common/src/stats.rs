@@ -7,8 +7,6 @@
 
 use std::time::{Duration, Instant};
 
-use serde::{Deserialize, Serialize};
-
 use crate::latency::LatencyHistogram;
 
 /// The three execution-thread CPU-time categories of Figure 10.
@@ -25,7 +23,7 @@ pub enum Phase {
 }
 
 /// Per-thread counters, owned by the worker and merged after the run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThreadStats {
     /// Committed transactions within the measurement window.
     pub committed: u64,
@@ -137,7 +135,7 @@ impl PhaseTimer {
 }
 
 /// Percent breakdown of exec-thread CPU time (Figure 10 rows).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PhaseBreakdown {
     pub execution_pct: f64,
     pub locking_pct: f64,
@@ -145,7 +143,7 @@ pub struct PhaseBreakdown {
 }
 
 /// Aggregated results of a timed run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunStats {
     /// Merged per-thread counters.
     pub totals: ThreadStats,
@@ -262,7 +260,11 @@ mod tests {
         timer.switch(&mut stats, Phase::Execution);
         std::thread::sleep(Duration::from_millis(5));
         timer.finish(&mut stats);
-        assert!(stats.waiting_ns >= 3_000_000, "waiting {}", stats.waiting_ns);
+        assert!(
+            stats.waiting_ns >= 3_000_000,
+            "waiting {}",
+            stats.waiting_ns
+        );
         assert!(
             stats.execution_ns >= 3_000_000,
             "execution {}",

@@ -315,7 +315,10 @@ mod tests {
             out[0],
             OutMsg::ToExec {
                 exec: 0,
-                resp: ExecResponse::Granted { slot: 0, span_idx: 0 }
+                resp: ExecResponse::Granted {
+                    slot: 0,
+                    span_idx: 0
+                }
             }
         ));
         assert_eq!(cc.pending_count(), 0);
@@ -415,7 +418,10 @@ mod tests {
         );
         assert_eq!(out.len(), 1);
         match &out[0] {
-            OutMsg::ToCc { cc, req: CcRequest::Acquire { span_idx, .. } } => {
+            OutMsg::ToCc {
+                cc,
+                req: CcRequest::Acquire { span_idx, .. },
+            } => {
                 assert_eq!(*cc, 1);
                 assert_eq!(*span_idx, 1);
             }
@@ -424,14 +430,19 @@ mod tests {
         // cc1 completes the chain with a single response to the exec.
         let mut cc1 = CcState::new(1, 64);
         let fwd = out.pop().unwrap();
-        let OutMsg::ToCc { req, .. } = fwd else { unreachable!() };
+        let OutMsg::ToCc { req, .. } = fwd else {
+            unreachable!()
+        };
         cc1.handle(req, &mut out);
         assert_eq!(out.len(), 1);
         assert!(matches!(
             out[0],
             OutMsg::ToExec {
                 exec: 1,
-                resp: ExecResponse::Granted { slot: 4, span_idx: 1 }
+                resp: ExecResponse::Granted {
+                    slot: 4,
+                    span_idx: 1
+                }
             }
         ));
     }
@@ -439,10 +450,7 @@ mod tests {
     #[test]
     fn no_forwarding_answers_exec_per_span() {
         let plan = Arc::new(LockPlan::build(
-            &AccessSet::from_unsorted(vec![
-                (2, LockMode::Exclusive),
-                (3, LockMode::Exclusive),
-            ]),
+            &AccessSet::from_unsorted(vec![(2, LockMode::Exclusive), (3, LockMode::Exclusive)]),
             |k| (k % 2) as u32,
         ));
         let mut cc0 = CcState::new(0, 64);

@@ -69,7 +69,24 @@ pub struct OrthrusConfig {
     /// ring of a *live, draining* CC thread always makes progress, whereas
     /// undersized CC→CC rings could deadlock mutually-blocked CC threads.
     pub exec_queue_capacity: Option<usize>,
+    /// Message-fabric batching degree (ablation A5). Execution threads
+    /// buffer up to this many requests per destination CC thread before
+    /// flushing them as one slice (one atomic publish); CC threads drain
+    /// up to this many requests per poll round and coalesce the round's
+    /// outgoing grants/forwards per destination into one flush.
+    ///
+    /// `1` reproduces the seed's message-per-message semantics exactly
+    /// (every send publishes immediately), which keeps an apples-to-apples
+    /// ablation baseline. Buffered messages are always flushed before the
+    /// thread polls or parks, so batching never delays a message behind an
+    /// idle quantum.
+    pub flush_threshold: usize,
 }
+
+/// Default fabric batching degree: deep enough to amortize the
+/// `head`/`tail` cache-line round trips, shallow enough that one round's
+/// flush always fits the steady-state ring-capacity bounds.
+pub const DEFAULT_FLUSH_THRESHOLD: usize = 16;
 
 impl OrthrusConfig {
     /// A paper-style configuration: given a total "core" budget, dedicate
@@ -87,6 +104,7 @@ impl OrthrusConfig {
             cc_mode: CcMode::Partitioned,
             shared_table_buckets: 1 << 14,
             exec_queue_capacity: None,
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
         }
     }
 
@@ -103,12 +121,22 @@ impl OrthrusConfig {
             cc_mode: CcMode::Partitioned,
             shared_table_buckets: 1 << 14,
             exec_queue_capacity: None,
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
         }
     }
 
     /// Total thread (core) budget.
     pub fn total_threads(&self) -> usize {
         self.n_cc + self.n_exec
+    }
+
+    /// The batching degree the fabric actually runs at: `flush_threshold`
+    /// normalized to ≥ 1. A zero would make every drain round a no-op
+    /// (livelock), so every hot-loop consumer reads the knob through
+    /// this accessor.
+    #[inline]
+    pub fn effective_flush_threshold(&self) -> usize {
+        self.flush_threshold.max(1)
     }
 
     /// Resolve the CC thread owning `key`.
@@ -142,6 +170,18 @@ mod tests {
         assert_eq!(c.total_threads(), 80);
         let c = OrthrusConfig::for_cores(5, CcAssignment::KeyModulo);
         assert_eq!((c.n_cc, c.n_exec), (1, 4));
+    }
+
+    #[test]
+    fn effective_flush_threshold_never_zero() {
+        let mut c = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        assert_eq!(c.effective_flush_threshold(), DEFAULT_FLUSH_THRESHOLD);
+        c.flush_threshold = 0;
+        assert_eq!(
+            c.effective_flush_threshold(),
+            1,
+            "zero must clamp, not livelock"
+        );
     }
 
     #[test]

@@ -10,6 +10,16 @@
 //! - exec→cc: ≤ 1 acquire + 1 release per in-flight transaction;
 //! - cc→cc: ≤ 1 in-flight forward per in-flight transaction system-wide;
 //! - cc→exec: ≤ 1 outstanding grant per in-flight transaction.
+//!
+//! Messages move in **batches** ([`OrthrusConfig::flush_threshold`]):
+//! both thread kinds stage outgoing messages per destination during one
+//! scheduling quantum and publish each destination's batch with a single
+//! slice push (one atomic store), and drain their inputs in per-lane
+//! batches. Staged messages are a subset of the same in-flight bounds
+//! above — batching moves queue occupancy out of the rings, never adds to
+//! it — so the capacity sizing (and the deadlock-freedom argument that
+//! rests on it) is unchanged from the per-message fabric, which remains
+//! available as `flush_threshold = 1`.
 
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
@@ -76,8 +86,7 @@ impl OrthrusEngine {
         let mut exec_in: Vec<Vec<Consumer<ExecResponse>>> = (0..e).map(|_| Vec::new()).collect();
         let mut exec_to_cc: Vec<Vec<Producer<CcRequest>>> = (0..e).map(|_| Vec::new()).collect();
         let mut cc_to_cc: Vec<Vec<Producer<CcRequest>>> = (0..c).map(|_| Vec::new()).collect();
-        let mut cc_to_exec: Vec<Vec<Producer<ExecResponse>>> =
-            (0..c).map(|_| Vec::new()).collect();
+        let mut cc_to_exec: Vec<Vec<Producer<ExecResponse>>> = (0..c).map(|_| Vec::new()).collect();
 
         for ex in 0..e {
             for cc in 0..c {
@@ -132,9 +141,9 @@ impl OrthrusEngine {
         // CC thread.
         let shared_table = match self.cfg.cc_mode {
             crate::config::CcMode::Partitioned => None,
-            crate::config::CcMode::SharedTable => Some(Arc::new(
-                orthrus_lockmgr::LockTable::new(self.cfg.shared_table_buckets),
-            )),
+            crate::config::CcMode::SharedTable => Some(Arc::new(orthrus_lockmgr::LockTable::new(
+                self.cfg.shared_table_buckets,
+            ))),
         };
 
         timed_run(
@@ -145,10 +154,11 @@ impl OrthrusEngine {
             |i, ctl| {
                 if i < c {
                     let ep = cc_slots[i].lock().take().expect("cc endpoints taken twice");
+                    let flush = self.cfg.effective_flush_threshold();
                     match &shared_table {
-                        None => run_cc(i as u32, table_capacity, ep, ctl, &active_execs),
+                        None => run_cc(i as u32, table_capacity, flush, ep, ctl, &active_execs),
                         Some(table) => {
-                            run_cc_shared(Arc::clone(table), ep, ctl, &active_execs)
+                            run_cc_shared(Arc::clone(table), flush, ep, ctl, &active_execs)
                         }
                     }
                 } else {
@@ -174,12 +184,60 @@ impl OrthrusEngine {
     }
 }
 
+/// Per-destination staging for a CC thread's outgoing messages. One drain
+/// round's forwards and grants are coalesced per destination and flushed
+/// as a single slice (one atomic publish) — a CC thread granting several
+/// spans to the same execution thread in one round emits one batched
+/// flush instead of one ring transaction per grant.
+struct CcOutBufs {
+    to_cc: Vec<Vec<CcRequest>>,
+    to_exec: Vec<Vec<ExecResponse>>,
+}
+
+impl CcOutBufs {
+    fn new(n_cc: usize, n_exec: usize, flush: usize) -> Self {
+        CcOutBufs {
+            to_cc: (0..n_cc).map(|_| Vec::with_capacity(flush)).collect(),
+            to_exec: (0..n_exec).map(|_| Vec::with_capacity(flush)).collect(),
+        }
+    }
+
+    /// Stage one routed message; returns immediately (no ring traffic).
+    #[inline]
+    fn stage(&mut self, msg: OutMsg, stats: &mut ThreadStats) {
+        match msg {
+            OutMsg::ToCc { cc, req } => self.to_cc[cc as usize].push(req),
+            OutMsg::ToExec { exec, resp } => self.to_exec[exec as usize].push(resp),
+        }
+        stats.messages_sent += 1;
+    }
+
+    /// Publish every staged message, one slice per destination.
+    fn flush(&mut self, ep: &mut CcEndpoints) {
+        for (cc, buf) in self.to_cc.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                ep.to_cc[cc].push_slice(buf);
+            }
+        }
+        for (exec, buf) in self.to_exec.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                ep.to_exec[exec].push_slice(buf);
+            }
+        }
+    }
+}
+
 /// The CC thread loop: a tight, latch-free request pump (Section 3.1,
 /// "concurrency control threads run a tight loop which sequentially
-/// processes requests").
+/// processes requests"), batched: each poll drains up to `flush_threshold`
+/// requests from the fan-in in one sweep, and the round's outgoing
+/// messages are coalesced per destination and flushed as slices. With
+/// `flush_threshold == 1` this degenerates to the seed's
+/// one-message-per-atomic-publish pump.
 fn run_cc(
     id: u32,
     table_capacity: usize,
+    flush_threshold: usize,
     mut ep: CcEndpoints,
     ctl: &RunCtl,
     active_execs: &AtomicUsize,
@@ -187,6 +245,9 @@ fn run_cc(
     let mut state = CcState::new(id, table_capacity);
     let mut stats = ThreadStats::default();
     let mut out: Vec<OutMsg> = Vec::with_capacity(16);
+    let drain_budget = flush_threshold;
+    let mut in_buf: Vec<CcRequest> = Vec::with_capacity(drain_budget);
+    let mut out_bufs = CcOutBufs::new(ep.to_cc.len(), ep.to_exec.len(), drain_budget);
     let mut backoff = Backoff::new();
     let mut in_window = false;
     loop {
@@ -194,37 +255,25 @@ fn run_cc(
             stats.reset_window();
             in_window = true;
         }
-        match ep.fanin.try_pop() {
-            Some(req) => {
+        let drained = ep.fanin.drain_round(&mut in_buf, drain_budget);
+        if drained > 0 {
+            for req in in_buf.drain(..) {
                 state.handle(req, &mut out);
                 for msg in out.drain(..) {
-                    match msg {
-                        OutMsg::ToCc { cc, req } => {
-                            ep.to_cc[cc as usize].push(req);
-                            stats.messages_sent += 1;
-                        }
-                        OutMsg::ToExec { exec, resp } => {
-                            ep.to_exec[exec as usize].push(resp);
-                            stats.messages_sent += 1;
-                        }
-                    }
-                }
-                backoff.reset();
-            }
-            None => {
-                if ctl.is_stopped()
-                    && active_execs.load(std::sync::atomic::Ordering::Acquire) == 0
-                {
-                    // Every exec finished its final sends before
-                    // decrementing, and forwards only exist while acquires
-                    // are unresolved — one last sweep and we are done.
-                    if ep.fanin.is_empty() {
-                        break;
-                    }
-                } else {
-                    backoff.snooze();
+                    out_bufs.stage(msg, &mut stats);
                 }
             }
+            out_bufs.flush(&mut ep);
+            backoff.reset();
+        } else if ctl.is_stopped() && active_execs.load(std::sync::atomic::Ordering::Acquire) == 0 {
+            // Every exec flushed its final sends before decrementing, and
+            // forwards only exist while acquires are unresolved — one last
+            // sweep and we are done.
+            if ep.fanin.is_empty() {
+                break;
+            }
+        } else {
+            backoff.snooze();
         }
     }
     // CC threads contribute only message counts to the merged stats; their
@@ -240,6 +289,7 @@ fn run_cc(
 /// from *other* CC threads' releases through the shared table).
 fn run_cc_shared(
     table: Arc<orthrus_lockmgr::LockTable>,
+    flush_threshold: usize,
     mut ep: CcEndpoints,
     ctl: &RunCtl,
     active_execs: &AtomicUsize,
@@ -247,6 +297,9 @@ fn run_cc_shared(
     let mut state = crate::shared::SharedCcState::new(table);
     let mut stats = ThreadStats::default();
     let mut out: Vec<OutMsg> = Vec::with_capacity(16);
+    let drain_budget = flush_threshold;
+    let mut in_buf: Vec<CcRequest> = Vec::with_capacity(drain_budget);
+    let mut out_bufs = CcOutBufs::new(ep.to_cc.len(), ep.to_exec.len(), drain_budget);
     let mut backoff = Backoff::new();
     let mut in_window = false;
     loop {
@@ -255,23 +308,17 @@ fn run_cc_shared(
             in_window = true;
         }
         let mut progress = false;
-        if let Some(req) = ep.fanin.try_pop() {
-            state.handle(req, &mut out);
+        if ep.fanin.drain_round(&mut in_buf, drain_budget) > 0 {
+            for req in in_buf.drain(..) {
+                state.handle(req, &mut out);
+            }
             progress = true;
         }
         progress |= state.poll_pending(&mut out) > 0;
         for msg in out.drain(..) {
-            match msg {
-                OutMsg::ToCc { cc, req } => {
-                    ep.to_cc[cc as usize].push(req);
-                    stats.messages_sent += 1;
-                }
-                OutMsg::ToExec { exec, resp } => {
-                    ep.to_exec[exec as usize].push(resp);
-                    stats.messages_sent += 1;
-                }
-            }
+            out_bufs.stage(msg, &mut stats);
         }
+        out_bufs.flush(&mut ep);
         if progress {
             backoff.reset();
         } else if ctl.is_stopped()
@@ -490,6 +537,79 @@ mod tests {
         assert!(stats.totals.committed > 0);
         let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
         assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn flush_threshold_one_reproduces_seed_semantics() {
+        let _serial = crate::test_serial();
+        // flush_threshold = 1: every send publishes immediately, exactly
+        // the pre-batching fabric. The serializability witness and the
+        // per-commit message economics must both hold unchanged.
+        let db = Arc::new(Database::Flat(Table::new(256, 64)));
+        let spec = Spec::Micro(
+            MicroSpec::uniform(256, 8, false)
+                .with_constraint(PartitionConstraint::Exact { count: 4, of: 4 }),
+        );
+        let mut cfg = OrthrusConfig::with_threads(4, 2, CcAssignment::KeyModulo);
+        cfg.flush_threshold = 1;
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let total: u64 = (0..256).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 8);
+        let per_commit = stats.totals.messages_sent as f64 / stats.totals.committed as f64;
+        assert!(
+            (8.0..=10.5).contains(&per_commit),
+            "messages/commit {per_commit:.2}, expected ≈9"
+        );
+    }
+
+    #[test]
+    fn deep_batching_keeps_exact_counts() {
+        let _serial = crate::test_serial();
+        // A flush threshold far above the in-flight cap: flushes happen
+        // only at quantum boundaries. Exactness must be unaffected.
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
+        let mut cfg = OrthrusConfig::with_threads(4, 4, CcAssignment::KeyModulo);
+        cfg.flush_threshold = 64;
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 4);
+    }
+
+    #[test]
+    fn deep_batching_with_tiny_rings_still_completes() {
+        let _serial = crate::test_serial();
+        // Batches larger than the ring: push_slice must publish partial
+        // prefixes under backpressure without losing order or messages.
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
+        let mut cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+        cfg.flush_threshold = 32;
+        cfg.exec_queue_capacity = Some(2);
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 4);
+    }
+
+    #[test]
+    fn shared_table_mode_respects_flush_threshold() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
+        let mut cfg = OrthrusConfig::with_threads(2, 3, CcAssignment::KeyModulo);
+        cfg.cc_mode = crate::config::CcMode::SharedTable;
+        cfg.flush_threshold = 8;
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 4);
     }
 
     #[test]

@@ -55,6 +55,13 @@ pub struct ExecThread<'a> {
     next_cc: u32,
     /// Wrapping token-generation counter (see [`Inflight::gen`]).
     next_token_gen: u32,
+    /// Per-destination send buffers: requests accumulated during one
+    /// scheduling quantum, flushed as a slice (one atomic publish per
+    /// destination). With `flush_threshold == 1` every send flushes
+    /// immediately — the seed's message-per-message behaviour.
+    send_buf: Vec<Vec<CcRequest>>,
+    /// Responses staged by the fan-in drain (reused across iterations).
+    resp_buf: Vec<ExecResponse>,
 }
 
 impl<'a> ExecThread<'a> {
@@ -69,6 +76,8 @@ impl<'a> ExecThread<'a> {
         seed: u64,
     ) -> Self {
         let cap = cfg.max_inflight.max(1);
+        let n_cc = to_cc.len();
+        let flush = cfg.effective_flush_threshold();
         ExecThread {
             exec_id,
             db,
@@ -83,6 +92,29 @@ impl<'a> ExecThread<'a> {
             stats: ThreadStats::default(),
             next_cc: exec_id as u32,
             next_token_gen: 0,
+            send_buf: (0..n_cc).map(|_| Vec::with_capacity(flush)).collect(),
+            resp_buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Stage a request for `cc`, flushing the destination's buffer as one
+    /// slice once it reaches the batching threshold.
+    #[inline]
+    fn send(&mut self, cc: usize, req: CcRequest) {
+        self.send_buf[cc].push(req);
+        self.stats.messages_sent += 1;
+        if self.send_buf[cc].len() >= self.cfg.effective_flush_threshold() {
+            self.to_cc[cc].push_slice(&mut self.send_buf[cc]);
+        }
+    }
+
+    /// Publish every staged request. Called before the thread polls or
+    /// parks, so batching never holds a message across an idle quantum.
+    fn flush_sends(&mut self) {
+        for (cc, buf) in self.send_buf.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                self.to_cc[cc].push_slice(buf);
+            }
         }
     }
 
@@ -117,6 +149,9 @@ impl<'a> ExecThread<'a> {
         let mut timer = PhaseTimer::start(Phase::Locking);
         let mut backoff = Backoff::new();
         let mut in_window = false;
+        // One quantum per iteration: drain grant batches, admit up to the
+        // in-flight cap, then flush every staged request as slices.
+        let drain_budget = self.cfg.max_inflight.max(1);
         loop {
             if !in_window && ctl.is_measuring() {
                 self.stats.reset_window();
@@ -124,18 +159,31 @@ impl<'a> ExecThread<'a> {
                 in_window = true;
             }
             let mut progress = false;
-            while let Some(resp) = self.from_cc.try_pop() {
-                self.on_response(resp, &mut timer);
+            loop {
+                let mut resp_buf = std::mem::take(&mut self.resp_buf);
+                let drained = self.from_cc.drain_round(&mut resp_buf, drain_budget);
+                for resp in resp_buf.drain(..) {
+                    self.on_response(resp, &mut timer);
+                }
+                self.resp_buf = resp_buf;
+                if drained == 0 {
+                    break;
+                }
                 progress = true;
             }
             if !ctl.is_stopped() {
-                if self.inflight < self.cfg.max_inflight {
+                while self.inflight < self.cfg.max_inflight {
                     self.start_txn(&mut timer, self.cfg.ollp_noise_pct);
                     progress = true;
                 }
             } else if self.inflight == 0 {
+                // The last commits' releases may still be staged.
+                self.flush_sends();
                 break;
             }
+            // Publish the quantum's sends before polling again or parking:
+            // responses can only arrive for flushed requests.
+            self.flush_sends();
             if progress {
                 backoff.reset();
             } else {
@@ -143,6 +191,7 @@ impl<'a> ExecThread<'a> {
                 backoff.snooze();
             }
         }
+        debug_assert!(self.send_buf.iter().all(|b| b.is_empty()));
         timer.finish(&mut self.stats);
         active_execs.fetch_sub(1, Ordering::AcqRel);
         self.stats
@@ -172,31 +221,36 @@ impl<'a> ExecThread<'a> {
 
     fn send_acquire(&mut self, lock_plan: &Arc<LockPlan>, slot: u16, gen: u32, span_idx: u16) {
         let cc = lock_plan.spans()[span_idx as usize].cc;
-        self.to_cc[cc as usize].push(CcRequest::Acquire {
-            token: Token {
-                exec: self.exec_id,
-                slot,
-                gen,
-            },
-            plan: Arc::clone(lock_plan),
-            span_idx,
-            forward: self.cfg.forwarding,
-        });
-        self.stats.messages_sent += 1;
-    }
-
-    fn send_releases(&mut self, lock_plan: &Arc<LockPlan>, slot: u16, gen: u32) {
-        for (i, span) in lock_plan.spans().iter().enumerate() {
-            self.to_cc[span.cc as usize].push(CcRequest::Release {
+        self.send(
+            cc as usize,
+            CcRequest::Acquire {
                 token: Token {
                     exec: self.exec_id,
                     slot,
                     gen,
                 },
                 plan: Arc::clone(lock_plan),
-                span_idx: i as u16,
-            });
-            self.stats.messages_sent += 1;
+                span_idx,
+                forward: self.cfg.forwarding,
+            },
+        );
+    }
+
+    fn send_releases(&mut self, lock_plan: &Arc<LockPlan>, slot: u16, gen: u32) {
+        for i in 0..lock_plan.spans().len() {
+            let cc = lock_plan.spans()[i].cc;
+            self.send(
+                cc as usize,
+                CcRequest::Release {
+                    token: Token {
+                        exec: self.exec_id,
+                        slot,
+                        gen,
+                    },
+                    plan: Arc::clone(lock_plan),
+                    span_idx: i as u16,
+                },
+            );
         }
     }
 
@@ -207,7 +261,9 @@ impl<'a> ExecThread<'a> {
         if !self.cfg.forwarding {
             let next = span_idx as usize + 1;
             let lock_plan = {
-                let inf = self.slots[slot as usize].as_ref().expect("grant for free slot");
+                let inf = self.slots[slot as usize]
+                    .as_ref()
+                    .expect("grant for free slot");
                 if next < inf.lock_plan.spans().len() {
                     Some((Arc::clone(&inf.lock_plan), inf.gen))
                 } else {
@@ -222,7 +278,9 @@ impl<'a> ExecThread<'a> {
         }
 
         // All locks held: run the transaction.
-        let inf = self.slots[slot as usize].take().expect("grant for free slot");
+        let inf = self.slots[slot as usize]
+            .take()
+            .expect("grant for free slot");
         timer.switch(&mut self.stats, Phase::Execution);
         let result = {
             let mut guard = PreLocked::new(&inf.plan);

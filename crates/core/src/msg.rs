@@ -72,14 +72,42 @@ mod tests {
 
     #[test]
     fn token_packs_uniquely() {
-        let a = Token { exec: 1, slot: 2, gen: 0 }.pack();
-        let b = Token { exec: 2, slot: 1, gen: 0 }.pack();
-        let c = Token { exec: 1, slot: 3, gen: 0 }.pack();
-        let d = Token { exec: 1, slot: 2, gen: 1 }.pack();
+        let a = Token {
+            exec: 1,
+            slot: 2,
+            gen: 0,
+        }
+        .pack();
+        let b = Token {
+            exec: 2,
+            slot: 1,
+            gen: 0,
+        }
+        .pack();
+        let c = Token {
+            exec: 1,
+            slot: 3,
+            gen: 0,
+        }
+        .pack();
+        let d = Token {
+            exec: 1,
+            slot: 2,
+            gen: 1,
+        }
+        .pack();
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_ne!(a, d, "generations distinguish slot reuse");
-        assert_eq!(Token { exec: 1, slot: 2, gen: 0 }.pack(), a);
+        assert_eq!(
+            Token {
+                exec: 1,
+                slot: 2,
+                gen: 0
+            }
+            .pack(),
+            a
+        );
     }
 
     #[test]

@@ -96,7 +96,13 @@ mod tests {
         use LockMode::*;
         // cc_of = key % 3
         let plan = LockPlan::build(
-            &set(&[(1, Exclusive), (2, Shared), (3, Exclusive), (4, Shared), (6, Exclusive)]),
+            &set(&[
+                (1, Exclusive),
+                (2, Shared),
+                (3, Exclusive),
+                (4, Shared),
+                (6, Exclusive),
+            ]),
             |k| (k % 3) as u32,
         );
         // cc0: {3,6}, cc1: {1,4}, cc2: {2}
@@ -112,15 +118,29 @@ mod tests {
 
     #[test]
     fn single_cc_single_span() {
-        let plan = LockPlan::build(&set(&[(10, LockMode::Shared), (20, LockMode::Shared)]), |_| 5);
+        let plan = LockPlan::build(
+            &set(&[(10, LockMode::Shared), (20, LockMode::Shared)]),
+            |_| 5,
+        );
         assert_eq!(plan.n_cc_involved(), 1);
-        assert_eq!(plan.spans()[0], Span { cc: 5, start: 0, end: 2 });
+        assert_eq!(
+            plan.spans()[0],
+            Span {
+                cc: 5,
+                start: 0,
+                end: 2
+            }
+        );
     }
 
     #[test]
     fn keys_sorted_within_span() {
         let plan = LockPlan::build(
-            &set(&[(9, LockMode::Exclusive), (3, LockMode::Exclusive), (6, LockMode::Exclusive)]),
+            &set(&[
+                (9, LockMode::Exclusive),
+                (3, LockMode::Exclusive),
+                (6, LockMode::Exclusive),
+            ]),
             |_| 0,
         );
         let keys: Vec<u64> = plan.span_entries(0).iter().map(|e| e.0).collect();

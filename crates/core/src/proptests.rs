@@ -149,7 +149,10 @@ impl Model {
                 }
                 waiters.pop_front();
                 holders.push((t, m));
-                let r = self.remaining.get_mut(&t).expect("waiter without countdown");
+                let r = self
+                    .remaining
+                    .get_mut(&t)
+                    .expect("waiter without countdown");
                 *r -= 1;
                 if *r == 0 {
                     self.remaining.remove(&t);

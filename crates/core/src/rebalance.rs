@@ -31,13 +31,7 @@ impl LoadHistogram {
     /// Build by sampling `samples` transactions from `spec` and planning
     /// their access sets (reconnaissance included, so TPC-C by-name
     /// lookups weigh the right rows). `n_buckets` must be a power of two.
-    pub fn sample(
-        spec: &Spec,
-        db: &Database,
-        n_buckets: usize,
-        samples: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn sample(spec: &Spec, db: &Database, n_buckets: usize, samples: usize, seed: u64) -> Self {
         assert!(n_buckets.is_power_of_two(), "bucket count must be 2^k");
         assert!(samples > 0);
         let mut weights = vec![0u64; n_buckets];
@@ -161,9 +155,7 @@ mod tests {
     #[test]
     fn table_entries_are_valid_cc_ids() {
         let (spec, db) = zipf_setup();
-        let CcAssignment::Balanced(table) =
-            balanced_assignment(&spec, &db, 3, 128, 300, 5)
-        else {
+        let CcAssignment::Balanced(table) = balanced_assignment(&spec, &db, 3, 128, 300, 5) else {
             panic!("wrong variant")
         };
         assert_eq!(table.len(), 128);

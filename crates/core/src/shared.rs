@@ -161,7 +161,10 @@ mod tests {
 
     fn plan(keys: &[(u64, LockMode)]) -> Arc<LockPlan> {
         // Shared mode: every key maps to the handling CC (constant 0).
-        Arc::new(LockPlan::build(&AccessSet::from_unsorted(keys.to_vec()), |_| 0))
+        Arc::new(LockPlan::build(
+            &AccessSet::from_unsorted(keys.to_vec()),
+            |_| 0,
+        ))
     }
 
     fn tok(exec: u16, slot: u16) -> Token {

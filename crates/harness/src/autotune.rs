@@ -37,11 +37,11 @@ pub struct TuneResult {
 /// search is an integer ternary search over `n_cc ∈ [1, total-1]`
 /// (memoized: each split is measured at most once), so the epoch count is
 /// `O(log₁.₅ total)` instead of a full sweep.
-pub fn tune_cc_split(
-    total_threads: usize,
-    mut measure: impl FnMut(usize) -> f64,
-) -> TuneResult {
-    assert!(total_threads >= 2, "need at least one CC and one exec thread");
+pub fn tune_cc_split(total_threads: usize, mut measure: impl FnMut(usize) -> f64) -> TuneResult {
+    assert!(
+        total_threads >= 2,
+        "need at least one CC and one exec thread"
+    );
     let mut memo: Vec<Option<f64>> = vec![None; total_threads];
     let mut trace: Vec<TunePoint> = Vec::new();
 
@@ -51,7 +51,10 @@ pub fn tune_cc_split(
         }
         let t = measure(n_cc);
         memo[n_cc] = Some(t);
-        trace.push(TunePoint { n_cc, throughput: t });
+        trace.push(TunePoint {
+            n_cc,
+            throughput: t,
+        });
         t
     };
 

@@ -12,7 +12,7 @@ use orthrus_harness::{ablations, figures, BenchConfig};
 
 const ALL: &[&str] = &[
     "fig01", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-    "abl01", "abl02", "abl03", "abl04", "ext01", "ext02", "ext03", "ext04", "ext06",
+    "abl01", "abl02", "abl03", "abl04", "abl05", "ext01", "ext02", "ext03", "ext04", "ext06",
 ];
 
 fn run_one(id: &str, bc: &BenchConfig) {
@@ -45,6 +45,7 @@ fn run_one(id: &str, bc: &BenchConfig) {
         "abl02" => ablations::abl02_queue_capacity(bc).print(),
         "abl03" => ablations::abl03_inflight_cap(bc).print(),
         "abl04" => ablations::abl04_cc_architecture(bc).print(),
+        "abl05" => ablations::abl05_batching(bc).print(),
         "ext01" => figures::ext01_tpcc_fullmix(bc).print(),
         "ext02" => figures::ext02_fullmix_scalability(bc).print(),
         "ext03" => {
@@ -56,7 +57,10 @@ fn run_one(id: &str, bc: &BenchConfig) {
         "ext04" => figures::ext04_skew(bc).print(),
         "ext06" => {
             let rows = figures::ext06_latency(bc);
-            print!("{}", figures::LatencyRow::render(&rows, "commit latency, high-contention 10RMW"));
+            print!(
+                "{}",
+                figures::LatencyRow::render(&rows, "commit latency, high-contention 10RMW")
+            );
         }
         other => eprintln!("unknown figure id {other:?}; known: {ALL:?} or 'all'"),
     }

@@ -32,6 +32,11 @@ pub struct BenchConfig {
     /// Cap on the thread sweeps (`ORTHRUS_MAX_THREADS`; default 0 = the
     /// paper's full 10–80 sweep, oversubscribed on small hosts).
     pub max_threads: usize,
+    /// Message-fabric batching degree applied to every ORTHRUS run
+    /// (`ORTHRUS_FLUSH_THRESHOLD`, default
+    /// `orthrus_core::config::DEFAULT_FLUSH_THRESHOLD`; `1` = the
+    /// pre-batching per-message fabric, see ablation A5).
+    pub flush_threshold: usize,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -54,6 +59,11 @@ impl BenchConfig {
             tpcc_items: env_u64("ORTHRUS_TPCC_ITEMS", 10_000) as u32,
             tpcc_order_slots: env_u64("ORTHRUS_TPCC_OSLOTS", 512) as u32,
             max_threads: env_u64("ORTHRUS_MAX_THREADS", 0) as usize,
+            flush_threshold: env_u64(
+                "ORTHRUS_FLUSH_THRESHOLD",
+                orthrus_core::config::DEFAULT_FLUSH_THRESHOLD as u64,
+            )
+            .max(1) as usize,
         }
     }
 
@@ -69,6 +79,7 @@ impl BenchConfig {
             tpcc_items: 200,
             tpcc_order_slots: 128,
             max_threads: 4,
+            flush_threshold: orthrus_core::config::DEFAULT_FLUSH_THRESHOLD,
         }
     }
 
@@ -90,7 +101,11 @@ impl BenchConfig {
         if self.max_threads == 0 {
             return paper.to_vec();
         }
-        let mut v: Vec<usize> = paper.iter().copied().filter(|&t| t <= self.max_threads).collect();
+        let mut v: Vec<usize> = paper
+            .iter()
+            .copied()
+            .filter(|&t| t <= self.max_threads)
+            .collect();
         if v.is_empty() || *v.last().unwrap() < self.max_threads {
             v.push(self.max_threads);
         }

@@ -113,19 +113,23 @@ pub fn ext04_skew(bc: &BenchConfig) -> FigureResult {
         "txns/sec",
     );
     let thetas = [0.5f64, 0.8, 0.95, 0.99];
-    let mk = |theta: f64| {
-        orthrus_workload::MicroSpec::zipf(bc.n_records as u64, 10, theta, false)
-    };
+    let mk = |theta: f64| orthrus_workload::MicroSpec::zipf(bc.n_records as u64, 10, theta, false);
 
     let mut s = Series::new("ORTHRUS (modulo)");
     for theta in thetas {
-        s.push(theta, run_micro(SystemKind::Orthrus, mk(theta), threads, bc).throughput());
+        s.push(
+            theta,
+            run_micro(SystemKind::Orthrus, mk(theta), threads, bc).throughput(),
+        );
     }
     fig.series.push(s);
 
     let mut s = Series::new("ORTHRUS (balanced)");
     for theta in thetas {
-        s.push(theta, run_orthrus_balanced(mk(theta), threads, bc).throughput());
+        s.push(
+            theta,
+            run_orthrus_balanced(mk(theta), threads, bc).throughput(),
+        );
     }
     fig.series.push(s);
 
@@ -174,9 +178,7 @@ impl LatencyRow {
 /// (parking transactions while grants are in flight, Section 3.3) cost.
 pub fn ext06_latency(bc: &BenchConfig) -> Vec<LatencyRow> {
     let threads = bc.clamp_threads(80);
-    let spec = || {
-        orthrus_workload::MicroSpec::hot_cold(bc.n_records as u64, 64, 2, 10, false)
-    };
+    let spec = || orthrus_workload::MicroSpec::hot_cold(bc.n_records as u64, 64, 2, 10, false);
     [
         SystemKind::Orthrus,
         SystemKind::DeadlockFree,

@@ -74,7 +74,10 @@ pub fn fig05_thread_allocation(bc: &BenchConfig) -> FigureResult {
     } else {
         let cap = bc.max_threads.max(2);
         (
-            [1usize, 2, 4].into_iter().filter(|&c| c <= cap / 2).collect(),
+            [1usize, 2, 4]
+                .into_iter()
+                .filter(|&c| c <= cap / 2)
+                .collect(),
             [1usize, 2, 4, 8, 16, 32]
                 .into_iter()
                 .filter(|&e| e <= cap)
@@ -223,10 +226,7 @@ mod tests {
     fn fig11_and_12_have_five_series() {
         let _serial = crate::test_serial();
         let bc = BenchConfig::test_quick();
-        for fig in [
-            fig11_ycsb_readonly(&bc, false),
-            fig12_ycsb_rmw(&bc, true),
-        ] {
+        for fig in [fig11_ycsb_readonly(&bc, false), fig12_ycsb_rmw(&bc, true)] {
             assert_eq!(fig.series.len(), 5);
             for s in &fig.series {
                 assert!(

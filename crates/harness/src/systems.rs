@@ -73,12 +73,7 @@ fn lock_buckets(n_records: usize) -> usize {
 }
 
 /// Run one timed point of a microbenchmark workload on `kind`.
-pub fn run_micro(
-    kind: SystemKind,
-    spec: MicroSpec,
-    threads: usize,
-    bc: &BenchConfig,
-) -> RunStats {
+pub fn run_micro(kind: SystemKind, spec: MicroSpec, threads: usize, bc: &BenchConfig) -> RunStats {
     let params = bc.params(threads);
     let n = spec.n_records as usize;
     let buckets = lock_buckets(n);
@@ -119,11 +114,13 @@ pub fn run_micro(
         }
         SystemKind::Orthrus => {
             let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
-            let cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
+            let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
+            cfg.flush_threshold = bc.flush_threshold;
             OrthrusEngine::new(db, spec, cfg).run(&params)
         }
         SystemKind::SplitOrthrus => {
-            let cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
+            let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
+            cfg.flush_threshold = bc.flush_threshold;
             // Index partitions aligned with CC partitions (Section 4.3).
             let db = Arc::new(Database::Partitioned(PartitionedTable::new(
                 n,
@@ -154,7 +151,8 @@ pub fn run_orthrus_split(
     let params = bc.params(n_cc + n_exec);
     let n = spec.n_records as usize;
     let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
-    let cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
+    let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
+    cfg.flush_threshold = bc.flush_threshold;
     OrthrusEngine::new(db, Spec::Micro(spec), cfg).run(&params)
 }
 
@@ -166,6 +164,7 @@ pub fn run_orthrus_balanced(spec: MicroSpec, threads: usize, bc: &BenchConfig) -
     let n = spec.n_records as usize;
     let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
     let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
+    cfg.flush_threshold = bc.flush_threshold;
     let spec = Spec::Micro(spec);
     cfg.assignment =
         orthrus_core::rebalance::balanced_assignment(&spec, &db, cfg.n_cc, 1024, 4096, bc.seed);
@@ -199,8 +198,7 @@ pub fn run_tpcc_full(
     threads: usize,
     bc: &BenchConfig,
 ) -> RunStats {
-    let cfg_t = tpcc_config(bc, warehouses)
-        .with_initial_orders((bc.tpcc_order_slots / 2).max(30));
+    let cfg_t = tpcc_config(bc, warehouses).with_initial_orders((bc.tpcc_order_slots / 2).max(30));
     run_tpcc_spec(kind, TpccSpec::full_mix(cfg_t), threads, bc)
 }
 
@@ -214,21 +212,18 @@ fn run_tpcc_spec(kind: SystemKind, spec_t: TpccSpec, threads: usize, bc: &BenchC
         SystemKind::TwoPlDreadlocks => {
             TwoPlEngine::new(db, Dreadlocks::new(threads), buckets, spec).run(&params)
         }
-        SystemKind::TwoPlWaitDie => {
-            TwoPlEngine::new(db, WaitDie, buckets, spec).run(&params)
-        }
+        SystemKind::TwoPlWaitDie => TwoPlEngine::new(db, WaitDie, buckets, spec).run(&params),
         SystemKind::TwoPlWfg => {
             TwoPlEngine::new(db, WaitForGraph::new(threads), buckets, spec).run(&params)
         }
-        SystemKind::TwoPlNoWait => {
-            TwoPlEngine::new(db, NoWait, buckets, spec).run(&params)
-        }
+        SystemKind::TwoPlNoWait => TwoPlEngine::new(db, NoWait, buckets, spec).run(&params),
         SystemKind::TwoPlWoundWait => {
             TwoPlEngine::new(db, WoundWait::new(threads), buckets, spec).run(&params)
         }
         SystemKind::DeadlockFree => DeadlockFreeEngine::new(db, buckets, spec).run(&params),
         SystemKind::Orthrus => {
-            let cfg = OrthrusConfig::for_cores(threads, CcAssignment::Warehouse);
+            let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::Warehouse);
+            cfg.flush_threshold = bc.flush_threshold;
             OrthrusEngine::new(db, spec, cfg).run(&params)
         }
         other => panic!("{} does not run TPC-C in the paper", other.label()),

@@ -27,6 +27,8 @@ pub mod waiter;
 mod proptests;
 
 pub use manager::{AbortReason, LockManager, WaitEvent};
-pub use policy::{DeadlockPolicy, Dreadlocks, NoDeadlockPolicy, NoWait, WaitDie, WaitForGraph, WoundWait};
+pub use policy::{
+    DeadlockPolicy, Dreadlocks, NoDeadlockPolicy, NoWait, WaitDie, WaitForGraph, WoundWait,
+};
 pub use table::{AcquireOutcome, LockTable};
 pub use waiter::{LockWaiter, WaitState};

@@ -82,11 +82,9 @@ impl<P: DeadlockPolicy> LockManager<P> {
         waiter: &Arc<LockWaiter>,
         mut on_wait: impl FnMut(WaitEvent),
     ) -> Result<(), AbortReason> {
-        let outcome = self
-            .table
-            .acquire(key, txn, mode, waiter, |blockers| {
-                self.policy.may_wait(txn, blockers)
-            });
+        let outcome = self.table.acquire(key, txn, mode, waiter, |blockers| {
+            self.policy.may_wait(txn, blockers)
+        });
         let blockers = match outcome {
             AcquireOutcome::Granted => return Ok(()),
             AcquireOutcome::Denied => return Err(AbortReason::WaitDie),

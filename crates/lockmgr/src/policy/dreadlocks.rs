@@ -37,7 +37,11 @@ impl Digest {
 
     fn reset_to_self(&self, slot: usize) {
         for (i, w) in self.words.iter().enumerate() {
-            let self_bit = if i == slot / 64 { 1u64 << (slot % 64) } else { 0 };
+            let self_bit = if i == slot / 64 {
+                1u64 << (slot % 64)
+            } else {
+                0
+            };
             w.store(self_bit, Ordering::Release);
         }
     }

@@ -36,8 +36,11 @@ mod tests {
         let t = |s| TxnId::compose(s, ThreadId(0));
         assert!(!NoWait.may_wait(t(1), &[t(5)]));
         assert!(!NoWait.may_wait(t(5), &[t(1)]));
-        assert!(!NoWait.may_wait(t(1), &[]), "even an empty blocker set: \
-            the hook is only reached on conflict, so the answer is still no");
+        assert!(
+            !NoWait.may_wait(t(1), &[]),
+            "even an empty blocker set: \
+            the hook is only reached on conflict, so the answer is still no"
+        );
     }
 
     #[test]

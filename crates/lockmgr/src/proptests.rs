@@ -73,8 +73,11 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..6, 0u64..8, any::<bool>())
-            .prop_map(|(key, txn, shared)| Op::Acquire { key, txn, shared }),
+        (0u64..6, 0u64..8, any::<bool>()).prop_map(|(key, txn, shared)| Op::Acquire {
+            key,
+            txn,
+            shared
+        }),
         (0u64..6).prop_map(|key| Op::ReleaseSome { key }),
     ]
 }

@@ -306,8 +306,7 @@ mod tests {
     fn shared_batch_granted_together() {
         let (t, w) = mk();
         t.acquire(5, txn(1), LockMode::Exclusive, &w, |_| true);
-        let readers: Vec<Arc<LockWaiter>> =
-            (0..3).map(|_| Arc::new(LockWaiter::new())).collect();
+        let readers: Vec<Arc<LockWaiter>> = (0..3).map(|_| Arc::new(LockWaiter::new())).collect();
         for (i, r) in readers.iter().enumerate() {
             t.acquire(5, txn(10 + i as u64), LockMode::Shared, r, |_| true);
         }

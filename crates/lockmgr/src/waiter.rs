@@ -58,7 +58,8 @@ impl LockWaiter {
     /// Arm for a new wait episode. Called by the owning thread while the
     /// bucket latch is held (so no grant can race the reset).
     pub fn arm(&self) {
-        self.state.store(WaitState::Waiting as u8, Ordering::Relaxed);
+        self.state
+            .store(WaitState::Waiting as u8, Ordering::Relaxed);
     }
 
     /// Current state.
@@ -70,7 +71,8 @@ impl LockWaiter {
     /// Grant the lock (bucket latch held).
     pub fn grant(&self) {
         debug_assert_eq!(self.state(), WaitState::Waiting);
-        self.state.store(WaitState::Granted as u8, Ordering::Release);
+        self.state
+            .store(WaitState::Granted as u8, Ordering::Release);
     }
 
     /// Cancel the wait (bucket latch held).

@@ -1,0 +1,172 @@
+//! Offline vendored subset of `crossbeam`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the (tiny) slice of the crossbeam API it actually
+//! uses: [`utils::CachePadded`] and [`thread::scope`]. Both are
+//! API-compatible with the real crate for the call sites in this repo; if
+//! a future PR needs more surface, extend this shim or swap it for the
+//! real dependency once a registry is reachable.
+
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between adjacent values.
+    ///
+    /// 128-byte alignment matches crossbeam's choice on x86_64 and
+    /// aarch64 (two 64-byte lines, covering adjacent-line prefetchers).
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns a value to the length of a cache line.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("CachePadded")
+                .field("value", &self.value)
+                .finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(t: T) -> Self {
+            CachePadded::new(t)
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `scope(|s| ...)` shape, implemented
+    //! over `std::thread::scope`.
+    //!
+    //! Differences from crossbeam kept deliberately small: the closure
+    //! passed to [`Scope::spawn`] receives a unit placeholder instead of a
+    //! nested `&Scope` (no call site in this workspace spawns from inside
+    //! a spawned thread).
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle to a scope's spawn facility.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's argument exists only for
+        /// crossbeam signature compatibility (`|_| ...` at call sites).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Creates a new scope for spawning threads; returns `Err` with the
+    /// panic payload if the scope closure (or an unjoined child) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn cache_padded_is_aligned_and_derefs() {
+        let x = CachePadded::new(7u64);
+        assert_eq!(*x, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(x.into_inner(), 7);
+    }
+
+    #[test]
+    fn scope_joins_workers() {
+        let counter = AtomicUsize::new(0);
+        let result = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let counter = &counter;
+                handles.push(s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    1usize
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(result, 4);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scope_propagates_panics_as_err() {
+        let result = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(result.is_err());
+    }
+}

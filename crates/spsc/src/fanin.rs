@@ -56,6 +56,35 @@ impl<T> FanIn<T> {
         drained
     }
 
+    /// Sweep every lane once, draining each lane's available messages in
+    /// one batch (one cached-index refresh and one atomic store per lane,
+    /// via [`Consumer::drain_into`]) until `budget` messages have been
+    /// collected. Returns how many were drained.
+    ///
+    /// Compared with [`try_pop`](Self::try_pop) in a loop — which pays a
+    /// full poll sweep *per message* — one round costs one sweep for up to
+    /// `budget` messages. Per-lane FIFO is preserved; fairness across
+    /// rounds comes from rotating the starting lane.
+    pub fn drain_round(&mut self, out: &mut Vec<T>, budget: usize) -> usize {
+        let n = self.lanes.len();
+        if n == 0 || budget == 0 {
+            return 0;
+        }
+        let start = self.next;
+        let mut drained = 0;
+        for i in 0..n {
+            if drained >= budget {
+                break;
+            }
+            let idx = (start + i) % n;
+            drained += self.lanes[idx].drain_into(out, budget - drained);
+        }
+        // Rotate so the next round starts on a different lane even when
+        // this round's budget was exhausted early.
+        self.next = (start + 1) % n;
+        drained
+    }
+
     /// Whether every lane currently looks empty.
     pub fn is_empty(&self) -> bool {
         self.lanes.iter().all(|l| l.is_empty())
@@ -111,6 +140,48 @@ mod tests {
         assert_eq!(out.len(), 7);
         assert_eq!(f.drain_into(&mut out, 100), 13);
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn drain_round_sweeps_all_lanes_batched() {
+        let (mut tx0, rx0) = channel::<u32>(16);
+        let (mut tx1, rx1) = channel::<u32>(16);
+        for i in 0..6 {
+            tx0.try_push(i).unwrap();
+            tx1.try_push(100 + i).unwrap();
+        }
+        let mut f = FanIn::new(vec![rx0, rx1]);
+        let mut out = Vec::new();
+        // One round picks up everything from both lanes.
+        assert_eq!(f.drain_round(&mut out, 64), 12);
+        assert!(f.is_empty());
+        // Per-lane FIFO holds inside the round.
+        let lane0: Vec<u32> = out.iter().copied().filter(|&v| v < 100).collect();
+        let lane1: Vec<u32> = out.iter().copied().filter(|&v| v >= 100).collect();
+        assert_eq!(lane0, (0..6).collect::<Vec<u32>>());
+        assert_eq!(lane1, (100..106).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn drain_round_respects_budget_and_rotates() {
+        let (mut tx0, rx0) = channel::<u32>(16);
+        let (mut tx1, rx1) = channel::<u32>(16);
+        for i in 0..8 {
+            tx0.try_push(i).unwrap();
+            tx1.try_push(100 + i).unwrap();
+        }
+        let mut f = FanIn::new(vec![rx0, rx1]);
+        let mut out = Vec::new();
+        // First round: budget exhausted entirely on lane 0.
+        assert_eq!(f.drain_round(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        // Second round starts on lane 1: the starved lane is served.
+        out.clear();
+        assert_eq!(f.drain_round(&mut out, 4), 4);
+        assert_eq!(out, vec![100, 101, 102, 103]);
+        // Zero-lane fan-in: no division, no work.
+        let mut empty: FanIn<u32> = FanIn::new(vec![]);
+        assert_eq!(empty.drain_round(&mut out, 4), 0);
     }
 
     #[test]

@@ -15,9 +15,23 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![any::<u64>().prop_map(Op::Push), Just(Op::Pop),]
+}
+
+#[derive(Debug, Clone)]
+enum BatchOp {
+    Push,
+    PushSlice(usize),
+    Pop,
+    Drain(usize),
+}
+
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
     prop_oneof![
-        any::<u64>().prop_map(Op::Push),
-        Just(Op::Pop),
+        Just(BatchOp::Push),
+        (0usize..24).prop_map(BatchOp::PushSlice),
+        Just(BatchOp::Pop),
+        (0usize..24).prop_map(BatchOp::Drain),
     ]
 }
 
@@ -56,6 +70,97 @@ proptest! {
             prop_assert_eq!(rx.try_pop(), Some(expected));
         }
         prop_assert_eq!(rx.try_pop(), None);
+    }
+
+    /// Batched and single-message operations, arbitrarily interleaved
+    /// (including across the index wrap boundary), must be observationally
+    /// FIFO-equivalent to the VecDeque model: no drops, no duplicates, no
+    /// reordering — and partial batch pushes must consume exactly the
+    /// published prefix.
+    #[test]
+    fn batched_ops_match_vecdeque_model(
+        cap in 1usize..16,
+        ops in prop::collection::vec(batch_op_strategy(), 0..300),
+    ) {
+        let (mut tx, mut rx) = channel::<u64>(cap);
+        let real_cap = tx.capacity();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64; // monotone payloads make reorders visible
+        let mut out: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                BatchOp::Push => {
+                    let res = tx.try_push(next);
+                    if model.len() < real_cap {
+                        prop_assert!(res.is_ok());
+                        model.push_back(next);
+                        next += 1;
+                    } else {
+                        prop_assert_eq!(res, Err(next));
+                    }
+                }
+                BatchOp::PushSlice(n) => {
+                    let mut batch: Vec<u64> = (next..next + n as u64).collect();
+                    let pushed = tx.try_push_slice(&mut batch);
+                    let expect = (real_cap - model.len()).min(n);
+                    prop_assert_eq!(pushed, expect, "published prefix size");
+                    prop_assert_eq!(batch.len(), n - pushed, "unpushed suffix stays");
+                    for v in next..next + pushed as u64 {
+                        model.push_back(v);
+                    }
+                    next += pushed as u64;
+                }
+                BatchOp::Pop => {
+                    prop_assert_eq!(rx.try_pop(), model.pop_front());
+                }
+                BatchOp::Drain(max) => {
+                    out.clear();
+                    let got = rx.drain_into(&mut out, max);
+                    prop_assert_eq!(got, model.len().min(max));
+                    for v in out.drain(..) {
+                        prop_assert_eq!(Some(v), model.pop_front());
+                    }
+                }
+            }
+            prop_assert_eq!(rx.len(), model.len());
+            prop_assert_eq!(tx.len(), model.len());
+        }
+
+        // Drain the remainder in one batch and compare.
+        out.clear();
+        rx.pop_batch(&mut out);
+        let rest: Vec<u64> = model.into_iter().collect();
+        prop_assert_eq!(out, rest);
+        prop_assert_eq!(rx.try_pop(), None);
+    }
+
+    /// A cross-thread stream moved entirely by batch operations arrives
+    /// in exact FIFO order — same guarantee the single-message stream
+    /// test pins, now for the slice path.
+    #[test]
+    fn concurrent_batch_transfer_preserves_order(
+        values in prop::collection::vec(any::<u64>(), 1..400),
+        cap in 1usize..16,
+        chunk in 1usize..32,
+    ) {
+        let (mut tx, mut rx) = channel::<u64>(cap);
+        let send = values.clone();
+        let handle = std::thread::spawn(move || {
+            let mut batch = Vec::with_capacity(chunk);
+            for piece in send.chunks(chunk) {
+                batch.extend_from_slice(piece);
+                tx.push_slice(&mut batch);
+            }
+        });
+        let mut got = Vec::with_capacity(values.len());
+        while got.len() < values.len() {
+            if rx.drain_into(&mut got, 64) == 0 {
+                std::thread::yield_now();
+            }
+        }
+        handle.join().unwrap();
+        prop_assert_eq!(got, values);
     }
 
     #[test]

@@ -141,15 +141,84 @@ impl<T> Producer<T> {
         }
     }
 
-    /// Number of messages currently in flight (approximate: the consumer
-    /// may be draining concurrently).
-    pub fn len(&self) -> usize {
-        let head = self.inner.head.load(Ordering::Acquire);
-        self.tail.wrapping_sub(head)
+    /// Enqueue as many messages from the front of `values` as fit,
+    /// publishing them all with a **single** Release store of `tail` (and
+    /// at most one refresh of the cached consumer index). Returns how many
+    /// were moved out of `values`.
+    ///
+    /// This is the batch analogue of [`try_push`](Self::try_push): N
+    /// messages cost N slot writes plus one atomic store, instead of N
+    /// store/refresh round trips on the `tail`/`head` cache lines.
+    pub fn try_push_slice(&mut self, values: &mut Vec<T>) -> usize {
+        if values.is_empty() {
+            return 0;
+        }
+        let cap = self.inner.mask + 1;
+        let mut free = cap - self.tail.wrapping_sub(self.head_cache);
+        if free < values.len() {
+            // Cached view is insufficient; refresh once. Acquire pairs
+            // with the consumer's Release store of `head`.
+            self.head_cache = self.inner.head.load(Ordering::Acquire);
+            free = cap - self.tail.wrapping_sub(self.head_cache);
+        }
+        let n = free.min(values.len());
+        if n == 0 {
+            return 0;
+        }
+        // The destination wrap-space [tail, tail + n) is at most two
+        // contiguous runs of the buffer: copy each with one memcpy
+        // instead of a per-message loop.
+        let start = self.tail & self.inner.mask;
+        let first = n.min(cap - start);
+        // SAFETY: the free-space check above covers all `n` slots, we are
+        // the only producer, and the slot memory lives in `UnsafeCell`s
+        // (the cast peels the transparent `UnsafeCell<MaybeUninit<T>>`
+        // layers). The copied prefix of `values` is forgotten below via
+        // the length-truncating shift, so each value is moved exactly
+        // once.
+        unsafe {
+            let base = self.inner.buf.as_ptr() as *mut T;
+            let src = values.as_ptr();
+            std::ptr::copy_nonoverlapping(src, base.add(start), first);
+            std::ptr::copy_nonoverlapping(src.add(first), base, n - first);
+            let remaining = values.len() - n;
+            let p = values.as_mut_ptr();
+            std::ptr::copy(p.add(n), p, remaining);
+            values.set_len(remaining);
+        }
+        // One Release publishes every slot write before the new tail.
+        self.inner
+            .tail
+            .store(self.tail.wrapping_add(n), Ordering::Release);
+        self.tail = self.tail.wrapping_add(n);
+        n
     }
 
-    /// Whether the ring looks empty from the producer side.
-    pub fn is_empty(&self) -> bool {
+    /// Enqueue all of `values`, backing off whenever the ring is full.
+    /// Partial batches are published as space frees up, preserving order.
+    pub fn push_slice(&mut self, values: &mut Vec<T>) {
+        let mut backoff = Backoff::new();
+        while !values.is_empty() {
+            if self.try_push_slice(values) > 0 {
+                backoff.reset();
+            } else {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Number of messages currently in flight (approximate: the consumer
+    /// may be draining concurrently). Also refreshes the producer's cached
+    /// consumer index, so a following `try_push`/`try_push_slice` on the
+    /// flush path does not pay a redundant acquire-load.
+    pub fn len(&mut self) -> usize {
+        self.head_cache = self.inner.head.load(Ordering::Acquire);
+        self.tail.wrapping_sub(self.head_cache)
+    }
+
+    /// Whether the ring looks empty from the producer side (refreshes the
+    /// cached consumer index, like [`len`](Self::len)).
+    pub fn is_empty(&mut self) -> bool {
         self.len() == 0
     }
 }
@@ -181,6 +250,62 @@ impl<T> Consumer<T> {
             .store(self.head.wrapping_add(1), Ordering::Release);
         self.head = self.head.wrapping_add(1);
         Some(value)
+    }
+
+    /// Dequeue up to `max` messages into `out`, consuming them all with a
+    /// **single** Release store of `head` (and at most one refresh of the
+    /// cached producer index). Returns how many were moved.
+    ///
+    /// The batch analogue of [`try_pop`](Self::try_pop): N messages cost N
+    /// slot reads plus one atomic store, instead of N store/refresh round
+    /// trips on the `head`/`tail` cache lines.
+    pub fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut avail = self.tail_cache.wrapping_sub(self.head);
+        if avail < max {
+            // Cached view may undercount; refresh once. Acquire pairs
+            // with the producer's Release store of `tail`.
+            self.tail_cache = self.inner.tail.load(Ordering::Acquire);
+            avail = self.tail_cache.wrapping_sub(self.head);
+        }
+        let n = avail.min(max);
+        if n == 0 {
+            return 0;
+        }
+        // The source wrap-space [head, head + n) is at most two
+        // contiguous runs: copy each straight into `out`'s spare capacity
+        // with one memcpy instead of a per-message loop.
+        let cap = self.inner.mask + 1;
+        let start = self.head & self.inner.mask;
+        let first = n.min(cap - start);
+        out.reserve(n);
+        // SAFETY: head + n ≤ tail_cache ≤ tail, so the producer published
+        // (Release/Acquire-paired) all `n` slots; we are the only
+        // consumer. `reserve` guarantees the spare capacity written
+        // before `set_len`. Slots are logically vacated by the head store
+        // below, so each value is moved out exactly once.
+        unsafe {
+            let base = self.inner.buf.as_ptr() as *const T;
+            let dst = out.as_mut_ptr().add(out.len());
+            std::ptr::copy_nonoverlapping(base.add(start), dst, first);
+            std::ptr::copy_nonoverlapping(base, dst.add(first), n - first);
+            out.set_len(out.len() + n);
+        }
+        // One Release hands every slot back to the producer.
+        self.inner
+            .head
+            .store(self.head.wrapping_add(n), Ordering::Release);
+        self.head = self.head.wrapping_add(n);
+        n
+    }
+
+    /// Dequeue every currently-readable message into `out`. Returns how
+    /// many were moved.
+    pub fn pop_batch(&mut self, out: &mut Vec<T>) -> usize {
+        let cap = self.inner.mask + 1;
+        self.drain_into(out, cap)
     }
 
     /// Number of messages currently readable (approximate).
@@ -300,6 +425,89 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_fifo() {
+        let (mut tx, mut rx) = channel::<u32>(16);
+        let mut batch: Vec<u32> = (0..10).collect();
+        assert_eq!(tx.try_push_slice(&mut batch), 10);
+        assert!(batch.is_empty());
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.pop_batch(&mut out), 6);
+        assert_eq!(out, (0..10).collect::<Vec<u32>>());
+        assert_eq!(rx.drain_into(&mut out, 8), 0);
+    }
+
+    #[test]
+    fn partial_batch_push_on_full_ring() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        let mut batch: Vec<u32> = (0..7).collect();
+        // Only 4 slots: the prefix goes in, the rest stays.
+        assert_eq!(tx.try_push_slice(&mut batch), 4);
+        assert_eq!(batch, vec![4, 5, 6]);
+        assert_eq!(tx.try_push_slice(&mut batch), 0);
+        // Drain two, push two more: order must stitch together.
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out, 2), 2);
+        assert_eq!(tx.try_push_slice(&mut batch), 2);
+        assert_eq!(batch, vec![6]);
+        rx.pop_batch(&mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn batch_ops_wrap_the_index_boundary() {
+        let (mut tx, mut rx) = channel::<u64>(8);
+        let mut out = Vec::new();
+        let mut expected = 0u64;
+        // Unaligned batch size vs capacity 8 forces every wrap offset.
+        for round in 0..1000u64 {
+            let mut batch: Vec<u64> = (0..5).map(|i| round * 5 + i).collect();
+            tx.push_slice(&mut batch);
+            assert_eq!(rx.drain_into(&mut out, 5), 5);
+            for v in out.drain(..) {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_single_and_batch_are_fifo_equivalent() {
+        let (mut tx, mut rx) = channel::<u32>(8);
+        tx.try_push(0).unwrap();
+        let mut batch = vec![1, 2, 3];
+        assert_eq!(tx.try_push_slice(&mut batch), 3);
+        tx.try_push(4).unwrap();
+        assert_eq!(rx.try_pop(), Some(0));
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out, 2), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(rx.try_pop(), Some(3));
+        assert_eq!(rx.try_pop(), Some(4));
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn producer_len_refreshes_stale_cache() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        // Consumer drains everything; the producer's head cache is stale
+        // and still reports a full ring until refreshed.
+        for _ in 0..4 {
+            rx.try_pop().unwrap();
+        }
+        assert_eq!(tx.len(), 0, "len must refresh the stale head cache");
+        assert!(tx.is_empty());
+        // The refresh is cached: a full-capacity batch push succeeds
+        // without observing a stale "full" view.
+        let mut batch = vec![10, 11, 12, 13];
+        assert_eq!(tx.try_push_slice(&mut batch), 4);
     }
 
     #[test]

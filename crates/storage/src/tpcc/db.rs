@@ -131,8 +131,7 @@ impl TpccDb {
                     let c = rng.next_below(cfg.customers_per_district as u64) as u32;
                     let ol_cnt = rng.next_range(5, (cfg.max_lines as u64).min(15)) as u32;
                     let delivered = o_id < delivered_upto;
-                    let o_slot =
-                        TpccLayout::slot(self.layout.order_key(w, d, o_id));
+                    let o_slot = TpccLayout::slot(self.layout.order_key(w, d, o_id));
                     {
                         let row = self.orders.get_mut(o_slot);
                         row.o_id = o_id;
@@ -145,9 +144,9 @@ impl TpccDb {
                             0
                         };
                     }
-                    self.recon.publish_order(o_slot, OrderSummary { c_id: c, ol_cnt });
-                    let no_slot =
-                        TpccLayout::slot(self.layout.new_order_key(w, d, o_id));
+                    self.recon
+                        .publish_order(o_slot, OrderSummary { c_id: c, ol_cnt });
+                    let no_slot = TpccLayout::slot(self.layout.new_order_key(w, d, o_id));
                     {
                         let m = self.new_orders.get_mut(no_slot);
                         m.o_id = o_id;
@@ -156,10 +155,9 @@ impl TpccDb {
                     for line in 0..ol_cnt {
                         let i_id = rng.next_below(cfg.items as u64) as u32;
                         let qty = rng.next_range(1, 10) as u32;
-                        let price = unsafe { self.items.read_with(i_id as usize, |r| r.price_cents) };
-                        let l_slot = TpccLayout::slot(
-                            self.layout.order_line_key(w, d, o_id, line),
-                        );
+                        let price =
+                            unsafe { self.items.read_with(i_id as usize, |r| r.price_cents) };
+                        let l_slot = TpccLayout::slot(self.layout.order_line_key(w, d, o_id, line));
                         {
                             let lr = self.order_lines.get_mut(l_slot);
                             lr.i_id = i_id;
@@ -278,8 +276,7 @@ mod tests {
                 for name in 0..N_LAST_NAMES {
                     for &c in db.customers_by_last_name(w, d, name) {
                         let slot = dn * cfg.customers_per_district as usize + c as usize;
-                        let row_name =
-                            unsafe { db.customers.read_with(slot, |r| r.last_name_id) };
+                        let row_name = unsafe { db.customers.read_with(slot, |r| r.last_name_id) };
                         assert_eq!(row_name as usize, name);
                         total += 1;
                     }
@@ -350,8 +347,7 @@ mod tests {
                     let summary = db.recon.order(slot);
                     assert_eq!((summary.c_id, summary.ol_cnt), (c_id, ol_cnt));
                     for line in 0..ol_cnt {
-                        let ls =
-                            TpccLayout::slot(db.layout.order_line_key(w, d, o, line));
+                        let ls = TpccLayout::slot(db.layout.order_line_key(w, d, o, line));
                         let (i_id, delivered, amount) = unsafe {
                             db.order_lines
                                 .read_with(ls, |l| (l.i_id, l.delivered, l.amount_cents))
@@ -379,8 +375,7 @@ mod tests {
                 total += summary.order_cnt;
                 if summary.order_cnt > 0 {
                     // The published latest order must indeed name c.
-                    let o_slot =
-                        TpccLayout::slot(db.layout.order_key(0, d, summary.last_o_id));
+                    let o_slot = TpccLayout::slot(db.layout.order_key(0, d, summary.last_o_id));
                     let c_id = unsafe { db.orders.read_with(o_slot, |r| r.c_id) };
                     assert_eq!(c_id, c);
                 }
@@ -392,7 +387,10 @@ mod tests {
     #[test]
     fn zero_initial_orders_leaves_arenas_untouched() {
         let db = tiny_db();
-        let next = unsafe { db.districts.read_with(0, |r| (r.next_o_id, r.next_deliv_o_id)) };
+        let next = unsafe {
+            db.districts
+                .read_with(0, |r| (r.next_o_id, r.next_deliv_o_id))
+        };
         assert_eq!(next, (0, 0));
         assert_eq!(db.recon.district(0).next_o_id, 0);
     }

@@ -62,7 +62,10 @@ impl TpccLayout {
     pub fn new(cfg: TpccConfig) -> Self {
         // The largest locator (order lines) must fit in 56 bits.
         let max_locator = cfg.n_orderline_slots();
-        assert!(max_locator < (1 << TAG_SHIFT), "scale too large for key layout");
+        assert!(
+            max_locator < (1 << TAG_SHIFT),
+            "scale too large for key layout"
+        );
         TpccLayout { cfg }
     }
 
@@ -173,10 +176,10 @@ impl TpccLayout {
             Table::Order | Table::NewOrder => {
                 (loc / self.cfg.order_slots_per_district as u64 / dpw) as u32
             }
-            Table::OrderLine => (loc
-                / self.cfg.max_lines as u64
-                / self.cfg.order_slots_per_district as u64
-                / dpw) as u32,
+            Table::OrderLine => {
+                (loc / self.cfg.max_lines as u64 / self.cfg.order_slots_per_district as u64 / dpw)
+                    as u32
+            }
             Table::History => (loc / self.cfg.history_slots_per_district as u64 / dpw) as u32,
             Table::Item => 0, // replicated/read-only; never partitioned
         }

@@ -105,7 +105,8 @@ impl ReconBoard {
     /// Load a district's cursors (reconnaissance: possibly stale).
     #[inline]
     pub fn district(&self, district_no: usize) -> DistrictCursors {
-        let (next_o_id, next_deliv_o_id) = unpack(self.districts[district_no].load(Ordering::Relaxed));
+        let (next_o_id, next_deliv_o_id) =
+            unpack(self.districts[district_no].load(Ordering::Relaxed));
         DistrictCursors {
             next_o_id,
             next_deliv_o_id,
@@ -208,8 +209,20 @@ mod tests {
             }
         );
 
-        b.publish_order(5, OrderSummary { c_id: 9, ol_cnt: 12 });
-        assert_eq!(b.order(5), OrderSummary { c_id: 9, ol_cnt: 12 });
+        b.publish_order(
+            5,
+            OrderSummary {
+                c_id: 9,
+                ol_cnt: 12,
+            },
+        );
+        assert_eq!(
+            b.order(5),
+            OrderSummary {
+                c_id: 9,
+                ol_cnt: 12
+            }
+        );
 
         b.publish_line_item(15, 1234);
         assert_eq!(b.line_item(15), 1234);

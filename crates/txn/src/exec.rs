@@ -198,10 +198,7 @@ fn execute_new_order(
         // SAFETY: Item is read-only after load; no lock required (paper:
         // "none of our baselines perform any concurrency control on reads
         // to Item table's rows").
-        let price = unsafe {
-            tpcc.items
-                .read_with(line.i_id as usize, |r| r.price_cents)
-        };
+        let price = unsafe { tpcc.items.read_with(line.i_id as usize, |r| r.price_cents) };
         let sk = l.stock_key(line.supply_w, line.i_id);
         guard.access(sk, LockMode::Exclusive)?;
         let remote = line.supply_w != input.w;
@@ -465,9 +462,7 @@ fn execute_delivery(
         let actual = if lag == 0 {
             DeliveryLeg::Nothing
         } else if lag > slots {
-            DeliveryLeg::Advance {
-                to: next_o - slots,
-            }
+            DeliveryLeg::Advance { to: next_o - slots }
         } else {
             let o_id = next_deliv;
             let o_slot = TpccLayout::slot(l.order_key(input.w, d, o_id));
@@ -481,7 +476,9 @@ fn execute_delivery(
                 // cursor but aborted before writing the slot (dynamic 2PL
                 // has no undo log, Section 2.2). The order never existed;
                 // step the cursor past it without crediting anyone.
-                DeliveryLeg::Advance { to: o_id.wrapping_add(1) }
+                DeliveryLeg::Advance {
+                    to: o_id.wrapping_add(1),
+                }
             } else {
                 DeliveryLeg::Deliver {
                     o_id,
@@ -670,10 +667,7 @@ fn execute_stock_level(
             }
             guard.access(sk, LockMode::Shared)?;
             // SAFETY: shared access established by the guard.
-            let qty = unsafe {
-                tpcc.stock
-                    .read_with(TpccLayout::slot(sk), |r| r.quantity)
-            };
+            let qty = unsafe { tpcc.stock.read_with(TpccLayout::slot(sk), |r| r.quantity) };
             if qty < input.threshold {
                 below += 1;
             }
@@ -707,9 +701,13 @@ mod tests {
     #[test]
     fn rmw_then_read_roundtrip() {
         let db = Database::Flat(Table::new(10, 64));
-        let rmw = Program::Rmw { keys: vec![1, 2, 1] };
+        let rmw = Program::Rmw {
+            keys: vec![1, 2, 1],
+        };
         execute(&rmw, &db, &mut AllowAll, None).unwrap();
-        let ro = Program::ReadOnly { keys: vec![1, 2, 3] };
+        let ro = Program::ReadOnly {
+            keys: vec![1, 2, 3],
+        };
         let sum = execute(&ro, &db, &mut AllowAll, None).unwrap();
         assert_eq!(sum, 2 + 1); // key 1 twice, key 2 once, key 3 zero
     }
@@ -723,13 +721,23 @@ mod tests {
             d: 1,
             c: 3,
             lines: vec![
-                OrderLineInput { i_id: 7, supply_w: 0, qty: 2 },
-                OrderLineInput { i_id: 9, supply_w: 1, qty: 1 },
+                OrderLineInput {
+                    i_id: 7,
+                    supply_w: 0,
+                    qty: 2,
+                },
+                OrderLineInput {
+                    i_id: 9,
+                    supply_w: 1,
+                    qty: 1,
+                },
             ],
         };
         let l = t.layout;
-        let stock_before =
-            unsafe { t.stock.read_with(TpccLayout::slot(l.stock_key(0, 7)), |s| s.quantity) };
+        let stock_before = unsafe {
+            t.stock
+                .read_with(TpccLayout::slot(l.stock_key(0, 7)), |s| s.quantity)
+        };
         execute(&Program::NewOrder(input.clone()), &db, &mut AllowAll, None).unwrap();
 
         // District allocated o_id 0 and advanced.
@@ -740,8 +748,9 @@ mod tests {
         assert_eq!(next, 1);
         // Stock updated, remote counted.
         let s0 = unsafe {
-            t.stock
-                .read_with(TpccLayout::slot(l.stock_key(0, 7)), |s| (s.quantity, s.ytd, s.order_cnt, s.remote_cnt))
+            t.stock.read_with(TpccLayout::slot(l.stock_key(0, 7)), |s| {
+                (s.quantity, s.ytd, s.order_cnt, s.remote_cnt)
+            })
         };
         assert_eq!(s0.1, 2);
         assert_eq!(s0.2, 1);
@@ -760,8 +769,10 @@ mod tests {
                 })
         };
         assert_eq!(o, (0, 3, 2, false));
-        let no =
-            unsafe { t.new_orders.read_with(TpccLayout::slot(l.new_order_key(0, 1, 0)), |n| n.valid) };
+        let no = unsafe {
+            t.new_orders
+                .read_with(TpccLayout::slot(l.new_order_key(0, 1, 0)), |n| n.valid)
+        };
         assert!(no);
         let ol = unsafe {
             t.order_lines
@@ -781,7 +792,11 @@ mod tests {
                 w: 1,
                 d: 0,
                 c: 0,
-                lines: vec![OrderLineInput { i_id: 1, supply_w: 1, qty: 1 }],
+                lines: vec![OrderLineInput {
+                    i_id: 1,
+                    supply_w: 1,
+                    qty: 1,
+                }],
             })
         };
         for i in 0..3 {
@@ -806,7 +821,11 @@ mod tests {
             w: 0,
             d: 0,
             amount_cents: 700,
-            customer: CustomerSelector::ById { c_w: 1, c_d: 1, c: 2 },
+            customer: CustomerSelector::ById {
+                c_w: 1,
+                c_d: 1,
+                c: 2,
+            },
         };
         let w_before = unsafe {
             t.warehouses
@@ -844,7 +863,11 @@ mod tests {
             w: 0,
             d: 0,
             amount_cents: 100,
-            customer: CustomerSelector::ByLastName { c_w: 0, c_d: 0, name_id: 8 },
+            customer: CustomerSelector::ByLastName {
+                c_w: 0,
+                c_d: 0,
+                name_id: 8,
+            },
         });
         let plan = plan_accesses(&program, &db, 0, &mut rng);
         let mut guard = PreLocked::new(&plan);
@@ -866,7 +889,11 @@ mod tests {
             w: 1,
             d: 1,
             amount_cents: 100,
-            customer: CustomerSelector::ByLastName { c_w: 0, c_d: 0, name_id: 8 },
+            customer: CustomerSelector::ByLastName {
+                c_w: 0,
+                c_d: 0,
+                name_id: 8,
+            },
         });
         // Force a wrong estimate with 100% noise.
         let bad_plan = plan_accesses(&program, &db, 100, &mut rng);
@@ -895,7 +922,11 @@ mod tests {
             w: 0,
             d: 1,
             amount_cents: 50,
-            customer: CustomerSelector::ByLastName { c_w: 0, c_d: 1, name_id: 3 },
+            customer: CustomerSelector::ByLastName {
+                c_w: 0,
+                c_d: 1,
+                name_id: 3,
+            },
         });
         execute(&program, &db, &mut AllowAll, None).unwrap();
         let t = db.tpcc();
@@ -943,7 +974,9 @@ mod tests {
         .unwrap();
         let pad0 = unsafe {
             t.customers
-                .read_with(TpccLayout::slot(t.layout.customer_key(0, 0, c)), |r| r.pad[0])
+                .read_with(TpccLayout::slot(t.layout.customer_key(0, 0, c)), |r| {
+                    r.pad[0]
+                })
         };
         assert_ne!(pad0, 0);
     }
@@ -969,15 +1002,26 @@ mod tests {
             d: 1,
             c: 3,
             lines: vec![
-                OrderLineInput { i_id: 7, supply_w: 0, qty: 2 },
-                OrderLineInput { i_id: 9, supply_w: 1, qty: 1 },
+                OrderLineInput {
+                    i_id: 7,
+                    supply_w: 0,
+                    qty: 2,
+                },
+                OrderLineInput {
+                    i_id: 9,
+                    supply_w: 1,
+                    qty: 1,
+                },
             ],
         };
         execute(&Program::NewOrder(input), &db, &mut AllowAll, None).unwrap();
         let dn = l.district_no(0, 1) as usize;
         assert_eq!(
             t.recon.district(dn),
-            DistrictCursors { next_o_id: 1, next_deliv_o_id: 0 }
+            DistrictCursors {
+                next_o_id: 1,
+                next_deliv_o_id: 0
+            }
         );
         let c_slot = TpccLayout::slot(l.customer_key(0, 1, 3));
         let co = t.recon.customer(c_slot);
@@ -998,8 +1042,16 @@ mod tests {
         let t = db.tpcc();
         // Customer (0,0,5) places an order of known amounts.
         let lines = vec![
-            OrderLineInput { i_id: 2, supply_w: 0, qty: 3 },
-            OrderLineInput { i_id: 4, supply_w: 0, qty: 1 },
+            OrderLineInput {
+                i_id: 2,
+                supply_w: 0,
+                qty: 3,
+            },
+            OrderLineInput {
+                i_id: 4,
+                supply_w: 0,
+                qty: 1,
+            },
         ];
         let expected: u64 = lines
             .iter()
@@ -1009,7 +1061,12 @@ mod tests {
             })
             .sum();
         execute(
-            &Program::NewOrder(NewOrderInput { w: 0, d: 0, c: 5, lines }),
+            &Program::NewOrder(NewOrderInput {
+                w: 0,
+                d: 0,
+                c: 5,
+                lines,
+            }),
             &db,
             &mut AllowAll,
             None,
@@ -1017,7 +1074,11 @@ mod tests {
         .unwrap();
         let got = execute(
             &Program::OrderStatus(OrderStatusInput {
-                customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 5 },
+                customer: CustomerSelector::ById {
+                    c_w: 0,
+                    c_d: 0,
+                    c: 5,
+                },
             }),
             &db,
             &mut AllowAll,
@@ -1032,7 +1093,11 @@ mod tests {
         let db = tpcc();
         let got = execute(
             &Program::OrderStatus(OrderStatusInput {
-                customer: CustomerSelector::ById { c_w: 1, c_d: 1, c: 2 },
+                customer: CustomerSelector::ById {
+                    c_w: 1,
+                    c_d: 1,
+                    c: 2,
+                },
             }),
             &db,
             &mut AllowAll,
@@ -1047,7 +1112,11 @@ mod tests {
         let db = tpcc_with_orders();
         let mut rng = XorShift64::new(5);
         let program = Program::OrderStatus(OrderStatusInput {
-            customer: CustomerSelector::ByLastName { c_w: 0, c_d: 0, name_id: 8 },
+            customer: CustomerSelector::ByLastName {
+                c_w: 0,
+                c_d: 0,
+                name_id: 8,
+            },
         });
         let plan = plan_accesses(&program, &db, 0, &mut rng);
         let mut guard = PreLocked::new(&plan);
@@ -1113,7 +1182,10 @@ mod tests {
             assert_eq!(next_deliv, delivered_upto + 1);
             assert_eq!(
                 t.recon.district(dn),
-                DistrictCursors { next_o_id: next_o, next_deliv_o_id: next_deliv }
+                DistrictCursors {
+                    next_o_id: next_o,
+                    next_deliv_o_id: next_deliv
+                }
             );
             let ol0 = TpccLayout::slot(l.order_line_key(0, d, delivered_upto, 0));
             assert!(unsafe { t.order_lines.read_with(ol0, |r| r.delivered) });
@@ -1177,7 +1249,10 @@ mod tests {
         };
         t.recon.publish_district(
             dn,
-            DistrictCursors { next_o_id: 100, next_deliv_o_id: 0 },
+            DistrictCursors {
+                next_o_id: 100,
+                next_deliv_o_id: 0,
+            },
         );
         let program = Program::Delivery(DeliveryInput { w: 0, carrier: 1 });
         let mut rng = XorShift64::new(2);
@@ -1211,7 +1286,10 @@ mod tests {
         };
         t.recon.publish_district(
             dn,
-            DistrictCursors { next_o_id: 5, next_deliv_o_id: 4 },
+            DistrictCursors {
+                next_o_id: 5,
+                next_deliv_o_id: 4,
+            },
         );
         // Slot 4 was never written: default o_id (0) != 4 marks the hole.
         let program = Program::Delivery(DeliveryInput { w: 0, carrier: 9 });
@@ -1229,7 +1307,10 @@ mod tests {
         unsafe { t.districts.write_with(dn, |r| r.next_deliv_o_id = 4) };
         t.recon.publish_district(
             dn,
-            DistrictCursors { next_o_id: 5, next_deliv_o_id: 4 },
+            DistrictCursors {
+                next_o_id: 5,
+                next_deliv_o_id: 4,
+            },
         );
         let mut rng = XorShift64::new(7);
         let plan = plan_accesses(&program, &db, 0, &mut rng);
@@ -1275,7 +1356,12 @@ mod tests {
         assert!(!items.is_empty(), "window has items at this scale");
         let _ = cfg;
 
-        let program = Program::StockLevel(StockLevelInput { w: 1, d: 1, threshold, depth });
+        let program = Program::StockLevel(StockLevelInput {
+            w: 1,
+            d: 1,
+            threshold,
+            depth,
+        });
         // Dynamic path.
         let dynamic = execute(&program, &db, &mut AllowAll, None).unwrap();
         assert_eq!(dynamic, expected);
@@ -1290,7 +1376,12 @@ mod tests {
     #[test]
     fn stock_level_noise_mismatches_then_recovers() {
         let db = tpcc_with_orders();
-        let program = Program::StockLevel(StockLevelInput { w: 0, d: 0, threshold: 15, depth: 5 });
+        let program = Program::StockLevel(StockLevelInput {
+            w: 0,
+            d: 0,
+            threshold: 15,
+            depth: 5,
+        });
         let mut rng = XorShift64::new(14);
         let bad = plan_accesses(&program, &db, 100, &mut rng);
         let res = execute(&program, &db, &mut AllowAll, Some(&bad));
@@ -1303,7 +1394,12 @@ mod tests {
     #[test]
     fn stock_level_on_empty_district_is_zero() {
         let db = tpcc();
-        let program = Program::StockLevel(StockLevelInput { w: 0, d: 1, threshold: 100, depth: 20 });
+        let program = Program::StockLevel(StockLevelInput {
+            w: 0,
+            d: 1,
+            threshold: 100,
+            depth: 20,
+        });
         assert_eq!(execute(&program, &db, &mut AllowAll, None).unwrap(), 0);
         let mut rng = XorShift64::new(1);
         let plan = plan_accesses(&program, &db, 0, &mut rng);
@@ -1318,7 +1414,12 @@ mod tests {
         // execution must refuse the stale plan.
         let db = tpcc_with_orders();
         let t = db.tpcc();
-        let program = Program::StockLevel(StockLevelInput { w: 0, d: 0, threshold: 15, depth: 5 });
+        let program = Program::StockLevel(StockLevelInput {
+            w: 0,
+            d: 0,
+            threshold: 15,
+            depth: 5,
+        });
         let mut rng = XorShift64::new(4);
         let plan = plan_accesses(&program, &db, 0, &mut rng);
         // 64 slots; push next_o far beyond the pinned window (single-

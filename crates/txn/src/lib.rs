@@ -31,6 +31,6 @@ pub use db::Database;
 pub use exec::{execute, AbortKind, AccessGuard, PreLocked, Unguarded};
 pub use plan::{plan_accesses, AccessSet, Annotation, DistrictDelivery, Plan};
 pub use program::{
-    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput,
-    PaymentInput, Program, StockLevelInput,
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,
+    Program, StockLevelInput,
 };

@@ -13,9 +13,7 @@ use orthrus_common::{Key, LockMode, XorShift64};
 use orthrus_storage::tpcc::{TpccDb, TpccLayout};
 
 use crate::db::Database;
-use crate::program::{
-    CustomerSelector, DeliveryInput, OrderStatusInput, Program, StockLevelInput,
-};
+use crate::program::{CustomerSelector, DeliveryInput, OrderStatusInput, Program, StockLevelInput};
 
 /// A sorted, deduplicated set of `(key, mode)` pairs. Duplicate keys merge
 /// to the stronger mode (no lock upgrades at runtime).
@@ -149,10 +147,7 @@ pub fn plan_accesses(
             let mut raw = Vec::with_capacity(3 + input.lines.len());
             raw.push((l.warehouse_key(input.w), LockMode::Shared));
             raw.push((l.district_key(input.w, input.d), LockMode::Exclusive));
-            raw.push((
-                l.customer_key(input.w, input.d, input.c),
-                LockMode::Shared,
-            ));
+            raw.push((l.customer_key(input.w, input.d, input.c), LockMode::Shared));
             for line in &input.lines {
                 raw.push((l.stock_key(line.supply_w, line.i_id), LockMode::Exclusive));
             }
@@ -365,10 +360,7 @@ mod tests {
 
     #[test]
     fn covers_respects_modes() {
-        let s = AccessSet::from_unsorted(vec![
-            (1, LockMode::Shared),
-            (2, LockMode::Exclusive),
-        ]);
+        let s = AccessSet::from_unsorted(vec![(1, LockMode::Shared), (2, LockMode::Exclusive)]);
         assert!(s.covers(1, LockMode::Shared));
         assert!(!s.covers(1, LockMode::Exclusive));
         assert!(s.covers(2, LockMode::Shared));
@@ -380,7 +372,9 @@ mod tests {
     fn rmw_plans_exclusive() {
         let mut rng = XorShift64::new(1);
         let p = plan_accesses(
-            &Program::Rmw { keys: vec![9, 2, 2] },
+            &Program::Rmw {
+                keys: vec![9, 2, 2],
+            },
             &flat(),
             0,
             &mut rng,
@@ -401,17 +395,31 @@ mod tests {
             d: 1,
             c: 3,
             lines: vec![
-                OrderLineInput { i_id: 7, supply_w: 0, qty: 2 },
-                OrderLineInput { i_id: 9, supply_w: 1, qty: 1 },
+                OrderLineInput {
+                    i_id: 7,
+                    supply_w: 0,
+                    qty: 2,
+                },
+                OrderLineInput {
+                    i_id: 9,
+                    supply_w: 1,
+                    qty: 1,
+                },
             ],
         };
         let plan = plan_accesses(&Program::NewOrder(input.clone()), &db, 0, &mut rng);
         let l = &db.tpcc().layout;
         assert_eq!(plan.accesses.len(), 5);
         assert!(plan.accesses.covers(l.warehouse_key(0), LockMode::Shared));
-        assert!(!plan.accesses.covers(l.warehouse_key(0), LockMode::Exclusive));
-        assert!(plan.accesses.covers(l.district_key(0, 1), LockMode::Exclusive));
-        assert!(plan.accesses.covers(l.customer_key(0, 1, 3), LockMode::Shared));
+        assert!(!plan
+            .accesses
+            .covers(l.warehouse_key(0), LockMode::Exclusive));
+        assert!(plan
+            .accesses
+            .covers(l.district_key(0, 1), LockMode::Exclusive));
+        assert!(plan
+            .accesses
+            .covers(l.customer_key(0, 1, 3), LockMode::Shared));
         assert!(plan.accesses.covers(l.stock_key(0, 7), LockMode::Exclusive));
         assert!(plan.accesses.covers(l.stock_key(1, 9), LockMode::Exclusive));
     }
@@ -425,7 +433,11 @@ mod tests {
                 w: 1,
                 d: 0,
                 amount_cents: 500,
-                customer: CustomerSelector::ById { c_w: 0, c_d: 1, c: 2 },
+                customer: CustomerSelector::ById {
+                    c_w: 0,
+                    c_d: 1,
+                    c: 2,
+                },
             }),
             &db,
             0,
@@ -433,9 +445,15 @@ mod tests {
         );
         let l = &db.tpcc().layout;
         assert_eq!(plan.accesses.len(), 3);
-        assert!(plan.accesses.covers(l.warehouse_key(1), LockMode::Exclusive));
-        assert!(plan.accesses.covers(l.district_key(1, 0), LockMode::Exclusive));
-        assert!(plan.accesses.covers(l.customer_key(0, 1, 2), LockMode::Exclusive));
+        assert!(plan
+            .accesses
+            .covers(l.warehouse_key(1), LockMode::Exclusive));
+        assert!(plan
+            .accesses
+            .covers(l.district_key(1, 0), LockMode::Exclusive));
+        assert!(plan
+            .accesses
+            .covers(l.customer_key(0, 1, 2), LockMode::Exclusive));
         assert_eq!(
             plan.annotation,
             Annotation::None,
@@ -452,7 +470,11 @@ mod tests {
                 w: 0,
                 d: 0,
                 amount_cents: 100,
-                customer: CustomerSelector::ByLastName { c_w: 0, c_d: 0, name_id: 4 },
+                customer: CustomerSelector::ByLastName {
+                    c_w: 0,
+                    c_d: 0,
+                    name_id: 4,
+                },
             }),
             &db,
             0,
@@ -461,7 +483,9 @@ mod tests {
         // tiny scale: name 4 maps to exactly customer 4.
         assert_eq!(plan.annotation, Annotation::Customer(4));
         let l = &db.tpcc().layout;
-        assert!(plan.accesses.covers(l.customer_key(0, 0, 4), LockMode::Exclusive));
+        assert!(plan
+            .accesses
+            .covers(l.customer_key(0, 0, 4), LockMode::Exclusive));
     }
 
     #[test]
@@ -471,36 +495,49 @@ mod tests {
         let l = &db.tpcc().layout;
         let by_id = plan_accesses(
             &Program::OrderStatus(OrderStatusInput {
-                customer: CustomerSelector::ById { c_w: 1, c_d: 0, c: 7 },
+                customer: CustomerSelector::ById {
+                    c_w: 1,
+                    c_d: 0,
+                    c: 7,
+                },
             }),
             &db,
             0,
             &mut rng,
         );
         assert_eq!(by_id.accesses.len(), 2);
-        assert!(by_id.accesses.covers(l.customer_key(1, 0, 7), LockMode::Shared));
-        assert!(!by_id.accesses.covers(l.customer_key(1, 0, 7), LockMode::Exclusive));
-        assert!(by_id.accesses.covers(l.district_key(1, 0), LockMode::Shared));
+        assert!(by_id
+            .accesses
+            .covers(l.customer_key(1, 0, 7), LockMode::Shared));
+        assert!(!by_id
+            .accesses
+            .covers(l.customer_key(1, 0, 7), LockMode::Exclusive));
+        assert!(by_id
+            .accesses
+            .covers(l.district_key(1, 0), LockMode::Shared));
         assert_eq!(by_id.annotation, Annotation::None);
 
         let by_name = plan_accesses(
             &Program::OrderStatus(OrderStatusInput {
-                customer: CustomerSelector::ByLastName { c_w: 0, c_d: 1, name_id: 4 },
+                customer: CustomerSelector::ByLastName {
+                    c_w: 0,
+                    c_d: 1,
+                    name_id: 4,
+                },
             }),
             &db,
             0,
             &mut rng,
         );
         assert_eq!(by_name.annotation, Annotation::Customer(4));
-        assert!(by_name.accesses.covers(l.customer_key(0, 1, 4), LockMode::Shared));
+        assert!(by_name
+            .accesses
+            .covers(l.customer_key(0, 1, 4), LockMode::Shared));
     }
 
     #[test]
     fn delivery_plan_covers_all_districts() {
-        let db = Database::Tpcc(TpccDb::load(
-            TpccConfig::tiny(2).with_initial_orders(20),
-            3,
-        ));
+        let db = Database::Tpcc(TpccDb::load(TpccConfig::tiny(2).with_initial_orders(20), 3));
         let mut rng = XorShift64::new(2);
         let t = db.tpcc();
         let l = &t.layout;
@@ -516,26 +553,32 @@ mod tests {
         assert_eq!(legs.len(), t.cfg().districts_per_wh as usize);
         for (d, leg) in legs.iter().enumerate() {
             let d = d as u32;
-            assert!(plan.accesses.covers(l.district_key(1, d), LockMode::Exclusive));
+            assert!(plan
+                .accesses
+                .covers(l.district_key(1, d), LockMode::Exclusive));
             let DistrictDelivery::Deliver { o_id, c_id } = *leg else {
                 panic!("initial orders leave undelivered backlog, got {leg:?}");
             };
             assert_eq!(o_id, 20 - 20 * 3 / 10, "oldest undelivered");
-            assert!(plan.accesses.covers(l.customer_key(1, d, c_id), LockMode::Exclusive));
+            assert!(plan
+                .accesses
+                .covers(l.customer_key(1, d, c_id), LockMode::Exclusive));
         }
     }
 
     #[test]
     fn stock_level_plan_pins_window_and_items() {
-        let db = Database::Tpcc(TpccDb::load(
-            TpccConfig::tiny(1).with_initial_orders(20),
-            5,
-        ));
+        let db = Database::Tpcc(TpccDb::load(TpccConfig::tiny(1).with_initial_orders(20), 5));
         let mut rng = XorShift64::new(3);
         let t = db.tpcc();
         let l = &t.layout;
         let plan = plan_accesses(
-            &Program::StockLevel(StockLevelInput { w: 0, d: 0, threshold: 15, depth: 6 }),
+            &Program::StockLevel(StockLevelInput {
+                w: 0,
+                d: 0,
+                threshold: 15,
+                depth: 6,
+            }),
             &db,
             0,
             &mut rng,
@@ -561,15 +604,15 @@ mod tests {
 
     #[test]
     fn delivery_noise_perturbs_customer_estimates() {
-        let db = Database::Tpcc(TpccDb::load(
-            TpccConfig::tiny(1).with_initial_orders(20),
-            7,
-        ));
+        let db = Database::Tpcc(TpccDb::load(TpccConfig::tiny(1).with_initial_orders(20), 7));
         let mut rng = XorShift64::new(8);
         let program = Program::Delivery(DeliveryInput { w: 0, carrier: 1 });
         let clean = plan_accesses(&program, &db, 0, &mut rng);
         let noisy = plan_accesses(&program, &db, 100, &mut rng);
-        assert_ne!(clean.annotation, noisy.annotation, "100% noise must mislead");
+        assert_ne!(
+            clean.annotation, noisy.annotation,
+            "100% noise must mislead"
+        );
     }
 
     #[test]
@@ -580,10 +623,18 @@ mod tests {
             w: 0,
             d: 0,
             amount_cents: 100,
-            customer: CustomerSelector::ByLastName { c_w: 0, c_d: 0, name_id: 4 },
+            customer: CustomerSelector::ByLastName {
+                c_w: 0,
+                c_d: 0,
+                name_id: 4,
+            },
         });
         let noisy = plan_accesses(&program, &db, 100, &mut rng);
-        assert_ne!(noisy.annotation, Annotation::Customer(4), "100% noise must mislead");
+        assert_ne!(
+            noisy.annotation,
+            Annotation::Customer(4),
+            "100% noise must mislead"
+        );
         let clean = plan_accesses(&program, &db, 0, &mut rng);
         assert_eq!(clean.annotation, Annotation::Customer(4));
     }

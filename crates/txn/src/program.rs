@@ -149,7 +149,11 @@ mod tests {
             w: 0,
             d: 0,
             amount_cents: 1,
-            customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 0 },
+            customer: CustomerSelector::ById {
+                c_w: 0,
+                c_d: 0,
+                c: 0
+            },
         })
         .needs_reconnaissance());
         assert!(Program::Payment(PaymentInput {
@@ -170,11 +174,19 @@ mod tests {
         // OrderStatus by id has a data-dependent order read, but it is
         // covered by the district lock — the lock set is static.
         assert!(!Program::OrderStatus(OrderStatusInput {
-            customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 1 },
+            customer: CustomerSelector::ById {
+                c_w: 0,
+                c_d: 0,
+                c: 1
+            },
         })
         .needs_reconnaissance());
         assert!(Program::OrderStatus(OrderStatusInput {
-            customer: CustomerSelector::ByLastName { c_w: 0, c_d: 0, name_id: 2 },
+            customer: CustomerSelector::ByLastName {
+                c_w: 0,
+                c_d: 0,
+                name_id: 2
+            },
         })
         .needs_reconnaissance());
         assert!(Program::Delivery(DeliveryInput { w: 0, carrier: 3 }).needs_reconnaissance());
@@ -192,20 +204,40 @@ mod tests {
         let kinds = [
             Program::ReadOnly { keys: vec![] }.kind(),
             Program::Rmw { keys: vec![] }.kind(),
-            Program::NewOrder(NewOrderInput { w: 0, d: 0, c: 0, lines: vec![] }).kind(),
+            Program::NewOrder(NewOrderInput {
+                w: 0,
+                d: 0,
+                c: 0,
+                lines: vec![],
+            })
+            .kind(),
             Program::Payment(PaymentInput {
                 w: 0,
                 d: 0,
                 amount_cents: 0,
-                customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 0 },
+                customer: CustomerSelector::ById {
+                    c_w: 0,
+                    c_d: 0,
+                    c: 0,
+                },
             })
             .kind(),
             Program::OrderStatus(OrderStatusInput {
-                customer: CustomerSelector::ById { c_w: 0, c_d: 0, c: 0 },
+                customer: CustomerSelector::ById {
+                    c_w: 0,
+                    c_d: 0,
+                    c: 0,
+                },
             })
             .kind(),
             Program::Delivery(DeliveryInput { w: 0, carrier: 1 }).kind(),
-            Program::StockLevel(StockLevelInput { w: 0, d: 0, threshold: 10, depth: 20 }).kind(),
+            Program::StockLevel(StockLevelInput {
+                w: 0,
+                d: 0,
+                threshold: 10,
+                depth: 20,
+            })
+            .kind(),
         ];
         let mut dedup = kinds.to_vec();
         dedup.sort_unstable();

@@ -21,8 +21,8 @@ pub mod zipf;
 mod proptests;
 
 pub use micro::{MicroGen, MicroSpec, PartitionConstraint};
-pub use zipf::Zipfian;
 pub use tpcc_gen::{TpccGen, TpccSpec};
+pub use zipf::Zipfian;
 
 use orthrus_txn::Program;
 

@@ -179,13 +179,7 @@ impl MicroGen {
 
     /// Sample a key in `[lo, hi)` congruent to `p (mod of)`.
     #[inline]
-    fn sample_in_partition_range(
-        rng: &mut XorShift64,
-        lo: u64,
-        hi: u64,
-        p: u64,
-        of: u64,
-    ) -> u64 {
+    fn sample_in_partition_range(rng: &mut XorShift64, lo: u64, hi: u64, p: u64, of: u64) -> u64 {
         let below_lo = Self::keys_in_partition(lo, p, of);
         let below_hi = Self::keys_in_partition(hi, p, of);
         debug_assert!(below_hi > below_lo, "partition {p} empty in [{lo},{hi})");
@@ -223,7 +217,11 @@ impl MicroGen {
         let spec = &self.spec;
         self.keys.clear();
         let hot_end = spec.n_hot.unwrap_or(0);
-        let hot_ops = if spec.n_hot.is_some() { spec.hot_ops } else { 0 };
+        let hot_ops = if spec.n_hot.is_some() {
+            spec.hot_ops
+        } else {
+            0
+        };
 
         for i in 0..spec.total_ops {
             let (lo, hi) = if i < hot_ops {

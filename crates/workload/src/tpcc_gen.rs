@@ -13,8 +13,8 @@
 use orthrus_common::XorShift64;
 use orthrus_storage::tpcc::{nurand, TpccConfig, N_LAST_NAMES};
 use orthrus_txn::{
-    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput,
-    PaymentInput, Program, StockLevelInput,
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,
+    Program, StockLevelInput,
 };
 
 /// TPC-C workload description. Any percentage of the mix not claimed by
@@ -76,8 +76,7 @@ impl TpccSpec {
 
     /// Percent of the mix that is Payment (the remainder).
     pub fn payment_pct(&self) -> u32 {
-        100 - self.new_order_pct - self.order_status_pct - self.delivery_pct
-            - self.stock_level_pct
+        100 - self.new_order_pct - self.order_status_pct - self.delivery_pct - self.stock_level_pct
     }
 
     /// Instantiate this thread's generator.
@@ -137,7 +136,12 @@ impl TpccGen {
         let cfg = &self.spec.cfg;
         let w = self.rng.next_below(cfg.warehouses as u64) as u32;
         let d = self.rng.next_below(cfg.districts_per_wh as u64) as u32;
-        let c = nurand(&mut self.rng, 1023, 0, cfg.customers_per_district as u64 - 1) as u32;
+        let c = nurand(
+            &mut self.rng,
+            1023,
+            0,
+            cfg.customers_per_district as u64 - 1,
+        ) as u32;
         let ol_cnt = self.rng.next_range(5, (cfg.max_lines as u64).min(15)) as usize;
         // Distinct items per order (spec: unique within the order).
         self.items.clear();
@@ -151,8 +155,8 @@ impl TpccGen {
             .items
             .iter()
             .map(|&i| {
-                let remote = cfg.warehouses > 1
-                    && self.rng.chance_percent(self.spec.remote_line_pct);
+                let remote =
+                    cfg.warehouses > 1 && self.rng.chance_percent(self.spec.remote_line_pct);
                 let supply_w = if remote {
                     // A uniformly chosen *other* warehouse.
                     let mut s = self.rng.next_below(cfg.warehouses as u64 - 1) as u32;
@@ -177,17 +181,16 @@ impl TpccGen {
         let cfg = &self.spec.cfg;
         let w = self.rng.next_below(cfg.warehouses as u64) as u32;
         let d = self.rng.next_below(cfg.districts_per_wh as u64) as u32;
-        let (c_w, c_d) = if cfg.warehouses > 1
-            && self.rng.chance_percent(self.spec.remote_payment_pct)
-        {
-            let mut rw = self.rng.next_below(cfg.warehouses as u64 - 1) as u32;
-            if rw >= w {
-                rw += 1;
-            }
-            (rw, self.rng.next_below(cfg.districts_per_wh as u64) as u32)
-        } else {
-            (w, d)
-        };
+        let (c_w, c_d) =
+            if cfg.warehouses > 1 && self.rng.chance_percent(self.spec.remote_payment_pct) {
+                let mut rw = self.rng.next_below(cfg.warehouses as u64 - 1) as u32;
+                if rw >= w {
+                    rw += 1;
+                }
+                (rw, self.rng.next_below(cfg.districts_per_wh as u64) as u32)
+            } else {
+                (w, d)
+            };
         let customer = if self.rng.chance_percent(self.spec.by_name_pct) {
             let bound = self.name_bound();
             CustomerSelector::ByLastName {
@@ -199,7 +202,12 @@ impl TpccGen {
             CustomerSelector::ById {
                 c_w,
                 c_d,
-                c: nurand(&mut self.rng, 1023, 0, cfg.customers_per_district as u64 - 1) as u32,
+                c: nurand(
+                    &mut self.rng,
+                    1023,
+                    0,
+                    cfg.customers_per_district as u64 - 1,
+                ) as u32,
             }
         };
         PaymentInput {
@@ -226,7 +234,12 @@ impl TpccGen {
             CustomerSelector::ById {
                 c_w,
                 c_d,
-                c: nurand(&mut self.rng, 1023, 0, cfg.customers_per_district as u64 - 1) as u32,
+                c: nurand(
+                    &mut self.rng,
+                    1023,
+                    0,
+                    cfg.customers_per_district as u64 - 1,
+                ) as u32,
             }
         };
         OrderStatusInput { customer }
@@ -336,7 +349,10 @@ mod tests {
             }
         }
         let pct = multi as f64 / orders as f64 * 100.0;
-        assert!((5.0..=15.0).contains(&pct), "multi-warehouse rate {pct:.1}%");
+        assert!(
+            (5.0..=15.0).contains(&pct),
+            "multi-warehouse rate {pct:.1}%"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn main() {
     let result = tune_cc_split(threads, |n_cc| {
         let stats = systems::run_orthrus_split(spec.clone(), n_cc, threads - n_cc, &bc);
         let t = stats.throughput();
-        println!("  epoch: {n_cc:>3} CC / {:>3} exec → {t:>12.0} txns/sec", threads - n_cc);
+        println!(
+            "  epoch: {n_cc:>3} CC / {:>3} exec → {t:>12.0} txns/sec",
+            threads - n_cc
+        );
         t
     });
 

@@ -80,9 +80,7 @@ fn main() {
     };
     let spec = Spec::Tpcc(TpccSpec::full_mix(cfg_t));
 
-    println!(
-        "Full TPC-C mix 45/43/4/4/4, {warehouses} warehouses, {threads} threads\n"
-    );
+    println!("Full TPC-C mix 45/43/4/4/4, {warehouses} warehouses, {threads} threads\n");
 
     // ORTHRUS, partitioned by warehouse id.
     {

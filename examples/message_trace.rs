@@ -42,7 +42,11 @@ fn main() {
         CcState::new(1, 16),
         CcState::new(2, 16),
     ];
-    let t1 = Token { exec: 0, slot: 0, gen: 0 };
+    let t1 = Token {
+        exec: 0,
+        slot: 0,
+        gen: 0,
+    };
 
     // E1 analyzes T1's accesses and groups them into per-CC spans sorted
     // by CC id — the global order that makes deadlock impossible (§3.2).
@@ -110,7 +114,12 @@ fn main() {
     );
     for (i, cc) in ccs.iter().enumerate() {
         let key = i as u64;
-        assert_eq!(cc.holders_of(key), vec![t1.pack()], "CC{i} holds {}", label(key));
+        assert_eq!(
+            cc.holders_of(key),
+            vec![t1.pack()],
+            "CC{i} holds {}",
+            label(key)
+        );
     }
 
     // T1 executes, then E1 fans out releases (one per span — these are

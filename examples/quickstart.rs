@@ -38,9 +38,11 @@ fn main() {
 
     println!("throughput : {:>12.0} txns/sec", stats.throughput());
     println!("committed  : {:>12}", stats.totals.committed);
-    println!("messages   : {:>12}  ({:.1} per txn)",
+    println!(
+        "messages   : {:>12}  ({:.1} per txn)",
         stats.totals.messages_sent,
-        stats.totals.messages_sent as f64 / stats.totals.committed.max(1) as f64);
+        stats.totals.messages_sent as f64 / stats.totals.committed.max(1) as f64
+    );
     let b = stats.breakdown();
     println!(
         "exec-thread time: {:.1}% execution, {:.1}% locking, {:.1}% waiting",

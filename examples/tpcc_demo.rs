@@ -61,9 +61,7 @@ fn main() {
     };
     let spec = Spec::Tpcc(TpccSpec::paper_mix(cfg_t));
 
-    println!(
-        "TPC-C NewOrder+Payment 50/50, {warehouses} warehouses, {threads} threads\n"
-    );
+    println!("TPC-C NewOrder+Payment 50/50, {warehouses} warehouses, {threads} threads\n");
 
     // ORTHRUS, partitioned by warehouse id (Section 4.4).
     {

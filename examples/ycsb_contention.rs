@@ -16,7 +16,10 @@ fn main() {
     bc.n_records = 100_000;
 
     println!("YCSB 10-RMW, 2 hot of 64 + 8 cold, {threads} threads\n");
-    println!("{:<22}{:>14}{:>12}{:>10}", "system", "txns/sec", "aborts", "abort%");
+    println!(
+        "{:<22}{:>14}{:>12}{:>10}",
+        "system", "txns/sec", "aborts", "abort%"
+    );
 
     let systems_under_test = [
         SystemKind::Orthrus,
@@ -50,7 +53,11 @@ fn main() {
             kind,
             SystemKind::TwoPlWaitDie | SystemKind::TwoPlDreadlocks | SystemKind::TwoPlWfg
         ) {
-            println!("  vs {:<20} {:>5.2}x", kind.label(), orthrus / tput.max(1.0));
+            println!(
+                "  vs {:<20} {:>5.2}x",
+                kind.label(),
+                orthrus / tput.max(1.0)
+            );
         }
     }
 }

@@ -56,8 +56,7 @@ fn orthrus_exact_serializability_witness() {
 fn deadlock_free_exact_serializability_witness() {
     let _serial = common::serial();
     let db = Arc::new(Database::Flat(Table::new(N, 64)));
-    let stats =
-        DeadlockFreeEngine::new(Arc::clone(&db), 256, contended_spec()).run(&params());
+    let stats = DeadlockFreeEngine::new(Arc::clone(&db), 256, contended_spec()).run(&params());
     assert!(stats.totals.committed > 0);
     assert_eq!(counter_total(&db), stats.totals.committed_all * OPS as u64);
 }
@@ -80,8 +79,7 @@ fn dynamic_2pl_one_sided_witness_all_policies() {
     let _serial = common::serial();
     // Wait-die.
     let db = Arc::new(Database::Flat(Table::new(N, 64)));
-    let stats =
-        TwoPlEngine::new(Arc::clone(&db), WaitDie, 256, contended_spec()).run(&params());
+    let stats = TwoPlEngine::new(Arc::clone(&db), WaitDie, 256, contended_spec()).run(&params());
     assert!(counter_total(&db) >= stats.totals.committed_all * OPS as u64);
 
     // Wait-for graph.
@@ -92,8 +90,8 @@ fn dynamic_2pl_one_sided_witness_all_policies() {
 
     // Dreadlocks.
     let db = Arc::new(Database::Flat(Table::new(N, 64)));
-    let stats = TwoPlEngine::new(Arc::clone(&db), Dreadlocks::new(4), 256, contended_spec())
-        .run(&params());
+    let stats =
+        TwoPlEngine::new(Arc::clone(&db), Dreadlocks::new(4), 256, contended_spec()).run(&params());
     assert!(counter_total(&db) >= stats.totals.committed_all * OPS as u64);
 }
 

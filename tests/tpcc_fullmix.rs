@@ -94,7 +94,11 @@ fn check_conservation(db: &Database) {
     let delivered: i128 = (0..t.districts.len())
         .map(|i| unsafe { t.districts.read_with(i, |r| r.delivered_cents as i128) })
         .sum();
-    assert_eq!(cust_sum - initial, delivered, "delivery credit conservation");
+    assert_eq!(
+        cust_sum - initial,
+        delivered,
+        "delivery credit conservation"
+    );
 
     let cust_deliveries: u64 = (0..t.customers.len())
         .map(|i| unsafe { t.customers.read_with(i, |r| r.delivery_cnt as u64) })
@@ -191,11 +195,8 @@ fn dynamic_2pl_full_mix_makes_progress_under_both_policies() {
     for policy in ["wait-die", "dreadlocks"] {
         let db = db();
         let stats = match policy {
-            "wait-die" => {
-                TwoPlEngine::new(Arc::clone(&db), WaitDie, 1024, spec()).run(&params())
-            }
-            _ => TwoPlEngine::new(Arc::clone(&db), Dreadlocks::new(4), 1024, spec())
-                .run(&params()),
+            "wait-die" => TwoPlEngine::new(Arc::clone(&db), WaitDie, 1024, spec()).run(&params()),
+            _ => TwoPlEngine::new(Arc::clone(&db), Dreadlocks::new(4), 1024, spec()).run(&params()),
         };
         assert!(stats.totals.committed > 0, "{policy} made no progress");
         let t = db.tpcc();
@@ -239,9 +240,8 @@ fn full_mix_read_transactions_leave_no_trace() {
         .sum();
     assert_eq!(before, after);
     for i in 0..t.districts.len() {
-        let (next_o, delivered) = unsafe {
-            t.districts.read_with(i, |r| (r.next_o_id, r.delivered_cnt))
-        };
+        let (next_o, delivered) =
+            unsafe { t.districts.read_with(i, |r| (r.next_o_id, r.delivered_cnt)) };
         assert_eq!(next_o, 20, "readers must not allocate orders");
         assert_eq!(delivered, 0, "readers must not deliver");
     }

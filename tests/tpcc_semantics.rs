@@ -48,8 +48,7 @@ fn order_headers_match_district_sequences() {
                     continue; // wrapped: slot holds a newer order
                 };
                 let slot = TpccLayout::slot(t.layout.order_key(w, d, expect_o));
-                let (got_o, ol_cnt) =
-                    unsafe { t.orders.read_with(slot, |r| (r.o_id, r.ol_cnt)) };
+                let (got_o, ol_cnt) = unsafe { t.orders.read_with(slot, |r| (r.o_id, r.ol_cnt)) };
                 assert_eq!(got_o, expect_o, "order header o_id mismatch");
                 assert!((5..=15).contains(&(ol_cnt as usize)), "ol_cnt {ol_cnt}");
                 let no_slot = TpccLayout::slot(t.layout.new_order_key(w, d, expect_o));
