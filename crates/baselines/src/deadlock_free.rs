@@ -13,7 +13,7 @@ use std::sync::Arc;
 use orthrus_common::runtime::{timed_run, RunParams};
 use orthrus_common::{Phase, PhaseTimer, RunStats, ThreadId, ThreadStats, TxnId, XorShift64};
 use orthrus_lockmgr::{LockManager, LockWaiter, NoDeadlockPolicy, WaitEvent};
-use orthrus_txn::{execute, AbortKind, Database, PreLocked};
+use orthrus_txn::{execute_planned, AbortKind, Database};
 use orthrus_workload::Spec;
 
 /// Planned, ordered, deadlock-free locking over a shared lock table.
@@ -81,10 +81,7 @@ impl DeadlockFreeEngine {
                         .expect("ordered acquisition cannot abort");
                 }
                 timer.switch(&mut stats, Phase::Execution);
-                let result = {
-                    let mut guard = PreLocked::new(&plan);
-                    execute(&program, &self.db, &mut guard, Some(&plan))
-                };
+                let result = execute_planned(&program, &self.db, &plan);
                 timer.switch(&mut stats, Phase::Locking);
                 self.mgr
                     .release_all(txn, plan.accesses.entries().iter().map(|(k, _)| k));

@@ -5,6 +5,8 @@ use std::sync::Arc;
 use orthrus_common::{fx_hash_u64, Key};
 use orthrus_txn::Database;
 
+use crate::admit::AdmissionPolicy;
+
 /// How lockable keys map to CC threads ("ORTHRUS partitions
 /// responsibility for database objects across concurrency control threads
 /// such that each database object is controlled by a single thread").
@@ -79,8 +81,17 @@ pub struct OrthrusConfig {
     /// (every send publishes immediately), which keeps an apples-to-apples
     /// ablation baseline. Buffered messages are always flushed before the
     /// thread polls or parks, so batching never delays a message behind an
-    /// idle quantum.
+    /// idle quantum. `0` is tolerated and **normalizes to 1** — every
+    /// hot-loop consumer reads the knob through
+    /// [`Self::effective_flush_threshold`], since a literal zero would
+    /// make every drain round a no-op (livelock).
     pub flush_threshold: usize,
+    /// Admission scheduling policy (ablation A6). [`AdmissionPolicy::Fifo`]
+    /// is the seed's admission order; `ConflictBatch` batches transactions
+    /// by conflict class before admission (Prasaad et al.), planning each
+    /// transaction once at admission and draining per-class run queues
+    /// back-to-back.
+    pub admission: AdmissionPolicy,
 }
 
 /// Default fabric batching degree: deep enough to amortize the
@@ -105,6 +116,7 @@ impl OrthrusConfig {
             shared_table_buckets: 1 << 14,
             exec_queue_capacity: None,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            admission: AdmissionPolicy::Fifo,
         }
     }
 
@@ -122,7 +134,59 @@ impl OrthrusConfig {
             shared_table_buckets: 1 << 14,
             exec_queue_capacity: None,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            admission: AdmissionPolicy::Fifo,
         }
+    }
+
+    /// Validate the engine shape. [`crate::OrthrusEngine::new`] rejects
+    /// invalid configurations at construction — a zero thread count or
+    /// in-flight cap would otherwise hang or starve silently at run time.
+    ///
+    /// `flush_threshold = 0` is deliberately *not* an error: it normalizes
+    /// to `1` in [`Self::effective_flush_threshold`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cc == 0 {
+            return Err("n_cc must be ≥ 1: no CC thread would own the lock space".into());
+        }
+        if self.n_exec == 0 {
+            return Err("n_exec must be ≥ 1: no thread would run transactions".into());
+        }
+        if self.n_cc > u16::MAX as usize || self.n_exec > u16::MAX as usize {
+            return Err(format!(
+                "thread counts are u16 message-routing ids; got {} CC / {} exec",
+                self.n_cc, self.n_exec
+            ));
+        }
+        if self.max_inflight == 0 {
+            return Err(
+                "max_inflight must be ≥ 1: admission would never start a transaction".into(),
+            );
+        }
+        if let AdmissionPolicy::ConflictBatch { classes, batch } = &self.admission {
+            if *classes == 0 || *batch == 0 {
+                return Err(format!(
+                    "ConflictBatch needs classes ≥ 1 and batch ≥ 1, got {classes}/{batch}"
+                ));
+            }
+        }
+        if self.cc_mode == CcMode::SharedTable && self.shared_table_buckets == 0 {
+            return Err("SharedTable mode needs shared_table_buckets ≥ 1".into());
+        }
+        if let CcAssignment::Balanced(table) = &self.assignment {
+            if table.is_empty() || !table.len().is_power_of_two() {
+                return Err(format!(
+                    "Balanced assignment table length must be a nonzero power of two, got {}",
+                    table.len()
+                ));
+            }
+            if let Some(&cc) = table.iter().find(|&&cc| cc as usize >= self.n_cc) {
+                return Err(format!(
+                    "Balanced assignment routes to CC {cc}, but n_cc is {}",
+                    self.n_cc
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Total thread (core) budget.
@@ -182,6 +246,61 @@ mod tests {
             1,
             "zero must clamp, not livelock"
         );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shapes() {
+        let good = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+        assert!(good.validate().is_ok());
+
+        let mut c = good.clone();
+        c.n_cc = 0;
+        assert!(c.validate().unwrap_err().contains("n_cc"));
+
+        let mut c = good.clone();
+        c.n_exec = 0;
+        assert!(c.validate().unwrap_err().contains("n_exec"));
+
+        let mut c = good.clone();
+        c.max_inflight = 0;
+        assert!(c.validate().unwrap_err().contains("max_inflight"));
+
+        let mut c = good.clone();
+        c.n_exec = u16::MAX as usize + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = good.clone();
+        c.admission = AdmissionPolicy::ConflictBatch {
+            classes: 0,
+            batch: 16,
+        };
+        assert!(c.validate().unwrap_err().contains("ConflictBatch"));
+
+        let mut c = good.clone();
+        c.cc_mode = CcMode::SharedTable;
+        c.shared_table_buckets = 0;
+        assert!(c.validate().is_err());
+
+        // flush_threshold = 0 normalizes instead of erroring.
+        let mut c = good.clone();
+        c.flush_threshold = 0;
+        assert!(c.validate().is_ok());
+        assert_eq!(c.effective_flush_threshold(), 1);
+    }
+
+    #[test]
+    fn validate_checks_balanced_tables() {
+        let mut c = OrthrusConfig::with_threads(2, 2, CcAssignment::Balanced(Arc::from(vec![])));
+        assert!(c.validate().unwrap_err().contains("power of two"));
+        c.assignment = CcAssignment::Balanced(Arc::from(vec![0u32, 1, 0]));
+        assert!(c.validate().is_err(), "length 3 is not a power of two");
+        c.assignment = CcAssignment::Balanced(Arc::from(vec![0u32, 5, 0, 1]));
+        assert!(
+            c.validate().unwrap_err().contains("CC 5"),
+            "out-of-range CC id must be rejected"
+        );
+        c.assignment = CcAssignment::Balanced(Arc::from(vec![0u32, 1, 0, 1]));
+        assert!(c.validate().is_ok());
     }
 
     #[test]

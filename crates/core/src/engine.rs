@@ -57,8 +57,16 @@ pub struct OrthrusEngine {
 
 impl OrthrusEngine {
     /// Build an engine over `db` running `spec`.
+    ///
+    /// # Panics
+    /// Rejects configurations [`OrthrusConfig::validate`] flags (zero
+    /// thread counts, zero in-flight cap, degenerate admission or
+    /// assignment shapes) — better a loud construction failure than an
+    /// engine that silently hangs or starves at run time.
     pub fn new(db: Arc<Database>, spec: Spec, cfg: OrthrusConfig) -> Self {
-        assert!(cfg.n_cc <= u16::MAX as usize && cfg.n_exec <= u16::MAX as usize);
+        if let Err(why) = cfg.validate() {
+            panic!("invalid OrthrusConfig: {why}");
+        }
         OrthrusEngine { db, spec, cfg }
     }
 
@@ -168,14 +176,18 @@ impl OrthrusEngine {
                         .take()
                         .expect("exec endpoints taken twice");
                     let gen = self.spec.generator(params.seed, ex);
-                    let thread = crate::exec::ExecThread::new(
-                        ex as u16,
-                        &self.db,
-                        &self.cfg,
-                        ep.to_cc,
-                        ep.fanin,
+                    // Admission is thread-local: each execution thread owns
+                    // its policy state (generator, planning RNG, any
+                    // conflict-class run queues).
+                    let admit = crate::admit::Admitter::new(
+                        &self.cfg.admission,
                         gen,
                         params.seed,
+                        ex as u16,
+                        self.cfg.ollp_noise_pct,
+                    );
+                    let thread = crate::exec::ExecThread::new(
+                        ex as u16, &self.db, &self.cfg, ep.to_cc, ep.fanin, admit,
                     );
                     thread.run(ctl, &active_execs)
                 }
@@ -610,6 +622,74 @@ mod tests {
         assert!(stats.totals.committed > 0);
         let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
         assert_eq!(total, stats.totals.committed_all * 4);
+    }
+
+    #[test]
+    fn conflict_batch_admission_keeps_exact_counts() {
+        let _serial = crate::test_serial();
+        // Heavy skew on a tiny hot set: conflict-class batching reorders
+        // admission, but serializability (exact counter sums) must hold.
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 4, 2, 4, false));
+        let mut cfg = OrthrusConfig::with_threads(2, 3, CcAssignment::KeyModulo);
+        cfg.admission = crate::admit::AdmissionPolicy::ConflictBatch {
+            classes: 4,
+            batch: 8,
+        };
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0, "batched admission stalled");
+        assert_eq!(stats.totals.aborts(), 0);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, stats.totals.committed_all * 4);
+    }
+
+    #[test]
+    fn conflict_batch_admission_runs_tpcc_with_ollp() {
+        let _serial = crate::test_serial();
+        // The plan produced at admission must survive the OLLP abort/retry
+        // path: conservation holds across re-planned retries.
+        let cfg_t = TpccConfig::tiny(2);
+        let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 11)));
+        let spec = Spec::Tpcc(TpccSpec::paper_mix(cfg_t));
+        let mut cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+        cfg.admission = crate::admit::AdmissionPolicy::conflict_batch();
+        cfg.ollp_noise_pct = 50;
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg);
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed > 0);
+        assert!(stats.totals.aborts_ollp > 0, "noise must hit the OLLP path");
+        let t = db.tpcc();
+        let w_delta: u64 = (0..t.warehouses.len())
+            .map(|w| unsafe { t.warehouses.read_with(w, |r| r.ytd_cents) } - 30_000_000)
+            .sum();
+        let d_delta: u64 = (0..t.districts.len())
+            .map(|d| unsafe { t.districts.read_with(d, |r| r.ytd_cents) } - 3_000_000)
+            .sum();
+        assert_eq!(w_delta, d_delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OrthrusConfig")]
+    fn engine_rejects_zero_inflight_cap() {
+        let db = Arc::new(Database::Flat(Table::new(16, 64)));
+        let spec = Spec::Micro(MicroSpec::uniform(16, 2, false));
+        let mut cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        cfg.max_inflight = 0;
+        let _ = OrthrusEngine::new(db, spec, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OrthrusConfig")]
+    fn engine_rejects_zero_conflict_classes() {
+        let db = Arc::new(Database::Flat(Table::new(16, 64)));
+        let spec = Spec::Micro(MicroSpec::uniform(16, 2, false));
+        let mut cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        cfg.admission = crate::admit::AdmissionPolicy::ConflictBatch {
+            classes: 0,
+            batch: 1,
+        };
+        let _ = OrthrusEngine::new(db, spec, cfg);
     }
 
     #[test]

@@ -7,35 +7,55 @@
 //! it handles responses for older transactions or starts new ones
 //! (Section 3.3's asynchrony).
 //!
+//! **Which** transaction enters next is not this thread's decision: the
+//! admission loop pulls *runs* from a per-thread [`Admitter`] (see
+//! [`crate::admit`]), which generates, plans, and — under the
+//! `ConflictBatch` policy — groups same-conflict-class transactions
+//! back-to-back before they ever occupy an in-flight slot. A multi-
+//! transaction run is serialized locally: one fused lock acquisition over
+//! the union footprint, back-to-back execution, one release round. The
+//! plans produced at admission ride the slot to execution; only OLLP
+//! retries re-plan.
+//!
 //! Figure-10 accounting on this thread: `Execution` = running transaction
-//! logic; `Locking` = planning, building lock plans, sending/receiving
-//! lock messages; `Waiting` = idle polls with nothing runnable.
+//! logic; `Locking` = admission (generation + planning), building lock
+//! plans, sending/receiving lock messages; `Waiting` = idle polls with
+//! nothing runnable.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use orthrus_common::runtime::RunCtl;
-use orthrus_common::{Backoff, Phase, PhaseTimer, ThreadStats, XorShift64};
+use orthrus_common::{Backoff, Phase, PhaseTimer, ThreadStats};
 use orthrus_spsc::{FanIn, Producer};
-use orthrus_txn::{execute, plan_accesses, AbortKind, Database, Plan, PreLocked, Program};
-use orthrus_workload::Gen;
+use orthrus_txn::{execute_planned, AbortKind, AccessSet, Database};
 
+use crate::admit::{Admitted, Admitter};
 use crate::config::OrthrusConfig;
 use crate::msg::{CcRequest, ExecResponse, Token};
 use crate::plan::LockPlan;
 
+/// One in-flight lock acquisition: a *run* of same-conflict-class
+/// transactions serialized locally under a single fused lock plan. FIFO
+/// admission always produces runs of one (the seed's shape); conflict-
+/// batched admission fuses up to `batch` same-class transactions into one
+/// acquire/release round — the hot-key convoy pays one fabric round trip
+/// per run instead of one per transaction. Each [`Admitted`] carries the
+/// plan produced at admission (reused through execution — no
+/// re-planning) and its admission timestamp (commit latency spans
+/// run-queue wait, lock wait, and OLLP retries).
 struct Inflight {
-    program: Program,
-    plan: Plan,
+    txns: Vec<Admitted>,
+    /// Fused lock plan covering the union of the run's footprints.
     lock_plan: Arc<LockPlan>,
     /// Token generation of the current acquire chain (see [`Token`]):
-    /// fresh per transaction *and* per OLLP retry, so CC threads never
-    /// confuse a successor's early-arriving forwarded acquire with a
-    /// double-acquire by the predecessor whose releases are still in
-    /// flight.
+    /// fresh per run *and* per OLLP retry, so CC threads never confuse a
+    /// successor's early-arriving forwarded acquire with a double-acquire
+    /// by the predecessor whose releases are still in flight.
     gen: u32,
-    /// Transaction admission time; commit latency spans OLLP retries.
-    started: std::time::Instant,
+    /// OLLP mismatches from this run awaiting standalone retry (rare):
+    /// retried one at a time on this slot after the fused release.
+    retries: Vec<Admitted>,
 }
 
 /// One execution thread's state and endpoints.
@@ -48,8 +68,9 @@ pub struct ExecThread<'a> {
     slots: Vec<Option<Inflight>>,
     free: Vec<u16>,
     inflight: usize,
-    gen: Gen,
-    plan_rng: XorShift64,
+    /// The pluggable admission layer: program source + planning + any
+    /// conflict-class run queues.
+    admit: Admitter,
     stats: ThreadStats,
     /// Round-robin CC choice for `CcMode::SharedTable`.
     next_cc: u32,
@@ -65,15 +86,13 @@ pub struct ExecThread<'a> {
 }
 
 impl<'a> ExecThread<'a> {
-    #[allow(clippy::too_many_arguments)]
     pub fn new(
         exec_id: u16,
         db: &'a Database,
         cfg: &'a OrthrusConfig,
         to_cc: Vec<Producer<CcRequest>>,
         from_cc: FanIn<ExecResponse>,
-        gen: Gen,
-        seed: u64,
+        admit: Admitter,
     ) -> Self {
         let cap = cfg.max_inflight.max(1);
         let n_cc = to_cc.len();
@@ -87,8 +106,7 @@ impl<'a> ExecThread<'a> {
             slots: (0..cap).map(|_| None).collect(),
             free: (0..cap as u16).rev().collect(),
             inflight: 0,
-            gen,
-            plan_rng: XorShift64::for_thread(seed ^ 0x6578_6563, exec_id as usize),
+            admit,
             stats: ThreadStats::default(),
             next_cc: exec_id as u32,
             next_token_gen: 0,
@@ -128,16 +146,16 @@ impl<'a> ExecThread<'a> {
     /// Build the lock plan under the configured CC architecture: grouped
     /// per owning CC thread (partitioned), or one span bound to a
     /// round-robin-chosen CC thread (Section 3.4 shared table).
-    fn build_lock_plan(&mut self, plan: &Plan) -> Arc<LockPlan> {
+    fn build_lock_plan(&mut self, accesses: &AccessSet) -> Arc<LockPlan> {
         let (cfg, db) = (self.cfg, self.db);
         match cfg.cc_mode {
             crate::config::CcMode::Partitioned => {
-                Arc::new(LockPlan::build(&plan.accesses, |k| cfg.cc_of(db, k)))
+                Arc::new(LockPlan::build(accesses, |k| cfg.cc_of(db, k)))
             }
             crate::config::CcMode::SharedTable => {
                 let pick = self.next_cc % cfg.n_cc as u32;
                 self.next_cc = self.next_cc.wrapping_add(1);
-                Arc::new(LockPlan::build(&plan.accesses, |_| pick))
+                Arc::new(LockPlan::build(accesses, |_| pick))
             }
         }
     }
@@ -173,7 +191,7 @@ impl<'a> ExecThread<'a> {
             }
             if !ctl.is_stopped() {
                 while self.inflight < self.cfg.max_inflight {
-                    self.start_txn(&mut timer, self.cfg.ollp_noise_pct);
+                    self.start_run(&mut timer);
                     progress = true;
                 }
             } else if self.inflight == 0 {
@@ -197,25 +215,40 @@ impl<'a> ExecThread<'a> {
         self.stats
     }
 
-    /// Pull a program, plan it, and fire the first lock request.
-    fn start_txn(&mut self, timer: &mut PhaseTimer, noise: u32) {
+    /// Admit the next run and fire its first lock request. The admission
+    /// policy decides *which* transactions those are and hands over the
+    /// plans it produced — no re-planning here. A run of several
+    /// same-class transactions acquires the union of its footprints in
+    /// one round and executes back-to-back under it (local
+    /// serialization).
+    fn start_run(&mut self, timer: &mut PhaseTimer) {
         timer.switch(&mut self.stats, Phase::Locking);
-        let db = self.db;
-        let program = self.gen.next_program();
-        let plan = plan_accesses(&program, db, noise, &mut self.plan_rng);
-        let lock_plan = self.build_lock_plan(&plan);
+        let headroom = (self.cfg.max_inflight - self.inflight).max(1);
+        let run = self.admit.next_run(self.db, headroom);
+        let accesses: AccessSet;
+        let fused = match run.as_slice() {
+            [single] => &single.plan.accesses,
+            many => {
+                accesses = AccessSet::from_unsorted(
+                    many.iter()
+                        .flat_map(|a| a.plan.accesses.entries().iter().copied())
+                        .collect(),
+                );
+                &accesses
+            }
+        };
+        let lock_plan = self.build_lock_plan(fused);
         debug_assert!(!lock_plan.is_empty(), "programs always lock something");
 
         let slot = self.free.pop().expect("inflight cap exceeded");
         let gen = self.fresh_gen();
+        self.inflight += run.len();
         self.slots[slot as usize] = Some(Inflight {
-            program,
-            plan,
+            txns: run,
             lock_plan: Arc::clone(&lock_plan),
             gen,
-            started: std::time::Instant::now(),
+            retries: Vec::new(),
         });
-        self.inflight += 1;
         self.send_acquire(&lock_plan, slot, gen, 0);
     }
 
@@ -277,53 +310,67 @@ impl<'a> ExecThread<'a> {
             }
         }
 
-        // All locks held: run the transaction.
-        let inf = self.slots[slot as usize]
+        // All locks held: run the whole run back-to-back (local
+        // serialization — one acquire/release round for every
+        // transaction in it).
+        let mut inf = self.slots[slot as usize]
             .take()
             .expect("grant for free slot");
         timer.switch(&mut self.stats, Phase::Execution);
-        let result = {
-            let mut guard = PreLocked::new(&inf.plan);
-            execute(&inf.program, self.db, &mut guard, Some(&inf.plan))
-        };
+        for txn in inf.txns.drain(..) {
+            match execute_planned(&txn.program, self.db, &txn.plan) {
+                Ok(v) => {
+                    std::hint::black_box(v);
+                    self.stats.committed += 1;
+                    self.stats.committed_all += 1;
+                    self.stats
+                        .latency
+                        .record(txn.started.elapsed().as_nanos() as u64);
+                    self.inflight -= 1;
+                }
+                Err(AbortKind::OllpMismatch) => {
+                    // The estimate was wrong (Section 3.2); the rest of
+                    // the run is unaffected. Queue the mismatch for a
+                    // standalone retry after the fused release.
+                    self.stats.aborts_ollp += 1;
+                    inf.retries.push(txn);
+                }
+                Err(other) => unreachable!("planned execution abort: {other:?}"),
+            }
+        }
         timer.switch(&mut self.stats, Phase::Locking);
         self.send_releases(&inf.lock_plan, slot, inf.gen);
-        match result {
-            Ok(v) => {
-                std::hint::black_box(v);
-                self.stats.committed += 1;
-                self.stats.committed_all += 1;
-                self.stats
-                    .latency
-                    .record(inf.started.elapsed().as_nanos() as u64);
-                self.slots[slot as usize] = None;
-                self.free.push(slot);
-                self.inflight -= 1;
-            }
-            Err(AbortKind::OllpMismatch) => {
-                // Update the annotation and restart (Section 3.2): re-plan
-                // with the corrected estimate and re-acquire under a fresh
-                // token generation. The retry's direct acquire is ordered
-                // behind the releases on its own exec→CC ring; where the
-                // retry reaches a CC thread through forwarding instead, the
-                // fresh generation makes it an ordinary conflicting
-                // transaction that parks until the in-flight release
-                // drains.
-                self.stats.aborts_ollp += 1;
-                let db = self.db;
-                let plan = plan_accesses(&inf.program, db, 0, &mut self.plan_rng);
-                let lock_plan = self.build_lock_plan(&plan);
-                let gen = self.fresh_gen();
-                self.slots[slot as usize] = Some(Inflight {
-                    program: inf.program,
-                    plan,
-                    lock_plan: Arc::clone(&lock_plan),
-                    gen,
-                    started: inf.started,
-                });
-                self.send_acquire(&lock_plan, slot, gen, 0);
-            }
-            Err(other) => unreachable!("planned execution abort: {other:?}"),
-        }
+        self.start_retry(inf, slot);
+    }
+
+    /// Restart the next queued OLLP mismatch on `slot`, or free the slot.
+    ///
+    /// Re-plan with the corrected estimate and re-acquire under a fresh
+    /// token generation. The retry's direct acquire is ordered behind the
+    /// releases on its own exec→CC ring; where the retry reaches a CC
+    /// thread through forwarding instead, the fresh generation makes it
+    /// an ordinary conflicting transaction that parks until the in-flight
+    /// release drains. Mismatches are rare, so retries run one at a time
+    /// (runs of one) rather than re-fusing.
+    fn start_retry(&mut self, mut inf: Inflight, slot: u16) {
+        let Some(txn) = inf.retries.pop() else {
+            self.slots[slot as usize] = None;
+            self.free.push(slot);
+            return;
+        };
+        let plan = self.admit.replan(&txn.program, self.db);
+        let lock_plan = self.build_lock_plan(&plan.accesses);
+        let gen = self.fresh_gen();
+        self.slots[slot as usize] = Some(Inflight {
+            txns: vec![Admitted {
+                program: txn.program,
+                plan,
+                started: txn.started,
+            }],
+            lock_plan: Arc::clone(&lock_plan),
+            gen,
+            retries: inf.retries,
+        });
+        self.send_acquire(&lock_plan, slot, gen, 0);
     }
 }

@@ -46,7 +46,28 @@
 //! [`config::DEFAULT_FLUSH_THRESHOLD`]. The batch ring operations
 //! themselves are model-checked in `orthrus-spsc`'s proptests (batched
 //! and single-message interleavings are observationally FIFO-equivalent).
+//!
+//! ## Admission scheduling ([`OrthrusConfig::admission`])
+//!
+//! Under high skew the bottleneck moves upstream of the fabric: blindly
+//! admitted hot-key transactions pile waiters into CC queues that can
+//! only serialize. Admission is therefore a pluggable policy layer
+//! ([`admit`]) rather than code inlined in the execution thread:
+//!
+//! - [`AdmissionPolicy::Fifo`] (default) admits in generator order —
+//!   proptest-pinned identical (programs *and* plans) to the seed's
+//!   inlined admission;
+//! - [`AdmissionPolicy::ConflictBatch`] plans each transaction once at
+//!   admission, derives a conflict class from the hottest key of its
+//!   planned footprint (a decaying frequency sketch over recent
+//!   footprints), and drains per-class run queues back-to-back; each
+//!   drained run is **serialized locally** by the execution thread under
+//!   one fused lock acquisition — one acquire/release round per run
+//!   instead of per transaction (Prasaad et al., "Improving High
+//!   Contention OLTP Performance via Transaction Scheduling"; ablation
+//!   A6, `abl06_admission`, shows the low-skew/high-skew crossover).
 
+pub mod admit;
 pub mod cc;
 pub mod config;
 pub mod engine;
@@ -59,6 +80,7 @@ pub mod shared;
 #[cfg(test)]
 mod proptests;
 
+pub use admit::{AdmissionPolicy, Admitted, Admitter};
 pub use config::{CcAssignment, CcMode, OrthrusConfig};
 pub use engine::OrthrusEngine;
 pub use plan::LockPlan;

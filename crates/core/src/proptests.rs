@@ -1,15 +1,20 @@
 //! Property tests for the lock-plan grouping — the structure the whole
-//! deadlock-freedom argument rests on — and a model-based check of the CC
-//! thread's lock state machine.
+//! deadlock-freedom argument rests on — a model-based check of the CC
+//! thread's lock state machine, and the pin that keeps `Fifo` admission
+//! identical to the seed's inlined admission path.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use orthrus_common::{FxHashMap, Key, LockMode};
-use orthrus_txn::AccessSet;
+use orthrus_common::{FxHashMap, Key, LockMode, XorShift64};
+use orthrus_storage::tpcc::{TpccConfig, TpccDb};
+use orthrus_storage::Table;
+use orthrus_txn::{plan_accesses, AccessSet, Database};
+use orthrus_workload::{MicroSpec, Spec, TpccSpec};
 
+use crate::admit::{AdmissionPolicy, Admitter};
 use crate::cc::{CcState, OutMsg};
 use crate::msg::{CcRequest, ExecResponse, Token};
 use crate::plan::LockPlan;
@@ -89,6 +94,87 @@ proptest! {
         ccs.sort_unstable();
         ccs.dedup();
         prop_assert_eq!(plan.n_cc_involved(), ccs.len());
+    }
+}
+
+// ---- Fifo admission ≡ seed admission -------------------------------------
+//
+// The seed inlined admission in the execution thread: pull a program from
+// the thread's generator, plan it with the thread's planning RNG
+// (`seed ^ 0x6578_6563`), admit. The `Fifo` policy must reproduce that
+// stream bit for bit — programs AND plans — so the policy layer is a pure
+// refactor, not a behaviour change. The reference below is written
+// against the raw generator + `plan_accesses`, independent of the
+// `Admitter` implementation.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Micro workloads: every admission matches the seed's
+    /// generate-then-plan order for any spec shape, seed, and thread id.
+    #[test]
+    fn fifo_admission_matches_seed_stream_micro(
+        seed in any::<u64>(),
+        exec_id in 0u16..4,
+        n_records in 64u64..512,
+        ops in 1usize..6,
+        hot in prop::option::of(1u64..8),
+        read_only in any::<bool>(),
+    ) {
+        let spec = match hot {
+            Some(n_hot) => {
+                let hot_ops = (n_hot as usize).min(ops);
+                MicroSpec::hot_cold(n_records, n_hot, hot_ops, ops, read_only)
+            }
+            None => MicroSpec::uniform(n_records, ops, read_only),
+        };
+        let db = Database::Flat(Table::new(n_records as usize, 8));
+        let mut admit = Admitter::new(
+            &AdmissionPolicy::Fifo,
+            Spec::Micro(spec.clone()).generator(seed, exec_id as usize),
+            seed,
+            exec_id,
+            0,
+        );
+        let mut ref_gen = spec.generator(seed, exec_id as usize);
+        let mut ref_rng = XorShift64::for_thread(seed ^ 0x6578_6563, exec_id as usize);
+        for _ in 0..24 {
+            let a = admit.next(&db);
+            let program = ref_gen.next_program();
+            let plan = plan_accesses(&program, &db, 0, &mut ref_rng);
+            prop_assert_eq!(&a.program, &program, "admission order diverged");
+            prop_assert_eq!(&a.plan, &plan, "admission-time plan diverged");
+        }
+        prop_assert_eq!(admit.queued(), 0, "fifo must not queue ahead");
+    }
+
+    /// TPC-C with OLLP noise: the reconnaissance RNG stream (consumed
+    /// during planning) must also stay aligned with the seed's.
+    #[test]
+    fn fifo_admission_matches_seed_stream_tpcc(
+        seed in any::<u64>(),
+        exec_id in 0u16..3,
+        noise in 0u32..=100,
+    ) {
+        let cfg_t = TpccConfig::tiny(2);
+        let db = Database::Tpcc(TpccDb::load(cfg_t, 5));
+        let spec = TpccSpec::paper_mix(cfg_t);
+        let mut admit = Admitter::new(
+            &AdmissionPolicy::Fifo,
+            Spec::Tpcc(spec.clone()).generator(seed, exec_id as usize),
+            seed,
+            exec_id,
+            noise,
+        );
+        let mut ref_gen = spec.generator(seed, exec_id as usize);
+        let mut ref_rng = XorShift64::for_thread(seed ^ 0x6578_6563, exec_id as usize);
+        for _ in 0..16 {
+            let a = admit.next(&db);
+            let program = ref_gen.next_program();
+            let plan = plan_accesses(&program, &db, noise, &mut ref_rng);
+            prop_assert_eq!(&a.program, &program);
+            prop_assert_eq!(&a.plan, &plan);
+        }
     }
 }
 

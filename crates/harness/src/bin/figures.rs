@@ -12,7 +12,8 @@ use orthrus_harness::{ablations, figures, BenchConfig};
 
 const ALL: &[&str] = &[
     "fig01", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
-    "abl01", "abl02", "abl03", "abl04", "abl05", "ext01", "ext02", "ext03", "ext04", "ext06",
+    "abl01", "abl02", "abl03", "abl04", "abl05", "abl06", "ext01", "ext02", "ext03", "ext04",
+    "ext05", "ext06",
 ];
 
 fn run_one(id: &str, bc: &BenchConfig) {
@@ -46,6 +47,7 @@ fn run_one(id: &str, bc: &BenchConfig) {
         "abl03" => ablations::abl03_inflight_cap(bc).print(),
         "abl04" => ablations::abl04_cc_architecture(bc).print(),
         "abl05" => ablations::abl05_batching(bc).print(),
+        "abl06" => ablations::abl06_admission(bc).print(),
         "ext01" => figures::ext01_tpcc_fullmix(bc).print(),
         "ext02" => figures::ext02_fullmix_scalability(bc).print(),
         "ext03" => {
@@ -55,6 +57,12 @@ fn run_one(id: &str, bc: &BenchConfig) {
             figures::ext03_deadlock_policies(bc, 80).print();
         }
         "ext04" => figures::ext04_skew(bc).print(),
+        "ext05" => {
+            println!("== panel (a): CC/exec split tuner ==");
+            figures::ext05_cc_split(bc).print();
+            println!("== panel (b): flush_threshold tuner ==");
+            figures::ext05_flush_threshold(bc).print();
+        }
         "ext06" => {
             let rows = figures::ext06_latency(bc);
             print!(

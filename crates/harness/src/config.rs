@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use orthrus_common::RunParams;
+use orthrus_core::AdmissionPolicy;
 
 /// Scales and windows for figure runs.
 #[derive(Debug, Clone)]
@@ -37,6 +38,11 @@ pub struct BenchConfig {
     /// `orthrus_core::config::DEFAULT_FLUSH_THRESHOLD`; `1` = the
     /// pre-batching per-message fabric, see ablation A5).
     pub flush_threshold: usize,
+    /// Admission policy applied to every ORTHRUS run
+    /// (`ORTHRUS_ADMISSION`, default `fifo` — the seed's admission order;
+    /// `batch` or `batch:<classes>:<batch>` enables conflict-class
+    /// batched admission, see ablation A6).
+    pub admission: AdmissionPolicy,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -44,6 +50,17 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Parse `ORTHRUS_ADMISSION`; a present-but-invalid value is a hard error
+/// (silently benchmarking the wrong policy would corrupt comparisons).
+fn admission_from_env() -> AdmissionPolicy {
+    match std::env::var("ORTHRUS_ADMISSION") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("ORTHRUS_ADMISSION: {e}")),
+        Err(_) => AdmissionPolicy::Fifo,
+    }
 }
 
 impl BenchConfig {
@@ -64,10 +81,17 @@ impl BenchConfig {
                 orthrus_core::config::DEFAULT_FLUSH_THRESHOLD as u64,
             )
             .max(1) as usize,
+            admission: admission_from_env(),
         }
     }
 
     /// A fast configuration for tests.
+    ///
+    /// Scales are fixed, but the two semantics knobs —
+    /// `ORTHRUS_FLUSH_THRESHOLD` and `ORTHRUS_ADMISSION` — are still read
+    /// from the environment, so the CI seed-semantics matrix leg (flush 1,
+    /// FIFO admission) exercises the per-message/FIFO path through the
+    /// whole harness test suite.
     pub fn test_quick() -> Self {
         BenchConfig {
             measure: Duration::from_millis(120),
@@ -79,7 +103,12 @@ impl BenchConfig {
             tpcc_items: 200,
             tpcc_order_slots: 128,
             max_threads: 4,
-            flush_threshold: orthrus_core::config::DEFAULT_FLUSH_THRESHOLD,
+            flush_threshold: env_u64(
+                "ORTHRUS_FLUSH_THRESHOLD",
+                orthrus_core::config::DEFAULT_FLUSH_THRESHOLD as u64,
+            )
+            .max(1) as usize,
+            admission: admission_from_env(),
         }
     }
 
@@ -131,6 +160,15 @@ mod tests {
         let bc = BenchConfig::from_env();
         assert!(bc.n_records > 0);
         assert!(bc.measure > Duration::ZERO);
+        // The suite may legitimately run under any ORTHRUS_ADMISSION
+        // (the CI matrix legs do); only the *unset* default is pinned.
+        if std::env::var("ORTHRUS_ADMISSION").is_err() {
+            assert_eq!(
+                bc.admission,
+                AdmissionPolicy::Fifo,
+                "default must be the seed's admission order"
+            );
+        }
     }
 
     #[test]

@@ -143,6 +143,67 @@ pub fn ext04_skew(bc: &BenchConfig) -> FigureResult {
     fig
 }
 
+/// Extension 5, panel (a): the SEDA-style CC/exec split tuner
+/// (Section 4.2) — the measurement trace and the pick, as a figure.
+pub fn ext05_cc_split(bc: &BenchConfig) -> FigureResult {
+    let threads = bc.clamp_threads(20).max(2);
+    let spec = orthrus_workload::MicroSpec::uniform(bc.n_records as u64, 10, false);
+    let result = crate::autotune::tune_cc_split(threads, |n_cc| {
+        crate::systems::run_orthrus_split(spec.clone(), n_cc, threads - n_cc, bc).throughput()
+    });
+    let mut fig = FigureResult::new(
+        "ext05a",
+        format!(
+            "CC/exec split tuning ({threads} threads; pick: {} CC in {} epochs)",
+            result.best.n_cc,
+            result.trace.len()
+        ),
+        "n_cc",
+        "txns/sec",
+    );
+    let mut s = Series::new("measured epochs");
+    for p in &result.trace {
+        s.push(p.n_cc as f64, p.throughput);
+    }
+    fig.series.push(s);
+    fig
+}
+
+/// Extension 5, panel (b): the fabric-batching tuner
+/// ([`crate::autotune::tune_flush_threshold`]) on the high-contention
+/// microbenchmark — climbs the power-of-two ladder, stops past the knee.
+pub fn ext05_flush_threshold(bc: &BenchConfig) -> FigureResult {
+    let (n_cc, n_exec) = {
+        let total = bc.clamp_threads(80);
+        let n_cc = (total / 5).max(1);
+        (n_cc, (total - n_cc).max(1))
+    };
+    let hot = 64u64.min(bc.n_records as u64 / 2).max(2);
+    let spec = orthrus_workload::MicroSpec::hot_cold(bc.n_records as u64, hot, 2, 10, false);
+    let result = crate::autotune::tune_flush_threshold(64, |threshold| {
+        let mut bc_t = bc.clone();
+        bc_t.flush_threshold = threshold;
+        crate::ablations::run_orthrus_custom(spec.clone(), n_cc, n_exec, true, None, 16, &bc_t)
+            .throughput()
+    });
+    let mut fig = FigureResult::new(
+        "ext05b",
+        format!(
+            "flush_threshold tuning ({n_cc} CC / {n_exec} exec; pick: {} in {} epochs)",
+            result.best.flush_threshold,
+            result.trace.len()
+        ),
+        "flush_threshold",
+        "txns/sec",
+    );
+    let mut s = Series::new("measured epochs");
+    for p in &result.trace {
+        s.push(p.flush_threshold as f64, p.throughput);
+    }
+    fig.series.push(s);
+    fig
+}
+
 /// One row of the ext06 latency table.
 #[derive(Debug, Clone)]
 pub struct LatencyRow {
@@ -217,6 +278,22 @@ mod tests {
         let text = LatencyRow::render(&rows, "test");
         assert!(text.contains("ORTHRUS"));
         assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn ext05_flush_tuner_produces_a_valid_pick() {
+        let _serial = crate::test_serial();
+        let mut bc = BenchConfig::test_quick();
+        bc.measure = std::time::Duration::from_millis(60);
+        bc.warmup = std::time::Duration::from_millis(20);
+        let fig = ext05_flush_threshold(&bc);
+        let points = &fig.series[0].points;
+        assert!(!points.is_empty());
+        assert!(points.iter().all(|&(x, y)| x >= 1.0 && y > 0.0));
+        // Ladder rungs ascend.
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub mod figures;
 pub mod report;
 pub mod systems;
 
-pub use autotune::{tune_cc_split, TunePoint, TuneResult};
+pub use autotune::{
+    tune_cc_split, tune_flush_threshold, FlushTunePoint, FlushTuneResult, TunePoint, TuneResult,
+};
 pub use config::BenchConfig;
 pub use report::{FigureResult, Series};
 pub use systems::SystemKind;

@@ -116,11 +116,13 @@ pub fn run_micro(kind: SystemKind, spec: MicroSpec, threads: usize, bc: &BenchCo
             let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
             let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
             cfg.flush_threshold = bc.flush_threshold;
+            cfg.admission = bc.admission.clone();
             OrthrusEngine::new(db, spec, cfg).run(&params)
         }
         SystemKind::SplitOrthrus => {
             let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
             cfg.flush_threshold = bc.flush_threshold;
+            cfg.admission = bc.admission.clone();
             // Index partitions aligned with CC partitions (Section 4.3).
             let db = Arc::new(Database::Partitioned(PartitionedTable::new(
                 n,
@@ -153,6 +155,7 @@ pub fn run_orthrus_split(
     let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
     let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
     cfg.flush_threshold = bc.flush_threshold;
+    cfg.admission = bc.admission.clone();
     OrthrusEngine::new(db, Spec::Micro(spec), cfg).run(&params)
 }
 
@@ -165,6 +168,7 @@ pub fn run_orthrus_balanced(spec: MicroSpec, threads: usize, bc: &BenchConfig) -
     let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
     let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
     cfg.flush_threshold = bc.flush_threshold;
+    cfg.admission = bc.admission.clone();
     let spec = Spec::Micro(spec);
     cfg.assignment =
         orthrus_core::rebalance::balanced_assignment(&spec, &db, cfg.n_cc, 1024, 4096, bc.seed);
@@ -224,6 +228,7 @@ fn run_tpcc_spec(kind: SystemKind, spec_t: TpccSpec, threads: usize, bc: &BenchC
         SystemKind::Orthrus => {
             let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::Warehouse);
             cfg.flush_threshold = bc.flush_threshold;
+            cfg.admission = bc.admission.clone();
             OrthrusEngine::new(db, spec, cfg).run(&params)
         }
         other => panic!("{} does not run TPC-C in the paper", other.label()),

@@ -94,6 +94,14 @@ impl TpccLayout {
     // ---- Key minting ---------------------------------------------------
 
     pub fn warehouse_key(&self, w: u32) -> Key {
+        Self::warehouse_key_of(w)
+    }
+
+    /// Warehouse-row key without a layout: the packing depends only on
+    /// the table tag, so pre-admission classification
+    /// (`Program::hot_key_hint` in `orthrus-txn`) can mint the home
+    /// warehouse's lock key with no database access.
+    pub fn warehouse_key_of(w: u32) -> Key {
         Self::pack(Table::Warehouse, w as u64)
     }
 

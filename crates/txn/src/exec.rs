@@ -71,6 +71,17 @@ impl AccessGuard for Unguarded {
     }
 }
 
+/// Execute a program whose whole plan is already locked.
+///
+/// Constructs the [`PreLocked`] guard over `plan` itself, so the plan the
+/// admission layer produced is the single source for both the coverage
+/// checks and the OLLP annotation — callers cannot pair a program with a
+/// guard built from a different plan.
+pub fn execute_planned(program: &Program, db: &Database, plan: &Plan) -> Result<u64, AbortKind> {
+    let mut guard = PreLocked::new(plan);
+    execute(program, db, &mut guard, Some(plan))
+}
+
 /// Execute `program` against `db`.
 ///
 /// `plan` carries OLLP annotations for planned engines; dynamic engines

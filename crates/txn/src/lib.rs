@@ -28,7 +28,7 @@ pub mod program;
 mod proptests;
 
 pub use db::Database;
-pub use exec::{execute, AbortKind, AccessGuard, PreLocked, Unguarded};
+pub use exec::{execute, execute_planned, AbortKind, AccessGuard, PreLocked, Unguarded};
 pub use plan::{plan_accesses, AccessSet, Annotation, DistrictDelivery, Plan};
 pub use program::{
     CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,

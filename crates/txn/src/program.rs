@@ -1,6 +1,7 @@
 //! The one-shot stored procedures of the paper's evaluation.
 
 use orthrus_common::Key;
+use orthrus_storage::tpcc::TpccLayout;
 
 /// One order line of a NewOrder (inputs chosen by the generator).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +99,34 @@ pub enum Program {
 }
 
 impl Program {
+    /// The key this program is most likely to contend on, readable
+    /// *before* admission (no planning, no database access).
+    ///
+    /// Key programs expose their first access-order key — the
+    /// high-contention generators place hot records first (Appendix A),
+    /// so for them this *is* the hot key. TPC-C programs contend on their
+    /// home warehouse's rows (warehouse/district under Payment and
+    /// NewOrder, every district under Delivery), so the home warehouse's
+    /// *lock key* (minted in the real key space, so it compares equal to
+    /// planned footprint entries) stands in as the class key. Admission
+    /// scheduling (`orthrus-core::admit`) derives conflict classes from
+    /// this hint; `None` (an empty key program) falls back to the planned
+    /// footprint.
+    pub fn hot_key_hint(&self) -> Option<Key> {
+        match self {
+            Program::ReadOnly { keys } | Program::Rmw { keys } => keys.first().copied(),
+            Program::NewOrder(i) => Some(TpccLayout::warehouse_key_of(i.w)),
+            Program::Payment(i) => Some(TpccLayout::warehouse_key_of(i.w)),
+            Program::OrderStatus(i) => match i.customer {
+                CustomerSelector::ById { c_w, .. } | CustomerSelector::ByLastName { c_w, .. } => {
+                    Some(TpccLayout::warehouse_key_of(c_w))
+                }
+            },
+            Program::Delivery(i) => Some(TpccLayout::warehouse_key_of(i.w)),
+            Program::StockLevel(i) => Some(TpccLayout::warehouse_key_of(i.w)),
+        }
+    }
+
     /// Short label for diagnostics.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -197,6 +226,55 @@ mod tests {
             depth: 20,
         })
         .needs_reconnaissance());
+    }
+
+    #[test]
+    fn hot_key_hint_is_first_key_or_home_warehouse() {
+        assert_eq!(Program::Rmw { keys: vec![7, 3] }.hot_key_hint(), Some(7));
+        assert_eq!(Program::ReadOnly { keys: vec![] }.hot_key_hint(), None);
+        // TPC-C hints are minted in the real lock-key space, so they
+        // compare equal to the planned footprint's warehouse entries.
+        let wkey = TpccLayout::warehouse_key_of;
+        assert_eq!(
+            Program::NewOrder(NewOrderInput {
+                w: 5,
+                d: 0,
+                c: 0,
+                lines: vec![],
+            })
+            .hot_key_hint(),
+            Some(wkey(5))
+        );
+        assert_eq!(
+            Program::Payment(PaymentInput {
+                w: 9,
+                d: 0,
+                amount_cents: 1,
+                customer: CustomerSelector::ById {
+                    c_w: 3,
+                    c_d: 0,
+                    c: 0,
+                },
+            })
+            .hot_key_hint(),
+            Some(wkey(9)),
+            "Payment contends on its home warehouse, not the customer's"
+        );
+        assert_eq!(
+            Program::OrderStatus(OrderStatusInput {
+                customer: CustomerSelector::ByLastName {
+                    c_w: 4,
+                    c_d: 0,
+                    name_id: 1,
+                },
+            })
+            .hot_key_hint(),
+            Some(wkey(4))
+        );
+        assert_eq!(
+            Program::Delivery(DeliveryInput { w: 2, carrier: 1 }).hot_key_hint(),
+            Some(wkey(2))
+        );
     }
 
     #[test]

@@ -149,6 +149,11 @@ pub struct MicroGen {
 
 impl MicroGen {
     /// Produce the next program.
+    ///
+    /// Keys are emitted in access order with hot keys first, which makes
+    /// `Program::hot_key_hint` (the first key) the program's hottest key
+    /// *before* admission — the contract the conflict-class admission
+    /// scheduler (`orthrus-core::admit`) classifies on.
     pub fn next_program(&mut self) -> Program {
         self.next_keys();
         let keys = self.keys.clone();
@@ -430,6 +435,22 @@ mod tests {
             assert!(keys.iter().all(|&k| k % 16 == p), "single-partition txn");
             assert!(keys[0] < 64 && keys[1] < 64);
             assert!(keys[2..].iter().all(|&k| k >= 64));
+        }
+    }
+
+    #[test]
+    fn hot_key_hint_exposes_hot_key_pre_admission() {
+        // The admission scheduler's contract: for hot/cold workloads the
+        // pre-admission footprint hint is a hot-set key (the first key in
+        // access order), with no planning required.
+        let spec = MicroSpec::hot_cold(10_000, 64, 2, 10, false);
+        let mut g = spec.generator(5, 0);
+        for _ in 0..200 {
+            let p = g.next_program();
+            let hint = p.hot_key_hint().expect("key programs have a footprint");
+            assert!(hint < 64, "hint {hint} must be a hot-set key");
+            let keys = keys_of(p);
+            assert_eq!(hint, keys[0], "hint is the first access-order key");
         }
     }
 

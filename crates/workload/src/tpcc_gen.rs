@@ -272,6 +272,26 @@ mod tests {
     }
 
     #[test]
+    fn hot_key_hint_is_a_warehouse_key() {
+        // TPC-C's conflict classes are warehouses: every generated
+        // program's pre-admission hint must be a valid warehouse-row lock
+        // key (minted in the real key space).
+        use orthrus_storage::tpcc::TpccLayout;
+        let cfg = TpccConfig::tiny(4);
+        let mut g = TpccSpec::full_mix(cfg).generator(3, 0);
+        for _ in 0..500 {
+            let hint = g
+                .next_program()
+                .hot_key_hint()
+                .expect("TPC-C programs always have a home warehouse");
+            assert!(
+                (0..cfg.warehouses).any(|w| hint == TpccLayout::warehouse_key_of(w)),
+                "hint {hint:#x} is not a warehouse key"
+            );
+        }
+    }
+
+    #[test]
     fn mix_is_roughly_half_half() {
         let mut g = spec().generator(1, 0);
         let mut new_orders = 0;
