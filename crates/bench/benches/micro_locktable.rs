@@ -52,6 +52,7 @@ fn bench_lock_paths(c: &mut Criterion) {
                     plan: Arc::clone(&plan),
                     span_idx: 0,
                     forward: true,
+                    waiters: 0,
                 },
                 &mut out,
             );

@@ -46,6 +46,14 @@ pub struct ThreadStats {
     /// Messages sent (ORTHRUS only; validates the Ncc+1 analysis of
     /// Section 3.3).
     pub messages_sent: u64,
+    /// Grant-deferral events observed (ORTHRUS only): locks that could
+    /// not be granted immediately, summed over every grant received —
+    /// the contention signal adaptive admission switches on.
+    pub lock_waits: u64,
+    /// Adaptive-admission policy switches over the thread's whole
+    /// lifetime (a lifetime counter like `committed_all`; 0 for the
+    /// static policies).
+    pub admission_switches: u64,
     /// Deadlock-detection passes that found a cycle (wait-for graph).
     pub cycles_found: u64,
     /// Commit latency (transaction start → commit, including retries).
@@ -77,6 +85,8 @@ impl ThreadStats {
         self.locking_ns += other.locking_ns;
         self.waiting_ns += other.waiting_ns;
         self.messages_sent += other.messages_sent;
+        self.lock_waits += other.lock_waits;
+        self.admission_switches += other.admission_switches;
         self.cycles_found += other.cycles_found;
         self.latency.merge(&other.latency);
     }
@@ -227,6 +237,8 @@ mod tests {
             locking_ns: 200,
             waiting_ns: 300,
             messages_sent: 5,
+            lock_waits: 7,
+            admission_switches: 2,
             cycles_found: 1,
             latency: LatencyHistogram::new(),
         };
@@ -236,6 +248,8 @@ mod tests {
         assert_eq!(b.aborts(), 12);
         assert_eq!(b.waiting_ns, 600);
         assert_eq!(b.messages_sent, 10);
+        assert_eq!(b.lock_waits, 14);
+        assert_eq!(b.admission_switches, 4);
     }
 
     #[test]

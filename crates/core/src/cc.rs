@@ -33,6 +33,10 @@ struct Pending {
     span_idx: u16,
     forward: bool,
     remaining: u32,
+    /// Grant-deferral events accumulated so far (earlier spans in the
+    /// chain plus this span's ungranted locks) — reported to the
+    /// execution thread with the grant as the contention signal.
+    waiters: u32,
 }
 
 struct Waiter {
@@ -97,7 +101,8 @@ impl CcState {
                 plan,
                 span_idx,
                 forward,
-            } => self.handle_acquire(token, plan, span_idx, forward, out),
+                waiters,
+            } => self.handle_acquire(token, plan, span_idx, forward, waiters, out),
             CcRequest::Release {
                 token,
                 plan,
@@ -112,6 +117,7 @@ impl CcState {
         plan: Arc<LockPlan>,
         span_idx: u16,
         forward: bool,
+        waiters: u32,
         out: &mut Vec<OutMsg>,
     ) {
         debug_assert_eq!(plan.spans()[span_idx as usize].cc, self.id);
@@ -136,6 +142,7 @@ impl CcState {
                 span_idx,
                 forward,
                 remaining: ungranted,
+                waiters: waiters.saturating_add(ungranted),
             }))
         } else {
             None
@@ -161,7 +168,7 @@ impl CcState {
         }
 
         if ungranted == 0 {
-            self.complete(token, &plan, span_idx, forward, out);
+            self.complete(token, &plan, span_idx, forward, waiters, out);
         }
         // "The response may take a while; the lock acquisition request may
         // have to wait for prior conflicting requests to release locks."
@@ -209,7 +216,7 @@ impl CcState {
             // Entries are left in the map when empty (capacity reuse).
         }
         for p in done {
-            self.complete(p.token, &p.plan, p.span_idx, p.forward, out);
+            self.complete(p.token, &p.plan, p.span_idx, p.forward, p.waiters, out);
         }
     }
 
@@ -221,6 +228,7 @@ impl CcState {
         plan: &Arc<LockPlan>,
         span_idx: u16,
         forward: bool,
+        waiters: u32,
         out: &mut Vec<OutMsg>,
     ) {
         let next = span_idx as usize + 1;
@@ -232,6 +240,7 @@ impl CcState {
                     plan: Arc::clone(plan),
                     span_idx: next as u16,
                     forward,
+                    waiters,
                 },
             });
         } else {
@@ -240,6 +249,7 @@ impl CcState {
                 resp: ExecResponse::Granted {
                     slot: token.slot,
                     span_idx,
+                    waiters,
                 },
             });
         }
@@ -293,6 +303,7 @@ mod tests {
             plan: Arc::clone(plan),
             span_idx: span,
             forward: true,
+            waiters: 0,
         }
     }
 
@@ -317,11 +328,44 @@ mod tests {
                 exec: 0,
                 resp: ExecResponse::Granted {
                     slot: 0,
-                    span_idx: 0
+                    span_idx: 0,
+                    waiters: 0,
                 }
             }
         ));
         assert_eq!(cc.pending_count(), 0);
+    }
+
+    #[test]
+    fn deferred_grants_report_their_waiter_count() {
+        // Two of the second transaction's three locks conflict with the
+        // holder; the eventual grant must carry waiters = 2 (the
+        // contention signal adaptive admission consumes).
+        let mut cc = CcState::new(0, 64);
+        let holder = plan_on_cc0(&[(1, LockMode::Exclusive), (2, LockMode::Exclusive)]);
+        let contender = plan_on_cc0(&[
+            (1, LockMode::Exclusive),
+            (2, LockMode::Exclusive),
+            (3, LockMode::Exclusive),
+        ]);
+        let mut out = Vec::new();
+        cc.handle(acquire(tok(0, 0), &holder, 0), &mut out);
+        out.clear();
+        cc.handle(acquire(tok(0, 1), &contender, 0), &mut out);
+        assert!(out.is_empty());
+        cc.handle(release(tok(0, 0), &holder, 0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            OutMsg::ToExec {
+                resp: ExecResponse::Granted {
+                    slot: 1,
+                    waiters: 2,
+                    ..
+                },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -413,6 +457,7 @@ mod tests {
                 plan: Arc::clone(&plan),
                 span_idx: 0,
                 forward: true,
+                waiters: 0,
             },
             &mut out,
         );
@@ -441,7 +486,8 @@ mod tests {
                 exec: 1,
                 resp: ExecResponse::Granted {
                     slot: 4,
-                    span_idx: 1
+                    span_idx: 1,
+                    waiters: 0,
                 }
             }
         ));
@@ -461,6 +507,7 @@ mod tests {
                 plan,
                 span_idx: 0,
                 forward: false,
+                waiters: 0,
             },
             &mut out,
         );

@@ -86,11 +86,14 @@ pub struct OrthrusConfig {
     /// [`Self::effective_flush_threshold`], since a literal zero would
     /// make every drain round a no-op (livelock).
     pub flush_threshold: usize,
-    /// Admission scheduling policy (ablation A6). [`AdmissionPolicy::Fifo`]
-    /// is the seed's admission order; `ConflictBatch` batches transactions
-    /// by conflict class before admission (Prasaad et al.), planning each
-    /// transaction once at admission and draining per-class run queues
-    /// back-to-back.
+    /// Admission scheduling policy (ablations A6/A7).
+    /// [`AdmissionPolicy::Fifo`] is the seed's admission order;
+    /// `ConflictBatch` batches transactions by conflict class before
+    /// admission (Prasaad et al.), planning each transaction once at
+    /// admission and draining per-class run queues back-to-back;
+    /// `Adaptive` switches between the two online from the observed
+    /// grant-deferral rate (hysteresis-controlled, see
+    /// [`crate::admit::AdaptiveController`]).
     pub admission: AdmissionPolicy,
 }
 
@@ -162,13 +165,7 @@ impl OrthrusConfig {
                 "max_inflight must be ≥ 1: admission would never start a transaction".into(),
             );
         }
-        if let AdmissionPolicy::ConflictBatch { classes, batch } = &self.admission {
-            if *classes == 0 || *batch == 0 {
-                return Err(format!(
-                    "ConflictBatch needs classes ≥ 1 and batch ≥ 1, got {classes}/{batch}"
-                ));
-            }
-        }
+        self.admission.validate()?;
         if self.cc_mode == CcMode::SharedTable && self.shared_table_buckets == 0 {
             return Err("SharedTable mode needs shared_table_buckets ≥ 1".into());
         }
@@ -275,6 +272,66 @@ mod tests {
             batch: 16,
         };
         assert!(c.validate().unwrap_err().contains("ConflictBatch"));
+
+        // A well-formed adaptive shape passes…
+        let mut c = good.clone();
+        c.admission = AdmissionPolicy::adaptive();
+        assert!(c.validate().is_ok());
+
+        // …and each degenerate adaptive knob is rejected with a message
+        // naming it.
+        let adaptive = |f: &dyn Fn(&mut AdmissionPolicy)| {
+            let mut p = AdmissionPolicy::adaptive();
+            f(&mut p);
+            let mut c = good.clone();
+            c.admission = p;
+            c.validate()
+        };
+        let set = |field: fn(&mut AdmissionPolicy) -> &mut u32, v: u32| {
+            move |p: &mut AdmissionPolicy| *field(p) = v
+        };
+        fn threshold(p: &mut AdmissionPolicy) -> &mut u32 {
+            let AdmissionPolicy::Adaptive { threshold_pct, .. } = p else {
+                unreachable!()
+            };
+            threshold_pct
+        }
+        fn hyst(p: &mut AdmissionPolicy) -> &mut u32 {
+            let AdmissionPolicy::Adaptive { hysteresis, .. } = p else {
+                unreachable!()
+            };
+            hysteresis
+        }
+        fn epoch(p: &mut AdmissionPolicy) -> &mut u32 {
+            let AdmissionPolicy::Adaptive { epoch, .. } = p else {
+                unreachable!()
+            };
+            epoch
+        }
+        assert!(adaptive(&set(threshold, 0))
+            .unwrap_err()
+            .contains("threshold_pct"));
+        assert!(adaptive(&set(hyst, 0)).unwrap_err().contains("hysteresis"));
+        // Epoch length 1 (and 0) make the per-epoch rate degenerate.
+        assert!(adaptive(&set(epoch, 1)).unwrap_err().contains("epoch"));
+        assert!(adaptive(&set(epoch, 0)).unwrap_err().contains("epoch"));
+        assert!(adaptive(&set(epoch, 2)).is_ok(), "2 is the minimum");
+        assert!(adaptive(&|p| {
+            let AdmissionPolicy::Adaptive { classes, .. } = p else {
+                unreachable!()
+            };
+            *classes = 0;
+        })
+        .unwrap_err()
+        .contains("classes"));
+        assert!(adaptive(&|p| {
+            let AdmissionPolicy::Adaptive { max_batch, .. } = p else {
+                unreachable!()
+            };
+            *max_batch = 0;
+        })
+        .unwrap_err()
+        .contains("max_batch"));
 
         let mut c = good.clone();
         c.cc_mode = CcMode::SharedTable;

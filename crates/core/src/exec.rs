@@ -211,6 +211,9 @@ impl<'a> ExecThread<'a> {
         }
         debug_assert!(self.send_buf.iter().all(|b| b.is_empty()));
         timer.finish(&mut self.stats);
+        // Lifetime counter (like `committed_all`): how often adaptive
+        // admission switched policy over the whole run.
+        self.stats.admission_switches = self.admit.switches();
         active_execs.fetch_sub(1, Ordering::AcqRel);
         self.stats
     }
@@ -265,6 +268,7 @@ impl<'a> ExecThread<'a> {
                 plan: Arc::clone(lock_plan),
                 span_idx,
                 forward: self.cfg.forwarding,
+                waiters: 0,
             },
         );
     }
@@ -288,7 +292,17 @@ impl<'a> ExecThread<'a> {
     }
 
     fn on_response(&mut self, resp: ExecResponse, timer: &mut PhaseTimer) {
-        let ExecResponse::Granted { slot, span_idx } = resp;
+        let ExecResponse::Granted {
+            slot,
+            span_idx,
+            waiters,
+        } = resp;
+        // The grant's deferral count is the contention signal: fold it
+        // into the adaptive epoch counters (no-op for static policies)
+        // and the run stats. Without forwarding each span reports its own
+        // share, so summing per-grant stays correct in both modes.
+        self.admit.note_lock_waits(waiters);
+        self.stats.lock_waits += waiters as u64;
         // Without forwarding, the execution thread mediates each span
         // itself: 2·Ncc message delays (Section 3.3's unoptimized mode).
         if !self.cfg.forwarding {

@@ -1,0 +1,146 @@
+//! The shared power-of-two ladder: one implementation of "walk a knob
+//! through 1, 2, 4, …" used by both the in-engine adaptive admission
+//! controller ([`crate::admit::AdaptiveController`] walks the batch depth
+//! up and down as the observed conflict rate moves) and the harness's
+//! offline `tune_flush_threshold` search (which climbs the same ladder
+//! over measured epochs and early-stops past the knee).
+//!
+//! Both tuners share the *shape* of the walk — exponential steps bounded
+//! by an explicit ceiling, so a misbehaving signal can never push a knob
+//! to a pathological value — while differing in when they step: the
+//! controller steps once per epoch from a live signal; the climb measures
+//! every rung once, ascending, with a patience-based early stop.
+
+/// One rung up the ladder: double, clamped to `max`.
+///
+/// `v` is normally a power of two (both callers start at one and only move
+/// via these steps), but the clamp makes any value safe.
+#[inline]
+pub fn step_up(v: usize, max: usize) -> usize {
+    debug_assert!(v >= 1 && max >= 1);
+    v.saturating_mul(2).min(max)
+}
+
+/// One rung down the ladder: halve, clamped to `min`.
+#[inline]
+pub fn step_down(v: usize, min: usize) -> usize {
+    debug_assert!(min >= 1);
+    (v / 2).max(min)
+}
+
+/// An ascending climb over the rungs `1, 2, 4, …, max`, early-stopping
+/// after `patience` consecutive regressions — the measured-epoch search
+/// `tune_flush_threshold` runs. Usage: while [`Self::rung`] is `Some`,
+/// measure that rung and [`Self::record`] the score.
+#[derive(Debug, Clone)]
+pub struct Pow2Climb {
+    next: Option<usize>,
+    max: usize,
+    patience: usize,
+    declines: usize,
+    prev: f64,
+}
+
+impl Pow2Climb {
+    /// A climb up to `max` (inclusive; the last rung may undershoot it if
+    /// it is not a power of two), stopping after `patience` consecutive
+    /// score regressions.
+    pub fn new(max: usize, patience: usize) -> Self {
+        assert!(max >= 1, "ladder needs at least rung 1");
+        assert!(patience >= 1, "patience 0 would stop before measuring");
+        Pow2Climb {
+            next: Some(1),
+            max,
+            patience,
+            declines: 0,
+            prev: f64::MIN,
+        }
+    }
+
+    /// The rung to measure next, or `None` when the climb is over.
+    pub fn rung(&self) -> Option<usize> {
+        self.next
+    }
+
+    /// Record the current rung's score and advance.
+    pub fn record(&mut self, score: f64) {
+        let Some(cur) = self.next else { return };
+        if score < self.prev {
+            self.declines += 1;
+            if self.declines >= self.patience {
+                self.next = None;
+                return;
+            }
+        } else {
+            self.declines = 0;
+        }
+        self.prev = score;
+        self.next = cur.checked_mul(2).filter(|&n| n <= self.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_clamp_at_both_ends() {
+        assert_eq!(step_up(1, 16), 2);
+        assert_eq!(step_up(8, 16), 16);
+        assert_eq!(step_up(16, 16), 16, "ceiling holds");
+        assert_eq!(step_up(usize::MAX, usize::MAX), usize::MAX, "no overflow");
+        assert_eq!(step_down(16, 2), 8);
+        assert_eq!(step_down(2, 2), 2, "floor holds");
+        assert_eq!(step_down(1, 1), 1);
+    }
+
+    #[test]
+    fn up_then_down_returns_to_the_start() {
+        let mut v = 2usize;
+        for _ in 0..10 {
+            v = step_up(v, 16);
+        }
+        assert_eq!(v, 16);
+        for _ in 0..10 {
+            v = step_down(v, 2);
+        }
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn climb_visits_every_rung_of_a_rising_curve() {
+        let mut climb = Pow2Climb::new(64, 2);
+        let mut rungs = Vec::new();
+        while let Some(r) = climb.rung() {
+            rungs.push(r);
+            climb.record((r as f64).ln() + 1.0);
+        }
+        assert_eq!(rungs, vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn climb_stops_after_patience_regressions() {
+        // Peak at 4: rungs 8 and 16 regress, so the climb ends there.
+        let mut climb = Pow2Climb::new(1024, 2);
+        let mut rungs = Vec::new();
+        while let Some(r) = climb.rung() {
+            rungs.push(r);
+            climb.record(1000.0 - (r as f64 - 4.0).abs() * 10.0);
+        }
+        assert_eq!(rungs, vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn climb_of_one_rung_measures_once() {
+        let mut climb = Pow2Climb::new(1, 2);
+        assert_eq!(climb.rung(), Some(1));
+        climb.record(1.0);
+        assert_eq!(climb.rung(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least rung 1")]
+    fn climb_rejects_zero_max() {
+        let _ = Pow2Climb::new(0, 2);
+    }
+}

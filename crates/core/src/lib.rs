@@ -65,13 +65,23 @@
 //!   one fused lock acquisition — one acquire/release round per run
 //!   instead of per transaction (Prasaad et al., "Improving High
 //!   Contention OLTP Performance via Transaction Scheduling"; ablation
-//!   A6, `abl06_admission`, shows the low-skew/high-skew crossover).
+//!   A6, `abl06_admission`, shows the low-skew/high-skew crossover);
+//! - [`AdmissionPolicy::Adaptive`] picks between the two **online**: every
+//!   lock grant reports how many of its locks had to wait, execution
+//!   threads fold those grant-deferral counts into per-epoch conflict
+//!   counters, and a deterministic hysteresis controller
+//!   ([`admit::AdaptiveController`]) promotes to conflict batching when
+//!   the rate stays above a threshold, demotes when it stays below half
+//!   of it, and walks the batch depth along the shared power-of-two
+//!   ladder ([`ladder`]) in between (ablation A7, `abl07_adaptive`,
+//!   tracks the better static policy across the crossover).
 
 pub mod admit;
 pub mod cc;
 pub mod config;
 pub mod engine;
 pub mod exec;
+pub mod ladder;
 pub mod msg;
 pub mod plan;
 pub mod rebalance;
@@ -80,7 +90,7 @@ pub mod shared;
 #[cfg(test)]
 mod proptests;
 
-pub use admit::{AdmissionPolicy, Admitted, Admitter};
+pub use admit::{AdaptiveController, AdmissionPolicy, Admitted, Admitter};
 pub use config::{CcAssignment, CcMode, OrthrusConfig};
 pub use engine::OrthrusEngine;
 pub use plan::LockPlan;

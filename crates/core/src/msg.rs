@@ -47,6 +47,13 @@ pub enum CcRequest {
         plan: Arc<LockPlan>,
         span_idx: u16,
         forward: bool,
+        /// Grant-deferral events (locks that could not be granted
+        /// immediately) accumulated at *earlier* CC threads in the
+        /// forwarding chain. Execution threads send `0`; each CC thread
+        /// adds its span's deferrals before forwarding, so the final
+        /// grant carries the transaction's whole conflict footprint — the
+        /// contention signal adaptive admission feeds on.
+        waiters: u32,
     },
     /// Release the locks of `plan.span(span_idx)`. "Lock release requests
     /// are satisfied immediately" — no response is sent.
@@ -63,7 +70,17 @@ pub enum ExecResponse {
     /// All locks up to and including `span_idx` are held. With forwarding
     /// this arrives once (from the last CC in the chain); without it, once
     /// per span.
-    Granted { slot: u16, span_idx: u16 },
+    Granted {
+        slot: u16,
+        span_idx: u16,
+        /// Grant-deferral events this acquisition experienced: how many of
+        /// its locks had to wait behind a holder or a queued waiter. With
+        /// forwarding, the count spans the whole CC chain; without it,
+        /// each per-span grant reports its own span's deferrals (the sum
+        /// over spans is the same signal). Execution threads aggregate
+        /// these into per-epoch conflict counters for adaptive admission.
+        waiters: u32,
+    },
 }
 
 #[cfg(test)]

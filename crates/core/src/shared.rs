@@ -35,6 +35,9 @@ struct PendingShared {
     next: usize,
     /// Armed while waiting for `plan.entries()[next]`.
     waiter: Arc<LockWaiter>,
+    /// Grant-deferral events so far: each lock that had to queue counts
+    /// once — the same contention signal the partitioned CC path reports.
+    deferrals: u32,
 }
 
 /// Per-CC-thread driver over the shared table.
@@ -88,6 +91,7 @@ impl SharedCcState {
                     plan,
                     next: 0,
                     waiter,
+                    deferrals: 0,
                 };
                 if self.advance(&mut p, out) {
                     self.waiter_pool.push(p.waiter);
@@ -139,7 +143,10 @@ impl SharedCcState {
             let (key, mode): (u64, LockMode) = p.plan.entries()[p.next];
             match self.table.acquire(key, txn, mode, &p.waiter, |_| true) {
                 AcquireOutcome::Granted => p.next += 1,
-                AcquireOutcome::Queued(_) => return false,
+                AcquireOutcome::Queued(_) => {
+                    p.deferrals = p.deferrals.saturating_add(1);
+                    return false;
+                }
                 AcquireOutcome::Denied => unreachable!("always-wait policy"),
             }
         }
@@ -148,6 +155,7 @@ impl SharedCcState {
             resp: ExecResponse::Granted {
                 slot: p.token.slot,
                 span_idx: 0,
+                waiters: p.deferrals,
             },
         });
         true
@@ -177,6 +185,7 @@ mod tests {
             plan: Arc::clone(p),
             span_idx: 0,
             forward: false,
+            waiters: 0,
         }
     }
 
@@ -229,7 +238,11 @@ mod tests {
         assert!(matches!(
             out[0],
             OutMsg::ToExec {
-                resp: ExecResponse::Granted { slot: 1, .. },
+                resp: ExecResponse::Granted {
+                    slot: 1,
+                    waiters: 1,
+                    ..
+                },
                 ..
             }
         ));

@@ -15,7 +15,10 @@
 //! [`tune_flush_threshold`] applies the same measure-in-epochs idea to the
 //! fabric batching degree (`OrthrusConfig::flush_threshold`): climb the
 //! power-of-two ladder while throughput keeps improving, stop once the
-//! curve turns down.
+//! curve turns down. The ladder itself lives in the engine
+//! ([`orthrus_core::ladder`]) — the in-engine adaptive admission
+//! controller walks the same rungs online from a live conflict signal,
+//! while this offline tuner climbs them over measured epochs.
 
 /// One measured allocation.
 #[derive(Debug, Clone, Copy)]
@@ -106,7 +109,8 @@ pub struct FlushTuneResult {
 }
 
 /// Tune the fabric batching degree over the power-of-two ladder
-/// `1, 2, 4, …, max_threshold`.
+/// `1, 2, 4, …, max_threshold` ([`orthrus_core::ladder::Pow2Climb`] — the
+/// same ladder the in-engine adaptive admission controller walks).
 ///
 /// `measure(t)` runs one epoch at `flush_threshold = t` and returns
 /// throughput. The expected curve rises while batching amortizes the
@@ -120,29 +124,15 @@ pub fn tune_flush_threshold(
     mut measure: impl FnMut(usize) -> f64,
 ) -> FlushTuneResult {
     assert!(max_threshold >= 1, "need at least threshold 1");
+    let mut climb = orthrus_core::ladder::Pow2Climb::new(max_threshold, 2);
     let mut trace: Vec<FlushTunePoint> = Vec::new();
-    let mut declines = 0usize;
-    let mut prev = f64::MIN;
-    let mut t = 1usize;
-    while t <= max_threshold {
+    while let Some(t) = climb.rung() {
         let throughput = measure(t);
         trace.push(FlushTunePoint {
             flush_threshold: t,
             throughput,
         });
-        if throughput < prev {
-            declines += 1;
-            if declines >= 2 {
-                break;
-            }
-        } else {
-            declines = 0;
-        }
-        prev = throughput;
-        match t.checked_mul(2) {
-            Some(next) => t = next,
-            None => break,
-        }
+        climb.record(throughput);
     }
     let best = *trace
         .iter()

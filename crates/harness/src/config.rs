@@ -41,7 +41,9 @@ pub struct BenchConfig {
     /// Admission policy applied to every ORTHRUS run
     /// (`ORTHRUS_ADMISSION`, default `fifo` — the seed's admission order;
     /// `batch` or `batch:<classes>:<batch>` enables conflict-class
-    /// batched admission, see ablation A6).
+    /// batched admission, see ablation A6; `adaptive` or
+    /// `adaptive:<threshold>:<k>:<epoch>[:<classes>:<max_batch>]` enables
+    /// in-engine conflict-driven policy switching, see ablation A7).
     pub admission: AdmissionPolicy,
 }
 

@@ -1,0 +1,27 @@
+//! One-off calibration probe (ignored by default): prints the observed
+//! grant-deferral rate per 100 admissions for FIFO across the A7 sweep.
+
+use orthrus_core::AdmissionPolicy;
+use orthrus_harness::ablations::run_orthrus_custom;
+use orthrus_harness::BenchConfig;
+use orthrus_workload::MicroSpec;
+
+#[test]
+#[ignore]
+fn print_deferral_rates() {
+    let mut bc = BenchConfig::from_env();
+    bc.max_threads = 4;
+    // The rates only mean anything under FIFO (batching suppresses
+    // deferrals), so pin the policy regardless of ORTHRUS_ADMISSION.
+    bc.admission = AdmissionPolicy::Fifo;
+    for theta in [0.3f64, 0.6, 0.9] {
+        let spec = MicroSpec::zipf(bc.n_records as u64, 10, theta, false);
+        let stats = run_orthrus_custom(spec, 1, 3, true, None, 16, &bc);
+        println!(
+            "theta {theta}: committed {} lock_waits {} rate/100 {:.1}",
+            stats.totals.committed,
+            stats.totals.lock_waits,
+            stats.totals.lock_waits as f64 * 100.0 / stats.totals.committed.max(1) as f64
+        );
+    }
+}

@@ -76,6 +76,7 @@ fn main() {
             plan: Arc::clone(&plan),
             span_idx: 0,
             forward: true,
+            waiters: 0,
         },
     ));
 
