@@ -1,0 +1,140 @@
+//! Criterion microbenches for the open-loop ingest seam: what does the
+//! session path (submit → ingest ring → `ClientSource` → plan → commit →
+//! completion) cost per transaction, against the closed-loop synthetic
+//! path (generate → plan) the seed engine used?
+//!
+//! Three rungs, each at batch 1 and 16:
+//!
+//! - `synthetic_admit_*` — the old seam: `Admitter<SyntheticSource>`
+//!   pulling and planning from the workload generator (no engine);
+//! - `session_admit_*` — the new seam in isolation: submissions pushed
+//!   through an ingest ring and admitted by `Admitter<ClientSource>`
+//!   (no engine); the delta against `synthetic_admit_*` is the pure
+//!   ring + ticket overhead;
+//! - `engine_roundtrip_*` — the full story: a live service-mode engine,
+//!   `Session::submit` through commit to completion delivery.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orthrus_core::source::Submission;
+use orthrus_core::{
+    AdmissionPolicy, Admitter, CcAssignment, ClientSource, OrthrusConfig, OrthrusEngine,
+    SyntheticSource, Ticket,
+};
+use orthrus_spsc::channel;
+use orthrus_storage::Table;
+use orthrus_txn::{Database, Program};
+use orthrus_workload::{MicroSpec, Spec};
+
+const N_RECORDS: usize = 4096;
+const OPS: usize = 4;
+
+fn db() -> Database {
+    Database::Flat(Table::new(N_RECORDS, 64))
+}
+
+fn spec() -> MicroSpec {
+    MicroSpec::uniform(N_RECORDS as u64, OPS, false)
+}
+
+/// A pool of pre-generated programs the submission benches cycle
+/// through, so program generation cost stays out of the session path's
+/// numbers (the synthetic path generates on the hot path by design —
+/// that asymmetry is part of what is being measured).
+fn program_pool(n: usize) -> Vec<Program> {
+    let mut gen = Spec::Micro(spec()).generator(77, 0);
+    (0..n).map(|_| gen.next_program()).collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+
+    // --- the old seam: generate + plan ------------------------------
+    for batch in [1usize, 16] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(&format!("synthetic_admit_batch{batch}"), |b| {
+            let db = db();
+            let mut admit = Admitter::new(
+                &AdmissionPolicy::Fifo,
+                SyntheticSource::new(Spec::Micro(spec()).generator(7, 0)),
+                7,
+                0,
+                0,
+            );
+            b.iter(|| {
+                for _ in 0..batch {
+                    std::hint::black_box(admit.next(&db).expect("synthetic"));
+                }
+            });
+        });
+    }
+
+    // --- the new seam in isolation: ring + ticket + plan ------------
+    for batch in [1usize, 16] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(&format!("session_admit_batch{batch}"), |b| {
+            let db = db();
+            let pool = program_pool(256);
+            let (mut tx, rx) = channel::<Submission>(64);
+            let mut admit =
+                Admitter::new(&AdmissionPolicy::Fifo, ClientSource::new(rx, 16), 7, 0, 0);
+            let mut next = 0u64;
+            b.iter(|| {
+                for _ in 0..batch {
+                    tx.try_push(Submission {
+                        ticket: Ticket(next),
+                        program: pool[next as usize % pool.len()].clone(),
+                        submitted: Instant::now(),
+                    })
+                    .expect("ring sized for the batch");
+                    next += 1;
+                }
+                for _ in 0..batch {
+                    std::hint::black_box(admit.next(&db).expect("just pushed"));
+                }
+            });
+        });
+    }
+
+    // --- the full round trip through a live engine ------------------
+    for batch in [1usize, 16] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(&format!("engine_roundtrip_batch{batch}"), |b| {
+            let db = Arc::new(db());
+            let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+            let engine = OrthrusEngine::service(db, cfg);
+            let mut handle = engine.start(7);
+            let session = handle.session();
+            let pool = program_pool(256);
+            let mut next = 0usize;
+            let mut done = Vec::with_capacity(batch);
+            b.iter(|| {
+                for _ in 0..batch {
+                    session
+                        .submit(pool[next % pool.len()].clone())
+                        .expect("engine accepting");
+                    next += 1;
+                }
+                let mut got = 0;
+                while got < batch {
+                    done.clear();
+                    got += handle.drain_completions(&mut done);
+                    if got < batch {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            handle.shutdown();
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

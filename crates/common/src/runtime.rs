@@ -18,7 +18,13 @@ pub struct RunCtl {
 }
 
 impl RunCtl {
-    fn new() -> Self {
+    /// A fresh controller: not measuring, not stopped. [`timed_run`]
+    /// builds one per run; service-mode engines (long-lived worker
+    /// threads driven by client submissions rather than a fixed window)
+    /// own one behind an `Arc` and drive it through
+    /// [`Self::begin_measuring`] / [`Self::request_stop`].
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
         RunCtl {
             measuring: AtomicBool::new(false),
             stop: AtomicBool::new(false),
@@ -37,12 +43,29 @@ impl RunCtl {
     pub fn is_stopped(&self) -> bool {
         self.stop.load(Ordering::Relaxed)
     }
+
+    /// Open the measurement window: workers reset their window counters
+    /// at the next poll.
+    pub fn begin_measuring(&self) {
+        self.measuring.store(true, Ordering::SeqCst);
+    }
+
+    /// Ask workers to wind down (drain and exit their loops).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
 }
 
 /// Common run parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RunParams {
-    /// Worker ("core") count. For ORTHRUS this is CC + execution threads.
+    /// Worker ("core") count. The baseline engines spawn exactly this
+    /// many workers. ORTHRUS derives its worker count from the engine's
+    /// own CC/exec split instead and **enforces** this field: pass `0`
+    /// ("derive from the engine") or the exact
+    /// `OrthrusConfig::total_threads()` — anything else is rejected at
+    /// run start, so a harness can no longer believe it measured a
+    /// thread count the engine never ran.
     pub threads: usize,
     /// Workload RNG seed.
     pub seed: u64,
@@ -98,10 +121,10 @@ where
             }));
         }
         std::thread::sleep(warmup);
-        ctl.measuring.store(true, Ordering::SeqCst);
+        ctl.begin_measuring();
         let t0 = Instant::now();
         std::thread::sleep(measure);
-        ctl.stop.store(true, Ordering::SeqCst);
+        ctl.request_stop();
         elapsed = t0.elapsed();
         for (i, h) in handles.into_iter().enumerate() {
             let stats = h.join().expect("worker panicked");

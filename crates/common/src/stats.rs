@@ -161,6 +161,12 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Number of worker (execution) threads that contributed.
     pub threads: usize,
+    /// Per-thread commit-latency histograms, one per contributing worker
+    /// (same order as the merge). The merged totals hide per-thread
+    /// skew — a hot-key exec thread can run an order of magnitude slower
+    /// than its siblings under conflict-class routing — so open-loop
+    /// experiments report both.
+    pub per_thread_latency: Vec<LatencyHistogram>,
 }
 
 impl RunStats {
@@ -174,6 +180,7 @@ impl RunStats {
             totals,
             elapsed,
             threads: per_thread.len(),
+            per_thread_latency: per_thread.iter().map(|t| t.latency.clone()).collect(),
         }
     }
 
@@ -326,5 +333,22 @@ mod tests {
     fn abort_rate_zero_when_no_attempts() {
         let rs = RunStats::collect(&[], Duration::from_secs(1));
         assert_eq!(rs.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn per_thread_latency_preserved_alongside_the_merge() {
+        let mut a = ThreadStats::default();
+        let mut b = ThreadStats::default();
+        for _ in 0..10 {
+            a.latency.record(1_000);
+            b.latency.record(1_000_000);
+        }
+        let rs = RunStats::collect(&[a, b], Duration::from_secs(1));
+        assert_eq!(rs.per_thread_latency.len(), 2);
+        // The merged totals blend both threads; the per-thread view keeps
+        // the skew visible.
+        assert_eq!(rs.totals.latency.count(), 20);
+        assert!(rs.per_thread_latency[0].quantile_ns(0.5) < 10_000);
+        assert!(rs.per_thread_latency[1].quantile_ns(0.5) > 100_000);
     }
 }

@@ -76,9 +76,9 @@ use std::collections::VecDeque;
 
 use orthrus_common::{fx_hash_u64, Key, XorShift64};
 use orthrus_txn::{plan_accesses, Database, Plan, Program};
-use orthrus_workload::Gen;
 
 use crate::ladder;
+use crate::source::{Ticket, TxnSource};
 
 /// Default conflict-class count for [`AdmissionPolicy::ConflictBatch`]:
 /// enough classes that distinct hot keys rarely collide, few enough that
@@ -177,6 +177,23 @@ impl AdmissionPolicy {
             threshold_pct: DEFAULT_ADAPTIVE_THRESHOLD_PCT,
             hysteresis: DEFAULT_ADAPTIVE_HYSTERESIS,
             epoch: DEFAULT_ADAPTIVE_EPOCH,
+        }
+    }
+
+    /// The most transactions this policy can hold *planned and queued*
+    /// inside the admitter (outside any ring, before occupying in-flight
+    /// slots): one refill window for the batched policies, zero for
+    /// `Fifo`. Service mode sizes its completion rings from this bound —
+    /// everything accepted can sit in the ingest ring, the admission
+    /// queues, or an in-flight slot, and all of it may complete before a
+    /// client drains.
+    pub fn max_queued_window(&self) -> usize {
+        match *self {
+            AdmissionPolicy::Fifo => 0,
+            AdmissionPolicy::ConflictBatch { classes, batch } => classes * batch,
+            AdmissionPolicy::Adaptive {
+                classes, max_batch, ..
+            } => classes * max_batch,
         }
     }
 
@@ -415,10 +432,15 @@ impl std::str::FromStr for AdmissionPolicy {
 pub struct Admitted {
     pub program: Program,
     pub plan: Plan,
-    /// When the transaction was generated and planned. Commit latency is
-    /// measured from here, so time spent queued in a conflict-class run
-    /// queue counts toward latency (FIFO-vs-ConflictBatch latency
-    /// comparisons stay honest).
+    /// The client ticket riding this transaction (`None` for synthetic
+    /// work). Completed — once, exactly — when the transaction commits,
+    /// surviving OLLP retries.
+    pub ticket: Option<Ticket>,
+    /// Latency clock start: client submission time for sourced work,
+    /// generation time for synthetic work. Commit latency is measured
+    /// from here, so time spent queued in an ingest ring or a
+    /// conflict-class run queue counts toward latency
+    /// (FIFO-vs-ConflictBatch latency comparisons stay honest).
     pub started: std::time::Instant,
 }
 
@@ -512,12 +534,14 @@ struct AdaptiveState {
     batching: bool,
 }
 
-/// One execution thread's admission state: the program source, the
-/// planning RNG (the OLLP reconnaissance noise stream), and any policy
-/// queues. Owned by the thread — admission is thread-local, exactly like
-/// the seed's inlined path.
-pub struct Admitter {
-    gen: Gen,
+/// One execution thread's admission state: the transaction source
+/// (synthetic generator or client ingest ring — see [`crate::source`]),
+/// the planning RNG (the OLLP reconnaissance noise stream), and any
+/// policy queues. Owned by the thread — admission is thread-local,
+/// exactly like the seed's inlined path. Generic over the source so the
+/// hot admission path monomorphizes (no per-transaction dispatch).
+pub struct Admitter<S: TxnSource> {
+    source: S,
     plan_rng: XorShift64,
     /// OLLP estimate noise applied to admission-time planning; retries
     /// always re-plan with the corrected (noise-free) estimate.
@@ -526,13 +550,13 @@ pub struct Admitter {
     adaptive: Option<AdaptiveState>,
 }
 
-impl Admitter {
+impl<S: TxnSource> Admitter<S> {
     /// Build the admission state for execution thread `exec_id`.
     ///
     /// The planning RNG is seeded exactly as the seed's `ExecThread` was,
-    /// so `Fifo` admission reproduces the seed's program and plan streams
-    /// bit for bit.
-    pub fn new(policy: &AdmissionPolicy, gen: Gen, seed: u64, exec_id: u16, noise: u32) -> Self {
+    /// so `Fifo` admission over a [`crate::source::SyntheticSource`]
+    /// reproduces the seed's program and plan streams bit for bit.
+    pub fn new(policy: &AdmissionPolicy, source: S, seed: u64, exec_id: u16, noise: u32) -> Self {
         let mut adaptive = None;
         let run_queues = match *policy {
             AdmissionPolicy::Fifo => None,
@@ -575,7 +599,7 @@ impl Admitter {
             }
         };
         Admitter {
-            gen,
+            source,
             plan_rng: XorShift64::for_thread(seed ^ 0x6578_6563, exec_id as usize),
             noise,
             run_queues,
@@ -583,10 +607,12 @@ impl Admitter {
         }
     }
 
-    /// Admit the next transaction (generating and planning as the policy
-    /// dictates). Infallible: generators are endless.
-    pub fn next(&mut self, db: &Database) -> Admitted {
-        self.next_run(db, 1).pop().expect("runs are never empty")
+    /// Admit the next transaction (pulling and planning as the policy
+    /// dictates). `None` when the source is currently dry (a client
+    /// ingest ring with nothing submitted); synthetic sources always
+    /// admit.
+    pub fn next(&mut self, db: &Database) -> Option<Admitted> {
+        self.next_run(db, 1).pop()
     }
 
     /// Admit the next *run*: up to `max` same-class transactions drained
@@ -597,7 +623,8 @@ impl Admitter {
     /// `min(max, batch budget)` queued transactions. `Adaptive` behaves
     /// like whichever policy its controller currently selects, closing an
     /// epoch first if one is due — policy switches only ever land on run
-    /// boundaries.
+    /// boundaries. **Empty** exactly when the source has nothing to
+    /// admit (client ring dry) and no backlog is queued.
     pub fn next_run(&mut self, db: &Database, max: usize) -> Vec<Admitted> {
         debug_assert!(max >= 1);
         self.maybe_close_epoch();
@@ -663,23 +690,34 @@ impl Admitter {
         rq.budget = rq.budget.min(batch);
     }
 
-    /// The seed's admission step: generate one, plan one. With `observe`
+    /// The seed's admission step: pull one, plan one. With `observe`
     /// (adaptive FIFO mode) the planned footprint still feeds the
     /// frequency sketch, so a later promotion classifies with a warm
-    /// sketch instead of falling back to the hint.
+    /// sketch instead of falling back to the hint. Empty when the source
+    /// is dry.
     fn next_single(&mut self, db: &Database, observe: bool) -> Vec<Admitted> {
-        let program = self.gen.next_program();
-        let plan = plan_accesses(&program, db, self.noise, &mut self.plan_rng);
+        let Admitter {
+            source,
+            plan_rng,
+            noise,
+            run_queues,
+            ..
+        } = self;
+        let Some(sourced) = source.pull() else {
+            return Vec::new();
+        };
+        let plan = plan_accesses(&sourced.program, db, *noise, plan_rng);
         if observe {
-            let rq = self.run_queues.as_mut().expect("adaptive has queues");
+            let rq = run_queues.as_mut().expect("adaptive has queues");
             for &(k, _) in plan.accesses.entries() {
                 rq.sketch.observe(k);
             }
         }
         vec![Admitted {
-            program,
+            program: sourced.program,
             plan,
-            started: std::time::Instant::now(),
+            ticket: sourced.ticket,
+            started: sourced.started,
         }]
     }
 
@@ -704,10 +742,25 @@ impl Admitter {
 
     /// Transactions planned and queued but not yet admitted (always 0 for
     /// `Fifo`; for `Adaptive` a demotion's backlog counts until drained).
-    /// They hold no locks and no slots; at shutdown they are simply
-    /// dropped.
+    /// They hold no locks and no slots. At shutdown, synthetic backlog is
+    /// simply dropped; ticketed backlog is drained first (see
+    /// [`Self::drain_on_stop`]).
     pub fn queued(&self) -> usize {
         self.run_queues.as_ref().map_or(0, |rq| rq.queued)
+    }
+
+    /// Whether undelivered work exists: queued transactions or source
+    /// input. Drives the shutdown drain for client sources.
+    pub fn has_backlog(&self) -> bool {
+        self.queued() > 0 || self.source.has_pending()
+    }
+
+    /// The source's shutdown contract (see [`TxnSource::drain_on_stop`]):
+    /// `true` means the execution thread must keep admitting after a stop
+    /// request until [`Self::has_backlog`] clears — every accepted client
+    /// ticket is owed a completion.
+    pub fn drain_on_stop(&self) -> bool {
+        self.source.drain_on_stop()
     }
 
     fn next_run_batched(&mut self, db: &Database, max: usize) -> Vec<Admitted> {
@@ -720,6 +773,11 @@ impl Admitter {
                 rq.sketch.decay_tick();
             }
             self.refill(db);
+            if self.queued() == 0 {
+                // Source dry (client ring empty): nothing to admit, and
+                // the rotation below must not spin on empty queues.
+                return Vec::new();
+            }
         }
         let rq = self.run_queues.as_mut().expect("batched policy");
         // Drain the current class back-to-back up to its batch budget,
@@ -737,26 +795,39 @@ impl Admitter {
         }
     }
 
-    /// Generate and plan one refill window (`classes × batch`
-    /// transactions) and bucket it into the class queues. Planning happens
-    /// here, once — the plans ride the queues to execution.
+    /// Pull and plan one refill window (up to `classes × batch`
+    /// transactions — fewer if the source runs dry mid-window) and bucket
+    /// it into the class queues. Planning happens here, once — the plans
+    /// ride the queues to execution.
     fn refill(&mut self, db: &Database) {
-        let rq = self.run_queues.as_mut().expect("batched policy");
+        let Admitter {
+            source,
+            plan_rng,
+            noise,
+            run_queues,
+            ..
+        } = self;
+        let rq = run_queues.as_mut().expect("batched policy");
         let window = rq.queues.len() * rq.batch;
+        let mut pulled = 0;
         for _ in 0..window {
-            let program = self.gen.next_program();
-            let plan = plan_accesses(&program, db, self.noise, &mut self.plan_rng);
+            let Some(sourced) = source.pull() else {
+                break;
+            };
+            let plan = plan_accesses(&sourced.program, db, *noise, plan_rng);
             for &(k, _) in plan.accesses.entries() {
                 rq.sketch.observe(k);
             }
-            let class = conflict_class(&program, &plan, &rq.sketch, rq.queues.len());
+            let class = conflict_class(&sourced.program, &plan, &rq.sketch, rq.queues.len());
             rq.queues[class].push_back(Admitted {
-                program,
+                program: sourced.program,
                 plan,
-                started: std::time::Instant::now(),
+                ticket: sourced.ticket,
+                started: sourced.started,
             });
+            pulled += 1;
         }
-        rq.queued = window;
+        rq.queued = pulled;
     }
 }
 
@@ -791,6 +862,7 @@ fn conflict_class(program: &Program, plan: &Plan, sketch: &HotSketch, classes: u
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::SyntheticSource;
     use orthrus_storage::Table;
     use orthrus_workload::{MicroSpec, Spec};
 
@@ -818,14 +890,14 @@ mod tests {
         let db = flat(256);
         let mut admit = Admitter::new(
             &AdmissionPolicy::Fifo,
-            Spec::Micro(spec.clone()).generator(9, 1),
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(9, 1)),
             9,
             1,
             0,
         );
         let mut reference = spec.generator(9, 1);
         for _ in 0..64 {
-            let a = admit.next(&db);
+            let a = admit.next(&db).expect("synthetic sources always admit");
             assert_eq!(a.program, reference.next_program());
             assert_eq!(admit.queued(), 0, "fifo never queues ahead");
         }
@@ -842,12 +914,20 @@ mod tests {
             batch: 8,
         };
         let db = flat(1024);
-        let mut admit = Admitter::new(&policy, Spec::Micro(spec.clone()).generator(7, 0), 7, 0, 0);
+        let mut admit = Admitter::new(
+            &policy,
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(7, 0)),
+            7,
+            0,
+            0,
+        );
         let mut reference = spec.generator(7, 0);
         let window = 4 * 8;
         let mut reordered_somewhere = false;
         for _ in 0..4 {
-            let admitted: Vec<Program> = (0..window).map(|_| admit.next(&db).program).collect();
+            let admitted: Vec<Program> = (0..window)
+                .map(|_| admit.next(&db).expect("synthetic").program)
+                .collect();
             let generated: Vec<Program> = (0..window).map(|_| reference.next_program()).collect();
             reordered_somewhere |= admitted != generated;
             assert_eq!(
@@ -871,7 +951,13 @@ mod tests {
             batch: 4,
         };
         let db = flat(1024);
-        let mut admit = Admitter::new(&policy, Spec::Micro(spec.clone()).generator(3, 0), 3, 0, 0);
+        let mut admit = Admitter::new(
+            &policy,
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(3, 0)),
+            3,
+            0,
+            0,
+        );
         let window = 8 * 4;
         // A fresh (all-zero) sketch classifies by the pre-admission hint,
         // which for hot/cold programs is the same hot key the admitter's
@@ -879,7 +965,7 @@ mod tests {
         let fresh = HotSketch::new();
         let classes: Vec<usize> = (0..window)
             .map(|_| {
-                let a = admit.next(&db);
+                let a = admit.next(&db).expect("synthetic sources always admit");
                 conflict_class(&a.program, &a.plan, &fresh, 8)
             })
             .collect();
@@ -912,9 +998,15 @@ mod tests {
             batch: 2,
         };
         let db = flat(64);
-        let mut admit = Admitter::new(&policy, Spec::Micro(spec).generator(1, 0), 1, 0, 0);
+        let mut admit = Admitter::new(
+            &policy,
+            SyntheticSource::new(Spec::Micro(spec).generator(1, 0)),
+            1,
+            0,
+            0,
+        );
         for _ in 0..64 {
-            let a = admit.next(&db);
+            let a = admit.next(&db).expect("synthetic sources always admit");
             assert_eq!(keys_of(&a.program), vec![0], "the one hot key");
         }
     }
@@ -926,12 +1018,12 @@ mod tests {
         let db = flat(128);
         let mut admit = Admitter::new(
             &AdmissionPolicy::Fifo,
-            Spec::Micro(MicroSpec::uniform(128, 2, false)).generator(2, 0),
+            SyntheticSource::new(Spec::Micro(MicroSpec::uniform(128, 2, false)).generator(2, 0)),
             2,
             0,
             50,
         );
-        let a = admit.next(&db);
+        let a = admit.next(&db).expect("synthetic sources always admit");
         let replanned = admit.replan(&a.program, &db);
         assert_eq!(a.plan.accesses, replanned.accesses);
     }
@@ -1089,7 +1181,7 @@ mod tests {
         let db = flat(256);
         let mut admit = Admitter::new(
             &AdmissionPolicy::adaptive(),
-            Spec::Micro(spec.clone()).generator(9, 1),
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(9, 1)),
             9,
             1,
             0,
@@ -1099,7 +1191,7 @@ mod tests {
         // zero conflict signal the controller never leaves FIFO and the
         // stream is the seed's, admission by admission.
         for _ in 0..300 {
-            let a = admit.next(&db);
+            let a = admit.next(&db).expect("synthetic sources always admit");
             assert_eq!(a.program, reference.next_program());
             assert_eq!(admit.queued(), 0, "fifo mode must not queue ahead");
         }
@@ -1113,7 +1205,7 @@ mod tests {
         let db = flat(1024);
         let mut admit = Admitter::new(
             &adaptive_policy(16, 2),
-            Spec::Micro(spec.clone()).generator(7, 0),
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(7, 0)),
             7,
             0,
             0,
@@ -1144,7 +1236,7 @@ mod tests {
         let db = flat(1024);
         let mut admit = Admitter::new(
             &adaptive_policy(8, 1),
-            Spec::Micro(spec.clone()).generator(7, 0),
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(7, 0)),
             7,
             0,
             0,
@@ -1193,7 +1285,7 @@ mod tests {
         let db = flat(1024);
         let mut admit = Admitter::new(
             &adaptive_policy(2, 1),
-            Spec::Micro(spec.clone()).generator(3, 0),
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(3, 0)),
             3,
             0,
             0,
@@ -1265,7 +1357,13 @@ mod tests {
             batch: 8,
         };
         let db = flat(1024);
-        let mut admit = Admitter::new(&policy, Spec::Micro(spec.clone()).generator(5, 0), 5, 0, 0);
+        let mut admit = Admitter::new(
+            &policy,
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(5, 0)),
+            5,
+            0,
+            0,
+        );
         let hot_before = {
             let rq = admit.run_queues.as_mut().expect("batched policy");
             for _ in 0..HotSketch::DECAY_EVERY - 8 {
@@ -1275,13 +1373,13 @@ mod tests {
         };
         let window = 4 * 8;
         for i in 0..window {
-            admit.next(&db);
+            admit.next(&db).expect("synthetic");
             let h = admit.run_queues.as_ref().unwrap().sketch.hotness(7);
             assert!(h >= hot_before, "decay mid-window at admission {i}");
         }
         assert_eq!(admit.queued(), 0);
         // The next admission refills — the boundary tick halves first.
-        admit.next(&db);
+        admit.next(&db).expect("synthetic");
         let h = admit.run_queues.as_ref().unwrap().sketch.hotness(7);
         assert!(h < hot_before, "the refill boundary must apply the decay");
     }

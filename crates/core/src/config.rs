@@ -86,6 +86,15 @@ pub struct OrthrusConfig {
     /// [`Self::effective_flush_threshold`], since a literal zero would
     /// make every drain round a no-op (livelock).
     pub flush_threshold: usize,
+    /// Capacity of each per-execution-thread client ingest ring in
+    /// service mode ([`crate::OrthrusEngine::start`]); rounded up to a
+    /// power of two by the ring. Bounded by design: a full ring is
+    /// backpressure (`TrySubmitError::Full`) — the open-loop submission
+    /// API never queues unboundedly inside the engine. Completion rings
+    /// are sized from this plus the admission policy's queue window and
+    /// the in-flight cap, so a draining client can never wedge the
+    /// engine.
+    pub ingest_capacity: usize,
     /// Admission scheduling policy (ablations A6/A7).
     /// [`AdmissionPolicy::Fifo`] is the seed's admission order;
     /// `ConflictBatch` batches transactions by conflict class before
@@ -101,6 +110,13 @@ pub struct OrthrusConfig {
 /// `head`/`tail` cache-line round trips, shallow enough that one round's
 /// flush always fits the steady-state ring-capacity bounds.
 pub const DEFAULT_FLUSH_THRESHOLD: usize = 16;
+
+/// Default per-execution-thread client ingest ring capacity (service
+/// mode): deep enough that an offered-load driver rarely backpressures
+/// below engine capacity, shallow enough that the post-shutdown drain
+/// tail stays bounded and submit→commit latency reflects engine queueing
+/// rather than an unbounded buffer.
+pub const DEFAULT_INGEST_CAPACITY: usize = 256;
 
 impl OrthrusConfig {
     /// A paper-style configuration: given a total "core" budget, dedicate
@@ -119,6 +135,7 @@ impl OrthrusConfig {
             shared_table_buckets: 1 << 14,
             exec_queue_capacity: None,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            ingest_capacity: DEFAULT_INGEST_CAPACITY,
             admission: AdmissionPolicy::Fifo,
         }
     }
@@ -137,6 +154,7 @@ impl OrthrusConfig {
             shared_table_buckets: 1 << 14,
             exec_queue_capacity: None,
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+            ingest_capacity: DEFAULT_INGEST_CAPACITY,
             admission: AdmissionPolicy::Fifo,
         }
     }
@@ -163,6 +181,11 @@ impl OrthrusConfig {
         if self.max_inflight == 0 {
             return Err(
                 "max_inflight must be ≥ 1: admission would never start a transaction".into(),
+            );
+        }
+        if self.ingest_capacity == 0 {
+            return Err(
+                "ingest_capacity must be ≥ 1: a zero ring could never accept a submission".into(),
             );
         }
         self.admission.validate()?;

@@ -23,7 +23,9 @@
 
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
+use std::time::Instant;
 
+use orthrus_common::affinity::pin_to_core;
 use orthrus_common::runtime::{timed_run, RunCtl, RunParams};
 use orthrus_common::{Backoff, RunStats, ThreadStats};
 use orthrus_spsc::{channel, Consumer, FanIn, Producer};
@@ -34,6 +36,8 @@ use parking_lot::Mutex;
 use crate::cc::{CcState, OutMsg};
 use crate::config::OrthrusConfig;
 use crate::msg::{CcRequest, ExecResponse};
+use crate::session::{Session, SubmitShared};
+use crate::source::{ClientSource, Completion, Submission, SyntheticSource};
 
 /// Endpoints handed to one CC thread at startup.
 struct CcEndpoints {
@@ -51,12 +55,16 @@ struct ExecEndpoints {
 /// The assembled engine.
 pub struct OrthrusEngine {
     db: Arc<Database>,
-    spec: Spec,
+    /// The closed-loop workload ([`Self::run`]); `None` for engines built
+    /// with [`Self::service`], which are driven by client sessions
+    /// instead.
+    spec: Option<Spec>,
     cfg: OrthrusConfig,
 }
 
 impl OrthrusEngine {
-    /// Build an engine over `db` running `spec`.
+    /// Build a closed-loop engine over `db` running `spec`
+    /// (self-driving: each execution thread generates its own work).
     ///
     /// # Panics
     /// Rejects configurations [`OrthrusConfig::validate`] flags (zero
@@ -67,7 +75,25 @@ impl OrthrusEngine {
         if let Err(why) = cfg.validate() {
             panic!("invalid OrthrusConfig: {why}");
         }
-        OrthrusEngine { db, spec, cfg }
+        OrthrusEngine {
+            db,
+            spec: Some(spec),
+            cfg,
+        }
+    }
+
+    /// Build a service-mode engine over `db`: no synthetic workload —
+    /// transactions arrive through client [`Session`]s after
+    /// [`Self::start`]. Validation as in [`Self::new`].
+    pub fn service(db: Arc<Database>, cfg: OrthrusConfig) -> Self {
+        if let Err(why) = cfg.validate() {
+            panic!("invalid OrthrusConfig: {why}");
+        }
+        OrthrusEngine {
+            db,
+            spec: None,
+            cfg,
+        }
     }
 
     /// The engine configuration.
@@ -75,87 +101,44 @@ impl OrthrusEngine {
         &self.cfg
     }
 
-    /// Run the workload. `params.threads` is ignored in favour of the
-    /// engine's CC/exec split (the harness sets them consistently).
-    // Indexed loops keep the (producer, consumer) ring-matrix wiring
-    // visibly symmetric; iterator forms obscure which side is which.
-    #[allow(clippy::needless_range_loop)]
+    /// Run the closed-loop workload for a timed window.
+    ///
+    /// # Panics
+    /// - on an engine built with [`Self::service`] (no workload spec);
+    /// - if `params.threads` is neither `0` ("derive from the engine")
+    ///   nor exactly [`OrthrusConfig::total_threads`] — the engine always
+    ///   runs its own CC/exec split, and a silently ignored mismatch
+    ///   would let a harness mislabel what it measured.
     pub fn run(&self, params: &RunParams) -> RunStats {
+        let spec = self
+            .spec
+            .as_ref()
+            .expect("closed-loop run() needs a workload spec; service engines use start()");
+        assert!(
+            params.threads == 0 || params.threads == self.cfg.total_threads(),
+            "RunParams.threads = {} does not match the engine's {} CC + {} exec threads \
+             (pass 0 to derive from the engine)",
+            params.threads,
+            self.cfg.n_cc,
+            self.cfg.n_exec,
+        );
         let c = self.cfg.n_cc;
-        let e = self.cfg.n_exec;
-        let inflight = self.cfg.max_inflight;
-        let exec_cc_cap = self.cfg.exec_queue_capacity.unwrap_or(2 * inflight + 4);
-        let cc_cc_cap = e * inflight + 4;
-        let cc_exec_cap = inflight + 4;
-
-        // Build the mesh. Consumer lane order inside each fan-in does not
-        // matter (round-robin polling), only completeness does.
-        let mut cc_in: Vec<Vec<Consumer<CcRequest>>> = (0..c).map(|_| Vec::new()).collect();
-        let mut exec_in: Vec<Vec<Consumer<ExecResponse>>> = (0..e).map(|_| Vec::new()).collect();
-        let mut exec_to_cc: Vec<Vec<Producer<CcRequest>>> = (0..e).map(|_| Vec::new()).collect();
-        let mut cc_to_cc: Vec<Vec<Producer<CcRequest>>> = (0..c).map(|_| Vec::new()).collect();
-        let mut cc_to_exec: Vec<Vec<Producer<ExecResponse>>> = (0..c).map(|_| Vec::new()).collect();
-
-        for ex in 0..e {
-            for cc in 0..c {
-                let (p, co) = channel(exec_cc_cap);
-                exec_to_cc[ex].push(p);
-                cc_in[cc].push(co);
-            }
-        }
-        for src in 0..c {
-            for dst in 0..c {
-                let (p, co) = channel(cc_cc_cap);
-                cc_to_cc[src].push(p);
-                cc_in[dst].push(co);
-            }
-        }
-        for cc in 0..c {
-            for ex in 0..e {
-                let (p, co) = channel(cc_exec_cap);
-                cc_to_exec[cc].push(p);
-                exec_in[ex].push(co);
-            }
-        }
-
-        let cc_slots: Vec<Mutex<Option<CcEndpoints>>> = cc_in
+        let fabric = build_fabric(&self.cfg);
+        let cc_slots: Vec<Mutex<Option<CcEndpoints>>> = fabric
+            .cc
             .into_iter()
-            .zip(cc_to_cc)
-            .zip(cc_to_exec)
-            .map(|((lanes, to_cc), to_exec)| {
-                Mutex::new(Some(CcEndpoints {
-                    fanin: FanIn::new(lanes),
-                    to_cc,
-                    to_exec,
-                }))
-            })
+            .map(|ep| Mutex::new(Some(ep)))
             .collect();
-        let exec_slots: Vec<Mutex<Option<ExecEndpoints>>> = exec_in
+        let exec_slots: Vec<Mutex<Option<ExecEndpoints>>> = fabric
+            .exec
             .into_iter()
-            .zip(exec_to_cc)
-            .map(|(lanes, to_cc)| {
-                Mutex::new(Some(ExecEndpoints {
-                    fanin: FanIn::new(lanes),
-                    to_cc,
-                }))
-            })
+            .map(|ep| Mutex::new(Some(ep)))
             .collect();
-
-        let active_execs = AtomicUsize::new(e);
-        // Pre-size each CC's table for its share of hot keys; entries are
-        // created on demand and kept forever.
-        let table_capacity = 4096;
-        // Shared-table mode (Section 3.4): one latched table serves every
-        // CC thread.
-        let shared_table = match self.cfg.cc_mode {
-            crate::config::CcMode::Partitioned => None,
-            crate::config::CcMode::SharedTable => Some(Arc::new(orthrus_lockmgr::LockTable::new(
-                self.cfg.shared_table_buckets,
-            ))),
-        };
+        let active_execs = AtomicUsize::new(self.cfg.n_exec);
+        let shared_table = shared_table_for(&self.cfg);
 
         timed_run(
-            c + e,
+            self.cfg.total_threads(),
             params.warmup,
             params.measure,
             |i| i >= c, // only execution threads define the breakdown
@@ -164,7 +147,7 @@ impl OrthrusEngine {
                     let ep = cc_slots[i].lock().take().expect("cc endpoints taken twice");
                     let flush = self.cfg.effective_flush_threshold();
                     match &shared_table {
-                        None => run_cc(i as u32, table_capacity, flush, ep, ctl, &active_execs),
+                        None => run_cc(i as u32, CC_TABLE_CAPACITY, flush, ep, ctl, &active_execs),
                         Some(table) => {
                             run_cc_shared(Arc::clone(table), flush, ep, ctl, &active_execs)
                         }
@@ -175,13 +158,14 @@ impl OrthrusEngine {
                         .lock()
                         .take()
                         .expect("exec endpoints taken twice");
-                    let gen = self.spec.generator(params.seed, ex);
                     // Admission is thread-local: each execution thread owns
-                    // its policy state (generator, planning RNG, any
-                    // conflict-class run queues).
+                    // its policy state (source, planning RNG, any
+                    // conflict-class run queues). The synthetic source
+                    // wraps the seed's generator stream unchanged.
+                    let source = SyntheticSource::new(spec.generator(params.seed, ex));
                     let admit = crate::admit::Admitter::new(
                         &self.cfg.admission,
-                        gen,
+                        source,
                         params.seed,
                         ex as u16,
                         self.cfg.ollp_noise_pct,
@@ -193,6 +177,303 @@ impl OrthrusEngine {
                 }
             },
         )
+    }
+
+    /// Start the engine in **service mode**: spawn its CC and execution
+    /// threads as long-lived workers driven by client submissions, and
+    /// return the [`EngineHandle`] that owns them. Execution thread `ex`
+    /// admits from a bounded ingest ring
+    /// ([`OrthrusConfig::ingest_capacity`]) fed by [`Session`]s — see
+    /// [`crate::session`] for routing and backpressure — and reports
+    /// every ticketed commit through a completion ring the handle
+    /// drains.
+    ///
+    /// `seed` seeds the planning RNGs (the OLLP reconnaissance stream),
+    /// exactly as a closed-loop run's `params.seed` would.
+    ///
+    /// All three admission policies operate unchanged over the client
+    /// source; statistics accumulate until [`EngineHandle::shutdown`]
+    /// (open a measurement window with
+    /// [`EngineHandle::begin_measurement`]).
+    pub fn start(&self, seed: u64) -> EngineHandle {
+        let cfg = Arc::new(self.cfg.clone());
+        let fabric = build_fabric(&cfg);
+        let ctl = Arc::new(RunCtl::new());
+        let active_execs = Arc::new(AtomicUsize::new(cfg.n_exec));
+        let shared_table = shared_table_for(&cfg);
+        let mut workers = Vec::with_capacity(cfg.total_threads());
+
+        for (cc, ep) in fabric.cc.into_iter().enumerate() {
+            let ctl = Arc::clone(&ctl);
+            let active = Arc::clone(&active_execs);
+            let flush = cfg.effective_flush_threshold();
+            let shared = shared_table.clone();
+            workers.push(std::thread::spawn(move || {
+                pin_to_core(cc);
+                match shared {
+                    None => run_cc(cc as u32, CC_TABLE_CAPACITY, flush, ep, &ctl, &active),
+                    Some(table) => run_cc_shared(table, flush, ep, &ctl, &active),
+                }
+            }));
+        }
+
+        let mut ingest: Vec<Producer<Submission>> = Vec::with_capacity(cfg.n_exec);
+        let mut completions: Vec<Consumer<Completion>> = Vec::with_capacity(cfg.n_exec);
+        // Fast-path sizing: everything accepted-but-uncompleted sits in
+        // the ingest ring, the admission policy's run queues (up to one
+        // refill window), or an in-flight slot; doubling covers a client
+        // whose draining lags its submitting by a burst. A client that
+        // lags further never wedges the engine — completions overflow to
+        // an exec-local buffer and re-flush as the client drains (see
+        // `ExecThread::completion_overflow`); the ring only bounds the
+        // latch-free fast path.
+        let completion_capacity =
+            2 * (cfg.ingest_capacity + cfg.admission.max_queued_window() + cfg.max_inflight);
+        for (ex, ep) in fabric.exec.into_iter().enumerate() {
+            let (submit_tx, submit_rx) = channel::<Submission>(cfg.ingest_capacity);
+            let (done_tx, done_rx) = channel::<Completion>(completion_capacity);
+            ingest.push(submit_tx);
+            completions.push(done_rx);
+            let db = Arc::clone(&self.db);
+            let cfg = Arc::clone(&cfg);
+            let ctl = Arc::clone(&ctl);
+            let active = Arc::clone(&active_execs);
+            workers.push(std::thread::spawn(move || {
+                pin_to_core(cfg.n_cc + ex);
+                let source = ClientSource::new(submit_rx, cfg.effective_flush_threshold());
+                let admit = crate::admit::Admitter::new(
+                    &cfg.admission,
+                    source,
+                    seed,
+                    ex as u16,
+                    cfg.ollp_noise_pct,
+                );
+                crate::exec::ExecThread::new(ex as u16, &db, &cfg, ep.to_cc, ep.fanin, admit)
+                    .with_completions(done_tx)
+                    .run(&ctl, &active)
+            }));
+        }
+
+        EngineHandle {
+            ctl,
+            submit: Arc::new(SubmitShared::new(ingest)),
+            completions,
+            stash: Vec::new(),
+            workers,
+            n_cc: self.cfg.n_cc,
+            measure_from: Instant::now(),
+            stats: None,
+        }
+    }
+}
+
+/// Pre-size each CC's table for its share of hot keys; entries are
+/// created on demand and kept forever.
+const CC_TABLE_CAPACITY: usize = 4096;
+
+/// The wired message mesh, ready to hand to workers.
+struct Fabric {
+    cc: Vec<CcEndpoints>,
+    exec: Vec<ExecEndpoints>,
+}
+
+/// Build the full SPSC mesh for `cfg`'s thread shape (see the module
+/// docs for the capacity bounds). Shared by the closed-loop [`run`]
+/// protocol and service-mode [`start`] — the fabric is identical; only
+/// where admission gets its transactions differs.
+///
+/// [`run`]: OrthrusEngine::run
+/// [`start`]: OrthrusEngine::start
+// Indexed loops keep the (producer, consumer) ring-matrix wiring
+// visibly symmetric; iterator forms obscure which side is which.
+#[allow(clippy::needless_range_loop)]
+fn build_fabric(cfg: &OrthrusConfig) -> Fabric {
+    let c = cfg.n_cc;
+    let e = cfg.n_exec;
+    let inflight = cfg.max_inflight;
+    let exec_cc_cap = cfg.exec_queue_capacity.unwrap_or(2 * inflight + 4);
+    let cc_cc_cap = e * inflight + 4;
+    let cc_exec_cap = inflight + 4;
+
+    // Build the mesh. Consumer lane order inside each fan-in does not
+    // matter (round-robin polling), only completeness does.
+    let mut cc_in: Vec<Vec<Consumer<CcRequest>>> = (0..c).map(|_| Vec::new()).collect();
+    let mut exec_in: Vec<Vec<Consumer<ExecResponse>>> = (0..e).map(|_| Vec::new()).collect();
+    let mut exec_to_cc: Vec<Vec<Producer<CcRequest>>> = (0..e).map(|_| Vec::new()).collect();
+    let mut cc_to_cc: Vec<Vec<Producer<CcRequest>>> = (0..c).map(|_| Vec::new()).collect();
+    let mut cc_to_exec: Vec<Vec<Producer<ExecResponse>>> = (0..c).map(|_| Vec::new()).collect();
+
+    for ex in 0..e {
+        for cc in 0..c {
+            let (p, co) = channel(exec_cc_cap);
+            exec_to_cc[ex].push(p);
+            cc_in[cc].push(co);
+        }
+    }
+    for src in 0..c {
+        for dst in 0..c {
+            let (p, co) = channel(cc_cc_cap);
+            cc_to_cc[src].push(p);
+            cc_in[dst].push(co);
+        }
+    }
+    for cc in 0..c {
+        for ex in 0..e {
+            let (p, co) = channel(cc_exec_cap);
+            cc_to_exec[cc].push(p);
+            exec_in[ex].push(co);
+        }
+    }
+
+    Fabric {
+        cc: cc_in
+            .into_iter()
+            .zip(cc_to_cc)
+            .zip(cc_to_exec)
+            .map(|((lanes, to_cc), to_exec)| CcEndpoints {
+                fanin: FanIn::new(lanes),
+                to_cc,
+                to_exec,
+            })
+            .collect(),
+        exec: exec_in
+            .into_iter()
+            .zip(exec_to_cc)
+            .map(|(lanes, to_cc)| ExecEndpoints {
+                fanin: FanIn::new(lanes),
+                to_cc,
+            })
+            .collect(),
+    }
+}
+
+/// Shared-table mode (Section 3.4): one latched table serves every CC
+/// thread.
+fn shared_table_for(cfg: &OrthrusConfig) -> Option<Arc<orthrus_lockmgr::LockTable>> {
+    match cfg.cc_mode {
+        crate::config::CcMode::Partitioned => None,
+        crate::config::CcMode::SharedTable => Some(Arc::new(orthrus_lockmgr::LockTable::new(
+            cfg.shared_table_buckets,
+        ))),
+    }
+}
+
+/// A running service-mode engine: owns the worker threads, the
+/// submission fabric, and the completion rings.
+///
+/// Lifecycle: [`OrthrusEngine::start`] → [`Self::session`] /
+/// [`Self::begin_measurement`] / [`Self::drain_completions`] →
+/// [`Self::shutdown`]. Dropping a handle without calling `shutdown`
+/// shuts the engine down (discarding the stats), so a panicking client
+/// cannot leak spinning engine threads.
+pub struct EngineHandle {
+    ctl: Arc<RunCtl>,
+    submit: Arc<SubmitShared>,
+    completions: Vec<Consumer<Completion>>,
+    /// Completions drained internally (e.g. while unblocking workers
+    /// during shutdown) but not yet handed to the client.
+    stash: Vec<Completion>,
+    /// CC workers first, then execution workers (join order matters only
+    /// for the stats split).
+    workers: Vec<std::thread::JoinHandle<ThreadStats>>,
+    n_cc: usize,
+    measure_from: Instant,
+    stats: Option<RunStats>,
+}
+
+impl EngineHandle {
+    /// A client handle for submitting transactions. Cheap; clone it or
+    /// call this again for every client thread.
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.submit))
+    }
+
+    /// Submissions accepted engine-wide so far — the conservation ledger:
+    /// exactly this many completions will have been delivered once the
+    /// engine is shut down and drained.
+    pub fn accepted(&self) -> u64 {
+        self.submit.accepted()
+    }
+
+    /// Open the measurement window: per-thread window counters reset and
+    /// throughput/latency accounting runs from here to [`Self::shutdown`].
+    /// Without this call, statistics cover the engine's whole lifetime.
+    ///
+    /// Single-shot: workers latch the transition once, so repeated calls
+    /// are ignored (re-arming only `elapsed` would silently inflate
+    /// reported throughput).
+    pub fn begin_measurement(&mut self) {
+        if self.ctl.is_measuring() {
+            return;
+        }
+        self.ctl.begin_measuring();
+        self.measure_from = Instant::now();
+    }
+
+    /// Move every available completion into `out`; returns how many.
+    /// Clients should call this regularly — completion rings are bounded
+    /// and apply backpressure to the engine when full.
+    pub fn drain_completions(&mut self, out: &mut Vec<Completion>) -> usize {
+        let mut n = self.stash.len();
+        out.append(&mut self.stash);
+        for ring in &mut self.completions {
+            n += ring.pop_batch(out);
+        }
+        n
+    }
+
+    /// Shut down: fence out new submissions, drain every accepted ticket
+    /// (in-flight *and* still queued in ingest rings — conservation),
+    /// stop and join the workers, and return the run's statistics. The
+    /// measured window runs from [`Self::begin_measurement`] (or
+    /// [`OrthrusEngine::start`] if it was never called) to this call;
+    /// commits landing during the shutdown drain complete their tickets
+    /// but fall outside the window. Idempotent; drained completions
+    /// remain collectable via [`Self::drain_completions`] afterwards.
+    pub fn shutdown(&mut self) -> RunStats {
+        if let Some(stats) = &self.stats {
+            return stats.clone();
+        }
+        // Fence first: after close() no new ticket can land in any ingest
+        // ring, so the execution threads' stop-drain sees a closed set.
+        self.submit.close();
+        let elapsed = self.measure_from.elapsed();
+        self.ctl.request_stop();
+        // Workers may be blocked publishing completions; keep draining
+        // while they wind down.
+        while self.workers.iter().any(|w| !w.is_finished()) {
+            let mut stash = std::mem::take(&mut self.stash);
+            for ring in &mut self.completions {
+                ring.pop_batch(&mut stash);
+            }
+            self.stash = stash;
+            std::thread::yield_now();
+        }
+        let mut cc_stats: Vec<ThreadStats> = self
+            .workers
+            .drain(..)
+            .map(|w| w.join().expect("engine worker panicked"))
+            .collect();
+        let exec_stats = cc_stats.split_off(self.n_cc);
+        let mut per_thread = exec_stats;
+        // CC threads contribute message counts without inflating the
+        // thread count — the same "counted" rule as the timed protocol.
+        if let Some(last) = per_thread.last_mut() {
+            for cc in &cc_stats {
+                last.merge(cc);
+            }
+        }
+        let stats = RunStats::collect(&per_thread, elapsed);
+        self.stats = Some(stats.clone());
+        stats
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            let _ = self.shutdown();
+        }
     }
 }
 
@@ -779,6 +1060,281 @@ mod tests {
             batch: 1,
         };
         let _ = OrthrusEngine::new(db, spec, cfg);
+    }
+
+    // ---- Service mode (open-loop sessions) ---------------------------
+
+    use crate::source::Completion;
+    use orthrus_workload::Gen;
+
+    /// Drive `n` submissions through a session (blocking on
+    /// backpressure), draining completions as they arrive, then shut
+    /// down and drain the tail. Returns (completions, stats).
+    fn drive_service(
+        engine: &OrthrusEngine,
+        gen: &mut Gen,
+        n: u64,
+    ) -> (Vec<Completion>, orthrus_common::RunStats) {
+        let mut handle = engine.start(7);
+        handle.begin_measurement();
+        let session = handle.session();
+        let mut done = Vec::new();
+        for _ in 0..n {
+            session
+                .submit(gen.next_program())
+                .expect("engine is accepting");
+            handle.drain_completions(&mut done);
+        }
+        let stats = handle.shutdown();
+        handle.drain_completions(&mut done);
+        assert_eq!(handle.accepted(), n);
+        (done, stats)
+    }
+
+    /// Every accepted ticket completes exactly once, across all three
+    /// admission policies, with the serializability witness intact —
+    /// including tickets still queued in ingest rings at shutdown
+    /// (`submit` never waits for completions, so at `shutdown()` up to
+    /// ring-capacity submissions are still undrained in-flight work).
+    #[test]
+    fn service_mode_conserves_tickets_under_every_policy() {
+        let _serial = crate::test_serial();
+        for admission in [
+            crate::admit::AdmissionPolicy::Fifo,
+            crate::admit::AdmissionPolicy::ConflictBatch {
+                classes: 4,
+                batch: 8,
+            },
+            crate::admit::AdmissionPolicy::Adaptive {
+                classes: 4,
+                max_batch: 8,
+                threshold_pct: 5,
+                hysteresis: 1,
+                epoch: 32,
+            },
+        ] {
+            let db = Arc::new(Database::Flat(Table::new(64, 64)));
+            // Hot keys: conflict-class routing and fusing both engage.
+            let spec = MicroSpec::hot_cold(64, 8, 2, 4, false);
+            let mut cfg = OrthrusConfig::with_threads(2, 3, CcAssignment::KeyModulo);
+            cfg.admission = admission.clone();
+            cfg.ingest_capacity = 32;
+            let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+            let n = 600;
+            let mut gen = Spec::Micro(spec).generator(11, 0);
+            let (done, stats) = drive_service(&engine, &mut gen, n);
+            assert_eq!(
+                done.len() as u64,
+                n,
+                "{admission}: every ticket must complete exactly once"
+            );
+            let mut tickets: Vec<u64> = done.iter().map(|c| c.ticket.0).collect();
+            tickets.sort_unstable();
+            tickets.dedup();
+            assert_eq!(
+                tickets.len() as u64,
+                n,
+                "{admission}: tickets must be distinct"
+            );
+            assert_eq!(stats.totals.committed_all, n, "{admission}");
+            // The logical locks serialized every RMW exactly once.
+            let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+            assert_eq!(total, n * 4, "{admission}: counter sums diverged");
+            // Submit→commit latency was recorded for every in-window
+            // commit; the shutdown drain tail falls outside the window.
+            let recorded = stats.totals.latency.count();
+            assert!(
+                0 < recorded && recorded <= n,
+                "{admission}: latency samples {recorded} of {n} commits"
+            );
+            assert!(stats.per_thread_latency.len() >= 3, "{admission}");
+        }
+    }
+
+    /// Shutdown with the ingest rings still full: the fence refuses new
+    /// work, but everything already accepted drains to completion.
+    #[test]
+    fn service_shutdown_drains_queued_submissions() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let mut cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo);
+        cfg.ingest_capacity = 64;
+        let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+        let mut handle = engine.start(3);
+        let session = handle.session();
+        let mut gen = Spec::Micro(MicroSpec::uniform(64, 4, false)).generator(5, 0);
+        // Burst without draining a single completion.
+        let n = 200u64;
+        for _ in 0..n {
+            session.submit(gen.next_program()).expect("accepting");
+        }
+        let accepted = handle.accepted();
+        assert_eq!(accepted, n);
+        let stats = handle.shutdown();
+        // Post-shutdown submission is fenced out, not lost silently.
+        assert!(matches!(
+            session.try_submit(gen.next_program()),
+            Err(crate::session::TrySubmitError::Shutdown(_))
+        ));
+        let mut done = Vec::new();
+        handle.drain_completions(&mut done);
+        assert_eq!(done.len() as u64, n, "shutdown must drain, not drop");
+        assert_eq!(stats.totals.committed_all, n);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, n * 4);
+    }
+
+    /// Regression (review finding): an admission-queue window far deeper
+    /// than the ingest ring. A refill can pull `classes × batch` ticketed
+    /// transactions out of a tiny ring while the client keeps it full and
+    /// then blocks in `submit`; the completion rings must absorb the
+    /// whole backlog (ingest + window + in-flight, doubled for drain
+    /// lag) or the engine wedges against the blocked client.
+    #[test]
+    fn service_mode_survives_admission_window_deeper_than_ingest_ring() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = MicroSpec::hot_cold(64, 4, 2, 4, false);
+        let mut cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo);
+        cfg.admission = crate::admit::AdmissionPolicy::ConflictBatch {
+            classes: 16,
+            batch: 8, // window 128 ≫ ingest ring
+        };
+        cfg.ingest_capacity = 8;
+        let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+        let n = 500;
+        let mut gen = Spec::Micro(spec).generator(19, 0);
+        let (done, stats) = drive_service(&engine, &mut gen, n);
+        assert_eq!(done.len() as u64, n, "deep-window backlog must drain");
+        assert_eq!(stats.totals.committed_all, n);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, n * 4);
+    }
+
+    /// Regression (review finding): a hot-key burst routes every
+    /// submission to ONE execution thread's lane, and the client drains
+    /// nothing until shutdown — far more undrained completions than the
+    /// completion ring holds. The engine must park the overflow and stay
+    /// live (a blocking completion push would wedge it against the
+    /// client stuck in `submit`), and shutdown must deliver every
+    /// ticket.
+    #[test]
+    fn service_mode_survives_hot_key_burst_without_draining() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let mut cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo);
+        cfg.ingest_capacity = 16; // completion fast path: 2·(16+0+16) = 64
+        let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+        let mut handle = engine.start(23);
+        let session = handle.session();
+        // One hot key → one lane; 300 undrained completions ≫ 64.
+        let n = 300u64;
+        for i in 0..n {
+            session
+                .submit(orthrus_txn::Program::Rmw {
+                    keys: vec![7, 40 + i % 8],
+                })
+                .expect("accepting");
+        }
+        let stats = handle.shutdown();
+        let mut done = Vec::new();
+        handle.drain_completions(&mut done);
+        assert_eq!(done.len() as u64, n, "overflowed completions delivered");
+        assert_eq!(stats.totals.committed_all, n);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, n * 2);
+    }
+
+    /// Service mode on the shared-table CC architecture: the source seam
+    /// is orthogonal to the CC mode.
+    #[test]
+    fn service_mode_works_on_shared_table_cc() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let mut cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::KeyModulo);
+        cfg.cc_mode = crate::config::CcMode::SharedTable;
+        let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+        let mut gen = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false)).generator(9, 0);
+        let n = 300;
+        let (done, stats) = drive_service(&engine, &mut gen, n);
+        assert_eq!(done.len() as u64, n);
+        assert_eq!(stats.totals.committed_all, n);
+        let total: u64 = (0..64).map(|k| unsafe { db.read_counter(k) }).sum();
+        assert_eq!(total, n * 4);
+    }
+
+    /// Ticket conservation through the OLLP abort/retry path: a retried
+    /// transaction keeps its ticket and completes once.
+    #[test]
+    fn service_mode_tickets_survive_ollp_retries() {
+        let _serial = crate::test_serial();
+        let cfg_t = TpccConfig::tiny(2);
+        let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 27)));
+        let mut cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse);
+        cfg.ollp_noise_pct = 50;
+        let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+        let mut gen = Spec::Tpcc(TpccSpec::paper_mix(cfg_t)).generator(13, 0);
+        let n = 400;
+        let (done, stats) = drive_service(&engine, &mut gen, n);
+        assert_eq!(
+            done.len() as u64,
+            n,
+            "retried tickets must not fork or drop"
+        );
+        assert!(stats.totals.aborts_ollp > 0, "noise must hit the OLLP path");
+        let t = db.tpcc();
+        let w_delta: u64 = (0..t.warehouses.len())
+            .map(|w| unsafe { t.warehouses.read_with(w, |r| r.ytd_cents) } - 30_000_000)
+            .sum();
+        let d_delta: u64 = (0..t.districts.len())
+            .map(|d| unsafe { t.districts.read_with(d, |r| r.ytd_cents) } - 3_000_000)
+            .sum();
+        assert_eq!(w_delta, d_delta);
+    }
+
+    #[test]
+    fn dropping_the_handle_shuts_the_engine_down() {
+        let _serial = crate::test_serial();
+        let db = Arc::new(Database::Flat(Table::new(16, 64)));
+        let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        let engine = OrthrusEngine::service(db, cfg);
+        let handle = engine.start(1);
+        let session = handle.session();
+        session
+            .submit(orthrus_txn::Program::Rmw { keys: vec![3] })
+            .unwrap();
+        drop(handle); // must join the workers, not leak them spinning
+        assert!(matches!(
+            session.try_submit(orthrus_txn::Program::Rmw { keys: vec![3] }),
+            Err(crate::session::TrySubmitError::Shutdown(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the engine's")]
+    fn run_rejects_mismatched_thread_count() {
+        let db = Arc::new(Database::Flat(Table::new(16, 64)));
+        let spec = Spec::Micro(MicroSpec::uniform(16, 2, false));
+        let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo);
+        let engine = OrthrusEngine::new(db, spec, cfg);
+        let _ = engine.run(&RunParams::quick(7)); // engine runs 3 threads
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a workload spec")]
+    fn run_rejects_service_engines() {
+        let db = Arc::new(Database::Flat(Table::new(16, 64)));
+        let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        let _ = OrthrusEngine::service(db, cfg).run(&RunParams::quick(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OrthrusConfig")]
+    fn service_rejects_zero_ingest_capacity() {
+        let db = Arc::new(Database::Flat(Table::new(16, 64)));
+        let mut cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        cfg.ingest_capacity = 0;
+        let _ = OrthrusEngine::service(db, cfg);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::admit::{Admitted, Admitter};
 use crate::config::OrthrusConfig;
 use crate::msg::{CcRequest, ExecResponse, Token};
 use crate::plan::LockPlan;
+use crate::source::{Completion, TxnSource};
 
 /// One in-flight lock acquisition: a *run* of same-conflict-class
 /// transactions serialized locally under a single fused lock plan. FIFO
@@ -59,7 +60,7 @@ struct Inflight {
 }
 
 /// One execution thread's state and endpoints.
-pub struct ExecThread<'a> {
+pub struct ExecThread<'a, S: TxnSource> {
     exec_id: u16,
     db: &'a Database,
     cfg: &'a OrthrusConfig,
@@ -68,9 +69,29 @@ pub struct ExecThread<'a> {
     slots: Vec<Option<Inflight>>,
     free: Vec<u16>,
     inflight: usize,
-    /// The pluggable admission layer: program source + planning + any
+    /// The pluggable admission layer: transaction source + planning + any
     /// conflict-class run queues.
-    admit: Admitter,
+    admit: Admitter<S>,
+    /// Completion ring back to the client side (service mode): every
+    /// ticketed commit reports its submit→commit latency here. `None` in
+    /// closed-loop (synthetic) runs.
+    completions: Option<Producer<Completion>>,
+    /// Completions that did not fit the ring because the client lagged.
+    /// The engine **never blocks** on completion delivery — a blocking
+    /// push could wedge the whole engine against a client stuck in a
+    /// backpressured `submit` (each blocked on the other) — so overflow
+    /// parks here and re-flushes every quantum, FIFO order preserved.
+    /// Memory is proportional to how far the client's draining lags its
+    /// submitting, and tickets are never dropped.
+    completion_overflow: Vec<Completion>,
+    /// Set once a stop request lands on a drain-on-stop (client) source:
+    /// the shutdown drain can be ingest-ring-deep, and its commits fall
+    /// *after* the measured window closes, so they must not count toward
+    /// windowed throughput/latency (they still complete tickets and
+    /// bump the lifetime counter). The closed-loop drain tail (bounded
+    /// by `max_inflight`, present in the seed too) stays counted —
+    /// message-economics ratios are pinned against it.
+    post_stop: bool,
     stats: ThreadStats,
     /// Round-robin CC choice for `CcMode::SharedTable`.
     next_cc: u32,
@@ -85,14 +106,14 @@ pub struct ExecThread<'a> {
     resp_buf: Vec<ExecResponse>,
 }
 
-impl<'a> ExecThread<'a> {
+impl<'a, S: TxnSource> ExecThread<'a, S> {
     pub fn new(
         exec_id: u16,
         db: &'a Database,
         cfg: &'a OrthrusConfig,
         to_cc: Vec<Producer<CcRequest>>,
         from_cc: FanIn<ExecResponse>,
-        admit: Admitter,
+        admit: Admitter<S>,
     ) -> Self {
         let cap = cfg.max_inflight.max(1);
         let n_cc = to_cc.len();
@@ -107,12 +128,22 @@ impl<'a> ExecThread<'a> {
             free: (0..cap as u16).rev().collect(),
             inflight: 0,
             admit,
+            completions: None,
+            completion_overflow: Vec::new(),
+            post_stop: false,
             stats: ThreadStats::default(),
             next_cc: exec_id as u32,
             next_token_gen: 0,
             send_buf: (0..n_cc).map(|_| Vec::with_capacity(flush)).collect(),
             resp_buf: Vec::with_capacity(cap),
         }
+    }
+
+    /// Attach the completion ring (service mode): ticketed commits are
+    /// reported back to the client through it.
+    pub fn with_completions(mut self, ring: Producer<Completion>) -> Self {
+        self.completions = Some(ring);
+        self
     }
 
     /// Stage a request for `cc`, flushing the destination's buffer as one
@@ -123,6 +154,32 @@ impl<'a> ExecThread<'a> {
         self.stats.messages_sent += 1;
         if self.send_buf[cc].len() >= self.cfg.effective_flush_threshold() {
             self.to_cc[cc].push_slice(&mut self.send_buf[cc]);
+        }
+    }
+
+    /// Hand a ticketed commit's completion to the client, parking it in
+    /// the overflow buffer if the ring is full (never blocks; see
+    /// [`Self::completion_overflow`]).
+    #[inline]
+    fn deliver_completion(&mut self, completion: Completion) {
+        let Some(ring) = self.completions.as_mut() else {
+            return;
+        };
+        if !self.completion_overflow.is_empty() || ring.try_push(completion).is_err() {
+            self.completion_overflow.push(completion);
+        }
+    }
+
+    /// Re-flush parked completions into the ring as the client drains
+    /// (one slice publish per attempt; cheap no-op when nothing parked).
+    fn flush_completions(&mut self) {
+        let Some(ring) = self.completions.as_mut() else {
+            return;
+        };
+        while !self.completion_overflow.is_empty() {
+            if ring.try_push_slice(&mut self.completion_overflow) == 0 {
+                break;
+            }
         }
     }
 
@@ -163,6 +220,13 @@ impl<'a> ExecThread<'a> {
     /// Main loop: run until stopped *and* every in-flight transaction has
     /// drained, then decrement `active_execs` (CC threads exit once it
     /// reaches zero and their queues are dry).
+    ///
+    /// The stop contract depends on the source
+    /// ([`TxnSource::drain_on_stop`]): synthetic sources stop admitting
+    /// at the stop request (the seed's wind-down); client sources keep
+    /// admitting until the ingest ring and any admission backlog are
+    /// **dry** — every accepted ticket completes, even the ones still
+    /// queued when shutdown began.
     pub fn run(mut self, ctl: &RunCtl, active_execs: &AtomicUsize) -> ThreadStats {
         let mut timer = PhaseTimer::start(Phase::Locking);
         let mut backoff = Backoff::new();
@@ -175,6 +239,9 @@ impl<'a> ExecThread<'a> {
                 self.stats.reset_window();
                 timer = PhaseTimer::start(Phase::Locking);
                 in_window = true;
+            }
+            if !self.post_stop && ctl.is_stopped() && self.admit.drain_on_stop() {
+                self.post_stop = true;
             }
             let mut progress = false;
             loop {
@@ -189,13 +256,22 @@ impl<'a> ExecThread<'a> {
                 }
                 progress = true;
             }
-            if !ctl.is_stopped() {
-                while self.inflight < self.cfg.max_inflight {
-                    self.start_run(&mut timer);
+            let stopped = ctl.is_stopped();
+            let draining = stopped && self.admit.drain_on_stop();
+            if !stopped || (draining && self.admit.has_backlog()) {
+                while self.inflight < self.cfg.max_inflight && self.start_run(&mut timer) {
                     progress = true;
                 }
-            } else if self.inflight == 0 {
-                // The last commits' releases may still be staged.
+            }
+            self.flush_completions();
+            if stopped
+                && self.inflight == 0
+                && !(self.admit.drain_on_stop() && self.admit.has_backlog())
+                && self.completion_overflow.is_empty()
+            {
+                // The last commits' releases may still be staged. Parked
+                // completions hold the thread alive until the shutdown
+                // drain makes room — every ticket is delivered.
                 self.flush_sends();
                 break;
             }
@@ -223,11 +299,16 @@ impl<'a> ExecThread<'a> {
     /// plans it produced — no re-planning here. A run of several
     /// same-class transactions acquires the union of its footprints in
     /// one round and executes back-to-back under it (local
-    /// serialization).
-    fn start_run(&mut self, timer: &mut PhaseTimer) {
+    /// serialization). Returns `false` when the source had nothing to
+    /// admit (client ingest ring dry) — the caller parks instead of
+    /// spinning.
+    fn start_run(&mut self, timer: &mut PhaseTimer) -> bool {
         timer.switch(&mut self.stats, Phase::Locking);
         let headroom = (self.cfg.max_inflight - self.inflight).max(1);
         let run = self.admit.next_run(self.db, headroom);
+        if run.is_empty() {
+            return false;
+        }
         let accesses: AccessSet;
         let fused = match run.as_slice() {
             [single] => &single.plan.accesses,
@@ -253,6 +334,7 @@ impl<'a> ExecThread<'a> {
             retries: Vec::new(),
         });
         self.send_acquire(&lock_plan, slot, gen, 0);
+        true
     }
 
     fn send_acquire(&mut self, lock_plan: &Arc<LockPlan>, slot: u16, gen: u32, span_idx: u16) {
@@ -335,11 +417,15 @@ impl<'a> ExecThread<'a> {
             match execute_planned(&txn.program, self.db, &txn.plan) {
                 Ok(v) => {
                     std::hint::black_box(v);
-                    self.stats.committed += 1;
                     self.stats.committed_all += 1;
-                    self.stats
-                        .latency
-                        .record(txn.started.elapsed().as_nanos() as u64);
+                    let latency_ns = txn.started.elapsed().as_nanos() as u64;
+                    if !self.post_stop {
+                        self.stats.committed += 1;
+                        self.stats.latency.record(latency_ns);
+                    }
+                    if let Some(ticket) = txn.ticket {
+                        self.deliver_completion(Completion { ticket, latency_ns });
+                    }
                     self.inflight -= 1;
                 }
                 Err(AbortKind::OllpMismatch) => {
@@ -379,6 +465,7 @@ impl<'a> ExecThread<'a> {
             txns: vec![Admitted {
                 program: txn.program,
                 plan,
+                ticket: txn.ticket,
                 started: txn.started,
             }],
             lock_plan: Arc::clone(&lock_plan),

@@ -75,6 +75,26 @@
 //!   of it, and walks the batch depth along the shared power-of-two
 //!   ladder ([`ladder`]) in between (ablation A7, `abl07_adaptive`,
 //!   tracks the better static policy across the crossover).
+//!
+//! ## Transaction sources and the open loop ([`source`], [`session`])
+//!
+//! *Where* admission gets its transactions is a second seam,
+//! [`TxnSource`]: the closed-loop [`engine::OrthrusEngine::run`] wraps
+//! the synthetic workload generator ([`SyntheticSource`] — proptest-
+//! pinned bit-identical to the seed's admission stream), while the
+//! service-mode lifecycle ([`engine::OrthrusEngine::start`] →
+//! [`EngineHandle`]) feeds each execution thread from a bounded client
+//! ingest ring ([`ClientSource`]). Clients hold [`Session`]s:
+//! `submit(Program) -> Ticket` routes by [`hot_key_hint`], a full ring
+//! is backpressure ([`TrySubmitError::Full`]), and every accepted
+//! ticket completes exactly once through a completion ring carrying
+//! submit→commit latency (folded into `RunStats` as per-thread latency
+//! histograms). All three admission policies operate unchanged over
+//! either source; shutdown drains client backlogs dry before stopping
+//! (ablation A8, `abl08_openloop`, sweeps offered load against
+//! delivered throughput and latency).
+//!
+//! [`hot_key_hint`]: orthrus_txn::Program::hot_key_hint
 
 pub mod admit;
 pub mod cc;
@@ -85,16 +105,20 @@ pub mod ladder;
 pub mod msg;
 pub mod plan;
 pub mod rebalance;
+pub mod session;
 pub mod shared;
+pub mod source;
 
 #[cfg(test)]
 mod proptests;
 
 pub use admit::{AdaptiveController, AdmissionPolicy, Admitted, Admitter};
 pub use config::{CcAssignment, CcMode, OrthrusConfig};
-pub use engine::OrthrusEngine;
+pub use engine::{EngineHandle, OrthrusEngine};
 pub use plan::LockPlan;
 pub use rebalance::{balanced_assignment, LoadHistogram};
+pub use session::{Session, TrySubmitError};
+pub use source::{ClientSource, Completion, Sourced, SyntheticSource, Ticket, TxnSource};
 
 /// Serializes this crate's timed-engine tests: two concurrent multi-thread
 /// engine runs on a small CI host can starve one measurement window.

@@ -18,6 +18,7 @@ use crate::admit::{AdaptiveController, AdmissionPolicy, Admitter};
 use crate::cc::{CcState, OutMsg};
 use crate::msg::{CcRequest, ExecResponse, Token};
 use crate::plan::LockPlan;
+use crate::source::SyntheticSource;
 
 fn mode_strategy() -> impl Strategy<Value = LockMode> {
     prop_oneof![Just(LockMode::Shared), Just(LockMode::Exclusive)]
@@ -103,9 +104,13 @@ proptest! {
 // the thread's generator, plan it with the thread's planning RNG
 // (`seed ^ 0x6578_6563`), admit. The `Fifo` policy must reproduce that
 // stream bit for bit — programs AND plans — so the policy layer is a pure
-// refactor, not a behaviour change. The reference below is written
-// against the raw generator + `plan_accesses`, independent of the
-// `Admitter` implementation.
+// refactor, not a behaviour change. Since the open-loop redesign the
+// admitter pulls through the `TxnSource` seam, so these pins now also
+// guarantee that `SyntheticSource` is transparent: generator → source →
+// admitter yields the identical stream the seed's inlined
+// generate-then-plan produced. The reference below is written against
+// the raw generator + `plan_accesses`, independent of both the
+// `Admitter` and the source implementation.
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -131,19 +136,29 @@ proptest! {
         let db = Database::Flat(Table::new(n_records as usize, 8));
         let mut admit = Admitter::new(
             &AdmissionPolicy::Fifo,
-            Spec::Micro(spec.clone()).generator(seed, exec_id as usize),
+            SyntheticSource::new(Spec::Micro(spec.clone()).generator(seed, exec_id as usize)),
             seed,
             exec_id,
             0,
         );
         let mut ref_gen = spec.generator(seed, exec_id as usize);
         let mut ref_rng = XorShift64::for_thread(seed ^ 0x6578_6563, exec_id as usize);
-        for _ in 0..24 {
-            let a = admit.next(&db);
+        for round in 0..24 {
+            // Half the admissions go through the run API with headroom > 1
+            // (the execution thread's shape): Fifo runs are still single
+            // transactions in seed order, whatever `max` allows.
+            let a = if round % 2 == 0 {
+                admit.next(&db).expect("synthetic sources always admit")
+            } else {
+                let mut run = admit.next_run(&db, 8);
+                prop_assert_eq!(run.len(), 1, "fifo admits runs of one");
+                run.pop().unwrap()
+            };
             let program = ref_gen.next_program();
             let plan = plan_accesses(&program, &db, 0, &mut ref_rng);
             prop_assert_eq!(&a.program, &program, "admission order diverged");
             prop_assert_eq!(&a.plan, &plan, "admission-time plan diverged");
+            prop_assert_eq!(a.ticket, None, "synthetic work is unticketed");
         }
         prop_assert_eq!(admit.queued(), 0, "fifo must not queue ahead");
     }
@@ -161,7 +176,7 @@ proptest! {
         let spec = TpccSpec::paper_mix(cfg_t);
         let mut admit = Admitter::new(
             &AdmissionPolicy::Fifo,
-            Spec::Tpcc(spec.clone()).generator(seed, exec_id as usize),
+            SyntheticSource::new(Spec::Tpcc(spec.clone()).generator(seed, exec_id as usize)),
             seed,
             exec_id,
             noise,
@@ -169,7 +184,7 @@ proptest! {
         let mut ref_gen = spec.generator(seed, exec_id as usize);
         let mut ref_rng = XorShift64::for_thread(seed ^ 0x6578_6563, exec_id as usize);
         for _ in 0..16 {
-            let a = admit.next(&db);
+            let a = admit.next(&db).expect("synthetic sources always admit");
             let program = ref_gen.next_program();
             let plan = plan_accesses(&program, &db, noise, &mut ref_rng);
             prop_assert_eq!(&a.program, &program);
@@ -241,7 +256,7 @@ proptest! {
         let replay = || -> Vec<(Vec<orthrus_txn::Program>, bool)> {
             let mut admit = Admitter::new(
                 &policy,
-                Spec::Micro(spec.clone()).generator(seed, exec_id as usize),
+                SyntheticSource::new(Spec::Micro(spec.clone()).generator(seed, exec_id as usize)),
                 seed,
                 exec_id,
                 0,

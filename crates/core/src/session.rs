@@ -1,0 +1,304 @@
+//! Client sessions: the open-loop submission API.
+//!
+//! A [`Session`] is a cheap, cloneable handle a client (or an offered-load
+//! driver) uses to push [`Program`]s into a running service-mode engine
+//! ([`crate::OrthrusEngine::start`]). Submissions are routed to a
+//! per-execution-thread ingest ring:
+//!
+//! - **by hot key** when the program exposes one
+//!   ([`Program::hot_key_hint`]): all submissions contending on a key
+//!   land on the same execution thread, so conflict-class admission can
+//!   fuse them into single lock acquisitions exactly as it does for
+//!   synthetic work;
+//! - **round-robin** otherwise.
+//!
+//! The rings are bounded: a full ring is *backpressure*
+//! ([`TrySubmitError::Full`] hands the program back), never silent loss —
+//! every minted [`Ticket`] is owed a [`crate::source::Completion`].
+//!
+//! The producer side of each ring sits behind a mutex shared by all
+//! sessions. That lock is deliberately **off the engine's hot path**: the
+//! consumer side stays a pure latch-free SPSC drain on the execution
+//! thread; only submitting clients contend, and only per-lane. The same
+//! mutex doubles as the shutdown fence (see [`SubmitShared::close`]): a
+//! submission that won the lock before close lands in the ring and will
+//! be drained; one that loses sees `accepting == false` and is refused —
+//! there is no window in which a ticket can be accepted yet missed by the
+//! drain.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use orthrus_common::{fx_hash_u64, Backoff};
+use orthrus_spsc::Producer;
+use orthrus_txn::Program;
+use parking_lot::Mutex;
+
+use crate::source::{Submission, Ticket};
+
+/// Why a submission was not accepted. Both variants hand the program
+/// back so the caller can retry without cloning.
+#[derive(Debug)]
+pub enum TrySubmitError {
+    /// The destination ingest ring is full — backpressure. Retry after
+    /// the engine drains (or use the blocking [`Session::submit`]).
+    Full(Program),
+    /// The engine has begun shutting down; no new work is accepted.
+    Shutdown(Program),
+}
+
+impl TrySubmitError {
+    /// Recover the rejected program.
+    pub fn into_program(self) -> Program {
+        match self {
+            TrySubmitError::Full(p) | TrySubmitError::Shutdown(p) => p,
+        }
+    }
+}
+
+impl std::fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::Full(_) => write!(f, "ingest ring full (backpressure)"),
+            TrySubmitError::Shutdown(_) => write!(f, "engine shutting down"),
+        }
+    }
+}
+
+/// Submission state shared by every session of one service-mode engine:
+/// the ingest-ring producers (one per execution thread), the ticket
+/// counter, and the accepting flag the shutdown fence flips.
+pub(crate) struct SubmitShared {
+    lanes: Vec<Mutex<Producer<Submission>>>,
+    accepting: AtomicBool,
+    /// Ticket-id mint, bumped only for *accepted* submissions (space is
+    /// checked under the lane lock before minting), so ids are dense and
+    /// the counter doubles as the conservation ledger completions are
+    /// checked against.
+    next_ticket: AtomicU64,
+    round_robin: AtomicUsize,
+}
+
+impl SubmitShared {
+    pub(crate) fn new(lanes: Vec<Producer<Submission>>) -> Self {
+        assert!(!lanes.is_empty(), "validated by OrthrusConfig (n_exec ≥ 1)");
+        SubmitShared {
+            lanes: lanes.into_iter().map(Mutex::new).collect(),
+            accepting: AtomicBool::new(true),
+            next_ticket: AtomicU64::new(0),
+            round_robin: AtomicUsize::new(0),
+        }
+    }
+
+    /// Submissions accepted so far (each is owed exactly one completion;
+    /// backpressured or post-shutdown attempts are not counted).
+    pub(crate) fn accepted(&self) -> u64 {
+        self.next_ticket.load(Ordering::Acquire)
+    }
+
+    /// The shutdown fence. After this returns, no further submission can
+    /// land in any ingest ring: the flag flip happens-before the per-lane
+    /// lock round, so a submitter that enqueued raced *before* the fence
+    /// (its push is visible to the draining execution thread), and any
+    /// later one observes `accepting == false` under the lane lock.
+    pub(crate) fn close(&self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        for lane in &self.lanes {
+            drop(lane.lock());
+        }
+    }
+}
+
+/// A client handle into a running service-mode engine. Clone freely —
+/// sessions share the engine's submission state and are `Send`; each
+/// clone may live on its own client thread.
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<SubmitShared>,
+}
+
+impl Session {
+    pub(crate) fn new(shared: Arc<SubmitShared>) -> Self {
+        Session { shared }
+    }
+
+    /// Submit without blocking. Routes by the program's
+    /// [`Program::hot_key_hint`] (round-robin when it has none), mints a
+    /// [`Ticket`] on success, and returns the program back inside
+    /// [`TrySubmitError::Full`] when the destination ring is full.
+    pub fn try_submit(&self, program: Program) -> Result<Ticket, TrySubmitError> {
+        let shared = &self.shared;
+        let lane = match program.hot_key_hint() {
+            Some(key) => (fx_hash_u64(key) % shared.lanes.len() as u64) as usize,
+            None => shared.round_robin.fetch_add(1, Ordering::Relaxed) % shared.lanes.len(),
+        };
+        let mut producer = shared.lanes[lane].lock();
+        if !shared.accepting.load(Ordering::SeqCst) {
+            return Err(TrySubmitError::Shutdown(program));
+        }
+        // Space check before minting keeps ticket ids dense (= accepted
+        // count). Under the lane lock the occupancy can only shrink (the
+        // execution thread drains concurrently), so the push cannot fail.
+        if producer.len() >= producer.capacity() {
+            return Err(TrySubmitError::Full(program));
+        }
+        let ticket = Ticket(shared.next_ticket.fetch_add(1, Ordering::AcqRel));
+        producer
+            .try_push(Submission {
+                ticket,
+                program,
+                submitted: Instant::now(),
+            })
+            .unwrap_or_else(|_| unreachable!("space checked under the lane lock"));
+        Ok(ticket)
+    }
+
+    /// Submit, backing off while the destination ring is full (the
+    /// open-loop driver's saturation behaviour: offered load beyond
+    /// engine capacity queues here). Errors only on shutdown.
+    ///
+    /// Completions should be drained (`EngineHandle::drain_completions`)
+    /// alongside sustained submission: the completion rings are the
+    /// bounded fast path, and a client that lags parks its completions
+    /// in engine-side overflow buffers — never lost, never wedging the
+    /// engine, but memory grows with the lag until the client drains.
+    pub fn submit(&self, mut program: Program) -> Result<Ticket, TrySubmitError> {
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_submit(program) {
+                Ok(t) => return Ok(t),
+                Err(TrySubmitError::Full(p)) => {
+                    program = p;
+                    backoff.snooze();
+                }
+                Err(e @ TrySubmitError::Shutdown(_)) => return Err(e),
+            }
+        }
+    }
+
+    /// Tickets accepted engine-wide so far (across all sessions).
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_spsc::channel;
+
+    fn shared(
+        lanes: usize,
+        capacity: usize,
+    ) -> (Arc<SubmitShared>, Vec<orthrus_spsc::Consumer<Submission>>) {
+        let mut producers = Vec::new();
+        let mut consumers = Vec::new();
+        for _ in 0..lanes {
+            let (p, c) = channel::<Submission>(capacity);
+            producers.push(p);
+            consumers.push(c);
+        }
+        (Arc::new(SubmitShared::new(producers)), consumers)
+    }
+
+    fn rmw(key: u64) -> Program {
+        Program::Rmw { keys: vec![key] }
+    }
+
+    #[test]
+    fn full_ring_backpressure_is_deterministic_and_lossless() {
+        // One lane of capacity 4 (rings round up to powers of two):
+        // exactly 4 submissions are accepted, the 5th returns Full with
+        // the program intact, and the accepted-ticket count excludes it.
+        let (s, mut consumers) = shared(1, 4);
+        let session = Session::new(Arc::clone(&s));
+        let mut tickets = Vec::new();
+        for i in 0..4 {
+            tickets.push(session.try_submit(rmw(i)).expect("ring has space"));
+        }
+        match session.try_submit(rmw(99)) {
+            Err(TrySubmitError::Full(p)) => assert_eq!(p, rmw(99), "program handed back"),
+            other => panic!("5th submission must backpressure, got {other:?}"),
+        }
+        assert_eq!(s.accepted(), 4, "rejected attempts must not mint tickets");
+        // Every accepted ticket is in the ring, in order.
+        for expect in &tickets {
+            assert_eq!(consumers[0].try_pop().unwrap().ticket, *expect);
+        }
+        // Space freed: submission works again.
+        assert!(session.try_submit(rmw(5)).is_ok());
+    }
+
+    #[test]
+    fn hot_key_hint_routes_to_a_stable_lane() {
+        let (s, consumers) = shared(4, 64);
+        let session = Session::new(Arc::clone(&s));
+        for _ in 0..12 {
+            session.try_submit(rmw(7)).unwrap();
+        }
+        let occupied: Vec<usize> = consumers.iter().map(orthrus_spsc::Consumer::len).collect();
+        assert_eq!(
+            occupied.iter().sum::<usize>(),
+            12,
+            "all submissions landed somewhere"
+        );
+        assert_eq!(
+            occupied.iter().filter(|&&n| n > 0).count(),
+            1,
+            "same hot key must always route to the same execution thread: {occupied:?}"
+        );
+    }
+
+    #[test]
+    fn hintless_programs_round_robin() {
+        let (s, consumers) = shared(3, 64);
+        let session = Session::new(Arc::clone(&s));
+        for _ in 0..9 {
+            session
+                .try_submit(Program::Rmw { keys: vec![] })
+                .expect("empty programs still route");
+        }
+        for c in &consumers {
+            assert_eq!(c.len(), 3, "round-robin must spread hintless work");
+        }
+    }
+
+    #[test]
+    fn close_fences_out_new_submissions() {
+        let (s, consumers) = shared(2, 16);
+        let session = Session::new(Arc::clone(&s));
+        session.try_submit(rmw(1)).unwrap();
+        s.close();
+        match session.try_submit(rmw(2)) {
+            Err(TrySubmitError::Shutdown(p)) => assert_eq!(p, rmw(2)),
+            other => panic!("post-close submission must be refused, got {other:?}"),
+        }
+        match session.submit(rmw(3)) {
+            Err(TrySubmitError::Shutdown(_)) => {}
+            other => panic!("blocking submit must also refuse, got {other:?}"),
+        }
+        assert_eq!(s.accepted(), 1);
+        assert_eq!(
+            consumers
+                .iter()
+                .map(orthrus_spsc::Consumer::len)
+                .sum::<usize>(),
+            1
+        );
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_drain() {
+        let (s, mut consumers) = shared(1, 2);
+        let session = Session::new(Arc::clone(&s));
+        session.try_submit(rmw(0)).unwrap();
+        session.try_submit(rmw(1)).unwrap();
+        let h = std::thread::spawn(move || session.submit(rmw(2)).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(consumers[0].try_pop().unwrap().ticket, Ticket(0));
+        let t = h.join().unwrap();
+        assert_eq!(t, Ticket(2));
+        assert_eq!(s.accepted(), 3);
+    }
+}

@@ -3,12 +3,13 @@
 //! execution-thread asynchrony depth.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use orthrus_common::RunStats;
 use orthrus_core::{AdmissionPolicy, CcAssignment, CcMode, OrthrusConfig, OrthrusEngine};
 use orthrus_storage::Table;
 use orthrus_txn::Database;
-use orthrus_workload::{MicroSpec, PartitionConstraint, Spec};
+use orthrus_workload::{Gen, MicroSpec, PartitionConstraint, Spec};
 
 use crate::config::BenchConfig;
 use crate::report::{FigureResult, Series};
@@ -283,6 +284,122 @@ pub fn abl07_adaptive(bc: &BenchConfig) -> FigureResult {
     fig
 }
 
+/// One point of the A8 offered-load sweep: drive a service-mode engine
+/// open-loop at `rate` transactions/sec for `warmup + measure`, with
+/// the measurement window opened after the warmup. Returns the run's
+/// statistics (throughput and the submit→commit latency histogram).
+///
+/// The driver paces submissions against the wall clock, drains
+/// completions continuously, and *blocks* on ingest backpressure — so
+/// past saturation the delivered throughput flattens while latency
+/// climbs to the queueing bound, the classic open-loop hockey stick.
+fn drive_openloop(
+    spec: &MicroSpec,
+    policy: &AdmissionPolicy,
+    rate: f64,
+    n_cc: usize,
+    n_exec: usize,
+    bc: &BenchConfig,
+) -> RunStats {
+    let db = Arc::new(Database::Flat(Table::new(
+        spec.n_records as usize,
+        bc.record_size,
+    )));
+    let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
+    cfg.flush_threshold = bc.flush_threshold;
+    cfg.admission = policy.clone();
+    let engine = OrthrusEngine::service(db, cfg);
+    let mut handle = engine.start(bc.seed);
+    let session = handle.session();
+    // One client generator stands in for the offered load; thread id
+    // n_exec keeps its stream decorrelated from any engine-side streams.
+    let mut gen = Spec::Micro(spec.clone()).generator(bc.seed, n_exec);
+    let mut done = Vec::new();
+
+    let mut drive = |handle: &mut orthrus_core::EngineHandle, gen: &mut Gen, window: Duration| {
+        let t0 = Instant::now();
+        let mut sent = 0u64;
+        loop {
+            let elapsed = t0.elapsed();
+            if elapsed >= window {
+                break;
+            }
+            let target = (rate * elapsed.as_secs_f64()) as u64;
+            while sent < target && t0.elapsed() < window {
+                if session.submit(gen.next_program()).is_err() {
+                    return; // engine shut down underneath us
+                }
+                sent += 1;
+                // Keep the completion rings shallow even at high rates.
+                if sent.is_multiple_of(64) {
+                    done.clear();
+                    handle.drain_completions(&mut done);
+                }
+            }
+            done.clear();
+            handle.drain_completions(&mut done);
+            // Yield, don't spin: on small hosts the driver timeshares
+            // with the engine threads it is measuring.
+            std::thread::yield_now();
+        }
+    };
+
+    drive(&mut handle, &mut gen, bc.warmup);
+    handle.begin_measurement();
+    drive(&mut handle, &mut gen, bc.measure);
+    handle.shutdown()
+}
+
+/// A8: the **open-loop** front door. The closed-loop harness measures
+/// the engine driving itself as fast as it can commit; real deployments
+/// see an *offered* load arriving through the session API
+/// (`OrthrusEngine::start` + `Session::submit`), where the questions are
+/// delivered throughput and submit→commit latency as the offered rate
+/// approaches capacity. The sweep calibrates capacity with one
+/// closed-loop FIFO run, then offers {50%, 90%, 130%} of it under each
+/// admission policy: below saturation all policies should deliver the
+/// offered rate and differ only in latency; past it, delivered
+/// throughput flattens at each policy's capacity and latency climbs to
+/// the ingest-queueing bound (hot-key submissions routed to a stable
+/// execution thread let conflict batching fuse them, which is where the
+/// high-skew latency gap comes from).
+pub fn abl08_openloop(bc: &BenchConfig) -> FigureResult {
+    let (n_cc, n_exec) = split(bc);
+    let mut fig = FigureResult::new(
+        "abl08",
+        format!("Open-loop offered-load sweep ({n_cc} CC / {n_exec} exec threads)"),
+        "offered_fraction_of_fifo_capacity",
+        "txns/sec (latency series: µs)",
+    );
+    // The contention crucible, matched to A6/A7's high-skew point.
+    let spec = MicroSpec::zipf(bc.n_records as u64, 10, 0.9, false);
+    // Capacity calibration: one closed-loop FIFO run.
+    let mut bc_fifo = bc.clone();
+    bc_fifo.admission = AdmissionPolicy::Fifo;
+    let capacity =
+        run_orthrus_custom(spec.clone(), n_cc, n_exec, true, None, 16, &bc_fifo).throughput();
+    let fractions = [0.5f64, 0.9, 1.3];
+    for (label, policy) in [
+        ("FIFO", AdmissionPolicy::Fifo),
+        ("conflict-batch", AdmissionPolicy::conflict_batch()),
+        ("adaptive", AdmissionPolicy::adaptive()),
+    ] {
+        let mut tput = Series::new(format!("{label} txns/sec"));
+        let mut p50 = Series::new(format!("{label} p50 µs"));
+        let mut p99 = Series::new(format!("{label} p99 µs"));
+        for frac in fractions {
+            let stats = drive_openloop(&spec, &policy, capacity * frac, n_cc, n_exec, bc);
+            tput.push(frac, stats.throughput());
+            p50.push(frac, stats.p50_latency_us());
+            p99.push(frac, stats.p99_latency_us());
+        }
+        fig.series.push(tput);
+        fig.series.push(p50);
+        fig.series.push(p99);
+    }
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +488,40 @@ mod tests {
             switches.points.iter().all(|&(_, y)| y >= 0.0),
             "switch counts are non-negative"
         );
+    }
+
+    #[test]
+    fn openloop_ablation_reports_all_policies_and_quantiles() {
+        let _serial = crate::test_serial();
+        let bc = BenchConfig::test_quick();
+        let fig = abl08_openloop(&bc);
+        assert_eq!(
+            fig.series.len(),
+            9,
+            "3 policies × (throughput, p50, p99) series"
+        );
+        for s in &fig.series {
+            assert_eq!(
+                s.points.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
+                vec![0.5, 0.9, 1.3],
+                "{}",
+                s.label
+            );
+        }
+        for s in fig.series.iter().filter(|s| s.label.contains("txns/sec")) {
+            assert!(
+                s.points.iter().all(|&(_, y)| y > 0.0),
+                "{} must deliver work at every offered rate",
+                s.label
+            );
+        }
+        for s in fig.series.iter().filter(|s| s.label.contains("µs")) {
+            assert!(
+                s.points.iter().all(|&(_, y)| y > 0.0),
+                "{} must report submit→commit latency",
+                s.label
+            );
+        }
     }
 
     #[test]

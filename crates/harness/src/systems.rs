@@ -117,6 +117,9 @@ pub fn run_micro(kind: SystemKind, spec: MicroSpec, threads: usize, bc: &BenchCo
             let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
             cfg.flush_threshold = bc.flush_threshold;
             cfg.admission = bc.admission.clone();
+            // for_cores(1) still runs 1 CC + 1 exec; label what actually
+            // runs (the engine enforces the match).
+            let params = bc.params(cfg.total_threads());
             OrthrusEngine::new(db, spec, cfg).run(&params)
         }
         SystemKind::SplitOrthrus => {
@@ -129,6 +132,7 @@ pub fn run_micro(kind: SystemKind, spec: MicroSpec, threads: usize, bc: &BenchCo
                 bc.record_size,
                 cfg.n_cc,
             )));
+            let params = bc.params(cfg.total_threads());
             OrthrusEngine::new(db, spec, cfg).run(&params)
         }
         SystemKind::PartitionedStore => {
@@ -163,10 +167,10 @@ pub fn run_orthrus_split(
 /// computed by the Section-3.3 planner (`orthrus-core::rebalance`) from a
 /// sample of the same workload.
 pub fn run_orthrus_balanced(spec: MicroSpec, threads: usize, bc: &BenchConfig) -> RunStats {
-    let params = bc.params(threads);
     let n = spec.n_records as usize;
     let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
     let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
+    let params = bc.params(cfg.total_threads());
     cfg.flush_threshold = bc.flush_threshold;
     cfg.admission = bc.admission.clone();
     let spec = Spec::Micro(spec);
@@ -229,6 +233,9 @@ fn run_tpcc_spec(kind: SystemKind, spec_t: TpccSpec, threads: usize, bc: &BenchC
             let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::Warehouse);
             cfg.flush_threshold = bc.flush_threshold;
             cfg.admission = bc.admission.clone();
+            // for_cores(1) still runs 1 CC + 1 exec; label what actually
+            // runs (the engine enforces the match).
+            let params = bc.params(cfg.total_threads());
             OrthrusEngine::new(db, spec, cfg).run(&params)
         }
         other => panic!("{} does not run TPC-C in the paper", other.label()),

@@ -86,6 +86,12 @@ fn main() {
     {
         let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, params.seed)));
         let cfg = OrthrusConfig::for_cores(threads, CcAssignment::Warehouse);
+        // for_cores(1) still runs 1 CC + 1 exec: label what actually
+        // runs (the engine enforces the match).
+        let params = RunParams {
+            threads: cfg.total_threads(),
+            ..params
+        };
         let engine = OrthrusEngine::new(Arc::clone(&db), spec.clone(), cfg.clone());
         let stats = engine.run(&params);
         println!(

@@ -56,6 +56,12 @@ fn main() {
     {
         let db = Arc::new(Database::Flat(Table::new(N_RECORDS, 100)));
         let cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
+        // for_cores(1) still runs 1 CC + 1 exec: label what actually
+        // runs (the engine enforces the match).
+        let params = RunParams {
+            threads: cfg.total_threads(),
+            ..params
+        };
         let stats = OrthrusEngine::new(db, spec.clone(), cfg).run(&params);
         report("ORTHRUS", &stats);
     }

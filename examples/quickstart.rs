@@ -1,13 +1,20 @@
-//! Quickstart: build an ORTHRUS engine, run a small RMW workload, print
-//! throughput and the execution-thread time breakdown.
+//! Quickstart: run ORTHRUS as a *service* — start the engine, open a
+//! client session, submit transactions, await their tickets, shut down.
+//!
+//! This is the open-loop front door (`OrthrusEngine::start`): clients
+//! push `Program`s through a `Session` and get a `Ticket` per accepted
+//! submission; the engine routes each submission to an execution thread
+//! by its hot key, admits it through the configured admission policy,
+//! and reports every commit back as a `Completion` carrying the
+//! submit→commit latency. For the self-driving closed-loop harness
+//! (`OrthrusEngine::new(...).run(...)`) see `examples/latency_profile.rs`
+//! and the figure harness.
 //!
 //! Run: `cargo run --release --example quickstart`
 
 use std::sync::Arc;
-use std::time::Duration;
 
-use orthrus::common::RunParams;
-use orthrus::core::{CcAssignment, OrthrusConfig, OrthrusEngine};
+use orthrus::core::{CcAssignment, Completion, OrthrusConfig, OrthrusEngine};
 use orthrus::storage::Table;
 use orthrus::txn::Database;
 use orthrus::workload::{MicroSpec, Spec};
@@ -16,43 +23,65 @@ fn main() {
     // A 100k-record table; transactions read-modify-write 10 uniformly
     // random records each (the paper's Figure-5 workload shape).
     let n_records = 100_000;
+    let n = 20_000u64; // submissions this client will make
     let db = Arc::new(Database::Flat(Table::new(n_records, 100)));
-    let spec = Spec::Micro(MicroSpec::uniform(n_records as u64, 10, false));
 
-    // 2 concurrency-control threads + 4 execution threads.
+    // 2 concurrency-control threads + 4 execution threads, service mode:
+    // no synthetic workload — this program is the client.
     let cfg = OrthrusConfig::with_threads(2, 4, CcAssignment::KeyModulo);
-    let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg.clone());
-
-    let params = RunParams {
-        threads: cfg.total_threads(),
-        seed: 7,
-        warmup: Duration::from_millis(200),
-        measure: Duration::from_secs(1),
-        ollp_noise_pct: 0,
-    };
+    let engine = OrthrusEngine::service(Arc::clone(&db), cfg.clone());
     println!(
-        "running ORTHRUS: {} CC + {} exec threads, uniform 10-RMW ...",
-        cfg.n_cc, cfg.n_exec
+        "starting ORTHRUS service: {} CC + {} exec threads, {} ingest slots/thread ...",
+        cfg.n_cc, cfg.n_exec, cfg.ingest_capacity
     );
-    let stats = engine.run(&params);
+
+    let mut handle = engine.start(7);
+    handle.begin_measurement();
+    let session = handle.session();
+
+    // Any program source works; here the micro-workload generator stands
+    // in for real clients. `submit` blocks on backpressure (full ingest
+    // ring) and returns a ticket per accepted transaction.
+    let mut gen = Spec::Micro(MicroSpec::uniform(n_records as u64, 10, false)).generator(7, 0);
+    let mut completions: Vec<Completion> = Vec::new();
+    for _ in 0..n {
+        session
+            .submit(gen.next_program())
+            .expect("engine is accepting");
+        handle.drain_completions(&mut completions);
+    }
+
+    // Shutdown fences out new submissions and drains every accepted
+    // ticket — nothing in flight is dropped.
+    let stats = handle.shutdown();
+    handle.drain_completions(&mut completions);
 
     println!("throughput : {:>12.0} txns/sec", stats.throughput());
     println!("committed  : {:>12}", stats.totals.committed);
+    println!(
+        "latency    : p50 {:>8.1} µs, p99 {:>8.1} µs (submit→commit)",
+        stats.p50_latency_us(),
+        stats.p99_latency_us()
+    );
     println!(
         "messages   : {:>12}  ({:.1} per txn)",
         stats.totals.messages_sent,
         stats.totals.messages_sent as f64 / stats.totals.committed.max(1) as f64
     );
-    let b = stats.breakdown();
-    println!(
-        "exec-thread time: {:.1}% execution, {:.1}% locking, {:.1}% waiting",
-        b.execution_pct, b.locking_pct, b.waiting_pct
-    );
 
-    // The logical locks serialized every RMW: the counters add up exactly.
+    // Conservation: every accepted ticket completed exactly once ...
+    assert_eq!(handle.accepted(), n);
+    assert_eq!(completions.len() as u64, n, "one completion per ticket");
+    let mut tickets: Vec<u64> = completions.iter().map(|c| c.ticket.0).collect();
+    tickets.sort_unstable();
+    tickets.dedup();
+    assert_eq!(tickets.len() as u64, n, "no ticket completed twice");
+
+    // ... and the logical locks serialized every RMW: counters add up
+    // exactly.
     let total: u64 = (0..n_records as u64)
         .map(|k| unsafe { db.read_counter(k) })
         .sum();
     assert_eq!(total, stats.totals.committed_all * 10);
-    println!("verified: {} counter increments, zero lost updates", total);
+    println!("verified: {n} tickets completed, {total} counter increments, zero lost updates");
 }

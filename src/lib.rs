@@ -36,6 +36,32 @@
 //! println!("{:.0} txns/sec", stats.throughput());
 //! ```
 //!
+//! ## Serving clients (open loop)
+//!
+//! The engine also runs as a *service*: start it, submit transactions
+//! through cloneable sessions, and collect ticketed completions with
+//! submit→commit latency — see `examples/quickstart.rs`.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use orthrus::core::{CcAssignment, OrthrusConfig, OrthrusEngine};
+//! use orthrus::storage::Table;
+//! use orthrus::txn::{Database, Program};
+//!
+//! let db = Arc::new(Database::Flat(Table::new(1_000, 64)));
+//! let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+//! let mut handle = OrthrusEngine::service(db, cfg).start(7);
+//! let session = handle.session();
+//! for k in 0..100u64 {
+//!     session.submit(Program::Rmw { keys: vec![k % 10] }).unwrap();
+//! }
+//! let stats = handle.shutdown();
+//! let mut done = Vec::new();
+//! handle.drain_completions(&mut done);
+//! assert_eq!(done.len(), 100); // every ticket completes exactly once
+//! assert_eq!(stats.totals.committed_all, 100);
+//! ```
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! per-figure reproduction harness.
 
