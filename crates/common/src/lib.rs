@@ -15,6 +15,7 @@ pub mod latency;
 pub mod rng;
 pub mod runtime;
 pub mod stats;
+pub mod tempdir;
 
 pub use backoff::Backoff;
 pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet};
@@ -23,3 +24,4 @@ pub use latency::LatencyHistogram;
 pub use rng::XorShift64;
 pub use runtime::{timed_run, RunCtl, RunParams};
 pub use stats::{Phase, PhaseBreakdown, PhaseTimer, RunStats, ThreadStats};
+pub use tempdir::TempDir;

@@ -56,6 +56,16 @@ pub struct ThreadStats {
     pub admission_switches: u64,
     /// Deadlock-detection passes that found a cycle (wait-for graph).
     pub cycles_found: u64,
+    /// Command-log records appended within the measurement window
+    /// (durability on: one per fused admission run). Windowed like
+    /// `committed`, so `committed / log_records` is the group-commit
+    /// amortization factor; post-stop drain appends happen but are not
+    /// counted here.
+    pub log_records: u64,
+    /// Command-log bytes appended (record framing included).
+    pub log_bytes: u64,
+    /// Command-log fsyncs issued (`log+fsync` mode only).
+    pub log_flushes: u64,
     /// Commit latency (transaction start → commit, including retries).
     pub latency: LatencyHistogram,
 }
@@ -88,6 +98,9 @@ impl ThreadStats {
         self.lock_waits += other.lock_waits;
         self.admission_switches += other.admission_switches;
         self.cycles_found += other.cycles_found;
+        self.log_records += other.log_records;
+        self.log_bytes += other.log_bytes;
+        self.log_flushes += other.log_flushes;
         self.latency.merge(&other.latency);
     }
 
@@ -247,6 +260,9 @@ mod tests {
             lock_waits: 7,
             admission_switches: 2,
             cycles_found: 1,
+            log_records: 4,
+            log_bytes: 64,
+            log_flushes: 3,
             latency: LatencyHistogram::new(),
         };
         let mut b = a.clone();
@@ -257,6 +273,9 @@ mod tests {
         assert_eq!(b.messages_sent, 10);
         assert_eq!(b.lock_waits, 14);
         assert_eq!(b.admission_switches, 4);
+        assert_eq!(b.log_records, 8);
+        assert_eq!(b.log_bytes, 128);
+        assert_eq!(b.log_flushes, 6);
     }
 
     #[test]

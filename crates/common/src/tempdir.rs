@@ -1,0 +1,104 @@
+//! Test-only scratch directories under `target/`.
+//!
+//! The offline build environment has no `tempfile` crate, and littering
+//! `/tmp` would outlive the workspace. [`TempDir`] gives every test a
+//! unique directory under the workspace's `target/` tree (so `cargo
+//! clean` sweeps strays) and removes it on drop. Uniqueness combines the
+//! process id, a process-wide counter, and a monotonic timestamp, so
+//! concurrent test binaries and repeated runs never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely named scratch directory, recursively deleted on drop.
+///
+/// Intended for tests (durability-log tests in particular); nothing stops
+/// non-test use, but the directory placement is tuned for `cargo test`
+/// hygiene, not for production data.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+/// Process-wide uniquifier across `TempDir::new` calls.
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Create `target/test-scratch/<prefix>-<pid>-<seq>-<nanos>/`.
+    ///
+    /// # Panics
+    /// If the directory cannot be created (scratch space is a test
+    /// precondition — failing loudly beats tests that silently write
+    /// nowhere).
+    pub fn new(prefix: &str) -> Self {
+        let seq = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::UNIX_EPOCH
+            .elapsed()
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let name = format!("{prefix}-{}-{seq}-{nanos}", std::process::id());
+        let path = scratch_root().join(name);
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("cannot create scratch dir {}: {e}", path.display()));
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best effort: a failed cleanup must not turn a passing test into
+        // a panic-while-panicking abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Locate `<workspace>/target/test-scratch`. Test binaries run from
+/// `target/<profile>/deps/`, so walking `current_exe()` upward to the
+/// nearest `target` ancestor finds the right tree without any env
+/// contract; `CARGO_TARGET_DIR` overrides, and the OS temp dir is the
+/// last resort (e.g. a binary copied out of the tree).
+fn scratch_root() -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .or_else(|| {
+            let exe = std::env::current_exe().ok()?;
+            exe.ancestors()
+                .find(|a| a.file_name().is_some_and(|n| n == "target"))
+                .map(Path::to_path_buf)
+        })
+        .unwrap_or_else(std::env::temp_dir);
+    target.join("test-scratch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_cleaned_on_drop() {
+        let a = TempDir::new("unit");
+        let b = TempDir::new("unit");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        std::fs::write(a.path().join("x"), b"payload").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop must remove the tree");
+        assert!(b.path().is_dir(), "sibling dirs are untouched");
+    }
+
+    #[test]
+    fn scratch_lands_under_a_target_tree() {
+        let d = TempDir::new("placement");
+        // Under cargo the path must contain a `target` component; outside
+        // cargo the temp-dir fallback is allowed.
+        let under_target = d.path().components().any(|c| c.as_os_str() == "target");
+        let under_tmp = d.path().starts_with(std::env::temp_dir());
+        assert!(under_target || under_tmp, "unexpected root: {:?}", d.path());
+    }
+}

@@ -1,8 +1,10 @@
 //! ORTHRUS engine configuration.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use orthrus_common::{fx_hash_u64, Key};
+use orthrus_durability::DurabilityMode;
 use orthrus_txn::Database;
 
 use crate::admit::AdmissionPolicy;
@@ -104,6 +106,17 @@ pub struct OrthrusConfig {
     /// grant-deferral rate (hysteresis-controlled, see
     /// [`crate::admit::AdaptiveController`]).
     pub admission: AdmissionPolicy,
+    /// Durability (`ORTHRUS_DURABILITY` in the harness): `Off` is the
+    /// paper's main-memory-only semantics; `Log` appends one command-log
+    /// record per fused admission run before the run's locks and
+    /// completions are released; `LogFsync` additionally fsyncs per
+    /// record, so a delivered completion implies a durable commit. Any
+    /// mode other than `Off` requires [`Self::log_dir`].
+    pub durability: DurabilityMode,
+    /// Command-log directory when durability is on. The engine appends to
+    /// an existing clean log; recovery (`OrthrusEngine::recover`) replays
+    /// and repairs it first.
+    pub log_dir: Option<PathBuf>,
 }
 
 /// Default fabric batching degree: deep enough to amortize the
@@ -137,6 +150,8 @@ impl OrthrusConfig {
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             ingest_capacity: DEFAULT_INGEST_CAPACITY,
             admission: AdmissionPolicy::Fifo,
+            durability: DurabilityMode::Off,
+            log_dir: None,
         }
     }
 
@@ -156,7 +171,17 @@ impl OrthrusConfig {
             flush_threshold: DEFAULT_FLUSH_THRESHOLD,
             ingest_capacity: DEFAULT_INGEST_CAPACITY,
             admission: AdmissionPolicy::Fifo,
+            durability: DurabilityMode::Off,
+            log_dir: None,
         }
+    }
+
+    /// Enable command logging: `mode` governs the fsync policy, `dir`
+    /// holds the segmented log.
+    pub fn with_durability(mut self, mode: DurabilityMode, dir: impl Into<PathBuf>) -> Self {
+        self.durability = mode;
+        self.log_dir = Some(dir.into());
+        self
     }
 
     /// Validate the engine shape. [`crate::OrthrusEngine::new`] rejects
@@ -189,6 +214,12 @@ impl OrthrusConfig {
             );
         }
         self.admission.validate()?;
+        if self.durability.is_on() && self.log_dir.is_none() {
+            return Err(format!(
+                "durability mode {} needs a log_dir (OrthrusConfig::with_durability)",
+                self.durability
+            ));
+        }
         if self.cc_mode == CcMode::SharedTable && self.shared_table_buckets == 0 {
             return Err("SharedTable mode needs shared_table_buckets ≥ 1".into());
         }

@@ -28,6 +28,7 @@ use std::time::Instant;
 use orthrus_common::affinity::pin_to_core;
 use orthrus_common::runtime::{timed_run, RunCtl, RunParams};
 use orthrus_common::{Backoff, RunStats, ThreadStats};
+use orthrus_durability::{CommandLog, ReplayReport};
 use orthrus_spsc::{channel, Consumer, FanIn, Producer};
 use orthrus_txn::Database;
 use orthrus_workload::Spec;
@@ -60,6 +61,10 @@ pub struct OrthrusEngine {
     /// instead.
     spec: Option<Spec>,
     cfg: OrthrusConfig,
+    /// The command log ([`OrthrusConfig::durability`]): opened once at
+    /// construction, shared by every execution thread, synced when a run
+    /// or service shuts down. `None` when durability is off.
+    log: Option<Arc<CommandLog>>,
 }
 
 impl OrthrusEngine {
@@ -75,10 +80,12 @@ impl OrthrusEngine {
         if let Err(why) = cfg.validate() {
             panic!("invalid OrthrusConfig: {why}");
         }
+        let log = open_log(&cfg);
         OrthrusEngine {
             db,
             spec: Some(spec),
             cfg,
+            log,
         }
     }
 
@@ -89,11 +96,40 @@ impl OrthrusEngine {
         if let Err(why) = cfg.validate() {
             panic!("invalid OrthrusConfig: {why}");
         }
+        let log = open_log(&cfg);
         OrthrusEngine {
             db,
             spec: None,
             cfg,
+            log,
         }
+    }
+
+    /// Crash recovery: replay the command log at [`OrthrusConfig::log_dir`]
+    /// through the engine's own `execute_planned` path to rebuild `db`'s
+    /// table state, repair the log's torn tail in place, and return a
+    /// **service-mode** engine that continues appending where the valid
+    /// prefix ends — plus the replay's audit report.
+    ///
+    /// `db` must be the same logical snapshot the log started from (for
+    /// this reproduction: a freshly loaded database with the original
+    /// seed — the log covers the whole run).
+    ///
+    /// # Panics
+    /// On an invalid configuration, a durability mode of `Off` (there is
+    /// nothing to recover from), or an unreadable log.
+    pub fn recover(db: Arc<Database>, cfg: OrthrusConfig) -> (Self, ReplayReport) {
+        if let Err(why) = cfg.validate() {
+            panic!("invalid OrthrusConfig: {why}");
+        }
+        assert!(
+            cfg.durability.is_on(),
+            "recover() needs durability on; with DurabilityMode::Off there is no log"
+        );
+        let dir = cfg.log_dir.as_deref().expect("validated: log_dir is set");
+        let report = orthrus_durability::recover(&db, dir)
+            .unwrap_or_else(|e| panic!("command-log recovery failed: {e}"));
+        (Self::service(db, cfg), report)
     }
 
     /// The engine configuration.
@@ -137,7 +173,7 @@ impl OrthrusEngine {
         let active_execs = AtomicUsize::new(self.cfg.n_exec);
         let shared_table = shared_table_for(&self.cfg);
 
-        timed_run(
+        let stats = timed_run(
             self.cfg.total_threads(),
             params.warmup,
             params.measure,
@@ -172,11 +208,19 @@ impl OrthrusEngine {
                     );
                     let thread = crate::exec::ExecThread::new(
                         ex as u16, &self.db, &self.cfg, ep.to_cc, ep.fanin, admit,
-                    );
+                    )
+                    .with_log(self.log.clone());
                     thread.run(ctl, &active_execs)
                 }
             },
-        )
+        );
+        if let Some(log) = &self.log {
+            // A finished closed-loop run is a clean stop: make it fully
+            // replayable even in fsync-free `log` mode.
+            log.sync()
+                .unwrap_or_else(|e| panic!("command-log sync failed: {e}"));
+        }
+        stats
     }
 
     /// Start the engine in **service mode**: spawn its CC and execution
@@ -238,6 +282,7 @@ impl OrthrusEngine {
             let cfg = Arc::clone(&cfg);
             let ctl = Arc::clone(&ctl);
             let active = Arc::clone(&active_execs);
+            let log = self.log.clone();
             workers.push(std::thread::spawn(move || {
                 pin_to_core(cfg.n_cc + ex);
                 let source = ClientSource::new(submit_rx, cfg.effective_flush_threshold());
@@ -250,6 +295,7 @@ impl OrthrusEngine {
                 );
                 crate::exec::ExecThread::new(ex as u16, &db, &cfg, ep.to_cc, ep.fanin, admit)
                     .with_completions(done_tx)
+                    .with_log(log)
                     .run(&ctl, &active)
             }));
         }
@@ -263,8 +309,23 @@ impl OrthrusEngine {
             n_cc: self.cfg.n_cc,
             measure_from: Instant::now(),
             stats: None,
+            log: self.log.clone(),
         }
     }
+}
+
+/// Open the configured command log (validated: a non-`Off` mode has a
+/// `log_dir`). I/O failure is a loud construction failure, like an
+/// invalid config — an engine that silently dropped its durability
+/// contract would be worse than one that refuses to start.
+fn open_log(cfg: &OrthrusConfig) -> Option<Arc<CommandLog>> {
+    if !cfg.durability.is_on() {
+        return None;
+    }
+    let dir = cfg.log_dir.as_deref().expect("validated: log_dir is set");
+    let log = CommandLog::open(dir, cfg.durability)
+        .unwrap_or_else(|e| panic!("cannot open command log at {}: {e}", dir.display()));
+    Some(Arc::new(log))
 }
 
 /// Pre-size each CC's table for its share of hot keys; entries are
@@ -379,6 +440,9 @@ pub struct EngineHandle {
     n_cc: usize,
     measure_from: Instant,
     stats: Option<RunStats>,
+    /// The engine's command log, synced once the drain completes so a
+    /// clean shutdown is fully replayable even in fsync-free `log` mode.
+    log: Option<Arc<CommandLog>>,
 }
 
 impl EngineHandle {
@@ -454,6 +518,12 @@ impl EngineHandle {
             .drain(..)
             .map(|w| w.join().expect("engine worker panicked"))
             .collect();
+        if let Some(log) = &self.log {
+            // Workers are joined: every accepted ticket's record is
+            // appended. Push the OS-buffered suffix to stable storage.
+            log.sync()
+                .unwrap_or_else(|e| panic!("command-log sync failed: {e}"));
+        }
         let exec_stats = cc_stats.split_off(self.n_cc);
         let mut per_thread = exec_stats;
         // CC threads contribute message counts without inflating the
@@ -1335,6 +1405,220 @@ mod tests {
         let mut cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
         cfg.ingest_capacity = 0;
         let _ = OrthrusEngine::service(db, cfg);
+    }
+
+    // ---- Durability (command log + replay) ---------------------------
+
+    use orthrus_common::TempDir;
+    use orthrus_durability::DurabilityMode;
+
+    /// Quiesced per-key counters of a flat database.
+    fn counters(db: &Database, n: u64) -> Vec<u64> {
+        // SAFETY: the engine is shut down; no thread touches the table.
+        (0..n).map(|k| unsafe { db.read_counter(k) }).collect()
+    }
+
+    /// Closed-loop run with command logging: the log covers every commit
+    /// (lifetime count, group-commit records ≤ commits), and replaying it
+    /// into a fresh database reproduces the live table state exactly.
+    #[test]
+    fn closed_loop_log_replays_to_identical_state() {
+        let _serial = crate::test_serial();
+        let scratch = TempDir::new("engine-log");
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
+        let mut cfg = OrthrusConfig::with_threads(2, 3, CcAssignment::KeyModulo)
+            .with_durability(DurabilityMode::Log, scratch.path());
+        cfg.admission = crate::admit::AdmissionPolicy::ConflictBatch {
+            classes: 4,
+            batch: 8,
+        };
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg.clone());
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed_all > 0);
+        assert!(stats.totals.log_records > 0, "commits must be logged");
+        assert!(
+            stats.totals.log_records <= stats.totals.committed_all,
+            "group commit: at most one record per commit"
+        );
+        assert!(stats.totals.log_bytes > 0);
+        assert_eq!(stats.totals.log_flushes, 0, "`log` mode must not fsync");
+        drop(engine); // release the writer before recovery repairs the log
+
+        let fresh = Arc::new(Database::Flat(Table::new(64, 64)));
+        let (recovered, report) = OrthrusEngine::recover(Arc::clone(&fresh), cfg);
+        assert_eq!(report.txns, stats.totals.committed_all);
+        // The stat counters are *windowed* (reset at measurement start,
+        // like `committed`); the log itself covers the whole lifetime.
+        assert!(report.records >= stats.totals.log_records);
+        assert_eq!(report.torn_bytes, 0, "clean shutdown leaves no tear");
+        assert!(
+            report.tickets.is_empty(),
+            "synthetic commits are unticketed"
+        );
+        assert_eq!(counters(&fresh, 64), counters(&db, 64));
+        drop(recovered);
+    }
+
+    /// `log+fsync`: completions release only after the fsync, and the
+    /// fsync count equals the record count (one group-commit flush per
+    /// fused run).
+    #[test]
+    fn fsync_mode_flushes_once_per_record() {
+        let _serial = crate::test_serial();
+        let scratch = TempDir::new("engine-fsync");
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
+        let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo)
+            .with_durability(DurabilityMode::LogFsync, scratch.path());
+        let stats = OrthrusEngine::new(Arc::clone(&db), spec, cfg).run(&quick());
+        assert!(stats.totals.committed_all > 0);
+        assert_eq!(stats.totals.log_flushes, stats.totals.log_records);
+        assert!(stats.totals.log_records > 0);
+    }
+
+    /// Shutdown + recovery interaction (the drained-dry contract): a
+    /// service engine accepts a burst — including submissions still
+    /// queued in ingest rings when shutdown begins — drains everything,
+    /// and `recover` on the resulting log reproduces the drained state
+    /// with every accepted ticket replayed exactly once. Work fenced out
+    /// by the shutdown (refused tickets) is excluded from the log.
+    #[test]
+    fn shutdown_drains_dry_then_recover_reproduces_state() {
+        let _serial = crate::test_serial();
+        for admission in [
+            crate::admit::AdmissionPolicy::Fifo,
+            crate::admit::AdmissionPolicy::ConflictBatch {
+                classes: 4,
+                batch: 8,
+            },
+        ] {
+            let scratch = TempDir::new("engine-drain");
+            let db = Arc::new(Database::Flat(Table::new(64, 64)));
+            let mut cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo)
+                .with_durability(DurabilityMode::Log, scratch.path());
+            cfg.admission = admission.clone();
+            cfg.ingest_capacity = 64;
+            let engine = OrthrusEngine::service(Arc::clone(&db), cfg.clone());
+            let mut handle = engine.start(3);
+            let session = handle.session();
+            let mut gen = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false)).generator(5, 0);
+            // Burst without draining: at shutdown() up to ring-capacity
+            // submissions are still queued backlog.
+            let n = 200u64;
+            for _ in 0..n {
+                session.submit(gen.next_program()).expect("accepting");
+            }
+            let stats = handle.shutdown();
+            assert_eq!(stats.totals.committed_all, n, "{admission}: drained dry");
+            // Post-fence work is refused — and must not leak into the log.
+            assert!(session.try_submit(gen.next_program()).is_err());
+            let mut done = Vec::new();
+            handle.drain_completions(&mut done);
+            assert_eq!(done.len() as u64, n);
+            drop(handle);
+            drop(engine);
+
+            let fresh = Arc::new(Database::Flat(Table::new(64, 64)));
+            let (recovered, report) = OrthrusEngine::recover(Arc::clone(&fresh), cfg);
+            assert_eq!(report.txns, n, "{admission}: every ticket replayed");
+            // Exactly-once, no loss: replayed tickets == completed tickets.
+            let mut replayed = report.tickets.clone();
+            replayed.sort_unstable();
+            let mut completed: Vec<u64> = done.iter().map(|c| c.ticket.0).collect();
+            completed.sort_unstable();
+            assert_eq!(replayed, completed, "{admission}");
+            assert_eq!(counters(&fresh, 64), counters(&db, 64), "{admission}");
+
+            // The recovered engine keeps serving — and keeps logging.
+            let mut handle = recovered.start(4);
+            let session = handle.session();
+            for _ in 0..10 {
+                session.submit(gen.next_program()).expect("accepting");
+            }
+            let more = handle.shutdown();
+            assert_eq!(more.totals.committed_all, 10, "{admission}");
+        }
+    }
+
+    /// Ticket conservation through OLLP retries under logging: a retried
+    /// transaction is logged once (at its commit), and replay reproduces
+    /// the TPC-C money invariants of the live run.
+    #[test]
+    fn tpcc_service_with_ollp_noise_recovers_exactly() {
+        let _serial = crate::test_serial();
+        let scratch = TempDir::new("engine-tpcc");
+        let cfg_t = TpccConfig::tiny(2);
+        let db = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 27)));
+        let mut cfg = OrthrusConfig::with_threads(2, 2, CcAssignment::Warehouse)
+            .with_durability(DurabilityMode::Log, scratch.path());
+        cfg.ollp_noise_pct = 50;
+        let engine = OrthrusEngine::service(Arc::clone(&db), cfg.clone());
+        let mut gen = Spec::Tpcc(TpccSpec::paper_mix(cfg_t)).generator(13, 0);
+        let n = 300;
+        let (done, stats) = drive_service(&engine, &mut gen, n);
+        assert_eq!(done.len() as u64, n);
+        assert!(stats.totals.aborts_ollp > 0, "noise must hit the OLLP path");
+        drop(engine);
+
+        // Replay into a freshly loaded database (same seed = the same
+        // logical snapshot the log started from).
+        cfg.ollp_noise_pct = 0; // recovery replans noise-free regardless
+        let fresh = Arc::new(Database::Tpcc(TpccDb::load(cfg_t, 27)));
+        let (_recovered, report) = OrthrusEngine::recover(Arc::clone(&fresh), cfg);
+        assert_eq!(report.txns, n, "retried commits logged exactly once");
+        let (a, b) = (db.tpcc(), fresh.tpcc());
+        for w in 0..a.warehouses.len() {
+            // SAFETY: both databases are quiesced.
+            let (ya, yb) = unsafe {
+                (
+                    a.warehouses.read_with(w, |r| r.ytd_cents),
+                    b.warehouses.read_with(w, |r| r.ytd_cents),
+                )
+            };
+            assert_eq!(ya, yb, "warehouse {w} ytd");
+        }
+        for d in 0..a.districts.len() {
+            // SAFETY: quiesced (see above).
+            let (da, db_) = unsafe {
+                (
+                    a.districts
+                        .read_with(d, |r| (r.ytd_cents, r.next_o_id, r.history_ctr)),
+                    b.districts
+                        .read_with(d, |r| (r.ytd_cents, r.next_o_id, r.history_ctr)),
+                )
+            };
+            assert_eq!(da, db_, "district {d}");
+        }
+        for c in 0..a.customers.len() {
+            // SAFETY: quiesced (see above).
+            let (ca, cb) = unsafe {
+                (
+                    a.customers
+                        .read_with(c, |r| (r.balance_cents, r.payment_cnt)),
+                    b.customers
+                        .read_with(c, |r| (r.balance_cents, r.payment_cnt)),
+                )
+            };
+            assert_eq!(ca, cb, "customer {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a log_dir")]
+    fn engine_rejects_durability_without_dir() {
+        let db = Arc::new(Database::Flat(Table::new(16, 64)));
+        let mut cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        cfg.durability = DurabilityMode::Log;
+        let _ = OrthrusEngine::service(db, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs durability on")]
+    fn recover_rejects_durability_off() {
+        let db = Arc::new(Database::Flat(Table::new(16, 64)));
+        let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        let _ = OrthrusEngine::recover(db, cfg);
     }
 
     #[test]

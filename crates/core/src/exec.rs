@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use orthrus_common::runtime::RunCtl;
 use orthrus_common::{Backoff, Phase, PhaseTimer, ThreadStats};
+use orthrus_durability::{CommandLog, LoggedCommit};
 use orthrus_spsc::{FanIn, Producer};
 use orthrus_txn::{execute_planned, AbortKind, AccessSet, Database};
 
@@ -76,6 +77,20 @@ pub struct ExecThread<'a, S: TxnSource> {
     /// ticketed commit reports its submit→commit latency here. `None` in
     /// closed-loop (synthetic) runs.
     completions: Option<Producer<Completion>>,
+    /// The engine's command log (durability on): one record per fused
+    /// run, appended **while the run's locks are still held** — see
+    /// [`Self::on_response`] for the ordering contract. `None` when
+    /// durability is off.
+    log: Option<Arc<CommandLog>>,
+    /// Committed programs of the current run awaiting their group-commit
+    /// append (reused across runs; empty whenever `log` is `None`).
+    log_batch: Vec<LoggedCommit>,
+    /// The current run's commits awaiting latency stamping and (for
+    /// ticketed work) completion delivery. Latency is stamped — and the
+    /// completion released — only after the run's group-commit append
+    /// (and fsync, under `log+fsync`), so commit latency includes the
+    /// durability wait ("true commit latency").
+    commit_batch: Vec<(Option<crate::source::Ticket>, std::time::Instant)>,
     /// Completions that did not fit the ring because the client lagged.
     /// The engine **never blocks** on completion delivery — a blocking
     /// push could wedge the whole engine against a client stuck in a
@@ -129,6 +144,9 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
             inflight: 0,
             admit,
             completions: None,
+            log: None,
+            log_batch: Vec::new(),
+            commit_batch: Vec::new(),
             completion_overflow: Vec::new(),
             post_stop: false,
             stats: ThreadStats::default(),
@@ -143,6 +161,13 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
     /// reported back to the client through it.
     pub fn with_completions(mut self, ring: Producer<Completion>) -> Self {
         self.completions = Some(ring);
+        self
+    }
+
+    /// Attach the engine's command log (durability on): every committed
+    /// run appends one record before its locks and completions release.
+    pub fn with_log(mut self, log: Option<Arc<CommandLog>>) -> Self {
+        self.log = log;
         self
     }
 
@@ -418,13 +443,14 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
                 Ok(v) => {
                     std::hint::black_box(v);
                     self.stats.committed_all += 1;
-                    let latency_ns = txn.started.elapsed().as_nanos() as u64;
-                    if !self.post_stop {
-                        self.stats.committed += 1;
-                        self.stats.latency.record(latency_ns);
-                    }
-                    if let Some(ticket) = txn.ticket {
-                        self.deliver_completion(Completion { ticket, latency_ns });
+                    self.commit_batch.push((txn.ticket, txn.started));
+                    if self.log.is_some() {
+                        // Command logging: the program *is* the record
+                        // (effects are replayed, not stored).
+                        self.log_batch.push(LoggedCommit {
+                            ticket: txn.ticket.map(|t| t.0),
+                            program: txn.program,
+                        });
                     }
                     self.inflight -= 1;
                 }
@@ -439,6 +465,46 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
             }
         }
         timer.switch(&mut self.stats, Phase::Locking);
+        // Group commit, ordered for crash consistency: the run's record
+        // is appended (and, in `log+fsync` mode, made durable) while the
+        // run's locks are still held and before any completion releases.
+        // Holding the locks across the append makes the log order
+        // conflict-consistent — a conflicting successor cannot execute,
+        // let alone log, until our releases land; gating the completions
+        // makes "client saw it commit" imply "record covers it".
+        if let Some(log) = &self.log {
+            if !self.log_batch.is_empty() {
+                let receipt = log.append_run(&mut self.log_batch);
+                // Stat counters share the `committed` window (post-stop
+                // drain appends still happen — durability — but don't
+                // count), so `committed / log_records` is an unbiased
+                // amortization factor in both run modes.
+                if !self.post_stop {
+                    self.stats.log_records += 1;
+                    self.stats.log_bytes += receipt.bytes;
+                    self.stats.log_flushes += u64::from(receipt.synced);
+                }
+            }
+        }
+        // Commit point: stamp latency and release completions *now* —
+        // after the append/fsync — so under `log+fsync` the histograms
+        // carry the durability wait. FIFO runs hold one transaction, so
+        // their stamping point is unchanged; a fused multi-transaction
+        // run stamps every member at the run's release point, which is
+        // when its completion becomes client-visible — run-mates'
+        // execution time is genuinely part of that latency.
+        let mut ready = std::mem::take(&mut self.commit_batch);
+        for (ticket, started) in ready.drain(..) {
+            let latency_ns = started.elapsed().as_nanos() as u64;
+            if !self.post_stop {
+                self.stats.committed += 1;
+                self.stats.latency.record(latency_ns);
+            }
+            if let Some(ticket) = ticket {
+                self.deliver_completion(Completion { ticket, latency_ns });
+            }
+        }
+        self.commit_batch = ready;
         self.send_releases(&inf.lock_plan, slot, inf.gen);
         self.start_retry(inf, slot);
     }

@@ -94,6 +94,20 @@
 //! (ablation A8, `abl08_openloop`, sweeps offered load against
 //! delivered throughput and latency).
 //!
+//! ## Durability ([`OrthrusConfig::durability`])
+//!
+//! The paper's engine is main-memory only; this reproduction adds an
+//! optional command log (`orthrus-durability`, ablation A9,
+//! `abl09_durability`). With `DurabilityMode::Log`/`LogFsync`, every
+//! committed fused run appends **one** checksummed record of its
+//! programs — while the run's locks are still held, so the log order is
+//! conflict-consistent — and ticketed completions release only after the
+//! covering record is written (fsynced, under `log+fsync`). Group commit
+//! rides the existing admission batching: one append (and one fsync) per
+//! run, the same amortization schedule as the lock fabric's round trips.
+//! [`OrthrusEngine::recover`] replays a (possibly torn) log through
+//! `execute_planned` to rebuild table state before serving.
+//!
 //! [`hot_key_hint`]: orthrus_txn::Program::hot_key_hint
 
 pub mod admit;
@@ -115,6 +129,7 @@ mod proptests;
 pub use admit::{AdaptiveController, AdmissionPolicy, Admitted, Admitter};
 pub use config::{CcAssignment, CcMode, OrthrusConfig};
 pub use engine::{EngineHandle, OrthrusEngine};
+pub use orthrus_durability::{DurabilityMode, ReplayReport};
 pub use plan::LockPlan;
 pub use rebalance::{balanced_assignment, LoadHistogram};
 pub use session::{Session, TrySubmitError};

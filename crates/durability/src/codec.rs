@@ -1,0 +1,401 @@
+//! Wire format for command-log records.
+//!
+//! One record = one fused admission run = a batch of committed
+//! transactions. Hand-rolled little-endian encoding (the offline build
+//! has no serde): compact, versioned through the segment header, and
+//! decode-validated — though in practice decoding only ever sees
+//! checksum-clean payloads (the byte layer drops torn or corrupt tails
+//! before records reach this module).
+
+use orthrus_txn::{
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,
+    Program, StockLevelInput,
+};
+
+/// One committed transaction as logged: the program (command logging —
+/// effects are *not* logged) plus the client ticket id when the commit
+/// was a ticketed session submission (`None` for closed-loop synthetic
+/// work). Tickets let recovery audits prove exactly-once replay against
+/// the live run's completion ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedCommit {
+    pub ticket: Option<u64>,
+    pub program: Program,
+}
+
+/// Decoding failure: the payload passed its checksum but does not parse —
+/// a format bug or version skew, not a crash artifact. Recovery treats it
+/// like a tear (stop at the longest well-formed prefix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "command-log decode error: {}", self.0)
+    }
+}
+
+/// Append a run's record payload to `out` (the caller frames and
+/// checksums it at the byte layer).
+pub fn encode_run(txns: &[LoggedCommit], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(txns.len() as u32).to_le_bytes());
+    for t in txns {
+        match t.ticket {
+            None => out.push(0),
+            Some(id) => {
+                out.push(1);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        encode_program(&t.program, out);
+    }
+}
+
+/// Decode one record payload.
+pub fn decode_run(bytes: &[u8]) -> Result<Vec<LoggedCommit>, DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let n = r.u32()?;
+    // Bound the preallocation: a garbage count must fail on parse, not
+    // abort on a multi-gigabyte reserve (growth is amortized anyway).
+    let mut txns = Vec::with_capacity(n.min(4096) as usize);
+    for _ in 0..n {
+        let ticket = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            other => return Err(DecodeError(format!("bad ticket flag {other}"))),
+        };
+        let program = decode_program(&mut r)?;
+        txns.push(LoggedCommit { ticket, program });
+    }
+    if r.pos != r.bytes.len() {
+        return Err(DecodeError(format!(
+            "{} trailing bytes after {n} transactions",
+            r.bytes.len() - r.pos
+        )));
+    }
+    Ok(txns)
+}
+
+/// Program variant tags. Append-only: decoding by tag is the version
+/// contract, so new programs take fresh tags and old ones never change.
+mod tag {
+    pub const READ_ONLY: u8 = 0;
+    pub const RMW: u8 = 1;
+    pub const NEW_ORDER: u8 = 2;
+    pub const PAYMENT: u8 = 3;
+    pub const ORDER_STATUS: u8 = 4;
+    pub const DELIVERY: u8 = 5;
+    pub const STOCK_LEVEL: u8 = 6;
+}
+
+fn encode_program(p: &Program, out: &mut Vec<u8>) {
+    match p {
+        Program::ReadOnly { keys } => {
+            out.push(tag::READ_ONLY);
+            encode_keys(keys, out);
+        }
+        Program::Rmw { keys } => {
+            out.push(tag::RMW);
+            encode_keys(keys, out);
+        }
+        Program::NewOrder(i) => {
+            out.push(tag::NEW_ORDER);
+            out.extend_from_slice(&i.w.to_le_bytes());
+            out.extend_from_slice(&i.d.to_le_bytes());
+            out.extend_from_slice(&i.c.to_le_bytes());
+            out.extend_from_slice(&(i.lines.len() as u32).to_le_bytes());
+            for line in &i.lines {
+                out.extend_from_slice(&line.i_id.to_le_bytes());
+                out.extend_from_slice(&line.supply_w.to_le_bytes());
+                out.extend_from_slice(&line.qty.to_le_bytes());
+            }
+        }
+        Program::Payment(i) => {
+            out.push(tag::PAYMENT);
+            out.extend_from_slice(&i.w.to_le_bytes());
+            out.extend_from_slice(&i.d.to_le_bytes());
+            out.extend_from_slice(&i.amount_cents.to_le_bytes());
+            encode_selector(&i.customer, out);
+        }
+        Program::OrderStatus(i) => {
+            out.push(tag::ORDER_STATUS);
+            encode_selector(&i.customer, out);
+        }
+        Program::Delivery(i) => {
+            out.push(tag::DELIVERY);
+            out.extend_from_slice(&i.w.to_le_bytes());
+            out.push(i.carrier);
+        }
+        Program::StockLevel(i) => {
+            out.push(tag::STOCK_LEVEL);
+            out.extend_from_slice(&i.w.to_le_bytes());
+            out.extend_from_slice(&i.d.to_le_bytes());
+            out.extend_from_slice(&i.threshold.to_le_bytes());
+            out.extend_from_slice(&i.depth.to_le_bytes());
+        }
+    }
+}
+
+fn decode_program(r: &mut Reader<'_>) -> Result<Program, DecodeError> {
+    Ok(match r.u8()? {
+        tag::READ_ONLY => Program::ReadOnly {
+            keys: decode_keys(r)?,
+        },
+        tag::RMW => Program::Rmw {
+            keys: decode_keys(r)?,
+        },
+        tag::NEW_ORDER => {
+            let (w, d, c) = (r.u32()?, r.u32()?, r.u32()?);
+            let n = r.u32()?;
+            let mut lines = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                lines.push(OrderLineInput {
+                    i_id: r.u32()?,
+                    supply_w: r.u32()?,
+                    qty: r.u32()?,
+                });
+            }
+            Program::NewOrder(NewOrderInput { w, d, c, lines })
+        }
+        tag::PAYMENT => Program::Payment(PaymentInput {
+            w: r.u32()?,
+            d: r.u32()?,
+            amount_cents: r.u64()?,
+            customer: decode_selector(r)?,
+        }),
+        tag::ORDER_STATUS => Program::OrderStatus(OrderStatusInput {
+            customer: decode_selector(r)?,
+        }),
+        tag::DELIVERY => Program::Delivery(DeliveryInput {
+            w: r.u32()?,
+            carrier: r.u8()?,
+        }),
+        tag::STOCK_LEVEL => Program::StockLevel(StockLevelInput {
+            w: r.u32()?,
+            d: r.u32()?,
+            threshold: r.u32()?,
+            depth: r.u32()?,
+        }),
+        other => return Err(DecodeError(format!("unknown program tag {other}"))),
+    })
+}
+
+fn encode_keys(keys: &[u64], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for &k in keys {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+}
+
+fn decode_keys(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = r.u32()?;
+    let mut keys = Vec::with_capacity(n.min(4096) as usize);
+    for _ in 0..n {
+        keys.push(r.u64()?);
+    }
+    Ok(keys)
+}
+
+fn encode_selector(s: &CustomerSelector, out: &mut Vec<u8>) {
+    match *s {
+        CustomerSelector::ById { c_w, c_d, c } => {
+            out.push(0);
+            out.extend_from_slice(&c_w.to_le_bytes());
+            out.extend_from_slice(&c_d.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        CustomerSelector::ByLastName { c_w, c_d, name_id } => {
+            out.push(1);
+            out.extend_from_slice(&c_w.to_le_bytes());
+            out.extend_from_slice(&c_d.to_le_bytes());
+            out.extend_from_slice(&name_id.to_le_bytes());
+        }
+    }
+}
+
+fn decode_selector(r: &mut Reader<'_>) -> Result<CustomerSelector, DecodeError> {
+    Ok(match r.u8()? {
+        0 => CustomerSelector::ById {
+            c_w: r.u32()?,
+            c_d: r.u32()?,
+            c: r.u32()?,
+        },
+        1 => CustomerSelector::ByLastName {
+            c_w: r.u32()?,
+            c_d: r.u32()?,
+            name_id: r.u16()?,
+        },
+        other => return Err(DecodeError(format!("bad customer selector tag {other}"))),
+    })
+}
+
+/// Bounds-checked little-endian cursor.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(DecodeError(format!(
+                "payload cut short: wanted {n} bytes at {}",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_programs() -> Vec<Program> {
+        vec![
+            Program::ReadOnly { keys: vec![] },
+            Program::ReadOnly { keys: vec![7, 1] },
+            Program::Rmw {
+                keys: vec![u64::MAX, 0, 42],
+            },
+            Program::NewOrder(NewOrderInput {
+                w: 3,
+                d: 9,
+                c: 2999,
+                lines: vec![
+                    OrderLineInput {
+                        i_id: 77,
+                        supply_w: 3,
+                        qty: 10,
+                    },
+                    OrderLineInput {
+                        i_id: 1,
+                        supply_w: 4,
+                        qty: 1,
+                    },
+                ],
+            }),
+            Program::Payment(PaymentInput {
+                w: 1,
+                d: 2,
+                amount_cents: 499_999,
+                customer: CustomerSelector::ById {
+                    c_w: 0,
+                    c_d: 1,
+                    c: 8,
+                },
+            }),
+            Program::Payment(PaymentInput {
+                w: 0,
+                d: 0,
+                amount_cents: 1,
+                customer: CustomerSelector::ByLastName {
+                    c_w: 2,
+                    c_d: 3,
+                    name_id: 999,
+                },
+            }),
+            Program::OrderStatus(OrderStatusInput {
+                customer: CustomerSelector::ByLastName {
+                    c_w: 1,
+                    c_d: 0,
+                    name_id: 4,
+                },
+            }),
+            Program::Delivery(DeliveryInput { w: 7, carrier: 10 }),
+            Program::StockLevel(StockLevelInput {
+                w: 2,
+                d: 5,
+                threshold: 17,
+                depth: 20,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_program_variant_roundtrips() {
+        let txns: Vec<LoggedCommit> = sample_programs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| LoggedCommit {
+                ticket: if i % 2 == 0 {
+                    Some(i as u64 * 31)
+                } else {
+                    None
+                },
+                program,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        encode_run(&txns, &mut buf);
+        assert_eq!(decode_run(&buf).unwrap(), txns);
+    }
+
+    #[test]
+    fn empty_run_roundtrips() {
+        let mut buf = Vec::new();
+        encode_run(&[], &mut buf);
+        assert_eq!(decode_run(&buf).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = Vec::new();
+        encode_run(
+            &[LoggedCommit {
+                ticket: None,
+                program: Program::Rmw { keys: vec![1] },
+            }],
+            &mut buf,
+        );
+        buf.push(0xEE);
+        assert!(decode_run(&buf).is_err());
+    }
+
+    #[test]
+    fn cut_payload_is_rejected_not_misread() {
+        let mut buf = Vec::new();
+        encode_run(
+            &[LoggedCommit {
+                ticket: Some(5),
+                program: Program::Rmw {
+                    keys: vec![1, 2, 3],
+                },
+            }],
+            &mut buf,
+        );
+        for cut in 1..buf.len() {
+            assert!(
+                decode_run(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0); // no ticket
+        buf.push(250); // bogus program tag
+        assert!(decode_run(&buf).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! The crash-point test harness.
+//!
+//! A [`FailpointLog`] wraps a command-log directory and *simulates the
+//! crash*: truncate the physical byte stream at a scripted offset —
+//! mid-record, mid-length-prefix, on a record boundary, inside a segment
+//! header — exactly what an interrupted `write(2)` leaves behind. Tests
+//! then run [`crate::recover`] against the mutilated log and assert the
+//! recovery contract: the torn tail is dropped, every fully-logged commit
+//! replays exactly once, and the result is a prefix-consistent committed
+//! state.
+//!
+//! This is test infrastructure, not an engine component; it lives in the
+//! library (not `#[cfg(test)]`) so the engine's integration crash suite
+//! and the harness can script crash points too.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A scripted crash for a command log on disk.
+pub struct FailpointLog {
+    dir: PathBuf,
+}
+
+impl FailpointLog {
+    /// Wrap the log at `dir` (written by a finished engine run — crash
+    /// the *files*, not a live writer).
+    pub fn new(dir: &Path) -> Self {
+        FailpointLog {
+            dir: dir.to_path_buf(),
+        }
+    }
+
+    /// The wrapped directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total physical bytes (segment headers included) — the valid range
+    /// of crash offsets.
+    pub fn total_bytes(&self) -> io::Result<u64> {
+        orthrus_storage::log::total_bytes(&self.dir)
+    }
+
+    /// Physical end offset of every complete record, in log order: the
+    /// interesting boundaries to script crashes just before, at, and just
+    /// after. (A crash at `boundaries()[k]` keeps exactly `k + 1`
+    /// records.)
+    pub fn record_boundaries(&self) -> io::Result<Vec<u64>> {
+        Ok(orthrus_storage::log::scan(&self.dir)?.record_ends)
+    }
+
+    /// Crash: keep exactly the first `offset` physical bytes, discarding
+    /// the rest (later segments included). Truncation is monotone, so a
+    /// test can script descending offsets against one log without
+    /// copying it.
+    pub fn truncate_at(&self, offset: u64) -> io::Result<()> {
+        orthrus_storage::log::truncate_at(&self.dir, offset)
+    }
+
+    /// Crash mid-record: cut `back` bytes before the end of record `k`
+    /// (0-based). `back = 0` is a clean boundary crash; `back` up to the
+    /// record's framed size tears it.
+    pub fn truncate_inside_record(&self, k: usize, back: u64) -> io::Result<()> {
+        let ends = self.record_boundaries()?;
+        let end = *ends.get(k).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("log has {} records, wanted {k}", ends.len()),
+            )
+        })?;
+        self.truncate_at(end.saturating_sub(back))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::LoggedCommit;
+    use crate::log::{CommandLog, DurabilityMode};
+    use crate::replay::recover;
+    use orthrus_common::TempDir;
+    use orthrus_storage::Table;
+    use orthrus_txn::{Database, Program};
+
+    /// Build a log of `n` single-transaction runs (ticket i RMWs key i).
+    fn scripted_log(n: u64) -> (TempDir, FailpointLog) {
+        let t = TempDir::new("failpoint");
+        let log = CommandLog::open(t.path(), DurabilityMode::Log).unwrap();
+        for i in 0..n {
+            log.append_run(&mut vec![LoggedCommit {
+                ticket: Some(i),
+                program: Program::Rmw { keys: vec![i] },
+            }]);
+        }
+        log.sync().unwrap();
+        let fp = FailpointLog::new(t.path());
+        (t, fp)
+    }
+
+    #[test]
+    fn boundary_crash_keeps_exactly_k_records() {
+        let (_t, fp) = scripted_log(5);
+        let ends = fp.record_boundaries().unwrap();
+        assert_eq!(ends.len(), 5);
+        fp.truncate_at(ends[2]).unwrap();
+        let db = Database::Flat(Table::new(8, 64));
+        let report = recover(&db, fp.dir()).unwrap();
+        assert_eq!(report.tickets, vec![0, 1, 2]);
+        for k in 0..5u64 {
+            let expect = u64::from(k < 3);
+            assert_eq!(unsafe { db.read_counter(k) }, expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn mid_record_crash_drops_only_the_torn_commit() {
+        let (_t, fp) = scripted_log(4);
+        fp.truncate_inside_record(3, 1).unwrap(); // 1 byte short
+        let db = Database::Flat(Table::new(8, 64));
+        let report = recover(&db, fp.dir()).unwrap();
+        assert_eq!(report.tickets, vec![0, 1, 2]);
+        assert!(report.torn_bytes > 0);
+    }
+
+    #[test]
+    fn descending_offsets_script_on_one_log() {
+        let (_t, fp) = scripted_log(6);
+        let ends = fp.record_boundaries().unwrap();
+        for &k in &[5usize, 3, 1] {
+            fp.truncate_at(ends[k] - 2).unwrap(); // tear record k
+            let db = Database::Flat(Table::new(8, 64));
+            let report = recover(&db, fp.dir()).unwrap();
+            assert_eq!(report.txns as usize, k, "crash inside record {k}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_record_index_errors() {
+        let (_t, fp) = scripted_log(2);
+        assert!(fp.truncate_inside_record(7, 0).is_err());
+    }
+}

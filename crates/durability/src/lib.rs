@@ -1,0 +1,68 @@
+//! Durability for the ORTHRUS engine: command logging + replay.
+//!
+//! The paper's prototype is main-memory only; this crate is the
+//! reproduction's crash-consistency extension, following the H-Store /
+//! VoltDB *command logging* lineage (log the transaction, not its
+//! effects — see PAPERS.md): committed [`Program`]s are appended to a
+//! segmented, checksummed log ([`CommandLog`], over
+//! [`orthrus_storage::log`]), and [`recover`] rebuilds table state by
+//! re-executing the committed stream through the engine's own
+//! `execute_planned` path.
+//!
+//! ## Why logical logging is sound here
+//!
+//! Replay reproduces the live run's state only if (a) execution is
+//! deterministic given the database state each transaction saw and (b)
+//! the log order is consistent with the serialization order. Both hold by
+//! construction:
+//!
+//! - every program's writes are a deterministic function of its inputs
+//!   plus the records it reads under its locks (the engine's planned,
+//!   deadlock-free execution — proptest-pinned deterministic since PR 2);
+//! - execution threads append a run's record **while still holding the
+//!   run's locks** (before the releases are sent), so for any two
+//!   conflicting transactions the one serialized first also logs first.
+//!   Non-conflicting transactions may interleave arbitrarily in the log —
+//!   replaying them in log order is one of their equivalent serial
+//!   orders.
+//!
+//! Data-dependent access sets (OLLP, Section 3.2) need no annotation in
+//! the log: at replay time the database state equals the state the live
+//! transaction committed against (w.r.t. its footprint), so noise-free
+//! reconnaissance re-derives the exact plan — [`replay`] plans with
+//! `ollp_noise = 0` and a mismatch retry loop that, in practice, never
+//! fires.
+//!
+//! ## Group commit
+//!
+//! One log record covers one *fused admission run* (PR 2's
+//! conflict-batched runs): the execution thread that just committed a
+//! run of N same-class transactions appends a single record holding all
+//! N programs — the same amortization the message fabric applies to lock
+//! traffic, applied to the write (and, under
+//! [`DurabilityMode::LogFsync`], to the fsync). FIFO admission degrades
+//! to per-transaction records, exactly as it degrades to per-transaction
+//! lock rounds.
+//!
+//! ## Crash points
+//!
+//! [`FailpointLog`] scripts the crash: truncate the physical byte stream
+//! at an arbitrary offset and recover. The contract (tested here and in
+//! the engine's crash suite): recovery drops the torn tail, replays
+//! every fully-logged commit exactly once, and yields a
+//! prefix-consistent committed state.
+//!
+//! [`Program`]: orthrus_txn::Program
+
+pub mod codec;
+pub mod failpoint;
+pub mod log;
+pub mod replay;
+
+#[cfg(test)]
+mod proptests;
+
+pub use codec::LoggedCommit;
+pub use failpoint::FailpointLog;
+pub use log::{AppendReceipt, CommandLog, DurabilityMode};
+pub use replay::{recover, replay, ReplayReport};

@@ -1,0 +1,253 @@
+//! The command log: a shared group-commit writer over
+//! [`orthrus_storage::log::SegmentedLog`].
+
+use std::io;
+use std::path::Path;
+
+use orthrus_storage::log::{SegmentedLog, DEFAULT_SEGMENT_BYTES};
+use parking_lot::Mutex;
+
+use crate::codec::{encode_run, LoggedCommit};
+
+/// How durable a commit is before its completion is released
+/// (`ORTHRUS_DURABILITY` in the harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// No log: the paper's main-memory-only semantics (default).
+    #[default]
+    Off,
+    /// Append each run's record before releasing its locks/completions;
+    /// no fsync — a crash loses at most the OS-buffered suffix, and
+    /// recovery replays the surviving prefix.
+    Log,
+    /// Append **and fsync** before release: a delivered completion
+    /// guarantees the covering record is on stable storage (true commit
+    /// latency — the group-commit batching is what keeps this survivable).
+    LogFsync,
+}
+
+impl DurabilityMode {
+    /// Whether any log is written.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, DurabilityMode::Off)
+    }
+}
+
+impl std::fmt::Display for DurabilityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DurabilityMode::Off => "off",
+            DurabilityMode::Log => "log",
+            DurabilityMode::LogFsync => "log+fsync",
+        })
+    }
+}
+
+impl std::str::FromStr for DurabilityMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(DurabilityMode::Off),
+            "log" => Ok(DurabilityMode::Log),
+            "log+fsync" | "fsync" => Ok(DurabilityMode::LogFsync),
+            _ => Err(format!(
+                "unknown durability mode {s:?}; expected off | log | log+fsync"
+            )),
+        }
+    }
+}
+
+/// What one append cost — folded into the committing thread's
+/// `ThreadStats` (log bytes/records/flushes in `RunStats`).
+#[derive(Debug, Clone, Copy)]
+pub struct AppendReceipt {
+    /// Framed bytes written for this record.
+    pub bytes: u64,
+    /// Whether an fsync was issued (`log+fsync` mode).
+    pub synced: bool,
+}
+
+/// The engine-facing command log: one per engine, shared by every
+/// execution thread.
+///
+/// The writer sits behind a mutex. That lock is **not** incidental — it
+/// is the ordering guarantee: a thread appends while still holding its
+/// run's locks, so for any two conflicting runs the lock fabric already
+/// serialized the appends; the mutex serializes the *non*-conflicting
+/// ones into some interleaving, which replay is free to use as its serial
+/// order. Contention on it is one acquisition per fused run, the same
+/// amortization schedule as the lock fabric's round trips.
+pub struct CommandLog {
+    inner: Mutex<Writer>,
+    mode: DurabilityMode,
+}
+
+struct Writer {
+    log: SegmentedLog,
+}
+
+impl CommandLog {
+    /// Open (or create) the log at `dir` for appending. `mode` must not
+    /// be [`DurabilityMode::Off`] — "no log" is represented by not
+    /// constructing one.
+    ///
+    /// An existing clean log is continued. A *crashed* (torn) log is
+    /// **refused** — records appended behind a tear would be durable yet
+    /// unreachable to every future replay, the worst possible failure
+    /// for a durability layer — so restart-after-crash must go through
+    /// [`crate::recover`] (the engine's `OrthrusEngine::recover`), which
+    /// repairs the tail first.
+    pub fn open(dir: &Path, mode: DurabilityMode) -> io::Result<Self> {
+        Self::open_with_segment_bytes(dir, mode, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`Self::open`] with an explicit segment byte budget (tests
+    /// exercise segment rolling with tiny budgets).
+    pub fn open_with_segment_bytes(
+        dir: &Path,
+        mode: DurabilityMode,
+        segment_bytes: u64,
+    ) -> io::Result<Self> {
+        assert!(mode.is_on(), "DurabilityMode::Off opens no log");
+        if !orthrus_storage::log::tail_is_clean(dir)? {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "command log at {} has a torn tail; recover it first \
+                     (OrthrusEngine::recover replays and repairs in place)",
+                    dir.display()
+                ),
+            ));
+        }
+        Ok(CommandLog {
+            inner: Mutex::new(Writer {
+                log: SegmentedLog::open(dir, segment_bytes)?,
+            }),
+            mode,
+        })
+    }
+
+    /// The configured durability mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    /// Group commit: append one record covering the whole run, draining
+    /// `txns`. Under [`DurabilityMode::LogFsync`] the record is fsynced
+    /// before this returns — the caller releases locks and completions
+    /// only after, so "completed" implies "durable".
+    ///
+    /// I/O failure panics: continuing to commit transactions whose
+    /// durability contract just broke would be silent data loss, and the
+    /// engine has no error channel mid-run (matching its loud-failure
+    /// construction contract).
+    pub fn append_run(&self, txns: &mut Vec<LoggedCommit>) -> AppendReceipt {
+        debug_assert!(!txns.is_empty(), "empty runs are not logged");
+        // Encode before taking the writer lock: the per-run CPU work is
+        // thread-local and must not lengthen the shared critical
+        // section, which should be the file write (plus the fsync)
+        // alone.
+        let mut buf = Vec::with_capacity(64 * txns.len() + 8);
+        encode_run(txns, &mut buf);
+        let mut w = self.inner.lock();
+        let bytes = w
+            .log
+            .append(&buf)
+            .unwrap_or_else(|e| panic!("command-log append failed: {e}"));
+        let synced = self.mode == DurabilityMode::LogFsync;
+        if synced {
+            w.log
+                .sync()
+                .unwrap_or_else(|e| panic!("command-log fsync failed: {e}"));
+        }
+        drop(w);
+        txns.clear();
+        AppendReceipt { bytes, synced }
+    }
+
+    /// Flush OS-buffered appends to stable storage. Called at engine
+    /// shutdown so a clean stop is always fully replayable even in
+    /// fsync-free [`DurabilityMode::Log`].
+    pub fn sync(&self) -> io::Result<()> {
+        self.inner.lock().log.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::TempDir;
+    use orthrus_txn::Program;
+
+    fn commits(ids: std::ops::Range<u64>) -> Vec<LoggedCommit> {
+        ids.map(|i| LoggedCommit {
+            ticket: Some(i),
+            program: Program::Rmw {
+                keys: vec![i, i + 1],
+            },
+        })
+        .collect()
+    }
+
+    #[test]
+    fn modes_parse_and_print() {
+        for (s, m) in [
+            ("off", DurabilityMode::Off),
+            ("log", DurabilityMode::Log),
+            ("log+fsync", DurabilityMode::LogFsync),
+        ] {
+            assert_eq!(s.parse::<DurabilityMode>().unwrap(), m);
+            assert_eq!(m.to_string(), s);
+        }
+        assert!("journal".parse::<DurabilityMode>().is_err());
+        assert!(!DurabilityMode::Off.is_on());
+        assert!(DurabilityMode::LogFsync.is_on());
+    }
+
+    #[test]
+    fn append_run_drains_and_reports_bytes() {
+        let t = TempDir::new("cmdlog");
+        let log = CommandLog::open(t.path(), DurabilityMode::Log).unwrap();
+        let mut batch = commits(0..3);
+        let r = log.append_run(&mut batch);
+        assert!(batch.is_empty(), "group commit consumes the batch");
+        assert!(r.bytes > 0);
+        assert!(!r.synced, "fsync-free mode must not sync per append");
+        log.sync().unwrap();
+
+        let scan = orthrus_storage::log::scan(t.path()).unwrap();
+        assert_eq!(scan.payloads.len(), 1, "one record per run");
+        let decoded = crate::codec::decode_run(&scan.payloads[0]).unwrap();
+        assert_eq!(decoded, commits(0..3));
+    }
+
+    #[test]
+    fn open_refuses_a_torn_log() {
+        let t = TempDir::new("cmdlog");
+        let log = CommandLog::open(t.path(), DurabilityMode::Log).unwrap();
+        log.append_run(&mut commits(0..2));
+        log.sync().unwrap();
+        drop(log);
+        let total = orthrus_storage::log::total_bytes(t.path()).unwrap();
+        orthrus_storage::log::truncate_at(t.path(), total - 1).unwrap();
+        // Appending behind a tear would be durable-yet-unreplayable: the
+        // open must refuse and point at recovery.
+        let err = match CommandLog::open(t.path(), DurabilityMode::Log) {
+            Err(e) => e,
+            Ok(_) => panic!("torn log must be refused"),
+        };
+        assert!(err.to_string().contains("recover"), "{err}");
+        // After repair, the log opens again.
+        orthrus_storage::log::truncate_torn_tail(t.path()).unwrap();
+        CommandLog::open(t.path(), DurabilityMode::Log).unwrap();
+    }
+
+    #[test]
+    fn fsync_mode_reports_the_flush() {
+        let t = TempDir::new("cmdlog");
+        let log = CommandLog::open(t.path(), DurabilityMode::LogFsync).unwrap();
+        let r = log.append_run(&mut commits(0..1));
+        assert!(r.synced);
+    }
+}

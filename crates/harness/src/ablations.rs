@@ -32,6 +32,7 @@ pub fn run_orthrus_custom(
     cfg.max_inflight = max_inflight;
     cfg.flush_threshold = bc.flush_threshold;
     cfg.admission = bc.admission.clone();
+    let _log_dir = bc.apply_durability(&mut cfg);
     let engine = OrthrusEngine::new(db, Spec::Micro(spec), cfg);
     engine.run(&bc.params(n_cc + n_exec))
 }
@@ -154,6 +155,7 @@ pub fn abl04_cc_architecture(bc: &BenchConfig) -> FigureResult {
             let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
             let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
             cfg.cc_mode = mode;
+            let _log_dir = bc.apply_durability(&mut cfg);
             let engine = OrthrusEngine::new(db, Spec::Micro(spec), cfg);
             let stats = engine.run(&bc.params(n_cc + n_exec));
             s.push(hot as f64, stats.throughput());
@@ -308,6 +310,7 @@ fn drive_openloop(
     let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
     cfg.flush_threshold = bc.flush_threshold;
     cfg.admission = policy.clone();
+    let _log_dir = bc.apply_durability(&mut cfg);
     let engine = OrthrusEngine::service(db, cfg);
     let mut handle = engine.start(bc.seed);
     let session = handle.session();
@@ -400,6 +403,81 @@ pub fn abl08_openloop(bc: &BenchConfig) -> FigureResult {
     fig
 }
 
+/// A9: the durability tax and the group-commit amortization that pays
+/// it. The engine is main-memory in the paper; `abl09` measures what
+/// command logging costs under the A6/A7 contention crucible
+/// (scrambled-Zipf θ = 0.9 10RMW) across the `ORTHRUS_DURABILITY` knob:
+///
+/// - `off` — the paper's semantics (baseline);
+/// - `log` — one checksummed record per fused admission run, appended
+///   before the run's locks release, no fsync;
+/// - `log+fsync` — the record is also fsynced before completions
+///   release, so "committed" means "on stable storage".
+///
+/// Under FIFO every commit is its own record (and, with fsync, its own
+/// flush); under conflict-batched admission a whole fused run shares
+/// one — the `txns/log record` series *is* the amortization factor, and
+/// the reason `log` stays within ~10% of `off` at high contention (see
+/// EXPERIMENTS.md for recorded numbers). The fsync series is where the
+/// latency tail moves from memory speed to device speed.
+pub fn abl09_durability(bc: &BenchConfig) -> FigureResult {
+    use orthrus_core::DurabilityMode;
+
+    let (n_cc, n_exec) = split(bc);
+    let mut fig = FigureResult::new(
+        "abl09",
+        format!("Durability: command log + group commit ({n_cc} CC / {n_exec} exec threads)"),
+        "durability (0=off 1=log 2=log+fsync)",
+        "txns/sec (aux series: txns/log record, log MB/s)",
+    );
+    let spec = MicroSpec::zipf(bc.n_records as u64, 10, 0.9, false);
+    for (plabel, policy) in [
+        ("FIFO", AdmissionPolicy::Fifo),
+        ("conflict-batch", AdmissionPolicy::conflict_batch()),
+    ] {
+        let mut tput = Series::new(format!("{plabel} txns/sec"));
+        let mut group = Series::new(format!("{plabel} txns/log record"));
+        let mut rate = Series::new(format!("{plabel} log MB/s"));
+        for (x, mode) in [
+            (0.0, DurabilityMode::Off),
+            (1.0, DurabilityMode::Log),
+            (2.0, DurabilityMode::LogFsync),
+        ] {
+            let n = spec.n_records as usize;
+            let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
+            let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
+            cfg.flush_threshold = bc.flush_threshold;
+            cfg.admission = policy.clone();
+            // The sweep owns the knob here; the env default
+            // (bc.apply_durability) governs every *other* figure.
+            let scratch = mode.is_on().then(|| {
+                let dir = orthrus_common::TempDir::new("abl09-cmdlog");
+                cfg.durability = mode;
+                cfg.log_dir = Some(dir.path().to_path_buf());
+                dir
+            });
+            let stats = OrthrusEngine::new(db, Spec::Micro(spec.clone()), cfg)
+                .run(&bc.params(n_cc + n_exec));
+            tput.push(x, stats.throughput());
+            if mode.is_on() {
+                group.push(
+                    x,
+                    stats.totals.committed as f64 / stats.totals.log_records.max(1) as f64,
+                );
+                rate.push(
+                    x,
+                    stats.totals.log_bytes as f64 / 1e6 / stats.elapsed.as_secs_f64().max(1e-9),
+                );
+            }
+            drop(scratch);
+        }
+        fig.series.push(tput);
+        fig.series.push(group);
+        fig.series.push(rate);
+    }
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +566,35 @@ mod tests {
             switches.points.iter().all(|&(_, y)| y >= 0.0),
             "switch counts are non-negative"
         );
+    }
+
+    #[test]
+    fn durability_ablation_sweeps_modes_and_policies() {
+        let _serial = crate::test_serial();
+        let bc = BenchConfig::test_quick();
+        let fig = abl09_durability(&bc);
+        // 2 policies × (throughput, txns/record, log MB/s).
+        assert_eq!(fig.series.len(), 6);
+        for p in 0..2 {
+            let tput = &fig.series[3 * p];
+            assert_eq!(
+                tput.points.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
+                vec![0.0, 1.0, 2.0],
+                "{}",
+                tput.label
+            );
+            assert!(tput.points.iter().all(|&(_, y)| y > 0.0), "{}", tput.label);
+            let group = &fig.series[3 * p + 1];
+            // Logged modes only, and at least one txn per record.
+            assert_eq!(group.points.len(), 2, "{}", group.label);
+            assert!(
+                group.points.iter().all(|&(_, y)| y >= 1.0),
+                "{}",
+                group.label
+            );
+            let rate = &fig.series[3 * p + 2];
+            assert!(rate.points.iter().all(|&(_, y)| y > 0.0), "{}", rate.label);
+        }
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use orthrus_common::RunParams;
-use orthrus_core::AdmissionPolicy;
+use orthrus_common::{RunParams, TempDir};
+use orthrus_core::{AdmissionPolicy, DurabilityMode, OrthrusConfig};
 
 /// Scales and windows for figure runs.
 #[derive(Debug, Clone)]
@@ -45,6 +45,12 @@ pub struct BenchConfig {
     /// `adaptive:<threshold>:<k>:<epoch>[:<classes>:<max_batch>]` enables
     /// in-engine conflict-driven policy switching, see ablation A7).
     pub admission: AdmissionPolicy,
+    /// Durability mode applied to every ORTHRUS run
+    /// (`ORTHRUS_DURABILITY`, default `off`; `log` appends one
+    /// command-log record per fused admission run, `log+fsync` also
+    /// fsyncs per record — see ablation A9). The harness logs into a
+    /// scratch dir under `target/` ([`Self::apply_durability`]).
+    pub durability: DurabilityMode,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -62,6 +68,17 @@ fn admission_from_env() -> AdmissionPolicy {
             .parse()
             .unwrap_or_else(|e| panic!("ORTHRUS_ADMISSION: {e}")),
         Err(_) => AdmissionPolicy::Fifo,
+    }
+}
+
+/// Parse `ORTHRUS_DURABILITY`; a present-but-invalid value is a hard
+/// error for the same reason as the admission knob.
+fn durability_from_env() -> DurabilityMode {
+    match std::env::var("ORTHRUS_DURABILITY") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("ORTHRUS_DURABILITY: {e}")),
+        Err(_) => DurabilityMode::Off,
     }
 }
 
@@ -84,16 +101,18 @@ impl BenchConfig {
             )
             .max(1) as usize,
             admission: admission_from_env(),
+            durability: durability_from_env(),
         }
     }
 
     /// A fast configuration for tests.
     ///
-    /// Scales are fixed, but the two semantics knobs —
-    /// `ORTHRUS_FLUSH_THRESHOLD` and `ORTHRUS_ADMISSION` — are still read
-    /// from the environment, so the CI seed-semantics matrix leg (flush 1,
-    /// FIFO admission) exercises the per-message/FIFO path through the
-    /// whole harness test suite.
+    /// Scales are fixed, but the three semantics knobs —
+    /// `ORTHRUS_FLUSH_THRESHOLD`, `ORTHRUS_ADMISSION`, and
+    /// `ORTHRUS_DURABILITY` — are still read from the environment, so the
+    /// CI matrix legs (seed semantics, adaptive admission, command-log
+    /// durability) exercise their paths through the whole harness test
+    /// suite.
     pub fn test_quick() -> Self {
         BenchConfig {
             measure: Duration::from_millis(120),
@@ -111,7 +130,24 @@ impl BenchConfig {
             )
             .max(1) as usize,
             admission: admission_from_env(),
+            durability: durability_from_env(),
         }
+    }
+
+    /// Apply the env-selected durability mode to an engine config,
+    /// logging into a fresh scratch directory under `target/`. Returns
+    /// the directory guard — hold it across the run (dropping it deletes
+    /// the log). `None` (and no config change) when durability is off,
+    /// so the default path stays byte-identical to the pre-durability
+    /// harness.
+    pub fn apply_durability(&self, cfg: &mut OrthrusConfig) -> Option<TempDir> {
+        if !self.durability.is_on() {
+            return None;
+        }
+        let scratch = TempDir::new("harness-cmdlog");
+        cfg.durability = self.durability;
+        cfg.log_dir = Some(scratch.path().to_path_buf());
+        Some(scratch)
     }
 
     /// Run parameters for `threads` workers.

@@ -117,6 +117,7 @@ pub fn run_micro(kind: SystemKind, spec: MicroSpec, threads: usize, bc: &BenchCo
             let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
             cfg.flush_threshold = bc.flush_threshold;
             cfg.admission = bc.admission.clone();
+            let _log_dir = bc.apply_durability(&mut cfg);
             // for_cores(1) still runs 1 CC + 1 exec; label what actually
             // runs (the engine enforces the match).
             let params = bc.params(cfg.total_threads());
@@ -126,6 +127,7 @@ pub fn run_micro(kind: SystemKind, spec: MicroSpec, threads: usize, bc: &BenchCo
             let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::KeyModulo);
             cfg.flush_threshold = bc.flush_threshold;
             cfg.admission = bc.admission.clone();
+            let _log_dir = bc.apply_durability(&mut cfg);
             // Index partitions aligned with CC partitions (Section 4.3).
             let db = Arc::new(Database::Partitioned(PartitionedTable::new(
                 n,
@@ -160,6 +162,7 @@ pub fn run_orthrus_split(
     let mut cfg = OrthrusConfig::with_threads(n_cc, n_exec, CcAssignment::KeyModulo);
     cfg.flush_threshold = bc.flush_threshold;
     cfg.admission = bc.admission.clone();
+    let _log_dir = bc.apply_durability(&mut cfg);
     OrthrusEngine::new(db, Spec::Micro(spec), cfg).run(&params)
 }
 
@@ -176,6 +179,7 @@ pub fn run_orthrus_balanced(spec: MicroSpec, threads: usize, bc: &BenchConfig) -
     let spec = Spec::Micro(spec);
     cfg.assignment =
         orthrus_core::rebalance::balanced_assignment(&spec, &db, cfg.n_cc, 1024, 4096, bc.seed);
+    let _log_dir = bc.apply_durability(&mut cfg);
     OrthrusEngine::new(db, spec, cfg).run(&params)
 }
 
@@ -233,6 +237,7 @@ fn run_tpcc_spec(kind: SystemKind, spec_t: TpccSpec, threads: usize, bc: &BenchC
             let mut cfg = OrthrusConfig::for_cores(threads, CcAssignment::Warehouse);
             cfg.flush_threshold = bc.flush_threshold;
             cfg.admission = bc.admission.clone();
+            let _log_dir = bc.apply_durability(&mut cfg);
             // for_cores(1) still runs 1 CC + 1 exec; label what actually
             // runs (the engine enforces the match).
             let params = bc.params(cfg.total_threads());

@@ -15,6 +15,11 @@
 //!   Section 4.3.
 //! - [`tpcc`]: the TPC-C subset schema (Section 4.4): row types, key
 //!   layout, and loader.
+//! - [`log`]: append-only segmented log files (length-prefixed,
+//!   checksummed records; torn-tail detection and repair) — the byte
+//!   layer under the `orthrus-durability` command log. The paper's
+//!   prototype is main-memory only; this is the reproduction's
+//!   durability extension.
 //!
 //! # Safety model
 //!
@@ -28,6 +33,7 @@
 
 pub mod arena;
 pub mod index;
+pub mod log;
 pub mod partitioned;
 pub mod record;
 pub mod table;
@@ -38,6 +44,7 @@ mod proptests;
 
 pub use arena::SlotArena;
 pub use index::HashIndex;
+pub use log::SegmentedLog;
 pub use partitioned::PartitionedTable;
 pub use record::RecordStore;
 pub use table::Table;

@@ -1,0 +1,686 @@
+//! Append-only segmented log files: the byte layer under the durability
+//! subsystem (`orthrus-durability`).
+//!
+//! The paper's prototype is main-memory only; this module is the storage
+//! half of the reproduction's command-logging extension. It is
+//! deliberately content-agnostic — payloads are opaque byte slices — so
+//! the record framing, segment management, and crash-tail semantics can
+//! be property-tested here without any transaction vocabulary.
+//!
+//! ## On-disk format
+//!
+//! A log is a directory of segments `seg-<index>.olog`, appended in index
+//! order. Each segment starts with an 8-byte magic/version header
+//! ([`SEGMENT_MAGIC`]); records follow back to back:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! A writer rolls to a fresh segment once the current one reaches its
+//! byte budget (records are never split across segments). `std::fs`
+//! only — no external dependencies.
+//!
+//! ## Crash semantics
+//!
+//! The reader accepts the longest **valid prefix**: it stops at the first
+//! record whose length prefix is incomplete, whose payload is shorter
+//! than its length, or whose checksum mismatches — a *torn tail*, the
+//! signature of a crash mid-append. Everything before the tear is intact
+//! (checksummed), everything from it on is reported as dropped bytes.
+//! [`truncate_torn_tail`] repairs a log in place (truncates the torn
+//! segment at the tear, deletes later segments) so a recovered log can be
+//! appended to again.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Segment header: magic + format version in one 8-byte stamp.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"ORTHLOG1";
+
+/// Default segment byte budget. Small enough that the segment-rolling
+/// path is exercised by real runs, large enough that rolling is rare.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Sanity cap on a single record's payload (a length prefix beyond this
+/// is treated as corruption, not as a 4 GiB allocation request).
+const MAX_RECORD_BYTES: u32 = 1 << 30;
+
+/// Bytes of framing per record (length prefix + checksum).
+pub const RECORD_OVERHEAD: u64 = 8;
+
+/// CRC-32 (IEEE 802.3), table-driven. Vendored: the offline build
+/// environment has no registry access (see `crates/shims/`).
+fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Segment file name for `index`.
+fn segment_name(index: u32) -> String {
+    format!("seg-{index:06}.olog")
+}
+
+/// List a log directory's segments in index order.
+pub fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut indexed: Vec<(u32, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(idx) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".olog"))
+            .and_then(|digits| digits.parse::<u32>().ok())
+        {
+            indexed.push((idx, path));
+        }
+    }
+    indexed.sort_unstable_by_key(|&(idx, _)| idx);
+    Ok(indexed.into_iter().map(|(_, p)| p).collect())
+}
+
+/// An append-only segmented log writer. Single-writer by construction
+/// (`&mut self` appends); `orthrus-durability` serializes engine threads
+/// in front of it.
+pub struct SegmentedLog {
+    dir: PathBuf,
+    segment_bytes: u64,
+    file: File,
+    seg_index: u32,
+    /// Bytes in the current segment, header included.
+    seg_len: u64,
+}
+
+impl SegmentedLog {
+    /// Open `dir` for appending, creating it (and the first segment) if
+    /// needed. An existing log is continued at its physical end — callers
+    /// recovering after a crash must repair the torn tail first
+    /// ([`truncate_torn_tail`]), or new records would hide behind it
+    /// forever.
+    pub fn open(dir: &Path, segment_bytes: u64) -> io::Result<Self> {
+        assert!(
+            segment_bytes > SEGMENT_MAGIC.len() as u64 + RECORD_OVERHEAD,
+            "segment budget below one record's framing"
+        );
+        std::fs::create_dir_all(dir)?;
+        let segments = segment_paths(dir)?;
+        let (seg_index, path) = match segments.last() {
+            Some(last) => {
+                let idx = segments.len() as u32 - 1;
+                (idx, last.clone())
+            }
+            None => (0, dir.join(segment_name(0))),
+        };
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        let mut seg_len = file.metadata()?.len();
+        if seg_len == 0 {
+            file.write_all(&SEGMENT_MAGIC)?;
+            seg_len = SEGMENT_MAGIC.len() as u64;
+            // Make the new file's directory entry durable: without this a
+            // power loss can forget the whole segment even though its
+            // *data* was fsynced (the "delivered completion implies
+            // durable" contract of log+fsync hangs on it).
+            sync_dir(dir)?;
+        }
+        Ok(SegmentedLog {
+            dir: dir.to_path_buf(),
+            segment_bytes,
+            file,
+            seg_index,
+            seg_len,
+        })
+    }
+
+    /// Append one record; returns the framed byte count written. Rolls to
+    /// a fresh segment first when the current one is at budget (a record
+    /// never splits across segments; oversized records get a segment of
+    /// their own).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        assert!(
+            payload.len() <= MAX_RECORD_BYTES as usize,
+            "record payload exceeds the format cap"
+        );
+        let framed = RECORD_OVERHEAD + payload.len() as u64;
+        if self.seg_len > SEGMENT_MAGIC.len() as u64 && self.seg_len + framed > self.segment_bytes {
+            self.roll()?;
+        }
+        let mut header = [0u8; RECORD_OVERHEAD as usize];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        self.file.write_all(&header)?;
+        self.file.write_all(payload)?;
+        self.seg_len += framed;
+        Ok(framed)
+    }
+
+    /// Force appended records to stable storage (`fdatasync`).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Close the current segment (syncing it) and start the next one.
+    fn roll(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.seg_index += 1;
+        let path = self.dir.join(segment_name(self.seg_index));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        file.write_all(&SEGMENT_MAGIC)?;
+        // Directory-entry durability for the fresh segment (see open()).
+        sync_dir(&self.dir)?;
+        self.file = file;
+        self.seg_len = SEGMENT_MAGIC.len() as u64;
+        Ok(())
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Fsync a directory so freshly created entries survive power loss.
+/// Directory fds are a Unix notion; elsewhere this is a best-effort
+/// no-op (the containers this reproduction targets are Linux).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Why reading stopped before the physical end of the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TornTail {
+    /// A record's framing or payload was cut short (crash mid-append).
+    Truncated,
+    /// A record's checksum mismatched (partial overwrite / bit rot).
+    BadChecksum,
+    /// A segment's magic header was missing or short.
+    BadSegmentHeader,
+}
+
+/// The outcome of scanning a log directory.
+#[derive(Debug)]
+pub struct LogScan {
+    /// Every valid payload, in log order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Framed bytes of the valid record prefix (per record: length
+    /// prefix, checksum, and payload), summed over segments. Segment
+    /// magic headers are **excluded**, so this is *not* a physical
+    /// offset — crash points come from [`LogScan::record_ends`] (or
+    /// [`LogReader::last_record_end`]), which do include headers.
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (the torn tail plus any later
+    /// segments), `0` for a clean log.
+    pub dropped_bytes: u64,
+    /// Why the scan stopped early, if it did.
+    pub tear: Option<TornTail>,
+    /// Global byte offset (across concatenated segments) at the end of
+    /// each valid record — the crash points a failpoint test scripts.
+    pub record_ends: Vec<u64>,
+}
+
+/// A streaming log reader: yields valid payloads in log order while
+/// holding **one segment** in memory at a time, so recovery of a
+/// multi-gigabyte log needs `O(segment_bytes)` RAM, not `O(log)`.
+/// Stops at the first tear (see [`TornTail`]); [`Self::tear`] and
+/// [`Self::dropped_bytes`] describe the tail after the stream ends.
+pub struct LogReader {
+    segments: Vec<PathBuf>,
+    /// Index of the next segment to load.
+    next_seg: usize,
+    /// The currently loaded segment's bytes (empty before the first
+    /// load).
+    bytes: Vec<u8>,
+    pos: usize,
+    /// Physical bytes of fully consumed earlier segments.
+    consumed_prior: u64,
+    /// Physical end offset (headers included) of the last yielded
+    /// record; [`SEGMENT_MAGIC`]-sized before any record (the repair
+    /// cut for a log whose very first record is bad keeps the header).
+    last_record_end: u64,
+    valid_bytes: u64,
+    tear: Option<TornTail>,
+    done: bool,
+}
+
+impl LogReader {
+    /// Open `dir` for reading. A missing directory reads as an empty log
+    /// (recovery from "never ran" is not an error).
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let segments = match segment_paths(dir) {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(LogReader {
+            segments,
+            next_seg: 0,
+            bytes: Vec::new(),
+            pos: 0,
+            consumed_prior: 0,
+            last_record_end: SEGMENT_MAGIC.len() as u64,
+            valid_bytes: 0,
+            tear: None,
+            done: false,
+        })
+    }
+
+    /// The next valid payload, or `None` at end of log *or* at a tear —
+    /// check [`Self::tear`] to distinguish.
+    pub fn next_record(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            if self.pos == self.bytes.len() {
+                // Clean segment boundary (or first call): load the next.
+                self.consumed_prior += self.bytes.len() as u64;
+                let Some(path) = self.segments.get(self.next_seg) else {
+                    self.done = true;
+                    return Ok(None);
+                };
+                self.next_seg += 1;
+                self.bytes.clear();
+                File::open(path)?.read_to_end(&mut self.bytes)?;
+                if self.bytes.len() < SEGMENT_MAGIC.len()
+                    || self.bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC
+                {
+                    self.tear = Some(TornTail::BadSegmentHeader);
+                    self.done = true;
+                    return Ok(None);
+                }
+                self.pos = SEGMENT_MAGIC.len();
+                continue;
+            }
+            return Ok(match read_record(&self.bytes, self.pos) {
+                Some((Some(payload), next)) => {
+                    self.valid_bytes += (next - self.pos) as u64;
+                    self.pos = next;
+                    self.last_record_end = self.consumed_prior + next as u64;
+                    Some(payload)
+                }
+                Some((None, _)) => {
+                    self.tear = Some(TornTail::BadChecksum);
+                    self.done = true;
+                    None
+                }
+                None => {
+                    self.tear = Some(TornTail::Truncated);
+                    self.done = true;
+                    None
+                }
+            });
+        }
+    }
+
+    /// Why the stream stopped early, if it did.
+    pub fn tear(&self) -> Option<&TornTail> {
+        self.tear.as_ref()
+    }
+
+    /// Framed record bytes yielded so far (segment headers excluded).
+    pub fn valid_bytes(&self) -> u64 {
+        self.valid_bytes
+    }
+
+    /// Physical end offset of the last yielded record (headers
+    /// included) — the `truncate_at` cut that keeps exactly the records
+    /// seen so far.
+    pub fn last_record_end(&self) -> u64 {
+        self.last_record_end
+    }
+
+    /// Bytes past the valid prefix (torn-tail remainder of the current
+    /// segment plus every unread segment). Call after the stream ends.
+    pub fn dropped_bytes(&self) -> io::Result<u64> {
+        let mut total = if self.tear == Some(TornTail::BadSegmentHeader) {
+            self.bytes.len() as u64
+        } else {
+            (self.bytes.len() - self.pos) as u64
+        };
+        total += remaining_bytes(&self.segments[self.next_seg.min(self.segments.len())..])?;
+        Ok(total)
+    }
+}
+
+/// Scan `dir` eagerly and return the longest valid record prefix (every
+/// payload materialized — tests and small logs; recovery streams through
+/// [`LogReader`] instead).
+pub fn scan(dir: &Path) -> io::Result<LogScan> {
+    let mut reader = LogReader::open(dir)?;
+    let mut out = LogScan {
+        payloads: Vec::new(),
+        valid_bytes: 0,
+        dropped_bytes: 0,
+        tear: None,
+        record_ends: Vec::new(),
+    };
+    while let Some(payload) = reader.next_record()? {
+        out.payloads.push(payload);
+        out.record_ends.push(reader.last_record_end());
+    }
+    out.valid_bytes = reader.valid_bytes();
+    out.tear = reader.tear().cloned();
+    out.dropped_bytes = reader.dropped_bytes()?;
+    Ok(out)
+}
+
+/// Parse one record at `pos`. `None` = framing cut short;
+/// `Some((None, _))` = checksum mismatch; `Some((Some(payload), next))` =
+/// valid.
+#[allow(clippy::type_complexity)]
+fn read_record(bytes: &[u8], pos: usize) -> Option<(Option<Vec<u8>>, usize)> {
+    let rest = &bytes[pos..];
+    if rest.len() < RECORD_OVERHEAD as usize {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().unwrap());
+    if len > MAX_RECORD_BYTES {
+        return Some((None, pos)); // nonsense length = corruption
+    }
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let body = &rest[RECORD_OVERHEAD as usize..];
+    if body.len() < len as usize {
+        return None;
+    }
+    let payload = &body[..len as usize];
+    if crc32(payload) != crc {
+        return Some((None, pos));
+    }
+    Some((
+        Some(payload.to_vec()),
+        pos + RECORD_OVERHEAD as usize + len as usize,
+    ))
+}
+
+/// Total size of `segments` in bytes.
+fn remaining_bytes(segments: &[PathBuf]) -> io::Result<u64> {
+    let mut total = 0;
+    for s in segments {
+        total += std::fs::metadata(s)?.len();
+    }
+    Ok(total)
+}
+
+/// Repair a crashed log in place: truncate the segment holding the first
+/// invalid record at the tear and delete every later segment, so the
+/// valid prefix is also the physical end and the log can be reopened for
+/// appending. Returns how many bytes were dropped (0 for a clean log).
+pub fn truncate_torn_tail(dir: &Path) -> io::Result<u64> {
+    let segments = match segment_paths(dir) {
+        Ok(s) => s,
+        // A log that never existed is already tear-free.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut dropped = 0u64;
+    for (i, path) in segments.iter().enumerate() {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let keep = valid_prefix_len(&bytes);
+        if !bytes.is_empty() && keep == bytes.len() as u64 {
+            continue; // wholly valid (an empty file is a headerless tear)
+        }
+        dropped += bytes.len() as u64 - keep;
+        if keep == 0 && i > 0 {
+            // Not even a header survived: drop the whole segment.
+            std::fs::remove_file(path)?;
+        } else if keep == 0 {
+            // Segment 0 with a cut header: rewrite a fresh header so the
+            // (empty) log reopens cleanly.
+            let mut f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(0)?;
+            f.write_all(&SEGMENT_MAGIC)?;
+            f.sync_data()?;
+        } else {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(keep)?;
+            f.sync_data()?;
+        }
+        for later in &segments[i + 1..] {
+            dropped += std::fs::metadata(later)?.len();
+            std::fs::remove_file(later)?;
+        }
+        // Make the unlinks durable: a resurrected segment would sit
+        // behind the repaired tail and hijack the append position.
+        sync_dir(dir)?;
+        break;
+    }
+    Ok(dropped)
+}
+
+/// Length of the valid prefix of one segment's bytes (header included).
+fn valid_prefix_len(bytes: &[u8]) -> u64 {
+    if bytes.len() < SEGMENT_MAGIC.len() || bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return 0;
+    }
+    let mut pos = SEGMENT_MAGIC.len();
+    while pos < bytes.len() {
+        match read_record(bytes, pos) {
+            Some((Some(_), next)) => pos = next,
+            _ => break,
+        }
+    }
+    pos as u64
+}
+
+/// Cut the log at a **global physical byte offset** (concatenated
+/// segments, headers included): the failpoint primitive crash tests
+/// script. Truncates the segment the offset lands in and deletes every
+/// later segment — exactly what a crash after `offset` durable bytes
+/// leaves behind.
+pub fn truncate_at(dir: &Path, offset: u64) -> io::Result<()> {
+    let segments = segment_paths(dir)?;
+    let mut start = 0u64;
+    let mut cut = false;
+    for path in &segments {
+        let len = std::fs::metadata(path)?.len();
+        if cut {
+            std::fs::remove_file(path)?;
+            continue;
+        }
+        if offset < start + len {
+            let local = offset - start;
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(local)?;
+            f.sync_data()?;
+            cut = true;
+        }
+        start += len;
+    }
+    if cut {
+        // As in [`truncate_torn_tail`]: deleted segments must stay
+        // deleted across power loss.
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Total physical bytes across the log's segments.
+pub fn total_bytes(dir: &Path) -> io::Result<u64> {
+    remaining_bytes(&segment_paths(dir)?)
+}
+
+/// Whether the log's physical tail is clean — its last segment parses
+/// end to end (an empty log is clean). Cheap: reads one segment. The
+/// append layer checks this before continuing a log, because records
+/// appended behind a tear are unreachable to every future replay. A
+/// tear hiding in an *earlier* segment (possible only through external
+/// mutilation, never through a crash) is caught by replay itself.
+pub fn tail_is_clean(dir: &Path) -> io::Result<bool> {
+    let segments = match segment_paths(dir) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(true),
+        Err(e) => return Err(e),
+    };
+    let Some(last) = segments.last() else {
+        return Ok(true);
+    };
+    let mut bytes = Vec::new();
+    File::open(last)?.read_to_end(&mut bytes)?;
+    Ok(!bytes.is_empty() && valid_prefix_len(&bytes) == bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::TempDir;
+
+    fn write_log(dir: &Path, payloads: &[&[u8]], segment_bytes: u64) {
+        let mut log = SegmentedLog::open(dir, segment_bytes).unwrap();
+        for p in payloads {
+            log.append(p).unwrap();
+        }
+        log.sync().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_preserves_order_and_bytes() {
+        let t = TempDir::new("seglog");
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"gamma-gamma", b"\x00\xFF"];
+        write_log(t.path(), &payloads, DEFAULT_SEGMENT_BYTES);
+        let scan = scan(t.path()).unwrap();
+        assert_eq!(scan.tear, None);
+        assert_eq!(scan.dropped_bytes, 0);
+        assert_eq!(
+            scan.payloads,
+            payloads.iter().map(|p| p.to_vec()).collect::<Vec<_>>()
+        );
+        assert_eq!(scan.record_ends.len(), payloads.len());
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let t = TempDir::new("seglog");
+        write_log(t.path(), &[b"one"], DEFAULT_SEGMENT_BYTES);
+        write_log(t.path(), &[b"two"], DEFAULT_SEGMENT_BYTES);
+        let scan = scan(t.path()).unwrap();
+        assert_eq!(scan.payloads, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn rolling_splits_segments_but_not_records() {
+        let t = TempDir::new("seglog");
+        // Budget fits roughly one 32-byte record per segment.
+        let payloads: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 32]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        write_log(t.path(), &refs, 48);
+        let segs = segment_paths(t.path()).unwrap();
+        assert!(segs.len() >= 5, "tiny budget must roll: {}", segs.len());
+        let scan = scan(t.path()).unwrap();
+        assert_eq!(scan.tear, None);
+        assert_eq!(scan.payloads, payloads);
+    }
+
+    #[test]
+    fn torn_payload_drops_only_the_tail() {
+        let t = TempDir::new("seglog");
+        write_log(
+            t.path(),
+            &[b"first", b"second", b"third"],
+            DEFAULT_SEGMENT_BYTES,
+        );
+        let full = total_bytes(t.path()).unwrap();
+        // Cut 2 bytes into the last record's payload.
+        truncate_at(t.path(), full - 2).unwrap();
+        let torn = scan(t.path()).unwrap();
+        assert_eq!(torn.payloads, vec![b"first".to_vec(), b"second".to_vec()]);
+        assert_eq!(torn.tear, Some(TornTail::Truncated));
+        assert!(torn.dropped_bytes > 0);
+        // Repair, then append again: the log stitches cleanly.
+        truncate_torn_tail(t.path()).unwrap();
+        write_log(t.path(), &[b"fourth"], DEFAULT_SEGMENT_BYTES);
+        let stitched = scan(t.path()).unwrap();
+        assert_eq!(
+            stitched.payloads,
+            vec![b"first".to_vec(), b"second".to_vec(), b"fourth".to_vec()]
+        );
+        assert_eq!(stitched.tear, None);
+    }
+
+    #[test]
+    fn corrupt_byte_stops_at_the_bad_record() {
+        let t = TempDir::new("seglog");
+        write_log(t.path(), &[b"aaaa", b"bbbb"], DEFAULT_SEGMENT_BYTES);
+        // Flip one byte inside the second record's payload.
+        let seg = &segment_paths(t.path()).unwrap()[0];
+        let mut bytes = std::fs::read(seg).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40;
+        std::fs::write(seg, &bytes).unwrap();
+        let scan = scan(t.path()).unwrap();
+        assert_eq!(scan.payloads, vec![b"aaaa".to_vec()]);
+        assert_eq!(scan.tear, Some(TornTail::BadChecksum));
+    }
+
+    #[test]
+    fn truncation_inside_earlier_segment_drops_later_segments() {
+        let t = TempDir::new("seglog");
+        let payloads: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 32]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        write_log(t.path(), &refs, 48);
+        assert!(segment_paths(t.path()).unwrap().len() >= 3);
+        // Cut mid-way through the physical stream: later segments must go.
+        let full = total_bytes(t.path()).unwrap();
+        truncate_at(t.path(), full / 2).unwrap();
+        let torn = scan(t.path()).unwrap();
+        assert!(torn.payloads.len() < payloads.len());
+        assert_eq!(torn.payloads, payloads[..torn.payloads.len()].to_vec());
+        truncate_torn_tail(t.path()).unwrap();
+        let repaired = scan(t.path()).unwrap();
+        assert_eq!(repaired.tear, None);
+        assert_eq!(repaired.payloads.len(), torn.payloads.len());
+    }
+
+    #[test]
+    fn missing_directory_reads_as_empty() {
+        let t = TempDir::new("seglog");
+        let ghost = t.path().join("never-created");
+        let s = scan(&ghost).unwrap();
+        assert!(s.payloads.is_empty());
+        assert_eq!(s.tear, None);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

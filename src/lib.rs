@@ -68,6 +68,7 @@
 pub use orthrus_baselines as baselines;
 pub use orthrus_common as common;
 pub use orthrus_core as core;
+pub use orthrus_durability as durability;
 pub use orthrus_harness as harness;
 pub use orthrus_lockmgr as lockmgr;
 pub use orthrus_spsc as spsc;
