@@ -27,9 +27,14 @@ impl Backoff {
         Backoff { step: 0 }
     }
 
-    /// One backoff step: spin while young, yield once mature.
+    /// One backoff step: spin while young, yield once mature. Under a
+    /// sim scheduler the park hook replaces the spin entirely — yielding
+    /// the virtual-time token is the simulated analogue of waiting.
     #[inline]
     pub fn snooze(&mut self) {
+        if crate::sim::on_park() {
+            return;
+        }
         if self.step < SPIN_STEPS {
             for _ in 0..(SPINS_PER_STEP << self.step) {
                 hint::spin_loop();

@@ -9,15 +9,18 @@
 
 pub mod affinity;
 pub mod backoff;
+pub mod failpoint;
 pub mod hash;
 pub mod ids;
 pub mod latency;
 pub mod rng;
 pub mod runtime;
+pub mod sim;
 pub mod stats;
 pub mod tempdir;
 
 pub use backoff::Backoff;
+pub use failpoint::{FailAction, FailpointRegistry};
 pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use ids::{CcId, ExecId, Key, LockMode, PartitionId, ThreadId, TxnId};
 pub use latency::LatencyHistogram;

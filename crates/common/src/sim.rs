@@ -1,0 +1,218 @@
+//! The deterministic-simulation seam.
+//!
+//! Every cross-thread handoff in the engine — SPSC ring push/pop, fan-in
+//! round starts, backoff parks, and named synchronization points like
+//! command-log appends — funnels through the hooks in this module. With no
+//! scheduler installed each hook is a single relaxed atomic load and the
+//! engine runs at full speed on real threads. With a scheduler installed
+//! (see `orthrus-sim`), enrolled threads hand control to it at every hook:
+//! the scheduler serializes execution onto one runnable thread at a time,
+//! picks interleavings from a seeded RNG, and may *deny* an operation to
+//! model a full ring (push) or a delayed delivery (pop).
+//!
+//! The contract that keeps a simulated run deadlock-free: a hook may only
+//! be reached while the thread holds no OS lock that another enrolled
+//! thread can block on. Ring operations and backoff parks satisfy this by
+//! construction (the rings are latch-free; parks happen in wait loops);
+//! the durability layer consults its hooks *before* taking the log mutex.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Identifies one SPSC ring for tracing. `0` means "allocated while no
+/// scheduler was installed" and is never traced.
+pub type ChanId = u32;
+
+/// One observable step at a simulation hook.
+#[derive(Debug, Clone, Copy)]
+pub enum SimOp<'a> {
+    /// About to publish `n` messages into ring `chan`.
+    Push {
+        chan: ChanId,
+        label: &'a str,
+        n: usize,
+    },
+    /// About to consume from ring `chan` (single pop or batch drain).
+    Pop { chan: ChanId, label: &'a str },
+    /// A wait loop found no work and would spin/yield.
+    Park,
+    /// A named synchronization point (e.g. `"durability.append"`).
+    Point { name: &'a str },
+}
+
+/// A simulation scheduler: owns virtual time and decides, at every hook,
+/// who runs next and whether the operation proceeds.
+pub trait Scheduler: Send + Sync {
+    /// Enroll the calling thread under `name`. Blocks until every expected
+    /// thread has enrolled *and* this thread is granted the virtual-time
+    /// token, so execution after enrollment is fully serialized. Returns
+    /// `None` if `name` is not an expected participant (the thread then
+    /// runs unenrolled, outside the simulation).
+    fn register(&self, name: &str) -> Option<usize>;
+
+    /// The thread is exiting; pass the token on.
+    fn unregister(&self, thread: usize);
+
+    /// Thread `thread` reached a hook. Returns `false` to deny the
+    /// operation (pretend-full push, pretend-empty pop). May block to run
+    /// other threads first.
+    fn reached(&self, thread: usize, op: SimOp<'_>) -> bool;
+
+    /// Pick the starting lane for a fan-in drain round (grant/message
+    /// reordering), or `None` to keep the engine's own rotation.
+    fn fanin_start(&self, thread: usize, lanes: usize) -> Option<usize>;
+
+    /// Assign a trace id to a newly created ring.
+    fn alloc_chan(&self, label: &'static str) -> ChanId;
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SCHEDULER: RwLock<Option<Arc<dyn Scheduler>>> = RwLock::new(None);
+
+thread_local! {
+    /// The enrolled thread id, if this OS thread is participating.
+    static SIM_THREAD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Install a scheduler process-wide. Engines started afterwards route
+/// every handoff through it. Panics if one is already installed.
+pub fn install(sched: Arc<dyn Scheduler>) {
+    let mut slot = SCHEDULER.write().unwrap();
+    assert!(slot.is_none(), "a sim scheduler is already installed");
+    *slot = Some(sched);
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Remove the installed scheduler. Callers must have retired every
+/// enrolled thread first (a parked thread would deadlock the write lock).
+pub fn uninstall() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    *SCHEDULER.write().unwrap() = None;
+}
+
+/// Whether a scheduler is installed (racy snapshot; cheap).
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Enrollment handle: retires the thread from the simulation on drop, so
+/// a panicking worker still passes the token on during unwind.
+pub struct SimGuard {
+    enrolled: Option<usize>,
+}
+
+impl Drop for SimGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.enrolled.take() {
+            SIM_THREAD.with(|t| t.set(None));
+            if let Some(sched) = SCHEDULER.read().unwrap().as_ref() {
+                sched.unregister(id);
+            }
+        }
+    }
+}
+
+/// Enroll the calling thread under `name`. A no-op guard when no
+/// scheduler is installed. Blocks until the simulation grants the token
+/// (see [`Scheduler::register`]).
+pub fn enroll(name: &str) -> SimGuard {
+    if !is_active() {
+        return SimGuard { enrolled: None };
+    }
+    let enrolled = SCHEDULER
+        .read()
+        .unwrap()
+        .as_ref()
+        .and_then(|s| s.register(name));
+    if let Some(id) = enrolled {
+        SIM_THREAD.with(|t| t.set(Some(id)));
+    }
+    SimGuard { enrolled }
+}
+
+/// Dispatch `op` for the calling thread if it is enrolled under an
+/// installed scheduler. Returns `None` when not simulating.
+#[inline]
+fn dispatch(op: SimOp<'_>) -> Option<bool> {
+    if !is_active() {
+        return None;
+    }
+    dispatch_slow(op)
+}
+
+#[cold]
+fn dispatch_slow(op: SimOp<'_>) -> Option<bool> {
+    let me = SIM_THREAD.with(|t| t.get())?;
+    let guard = SCHEDULER.read().unwrap();
+    let sched = guard.as_ref()?;
+    Some(sched.reached(me, op))
+}
+
+/// Hook before publishing `n` messages. `false` = pretend the ring is
+/// full (the caller must return its not-pushed value / zero count).
+#[inline]
+pub fn on_push(chan: ChanId, label: &str, n: usize) -> bool {
+    dispatch(SimOp::Push { chan, label, n }).unwrap_or(true)
+}
+
+/// Hook before consuming. `false` = pretend the ring is empty (delayed
+/// delivery; the messages stay queued for a later round).
+#[inline]
+pub fn on_pop(chan: ChanId, label: &str) -> bool {
+    dispatch(SimOp::Pop { chan, label }).unwrap_or(true)
+}
+
+/// Hook inside wait loops. Returns `true` when the simulation consumed
+/// the park (the caller should skip its real spin/yield).
+#[inline]
+pub fn on_park() -> bool {
+    dispatch(SimOp::Park).is_some()
+}
+
+/// Hook at a named synchronization point. The return value is currently
+/// always `true`; failure injection at points goes through the
+/// [`failpoint`](crate::failpoint) registry instead.
+#[inline]
+pub fn on_point(name: &str) -> bool {
+    dispatch(SimOp::Point { name }).unwrap_or(true)
+}
+
+/// Ask the scheduler for a fan-in start lane (message reordering).
+#[inline]
+pub fn fanin_start(lanes: usize) -> Option<usize> {
+    if !is_active() {
+        return None;
+    }
+    let me = SIM_THREAD.with(|t| t.get())?;
+    let guard = SCHEDULER.read().unwrap();
+    guard.as_ref()?.fanin_start(me, lanes)
+}
+
+/// Allocate a trace id for a new ring (0 when not simulating).
+#[inline]
+pub fn alloc_chan(label: &'static str) -> ChanId {
+    if !is_active() {
+        return 0;
+    }
+    let guard = SCHEDULER.read().unwrap();
+    guard.as_ref().map_or(0, |s| s.alloc_chan(label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_pass_through_when_inactive() {
+        assert!(!is_active());
+        assert!(on_push(0, "x", 1));
+        assert!(on_pop(0, "x"));
+        assert!(!on_park());
+        assert!(on_point("p"));
+        assert_eq!(fanin_start(4), None);
+        assert_eq!(alloc_chan("x"), 0);
+        let _guard = enroll("nobody"); // no-op
+    }
+}

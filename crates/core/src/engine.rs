@@ -29,7 +29,7 @@ use orthrus_common::affinity::pin_to_core;
 use orthrus_common::runtime::{timed_run, RunCtl, RunParams};
 use orthrus_common::{Backoff, RunStats, ThreadStats};
 use orthrus_durability::{CommandLog, ReplayReport};
-use orthrus_spsc::{channel, Consumer, FanIn, Producer};
+use orthrus_spsc::{channel_labeled, Consumer, FanIn, Producer};
 use orthrus_txn::Database;
 use orthrus_workload::Spec;
 use parking_lot::Mutex;
@@ -39,6 +39,56 @@ use crate::config::OrthrusConfig;
 use crate::msg::{CcRequest, ExecResponse};
 use crate::session::{Session, SubmitShared};
 use crate::source::{ClientSource, Completion, Submission, SyntheticSource};
+
+/// A typed shutdown/recovery failure: the error paths the fault injector
+/// can reach (fsync failure, a worker killed by an injected fault) report
+/// here instead of panicking the client thread, so a harness can observe
+/// graceful degradation.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A worker thread panicked; the payload is its panic message. The
+    /// engine is stopped and every thread joined — nothing leaks — but
+    /// run statistics are lost and the database may hold only a prefix
+    /// of the accepted work.
+    WorkerPanicked(String),
+    /// The final command-log sync failed: the engine stopped cleanly but
+    /// the OS-buffered log suffix may not be durable.
+    LogSync(std::io::Error),
+    /// Recovery could not read or repair the command log.
+    Recovery(std::io::Error),
+    /// A previous [`EngineHandle::try_shutdown`] already failed with the
+    /// contained message; the handle is spent.
+    Failed(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::WorkerPanicked(msg) => write!(f, "engine worker panicked: {msg}"),
+            EngineError::LogSync(e) => write!(f, "command-log sync failed: {e}"),
+            EngineError::Recovery(e) => write!(f, "command-log recovery failed: {e}"),
+            EngineError::Failed(msg) => write!(f, "engine already shut down uncleanly: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::LogSync(e) | EngineError::Recovery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Render a `JoinHandle::join` panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 /// Endpoints handed to one CC thread at startup.
 struct CcEndpoints {
@@ -117,8 +167,20 @@ impl OrthrusEngine {
     ///
     /// # Panics
     /// On an invalid configuration, a durability mode of `Off` (there is
-    /// nothing to recover from), or an unreadable log.
+    /// nothing to recover from), or an unreadable log. Callers that need
+    /// to survive an unreadable log use [`Self::try_recover`].
     pub fn recover(db: Arc<Database>, cfg: OrthrusConfig) -> (Self, ReplayReport) {
+        Self::try_recover(db, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::recover`], reporting an unreadable or unrepairable log as
+    /// a typed [`EngineError::Recovery`] instead of panicking. Config
+    /// misuse (invalid shape, durability off) still panics — those are
+    /// construction bugs, not runtime faults.
+    pub fn try_recover(
+        db: Arc<Database>,
+        cfg: OrthrusConfig,
+    ) -> Result<(Self, ReplayReport), EngineError> {
         if let Err(why) = cfg.validate() {
             panic!("invalid OrthrusConfig: {why}");
         }
@@ -127,9 +189,8 @@ impl OrthrusEngine {
             "recover() needs durability on; with DurabilityMode::Off there is no log"
         );
         let dir = cfg.log_dir.as_deref().expect("validated: log_dir is set");
-        let report = orthrus_durability::recover(&db, dir)
-            .unwrap_or_else(|e| panic!("command-log recovery failed: {e}"));
-        (Self::service(db, cfg), report)
+        let report = orthrus_durability::recover(&db, dir).map_err(EngineError::Recovery)?;
+        Ok((Self::service(db, cfg), report))
     }
 
     /// The engine configuration.
@@ -253,6 +314,10 @@ impl OrthrusEngine {
             let flush = cfg.effective_flush_threshold();
             let shared = shared_table.clone();
             workers.push(std::thread::spawn(move || {
+                // Under a sim scheduler this blocks until every worker
+                // (and the client) has enrolled; a no-op otherwise. The
+                // guard retires the thread on drop, panics included.
+                let _sim = orthrus_common::sim::enroll(&format!("cc{cc}"));
                 pin_to_core(cc);
                 match shared {
                     None => run_cc(cc as u32, CC_TABLE_CAPACITY, flush, ep, &ctl, &active),
@@ -274,8 +339,10 @@ impl OrthrusEngine {
         let completion_capacity =
             2 * (cfg.ingest_capacity + cfg.admission.max_queued_window() + cfg.max_inflight);
         for (ex, ep) in fabric.exec.into_iter().enumerate() {
-            let (submit_tx, submit_rx) = channel::<Submission>(cfg.ingest_capacity);
-            let (done_tx, done_rx) = channel::<Completion>(completion_capacity);
+            let (submit_tx, submit_rx) =
+                channel_labeled::<Submission>(cfg.ingest_capacity, "ingest");
+            let (done_tx, done_rx) =
+                channel_labeled::<Completion>(completion_capacity, "completion");
             ingest.push(submit_tx);
             completions.push(done_rx);
             let db = Arc::clone(&self.db);
@@ -284,6 +351,7 @@ impl OrthrusEngine {
             let active = Arc::clone(&active_execs);
             let log = self.log.clone();
             workers.push(std::thread::spawn(move || {
+                let _sim = orthrus_common::sim::enroll(&format!("exec{ex}"));
                 pin_to_core(cfg.n_cc + ex);
                 let source = ClientSource::new(submit_rx, cfg.effective_flush_threshold());
                 let admit = crate::admit::Admitter::new(
@@ -309,6 +377,7 @@ impl OrthrusEngine {
             n_cc: self.cfg.n_cc,
             measure_from: Instant::now(),
             stats: None,
+            fail: None,
             log: self.log.clone(),
         }
     }
@@ -366,21 +435,21 @@ fn build_fabric(cfg: &OrthrusConfig) -> Fabric {
 
     for ex in 0..e {
         for cc in 0..c {
-            let (p, co) = channel(exec_cc_cap);
+            let (p, co) = channel_labeled(exec_cc_cap, "exec_cc");
             exec_to_cc[ex].push(p);
             cc_in[cc].push(co);
         }
     }
     for src in 0..c {
         for dst in 0..c {
-            let (p, co) = channel(cc_cc_cap);
+            let (p, co) = channel_labeled(cc_cc_cap, "cc_cc");
             cc_to_cc[src].push(p);
             cc_in[dst].push(co);
         }
     }
     for cc in 0..c {
         for ex in 0..e {
-            let (p, co) = channel(cc_exec_cap);
+            let (p, co) = channel_labeled(cc_exec_cap, "cc_exec");
             cc_to_exec[cc].push(p);
             exec_in[ex].push(co);
         }
@@ -440,6 +509,9 @@ pub struct EngineHandle {
     n_cc: usize,
     measure_from: Instant,
     stats: Option<RunStats>,
+    /// Why a previous [`Self::try_shutdown`] failed, if it did (the
+    /// workers are joined either way; the handle is spent).
+    fail: Option<String>,
     /// The engine's command log, synced once the drain completes so a
     /// clean shutdown is fully replayable even in fsync-free `log` mode.
     log: Option<Arc<CommandLog>>,
@@ -495,8 +567,21 @@ impl EngineHandle {
     /// but fall outside the window. Idempotent; drained completions
     /// remain collectable via [`Self::drain_completions`] afterwards.
     pub fn shutdown(&mut self) -> RunStats {
+        self.try_shutdown()
+            .unwrap_or_else(|e| panic!("engine shutdown failed: {e}"))
+    }
+
+    /// [`Self::shutdown`], reporting worker panics and final-sync I/O
+    /// failures as typed [`EngineError`]s instead of panicking, so a
+    /// client can degrade gracefully when a fault injector (or real
+    /// hardware) kills part of the engine. Every worker is joined before
+    /// this returns, error or not — nothing leaks.
+    pub fn try_shutdown(&mut self) -> Result<RunStats, EngineError> {
         if let Some(stats) = &self.stats {
-            return stats.clone();
+            return Ok(stats.clone());
+        }
+        if let Some(msg) = &self.fail {
+            return Err(EngineError::Failed(msg.clone()));
         }
         // Fence first: after close() no new ticket can land in any ingest
         // ring, so the execution threads' stop-drain sees a closed set.
@@ -513,16 +598,30 @@ impl EngineHandle {
             self.stash = stash;
             std::thread::yield_now();
         }
-        let mut cc_stats: Vec<ThreadStats> = self
-            .workers
-            .drain(..)
-            .map(|w| w.join().expect("engine worker panicked"))
-            .collect();
+        let mut panic_msg: Option<String> = None;
+        let mut cc_stats: Vec<ThreadStats> = Vec::with_capacity(self.workers.len());
+        for w in self.workers.drain(..) {
+            match w.join() {
+                Ok(stats) => cc_stats.push(stats),
+                Err(payload) => {
+                    // Keep joining: one dead worker must not leak the
+                    // rest. The first panic is the root cause reported.
+                    panic_msg.get_or_insert_with(|| panic_message(payload));
+                    cc_stats.push(ThreadStats::default());
+                }
+            }
+        }
+        if let Some(msg) = panic_msg {
+            self.fail = Some(msg.clone());
+            return Err(EngineError::WorkerPanicked(msg));
+        }
         if let Some(log) = &self.log {
             // Workers are joined: every accepted ticket's record is
             // appended. Push the OS-buffered suffix to stable storage.
-            log.sync()
-                .unwrap_or_else(|e| panic!("command-log sync failed: {e}"));
+            if let Err(e) = log.sync() {
+                self.fail = Some(e.to_string());
+                return Err(EngineError::LogSync(e));
+            }
         }
         let exec_stats = cc_stats.split_off(self.n_cc);
         let mut per_thread = exec_stats;
@@ -535,14 +634,17 @@ impl EngineHandle {
         }
         let stats = RunStats::collect(&per_thread, elapsed);
         self.stats = Some(stats.clone());
-        stats
+        Ok(stats)
     }
 }
 
 impl Drop for EngineHandle {
     fn drop(&mut self) {
         if !self.workers.is_empty() {
-            let _ = self.shutdown();
+            // Swallow shutdown errors: a panic during drop would abort,
+            // and the drop path has no caller to report to. Workers are
+            // joined either way.
+            let _ = self.try_shutdown();
         }
     }
 }

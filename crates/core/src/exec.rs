@@ -253,6 +253,16 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
     /// **dry** — every accepted ticket completes, even the ones still
     /// queued when shutdown began.
     pub fn run(mut self, ctl: &RunCtl, active_execs: &AtomicUsize) -> ThreadStats {
+        // Decrement on every exit path, unwinding included: a panicking
+        // exec thread must not leave CC threads waiting forever on an
+        // `active_execs` count that can no longer reach zero.
+        struct ActiveGuard<'g>(&'g AtomicUsize);
+        impl Drop for ActiveGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let _active = ActiveGuard(active_execs);
         let mut timer = PhaseTimer::start(Phase::Locking);
         let mut backoff = Backoff::new();
         let mut in_window = false;
@@ -315,7 +325,6 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
         // Lifetime counter (like `committed_all`): how often adaptive
         // admission switched policy over the whole run.
         self.stats.admission_switches = self.admit.switches();
-        active_execs.fetch_sub(1, Ordering::AcqRel);
         self.stats
     }
 
@@ -474,7 +483,13 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
         // makes "client saw it commit" imply "record covers it".
         if let Some(log) = &self.log {
             if !self.log_batch.is_empty() {
-                let receipt = log.append_run(&mut self.log_batch);
+                // Panic on failure: the durability contract for these
+                // already-executed commits just broke, and this thread
+                // has no way to un-execute them. The panic surfaces as a
+                // typed `EngineError::WorkerPanicked` at shutdown.
+                let receipt = log
+                    .append_run(&mut self.log_batch)
+                    .unwrap_or_else(|e| panic!("command-log append failed: {e}"));
                 // Stat counters share the `committed` window (post-stop
                 // drain appends still happen — durability — but don't
                 // count), so `committed / log_records` is an unbiased

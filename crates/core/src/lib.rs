@@ -128,7 +128,7 @@ mod proptests;
 
 pub use admit::{AdaptiveController, AdmissionPolicy, Admitted, Admitter};
 pub use config::{CcAssignment, CcMode, OrthrusConfig};
-pub use engine::{EngineHandle, OrthrusEngine};
+pub use engine::{EngineError, EngineHandle, OrthrusEngine};
 pub use orthrus_durability::{DurabilityMode, ReplayReport};
 pub use plan::LockPlan;
 pub use rebalance::{balanced_assignment, LoadHistogram};

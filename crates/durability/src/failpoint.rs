@@ -90,7 +90,8 @@ mod tests {
             log.append_run(&mut vec![LoggedCommit {
                 ticket: Some(i),
                 program: Program::Rmw { keys: vec![i] },
-            }]);
+            }])
+            .unwrap();
         }
         log.sync().unwrap();
         let fp = FailpointLog::new(t.path());

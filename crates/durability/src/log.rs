@@ -4,10 +4,18 @@
 use std::io;
 use std::path::Path;
 
+use orthrus_common::failpoint::{self, FailAction};
+use orthrus_common::sim;
 use orthrus_storage::log::{SegmentedLog, DEFAULT_SEGMENT_BYTES};
 use parking_lot::Mutex;
 
 use crate::codec::{encode_run, LoggedCommit};
+
+/// Failpoint consulted on every record append (`err` fails it, `torn:N`
+/// persists only the first N frame bytes before failing).
+pub const FP_APPEND: &str = "durability.append";
+/// Failpoint consulted on every fsync (`err` fails it).
+pub const FP_FSYNC: &str = "durability.fsync";
 
 /// How durable a commit is before its completion is released
 /// (`ORTHRUS_DURABILITY` in the harness).
@@ -134,15 +142,16 @@ impl CommandLog {
     }
 
     /// Group commit: append one record covering the whole run, draining
-    /// `txns`. Under [`DurabilityMode::LogFsync`] the record is fsynced
-    /// before this returns — the caller releases locks and completions
-    /// only after, so "completed" implies "durable".
+    /// `txns` on success. Under [`DurabilityMode::LogFsync`] the record
+    /// is fsynced before this returns — the caller releases locks and
+    /// completions only after, so "completed" implies "durable".
     ///
-    /// I/O failure panics: continuing to commit transactions whose
-    /// durability contract just broke would be silent data loss, and the
-    /// engine has no error channel mid-run (matching its loud-failure
-    /// construction contract).
-    pub fn append_run(&self, txns: &mut Vec<LoggedCommit>) -> AppendReceipt {
+    /// On error (real I/O failure, or the [`FP_APPEND`]/[`FP_FSYNC`]
+    /// failpoints) the batch is left untouched and nothing counts as
+    /// committed; the committing thread decides how loudly to fail
+    /// (the engine panics — continuing past a broken durability contract
+    /// would be silent data loss).
+    pub fn append_run(&self, txns: &mut Vec<LoggedCommit>) -> io::Result<AppendReceipt> {
         debug_assert!(!txns.is_empty(), "empty runs are not logged");
         // Encode before taking the writer lock: the per-run CPU work is
         // thread-local and must not lengthen the shared critical
@@ -150,26 +159,49 @@ impl CommandLog {
         // alone.
         let mut buf = Vec::with_capacity(64 * txns.len() + 8);
         encode_run(txns, &mut buf);
-        let mut w = self.inner.lock();
-        let bytes = w
-            .log
-            .append(&buf)
-            .unwrap_or_else(|e| panic!("command-log append failed: {e}"));
         let synced = self.mode == DurabilityMode::LogFsync;
+        // Sim yield point and failpoint consults happen *before* taking
+        // the writer mutex: a thread parked by the scheduler while
+        // holding it would deadlock every other committing thread.
+        sim::on_point(FP_APPEND);
+        let append_fault = failpoint::global().hit(FP_APPEND);
+        let fsync_fault = if synced {
+            failpoint::global().hit(FP_FSYNC)
+        } else {
+            None
+        };
+        let mut w = self.inner.lock();
+        match append_fault {
+            Some(FailAction::Err) => return Err(failpoint::injected_io_error(FP_APPEND)),
+            Some(FailAction::Torn(keep)) => {
+                // Persist a torn frame — the bytes a crash mid-append
+                // leaves — then report the append as failed.
+                w.log.append_torn(&buf, keep)?;
+                return Err(failpoint::injected_io_error(FP_APPEND));
+            }
+            _ => {}
+        }
+        let bytes = w.log.append(&buf)?;
         if synced {
-            w.log
-                .sync()
-                .unwrap_or_else(|e| panic!("command-log fsync failed: {e}"));
+            if let Some(FailAction::Err) = fsync_fault {
+                return Err(failpoint::injected_io_error(FP_FSYNC));
+            }
+            w.log.sync()?;
         }
         drop(w);
         txns.clear();
-        AppendReceipt { bytes, synced }
+        Ok(AppendReceipt { bytes, synced })
     }
 
     /// Flush OS-buffered appends to stable storage. Called at engine
     /// shutdown so a clean stop is always fully replayable even in
-    /// fsync-free [`DurabilityMode::Log`].
+    /// fsync-free [`DurabilityMode::Log`]. Honors the [`FP_FSYNC`]
+    /// failpoint.
     pub fn sync(&self) -> io::Result<()> {
+        sim::on_point(FP_FSYNC);
+        if let Some(FailAction::Err) = failpoint::global().hit(FP_FSYNC) {
+            return Err(failpoint::injected_io_error(FP_FSYNC));
+        }
         self.inner.lock().log.sync()
     }
 }
@@ -210,7 +242,7 @@ mod tests {
         let t = TempDir::new("cmdlog");
         let log = CommandLog::open(t.path(), DurabilityMode::Log).unwrap();
         let mut batch = commits(0..3);
-        let r = log.append_run(&mut batch);
+        let r = log.append_run(&mut batch).unwrap();
         assert!(batch.is_empty(), "group commit consumes the batch");
         assert!(r.bytes > 0);
         assert!(!r.synced, "fsync-free mode must not sync per append");
@@ -226,7 +258,7 @@ mod tests {
     fn open_refuses_a_torn_log() {
         let t = TempDir::new("cmdlog");
         let log = CommandLog::open(t.path(), DurabilityMode::Log).unwrap();
-        log.append_run(&mut commits(0..2));
+        log.append_run(&mut commits(0..2)).unwrap();
         log.sync().unwrap();
         drop(log);
         let total = orthrus_storage::log::total_bytes(t.path()).unwrap();
@@ -247,7 +279,7 @@ mod tests {
     fn fsync_mode_reports_the_flush() {
         let t = TempDir::new("cmdlog");
         let log = CommandLog::open(t.path(), DurabilityMode::LogFsync).unwrap();
-        let r = log.append_run(&mut commits(0..1));
+        let r = log.append_run(&mut commits(0..1)).unwrap();
         assert!(r.synced);
     }
 }

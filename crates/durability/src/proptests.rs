@@ -100,7 +100,7 @@ proptest! {
                     c
                 })
                 .collect();
-            log.append_run(&mut batch);
+            log.append_run(&mut batch).unwrap();
         }
         log.sync().unwrap();
         drop(log);

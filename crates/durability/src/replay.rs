@@ -156,15 +156,18 @@ mod tests {
                 ticket: Some(1),
                 program: rmw(&[1, 3]),
             },
-        ]);
+        ])
+        .unwrap();
         log.append_run(&mut vec![LoggedCommit {
             ticket: None,
             program: rmw(&[2]),
-        }]);
+        }])
+        .unwrap();
         log.append_run(&mut vec![LoggedCommit {
             ticket: Some(2),
             program: rmw(&[1]),
-        }]);
+        }])
+        .unwrap();
         log.sync().unwrap();
 
         let db = Database::Flat(Table::new(8, 64));
@@ -201,7 +204,8 @@ mod tests {
         log.append_run(&mut vec![LoggedCommit {
             ticket: Some(0),
             program: rmw(&[0]),
-        }]);
+        }])
+        .unwrap();
         drop(log);
         // Append framing-valid garbage (correct CRC, nonsense payload),
         // then a well-formed record behind it.
@@ -217,7 +221,8 @@ mod tests {
         log.append_run(&mut vec![LoggedCommit {
             ticket: Some(1),
             program: rmw(&[1]),
-        }]);
+        }])
+        .unwrap();
         log.sync().unwrap();
         drop(log);
 
@@ -231,7 +236,8 @@ mod tests {
         log.append_run(&mut vec![LoggedCommit {
             ticket: Some(7),
             program: rmw(&[2]),
-        }]);
+        }])
+        .unwrap();
         log.sync().unwrap();
         drop(log);
         let db2 = Database::Flat(Table::new(4, 64));
@@ -250,11 +256,13 @@ mod tests {
         log.append_run(&mut vec![LoggedCommit {
             ticket: Some(0),
             program: rmw(&[0]),
-        }]);
+        }])
+        .unwrap();
         log.append_run(&mut vec![LoggedCommit {
             ticket: Some(1),
             program: rmw(&[1]),
-        }]);
+        }])
+        .unwrap();
         log.sync().unwrap();
         drop(log);
         // Crash 1 byte short of the second record's end.
@@ -274,7 +282,8 @@ mod tests {
         log.append_run(&mut vec![LoggedCommit {
             ticket: Some(9),
             program: rmw(&[2]),
-        }]);
+        }])
+        .unwrap();
         log.sync().unwrap();
         drop(log);
         let db2 = Database::Flat(Table::new(4, 64));

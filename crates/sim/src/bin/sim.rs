@@ -1,0 +1,101 @@
+//! The simulation harness CLI.
+//!
+//! ```text
+//! sim explore --seeds N [--base B] [--txns T] [--verbose]
+//! sim run --seed S [--budget B] [--txns T] [--trace]
+//! ```
+//!
+//! `explore` sweeps seeds and exits nonzero if any run violates an
+//! invariant, printing each failure with its minimized fault budget and
+//! a replayable trace tail. `run` replays one `(seed, budget)` pair —
+//! the reproduction line `explore` prints.
+
+use orthrus_sim::{explore, run_sim, SimConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sim explore --seeds N [--base B] [--txns T] [--verbose]\n  \
+         sim run --seed S [--budget B] [--txns T] [--trace]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a numeric argument");
+        usage()
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| usage());
+    let mut seeds: Option<u64> = None;
+    let mut base: u64 = 1;
+    let mut seed: Option<u64> = None;
+    let mut budget: Option<u64> = None;
+    let mut txns: Option<usize> = None;
+    let mut trace = false;
+    let mut verbose = false;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seeds" => seeds = Some(parse(&flag, args.next())),
+            "--base" => base = parse(&flag, args.next()),
+            "--seed" => seed = Some(parse(&flag, args.next())),
+            "--budget" => budget = Some(parse(&flag, args.next())),
+            "--txns" => txns = Some(parse(&flag, args.next())),
+            "--trace" => trace = true,
+            "--verbose" => verbose = true,
+            _ => usage(),
+        }
+    }
+
+    match cmd.as_str() {
+        "explore" => {
+            let count = seeds.unwrap_or_else(|| usage());
+            let report = explore(base, count, txns, verbose);
+            if report.ok() {
+                println!(
+                    "explored {} seeds ({base}..{}): all invariants held",
+                    report.seeds_run,
+                    base + count
+                );
+            } else {
+                for failure in &report.failures {
+                    println!("{failure}");
+                }
+                println!(
+                    "explored {} seeds: {} FAILED",
+                    report.seeds_run,
+                    report.failures.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        "run" => {
+            let seed = seed.unwrap_or_else(|| usage());
+            let mut cfg = SimConfig::from_seed(seed);
+            if let Some(t) = txns {
+                cfg.txns = t;
+            }
+            if let Some(b) = budget {
+                cfg.plan = cfg.plan.with_budget(b);
+            }
+            let out = run_sim(&cfg, trace);
+            println!(
+                "seed {seed}: {} steps, {} faults, {} committed, trace hash {:#018x}",
+                out.steps, out.perturbations, out.committed, out.trace_hash
+            );
+            if trace {
+                print!("{}", out.report.render_tail(&out.thread_names, 40));
+            }
+            if !out.violations.is_empty() {
+                for v in &out.violations {
+                    println!("violation: {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,154 @@
+//! The explorer loop: sweep seeds, and on failure shrink the fault
+//! budget to the smallest count that still reproduces the violation,
+//! then render a replayable trace.
+//!
+//! Reproduction contract: a failure reported here is fully described by
+//! `(seed, budget)` — `sim run --seed S --budget B --trace` replays the
+//! identical schedule, because the scheduler's every choice is a pure
+//! function of those two values.
+
+use crate::run::{run_sim, SimConfig, SimOutcome};
+
+/// How many trailing steps of a failing schedule to render.
+const TRACE_TAIL: usize = 40;
+
+/// One failing seed, minimized and rendered.
+#[derive(Debug)]
+pub struct FailureReport {
+    pub seed: u64,
+    /// The smallest fault budget that still fails, when minimization
+    /// held; `None` means the failure reproduces with faults disabled
+    /// entirely or only with the unlimited budget (see [`minimize`]).
+    pub budget: Option<u64>,
+    pub violations: Vec<String>,
+    pub steps: u64,
+    pub perturbations: u64,
+    pub trace_tail: String,
+}
+
+/// A finished exploration sweep.
+#[derive(Debug)]
+pub struct ExploreReport {
+    pub seeds_run: u64,
+    pub failures: Vec<FailureReport>,
+}
+
+impl ExploreReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run `count` seeds starting at `base`; `txns` overrides the per-seed
+/// transaction count (the CI corpus shrinks it). `verbose` prints a
+/// progress line per seed.
+pub fn explore(base: u64, count: u64, txns: Option<usize>, verbose: bool) -> ExploreReport {
+    let mut failures = Vec::new();
+    for seed in base..base.saturating_add(count) {
+        let mut cfg = SimConfig::from_seed(seed);
+        if let Some(t) = txns {
+            cfg.txns = t;
+        }
+        let out = run_sim(&cfg, false);
+        if verbose {
+            eprintln!(
+                "seed {seed}: {} steps, {} faults, {} committed{}",
+                out.steps,
+                out.perturbations,
+                out.committed,
+                if out.violations.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — {} VIOLATIONS", out.violations.len())
+                }
+            );
+        }
+        if !out.violations.is_empty() {
+            failures.push(minimize(&cfg, out));
+        }
+    }
+    ExploreReport {
+        seeds_run: count,
+        failures,
+    }
+}
+
+/// Shrink a failing run's fault budget by binary search: the smallest
+/// `B` such that `run(seed, budget = B)` still fails. Best-effort — an
+/// exhausted budget changes the RNG draw sequence, so a capped run can
+/// diverge from the uncapped one; when the capped reproduction does not
+/// fail at the original fault count, the failure is reported against the
+/// unlimited-budget run instead.
+fn minimize(cfg: &SimConfig, original: SimOutcome) -> FailureReport {
+    let fails_at = |budget: u64| -> Option<SimOutcome> {
+        let mut capped = cfg.clone();
+        capped.plan = cfg.plan.with_budget(budget);
+        let out = run_sim(&capped, false);
+        (!out.violations.is_empty()).then_some(out)
+    };
+
+    let hi = original.perturbations;
+    let budget = if fails_at(hi).is_some() {
+        // Invariant: `hi` fails, everything below `lo` passes.
+        let (mut lo, mut hi) = (0u64, hi);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if fails_at(mid).is_some() {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(hi)
+    } else {
+        None
+    };
+
+    // Reproduce once more with the trace kept, at the minimized budget
+    // (or the original unlimited plan when minimization did not hold).
+    let mut repro_cfg = cfg.clone();
+    if let Some(b) = budget {
+        repro_cfg.plan = cfg.plan.with_budget(b);
+    }
+    let repro = run_sim(&repro_cfg, true);
+    let (out, violations) = if repro.violations.is_empty() {
+        // The traced run matches the untraced one bit-for-bit, so this
+        // only happens if tracing itself perturbed memory enough to
+        // matter — which would be a determinism bug worth reporting.
+        (repro, original.violations)
+    } else {
+        let v = repro.violations.clone();
+        (repro, v)
+    };
+    FailureReport {
+        seed: cfg.seed,
+        budget,
+        violations,
+        steps: out.steps,
+        perturbations: out.perturbations,
+        trace_tail: out.report.render_tail(&out.thread_names, TRACE_TAIL),
+    }
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "seed {} FAILED", self.seed)?;
+        match self.budget {
+            Some(b) => writeln!(
+                f,
+                "  reproduce: sim run --seed {} --budget {b} --trace",
+                self.seed
+            )?,
+            None => writeln!(f, "  reproduce: sim run --seed {} --trace", self.seed)?,
+        }
+        for v in &self.violations {
+            writeln!(f, "  violation: {v}")?;
+        }
+        writeln!(
+            f,
+            "  {} steps, {} faults; last steps:",
+            self.steps, self.perturbations
+        )?;
+        write!(f, "{}", self.trace_tail)
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic simulation & fault injection for the ORTHRUS engine.
+//!
+//! The engine's correctness argument rests on ordering properties of its
+//! cross-thread handoffs: lock grants forwarded CC→CC, completions
+//! riding SPSC rings, command-log appends ordered by lock coverage.
+//! Threaded tests exercise only the interleavings the OS happens to
+//! produce. This crate replaces the OS: a [`SimScheduler`] installed
+//! through the `orthrus_common::sim` seam serializes every enrolled
+//! engine thread onto one seeded virtual-time token, so a run's entire
+//! interleaving — and every injected fault — is a pure function of
+//! `(seed, fault budget)` and replays bit-identically.
+//!
+//! Layers:
+//! - [`sched`] — the scheduler: token passing, seeded interleaving
+//!   choice, fault injection (delayed/reordered deliveries, ring-full
+//!   bursts, fan-in lane shuffles), step trace + order-sensitive hash;
+//! - [`run`] — one simulated engine run: derive a full engine
+//!   configuration from a seed, drive a mixed workload through the
+//!   open-loop client API, then check invariants (ticket conservation,
+//!   exact serializability witnesses, TPC-C money conservation, and a
+//!   replay-determinism pin against the command log);
+//! - [`explore`] — the explorer loop: sweep seeds, and on failure
+//!   binary-search the smallest fault budget that still reproduces it,
+//!   printing a replayable trace.
+//!
+//! The `sim` binary fronts both: `sim explore --seeds N` and
+//! `sim run --seed S [--budget B] [--trace]`.
+
+pub mod explore;
+pub mod run;
+pub mod sched;
+
+pub use explore::{explore, ExploreReport, FailureReport};
+pub use run::{run_sim, SimConfig, SimOutcome, WorkloadKind};
+pub use sched::{FaultPlan, SchedReport, SimScheduler, Step, StepKind};

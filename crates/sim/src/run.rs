@@ -1,0 +1,426 @@
+//! One simulated engine run: derive a configuration from a seed, drive a
+//! workload through the open-loop client API under the [`SimScheduler`],
+//! and check every invariant the run is supposed to preserve.
+//!
+//! Violations are *collected*, not asserted: the explorer wants to report
+//! a failing seed (and minimize its fault budget) rather than unwind.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use orthrus_common::rng::XorShift64;
+use orthrus_common::{sim, TempDir};
+use orthrus_core::{
+    AdmissionPolicy, CcAssignment, CcMode, DurabilityMode, OrthrusConfig, OrthrusEngine,
+};
+use orthrus_storage::tpcc::{TpccConfig, TpccDb};
+use orthrus_storage::Table;
+use orthrus_txn::{Database, Program};
+use orthrus_workload::{MicroSpec, Spec, TpccSpec};
+
+use crate::sched::{FaultPlan, SchedReport, SimScheduler};
+
+/// Flat-keyspace size for the micro workloads (small: more contention).
+const N_RECORDS: u64 = 32;
+/// Fixed TPC-C load seed — part of the deterministic surface, and what
+/// recovery reloads as the log's logical starting snapshot.
+const TPCC_DB_SEED: u64 = 7;
+
+/// Which workload the simulated clients submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Hot/cold micro RMW: heavy conflicts on a tiny hot set.
+    MicroHot,
+    /// Uniform micro RMW.
+    MicroUniform,
+    /// TPC-C paper mix on a tiny one-warehouse database.
+    Tpcc,
+}
+
+/// A full simulated-run configuration. [`SimConfig::from_seed`] derives
+/// every knob from the seed, so the explorer's space covers all three
+/// admission policies × durability modes × both CC architectures.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub seed: u64,
+    /// Transactions the client submits before shutting down.
+    pub txns: usize,
+    pub n_cc: usize,
+    pub n_exec: usize,
+    pub max_inflight: usize,
+    pub flush_threshold: usize,
+    pub ingest_capacity: usize,
+    pub admission: AdmissionPolicy,
+    pub durability: DurabilityMode,
+    /// Section-3.4 shared latched lock table instead of partitioned CC.
+    pub shared_table: bool,
+    /// CC→CC grant forwarding (Section 3.3).
+    pub forwarding: bool,
+    pub workload: WorkloadKind,
+    pub plan: FaultPlan,
+}
+
+impl SimConfig {
+    /// Derive a mixed-workload configuration from a seed. The derivation
+    /// RNG is separate from the scheduler's, so two seeds differing in
+    /// one bit still explore unrelated configurations.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = XorShift64::new(seed ^ 0xC0FF_EE00_D15E_A5E5);
+        let workload = match rng.next_below(3) {
+            0 => WorkloadKind::MicroHot,
+            1 => WorkloadKind::MicroUniform,
+            _ => WorkloadKind::Tpcc,
+        };
+        let admission = match rng.next_below(3) {
+            0 => AdmissionPolicy::Fifo,
+            1 => AdmissionPolicy::ConflictBatch {
+                classes: 4,
+                batch: 4,
+            },
+            _ => AdmissionPolicy::Adaptive {
+                classes: 4,
+                max_batch: 4,
+                threshold_pct: 5,
+                hysteresis: 1,
+                epoch: 16,
+            },
+        };
+        let durability = match rng.next_below(3) {
+            0 => DurabilityMode::Off,
+            1 => DurabilityMode::Log,
+            _ => DurabilityMode::LogFsync,
+        };
+        // TPC-C keeps the paper's warehouse partitioning; the shared
+        // table is a micro-only variant here.
+        let shared_table = workload != WorkloadKind::Tpcc && rng.chance_percent(25);
+        SimConfig {
+            seed,
+            txns: 24 + rng.next_below(17) as usize,
+            n_cc: 1 + rng.next_below(3) as usize,
+            n_exec: 1 + rng.next_below(2) as usize,
+            max_inflight: 2 + rng.next_below(3) as usize,
+            flush_threshold: [1, 4, 16][rng.next_below(3) as usize],
+            ingest_capacity: 16,
+            admission,
+            durability,
+            shared_table,
+            forwarding: rng.chance_percent(75),
+            workload,
+            plan: FaultPlan {
+                delay_pct: [0, 10, 30][rng.next_below(3) as usize],
+                deny_push_pct: [0, 10][rng.next_below(2) as usize],
+                shuffle_lanes: rng.chance_percent(50),
+                ..FaultPlan::default()
+            },
+        }
+    }
+}
+
+/// Everything a finished simulated run exposes to the explorer and to
+/// the determinism pin.
+#[derive(Debug)]
+pub struct SimOutcome {
+    pub steps: u64,
+    /// Order-sensitive hash of the whole schedule — equal hashes mean a
+    /// bit-identical interleaving.
+    pub trace_hash: u64,
+    pub perturbations: u64,
+    /// Flattened final table state (see [`digest`]): the other half of
+    /// the determinism/replay pin.
+    pub state_digest: Vec<u64>,
+    pub committed: u64,
+    /// Invariant violations; empty means the run passed.
+    pub violations: Vec<String>,
+    pub report: SchedReport,
+    pub thread_names: Vec<String>,
+}
+
+/// Serializes simulated runs process-wide: the sim seam is a process
+/// global, so two concurrent runs would enroll into each other's
+/// schedulers.
+fn sim_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn build_db(workload: WorkloadKind) -> Arc<Database> {
+    match workload {
+        WorkloadKind::MicroHot | WorkloadKind::MicroUniform => {
+            Arc::new(Database::Flat(Table::new(N_RECORDS as usize, 64)))
+        }
+        WorkloadKind::Tpcc => Arc::new(Database::Tpcc(TpccDb::load(
+            TpccConfig::tiny(1),
+            TPCC_DB_SEED,
+        ))),
+    }
+}
+
+fn workload_spec(workload: WorkloadKind) -> Spec {
+    match workload {
+        WorkloadKind::MicroHot => Spec::Micro(MicroSpec::hot_cold(N_RECORDS, 8, 2, 3, false)),
+        WorkloadKind::MicroUniform => Spec::Micro(MicroSpec::uniform(N_RECORDS, 3, false)),
+        WorkloadKind::Tpcc => Spec::Tpcc(TpccSpec::paper_mix(TpccConfig::tiny(1))),
+    }
+}
+
+/// Flatten the final table state into a comparable vector. Covers every
+/// field the workloads mutate; `Instant`-derived latencies never reach
+/// table state, so equal digests under equal schedules are the
+/// serializability/replay pin.
+fn digest(db: &Database, workload: WorkloadKind) -> Vec<u64> {
+    match workload {
+        WorkloadKind::MicroHot | WorkloadKind::MicroUniform => (0..N_RECORDS)
+            .map(|k| unsafe { db.read_counter(k) })
+            .collect(),
+        WorkloadKind::Tpcc => {
+            let t = db.tpcc();
+            let mut out = Vec::new();
+            for w in 0..t.warehouses.len() {
+                out.push(unsafe { t.warehouses.read_with(w, |r| r.ytd_cents) });
+            }
+            for d in 0..t.districts.len() {
+                out.push(unsafe {
+                    t.districts.read_with(d, |r| {
+                        r.ytd_cents
+                            ^ ((r.next_o_id as u64) << 1)
+                            ^ ((r.history_ctr as u64) << 17)
+                            ^ ((r.delivered_cnt as u64) << 33)
+                    })
+                });
+                out.push(unsafe { t.districts.read_with(d, |r| r.delivered_cents) });
+            }
+            for c in 0..t.customers.len() {
+                out.push(unsafe {
+                    t.customers.read_with(c, |r| {
+                        (r.balance_cents as u64)
+                            ^ (r.ytd_payment_cents << 1)
+                            ^ ((r.payment_cnt as u64) << 33)
+                            ^ ((r.delivery_cnt as u64) << 49)
+                    })
+                });
+            }
+            for s in 0..t.stock.len() {
+                out.push(unsafe {
+                    t.stock.read_with(s, |r| {
+                        (r.quantity as u64)
+                            ^ ((r.ytd as u64) << 16)
+                            ^ ((r.order_cnt as u64) << 32)
+                            ^ ((r.remote_cnt as u64) << 48)
+                    })
+                });
+            }
+            out
+        }
+    }
+}
+
+/// Run one simulated engine lifetime under `cfg` and return its outcome.
+/// `keep_trace` records the full step list (memory-heavy; the explorer
+/// enables it only when reproducing a failure).
+pub fn run_sim(cfg: &SimConfig, keep_trace: bool) -> SimOutcome {
+    let _serial = sim_lock();
+    let mut violations: Vec<String> = Vec::new();
+
+    let db = build_db(cfg.workload);
+    let mut generator = workload_spec(cfg.workload).generator(cfg.seed, 0);
+
+    let assignment = match cfg.workload {
+        WorkloadKind::Tpcc => CcAssignment::Warehouse,
+        _ => CcAssignment::KeyModulo,
+    };
+    let mut ocfg = OrthrusConfig::with_threads(cfg.n_cc, cfg.n_exec, assignment);
+    ocfg.max_inflight = cfg.max_inflight;
+    ocfg.forwarding = cfg.forwarding;
+    ocfg.flush_threshold = cfg.flush_threshold;
+    ocfg.ingest_capacity = cfg.ingest_capacity;
+    ocfg.admission = cfg.admission.clone();
+    if cfg.shared_table {
+        ocfg.cc_mode = CcMode::SharedTable;
+        ocfg.shared_table_buckets = 64;
+    }
+    let scratch = cfg.durability.is_on().then(|| TempDir::new("sim"));
+    if let Some(dir) = &scratch {
+        ocfg = ocfg.with_durability(cfg.durability, dir.path());
+    }
+
+    let sched = Arc::new(SimScheduler::new(
+        cfg.seed,
+        SimScheduler::engine_names(cfg.n_cc, cfg.n_exec),
+        cfg.plan.clone(),
+        keep_trace,
+    ));
+    let thread_names = sched.names().to_vec();
+    sim::install(Arc::<SimScheduler>::clone(&sched));
+
+    let engine = OrthrusEngine::service(Arc::clone(&db), ocfg.clone());
+    let mut handle = engine.start(cfg.seed);
+    // Enroll *after* start(): the registration barrier waits for every
+    // participant, and the workers are only spawned by start().
+    let client = sim::enroll("client");
+
+    // Expected effect model for the micro workloads: each Rmw increments
+    // each of its keys once (multi-mentions count multiply).
+    let mut expected = vec![0u64; N_RECORDS as usize];
+    let session = handle.session();
+    let mut completions = Vec::new();
+    for i in 0..cfg.txns {
+        let program = generator.next_program();
+        if let Program::Rmw { keys } = &program {
+            for &k in keys {
+                expected[k as usize] += 1;
+            }
+        }
+        if let Err(e) = session.submit(program) {
+            violations.push(format!("submit #{i} rejected: {e:?}"));
+            break;
+        }
+        if i % 8 == 7 {
+            handle.drain_completions(&mut completions);
+        }
+    }
+
+    let accepted = handle.accepted();
+    if accepted != cfg.txns as u64 && violations.is_empty() {
+        violations.push(format!(
+            "submission ledger: accepted {accepted} of {} submitted",
+            cfg.txns
+        ));
+    }
+
+    let mut committed = 0;
+    let shutdown_ok = match handle.try_shutdown() {
+        Ok(stats) => {
+            committed = stats.totals.committed_all;
+            if committed != accepted {
+                violations.push(format!(
+                    "commit conservation: {committed} committed vs {accepted} accepted"
+                ));
+            }
+            true
+        }
+        Err(e) => {
+            violations.push(format!("shutdown failed: {e}"));
+            false
+        }
+    };
+    // Final drain, retried: pop-delay faults can deny the drain itself
+    // (delayed delivery), and a real client retries those. Bounded so an
+    // engine that genuinely lost a completion still fails the check.
+    let mut rounds = 0;
+    while (completions.len() as u64) < accepted && rounds < 1024 {
+        handle.drain_completions(&mut completions);
+        rounds += 1;
+    }
+
+    // Ticket conservation: every accepted ticket completes exactly once.
+    let mut tickets: Vec<u64> = completions.iter().map(|c| c.ticket.0).collect();
+    tickets.sort_unstable();
+    let expected_tickets: Vec<u64> = (0..accepted).collect();
+    if tickets != expected_tickets {
+        violations.push(format!(
+            "ticket conservation: {} completions for {accepted} accepted \
+             (lost or duplicated tickets)",
+            tickets.len()
+        ));
+    }
+
+    if shutdown_ok {
+        check_semantics(&db, cfg.workload, &expected, &mut violations);
+    }
+    let state_digest = digest(&db, cfg.workload);
+
+    drop(handle);
+    drop(engine);
+    drop(client);
+    let report = sched.report();
+    sim::uninstall();
+
+    if !report.unknown_registrations.is_empty() {
+        violations.push(format!(
+            "unexpected sim participants: {:?}",
+            report.unknown_registrations
+        ));
+    }
+
+    // Replay-determinism pin: recover a fresh database from the command
+    // log and require bit-identical table state and a complete, dense
+    // ticket set — the serializability witness surviving a crash.
+    if shutdown_ok && cfg.durability.is_on() {
+        let fresh = build_db(cfg.workload);
+        match OrthrusEngine::try_recover(Arc::clone(&fresh), ocfg) {
+            Ok((recovered, replay)) => {
+                drop(recovered);
+                let mut replayed = replay.tickets.clone();
+                replayed.sort_unstable();
+                if replayed != expected_tickets {
+                    violations.push(format!(
+                        "replay ticket set: {} records for {accepted} accepted",
+                        replayed.len()
+                    ));
+                }
+                if digest(&fresh, cfg.workload) != state_digest {
+                    violations.push("replayed state diverged from live state".to_string());
+                }
+            }
+            Err(e) => violations.push(format!("recovery failed: {e}")),
+        }
+    }
+
+    SimOutcome {
+        steps: report.steps,
+        trace_hash: report.trace_hash,
+        perturbations: report.perturbations,
+        state_digest,
+        committed,
+        violations,
+        report,
+        thread_names,
+    }
+}
+
+/// Workload-semantic invariants over the final table state.
+fn check_semantics(
+    db: &Database,
+    workload: WorkloadKind,
+    expected: &[u64],
+    violations: &mut Vec<String>,
+) {
+    match workload {
+        WorkloadKind::MicroHot | WorkloadKind::MicroUniform => {
+            for (k, &want) in expected.iter().enumerate() {
+                let got = unsafe { db.read_counter(k as u64) };
+                if got != want {
+                    violations.push(format!(
+                        "serializability: key {k} counter {got}, submitted model says {want}"
+                    ));
+                    return; // one key is enough to flag the run
+                }
+            }
+        }
+        WorkloadKind::Tpcc => {
+            let t = db.tpcc();
+            let w_delta: u64 = (0..t.warehouses.len())
+                .map(|w| unsafe { t.warehouses.read_with(w, |r| r.ytd_cents) } - 30_000_000)
+                .sum();
+            let d_delta: u64 = (0..t.districts.len())
+                .map(|d| unsafe { t.districts.read_with(d, |r| r.ytd_cents) } - 3_000_000)
+                .sum();
+            if w_delta != d_delta {
+                violations.push(format!(
+                    "TPC-C money conservation: warehouse ytd delta {w_delta} \
+                     != district ytd delta {d_delta}"
+                ));
+            }
+            let hist: u64 = (0..t.districts.len())
+                .map(|d| unsafe { t.districts.read_with(d, |r| r.history_ctr as u64) })
+                .sum();
+            let pay: u64 = (0..t.customers.len())
+                .map(|c| unsafe { t.customers.read_with(c, |r| (r.payment_cnt - 1) as u64) })
+                .sum();
+            if hist != pay {
+                violations.push(format!(
+                    "TPC-C history/payment count: {hist} history rows vs {pay} payments"
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! The seeded scheduler: serializes every enrolled engine thread onto a
+//! single virtual-time token and picks interleavings (and faults) from a
+//! deterministic RNG.
+//!
+//! ## How determinism survives real OS threads
+//!
+//! The engine's workers stay ordinary `std::thread`s, but exactly one
+//! enrolled thread holds the *token* at any moment; everyone else is
+//! parked on a condvar. Every cross-thread handoff (ring push/pop, park,
+//! named point — see `orthrus_common::sim`) is a yield point: the running
+//! thread records a trace step, rolls the scheduler's RNG for who runs
+//! next, and hands the token over. Since engine state only changes while
+//! a thread runs, and threads only run one at a time between yield
+//! points, the whole execution is a deterministic function of the seed —
+//! OS scheduling decides nothing.
+//!
+//! Two details keep it airtight:
+//! - thread identity comes from a **pre-declared name list** (`cc0`,
+//!   `exec1`, `client`), never from registration order, which the OS
+//!   *does* control;
+//! - enrollment itself is a yield point: `register` blocks until every
+//!   expected thread arrived and the token reaches the caller, so even
+//!   startup is serialized.
+//!
+//! ## Faults
+//!
+//! The same RNG drives injection: a denied pop is a delayed/reordered
+//! delivery (the messages stay queued), a denied push is a ring-full
+//! burst, and a shuffled fan-in start lane reorders grant streams across
+//! lanes (never within one). Ingest pushes are exempt — the session
+//! reserves its slot under the lane lock before pushing, so a pretend
+//! -full there would violate the ring's own contract rather than model a
+//! real fault. Past [`FaultPlan::soft_cap`] steps, injection stops (the
+//! run must terminate; a genuine livelock would still hang and be
+//! caught), and an exhausted [`FaultPlan::budget`] stops it early — the
+//! knob the trace minimizer binary-searches.
+
+use std::sync::{Condvar, Mutex};
+
+use orthrus_common::rng::XorShift64;
+use orthrus_common::sim::{ChanId, Scheduler, SimOp};
+
+/// Ring labels eligible for push-denial (ring-full bursts). `"ingest"`
+/// is deliberately absent: see the module docs.
+pub const PUSH_FAULTABLE: &[&str] = &["exec_cc", "cc_cc", "cc_exec", "completion"];
+
+/// What faults a simulated run injects, and how many.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Percent chance a pop is denied (delayed delivery).
+    pub delay_pct: u32,
+    /// Percent chance a push to a [`PUSH_FAULTABLE`] ring is denied
+    /// (ring-full burst).
+    pub deny_push_pct: u32,
+    /// Shuffle each fan-in round's starting lane (grant reordering).
+    pub shuffle_lanes: bool,
+    /// Restrict pop-denial to these ring labels (`None` = all labels).
+    pub delay_labels: Option<Vec<String>>,
+    /// Max faults to fire (`None` = unlimited). Same seed + same budget
+    /// ⇒ bit-identical run; the minimizer searches this knob.
+    pub budget: Option<u64>,
+    /// Steps after which no further faults fire, bounding termination.
+    pub soft_cap: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            delay_pct: 0,
+            deny_push_pct: 0,
+            shuffle_lanes: false,
+            delay_labels: None,
+            budget: None,
+            soft_cap: 2_000_000,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The plan with a different fault budget (minimizer step).
+    pub fn with_budget(&self, budget: u64) -> Self {
+        FaultPlan {
+            budget: Some(budget),
+            ..self.clone()
+        }
+    }
+}
+
+/// One recorded scheduler step. Compact — a long run records millions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    pub thread: u16,
+    pub kind: StepKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    Push { chan: ChanId, n: u32, denied: bool },
+    Pop { chan: ChanId, denied: bool },
+    Park,
+    Point { name: u32 },
+    Lane { lanes: u32, start: u32 },
+    Exit,
+}
+
+/// Everything observable about a finished simulated schedule.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// Total steps taken (counted even when the trace is not kept).
+    pub steps: u64,
+    /// Order-sensitive hash over every step — the bit-identity pin.
+    pub trace_hash: u64,
+    /// Faults actually fired.
+    pub perturbations: u64,
+    /// The full step list, when tracing was enabled.
+    pub trace: Option<Vec<Step>>,
+    /// Ring label per [`ChanId`] (index `chan - 1`).
+    pub chan_labels: Vec<&'static str>,
+    /// Interned point names ([`StepKind::Point`] indexes).
+    pub point_names: Vec<String>,
+    /// Threads that tried to enroll under an unexpected name — a harness
+    /// bug that breaks determinism; the runner reports it as a violation.
+    pub unknown_registrations: Vec<String>,
+}
+
+impl SchedReport {
+    /// Render the last `n` steps with labels resolved — what the
+    /// explorer prints for a failing seed.
+    pub fn render_tail(&self, names: &[String], n: usize) -> String {
+        let Some(trace) = &self.trace else {
+            return String::from("(trace not kept; re-run with tracing)");
+        };
+        let start = trace.len().saturating_sub(n);
+        let mut out = String::new();
+        for (i, step) in trace[start..].iter().enumerate() {
+            let who = names.get(step.thread as usize).map_or("?", String::as_str);
+            let chan_label = |chan: ChanId| {
+                self.chan_labels
+                    .get(chan.wrapping_sub(1) as usize)
+                    .copied()
+                    .unwrap_or("?")
+            };
+            let line = match step.kind {
+                StepKind::Push { chan, n, denied } => format!(
+                    "push {}#{chan} n={n}{}",
+                    chan_label(chan),
+                    if denied { " DENIED" } else { "" }
+                ),
+                StepKind::Pop { chan, denied } => format!(
+                    "pop {}#{chan}{}",
+                    chan_label(chan),
+                    if denied { " DENIED" } else { "" }
+                ),
+                StepKind::Park => "park".to_string(),
+                StepKind::Point { name } => format!(
+                    "point {}",
+                    self.point_names
+                        .get(name as usize)
+                        .map_or("?", String::as_str)
+                ),
+                StepKind::Lane { lanes, start } => {
+                    format!("fanin lanes={lanes} start={start}")
+                }
+                StepKind::Exit => "exit".to_string(),
+            };
+            out.push_str(&format!("  [{:>6}] {who:<8} {line}\n", start + i));
+        }
+        out
+    }
+}
+
+struct State {
+    registered: Vec<bool>,
+    live: Vec<bool>,
+    parked: Vec<bool>,
+    running: Option<usize>,
+    n_registered: usize,
+    started: bool,
+    rng: XorShift64,
+    steps: u64,
+    trace_hash: u64,
+    perturbations: u64,
+    budget_left: Option<u64>,
+    trace: Option<Vec<Step>>,
+    chan_labels: Vec<&'static str>,
+    point_names: Vec<String>,
+    unknown: Vec<String>,
+}
+
+impl State {
+    /// Whether injection is still allowed, and consume one budget unit
+    /// if a fault fires.
+    fn try_fire(&mut self, plan: &FaultPlan, pct: u32) -> bool {
+        if self.steps >= plan.soft_cap || pct == 0 {
+            return false;
+        }
+        if let Some(0) = self.budget_left {
+            return false;
+        }
+        if !self.rng.chance_percent(pct) {
+            return false;
+        }
+        if let Some(b) = &mut self.budget_left {
+            *b -= 1;
+        }
+        self.perturbations += 1;
+        true
+    }
+
+    fn record(&mut self, thread: usize, kind: StepKind) {
+        self.steps += 1;
+        self.trace_hash = fold_step(self.trace_hash, thread, &kind);
+        if let Some(trace) = &mut self.trace {
+            trace.push(Step {
+                thread: thread as u16,
+                kind,
+            });
+        }
+    }
+}
+
+/// FNV-style fold of one step into the running trace hash.
+fn fold_step(mut h: u64, thread: usize, kind: &StepKind) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(thread as u64);
+    match *kind {
+        StepKind::Push { chan, n, denied } => {
+            mix(1);
+            mix(chan as u64);
+            mix(n as u64);
+            mix(denied as u64);
+        }
+        StepKind::Pop { chan, denied } => {
+            mix(2);
+            mix(chan as u64);
+            mix(denied as u64);
+        }
+        StepKind::Park => mix(3),
+        StepKind::Point { name } => {
+            mix(4);
+            mix(name as u64);
+        }
+        StepKind::Lane { lanes, start } => {
+            mix(5);
+            mix(lanes as u64);
+            mix(start as u64);
+        }
+        StepKind::Exit => mix(6),
+    }
+    h
+}
+
+/// The seeded scheduler. Install with `orthrus_common::sim::install`,
+/// then start the engine and enroll the client; see `crate::run_sim`.
+pub struct SimScheduler {
+    names: Vec<String>,
+    plan: FaultPlan,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl SimScheduler {
+    /// `names` is the full expected participant set, in canonical order
+    /// (thread ids are indexes into it — never registration order).
+    pub fn new(seed: u64, names: Vec<String>, plan: FaultPlan, keep_trace: bool) -> Self {
+        let n = names.len();
+        assert!(n > 0, "a simulation needs at least one participant");
+        SimScheduler {
+            names,
+            state: Mutex::new(State {
+                registered: vec![false; n],
+                live: vec![false; n],
+                parked: vec![false; n],
+                running: None,
+                n_registered: 0,
+                started: false,
+                rng: XorShift64::new(seed ^ 0x0005_1EDD_5C4E_D01E),
+                steps: 0,
+                trace_hash: 0xcbf2_9ce4_8422_2325,
+                perturbations: 0,
+                budget_left: plan.budget,
+                trace: keep_trace.then(Vec::new),
+                chan_labels: Vec::new(),
+                point_names: Vec::new(),
+                unknown: Vec::new(),
+            }),
+            plan,
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The canonical participant list for an engine shape plus the one
+    /// driving client thread.
+    pub fn engine_names(n_cc: usize, n_exec: usize) -> Vec<String> {
+        let mut names = Vec::with_capacity(n_cc + n_exec + 1);
+        names.extend((0..n_cc).map(|i| format!("cc{i}")));
+        names.extend((0..n_exec).map(|i| format!("exec{i}")));
+        names.push("client".to_string());
+        names
+    }
+
+    /// The participant names, in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Snapshot the schedule's observables. Meaningful once every
+    /// participant has retired (the runner calls it after the client
+    /// guard drops).
+    pub fn report(&self) -> SchedReport {
+        let s = self.state.lock().unwrap();
+        SchedReport {
+            steps: s.steps,
+            trace_hash: s.trace_hash,
+            perturbations: s.perturbations,
+            trace: s.trace.clone(),
+            chan_labels: s.chan_labels.clone(),
+            point_names: s.point_names.clone(),
+            unknown_registrations: s.unknown.clone(),
+        }
+    }
+
+    /// Pick the next runnable thread (parked ∧ live) — callers guarantee
+    /// at least one candidate.
+    fn pick_next(s: &mut State) -> usize {
+        let cands: Vec<usize> = (0..s.live.len())
+            .filter(|&i| s.parked[i] && s.live[i])
+            .collect();
+        debug_assert!(!cands.is_empty(), "no runnable sim thread");
+        cands[s.rng.next_below(cands.len() as u64) as usize]
+    }
+
+    /// Hand the token to a seeded choice (possibly back to `me`) and
+    /// block until it returns.
+    fn yield_token<'a>(
+        &'a self,
+        mut s: std::sync::MutexGuard<'a, State>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, State> {
+        s.parked[me] = true;
+        let next = Self::pick_next(&mut s);
+        s.running = Some(next);
+        if next != me {
+            self.cv.notify_all();
+            while s.running != Some(me) {
+                s = self.cv.wait(s).unwrap();
+            }
+        }
+        s.parked[me] = false;
+        s
+    }
+}
+
+impl Scheduler for SimScheduler {
+    fn register(&self, name: &str) -> Option<usize> {
+        let Some(id) = self.names.iter().position(|n| n == name) else {
+            self.state.lock().unwrap().unknown.push(name.to_string());
+            return None;
+        };
+        let mut s = self.state.lock().unwrap();
+        assert!(!s.registered[id], "sim thread {name:?} enrolled twice");
+        s.registered[id] = true;
+        s.live[id] = true;
+        s.parked[id] = true;
+        s.n_registered += 1;
+        if s.n_registered == self.names.len() {
+            // Barrier complete: grant the first token. From here on the
+            // execution is serialized and seed-deterministic.
+            s.started = true;
+            let first = Self::pick_next(&mut s);
+            s.running = Some(first);
+            self.cv.notify_all();
+        }
+        while s.running != Some(id) {
+            s = self.cv.wait(s).unwrap();
+        }
+        s.parked[id] = false;
+        Some(id)
+    }
+
+    fn unregister(&self, thread: usize) {
+        let mut s = self.state.lock().unwrap();
+        debug_assert_eq!(s.running, Some(thread), "retiring thread lacks the token");
+        s.record(thread, StepKind::Exit);
+        s.live[thread] = false;
+        s.parked[thread] = false;
+        let any_left = (0..s.live.len()).any(|i| s.parked[i] && s.live[i]);
+        s.running = if any_left {
+            Some(Self::pick_next(&mut s))
+        } else {
+            None
+        };
+        self.cv.notify_all();
+    }
+
+    fn reached(&self, thread: usize, op: SimOp<'_>) -> bool {
+        let mut s = self.state.lock().unwrap();
+        debug_assert_eq!(
+            s.running,
+            Some(thread),
+            "hook from a thread without the token"
+        );
+        let proceed = match op {
+            SimOp::Push { chan, label, n } => {
+                let eligible = PUSH_FAULTABLE.contains(&label);
+                let denied = eligible && s.try_fire(&self.plan, self.plan.deny_push_pct);
+                s.record(
+                    thread,
+                    StepKind::Push {
+                        chan,
+                        n: n as u32,
+                        denied,
+                    },
+                );
+                !denied
+            }
+            SimOp::Pop { chan, label } => {
+                let eligible = self
+                    .plan
+                    .delay_labels
+                    .as_ref()
+                    .is_none_or(|ls| ls.iter().any(|l| l == label));
+                let denied = eligible && s.try_fire(&self.plan, self.plan.delay_pct);
+                s.record(thread, StepKind::Pop { chan, denied });
+                !denied
+            }
+            SimOp::Park => {
+                s.record(thread, StepKind::Park);
+                true
+            }
+            SimOp::Point { name } => {
+                let idx = match s.point_names.iter().position(|p| p == name) {
+                    Some(i) => i,
+                    None => {
+                        s.point_names.push(name.to_string());
+                        s.point_names.len() - 1
+                    }
+                };
+                s.record(thread, StepKind::Point { name: idx as u32 });
+                true
+            }
+        };
+        let _s = self.yield_token(s, thread);
+        proceed
+    }
+
+    fn fanin_start(&self, thread: usize, lanes: usize) -> Option<usize> {
+        if !self.plan.shuffle_lanes || lanes < 2 {
+            return None;
+        }
+        let mut s = self.state.lock().unwrap();
+        if !s.try_fire(&self.plan, 100) {
+            return None;
+        }
+        let start = s.rng.next_below(lanes as u64) as usize;
+        s.record(
+            thread,
+            StepKind::Lane {
+                lanes: lanes as u32,
+                start: start as u32,
+            },
+        );
+        Some(start)
+    }
+
+    fn alloc_chan(&self, label: &'static str) -> ChanId {
+        let mut s = self.state.lock().unwrap();
+        s.chan_labels.push(label);
+        s.chan_labels.len() as ChanId
+    }
+}

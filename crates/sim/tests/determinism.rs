@@ -1,0 +1,151 @@
+//! The simulation layer's own contract tests.
+//!
+//! 1. **Determinism pin** (proptest): the same seed and configuration
+//!    produce a bit-identical step trace (equal order-sensitive hashes,
+//!    equal step counts) *and* bit-identical final table state across
+//!    two independent runs — the property every `sim run --seed S`
+//!    reproduction line depends on.
+//! 2. **Grant reorder regression**: delaying and reordering lock-grant
+//!    forwarding between CC threads (pop-delay + lane shuffle on the
+//!    `cc_cc`/`cc_exec` rings) must not lose, duplicate, or misorder the
+//!    admitted stream — ticket conservation and the serializability
+//!    witnesses hold under schedules threaded tests cannot express.
+//! 3. **Explorer smoke**: a small seed sweep runs clean end to end.
+
+use proptest::prelude::*;
+
+use orthrus_core::{AdmissionPolicy, DurabilityMode};
+use orthrus_sim::{explore, run_sim, FaultPlan, SimConfig, WorkloadKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same seed + config ⇒ bit-identical schedule and state.
+    #[test]
+    fn same_seed_replays_bit_identically(seed in 1u64..5000) {
+        let cfg = SimConfig::from_seed(seed);
+        let a = run_sim(&cfg, false);
+        let b = run_sim(&cfg, false);
+        prop_assert_eq!(a.trace_hash, b.trace_hash, "schedules diverged");
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.perturbations, b.perturbations);
+        prop_assert_eq!(a.state_digest, b.state_digest, "table state diverged");
+        prop_assert_eq!(a.committed, b.committed);
+    }
+}
+
+#[test]
+fn capped_budget_replays_bit_identically() {
+    // The minimizer's premise: (seed, budget) pins the whole run too.
+    let mut cfg = SimConfig::from_seed(42);
+    cfg.plan = cfg.plan.with_budget(25);
+    let a = run_sim(&cfg, true);
+    let b = run_sim(&cfg, true);
+    assert_eq!(a.trace_hash, b.trace_hash);
+    assert_eq!(a.report.trace, b.report.trace, "step-for-step replay");
+    assert_eq!(a.state_digest, b.state_digest);
+}
+
+/// Heavy delay/reordering restricted to the CC→CC forwarding and CC→exec
+/// grant rings, across all three admission policies.
+#[test]
+fn delayed_and_reordered_grant_forwarding_conserves_admitted_stream() {
+    let policies = [
+        AdmissionPolicy::Fifo,
+        AdmissionPolicy::ConflictBatch {
+            classes: 4,
+            batch: 4,
+        },
+        AdmissionPolicy::Adaptive {
+            classes: 4,
+            max_batch: 4,
+            threshold_pct: 5,
+            hysteresis: 1,
+            epoch: 16,
+        },
+    ];
+    for (i, admission) in policies.into_iter().enumerate() {
+        for seed in [3, 17, 91] {
+            // Multi-CC shape with forwarding on: grants for a
+            // multi-partition transaction travel cc→cc before the final
+            // cc→exec hop, so delays here reorder the grant stream the
+            // deadlock-freedom argument depends on.
+            let cfg = SimConfig {
+                seed,
+                txns: 32,
+                n_cc: 3,
+                n_exec: 2,
+                max_inflight: 3,
+                flush_threshold: 4,
+                ingest_capacity: 16,
+                admission: admission.clone(),
+                durability: DurabilityMode::Off,
+                shared_table: false,
+                forwarding: true,
+                workload: WorkloadKind::MicroHot,
+                plan: FaultPlan {
+                    delay_pct: 40,
+                    deny_push_pct: 0,
+                    shuffle_lanes: true,
+                    delay_labels: Some(vec!["cc_cc".to_string(), "cc_exec".to_string()]),
+                    ..FaultPlan::default()
+                },
+            };
+            let out = run_sim(&cfg, false);
+            assert!(
+                out.violations.is_empty(),
+                "policy {i}, seed {seed}: {:?}",
+                out.violations
+            );
+            assert_eq!(out.committed, 32, "policy {i}, seed {seed}");
+            assert!(
+                out.perturbations > 0,
+                "policy {i}, seed {seed}: the fault plan never fired"
+            );
+        }
+    }
+}
+
+/// Durable mode under the same grant perturbations: the replay pin
+/// inside `run_sim` additionally checks log completeness.
+#[test]
+fn delayed_grants_with_durability_replay_cleanly() {
+    let cfg = SimConfig {
+        seed: 7,
+        txns: 28,
+        n_cc: 2,
+        n_exec: 2,
+        max_inflight: 3,
+        flush_threshold: 4,
+        ingest_capacity: 16,
+        admission: AdmissionPolicy::Fifo,
+        durability: DurabilityMode::Log,
+        shared_table: false,
+        forwarding: true,
+        workload: WorkloadKind::MicroUniform,
+        plan: FaultPlan {
+            delay_pct: 30,
+            deny_push_pct: 10,
+            shuffle_lanes: true,
+            ..FaultPlan::default()
+        },
+    };
+    let out = run_sim(&cfg, false);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+}
+
+#[test]
+fn explorer_smoke() {
+    let report = explore(9000, 6, Some(12), false);
+    assert_eq!(report.seeds_run, 6);
+    assert!(
+        report.failures.is_empty(),
+        "{}",
+        report
+            .failures
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

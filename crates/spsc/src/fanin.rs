@@ -70,7 +70,10 @@ impl<T> FanIn<T> {
         if n == 0 || budget == 0 {
             return 0;
         }
-        let start = self.next;
+        // Under a sim scheduler the round may start on any lane — the
+        // simulated analogue of producers racing ahead of the rotation —
+        // which reorders messages *across* lanes (never within one).
+        let start = orthrus_common::sim::fanin_start(n).unwrap_or(self.next);
         let mut drained = 0;
         for i in 0..n {
             if drained >= budget {

@@ -19,7 +19,7 @@ mod fanin;
 mod ring;
 
 pub use fanin::FanIn;
-pub use ring::{channel, Consumer, Producer};
+pub use ring::{channel, channel_labeled, Consumer, Producer};
 
 #[cfg(test)]
 mod proptests;

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
+use orthrus_common::sim;
 use orthrus_common::Backoff;
 
 /// Shared state between the two endpoints.
@@ -16,6 +17,9 @@ struct Inner<T> {
     head: CachePadded<AtomicUsize>,
     /// Next slot the producer will write. Written by producer only.
     tail: CachePadded<AtomicUsize>,
+    /// Simulation trace id (0 outside a sim run) and role label.
+    chan: sim::ChanId,
+    label: &'static str,
 }
 
 // SAFETY: `Inner` is shared between exactly one producer and one consumer.
@@ -71,6 +75,12 @@ unsafe impl<T: Send> Send for Consumer<T> {}
 /// Create a ring with capacity for at least `capacity` in-flight messages
 /// (rounded up to a power of two, minimum 2).
 pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    channel_labeled(capacity, "chan")
+}
+
+/// [`channel`], tagged with a role label (`"exec_cc"`, `"completion"`, …)
+/// so the sim scheduler can trace and target this ring's handoffs.
+pub fn channel_labeled<T>(capacity: usize, label: &'static str) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
     let buf = (0..cap)
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
@@ -81,6 +91,8 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         mask: cap - 1,
         head: CachePadded::new(AtomicUsize::new(0)),
         tail: CachePadded::new(AtomicUsize::new(0)),
+        chan: sim::alloc_chan(label),
+        label,
     });
     (
         Producer {
@@ -105,6 +117,9 @@ impl<T> Producer<T> {
     /// Try to enqueue; returns the value back if the ring is full.
     #[inline]
     pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        if !sim::on_push(self.inner.chan, self.inner.label, 1) {
+            return Err(value); // injected ring-full burst
+        }
         let cap = self.inner.mask + 1;
         if self.tail.wrapping_sub(self.head_cache) >= cap {
             // Looks full; refresh the cached head. Acquire pairs with the
@@ -152,6 +167,9 @@ impl<T> Producer<T> {
     pub fn try_push_slice(&mut self, values: &mut Vec<T>) -> usize {
         if values.is_empty() {
             return 0;
+        }
+        if !sim::on_push(self.inner.chan, self.inner.label, values.len()) {
+            return 0; // injected ring-full burst
         }
         let cap = self.inner.mask + 1;
         let mut free = cap - self.tail.wrapping_sub(self.head_cache);
@@ -232,6 +250,9 @@ impl<T> Consumer<T> {
     /// Try to dequeue.
     #[inline]
     pub fn try_pop(&mut self) -> Option<T> {
+        if !sim::on_pop(self.inner.chan, self.inner.label) {
+            return None; // injected delivery delay
+        }
         if self.head == self.tail_cache {
             // Looks empty; refresh the cached tail. Acquire pairs with the
             // producer's Release store so the slot contents are visible.
@@ -262,6 +283,9 @@ impl<T> Consumer<T> {
     pub fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         if max == 0 {
             return 0;
+        }
+        if !sim::on_pop(self.inner.chan, self.inner.label) {
+            return 0; // injected delivery delay
         }
         let mut avail = self.tail_cache.wrapping_sub(self.head);
         if avail < max {

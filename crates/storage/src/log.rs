@@ -179,6 +179,30 @@ impl SegmentedLog {
         Ok(framed)
     }
 
+    /// Append a **torn** record: write only the first `keep` bytes of the
+    /// frame (header + payload), exactly the physical state a crash
+    /// mid-append leaves behind. Fault-injection primitive — the resulting
+    /// tail fails the scan and must be repaired before further appends.
+    /// Returns how many bytes actually landed.
+    pub fn append_torn(&mut self, payload: &[u8], keep: u64) -> io::Result<u64> {
+        assert!(
+            payload.len() <= MAX_RECORD_BYTES as usize,
+            "record payload exceeds the format cap"
+        );
+        let framed = RECORD_OVERHEAD + payload.len() as u64;
+        if self.seg_len > SEGMENT_MAGIC.len() as u64 && self.seg_len + framed > self.segment_bytes {
+            self.roll()?;
+        }
+        let mut frame = Vec::with_capacity(framed as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let keep = (keep.min(framed)) as usize;
+        self.file.write_all(&frame[..keep])?;
+        self.seg_len += keep as u64;
+        Ok(keep as u64)
+    }
+
     /// Force appended records to stable storage (`fdatasync`).
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()

@@ -20,8 +20,12 @@ mod common;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use orthrus::common::TempDir;
-use orthrus::core::{AdmissionPolicy, CcAssignment, DurabilityMode, OrthrusConfig, OrthrusEngine};
+use orthrus::common::failpoint::global as failpoints;
+use orthrus::common::{FailAction, TempDir};
+use orthrus::core::{
+    AdmissionPolicy, CcAssignment, DurabilityMode, EngineError, OrthrusConfig, OrthrusEngine,
+};
+use orthrus::durability::log::{FP_APPEND, FP_FSYNC};
 use orthrus::durability::FailpointLog;
 use orthrus::storage::Table;
 use orthrus::txn::{Database, Program};
@@ -238,4 +242,167 @@ fn tpcc_crash_recovery_preserves_invariants() {
         .map(|c| unsafe { t.customers.read_with(c, |r| (r.payment_cnt - 1) as u64) })
         .sum();
     assert_eq!(hist, pay);
+}
+
+/// Clears the shared failpoint registry on drop, so a failing assertion
+/// in one scripted test cannot leave faults armed for the next.
+struct ArmedRegistry;
+
+impl ArmedRegistry {
+    fn arm(name: &str, action: FailAction, count: Option<u64>) -> Self {
+        failpoints().clear();
+        failpoints().configure(name, action, count);
+        ArmedRegistry
+    }
+}
+
+impl Drop for ArmedRegistry {
+    fn drop(&mut self) {
+        failpoints().clear();
+    }
+}
+
+/// An injected final-sync failure degrades gracefully: `try_shutdown`
+/// returns a typed [`EngineError::LogSync`], every worker is joined (the
+/// handle is reusable enough to report `Failed` on a retry), and the
+/// already-appended log still recovers in full.
+#[test]
+fn injected_fsync_failure_reports_typed_error() {
+    let _serial = common::serial();
+    let n = 40u64;
+    let scratch = TempDir::new("fsync-fault");
+    let db = Arc::new(Database::Flat(Table::new(KEYS as usize, 64)));
+    let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo)
+        .with_durability(DurabilityMode::Log, scratch.path());
+    let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+    let mut handle = engine.start(17);
+    let session = handle.session();
+    let mut gen = Spec::Micro(MicroSpec::hot_cold(KEYS, 8, 2, 3, false)).generator(41, 0);
+    let mut by_ticket = HashMap::new();
+    for _ in 0..n {
+        let program = gen.next_program();
+        let ticket = session.submit(program.clone()).expect("accepting");
+        by_ticket.insert(ticket.0, program);
+    }
+    // Arm *after* the work is submitted: in fsync-free `Log` mode the
+    // workers never sync; only the shutdown's final sync hits the fault.
+    let _armed = ArmedRegistry::arm(FP_FSYNC, FailAction::Err, None);
+    match handle.try_shutdown() {
+        Err(EngineError::LogSync(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::Other, "injected error kind")
+        }
+        other => panic!("expected LogSync, got {other:?}"),
+    }
+    assert!(failpoints().hits(FP_FSYNC) > 0, "the fault never fired");
+    // The handle is spent and says so — no panic, no hang, no leak.
+    match handle.try_shutdown() {
+        Err(EngineError::Failed(_)) => {}
+        other => panic!("expected Failed on retried shutdown, got {other:?}"),
+    }
+    drop(handle);
+    drop(_armed);
+    // Workers were joined before the failing sync, so every record was
+    // appended: the log replays the complete run.
+    assert_eq!(recover_and_audit(scratch.path(), &by_ticket), n);
+}
+
+/// An injected append failure kills the execution thread; shutdown
+/// reports it as a typed [`EngineError::WorkerPanicked`] — joining every
+/// worker, not hanging on the dead one — and recovery still replays the
+/// record-complete prefix.
+#[test]
+fn injected_append_failure_degrades_to_worker_panic() {
+    let _serial = common::serial();
+    let scratch = TempDir::new("append-fault");
+    let db = Arc::new(Database::Flat(Table::new(KEYS as usize, 64)));
+    let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo)
+        .with_durability(DurabilityMode::Log, scratch.path());
+    let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+    let mut handle = engine.start(17);
+    let session = handle.session();
+    let mut gen = Spec::Micro(MicroSpec::hot_cold(KEYS, 8, 2, 3, false)).generator(41, 0);
+    let _armed = ArmedRegistry::arm(FP_APPEND, FailAction::Err, Some(1));
+    // Few enough submissions to fit the ingest ring: the client must not
+    // block feeding an execution thread the fault is about to kill.
+    for _ in 0..20 {
+        session.submit(gen.next_program()).expect("accepting");
+    }
+    match handle.try_shutdown() {
+        Err(EngineError::WorkerPanicked(msg)) => {
+            assert!(
+                msg.contains("append"),
+                "panic should name the append failure: {msg:?}"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+}
+
+/// A torn append scripted mid-stream through the registry — the write
+/// lands only a 7-byte prefix of the frame, something the offline
+/// truncation harness cannot do against a *live* engine: recovery drops
+/// the torn record atomically and replays every fully-written commit.
+#[test]
+fn injected_torn_append_recovers_written_prefix() {
+    let _serial = common::serial();
+    let n1 = 30u64;
+    let scratch = TempDir::new("torn-fault");
+    let db = Arc::new(Database::Flat(Table::new(KEYS as usize, 64)));
+    let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo)
+        .with_durability(DurabilityMode::Log, scratch.path());
+    let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+    let mut handle = engine.start(17);
+    let session = handle.session();
+    let mut gen = Spec::Micro(MicroSpec::hot_cold(KEYS, 8, 2, 3, false)).generator(41, 0);
+    let mut by_ticket = HashMap::new();
+    let mut done = Vec::new();
+    for _ in 0..n1 {
+        let program = gen.next_program();
+        let ticket = session.submit(program.clone()).expect("accepting");
+        by_ticket.insert(ticket.0, program);
+    }
+    // Completions release only after the covering record is written:
+    // once all n1 are back, n1 commits are durably framed in the log.
+    while (done.len() as u64) < n1 {
+        handle.drain_completions(&mut done);
+        std::thread::yield_now();
+    }
+    let _armed = ArmedRegistry::arm(FP_APPEND, FailAction::Torn(7), Some(1));
+    for _ in 0..10 {
+        let program = gen.next_program();
+        let ticket = session.submit(program.clone()).expect("accepting");
+        by_ticket.insert(ticket.0, program);
+    }
+    match handle.try_shutdown() {
+        Err(EngineError::WorkerPanicked(_)) => {}
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    drop(handle);
+    drop(engine);
+    drop(_armed);
+    // The torn frame is dropped; everything whole before it survives.
+    let replayed = recover_and_audit(scratch.path(), &by_ticket);
+    assert!(
+        replayed >= n1 && replayed < n1 + 10,
+        "replayed {replayed}, expected the pre-tear prefix (≥ {n1}, < {})",
+        n1 + 10
+    );
+}
+
+/// An unreadable log is a typed [`EngineError::Recovery`], not a panic:
+/// here the "directory" is a plain file.
+#[test]
+fn unreadable_log_is_a_typed_recovery_error() {
+    let _serial = common::serial();
+    let scratch = TempDir::new("recover-fault");
+    let bogus = scratch.path().join("not-a-dir");
+    std::fs::write(&bogus, b"junk").unwrap();
+    let db = Arc::new(Database::Flat(Table::new(KEYS as usize, 64)));
+    let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo)
+        .with_durability(DurabilityMode::Log, &bogus);
+    match OrthrusEngine::try_recover(db, cfg) {
+        Err(EngineError::Recovery(_)) => {}
+        Ok(_) => panic!("recovering from a plain file must fail"),
+        Err(other) => panic!("expected Recovery, got {other:?}"),
+    }
 }
