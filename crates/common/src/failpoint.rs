@@ -184,6 +184,13 @@ pub fn injected_io_error(point: &str) -> std::io::Error {
     std::io::Error::other(format!("injected failpoint: {point}"))
 }
 
+/// Whether an `io::Error` came from [`injected_io_error`] — crash-point
+/// harnesses treat injected failures as scripted crashes, real ones as
+/// bugs.
+pub fn is_injected(e: &std::io::Error) -> bool {
+    e.to_string().contains("injected failpoint:")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,10 +64,22 @@ pub struct ThreadStats {
     pub log_records: u64,
     /// Command-log bytes appended (record framing included).
     pub log_bytes: u64,
-    /// Command-log fsyncs issued (`log+fsync` mode only).
+    /// Command-log fsyncs issued (`log+fsync` mode only). Under the
+    /// group-sync coordinator this counts the *coordinator's* coalesced
+    /// fsyncs (merged into the run totals), not per-append flushes.
     pub log_flushes: u64,
+    /// Group fsyncs issued by the sync coordinator (0 under per-run
+    /// sync). `log_synced_appends / log_group_syncs` is the
+    /// coalesced-appends-per-sync factor the coordinator exists for.
+    pub log_group_syncs: u64,
+    /// Appended records covered by those group fsyncs.
+    pub log_synced_appends: u64,
     /// Commit latency (transaction start → commit, including retries).
     pub latency: LatencyHistogram,
+    /// Time a committed run's completions waited for the covering fsync
+    /// (append → durable-release), group-sync mode only. Separates the
+    /// durability tax from execution time in the open-loop histograms.
+    pub log_fsync_wait: LatencyHistogram,
 }
 
 impl ThreadStats {
@@ -101,7 +113,10 @@ impl ThreadStats {
         self.log_records += other.log_records;
         self.log_bytes += other.log_bytes;
         self.log_flushes += other.log_flushes;
+        self.log_group_syncs += other.log_group_syncs;
+        self.log_synced_appends += other.log_synced_appends;
         self.latency.merge(&other.latency);
+        self.log_fsync_wait.merge(&other.log_fsync_wait);
     }
 
     /// Add elapsed nanoseconds to a phase bucket.
@@ -222,6 +237,27 @@ impl RunStats {
         self.totals.latency.quantile_ns(0.99) as f64 / 1_000.0
     }
 
+    /// Median fsync-wait (append → durable-release) in microseconds,
+    /// group-sync mode only (0 when nothing waited).
+    pub fn fsync_wait_p50_us(&self) -> f64 {
+        self.totals.log_fsync_wait.quantile_ns(0.50) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile fsync-wait in microseconds.
+    pub fn fsync_wait_p99_us(&self) -> f64 {
+        self.totals.log_fsync_wait.quantile_ns(0.99) as f64 / 1_000.0
+    }
+
+    /// Appended records per coordinator fsync — the group-commit
+    /// coalescing factor (0.0 when no group syncs ran).
+    pub fn coalesced_appends_per_sync(&self) -> f64 {
+        if self.totals.log_group_syncs == 0 {
+            0.0
+        } else {
+            self.totals.log_synced_appends as f64 / self.totals.log_group_syncs as f64
+        }
+    }
+
     /// Figure-10 style breakdown over the three phase buckets.
     pub fn breakdown(&self) -> PhaseBreakdown {
         let total =
@@ -263,7 +299,10 @@ mod tests {
             log_records: 4,
             log_bytes: 64,
             log_flushes: 3,
+            log_group_syncs: 2,
+            log_synced_appends: 6,
             latency: LatencyHistogram::new(),
+            log_fsync_wait: LatencyHistogram::new(),
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -276,6 +315,24 @@ mod tests {
         assert_eq!(b.log_records, 8);
         assert_eq!(b.log_bytes, 128);
         assert_eq!(b.log_flushes, 6);
+        assert_eq!(b.log_group_syncs, 4);
+        assert_eq!(b.log_synced_appends, 12);
+    }
+
+    #[test]
+    fn coalescing_factor_reads_from_totals() {
+        let rs = RunStats::collect(
+            &[ThreadStats {
+                log_group_syncs: 4,
+                log_synced_appends: 14,
+                ..Default::default()
+            }],
+            Duration::from_secs(1),
+        );
+        assert!((rs.coalesced_appends_per_sync() - 3.5).abs() < 1e-9);
+        let empty = RunStats::collect(&[], Duration::from_secs(1));
+        assert_eq!(empty.coalesced_appends_per_sync(), 0.0);
+        assert_eq!(empty.fsync_wait_p50_us(), 0.0);
     }
 
     #[test]

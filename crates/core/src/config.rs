@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use orthrus_common::{fx_hash_u64, Key};
-use orthrus_durability::DurabilityMode;
+use orthrus_durability::{DurabilityMode, SyncInterval};
 use orthrus_txn::Database;
 
 use crate::admit::AdmissionPolicy;
@@ -117,6 +117,23 @@ pub struct OrthrusConfig {
     /// an existing clean log; recovery (`OrthrusEngine::recover`) replays
     /// and repairs it first.
     pub log_dir: Option<PathBuf>,
+    /// Fsync scheduling under `LogFsync` (`ORTHRUS_SYNC_INTERVAL` in the
+    /// harness): `PerRun` = every exec thread fsyncs its own appends
+    /// inline (durability rung 1); `Adaptive` (default) / `FixedMicros`
+    /// = the cross-thread group-sync coordinator coalesces all
+    /// outstanding appends into one fsync and exec threads release
+    /// completions at or below the synced watermark. Ignored unless
+    /// `durability == LogFsync`.
+    pub sync_interval: SyncInterval,
+    /// Fuzzy-checkpoint trigger (`ORTHRUS_CHECKPOINT` in the harness):
+    /// take a checkpoint every this many appended log bytes; `None`
+    /// disables the checkpointer thread. Ignored when durability is off.
+    pub checkpoint_bytes: Option<u64>,
+    /// Recovery parallelism (`ORTHRUS_REPLAY_THREADS` in the harness):
+    /// how many threads `OrthrusEngine::recover` replays the committed
+    /// suffix across (footprint-parallel leveling, bit-identical to
+    /// serial). 1 = serial.
+    pub replay_threads: usize,
 }
 
 /// Default fabric batching degree: deep enough to amortize the
@@ -152,6 +169,9 @@ impl OrthrusConfig {
             admission: AdmissionPolicy::Fifo,
             durability: DurabilityMode::Off,
             log_dir: None,
+            sync_interval: SyncInterval::default(),
+            checkpoint_bytes: None,
+            replay_threads: 1,
         }
     }
 
@@ -173,6 +193,9 @@ impl OrthrusConfig {
             admission: AdmissionPolicy::Fifo,
             durability: DurabilityMode::Off,
             log_dir: None,
+            sync_interval: SyncInterval::default(),
+            checkpoint_bytes: None,
+            replay_threads: 1,
         }
     }
 
@@ -214,6 +237,9 @@ impl OrthrusConfig {
             );
         }
         self.admission.validate()?;
+        if self.replay_threads == 0 {
+            return Err("replay_threads must be ≥ 1: recovery needs a replay thread".into());
+        }
         if self.durability.is_on() && self.log_dir.is_none() {
             return Err(format!(
                 "durability mode {} needs a log_dir (OrthrusConfig::with_durability)",

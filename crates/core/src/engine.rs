@@ -21,14 +21,15 @@
 //! rests on it) is unchanged from the per-message fabric, which remains
 //! available as `flush_threshold = 1`.
 
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use orthrus_common::affinity::pin_to_core;
 use orthrus_common::runtime::{timed_run, RunCtl, RunParams};
 use orthrus_common::{Backoff, RunStats, ThreadStats};
-use orthrus_durability::{CommandLog, ReplayReport};
+use orthrus_durability::checkpoint::{run_checkpointer, write_initial_checkpoint};
+use orthrus_durability::{run_sync_coordinator, CommandLog, ReplayReport};
 use orthrus_spsc::{channel_labeled, Consumer, FanIn, Producer};
 use orthrus_txn::Database;
 use orthrus_workload::Spec;
@@ -131,6 +132,7 @@ impl OrthrusEngine {
             panic!("invalid OrthrusConfig: {why}");
         }
         let log = open_log(&cfg);
+        ensure_initial_checkpoint(&cfg, &db, &log);
         OrthrusEngine {
             db,
             spec: Some(spec),
@@ -147,6 +149,7 @@ impl OrthrusEngine {
             panic!("invalid OrthrusConfig: {why}");
         }
         let log = open_log(&cfg);
+        ensure_initial_checkpoint(&cfg, &db, &log);
         OrthrusEngine {
             db,
             spec: None,
@@ -163,7 +166,10 @@ impl OrthrusEngine {
     ///
     /// `db` must be the same logical snapshot the log started from (for
     /// this reproduction: a freshly loaded database with the original
-    /// seed — the log covers the whole run).
+    /// seed). When the directory holds a valid fuzzy checkpoint, `db` is
+    /// overwritten from its image and only the log suffix past it
+    /// replays — across [`OrthrusConfig::replay_threads`] when > 1
+    /// (footprint-parallel leveling, bit-identical to serial).
     ///
     /// # Panics
     /// On an invalid configuration, a durability mode of `Off` (there is
@@ -189,7 +195,8 @@ impl OrthrusEngine {
             "recover() needs durability on; with DurabilityMode::Off there is no log"
         );
         let dir = cfg.log_dir.as_deref().expect("validated: log_dir is set");
-        let report = orthrus_durability::recover(&db, dir).map_err(EngineError::Recovery)?;
+        let report = orthrus_durability::recover_with(&db, dir, cfg.replay_threads)
+            .map_err(EngineError::Recovery)?;
         Ok((Self::service(db, cfg), report))
     }
 
@@ -233,8 +240,9 @@ impl OrthrusEngine {
             .collect();
         let active_execs = AtomicUsize::new(self.cfg.n_exec);
         let shared_table = shared_table_for(&self.cfg);
+        let aux = AuxThreads::spawn(&self.cfg, &self.log);
 
-        let stats = timed_run(
+        let mut stats = timed_run(
             self.cfg.total_threads(),
             params.warmup,
             params.measure,
@@ -275,6 +283,13 @@ impl OrthrusEngine {
                 }
             },
         );
+        // Workers are joined (timed_run returned): every append's
+        // watermark is published, so the coordinator's final pass drains
+        // the log before it stops.
+        let coord = aux
+            .finish()
+            .unwrap_or_else(|msg| panic!("engine worker panicked: {msg}"));
+        stats.totals.merge(&coord);
         if let Some(log) = &self.log {
             // A finished closed-loop run is a clean stop: make it fully
             // replayable even in fsync-free `log` mode.
@@ -306,6 +321,7 @@ impl OrthrusEngine {
         let ctl = Arc::new(RunCtl::new());
         let active_execs = Arc::new(AtomicUsize::new(cfg.n_exec));
         let shared_table = shared_table_for(&cfg);
+        let aux = AuxThreads::spawn(&cfg, &self.log);
         let mut workers = Vec::with_capacity(cfg.total_threads());
 
         for (cc, ep) in fabric.cc.into_iter().enumerate() {
@@ -379,6 +395,7 @@ impl OrthrusEngine {
             stats: None,
             fail: None,
             log: self.log.clone(),
+            aux: Some(aux),
         }
     }
 }
@@ -394,7 +411,111 @@ fn open_log(cfg: &OrthrusConfig) -> Option<Arc<CommandLog>> {
     let dir = cfg.log_dir.as_deref().expect("validated: log_dir is set");
     let log = CommandLog::open(dir, cfg.durability)
         .unwrap_or_else(|e| panic!("cannot open command log at {}: {e}", dir.display()));
-    Some(Arc::new(log))
+    // Group sync ([`OrthrusConfig::sync_interval`]): appends publish a
+    // watermark instead of fsyncing inline; the coordinator thread
+    // spawned alongside the workers issues the coalesced fsyncs. The
+    // flag is inert outside `log+fsync` mode.
+    Some(Arc::new(log.with_group_sync(cfg.sync_interval.is_group())))
+}
+
+/// Write checkpoint #0 (the base image every shadow replay grows from)
+/// when checkpointing is enabled and the log directory has no valid
+/// checkpoint yet. Called at construction, before any worker exists, so
+/// the database is quiescent; `db` must correspond to the log's current
+/// end position — a pristine database with a fresh log, or a recovered
+/// one whose replay consumed the whole valid prefix.
+fn ensure_initial_checkpoint(cfg: &OrthrusConfig, db: &Database, log: &Option<Arc<CommandLog>>) {
+    let Some(log) = log else { return };
+    if cfg.checkpoint_bytes.is_none() {
+        return;
+    }
+    let dir = cfg.log_dir.as_deref().expect("validated: log_dir is set");
+    let have = orthrus_storage::checkpoint::load_newest_checkpoint(dir)
+        .unwrap_or_else(|e| panic!("cannot scan checkpoints in {}: {e}", dir.display()))
+        .is_some();
+    if !have {
+        // SAFETY: construction time — no engine thread exists yet.
+        unsafe { write_initial_checkpoint(dir, db, log.position()) }
+            .unwrap_or_else(|e| panic!("cannot write initial checkpoint: {e}"));
+    }
+}
+
+/// The durability rung-2 companion threads — the group-fsync coordinator
+/// and the fuzzy checkpointer — spawned alongside the engine's workers
+/// when the configuration asks for them, stopped only **after** every
+/// exec worker has joined (the coordinator must keep flushing while they
+/// drain their pending-durable queues).
+struct AuxThreads {
+    stop: Arc<AtomicBool>,
+    sync: Option<std::thread::JoinHandle<ThreadStats>>,
+    ckpt: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AuxThreads {
+    fn spawn(cfg: &OrthrusConfig, log: &Option<Arc<CommandLog>>) -> Self {
+        let mut aux = AuxThreads {
+            stop: Arc::new(AtomicBool::new(false)),
+            sync: None,
+            ckpt: None,
+        };
+        let Some(log) = log else { return aux };
+        if log.group_sync() {
+            let (log, stop) = (Arc::clone(log), Arc::clone(&aux.stop));
+            let interval = cfg.sync_interval;
+            aux.sync = Some(std::thread::spawn(move || {
+                // Same enrollment contract as the workers: a named sim
+                // participant under a sim scheduler, a no-op otherwise.
+                let _sim = orthrus_common::sim::enroll("sync");
+                run_sync_coordinator(&log, &stop, interval)
+            }));
+        }
+        if let Some(every) = cfg.checkpoint_bytes {
+            let (log, stop) = (Arc::clone(log), Arc::clone(&aux.stop));
+            let dir = cfg.log_dir.clone().expect("validated: log_dir is set");
+            aux.ckpt = Some(std::thread::spawn(move || {
+                let _sim = orthrus_common::sim::enroll("ckpt");
+                // Real I/O failures panic inside `run_checkpointer`; an
+                // `Err` is an *injected* failpoint — a scripted crash the
+                // recovery suite owns. The live engine just stops
+                // checkpointing (recovery falls back to the previous
+                // checkpoint plus a longer suffix).
+                let _ = run_checkpointer(&log, &dir, &stop, every);
+            }));
+        }
+        aux
+    }
+
+    /// Stop and join both companions; the coordinator drains every
+    /// outstanding append before it exits. Returns the coordinator's
+    /// counters for merging into the run totals, or the first panic
+    /// message.
+    fn finish(mut self) -> Result<ThreadStats, String> {
+        self.stop.store(true, Ordering::Release);
+        // Under a sim scheduler the caller holds the token, and a bare
+        // join would block while the companions sit parked waiting for
+        // it — yield through the park point until both have actually
+        // exited (a no-op spin outside the sim).
+        while self.sync.as_ref().is_some_and(|h| !h.is_finished())
+            || self.ckpt.as_ref().is_some_and(|h| !h.is_finished())
+        {
+            if !orthrus_common::sim::on_park() {
+                std::thread::yield_now();
+            }
+        }
+        let mut stats = ThreadStats::default();
+        if let Some(h) = self.sync.take() {
+            match h.join() {
+                Ok(s) => stats = s,
+                Err(p) => return Err(panic_message(p)),
+            }
+        }
+        if let Some(h) = self.ckpt.take() {
+            if let Err(p) = h.join() {
+                return Err(panic_message(p));
+            }
+        }
+        Ok(stats)
+    }
 }
 
 /// Pre-size each CC's table for its share of hot keys; entries are
@@ -515,6 +636,9 @@ pub struct EngineHandle {
     /// The engine's command log, synced once the drain completes so a
     /// clean shutdown is fully replayable even in fsync-free `log` mode.
     log: Option<Arc<CommandLog>>,
+    /// The group-fsync coordinator and checkpointer, stopped and joined
+    /// only after every worker has (see [`AuxThreads`]).
+    aux: Option<AuxThreads>,
 }
 
 impl EngineHandle {
@@ -611,10 +735,26 @@ impl EngineHandle {
                 }
             }
         }
+        // Stop the companions now that every worker is joined — the
+        // coordinator's exit condition (stopped ∧ fully synced) makes
+        // the pending-durable drain above race-free. Joined even on the
+        // worker-panic path so nothing leaks; a coordinator panic (fsync
+        // failure) is itself a worker panic.
+        let aux_result = match self.aux.take() {
+            Some(aux) => aux.finish(),
+            None => Ok(ThreadStats::default()),
+        };
         if let Some(msg) = panic_msg {
             self.fail = Some(msg.clone());
             return Err(EngineError::WorkerPanicked(msg));
         }
+        let coord_stats = match aux_result {
+            Ok(s) => s,
+            Err(msg) => {
+                self.fail = Some(msg.clone());
+                return Err(EngineError::WorkerPanicked(msg));
+            }
+        };
         if let Some(log) = &self.log {
             // Workers are joined: every accepted ticket's record is
             // appended. Push the OS-buffered suffix to stable storage.
@@ -631,6 +771,9 @@ impl EngineHandle {
             for cc in &cc_stats {
                 last.merge(cc);
             }
+            // The coordinator's counters (group fsyncs, coalesced
+            // appends) ride the same rule.
+            last.merge(&coord_stats);
         }
         let stats = RunStats::collect(&per_thread, elapsed);
         self.stats = Some(stats.clone());
@@ -1562,21 +1705,165 @@ mod tests {
         drop(recovered);
     }
 
-    /// `log+fsync`: completions release only after the fsync, and the
-    /// fsync count equals the record count (one group-commit flush per
-    /// fused run).
+    /// `log+fsync` with per-run sync (durability rung 1): completions
+    /// release only after the inline fsync, and the fsync count equals
+    /// the record count (one group-commit flush per fused run).
     #[test]
     fn fsync_mode_flushes_once_per_record() {
         let _serial = crate::test_serial();
         let scratch = TempDir::new("engine-fsync");
         let db = Arc::new(Database::Flat(Table::new(64, 64)));
         let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
-        let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo)
+        let mut cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo)
             .with_durability(DurabilityMode::LogFsync, scratch.path());
+        cfg.sync_interval = orthrus_durability::SyncInterval::PerRun;
         let stats = OrthrusEngine::new(Arc::clone(&db), spec, cfg).run(&quick());
         assert!(stats.totals.committed_all > 0);
         assert_eq!(stats.totals.log_flushes, stats.totals.log_records);
         assert!(stats.totals.log_records > 0);
+        assert_eq!(stats.totals.log_group_syncs, 0, "no coordinator spawned");
+    }
+
+    /// `log+fsync` with the group-sync coordinator (durability rung 2,
+    /// the default): exec threads only publish watermarks, the
+    /// coordinator's fsyncs cover every appended record before its
+    /// completion releases, and replay still reproduces the state.
+    #[test]
+    fn group_sync_covers_every_record_and_recovers() {
+        let _serial = crate::test_serial();
+        let scratch = TempDir::new("engine-groupsync");
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let spec = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false));
+        let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo)
+            .with_durability(DurabilityMode::LogFsync, scratch.path());
+        let engine = OrthrusEngine::new(Arc::clone(&db), spec, cfg.clone());
+        let stats = engine.run(&quick());
+        assert!(stats.totals.committed_all > 0);
+        assert!(stats.totals.log_records > 0);
+        assert!(stats.totals.log_group_syncs > 0, "coordinator must flush");
+        // Every record this closed-loop run appended was covered by a
+        // coordinator fsync before its completion released (the
+        // coordinator's counters are lifetime-scoped, so they dominate
+        // the windowed record count), and in group mode the only fsyncs
+        // are the coordinator's.
+        assert!(stats.totals.log_synced_appends >= stats.totals.log_records);
+        assert_eq!(stats.totals.log_flushes, stats.totals.log_group_syncs);
+        assert!(stats.totals.log_fsync_wait.count() > 0, "waits recorded");
+        drop(engine);
+
+        let fresh = Arc::new(Database::Flat(Table::new(64, 64)));
+        let (recovered, report) = OrthrusEngine::recover(Arc::clone(&fresh), cfg);
+        assert_eq!(report.txns, stats.totals.committed_all);
+        assert_eq!(report.torn_bytes, 0, "clean stop leaves no tear");
+        assert_eq!(counters(&fresh, 64), counters(&db, 64));
+        drop(recovered);
+    }
+
+    /// The engine-level checkpoint loop: a service run with a tiny
+    /// checkpoint trigger writes checkpoints behind the workers' backs,
+    /// truncates old segments, and recovery replays checkpoint + suffix
+    /// (parallel) to the exact live state with every ticket conserved.
+    #[test]
+    fn service_checkpoints_truncate_and_recover_in_parallel() {
+        let _serial = crate::test_serial();
+        let scratch = TempDir::new("engine-ckpt");
+        let db = Arc::new(Database::Flat(Table::new(64, 64)));
+        let mut cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo)
+            .with_durability(DurabilityMode::Log, scratch.path());
+        cfg.checkpoint_bytes = Some(256); // aggressive: many checkpoints
+        cfg.replay_threads = 3;
+        let engine = OrthrusEngine::service(Arc::clone(&db), cfg.clone());
+        let mut gen = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false)).generator(9, 0);
+        let n = 800u64;
+        let (done, _stats) = drive_service(&engine, &mut gen, n);
+        assert_eq!(done.len() as u64, n);
+        drop(engine);
+
+        let newest = orthrus_storage::checkpoint::load_newest_checkpoint(scratch.path())
+            .unwrap()
+            .expect("a valid checkpoint survives");
+        assert!(
+            newest.index > 0,
+            "checkpointer advanced past the base image"
+        );
+
+        let fresh = Arc::new(Database::Flat(Table::new(64, 64)));
+        let (recovered, report) = OrthrusEngine::recover(Arc::clone(&fresh), cfg);
+        assert!(
+            report.checkpoint.is_some(),
+            "recovery starts at a checkpoint"
+        );
+        assert!(
+            (report.txns as usize) < n as usize,
+            "only the suffix replays ({} of {n})",
+            report.txns
+        );
+        assert_eq!(counters(&fresh, 64), counters(&db, 64));
+        drop(recovered);
+    }
+
+    /// Rung-2 equivalence across admission policies: each policy shapes
+    /// fused runs — and therefore log records — differently, but
+    /// recovering from the newest checkpoint + suffix must be
+    /// bit-identical (snapshot-codec bytes) to replaying the same log
+    /// from scratch, and the full replay must carry every accepted
+    /// ticket exactly once (the conservation audit).
+    #[test]
+    fn checkpoint_recovery_matches_full_log_for_every_admission_policy() {
+        let _serial = crate::test_serial();
+        for admission in [
+            crate::admit::AdmissionPolicy::Fifo,
+            crate::admit::AdmissionPolicy::conflict_batch(),
+            crate::admit::AdmissionPolicy::adaptive(),
+        ] {
+            let scratch = TempDir::new("engine-ckpt-pol");
+            let db = Arc::new(Database::Flat(Table::new(64, 64)));
+            let mut cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo)
+                .with_durability(DurabilityMode::Log, scratch.path());
+            cfg.admission = admission.clone();
+            cfg.checkpoint_bytes = Some(256);
+            let engine = OrthrusEngine::service(Arc::clone(&db), cfg.clone());
+            let mut gen = Spec::Micro(MicroSpec::hot_cold(64, 8, 2, 4, false)).generator(11, 0);
+            let n = 800u64;
+            let (done, _stats) = drive_service(&engine, &mut gen, n);
+            assert_eq!(done.len() as u64, n, "{admission:?}");
+            drop(engine);
+
+            // Mirror only the log segments: the mirror has no
+            // checkpoints, so it must replay the whole history.
+            let mirror = TempDir::new("engine-ckpt-mirror");
+            for entry in std::fs::read_dir(scratch.path()).unwrap() {
+                let p = entry.unwrap().path();
+                let name = p.file_name().unwrap().to_str().unwrap().to_string();
+                if name.starts_with("seg-") {
+                    std::fs::copy(&p, mirror.path().join(&name)).unwrap();
+                }
+            }
+
+            let via_ckpt = Database::Flat(Table::new(64, 64));
+            let full = Database::Flat(Table::new(64, 64));
+            let ra = orthrus_durability::recover_with(&via_ckpt, scratch.path(), 2).unwrap();
+            let rb = orthrus_durability::recover_with(&full, mirror.path(), 2).unwrap();
+            assert!(ra.checkpoint.is_some(), "{admission:?}");
+            assert!(rb.checkpoint.is_none(), "{admission:?}");
+            // SAFETY: both databases are quiesced (recovery returned).
+            let (a, b) = unsafe {
+                (
+                    orthrus_durability::snapshot::serialize_db(&via_ckpt),
+                    orthrus_durability::snapshot::serialize_db(&full),
+                )
+            };
+            assert_eq!(a, b, "{admission:?}: ckpt+suffix state != full-log state");
+            let mut all = rb.tickets.clone();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "{admission:?}");
+            assert!(ra.tickets.len() <= rb.tickets.len(), "{admission:?}");
+            assert_eq!(
+                ra.tickets[..],
+                rb.tickets[rb.tickets.len() - ra.tickets.len()..],
+                "{admission:?}: suffix mismatch"
+            );
+        }
     }
 
     /// Shutdown + recovery interaction (the drained-dry contract): a

@@ -91,6 +91,20 @@ pub struct ExecThread<'a, S: TxnSource> {
     /// (and fsync, under `log+fsync`), so commit latency includes the
     /// durability wait ("true commit latency").
     commit_batch: Vec<(Option<crate::source::Ticket>, std::time::Instant)>,
+    /// Group-sync mode (`log+fsync` with a sync coordinator): `true`
+    /// when appends publish a watermark instead of fsyncing inline, and
+    /// completions gate on [`orthrus_durability::SyncState::synced`].
+    group_sync: bool,
+    /// Commits appended but not yet covered by the coordinator's synced
+    /// watermark, FIFO in LSN order: `(ticket, started, appended_at,
+    /// lsn)`. Released by [`Self::release_durable`] each quantum once
+    /// `lsn <= synced`; `appended_at → release` is the fsync wait.
+    pending_durable: std::collections::VecDeque<(
+        Option<crate::source::Ticket>,
+        std::time::Instant,
+        std::time::Instant,
+        u64,
+    )>,
     /// Completions that did not fit the ring because the client lagged.
     /// The engine **never blocks** on completion delivery — a blocking
     /// push could wedge the whole engine against a client stuck in a
@@ -147,6 +161,8 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
             log: None,
             log_batch: Vec::new(),
             commit_batch: Vec::new(),
+            group_sync: false,
+            pending_durable: std::collections::VecDeque::new(),
             completion_overflow: Vec::new(),
             post_stop: false,
             stats: ThreadStats::default(),
@@ -167,8 +183,54 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
     /// Attach the engine's command log (durability on): every committed
     /// run appends one record before its locks and completions release.
     pub fn with_log(mut self, log: Option<Arc<CommandLog>>) -> Self {
+        self.group_sync = log.as_ref().is_some_and(|l| l.group_sync());
         self.log = log;
         self
+    }
+
+    /// Release every pending commit the coordinator's synced watermark
+    /// now covers (group-sync mode only): stamp its latency and fsync
+    /// wait, then hand the ticketed ones to the client. Returns how many
+    /// were released.
+    ///
+    /// # Panics
+    /// When the coordinator's fsync failed: these commits already
+    /// executed, and this thread has no way to un-execute them — the
+    /// broken durability contract surfaces as
+    /// [`crate::EngineError::WorkerPanicked`] at shutdown.
+    fn release_durable(&mut self) -> usize {
+        if self.pending_durable.is_empty() {
+            return 0;
+        }
+        let st = self.log.as_ref().expect("pending implies log").sync_state();
+        if st.is_failed() {
+            panic!(
+                "group fsync failed; {} commits lost durability",
+                self.pending_durable.len()
+            );
+        }
+        let synced = st.synced();
+        let mut released = 0;
+        while let Some(&(_, _, _, lsn)) = self.pending_durable.front() {
+            if lsn > synced {
+                break;
+            }
+            let (ticket, started, appended_at, _) =
+                self.pending_durable.pop_front().expect("front checked");
+            let latency_ns = started.elapsed().as_nanos() as u64;
+            if !self.post_stop {
+                self.stats.committed += 1;
+                self.stats.latency.record(latency_ns);
+                self.stats
+                    .log_fsync_wait
+                    .record(appended_at.elapsed().as_nanos() as u64);
+            }
+            if let Some(ticket) = ticket {
+                self.deliver_completion(Completion { ticket, latency_ns });
+            }
+            released += 1;
+        }
+        released
     }
 
     /// Stage a request for `cc`, flushing the destination's buffer as one
@@ -298,11 +360,15 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
                     progress = true;
                 }
             }
+            // Durable-release pass: commits whose covering group fsync
+            // landed since the last quantum become client-visible now.
+            progress |= self.release_durable() > 0;
             self.flush_completions();
             if stopped
                 && self.inflight == 0
                 && !(self.admit.drain_on_stop() && self.admit.has_backlog())
                 && self.completion_overflow.is_empty()
+                && self.pending_durable.is_empty()
             {
                 // The last commits' releases may still be staged. Parked
                 // completions hold the thread alive until the shutdown
@@ -481,6 +547,7 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
         // conflict-consistent — a conflicting successor cannot execute,
         // let alone log, until our releases land; gating the completions
         // makes "client saw it commit" imply "record covers it".
+        let mut append_lsn = 0u64;
         if let Some(log) = &self.log {
             if !self.log_batch.is_empty() {
                 // Panic on failure: the durability contract for these
@@ -490,6 +557,7 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
                 let receipt = log
                     .append_run(&mut self.log_batch)
                     .unwrap_or_else(|e| panic!("command-log append failed: {e}"));
+                append_lsn = receipt.lsn;
                 // Stat counters share the `committed` window (post-stop
                 // drain appends still happen — durability — but don't
                 // count), so `committed / log_records` is an unbiased
@@ -508,18 +576,34 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
         // run stamps every member at the run's release point, which is
         // when its completion becomes client-visible — run-mates'
         // execution time is genuinely part of that latency.
-        let mut ready = std::mem::take(&mut self.commit_batch);
-        for (ticket, started) in ready.drain(..) {
-            let latency_ns = started.elapsed().as_nanos() as u64;
-            if !self.post_stop {
-                self.stats.committed += 1;
-                self.stats.latency.record(latency_ns);
+        //
+        // Group-sync mode inverts the flush: the append only published a
+        // watermark, so the run's completions park in `pending_durable`
+        // until the coordinator's fsync covers `append_lsn` — the lock
+        // releases below still go out now (the paper's early lock
+        // release: successors may execute, they just can't report before
+        // their own later log position syncs).
+        if self.group_sync {
+            let appended_at = std::time::Instant::now();
+            for (ticket, started) in self.commit_batch.drain(..) {
+                self.pending_durable
+                    .push_back((ticket, started, appended_at, append_lsn));
             }
-            if let Some(ticket) = ticket {
-                self.deliver_completion(Completion { ticket, latency_ns });
+            self.release_durable();
+        } else {
+            let mut ready = std::mem::take(&mut self.commit_batch);
+            for (ticket, started) in ready.drain(..) {
+                let latency_ns = started.elapsed().as_nanos() as u64;
+                if !self.post_stop {
+                    self.stats.committed += 1;
+                    self.stats.latency.record(latency_ns);
+                }
+                if let Some(ticket) = ticket {
+                    self.deliver_completion(Completion { ticket, latency_ns });
+                }
             }
+            self.commit_batch = ready;
         }
-        self.commit_batch = ready;
         self.send_releases(&inf.lock_plan, slot, inf.gen);
         self.start_retry(inf, slot);
     }

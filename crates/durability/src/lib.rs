@@ -54,10 +54,36 @@
 //!
 //! [`Program`]: orthrus_txn::Program
 
+//! ## Durability rung 2
+//!
+//! PR 7 lifts the amortization one layer and bounds recovery work:
+//!
+//! - [`sync`]: the cross-thread group-fsync coordinator — exec threads
+//!   publish appended watermarks instead of flushing inline; one
+//!   coordinator coalesces all outstanding appends into a single fsync
+//!   and the threads release completions at or below the synced
+//!   watermark.
+//! - [`snapshot`]: byte codecs for a whole [`Database`] image
+//!   (bit-identity is the contract, proptest-pinned).
+//! - [`checkpoint`]: fuzzy (quiesce-free) checkpoints — a shadow replica
+//!   advanced by replaying the durable log prefix, written as
+//!   `ckpt-NNNNNN` with the log position it covers; older log segments
+//!   are truncated afterwards, so [`recover`] loads the newest valid
+//!   checkpoint and replays only the suffix.
+//! - [`replay`] grows footprint-parallel replay: the committed suffix is
+//!   partitioned into levels of pairwise-disjoint planned footprints and
+//!   each level executes on multiple threads, falling back to serial
+//!   order at conflict edges (bit-identical to serial, proptest-pinned).
+//!
+//! [`Database`]: orthrus_txn::Database
+
+pub mod checkpoint;
 pub mod codec;
 pub mod failpoint;
 pub mod log;
 pub mod replay;
+pub mod snapshot;
+pub mod sync;
 
 #[cfg(test)]
 mod proptests;
@@ -65,4 +91,5 @@ mod proptests;
 pub use codec::LoggedCommit;
 pub use failpoint::FailpointLog;
 pub use log::{AppendReceipt, CommandLog, DurabilityMode};
-pub use replay::{recover, replay, ReplayReport};
+pub use replay::{recover, recover_with, replay, ReplayReport};
+pub use sync::{run_sync_coordinator, SyncInterval};

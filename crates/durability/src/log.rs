@@ -3,10 +3,11 @@
 
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use orthrus_common::failpoint::{self, FailAction};
 use orthrus_common::sim;
-use orthrus_storage::log::{SegmentedLog, DEFAULT_SEGMENT_BYTES};
+use orthrus_storage::log::{LogPos, SegmentedLog, DEFAULT_SEGMENT_BYTES};
 use parking_lot::Mutex;
 
 use crate::codec::{encode_run, LoggedCommit};
@@ -16,6 +17,13 @@ use crate::codec::{encode_run, LoggedCommit};
 pub const FP_APPEND: &str = "durability.append";
 /// Failpoint consulted on every fsync (`err` fails it).
 pub const FP_FSYNC: &str = "durability.fsync";
+
+/// Sim point reached after a group-mode append publishes its watermark
+/// (the exec-thread → coordinator handoff).
+pub const POINT_WATERMARK: &str = "durability.watermark";
+/// Sim point reached by the coordinator before a group fsync (the
+/// coordinator → waiting-exec-threads handoff).
+pub const POINT_SYNC: &str = "durability.sync";
 
 /// How durable a commit is before its completion is released
 /// (`ORTHRUS_DURABILITY` in the harness).
@@ -72,8 +80,60 @@ impl std::str::FromStr for DurabilityMode {
 pub struct AppendReceipt {
     /// Framed bytes written for this record.
     pub bytes: u64,
-    /// Whether an fsync was issued (`log+fsync` mode).
+    /// Whether an fsync was issued inline (`log+fsync` with per-run
+    /// sync). Group-mode appends return `false`; durability arrives
+    /// later, when the coordinator's watermark passes `lsn`.
     pub synced: bool,
+    /// This record's log sequence number (1-based count of appended
+    /// records this process). Compare against
+    /// [`SyncState::synced`] to learn when the record is durable.
+    pub lsn: u64,
+}
+
+/// Shared sync state between group-mode appenders (exec threads) and the
+/// sync coordinator: the appended/synced watermarks in record LSNs, plus
+/// coalescing counters. All lock-free — exec threads poll `synced`
+/// between work quanta rather than blocking on a condvar.
+#[derive(Debug, Default)]
+pub struct SyncState {
+    /// LSN of the last appended record (published under the writer lock).
+    appended: AtomicU64,
+    /// LSN through which records are known durable.
+    synced: AtomicU64,
+    /// A group fsync failed: waiters must stop waiting and fail loudly
+    /// (the watermark will never advance again).
+    failed: AtomicBool,
+    /// Group fsyncs issued.
+    group_syncs: AtomicU64,
+    /// Records covered by those fsyncs (coalescing numerator).
+    synced_records: AtomicU64,
+}
+
+impl SyncState {
+    /// LSN of the last appended record.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Acquire)
+    }
+
+    /// LSN through which records are durable.
+    pub fn synced(&self) -> u64 {
+        self.synced.load(Ordering::Acquire)
+    }
+
+    /// Whether a group fsync failed (waiters must panic, not hang).
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Group fsyncs issued so far.
+    pub fn group_syncs(&self) -> u64 {
+        self.group_syncs.load(Ordering::Relaxed)
+    }
+
+    /// Records covered by group fsyncs so far.
+    pub fn synced_records(&self) -> u64 {
+        self.synced_records.load(Ordering::Relaxed)
+    }
 }
 
 /// The engine-facing command log: one per engine, shared by every
@@ -89,10 +149,20 @@ pub struct AppendReceipt {
 pub struct CommandLog {
     inner: Mutex<Writer>,
     mode: DurabilityMode,
+    /// `log+fsync` sync discipline: `false` = each append fsyncs inline
+    /// (PR 5 per-run semantics); `true` = appends only publish their
+    /// watermark and a sync coordinator coalesces the fsyncs
+    /// ([`crate::sync::run_sync_coordinator`]).
+    group_sync: bool,
+    sync_state: SyncState,
+    /// Total framed bytes appended this process (checkpoint trigger).
+    appended_bytes: AtomicU64,
 }
 
 struct Writer {
     log: SegmentedLog,
+    /// LSN of the last appended record (1-based count this process).
+    next_lsn: u64,
 }
 
 impl CommandLog {
@@ -131,14 +201,50 @@ impl CommandLog {
         Ok(CommandLog {
             inner: Mutex::new(Writer {
                 log: SegmentedLog::open(dir, segment_bytes)?,
+                next_lsn: 0,
             }),
             mode,
+            group_sync: false,
+            sync_state: SyncState::default(),
+            appended_bytes: AtomicU64::new(0),
         })
+    }
+
+    /// Switch `log+fsync` appends to group-sync discipline: appends stop
+    /// fsyncing inline and a coordinator thread
+    /// ([`crate::sync::run_sync_coordinator`]) coalesces outstanding
+    /// appends across all exec threads into single fsyncs. No effect in
+    /// other modes. Builder-style; call before sharing the log.
+    pub fn with_group_sync(mut self, on: bool) -> Self {
+        self.group_sync = on;
+        self
+    }
+
+    /// Whether group-sync discipline is active.
+    pub fn group_sync(&self) -> bool {
+        self.group_sync && self.mode == DurabilityMode::LogFsync
+    }
+
+    /// The shared appended/synced watermarks.
+    pub fn sync_state(&self) -> &SyncState {
+        &self.sync_state
     }
 
     /// The configured durability mode.
     pub fn mode(&self) -> DurabilityMode {
         self.mode
+    }
+
+    /// Current physical append position (all records end at or before
+    /// it). Takes the writer lock; checkpoint-rate, not commit-rate.
+    pub fn position(&self) -> LogPos {
+        self.inner.lock().log.position()
+    }
+
+    /// Total framed bytes appended by this process — the checkpointer's
+    /// "log grew enough" trigger.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes.load(Ordering::Relaxed)
     }
 
     /// Group commit: append one record covering the whole run, draining
@@ -159,7 +265,8 @@ impl CommandLog {
         // alone.
         let mut buf = Vec::with_capacity(64 * txns.len() + 8);
         encode_run(txns, &mut buf);
-        let synced = self.mode == DurabilityMode::LogFsync;
+        let group = self.group_sync();
+        let synced = self.mode == DurabilityMode::LogFsync && !group;
         // Sim yield point and failpoint consults happen *before* taking
         // the writer mutex: a thread parked by the scheduler while
         // holding it would deadlock every other committing thread.
@@ -188,9 +295,56 @@ impl CommandLog {
             }
             w.log.sync()?;
         }
+        let lsn = w.next_lsn + 1;
+        w.next_lsn = lsn;
+        // Publish the watermark while still holding the writer lock: the
+        // plain store stays monotone because appends are serialized here.
+        self.sync_state.appended.store(lsn, Ordering::Release);
+        if synced {
+            self.sync_state.synced.store(lsn, Ordering::Release);
+        }
         drop(w);
+        self.appended_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if group {
+            // The watermark-publish handoff to the coordinator, visible
+            // to the sim scheduler (outside the mutex, per the seam's
+            // no-OS-lock contract).
+            sim::on_point(POINT_WATERMARK);
+        }
         txns.clear();
-        Ok(AppendReceipt { bytes, synced })
+        Ok(AppendReceipt { bytes, synced, lsn })
+    }
+
+    /// One coordinator pass: fsync every record appended since the last
+    /// pass and advance the synced watermark over all of them — the
+    /// cross-thread group commit. Returns how many appends the fsync
+    /// coalesced (0 = nothing outstanding, no fsync issued). Honors the
+    /// [`FP_FSYNC`] failpoint. On failure the shared `failed` flag is
+    /// raised **before** returning, so threads waiting on the watermark
+    /// fail loudly instead of hanging.
+    pub fn group_sync_now(&self) -> io::Result<u64> {
+        let target = self.sync_state.appended();
+        let prev = self.sync_state.synced();
+        if target == prev {
+            return Ok(0);
+        }
+        sim::on_point(POINT_SYNC);
+        let fail = |e: io::Error| {
+            self.sync_state.failed.store(true, Ordering::Release);
+            e
+        };
+        if let Some(FailAction::Err) = failpoint::global().hit(FP_FSYNC) {
+            return Err(fail(failpoint::injected_io_error(FP_FSYNC)));
+        }
+        self.inner.lock().log.sync().map_err(fail)?;
+        // `target` was read before the fsync, so every record it covers
+        // was fully appended (and thus flushed) by that fsync.
+        self.sync_state.synced.store(target, Ordering::Release);
+        self.sync_state.group_syncs.fetch_add(1, Ordering::Relaxed);
+        self.sync_state
+            .synced_records
+            .fetch_add(target - prev, Ordering::Relaxed);
+        Ok(target - prev)
     }
 
     /// Flush OS-buffered appends to stable storage. Called at engine
@@ -281,5 +435,46 @@ mod tests {
         let log = CommandLog::open(t.path(), DurabilityMode::LogFsync).unwrap();
         let r = log.append_run(&mut commits(0..1)).unwrap();
         assert!(r.synced);
+    }
+
+    #[test]
+    fn group_mode_coalesces_appends_into_one_fsync() {
+        let t = TempDir::new("cmdlog");
+        let log = CommandLog::open(t.path(), DurabilityMode::LogFsync)
+            .unwrap()
+            .with_group_sync(true);
+        assert!(log.group_sync());
+        let r1 = log.append_run(&mut commits(0..2)).unwrap();
+        let r2 = log.append_run(&mut commits(2..4)).unwrap();
+        assert!(!r1.synced && !r2.synced, "group mode defers the fsync");
+        assert_eq!((r1.lsn, r2.lsn), (1, 2), "LSNs count appended runs");
+        let st = log.sync_state();
+        assert_eq!(st.appended(), 2);
+        assert_eq!(st.synced(), 0);
+
+        // One coordinator pass covers both outstanding appends.
+        assert_eq!(log.group_sync_now().unwrap(), 2);
+        assert_eq!(st.synced(), 2);
+        assert_eq!(st.group_syncs(), 1);
+        assert_eq!(st.synced_records(), 2);
+        // Nothing outstanding: the fast path reports zero, no fsync.
+        assert_eq!(log.group_sync_now().unwrap(), 0);
+        assert_eq!(st.group_syncs(), 1);
+    }
+
+    #[test]
+    fn group_sync_failure_raises_the_shared_flag() {
+        let t = TempDir::new("cmdlog");
+        let log = CommandLog::open(t.path(), DurabilityMode::LogFsync)
+            .unwrap()
+            .with_group_sync(true);
+        log.append_run(&mut commits(0..1)).unwrap();
+        failpoint::global().configure(FP_FSYNC, FailAction::Err, Some(1));
+        assert!(log.group_sync_now().is_err());
+        failpoint::global().clear();
+        assert!(
+            log.sync_state().is_failed(),
+            "waiters must see the failure instead of spinning forever"
+        );
     }
 }

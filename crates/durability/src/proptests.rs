@@ -15,7 +15,8 @@ use orthrus_txn::{Database, Program};
 
 use crate::codec::{decode_run, encode_run, LoggedCommit};
 use crate::log::{CommandLog, DurabilityMode};
-use crate::replay::recover;
+use crate::replay::{recover, recover_with};
+use crate::snapshot::serialize_db;
 use crate::FailpointLog;
 
 fn program_strategy() -> impl Strategy<Value = Program> {
@@ -138,5 +139,118 @@ proptest! {
             // SAFETY: quiesced single-threaded test database.
             prop_assert_eq!(unsafe { db.read_counter(k) }, want, "key {}", k);
         }
+    }
+
+    /// Durability rung 2: wherever a crash cuts the log, recovering from
+    /// the newest checkpoint + suffix yields a database bit-identical to
+    /// recovering the same surviving log bytes from scratch. (The
+    /// serialized image is the digest: byte-equal images ⇔ equivalent
+    /// databases.)
+    #[test]
+    fn checkpoint_plus_suffix_recovery_matches_full_log_recovery(
+        runs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u64..16, 1..4), 1..4),
+            2..10,
+        ),
+        ckpt_after in 1usize..5,
+        cut_back in 0u64..300,
+    ) {
+        let a = TempDir::new("ckpt-prop-a");
+        let log = CommandLog::open(a.path(), DurabilityMode::Log).unwrap();
+        let pristine = Database::Flat(Table::new(16, 64));
+        // SAFETY: quiesced, single-threaded.
+        unsafe {
+            crate::checkpoint::write_initial_checkpoint(a.path(), &pristine, log.position())
+                .unwrap()
+        };
+        let mut ticket = 0u64;
+        for (i, run) in runs.iter().enumerate() {
+            let mut batch: Vec<LoggedCommit> = run
+                .iter()
+                .map(|keys| {
+                    let c = LoggedCommit {
+                        ticket: Some(ticket),
+                        program: Program::Rmw { keys: keys.clone() },
+                    };
+                    ticket += 1;
+                    c
+                })
+                .collect();
+            log.append_run(&mut batch).unwrap();
+            if i + 1 == ckpt_after.min(runs.len()) {
+                crate::checkpoint::checkpoint_once(&log, a.path()).unwrap();
+            }
+        }
+        log.sync().unwrap();
+        drop(log);
+
+        // Mirror the directory, then strip the mirror's checkpoints so it
+        // must replay the whole log; crash both at the same offset.
+        let b = TempDir::new("ckpt-prop-b");
+        for entry in std::fs::read_dir(a.path()).unwrap() {
+            let p = entry.unwrap().path();
+            let name = p.file_name().unwrap().to_str().unwrap().to_string();
+            if name.starts_with("seg-") {
+                std::fs::copy(&p, b.path().join(&name)).unwrap();
+            }
+        }
+        let (fa, fb) = (FailpointLog::new(a.path()), FailpointLog::new(b.path()));
+        let total = fa.total_bytes().unwrap();
+        prop_assert_eq!(total, fb.total_bytes().unwrap());
+        let offset = total.saturating_sub(cut_back % (total + 1));
+        fa.truncate_at(offset).unwrap();
+        fb.truncate_at(offset).unwrap();
+
+        let via_ckpt = Database::Flat(Table::new(16, 64));
+        let full = Database::Flat(Table::new(16, 64));
+        let ra = recover_with(&via_ckpt, a.path(), 1).unwrap();
+        let rb = recover_with(&full, b.path(), 1).unwrap();
+        prop_assert!(rb.checkpoint.is_none());
+        // SAFETY: both databases quiesced.
+        prop_assert_eq!(unsafe { serialize_db(&via_ckpt) }, unsafe { serialize_db(&full) });
+        // The checkpoint path replays a suffix of what the full path
+        // replays (never more, never reordered).
+        prop_assert!(ra.tickets.len() <= rb.tickets.len());
+        prop_assert_eq!(&ra.tickets[..], &rb.tickets[rb.tickets.len() - ra.tickets.len()..]);
+    }
+
+    /// Footprint-parallel replay is bit-identical to serial replay, for
+    /// arbitrary conflict structure (overlapping key sets force levels
+    /// to break at conflict edges).
+    #[test]
+    fn parallel_replay_is_bit_identical_to_serial(
+        runs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u64..24, 1..5), 1..4),
+            1..12,
+        ),
+        threads in 2usize..5,
+    ) {
+        let t = TempDir::new("par-prop");
+        let log = CommandLog::open(t.path(), DurabilityMode::Log).unwrap();
+        let mut ticket = 0u64;
+        for run in &runs {
+            let mut batch: Vec<LoggedCommit> = run
+                .iter()
+                .map(|keys| {
+                    let c = LoggedCommit {
+                        ticket: Some(ticket),
+                        program: Program::Rmw { keys: keys.clone() },
+                    };
+                    ticket += 1;
+                    c
+                })
+                .collect();
+            log.append_run(&mut batch).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+
+        let serial = Database::Flat(Table::new(24, 64));
+        let parallel = Database::Flat(Table::new(24, 64));
+        let rs = recover_with(&serial, t.path(), 1).unwrap();
+        let rp = recover_with(&parallel, t.path(), threads).unwrap();
+        prop_assert_eq!(&rs.tickets, &rp.tickets, "report order is log order");
+        // SAFETY: both databases quiesced.
+        prop_assert_eq!(unsafe { serialize_db(&serial) }, unsafe { serialize_db(&parallel) });
     }
 }

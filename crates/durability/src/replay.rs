@@ -1,11 +1,34 @@
 //! Crash recovery: replay the committed stream through the engine's own
 //! execution path.
+//!
+//! Two replay strategies share one report format:
+//!
+//! - **Serial** ([`replay`], and [`recover_with`] at 1 thread): stream
+//!   the log and re-execute in log order. Memory-bounded, always
+//!   correct.
+//! - **Footprint-parallel** ([`recover_with`] at >1 thread): partition
+//!   the committed suffix into *levels* of transactions whose planned
+//!   footprints are pairwise key-disjoint, execute each level across
+//!   threads, and fall back to serial order at conflict edges (a new
+//!   level starts at the first transaction whose footprint intersects
+//!   the level under construction). Disjoint footprints commute — any
+//!   interleaving of a level is one of its equivalent serial orders —
+//!   so the result is bit-identical to serial replay (proptest-pinned).
+//!
+//!   Soundness leans on a property of the planner (verified against
+//!   `orthrus_txn::plan`): every reconnaissance-board word a plan reads
+//!   is covered by a key in that plan's own footprint, so executing
+//!   footprint-disjoint peers concurrently can never perturb a plan's
+//!   inputs — OLLP validation cannot newly fail inside a level. If a
+//!   mismatch fires anyway (defense in depth), the transaction is
+//!   deferred and re-planned serially after its level completes.
 
 use std::io;
 use std::path::Path;
 
-use orthrus_common::XorShift64;
-use orthrus_txn::{execute_planned, plan_accesses, AbortKind, Database};
+use orthrus_common::{Key, XorShift64};
+use orthrus_storage::log::{LogPos, LogReader};
+use orthrus_txn::{execute_planned, plan_accesses, AbortKind, Database, Plan};
 
 use crate::codec::{decode_run, LoggedCommit};
 
@@ -26,6 +49,10 @@ pub struct ReplayReport {
     /// entry per ticketed transaction, exactly once each — synthetic
     /// commits carry no ticket and appear only in `txns`).
     pub tickets: Vec<u64>,
+    /// Index of the checkpoint recovery restored from (`None` = full-log
+    /// replay, either because no valid checkpoint existed or because the
+    /// caller used the log-only [`replay`] path).
+    pub checkpoint: Option<u32>,
 }
 
 /// Replay every fully-logged commit in `dir` against `db`, **read-only
@@ -87,7 +114,95 @@ fn replay_inner(db: &Database, dir: &Path) -> io::Result<(ReplayReport, Option<u
 /// tear is: nothing may sit between the replayable prefix and the append
 /// position. This is the entry point `OrthrusEngine::recover` uses.
 pub fn recover(db: &Database, dir: &Path) -> io::Result<ReplayReport> {
-    let (report, decode_cut) = replay_inner(db, dir)?;
+    recover_with(db, dir, 1)
+}
+
+/// [`recover`], checkpoint-aware and optionally parallel.
+///
+/// Scans `ckpt-*` files newest to oldest, restores the first one that is
+/// valid **and** whose log suffix is still openable (an older checkpoint
+/// whose segments were GC'd is useless), then replays only the suffix —
+/// across `replay_threads` when >1 (see module docs for why that is
+/// bit-identical to serial). Falls back to full-log replay when no
+/// usable checkpoint exists. The torn tail is repaired in place, as for
+/// [`recover`].
+///
+/// The database must be the same logical snapshot checkpoint #0 was
+/// taken from (a freshly loaded database with the run's original seed).
+pub fn recover_with(db: &Database, dir: &Path, replay_threads: usize) -> io::Result<ReplayReport> {
+    // Newest usable checkpoint wins; torn/corrupt files and checkpoints
+    // whose suffix cannot be opened are skipped (never an error — they
+    // only cost replay work).
+    let mut start = LogPos::start();
+    let mut checkpoint = None;
+    for (idx, path) in orthrus_storage::checkpoint::checkpoint_files(dir)?
+        .into_iter()
+        .rev()
+    {
+        let Some(ckpt) = orthrus_storage::checkpoint::read_checkpoint(idx, &path)? else {
+            continue;
+        };
+        if LogReader::open_at(dir, ckpt.pos).is_err() {
+            continue;
+        }
+        // SAFETY: recovery runs before any worker starts; the database
+        // is quiesced by contract.
+        unsafe { crate::snapshot::restore_db(db, &ckpt.image)? };
+        start = ckpt.pos;
+        checkpoint = Some(idx);
+        break;
+    }
+
+    // Collect the committed suffix. Unlike the streaming [`replay`],
+    // recovery materializes the suffix's programs: the parallel leveler
+    // needs look-ahead, and a checkpointed suffix is bounded anyway.
+    // Full-log replays open unpositioned: a crash may have truncated
+    // segment 0 below even the magic, which is a tear to report, not a
+    // resume-position error.
+    let mut reader = if checkpoint.is_some() {
+        LogReader::open_at(dir, start)?
+    } else {
+        LogReader::open(dir)?
+    };
+    let mut report = ReplayReport {
+        checkpoint,
+        ..ReplayReport::default()
+    };
+    let mut suffix: Vec<LoggedCommit> = Vec::new();
+    let mut decode_cut = None;
+    while let Some(payload) = reader.next_record()? {
+        match decode_run(&payload) {
+            Ok(txns) => {
+                report.records += 1;
+                report.bytes += orthrus_storage::log::RECORD_OVERHEAD + payload.len() as u64;
+                suffix.extend(txns);
+            }
+            Err(_) => {
+                let end = reader.last_record_end();
+                let framed = orthrus_storage::log::RECORD_OVERHEAD + payload.len() as u64;
+                decode_cut = Some(end - framed);
+                report.torn_bytes += framed;
+                break;
+            }
+        }
+    }
+    report.torn_bytes += reader.dropped_bytes()?;
+    drop(reader);
+
+    // Tickets are collected at flatten time, so the report's replay
+    // order is the log order regardless of execution strategy.
+    report.txns = suffix.len() as u64;
+    report.tickets = suffix.iter().filter_map(|c| c.ticket).collect();
+
+    if replay_threads > 1 {
+        replay_leveled(db, &suffix, replay_threads);
+    } else {
+        let mut rng = XorShift64::new(0x5245_504C_4159);
+        for commit in &suffix {
+            apply(db, &commit.program, &mut rng);
+        }
+    }
+
     match decode_cut {
         // The decode cut subsumes any later physical tear.
         Some(offset) => orthrus_storage::log::truncate_at(dir, offset)?,
@@ -96,6 +211,109 @@ pub fn recover(db: &Database, dir: &Path) -> io::Result<ReplayReport> {
         }
     }
     Ok(report)
+}
+
+/// Execute a committed suffix by contiguous-prefix leveling: greedily
+/// grow a level while every new footprint stays key-disjoint from the
+/// level's union, run the level across threads, barrier, repeat. The
+/// first conflicting transaction seeds the next level — the serial-order
+/// fallback at conflict edges.
+fn replay_leveled(db: &Database, suffix: &[LoggedCommit], threads: usize) {
+    let mut rng = XorShift64::new(0x5245_504C_4159);
+    let mut i = 0;
+    while i < suffix.len() {
+        // Build one level. Plans are computed here, against the state
+        // all previous levels produced — exactly what each transaction
+        // saw live, since everything before it in log order has run.
+        let mut plans: Vec<Plan> = Vec::new();
+        let mut level_keys: Vec<Key> = Vec::new();
+        let mut end = i;
+        while end < suffix.len() {
+            let plan = plan_accesses(&suffix[end].program, db, 0, &mut rng);
+            let keys: Vec<Key> = plan.accesses.entries().iter().map(|&(k, _)| k).collect();
+            if end > i && !disjoint(&level_keys, &keys) {
+                break;
+            }
+            let mut merged = Vec::with_capacity(level_keys.len() + keys.len());
+            merge_sorted(&level_keys, &keys, &mut merged);
+            level_keys = merged;
+            plans.push(plan);
+            end += 1;
+        }
+
+        let level = &suffix[i..end];
+        if level.len() == 1 || threads <= 1 {
+            for commit in level {
+                apply(db, &commit.program, &mut rng);
+            }
+        } else {
+            // Disjoint footprints: any thread assignment is one of the
+            // level's equivalent serial orders. Chunk contiguously.
+            let deferred = std::sync::Mutex::new(Vec::new());
+            let chunk = level.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for (c, (txns, plans)) in level.chunks(chunk).zip(plans.chunks(chunk)).enumerate() {
+                    let deferred = &deferred;
+                    s.spawn(move || {
+                        for (j, (commit, plan)) in txns.iter().zip(plans).enumerate() {
+                            match execute_planned(&commit.program, db, plan) {
+                                Ok(v) => {
+                                    std::hint::black_box(v);
+                                }
+                                // Defense in depth (see module docs): a
+                                // mismatch inside a level should be
+                                // impossible; never re-plan concurrently
+                                // — the new footprint could overlap a
+                                // peer. Defer to the serial tail.
+                                Err(AbortKind::OllpMismatch) => {
+                                    deferred.lock().unwrap().push(c * chunk + j);
+                                }
+                                Err(other) => {
+                                    unreachable!("planned replay abort: {other:?}")
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            let mut deferred = deferred.into_inner().unwrap();
+            deferred.sort_unstable();
+            for j in deferred {
+                apply(db, &level[j].program, &mut rng);
+            }
+        }
+        i = end;
+    }
+}
+
+/// Whether two ascending key slices share no element.
+fn disjoint(a: &[Key], b: &[Key]) -> bool {
+    let (mut x, mut y) = (0, 0);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+/// Merge two ascending key slices into `out` (duplicates impossible:
+/// callers check disjointness first).
+fn merge_sorted(a: &[Key], b: &[Key], out: &mut Vec<Key>) {
+    let (mut x, mut y) = (0, 0);
+    while x < a.len() && y < b.len() {
+        if a[x] <= b[y] {
+            out.push(a[x]);
+            x += 1;
+        } else {
+            out.push(b[y]);
+            y += 1;
+        }
+    }
+    out.extend_from_slice(&a[x..]);
+    out.extend_from_slice(&b[y..]);
 }
 
 /// Bound on OLLP replan attempts during replay. Replay plans against
@@ -108,7 +326,7 @@ const MAX_REPLAY_RETRIES: u32 = 8;
 /// Re-execute one committed program: plan (noise-free reconnaissance
 /// against current state) + `execute_planned`, the same path the live
 /// engine ran it through.
-fn apply(db: &Database, program: &orthrus_txn::Program, rng: &mut XorShift64) {
+pub(crate) fn apply(db: &Database, program: &orthrus_txn::Program, rng: &mut XorShift64) {
     for _ in 0..MAX_REPLAY_RETRIES {
         let plan = plan_accesses(program, db, 0, rng);
         match execute_planned(program, db, &plan) {

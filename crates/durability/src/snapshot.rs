@@ -1,0 +1,634 @@
+//! Byte codecs for a whole [`Database`] image — the payload inside a
+//! checkpoint file.
+//!
+//! The contract is **bit-identity**: `serialize_db` must capture every
+//! byte of state that transaction logic can observe, so that a database
+//! restored from the image and then replayed is indistinguishable from
+//! one replayed from the start. Concretely:
+//!
+//! - Flat / partitioned stores copy **full record payloads**, not just
+//!   the embedded counter: `rmw_increment` dirties one byte per cache
+//!   line of the payload, so a counter-only snapshot would diverge.
+//! - TPC-C rows are serialized field-wise. The `pad` arrays are skipped
+//!   — no transaction ever reads or writes them (they exist to make a
+//!   row update cost realistic cache lines), so they are always zero.
+//! - The TPC-C reconnaissance board *is* observable state (OLLP plans
+//!   read it), so its words ride along and are republished on restore.
+//!   The by-last-name index is static after load and fully determined
+//!   by `CustomerRow::last_name_id`; it is rebuilt, not serialized.
+//!
+//! The same codec doubles as the state digest in tests: two databases
+//! are equivalent iff their serialized images are byte-equal.
+//!
+//! [`Database`]: orthrus_txn::Database
+
+use std::io;
+
+use orthrus_storage::tpcc::{
+    CustomerOrders, CustomerRow, DistrictCursors, DistrictRow, HistoryRow, ItemRow, NewOrderRow,
+    OrderLineRow, OrderRow, OrderSummary, StockRow, TpccConfig, TpccDb, WarehouseRow,
+};
+use orthrus_storage::{PartitionedTable, Table};
+use orthrus_txn::Database;
+
+/// Image format tags.
+const TAG_FLAT: u8 = 1;
+const TAG_PARTITIONED: u8 = 2;
+const TAG_TPCC: u8 = 3;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {msg}"))
+}
+
+// ---- byte cursor ---------------------------------------------------------
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("image truncated"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> io::Result<i64> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes after image"))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+// ---- TPC-C row codecs ----------------------------------------------------
+
+fn enc_warehouse(r: &WarehouseRow, out: &mut Vec<u8>) {
+    put_u64(out, r.ytd_cents);
+    put_u32(out, r.tax_bp);
+}
+
+fn dec_warehouse(c: &mut Cur) -> io::Result<WarehouseRow> {
+    Ok(WarehouseRow {
+        ytd_cents: c.u64()?,
+        tax_bp: c.u32()?,
+        pad: [0; 72],
+    })
+}
+
+fn enc_district(r: &DistrictRow, out: &mut Vec<u8>) {
+    put_u64(out, r.ytd_cents);
+    put_u64(out, r.delivered_cents);
+    put_u32(out, r.tax_bp);
+    put_u32(out, r.next_o_id);
+    put_u32(out, r.next_deliv_o_id);
+    put_u32(out, r.history_ctr);
+    put_u32(out, r.delivered_cnt);
+}
+
+fn dec_district(c: &mut Cur) -> io::Result<DistrictRow> {
+    Ok(DistrictRow {
+        ytd_cents: c.u64()?,
+        delivered_cents: c.u64()?,
+        tax_bp: c.u32()?,
+        next_o_id: c.u32()?,
+        next_deliv_o_id: c.u32()?,
+        history_ctr: c.u32()?,
+        delivered_cnt: c.u32()?,
+        pad: [0; 56],
+    })
+}
+
+fn enc_customer(r: &CustomerRow, out: &mut Vec<u8>) {
+    out.extend_from_slice(&r.balance_cents.to_le_bytes());
+    put_u64(out, r.ytd_payment_cents);
+    put_u32(out, r.payment_cnt);
+    put_u32(out, r.delivery_cnt);
+    put_u32(out, r.discount_bp);
+    out.extend_from_slice(&r.last_name_id.to_le_bytes());
+    out.push(r.bad_credit as u8);
+}
+
+fn dec_customer(c: &mut Cur) -> io::Result<CustomerRow> {
+    Ok(CustomerRow {
+        balance_cents: c.i64()?,
+        ytd_payment_cents: c.u64()?,
+        payment_cnt: c.u32()?,
+        delivery_cnt: c.u32()?,
+        discount_bp: c.u32()?,
+        last_name_id: c.u16()?,
+        bad_credit: c.u8()? != 0,
+        pad: [0; 92],
+    })
+}
+
+fn enc_stock(r: &StockRow, out: &mut Vec<u8>) {
+    put_u32(out, r.quantity);
+    put_u32(out, r.ytd);
+    put_u32(out, r.order_cnt);
+    put_u32(out, r.remote_cnt);
+}
+
+fn dec_stock(c: &mut Cur) -> io::Result<StockRow> {
+    Ok(StockRow {
+        quantity: c.u32()?,
+        ytd: c.u32()?,
+        order_cnt: c.u32()?,
+        remote_cnt: c.u32()?,
+        pad: [0; 48],
+    })
+}
+
+fn enc_item(r: &ItemRow, out: &mut Vec<u8>) {
+    put_u32(out, r.price_cents);
+}
+
+fn dec_item(c: &mut Cur) -> io::Result<ItemRow> {
+    Ok(ItemRow {
+        price_cents: c.u32()?,
+        pad: [0; 28],
+    })
+}
+
+fn enc_order(r: &OrderRow, out: &mut Vec<u8>) {
+    put_u32(out, r.o_id);
+    put_u32(out, r.c_id);
+    put_u32(out, r.ol_cnt);
+    out.push(r.all_local as u8);
+    out.push(r.carrier_id);
+}
+
+fn dec_order(c: &mut Cur) -> io::Result<OrderRow> {
+    Ok(OrderRow {
+        o_id: c.u32()?,
+        c_id: c.u32()?,
+        ol_cnt: c.u32()?,
+        all_local: c.u8()? != 0,
+        carrier_id: c.u8()?,
+    })
+}
+
+fn enc_new_order(r: &NewOrderRow, out: &mut Vec<u8>) {
+    put_u32(out, r.o_id);
+    out.push(r.valid as u8);
+}
+
+fn dec_new_order(c: &mut Cur) -> io::Result<NewOrderRow> {
+    Ok(NewOrderRow {
+        o_id: c.u32()?,
+        valid: c.u8()? != 0,
+    })
+}
+
+fn enc_order_line(r: &OrderLineRow, out: &mut Vec<u8>) {
+    put_u32(out, r.i_id);
+    put_u32(out, r.supply_w);
+    put_u32(out, r.qty);
+    out.push(r.delivered as u8);
+    put_u64(out, r.amount_cents);
+}
+
+fn dec_order_line(c: &mut Cur) -> io::Result<OrderLineRow> {
+    Ok(OrderLineRow {
+        i_id: c.u32()?,
+        supply_w: c.u32()?,
+        qty: c.u32()?,
+        delivered: c.u8()? != 0,
+        amount_cents: c.u64()?,
+    })
+}
+
+fn enc_history(r: &HistoryRow, out: &mut Vec<u8>) {
+    put_u64(out, r.amount_cents);
+    put_u32(out, r.c_w);
+    put_u32(out, r.c_d);
+    put_u32(out, r.c_id);
+}
+
+fn dec_history(c: &mut Cur) -> io::Result<HistoryRow> {
+    Ok(HistoryRow {
+        amount_cents: c.u64()?,
+        c_w: c.u32()?,
+        c_d: c.u32()?,
+        c_id: c.u32()?,
+    })
+}
+
+fn enc_cfg(cfg: &TpccConfig, out: &mut Vec<u8>) {
+    put_u32(out, cfg.warehouses);
+    put_u32(out, cfg.districts_per_wh);
+    put_u32(out, cfg.customers_per_district);
+    put_u32(out, cfg.items);
+    put_u32(out, cfg.order_slots_per_district);
+    put_u32(out, cfg.max_lines);
+    put_u32(out, cfg.history_slots_per_district);
+    put_u32(out, cfg.initial_orders_per_district);
+}
+
+fn dec_cfg(c: &mut Cur) -> io::Result<TpccConfig> {
+    Ok(TpccConfig {
+        warehouses: c.u32()?,
+        districts_per_wh: c.u32()?,
+        customers_per_district: c.u32()?,
+        items: c.u32()?,
+        order_slots_per_district: c.u32()?,
+        max_lines: c.u32()?,
+        history_slots_per_district: c.u32()?,
+        initial_orders_per_district: c.u32()?,
+    })
+}
+
+// ---- whole-database codec ------------------------------------------------
+
+/// Serialize a database into an opaque image.
+///
+/// # Safety
+/// The database must be quiesced: no concurrent writer may touch any
+/// record or arena slot while the image is taken (the checkpointer
+/// serializes its *private* shadow replica; tests serialize databases
+/// they own exclusively).
+pub unsafe fn serialize_db(db: &Database) -> Vec<u8> {
+    let mut out = Vec::new();
+    match db {
+        Database::Flat(t) => {
+            out.push(TAG_FLAT);
+            put_u64(&mut out, t.len() as u64);
+            put_u64(&mut out, t.store().record_size() as u64);
+            let size = t.store().record_size();
+            let mut buf = vec![0u8; size];
+            for key in 0..t.len() as u64 {
+                let slot = t.lookup(key).expect("dense key not loaded");
+                t.store().read_into(slot, &mut buf);
+                out.extend_from_slice(&buf);
+            }
+        }
+        Database::Partitioned(t) => {
+            out.push(TAG_PARTITIONED);
+            put_u64(&mut out, t.len() as u64);
+            put_u64(&mut out, t.partition(0).store().record_size() as u64);
+            put_u64(&mut out, t.n_partitions() as u64);
+            let size = t.partition(0).store().record_size();
+            let mut buf = vec![0u8; size];
+            // Key order, not partition order: the image is the same for
+            // any physically-equivalent layout of the same key space.
+            for key in 0..t.len() as u64 {
+                let p = t.partition(t.partition_of(key));
+                let slot = p.lookup(key).expect("dense key not loaded");
+                p.store().read_into(slot, &mut buf);
+                out.extend_from_slice(&buf);
+            }
+        }
+        Database::Tpcc(t) => {
+            out.push(TAG_TPCC);
+            serialize_tpcc(t, &mut out);
+        }
+    }
+    out
+}
+
+unsafe fn serialize_tpcc(t: &TpccDb, out: &mut Vec<u8>) {
+    let cfg = *t.cfg();
+    enc_cfg(&cfg, out);
+    macro_rules! arena {
+        ($field:ident, $enc:ident) => {
+            for i in 0..t.$field.len() {
+                t.$field.read_with(i, |r| $enc(r, out));
+            }
+        };
+    }
+    arena!(warehouses, enc_warehouse);
+    arena!(districts, enc_district);
+    arena!(customers, enc_customer);
+    arena!(stock, enc_stock);
+    arena!(items, enc_item);
+    arena!(orders, enc_order);
+    arena!(new_orders, enc_new_order);
+    arena!(order_lines, enc_order_line);
+    arena!(history, enc_history);
+    // The recon board is observable (OLLP planning reads it): serialize
+    // its words so restored plans see exactly what live plans saw.
+    for d in 0..cfg.n_districts() as usize {
+        let c = t.recon.district(d);
+        put_u32(out, c.next_o_id);
+        put_u32(out, c.next_deliv_o_id);
+    }
+    for s in 0..cfg.n_customers() as usize {
+        let c = t.recon.customer(s);
+        put_u32(out, c.order_cnt);
+        put_u32(out, c.last_o_id);
+    }
+    for s in 0..cfg.n_order_slots() as usize {
+        let o = t.recon.order(s);
+        put_u32(out, o.c_id);
+        put_u32(out, o.ol_cnt);
+    }
+    for s in 0..cfg.n_orderline_slots() as usize {
+        put_u32(out, t.recon.line_item(s));
+    }
+}
+
+/// Build a standalone database from an image — the checkpointer's shadow
+/// replica and the recovery bootstrap.
+pub fn build_db(image: &[u8]) -> io::Result<Database> {
+    let mut c = Cur::new(image);
+    let db = match c.u8()? {
+        TAG_FLAT => {
+            let n = c.u64()? as usize;
+            let size = c.u64()? as usize;
+            let t = Table::new(n, size);
+            for key in 0..n as u64 {
+                let slot = t.lookup(key).unwrap();
+                let payload = c.bytes(size)?;
+                // SAFETY: `t` is exclusively owned here.
+                unsafe { t.store().write_from(slot, payload) };
+            }
+            Database::Flat(t)
+        }
+        TAG_PARTITIONED => {
+            let n = c.u64()? as usize;
+            let size = c.u64()? as usize;
+            let parts = c.u64()? as usize;
+            if parts == 0 {
+                return Err(bad("zero partitions"));
+            }
+            let t = PartitionedTable::new(n, size, parts);
+            for key in 0..n as u64 {
+                let p = t.partition(t.partition_of(key));
+                let slot = p.lookup(key).unwrap();
+                let payload = c.bytes(size)?;
+                // SAFETY: `t` is exclusively owned here.
+                unsafe { p.store().write_from(slot, payload) };
+            }
+            Database::Partitioned(t)
+        }
+        TAG_TPCC => Database::Tpcc(build_tpcc(&mut c)?),
+        tag => return Err(bad(&format!("unknown image tag {tag}"))),
+    };
+    c.done()?;
+    Ok(db)
+}
+
+fn build_tpcc(c: &mut Cur) -> io::Result<TpccDb> {
+    let cfg = dec_cfg(c)?;
+    fn rows<T>(c: &mut Cur, n: u64, dec: impl Fn(&mut Cur) -> io::Result<T>) -> io::Result<Vec<T>> {
+        (0..n).map(|_| dec(c)).collect()
+    }
+    let warehouses = rows(c, cfg.warehouses as u64, dec_warehouse)?;
+    let districts = rows(c, cfg.n_districts(), dec_district)?;
+    let customers = rows(c, cfg.n_customers(), dec_customer)?;
+    let stock = rows(c, cfg.n_stock(), dec_stock)?;
+    let items = rows(c, cfg.items as u64, dec_item)?;
+    let orders = rows(c, cfg.n_order_slots(), dec_order)?;
+    let new_orders = rows(c, cfg.n_order_slots(), dec_new_order)?;
+    let order_lines = rows(c, cfg.n_orderline_slots(), dec_order_line)?;
+    let history = rows(c, cfg.n_history_slots(), dec_history)?;
+    let db = TpccDb::from_rows(
+        cfg,
+        warehouses,
+        districts,
+        customers,
+        stock,
+        items,
+        orders,
+        new_orders,
+        order_lines,
+        history,
+    );
+    restore_recon(&db, &cfg, c)?;
+    Ok(db)
+}
+
+fn restore_recon(db: &TpccDb, cfg: &TpccConfig, c: &mut Cur) -> io::Result<()> {
+    for d in 0..cfg.n_districts() as usize {
+        db.recon.publish_district(
+            d,
+            DistrictCursors {
+                next_o_id: c.u32()?,
+                next_deliv_o_id: c.u32()?,
+            },
+        );
+    }
+    for s in 0..cfg.n_customers() as usize {
+        db.recon.publish_customer(
+            s,
+            CustomerOrders {
+                order_cnt: c.u32()?,
+                last_o_id: c.u32()?,
+            },
+        );
+    }
+    for s in 0..cfg.n_order_slots() as usize {
+        db.recon.publish_order(
+            s,
+            OrderSummary {
+                c_id: c.u32()?,
+                ol_cnt: c.u32()?,
+            },
+        );
+    }
+    for s in 0..cfg.n_orderline_slots() as usize {
+        db.recon.publish_line_item(s, c.u32()?);
+    }
+    Ok(())
+}
+
+/// Restore an image into an existing database of the **same shape**
+/// (same variant, table sizes, and config) — the engine's recovery path,
+/// which loads the pristine database first and then overwrites it.
+///
+/// # Safety
+/// The target database must be quiesced: no concurrent reader or writer
+/// during the restore (recovery runs before any worker starts).
+pub unsafe fn restore_db(db: &Database, image: &[u8]) -> io::Result<()> {
+    let mut c = Cur::new(image);
+    match (c.u8()?, db) {
+        (TAG_FLAT, Database::Flat(t)) => {
+            let n = c.u64()? as usize;
+            let size = c.u64()? as usize;
+            if n != t.len() || size != t.store().record_size() {
+                return Err(bad("flat image shape mismatch"));
+            }
+            for key in 0..n as u64 {
+                let slot = t.lookup(key).ok_or_else(|| bad("key not loaded"))?;
+                t.store().write_from(slot, c.bytes(size)?);
+            }
+        }
+        (TAG_PARTITIONED, Database::Partitioned(t)) => {
+            let n = c.u64()? as usize;
+            let size = c.u64()? as usize;
+            let parts = c.u64()? as usize;
+            if n != t.len()
+                || size != t.partition(0).store().record_size()
+                || parts != t.n_partitions()
+            {
+                return Err(bad("partitioned image shape mismatch"));
+            }
+            for key in 0..n as u64 {
+                let p = t.partition(t.partition_of(key));
+                let slot = p.lookup(key).ok_or_else(|| bad("key not loaded"))?;
+                p.store().write_from(slot, c.bytes(size)?);
+            }
+        }
+        (TAG_TPCC, Database::Tpcc(t)) => {
+            let cfg = dec_cfg(&mut c)?;
+            let mut want = Vec::new();
+            enc_cfg(t.cfg(), &mut want);
+            let mut got = Vec::new();
+            enc_cfg(&cfg, &mut got);
+            if want != got {
+                return Err(bad("tpcc image config mismatch"));
+            }
+            macro_rules! arena {
+                ($field:ident, $dec:ident) => {
+                    for i in 0..t.$field.len() {
+                        let row = $dec(&mut c)?;
+                        t.$field.write_with(i, |r| *r = row);
+                    }
+                };
+            }
+            arena!(warehouses, dec_warehouse);
+            arena!(districts, dec_district);
+            arena!(customers, dec_customer);
+            arena!(stock, dec_stock);
+            arena!(items, dec_item);
+            arena!(orders, dec_order);
+            arena!(new_orders, dec_new_order);
+            arena!(order_lines, dec_order_line);
+            arena!(history, dec_history);
+            restore_recon(t, &cfg, &mut c)?;
+        }
+        _ => return Err(bad("image variant does not match database")),
+    }
+    c.done()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_image_roundtrips_bit_identically() {
+        let t = Table::new(8, 128);
+        unsafe {
+            for k in 0..8u64 {
+                for _ in 0..=k {
+                    t.rmw(k);
+                }
+            }
+        }
+        let db = Database::Flat(t);
+        let img = unsafe { serialize_db(&db) };
+        let rebuilt = build_db(&img).unwrap();
+        assert_eq!(img, unsafe { serialize_db(&rebuilt) });
+
+        // Restore into a fresh same-shape db matches too.
+        let fresh = Database::Flat(Table::new(8, 128));
+        unsafe { restore_db(&fresh, &img).unwrap() };
+        assert_eq!(img, unsafe { serialize_db(&fresh) });
+    }
+
+    #[test]
+    fn partitioned_image_roundtrips() {
+        let t = PartitionedTable::new(10, 64, 3);
+        unsafe {
+            t.rmw(4);
+            t.rmw(4);
+            t.rmw(7);
+        }
+        let db = Database::Partitioned(t);
+        let img = unsafe { serialize_db(&db) };
+        let rebuilt = build_db(&img).unwrap();
+        assert_eq!(img, unsafe { serialize_db(&rebuilt) });
+        match &rebuilt {
+            Database::Partitioned(t) => unsafe {
+                assert_eq!(t.read_counter(4), 2);
+                assert_eq!(t.read_counter(7), 1);
+                assert_eq!(t.read_counter(0), 0);
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tpcc_image_roundtrips_rows_index_and_recon() {
+        let cfg = TpccConfig::tiny(2).with_initial_orders(8);
+        let t = TpccDb::load(cfg, 42);
+        let db = Database::Tpcc(t);
+        let img = unsafe { serialize_db(&db) };
+        let rebuilt = build_db(&img).unwrap();
+        assert_eq!(img, unsafe { serialize_db(&rebuilt) });
+        match (&db, &rebuilt) {
+            (Database::Tpcc(a), Database::Tpcc(b)) => {
+                // Secondary index rebuilt from rows matches the loader's.
+                for d in 0..cfg.districts_per_wh {
+                    for name in 0..50 {
+                        assert_eq!(
+                            a.customers_by_last_name(0, d, name),
+                            b.customers_by_last_name(0, d, name)
+                        );
+                    }
+                }
+                // Recon cursors carried over.
+                assert_eq!(a.recon.district(1), b.recon.district(1));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let db = Database::Flat(Table::new(2, 64));
+        let img = unsafe { serialize_db(&db) };
+        assert!(build_db(&img[..img.len() - 1]).is_err(), "truncated");
+        let mut long = img.clone();
+        long.push(0);
+        assert!(build_db(&long).is_err(), "trailing bytes");
+        let mut tagged = img;
+        tagged[0] = 99;
+        assert!(build_db(&tagged).is_err(), "unknown tag");
+
+        let other = Database::Flat(Table::new(3, 64));
+        let img2 = unsafe { serialize_db(&other) };
+        let target = Database::Flat(Table::new(2, 64));
+        assert!(unsafe { restore_db(&target, &img2) }.is_err(), "shape");
+    }
+}

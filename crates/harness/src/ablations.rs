@@ -478,9 +478,89 @@ pub fn abl09_durability(bc: &BenchConfig) -> FigureResult {
     fig
 }
 
+/// A10: durability rung 2 — what the cross-thread group-fsync
+/// coordinator buys over rung 1's inline per-run fsync, on the same
+/// θ = 0.9 scrambled-Zipf crucible as A9 under conflict-batched
+/// admission, pinned to the smallest engine shape (1 CC / 1 exec) where
+/// per-run fsync hurts most (every run's device flush is on the one
+/// exec thread's critical path).
+///
+/// Sweep (x): `0` = `per-run` inline fsync, `1` = `adaptive` group
+/// coordinator, `2` = fixed 100 µs coordinator pause, `3` = adaptive
+/// plus the fuzzy checkpointer (1 MiB cadence) — the full rung-2 stack.
+///
+/// Series: throughput; coalesced appends per fdatasync (the
+/// amortization factor — `per-run` is 1.0 by construction); and the
+/// p99 append→durable wait, which is the latency the group commit
+/// charges each transaction in exchange.
+pub fn abl10_durability2(bc: &BenchConfig) -> FigureResult {
+    use orthrus_core::{DurabilityMode, SyncInterval};
+
+    let mut fig = FigureResult::new(
+        "abl10",
+        "Durability rung 2: per-run fsync vs cross-thread group fsync (1 CC / 1 exec)".to_string(),
+        "sync mode (0=per-run 1=adaptive 2=fixed-100µs 3=adaptive+ckpt)",
+        "txns/sec (aux series: appends/fsync, fsync-wait p99 µs)",
+    );
+    let spec = MicroSpec::zipf(bc.n_records as u64, 10, 0.9, false);
+    let mut tput = Series::new("txns/sec".to_string());
+    let mut coalesce = Series::new("appends/fsync".to_string());
+    let mut wait99 = Series::new("fsync-wait p99 µs".to_string());
+    for (x, interval, ckpt) in [
+        (0.0, SyncInterval::PerRun, None),
+        (1.0, SyncInterval::Adaptive, None),
+        (2.0, SyncInterval::FixedMicros(100), None),
+        (3.0, SyncInterval::Adaptive, Some(1 << 20)),
+    ] {
+        let n = spec.n_records as usize;
+        let db = Arc::new(Database::Flat(Table::new(n, bc.record_size)));
+        let mut cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo);
+        cfg.flush_threshold = bc.flush_threshold;
+        cfg.admission = AdmissionPolicy::conflict_batch();
+        let dir = orthrus_common::TempDir::new("abl10-cmdlog");
+        cfg.durability = DurabilityMode::LogFsync;
+        cfg.log_dir = Some(dir.path().to_path_buf());
+        cfg.sync_interval = interval;
+        cfg.checkpoint_bytes = ckpt;
+        let stats = OrthrusEngine::new(db, Spec::Micro(spec.clone()), cfg).run(&bc.params(2));
+        tput.push(x, stats.throughput());
+        // Per-run mode flushes inline (one fsync per record, no
+        // coordinator); chart it as its definitional 1.0 so the group
+        // rows read directly as "× fewer device flushes".
+        coalesce.push(
+            x,
+            if interval == SyncInterval::PerRun {
+                1.0
+            } else {
+                stats.coalesced_appends_per_sync()
+            },
+        );
+        wait99.push(x, stats.fsync_wait_p99_us());
+        drop(dir);
+    }
+    fig.series.push(tput);
+    fig.series.push(coalesce);
+    fig.series.push(wait99);
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn durability2_ablation_covers_all_sync_modes() {
+        let _serial = crate::test_serial();
+        let bc = BenchConfig::test_quick();
+        let fig = abl10_durability2(&bc);
+        assert_eq!(fig.series.len(), 3);
+        // Every sync mode commits work...
+        assert!(fig.series[0].points.iter().all(|&(_, y)| y > 0.0));
+        // ...and the group rows never amortize below per-run's 1.0 (the
+        // ≥2× separation itself is a release-run acceptance number, not
+        // a quick-test invariant).
+        assert!(fig.series[1].points.iter().all(|&(_, y)| y >= 1.0));
+    }
 
     #[test]
     fn forwarding_ablation_runs_both_modes() {

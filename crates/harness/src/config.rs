@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use orthrus_common::{RunParams, TempDir};
-use orthrus_core::{AdmissionPolicy, DurabilityMode, OrthrusConfig};
+use orthrus_core::{AdmissionPolicy, DurabilityMode, OrthrusConfig, SyncInterval};
 
 /// Scales and windows for figure runs.
 #[derive(Debug, Clone)]
@@ -51,6 +51,17 @@ pub struct BenchConfig {
     /// fsyncs per record — see ablation A9). The harness logs into a
     /// scratch dir under `target/` ([`Self::apply_durability`]).
     pub durability: DurabilityMode,
+    /// Fsync grouping under `log+fsync` (`ORTHRUS_SYNC_INTERVAL`, default
+    /// `adaptive` — the rung-2 cross-thread group coordinator; `per-run`
+    /// restores the rung-1 inline fsync per admission run; a number is a
+    /// fixed coordinator pause in microseconds).
+    pub sync_interval: SyncInterval,
+    /// Fuzzy-checkpoint cadence in appended log bytes
+    /// (`ORTHRUS_CHECKPOINT`, default unset/`0` = no checkpointer).
+    pub checkpoint_bytes: Option<u64>,
+    /// Replay parallelism during recovery (`ORTHRUS_REPLAY_THREADS`,
+    /// default 1 = serial).
+    pub replay_threads: usize,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -82,6 +93,23 @@ fn durability_from_env() -> DurabilityMode {
     }
 }
 
+/// Parse `ORTHRUS_SYNC_INTERVAL` (same hard-error discipline).
+fn sync_interval_from_env() -> SyncInterval {
+    match std::env::var("ORTHRUS_SYNC_INTERVAL") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("ORTHRUS_SYNC_INTERVAL: {e}")),
+        Err(_) => SyncInterval::default(),
+    }
+}
+
+/// Parse `ORTHRUS_CHECKPOINT` (appended-byte cadence; unset or `0`
+/// disables the checkpointer).
+fn checkpoint_from_env() -> Option<u64> {
+    let every = env_u64("ORTHRUS_CHECKPOINT", 0);
+    (every > 0).then_some(every)
+}
+
 impl BenchConfig {
     /// Read overrides from the environment.
     pub fn from_env() -> Self {
@@ -102,6 +130,9 @@ impl BenchConfig {
             .max(1) as usize,
             admission: admission_from_env(),
             durability: durability_from_env(),
+            sync_interval: sync_interval_from_env(),
+            checkpoint_bytes: checkpoint_from_env(),
+            replay_threads: env_u64("ORTHRUS_REPLAY_THREADS", 1).max(1) as usize,
         }
     }
 
@@ -131,6 +162,9 @@ impl BenchConfig {
             .max(1) as usize,
             admission: admission_from_env(),
             durability: durability_from_env(),
+            sync_interval: sync_interval_from_env(),
+            checkpoint_bytes: checkpoint_from_env(),
+            replay_threads: env_u64("ORTHRUS_REPLAY_THREADS", 1).max(1) as usize,
         }
     }
 
@@ -147,6 +181,9 @@ impl BenchConfig {
         let scratch = TempDir::new("harness-cmdlog");
         cfg.durability = self.durability;
         cfg.log_dir = Some(scratch.path().to_path_buf());
+        cfg.sync_interval = self.sync_interval;
+        cfg.checkpoint_bytes = self.checkpoint_bytes;
+        cfg.replay_threads = self.replay_threads;
         Some(scratch)
     }
 

@@ -11,6 +11,7 @@ use orthrus_common::rng::XorShift64;
 use orthrus_common::{sim, TempDir};
 use orthrus_core::{
     AdmissionPolicy, CcAssignment, CcMode, DurabilityMode, OrthrusConfig, OrthrusEngine,
+    SyncInterval,
 };
 use orthrus_storage::tpcc::{TpccConfig, TpccDb};
 use orthrus_storage::Table;
@@ -51,6 +52,12 @@ pub struct SimConfig {
     pub ingest_capacity: usize,
     pub admission: AdmissionPolicy,
     pub durability: DurabilityMode,
+    /// Fsync grouping for `LogFsync` seeds: per-run inline syncs or the
+    /// cross-thread group coordinator (rung 2).
+    pub sync_interval: SyncInterval,
+    /// Fuzzy-checkpoint cadence in appended log bytes (rung 2); `None`
+    /// disables the checkpointer thread.
+    pub checkpoint_bytes: Option<u64>,
     /// Section-3.4 shared latched lock table instead of partitioned CC.
     pub shared_table: bool,
     /// CC→CC grant forwarding (Section 3.3).
@@ -89,6 +96,16 @@ impl SimConfig {
             1 => DurabilityMode::Log,
             _ => DurabilityMode::LogFsync,
         };
+        // Rung-2 knobs: LogFsync seeds split between inline per-run
+        // syncs and the group coordinator (both pause shapes); any
+        // durable seed may also run the fuzzy checkpointer. Tiny
+        // cadence so even short runs cross a checkpoint boundary.
+        let sync_interval = match rng.next_below(3) {
+            0 => SyncInterval::PerRun,
+            1 => SyncInterval::Adaptive,
+            _ => SyncInterval::FixedMicros(50),
+        };
+        let checkpoint_bytes = (durability.is_on() && rng.chance_percent(50)).then_some(192);
         // TPC-C keeps the paper's warehouse partitioning; the shared
         // table is a micro-only variant here.
         let shared_table = workload != WorkloadKind::Tpcc && rng.chance_percent(25);
@@ -102,6 +119,8 @@ impl SimConfig {
             ingest_capacity: 16,
             admission,
             durability,
+            sync_interval,
+            checkpoint_bytes,
             shared_table,
             forwarding: rng.chance_percent(75),
             workload,
@@ -240,11 +259,24 @@ pub fn run_sim(cfg: &SimConfig, keep_trace: bool) -> SimOutcome {
     let scratch = cfg.durability.is_on().then(|| TempDir::new("sim"));
     if let Some(dir) = &scratch {
         ocfg = ocfg.with_durability(cfg.durability, dir.path());
+        ocfg.sync_interval = cfg.sync_interval;
+        ocfg.checkpoint_bytes = cfg.checkpoint_bytes;
     }
 
+    // The registration barrier must match the enrolled set exactly, so
+    // mirror the engine's aux-thread spawn conditions: the group-sync
+    // coordinator runs only under fsync durability with a grouped
+    // interval, the checkpointer whenever a cadence is configured.
+    let mut names = SimScheduler::engine_names(cfg.n_cc, cfg.n_exec);
+    if ocfg.durability == DurabilityMode::LogFsync && ocfg.sync_interval.is_group() {
+        names.push("sync".to_string());
+    }
+    if ocfg.durability.is_on() && ocfg.checkpoint_bytes.is_some() {
+        names.push("ckpt".to_string());
+    }
     let sched = Arc::new(SimScheduler::new(
         cfg.seed,
-        SimScheduler::engine_names(cfg.n_cc, cfg.n_exec),
+        names,
         cfg.plan.clone(),
         keep_trace,
     ));
@@ -351,7 +383,19 @@ pub fn run_sim(cfg: &SimConfig, keep_trace: bool) -> SimOutcome {
                 drop(recovered);
                 let mut replayed = replay.tickets.clone();
                 replayed.sort_unstable();
-                if replayed != expected_tickets {
+                // With checkpoints, recovery replays only the suffix
+                // past the newest image: a duplicate-free subset of the
+                // accepted tickets (the image covers the rest, which
+                // the digest comparison below still pins). Without
+                // checkpoints the whole dense set must replay.
+                let conserved = if cfg.checkpoint_bytes.is_some() {
+                    replayed.len() as u64 <= accepted
+                        && replayed.windows(2).all(|w| w[0] < w[1])
+                        && replayed.last().is_none_or(|&t| t < accepted)
+                } else {
+                    replayed == expected_tickets
+                };
+                if !conserved {
                     violations.push(format!(
                         "replay ticket set: {} records for {accepted} accepted",
                         replayed.len()

@@ -14,7 +14,7 @@
 
 use proptest::prelude::*;
 
-use orthrus_core::{AdmissionPolicy, DurabilityMode};
+use orthrus_core::{AdmissionPolicy, DurabilityMode, SyncInterval};
 use orthrus_sim::{explore, run_sim, FaultPlan, SimConfig, WorkloadKind};
 
 proptest! {
@@ -80,6 +80,8 @@ fn delayed_and_reordered_grant_forwarding_conserves_admitted_stream() {
                 ingest_capacity: 16,
                 admission: admission.clone(),
                 durability: DurabilityMode::Off,
+                sync_interval: SyncInterval::PerRun,
+                checkpoint_bytes: None,
                 shared_table: false,
                 forwarding: true,
                 workload: WorkloadKind::MicroHot,
@@ -120,6 +122,8 @@ fn delayed_grants_with_durability_replay_cleanly() {
         ingest_capacity: 16,
         admission: AdmissionPolicy::Fifo,
         durability: DurabilityMode::Log,
+        sync_interval: SyncInterval::PerRun,
+        checkpoint_bytes: None,
         shared_table: false,
         forwarding: true,
         workload: WorkloadKind::MicroUniform,
@@ -132,6 +136,58 @@ fn delayed_grants_with_durability_replay_cleanly() {
     };
     let out = run_sim(&cfg, false);
     assert!(out.violations.is_empty(), "{:?}", out.violations);
+}
+
+/// Rung-2 durability under the scheduler: the group-fsync coordinator
+/// and the fuzzy checkpointer enroll as `sync`/`ckpt` participants, the
+/// run stays violation-free under grant faults, and the whole thing —
+/// watermark handoffs, sync batching, checkpoint timing — replays
+/// bit-identically from the seed.
+#[test]
+fn group_fsync_and_checkpoints_replay_deterministically_under_faults() {
+    for interval in [SyncInterval::Adaptive, SyncInterval::FixedMicros(50)] {
+        let cfg = SimConfig {
+            seed: 11,
+            txns: 32,
+            n_cc: 2,
+            n_exec: 2,
+            max_inflight: 3,
+            flush_threshold: 4,
+            ingest_capacity: 16,
+            admission: AdmissionPolicy::ConflictBatch {
+                classes: 4,
+                batch: 4,
+            },
+            durability: DurabilityMode::LogFsync,
+            sync_interval: interval,
+            checkpoint_bytes: Some(192),
+            shared_table: false,
+            forwarding: true,
+            workload: WorkloadKind::MicroHot,
+            plan: FaultPlan {
+                delay_pct: 30,
+                deny_push_pct: 10,
+                shuffle_lanes: true,
+                ..FaultPlan::default()
+            },
+        };
+        let a = run_sim(&cfg, false);
+        assert!(a.violations.is_empty(), "{interval:?}: {:?}", a.violations);
+        assert!(
+            a.thread_names.iter().any(|n| n == "sync"),
+            "coordinator not enrolled"
+        );
+        assert!(
+            a.thread_names.iter().any(|n| n == "ckpt"),
+            "checkpointer not enrolled"
+        );
+        let b = run_sim(&cfg, false);
+        assert_eq!(
+            a.trace_hash, b.trace_hash,
+            "{interval:?}: schedule diverged"
+        );
+        assert_eq!(a.state_digest, b.state_digest);
+    }
 }
 
 #[test]

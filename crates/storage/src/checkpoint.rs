@@ -1,0 +1,274 @@
+//! Checkpoint files: a durable table image plus the log position it
+//! covers, the truncation anchor for the segmented command log.
+//!
+//! Like the log layer (`log.rs`), this module is content-agnostic: the
+//! *image* is an opaque byte blob (serialized by `orthrus-durability`,
+//! which owns the database vocabulary); this layer owns the framing,
+//! naming, atomic-write discipline, and newest-valid-wins scanning.
+//!
+//! ## On-disk format
+//!
+//! A checkpoint is a single file `ckpt-NNNNNN` next to the `seg-*.olog`
+//! segments:
+//!
+//! ```text
+//! [magic: 8 bytes] [crc32(rest): u32 LE]
+//! [seg_index: u32 LE] [offset: u64 LE]          -- the LogPos covered
+//! [image_len: u64 LE] [image: image_len bytes]
+//! ```
+//!
+//! ## Crash semantics
+//!
+//! Writes go to a `.tmp` name, are fsynced, then renamed into place (and
+//! the directory fsynced), so a crash never leaves a half-written file
+//! under the final name on an honest device. Readers still validate
+//! magic + CRC + length and simply skip invalid files — the
+//! newest-*valid* checkpoint wins, and a torn or unsynced newest file
+//! degrades recovery to the previous checkpoint plus a longer log
+//! suffix, never to wrong state.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::log::LogPos;
+
+/// Checkpoint header: magic + format version in one 8-byte stamp.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"ORTHCKP1";
+
+/// Fixed header bytes before the image: magic, crc, seg_index, offset,
+/// image_len.
+const HEADER_BYTES: usize = 8 + 4 + 4 + 8 + 8;
+
+/// A decoded checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Index encoded in the file name (`ckpt-NNNNNN`), monotone per log.
+    pub index: u32,
+    /// Log position the image covers: replay resumes here.
+    pub pos: LogPos,
+    /// Opaque table image (serialized by the durability layer).
+    pub image: Vec<u8>,
+}
+
+/// Checkpoint file name for `index`.
+fn checkpoint_name(index: u32) -> String {
+    format!("ckpt-{index:06}")
+}
+
+/// Path of checkpoint `index` under `dir`.
+pub fn checkpoint_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(checkpoint_name(index))
+}
+
+/// List a directory's checkpoint files with their indices, in index
+/// order. A missing directory lists as empty.
+pub fn checkpoint_files(dir: &Path) -> io::Result<Vec<(u32, PathBuf)>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut indexed: Vec<(u32, PathBuf)> = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(idx) = name
+            .strip_prefix("ckpt-")
+            .and_then(|digits| digits.parse::<u32>().ok())
+        {
+            indexed.push((idx, path));
+        }
+    }
+    indexed.sort_unstable_by_key(|&(idx, _)| idx);
+    Ok(indexed)
+}
+
+/// Encode a checkpoint's full file bytes.
+pub fn encode_checkpoint(pos: LogPos, image: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(HEADER_BYTES - 12 + image.len());
+    body.extend_from_slice(&pos.seg_index.to_le_bytes());
+    body.extend_from_slice(&pos.offset.to_le_bytes());
+    body.extend_from_slice(&(image.len() as u64).to_le_bytes());
+    body.extend_from_slice(image);
+    let mut out = Vec::with_capacity(12 + body.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&crate::log::crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode checkpoint file bytes; `None` when the file is torn, from
+/// another format, or checksum-corrupt (the caller falls back to an
+/// older checkpoint).
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<(LogPos, Vec<u8>)> {
+    if bytes.len() < HEADER_BYTES || bytes[..8] != CHECKPOINT_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let body = &bytes[12..];
+    if crate::log::crc32(body) != crc {
+        return None;
+    }
+    let seg_index = u32::from_le_bytes(body[..4].try_into().unwrap());
+    let offset = u64::from_le_bytes(body[4..12].try_into().unwrap());
+    let image_len = u64::from_le_bytes(body[12..20].try_into().unwrap());
+    let image = &body[20..];
+    if image.len() as u64 != image_len {
+        return None;
+    }
+    Some((LogPos { seg_index, offset }, image.to_vec()))
+}
+
+/// Write checkpoint `index` atomically: temp file, fsync, rename, fsync
+/// the directory. Returns the final path.
+pub fn write_checkpoint(dir: &Path, index: u32, pos: LogPos, image: &[u8]) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let bytes = encode_checkpoint(pos, image);
+    let final_path = checkpoint_path(dir, index);
+    let tmp_path = dir.join(format!("{}.tmp", checkpoint_name(index)));
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+    f.write_all(&bytes)?;
+    f.sync_data()?;
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Write a **torn** checkpoint: only the first `keep` bytes, directly
+/// under the final name, no fsync — the fault-injection primitive for
+/// `checkpoint.write=torn`. The resulting file fails
+/// [`decode_checkpoint`] and must be skipped by loaders.
+pub fn write_torn_checkpoint(
+    dir: &Path,
+    index: u32,
+    pos: LogPos,
+    image: &[u8],
+    keep: u64,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let bytes = encode_checkpoint(pos, image);
+    let keep = (keep as usize).min(bytes.len().saturating_sub(1));
+    let final_path = checkpoint_path(dir, index);
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&final_path)?;
+    f.write_all(&bytes[..keep])?;
+    Ok(final_path)
+}
+
+/// Read and validate one checkpoint file; `Ok(None)` = present but
+/// invalid (torn / corrupt), to be skipped.
+pub fn read_checkpoint(index: u32, path: &Path) -> io::Result<Option<Checkpoint>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(decode_checkpoint(&bytes).map(|(pos, image)| Checkpoint { index, pos, image }))
+}
+
+/// Load the newest **valid** checkpoint, scanning newest to oldest and
+/// skipping torn or corrupt files.
+pub fn load_newest_checkpoint(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    for (idx, path) in checkpoint_files(dir)?.into_iter().rev() {
+        if let Some(ckpt) = read_checkpoint(idx, &path)? {
+            return Ok(Some(ckpt));
+        }
+    }
+    Ok(None)
+}
+
+/// Delete all but the newest `keep` checkpoint files (by index).
+/// Returns how many were removed.
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> io::Result<u64> {
+    let files = checkpoint_files(dir)?;
+    let n = files.len().saturating_sub(keep);
+    let mut removed = 0u64;
+    for (_, path) in &files[..n] {
+        std::fs::remove_file(path)?;
+        removed += 1;
+    }
+    if removed > 0 {
+        sync_dir(dir)?;
+    }
+    Ok(removed)
+}
+
+/// Directory-entry durability (see `log.rs`).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthrus_common::TempDir;
+
+    fn pos(seg_index: u32, offset: u64) -> LogPos {
+        LogPos { seg_index, offset }
+    }
+
+    #[test]
+    fn roundtrips_pos_and_image() {
+        let t = TempDir::new("ckpt");
+        let image: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        write_checkpoint(t.path(), 3, pos(2, 977), &image).unwrap();
+        let loaded = load_newest_checkpoint(t.path()).unwrap().unwrap();
+        assert_eq!(loaded.index, 3);
+        assert_eq!(loaded.pos, pos(2, 977));
+        assert_eq!(loaded.image, image);
+    }
+
+    #[test]
+    fn newest_valid_wins_and_torn_files_are_skipped() {
+        let t = TempDir::new("ckpt");
+        write_checkpoint(t.path(), 1, pos(0, 100), b"old-image").unwrap();
+        // The newest checkpoint is torn mid-write: the loader must fall
+        // back to the previous one, never trust the tear.
+        write_torn_checkpoint(t.path(), 2, pos(1, 50), b"new-image", 17).unwrap();
+        let loaded = load_newest_checkpoint(t.path()).unwrap().unwrap();
+        assert_eq!(loaded.index, 1);
+        assert_eq!(loaded.image, b"old-image".to_vec());
+    }
+
+    #[test]
+    fn corrupt_byte_invalidates_a_checkpoint() {
+        let t = TempDir::new("ckpt");
+        let path = write_checkpoint(t.path(), 0, pos(0, 8), b"image").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_newest_checkpoint(t.path()).unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_keeps_the_newest() {
+        let t = TempDir::new("ckpt");
+        for i in 0..5 {
+            write_checkpoint(t.path(), i, pos(i, 8), &[i as u8]).unwrap();
+        }
+        let removed = prune_checkpoints(t.path(), 2).unwrap();
+        assert_eq!(removed, 3);
+        let left: Vec<u32> = checkpoint_files(t.path())
+            .unwrap()
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(left, vec![3, 4]);
+    }
+}

@@ -20,6 +20,9 @@
 //!   layer under the `orthrus-durability` command log. The paper's
 //!   prototype is main-memory only; this is the reproduction's
 //!   durability extension.
+//! - [`checkpoint`]: checkpoint files (`ckpt-NNNNNN`: an opaque table
+//!   image plus the [`log::LogPos`] it covers), the truncation anchor
+//!   that lets old log segments be garbage-collected.
 //!
 //! # Safety model
 //!
@@ -32,6 +35,7 @@
 //! the measured data path.
 
 pub mod arena;
+pub mod checkpoint;
 pub mod index;
 pub mod log;
 pub mod partitioned;

@@ -51,8 +51,9 @@ const MAX_RECORD_BYTES: u32 = 1 << 30;
 pub const RECORD_OVERHEAD: u64 = 8;
 
 /// CRC-32 (IEEE 802.3), table-driven. Vendored: the offline build
-/// environment has no registry access (see `crates/shims/`).
-fn crc32(bytes: &[u8]) -> u32 {
+/// environment has no registry access (see `crates/shims/`). Shared
+/// with the checkpoint framing (`checkpoint.rs`).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
@@ -81,24 +82,80 @@ fn segment_name(index: u32) -> String {
     format!("seg-{index:06}.olog")
 }
 
-/// List a log directory's segments in index order.
-pub fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+/// Parse a segment file's index out of its name.
+fn segment_index_of(path: &Path) -> Option<u32> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("seg-")?
+        .strip_suffix(".olog")?
+        .parse()
+        .ok()
+}
+
+/// List a log directory's segments with their indices, in index order.
+pub fn indexed_segment_paths(dir: &Path) -> io::Result<Vec<(u32, PathBuf)>> {
     let mut indexed: Vec<(u32, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
-        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-            continue;
-        };
-        if let Some(idx) = name
-            .strip_prefix("seg-")
-            .and_then(|rest| rest.strip_suffix(".olog"))
-            .and_then(|digits| digits.parse::<u32>().ok())
-        {
+        if let Some(idx) = segment_index_of(&path) {
             indexed.push((idx, path));
         }
     }
     indexed.sort_unstable_by_key(|&(idx, _)| idx);
-    Ok(indexed.into_iter().map(|(_, p)| p).collect())
+    Ok(indexed)
+}
+
+/// List a log directory's segments in index order.
+pub fn segment_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    Ok(indexed_segment_paths(dir)?
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect())
+}
+
+/// A position in the log, stable across segment GC: the segment's
+/// **index** (not its rank in the directory — earlier segments may have
+/// been truncated away) plus a byte offset *within* that segment's file,
+/// magic header included. Checkpoints record one of these; recovery
+/// resumes reading there via [`LogReader::open_at`]. The derived ordering
+/// (segment index first, then offset) is log order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogPos {
+    /// Index encoded in the segment's file name (`seg-NNNNNN.olog`).
+    pub seg_index: u32,
+    /// Byte offset within that segment, [`SEGMENT_MAGIC`] included.
+    pub offset: u64,
+}
+
+impl LogPos {
+    /// The position before any record of a fresh log.
+    pub fn start() -> LogPos {
+        LogPos {
+            seg_index: 0,
+            offset: SEGMENT_MAGIC.len() as u64,
+        }
+    }
+}
+
+/// Delete every segment whose index is **below** `seg_index` — the
+/// truncation pass after a checkpoint has made those records redundant.
+/// Returns how many segments were removed. The caller must guarantee no
+/// live reader needs them (a checkpoint at a [`LogPos`] inside
+/// `seg_index` does exactly that).
+pub fn remove_segments_below(dir: &Path, seg_index: u32) -> io::Result<u64> {
+    let mut removed = 0u64;
+    for (idx, path) in indexed_segment_paths(dir)? {
+        if idx < seg_index {
+            std::fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        // The unlinks must survive power loss, or a resurrected segment
+        // would sit in front of the checkpoint's suffix at next replay.
+        sync_dir(dir)?;
+    }
+    Ok(removed)
 }
 
 /// An append-only segmented log writer. Single-writer by construction
@@ -125,12 +182,12 @@ impl SegmentedLog {
             "segment budget below one record's framing"
         );
         std::fs::create_dir_all(dir)?;
-        let segments = segment_paths(dir)?;
+        let segments = indexed_segment_paths(dir)?;
+        // The index comes from the *file name*, not the directory count:
+        // after checkpoint GC the surviving segments no longer start at 0,
+        // and a count-derived index would mint clashing names.
         let (seg_index, path) = match segments.last() {
-            Some(last) => {
-                let idx = segments.len() as u32 - 1;
-                (idx, last.clone())
-            }
+            Some((idx, last)) => (*idx, last.clone()),
             None => (0, dir.join(segment_name(0))),
         };
         let mut file = OpenOptions::new()
@@ -230,6 +287,15 @@ impl SegmentedLog {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+
+    /// The current append position (end of the last written byte). Every
+    /// record appended so far ends at or before this position.
+    pub fn position(&self) -> LogPos {
+        LogPos {
+            seg_index: self.seg_index,
+            offset: self.seg_len,
+        }
+    }
 }
 
 /// Fsync a directory so freshly created entries survive power loss.
@@ -285,19 +351,27 @@ pub struct LogScan {
 /// Stops at the first tear (see [`TornTail`]); [`Self::tear`] and
 /// [`Self::dropped_bytes`] describe the tail after the stream ends.
 pub struct LogReader {
-    segments: Vec<PathBuf>,
-    /// Index of the next segment to load.
+    segments: Vec<(u32, PathBuf)>,
+    /// Rank (in `segments`) of the next segment to load.
     next_seg: usize,
     /// The currently loaded segment's bytes (empty before the first
     /// load).
     bytes: Vec<u8>,
     pos: usize,
-    /// Physical bytes of fully consumed earlier segments.
+    /// Segment index (file-name index) of the currently loaded segment.
+    cur_index: u32,
+    /// In-segment byte offset to start reading the *first* loaded
+    /// segment at (a checkpoint's resume position); later segments start
+    /// after their magic header.
+    start_offset: Option<u64>,
+    /// Physical bytes of fully consumed (or skipped) earlier segments.
     consumed_prior: u64,
     /// Physical end offset (headers included) of the last yielded
     /// record; [`SEGMENT_MAGIC`]-sized before any record (the repair
     /// cut for a log whose very first record is bad keeps the header).
     last_record_end: u64,
+    /// GC-stable position of the last yielded record's end.
+    mark: LogPos,
     valid_bytes: u64,
     tear: Option<TornTail>,
     done: bool,
@@ -307,22 +381,76 @@ impl LogReader {
     /// Open `dir` for reading. A missing directory reads as an empty log
     /// (recovery from "never ran" is not an error).
     pub fn open(dir: &Path) -> io::Result<Self> {
-        let segments = match segment_paths(dir) {
+        let segments = match indexed_segment_paths(dir) {
             Ok(s) => s,
             Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
         };
+        let first_index = segments.first().map(|&(i, _)| i).unwrap_or(0);
         Ok(LogReader {
             segments,
             next_seg: 0,
             bytes: Vec::new(),
             pos: 0,
+            cur_index: first_index,
+            start_offset: None,
             consumed_prior: 0,
             last_record_end: SEGMENT_MAGIC.len() as u64,
+            mark: LogPos {
+                seg_index: first_index,
+                offset: SEGMENT_MAGIC.len() as u64,
+            },
             valid_bytes: 0,
             tear: None,
             done: false,
         })
+    }
+
+    /// Open `dir` for reading **from `pos` on** — the suffix replay a
+    /// checkpoint enables. Segments below `pos.seg_index` are skipped
+    /// (they may already be GC'd); reading starts at `pos.offset` inside
+    /// segment `pos.seg_index`. Errors with `InvalidData` when the log
+    /// physically ends before `pos` (a checkpoint pointing past the log
+    /// is corrupt — callers fall back to an older checkpoint).
+    pub fn open_at(dir: &Path, pos: LogPos) -> io::Result<Self> {
+        let mut reader = Self::open(dir)?;
+        // Skip whole segments before the position, keeping the global
+        // physical offset honest for `last_record_end`.
+        let mut skipped_bytes = 0u64;
+        let mut skip = 0usize;
+        for &(idx, ref path) in &reader.segments {
+            if idx >= pos.seg_index {
+                break;
+            }
+            skipped_bytes += std::fs::metadata(path)?.len();
+            skip += 1;
+        }
+        let corrupt =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("log suffix: {what}"));
+        match reader.segments.get(skip) {
+            Some(&(idx, ref path)) => {
+                if idx != pos.seg_index {
+                    return Err(corrupt("resume segment missing"));
+                }
+                if std::fs::metadata(path)?.len() < pos.offset {
+                    return Err(corrupt("resume position past segment end"));
+                }
+            }
+            None => {
+                // An empty suffix is fine only when the position is the
+                // very start of a (still) empty log.
+                if !reader.segments.is_empty() || pos != LogPos::start() {
+                    return Err(corrupt("resume segment missing"));
+                }
+            }
+        }
+        reader.next_seg = skip;
+        reader.consumed_prior = skipped_bytes;
+        reader.cur_index = pos.seg_index;
+        reader.start_offset = Some(pos.offset.max(SEGMENT_MAGIC.len() as u64));
+        reader.last_record_end = skipped_bytes + pos.offset;
+        reader.mark = pos;
+        Ok(reader)
     }
 
     /// The next valid payload, or `None` at end of log *or* at a tear —
@@ -335,7 +463,7 @@ impl LogReader {
             if self.pos == self.bytes.len() {
                 // Clean segment boundary (or first call): load the next.
                 self.consumed_prior += self.bytes.len() as u64;
-                let Some(path) = self.segments.get(self.next_seg) else {
+                let Some(&(idx, ref path)) = self.segments.get(self.next_seg) else {
                     self.done = true;
                     return Ok(None);
                 };
@@ -349,7 +477,13 @@ impl LogReader {
                     self.done = true;
                     return Ok(None);
                 }
-                self.pos = SEGMENT_MAGIC.len();
+                self.cur_index = idx;
+                // A checkpoint resume position applies to the first
+                // loaded segment only; `open_at` validated it in bounds.
+                self.pos = match self.start_offset.take() {
+                    Some(off) => off as usize,
+                    None => SEGMENT_MAGIC.len(),
+                };
                 continue;
             }
             return Ok(match read_record(&self.bytes, self.pos) {
@@ -357,6 +491,10 @@ impl LogReader {
                     self.valid_bytes += (next - self.pos) as u64;
                     self.pos = next;
                     self.last_record_end = self.consumed_prior + next as u64;
+                    self.mark = LogPos {
+                        seg_index: self.cur_index,
+                        offset: next as u64,
+                    };
                     Some(payload)
                 }
                 Some((None, _)) => {
@@ -390,6 +528,12 @@ impl LogReader {
         self.last_record_end
     }
 
+    /// GC-stable [`LogPos`] of the last yielded record's end — what a
+    /// checkpoint records so a later replay can resume exactly here.
+    pub fn position(&self) -> LogPos {
+        self.mark
+    }
+
     /// Bytes past the valid prefix (torn-tail remainder of the current
     /// segment plus every unread segment). Call after the stream ends.
     pub fn dropped_bytes(&self) -> io::Result<u64> {
@@ -398,7 +542,11 @@ impl LogReader {
         } else {
             (self.bytes.len() - self.pos) as u64
         };
-        total += remaining_bytes(&self.segments[self.next_seg.min(self.segments.len())..])?;
+        let rest: Vec<PathBuf> = self.segments[self.next_seg.min(self.segments.len())..]
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect();
+        total += remaining_bytes(&rest)?;
         Ok(total)
     }
 }
@@ -699,6 +847,86 @@ mod tests {
         let s = scan(&ghost).unwrap();
         assert!(s.payloads.is_empty());
         assert_eq!(s.tear, None);
+    }
+
+    #[test]
+    fn open_at_resumes_exactly_where_a_reader_stopped() {
+        let t = TempDir::new("seglog");
+        let payloads: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 24]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        write_log(t.path(), &refs, 64); // tiny budget: crosses segments
+        let mut reader = LogReader::open(t.path()).unwrap();
+        for _ in 0..3 {
+            reader.next_record().unwrap().unwrap();
+        }
+        let pos = reader.position();
+        let mut rest = Vec::new();
+        let mut resumed = LogReader::open_at(t.path(), pos).unwrap();
+        while let Some(p) = resumed.next_record().unwrap() {
+            rest.push(p);
+        }
+        assert_eq!(rest, payloads[3..].to_vec());
+        assert_eq!(resumed.tear(), None);
+    }
+
+    #[test]
+    fn open_at_rejects_positions_past_the_physical_log() {
+        let t = TempDir::new("seglog");
+        write_log(t.path(), &[b"only"], DEFAULT_SEGMENT_BYTES);
+        let beyond = LogPos {
+            seg_index: 0,
+            offset: total_bytes(t.path()).unwrap() + 64,
+        };
+        let err = LogReader::open_at(t.path(), beyond).err().unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let missing_seg = LogPos {
+            seg_index: 7,
+            offset: SEGMENT_MAGIC.len() as u64,
+        };
+        let err = LogReader::open_at(t.path(), missing_seg).err().unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Start-of-log over an empty directory is the one empty-suffix case.
+        let empty = t.path().join("fresh");
+        std::fs::create_dir_all(&empty).unwrap();
+        let mut r = LogReader::open_at(&empty, LogPos::start()).unwrap();
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn gc_preserves_indices_and_reopen_appends_past_them() {
+        let t = TempDir::new("seglog");
+        let payloads: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 24]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        write_log(t.path(), &refs, 64);
+        let before = indexed_segment_paths(t.path()).unwrap();
+        assert!(before.len() >= 3, "budget must roll: {}", before.len());
+        let cut = before[2].0;
+        let removed = remove_segments_below(t.path(), cut).unwrap();
+        assert_eq!(removed, 2);
+        // Reopen for appending: the writer must continue at the *named*
+        // index of the last survivor, not at survivor-count - 1 (which
+        // would collide with live segments after GC).
+        write_log(t.path(), &[b"post-gc"], 64);
+        let after = indexed_segment_paths(t.path()).unwrap();
+        assert!(after.iter().all(|&(i, _)| i >= cut));
+        assert_eq!(
+            after.len(),
+            before.len() - 2,
+            "append reused the last survivor, no index clash"
+        );
+        // The surviving suffix + new record reads back cleanly from the
+        // position the GC cut at.
+        let resume = LogPos {
+            seg_index: cut,
+            offset: SEGMENT_MAGIC.len() as u64,
+        };
+        let mut reader = LogReader::open_at(t.path(), resume).unwrap();
+        let mut got = Vec::new();
+        while let Some(p) = reader.next_record().unwrap() {
+            got.push(p);
+        }
+        assert_eq!(reader.tear(), None);
+        assert_eq!(*got.last().unwrap(), b"post-gc".to_vec());
     }
 
     #[test]

@@ -202,6 +202,65 @@ impl TpccDb {
         }
     }
 
+    /// Rebuild a database from restored rows — the checkpoint-restore
+    /// constructor. The by-last-name secondary index is rebuilt from
+    /// `CustomerRow::last_name_id` (the index is static after load, so
+    /// rows fully determine it); the recon board starts zeroed and the
+    /// caller republishes its words from the same snapshot the rows came
+    /// from. Row vectors must match the config's arena sizes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_rows(
+        cfg: TpccConfig,
+        warehouses: Vec<WarehouseRow>,
+        districts: Vec<DistrictRow>,
+        customers: Vec<CustomerRow>,
+        stock: Vec<StockRow>,
+        items: Vec<ItemRow>,
+        orders: Vec<OrderRow>,
+        new_orders: Vec<NewOrderRow>,
+        order_lines: Vec<OrderLineRow>,
+        history: Vec<HistoryRow>,
+    ) -> Self {
+        assert_eq!(warehouses.len(), cfg.warehouses as usize);
+        assert_eq!(districts.len(), cfg.n_districts() as usize);
+        assert_eq!(customers.len(), cfg.n_customers() as usize);
+        assert_eq!(stock.len(), cfg.n_stock() as usize);
+        assert_eq!(items.len(), cfg.items as usize);
+        assert_eq!(orders.len(), cfg.n_order_slots() as usize);
+        assert_eq!(new_orders.len(), cfg.n_order_slots() as usize);
+        assert_eq!(order_lines.len(), cfg.n_orderline_slots() as usize);
+        assert_eq!(history.len(), cfg.n_history_slots() as usize);
+        let n_districts = cfg.n_districts() as usize;
+        let mut cust_by_name: Vec<Vec<u32>> = vec![Vec::new(); n_districts * N_LAST_NAMES];
+        for dn in 0..n_districts {
+            for c in 0..cfg.customers_per_district {
+                let slot = dn * cfg.customers_per_district as usize + c as usize;
+                let name_id = customers[slot].last_name_id as usize;
+                // Pushed in ascending c order, as the loader does.
+                cust_by_name[dn * N_LAST_NAMES + name_id].push(c);
+            }
+        }
+        TpccDb {
+            layout: TpccLayout::new(cfg),
+            warehouses: SlotArena::from_vec(warehouses),
+            districts: SlotArena::from_vec(districts),
+            customers: SlotArena::from_vec(customers),
+            stock: SlotArena::from_vec(stock),
+            items: SlotArena::from_vec(items),
+            orders: SlotArena::from_vec(orders),
+            new_orders: SlotArena::from_vec(new_orders),
+            order_lines: SlotArena::from_vec(order_lines),
+            history: SlotArena::from_vec(history),
+            cust_by_name,
+            recon: ReconBoard::new(
+                cfg.n_districts() as usize,
+                cfg.n_customers() as usize,
+                cfg.n_order_slots() as usize,
+                cfg.n_orderline_slots() as usize,
+            ),
+        }
+    }
+
     /// Scale configuration.
     pub fn cfg(&self) -> &TpccConfig {
         &self.layout.cfg
