@@ -74,12 +74,34 @@ pub struct ThreadStats {
     pub log_group_syncs: u64,
     /// Appended records covered by those group fsyncs.
     pub log_synced_appends: u64,
+    /// TCP front-end: socket `read` calls issued (one per inbound wire
+    /// batch — the syscall-amortization denominator).
+    pub net_read_calls: u64,
+    /// TCP front-end: socket `write` calls issued.
+    pub net_write_calls: u64,
+    /// Request frames decoded off the wire.
+    pub net_rx_frames: u64,
+    /// Response frames written to the wire.
+    pub net_tx_frames: u64,
+    /// Transactions received inside those request frames.
+    pub net_rx_txns: u64,
+    /// Completions pushed back inside those response frames.
+    pub net_tx_completions: u64,
+    /// Frames rejected at the codec (bad CRC / bad version) without
+    /// desyncing the stream.
+    pub net_bad_frames: u64,
     /// Commit latency (transaction start → commit, including retries).
     pub latency: LatencyHistogram,
     /// Time a committed run's completions waited for the covering fsync
     /// (append → durable-release), group-sync mode only. Separates the
     /// durability tax from execution time in the open-loop histograms.
     pub log_fsync_wait: LatencyHistogram,
+    /// Adaptive wire batching: requests per inbound frame (a count
+    /// histogram riding the latency-histogram buckets — the recorded
+    /// unit is "transactions", not nanoseconds).
+    pub net_rx_batch: LatencyHistogram,
+    /// Adaptive wire batching: completions per outbound frame.
+    pub net_tx_batch: LatencyHistogram,
 }
 
 impl ThreadStats {
@@ -115,8 +137,17 @@ impl ThreadStats {
         self.log_flushes += other.log_flushes;
         self.log_group_syncs += other.log_group_syncs;
         self.log_synced_appends += other.log_synced_appends;
+        self.net_read_calls += other.net_read_calls;
+        self.net_write_calls += other.net_write_calls;
+        self.net_rx_frames += other.net_rx_frames;
+        self.net_tx_frames += other.net_tx_frames;
+        self.net_rx_txns += other.net_rx_txns;
+        self.net_tx_completions += other.net_tx_completions;
+        self.net_bad_frames += other.net_bad_frames;
         self.latency.merge(&other.latency);
         self.log_fsync_wait.merge(&other.log_fsync_wait);
+        self.net_rx_batch.merge(&other.net_rx_batch);
+        self.net_tx_batch.merge(&other.net_tx_batch);
     }
 
     /// Add elapsed nanoseconds to a phase bucket.
@@ -258,6 +289,35 @@ impl RunStats {
         }
     }
 
+    /// Mean requests per inbound wire frame (0.0 when the run had no
+    /// network front-end).
+    pub fn wire_rx_batch_mean(&self) -> f64 {
+        if self.totals.net_rx_frames == 0 {
+            0.0
+        } else {
+            self.totals.net_rx_txns as f64 / self.totals.net_rx_frames as f64
+        }
+    }
+
+    /// Mean completions per outbound wire frame.
+    pub fn wire_tx_batch_mean(&self) -> f64 {
+        if self.totals.net_tx_frames == 0 {
+            0.0
+        } else {
+            self.totals.net_tx_completions as f64 / self.totals.net_tx_frames as f64
+        }
+    }
+
+    /// Decoded requests per socket read — the syscall-amortization factor
+    /// adaptive wire batching exists for (0.0 without a front-end).
+    pub fn txns_per_read_call(&self) -> f64 {
+        if self.totals.net_read_calls == 0 {
+            0.0
+        } else {
+            self.totals.net_rx_txns as f64 / self.totals.net_read_calls as f64
+        }
+    }
+
     /// Figure-10 style breakdown over the three phase buckets.
     pub fn breakdown(&self) -> PhaseBreakdown {
         let total =
@@ -301,8 +361,17 @@ mod tests {
             log_flushes: 3,
             log_group_syncs: 2,
             log_synced_appends: 6,
+            net_read_calls: 3,
+            net_write_calls: 4,
+            net_rx_frames: 5,
+            net_tx_frames: 6,
+            net_rx_txns: 40,
+            net_tx_completions: 39,
+            net_bad_frames: 1,
             latency: LatencyHistogram::new(),
             log_fsync_wait: LatencyHistogram::new(),
+            net_rx_batch: LatencyHistogram::new(),
+            net_tx_batch: LatencyHistogram::new(),
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -317,6 +386,34 @@ mod tests {
         assert_eq!(b.log_flushes, 6);
         assert_eq!(b.log_group_syncs, 4);
         assert_eq!(b.log_synced_appends, 12);
+        assert_eq!(b.net_read_calls, 6);
+        assert_eq!(b.net_write_calls, 8);
+        assert_eq!(b.net_rx_frames, 10);
+        assert_eq!(b.net_tx_frames, 12);
+        assert_eq!(b.net_rx_txns, 80);
+        assert_eq!(b.net_tx_completions, 78);
+        assert_eq!(b.net_bad_frames, 2);
+    }
+
+    #[test]
+    fn wire_batch_means_derive_from_frame_counts() {
+        let rs = RunStats::collect(
+            &[ThreadStats {
+                net_read_calls: 10,
+                net_rx_frames: 10,
+                net_rx_txns: 80,
+                net_tx_frames: 4,
+                net_tx_completions: 60,
+                ..Default::default()
+            }],
+            Duration::from_secs(1),
+        );
+        assert!((rs.wire_rx_batch_mean() - 8.0).abs() < 1e-9);
+        assert!((rs.wire_tx_batch_mean() - 15.0).abs() < 1e-9);
+        assert!((rs.txns_per_read_call() - 8.0).abs() < 1e-9);
+        let empty = RunStats::collect(&[], Duration::from_secs(1));
+        assert_eq!(empty.wire_rx_batch_mean(), 0.0);
+        assert_eq!(empty.txns_per_read_call(), 0.0);
     }
 
     #[test]

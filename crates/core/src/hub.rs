@@ -1,0 +1,339 @@
+//! Completion fan-out: routing engine completions back to the client
+//! that submitted each ticket.
+//!
+//! The engine's completion rings are per-*execution-thread* — one
+//! drainer ([`crate::EngineHandle::drain_completions`]) sees every
+//! completion, in no particular client order. In-process harness
+//! clients don't care (one driver owns all tickets), but a network
+//! front-end has many connections, each owed exactly the completions
+//! for its own submissions. The [`CompletionHub`] is that router:
+//!
+//! - submission tags each ticket with its owner in the [`OwnerTable`]
+//!   (a sharded ticket → client map written under the ingest-lane lock
+//!   *before* the ring push, so a completion — which happens-after the
+//!   push — always finds its owner);
+//! - one pump thread drains the engine and calls [`CompletionHub::route`],
+//!   which moves each completion to its owner's bounded SPSC ring
+//!   ([`ClientRx`]), spilling to a per-client overflow queue when the
+//!   client lags (never lost, never blocking the pump);
+//! - a disconnected client's leftovers are counted as *orphaned*, so
+//!   ticket conservation stays provable per connection even through
+//!   abrupt disconnects: `routed + orphaned + unowned` = completions
+//!   drained.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use orthrus_spsc::{channel_labeled, Consumer, Producer};
+use parking_lot::Mutex;
+
+use crate::session::Session;
+use crate::source::Completion;
+
+/// Number of shards in the ticket → owner map. Submitters and the pump
+/// thread contend only when their tickets collide modulo this.
+const OWNER_SHARDS: usize = 16;
+
+/// Sharded ticket → client-id map. Entries are inserted at submission
+/// (under the ingest-lane lock, before the ring push) and removed by the
+/// routing pump, so the table's steady-state size is the in-flight
+/// window, not the run length.
+pub(crate) struct OwnerTable {
+    shards: Vec<Mutex<HashMap<u64, u32>>>,
+}
+
+impl OwnerTable {
+    pub(crate) fn new() -> Self {
+        OwnerTable {
+            shards: (0..OWNER_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, ticket: u64) -> &Mutex<HashMap<u64, u32>> {
+        &self.shards[(ticket % OWNER_SHARDS as u64) as usize]
+    }
+
+    #[inline]
+    pub(crate) fn insert(&self, ticket: u64, owner: u32) {
+        self.shard(ticket).lock().insert(ticket, owner);
+    }
+
+    #[inline]
+    pub(crate) fn take(&self, ticket: u64) -> Option<u32> {
+        self.shard(ticket).lock().remove(&ticket)
+    }
+}
+
+/// Engine-side slot for one registered client.
+struct Slot {
+    ring: Producer<Completion>,
+    overflow: Arc<Mutex<VecDeque<Completion>>>,
+}
+
+/// The client's receive half: a bounded completion ring plus the shared
+/// overflow queue the pump spills into when the ring is full.
+pub struct ClientRx {
+    id: u32,
+    ring: Consumer<Completion>,
+    overflow: Arc<Mutex<VecDeque<Completion>>>,
+}
+
+impl ClientRx {
+    /// This client's id — pass as `owner` to
+    /// [`Session::try_submit_owned`] / [`Session::try_submit_batch`].
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Move up to `max` completions into `out` (ring first — the fast
+    /// path — then any overflow spill); returns how many.
+    pub fn drain_into(&mut self, out: &mut Vec<Completion>, max: usize) -> usize {
+        let mut n = self.ring.drain_into(out, max);
+        if n < max {
+            let mut spill = self.overflow.lock();
+            while n < max {
+                match spill.pop_front() {
+                    Some(c) => {
+                        out.push(c);
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Routes drained completions to per-client rings. One instance per
+/// engine; [`route`](Self::route) is called from a single pump thread,
+/// registration and deregistration from any thread.
+pub struct CompletionHub {
+    session: Session,
+    slots: Mutex<HashMap<u32, Slot>>,
+    next_id: AtomicU32,
+    routed: AtomicU64,
+    orphaned: AtomicU64,
+    unowned: AtomicU64,
+}
+
+impl CompletionHub {
+    /// Build a hub over the engine the session belongs to. The session is
+    /// only used to reach the shared [`OwnerTable`]; cloning one costs an
+    /// `Arc` bump.
+    pub fn new(session: Session) -> Self {
+        CompletionHub {
+            session,
+            slots: Mutex::new(HashMap::new()),
+            next_id: AtomicU32::new(0),
+            routed: AtomicU64::new(0),
+            orphaned: AtomicU64::new(0),
+            unowned: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a client; `capacity` bounds its completion ring (rounded
+    /// up to a power of two). Returns the receive half.
+    pub fn register(&self, capacity: usize) -> ClientRx {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (p, c) = channel_labeled(capacity, "client-completion");
+        let overflow = Arc::new(Mutex::new(VecDeque::new()));
+        self.slots.lock().insert(
+            id,
+            Slot {
+                ring: p,
+                overflow: Arc::clone(&overflow),
+            },
+        );
+        ClientRx {
+            id,
+            ring: c,
+            overflow,
+        }
+    }
+
+    /// Drop a client's slot. Completions for its still-inflight tickets
+    /// are counted as orphaned when they arrive — the abrupt-disconnect
+    /// path; conservation accounting stays intact.
+    pub fn unregister(&self, id: u32) {
+        self.slots.lock().remove(&id);
+    }
+
+    /// Route a drained batch. Single-pump: callers must serialize.
+    pub fn route(&self, completions: &[Completion]) {
+        if completions.is_empty() {
+            return;
+        }
+        let mut slots = self.slots.lock();
+        let (mut routed, mut orphaned, mut unowned) = (0u64, 0u64, 0u64);
+        for &c in completions {
+            match self.session.take_owner(c.ticket) {
+                None => unowned += 1,
+                Some(owner) => match slots.get_mut(&owner) {
+                    None => orphaned += 1,
+                    Some(slot) => {
+                        routed += 1;
+                        if let Err(c) = slot.ring.try_push(c) {
+                            // Client lagging: spill, never block the pump.
+                            slot.overflow.lock().push_back(c);
+                        }
+                    }
+                },
+            }
+        }
+        self.routed.fetch_add(routed, Ordering::Relaxed);
+        self.orphaned.fetch_add(orphaned, Ordering::Relaxed);
+        self.unowned.fetch_add(unowned, Ordering::Relaxed);
+    }
+
+    /// Completions delivered to a registered client (ring or overflow).
+    pub fn routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// Completions whose owner had unregistered (abrupt disconnect).
+    pub fn orphaned(&self) -> u64 {
+        self.orphaned.load(Ordering::Relaxed)
+    }
+
+    /// Completions for tickets never tagged with an owner (submitted
+    /// through the plain un-owned [`Session`] API).
+    pub fn unowned(&self) -> u64 {
+        self.unowned.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CcAssignment, OrthrusConfig};
+    use crate::engine::OrthrusEngine;
+    use orthrus_storage::Table;
+    use orthrus_txn::{Database, Program};
+
+    fn tiny_engine() -> crate::engine::EngineHandle {
+        let db = Arc::new(Database::Flat(Table::new(256, 64)));
+        let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo);
+        OrthrusEngine::service(db, cfg).start(7)
+    }
+
+    fn rmw(key: u64) -> Program {
+        Program::Rmw { keys: vec![key] }
+    }
+
+    #[test]
+    fn completions_route_to_their_owners() {
+        let _guard = crate::test_serial();
+        let mut handle = tiny_engine();
+        let session = handle.session();
+        let hub = CompletionHub::new(session.clone());
+        let mut a = hub.register(64);
+        let mut b = hub.register(64);
+
+        let mut want_a = Vec::new();
+        let mut want_b = Vec::new();
+        for i in 0..40u64 {
+            let (rx, want) = if i % 2 == 0 {
+                (&a, &mut want_a)
+            } else {
+                (&b, &mut want_b)
+            };
+            let t = session
+                .try_submit_owned(rmw(i), rx.id())
+                .expect("ring has space");
+            want.push(t);
+        }
+
+        let mut drained = Vec::new();
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        while got_a.len() + got_b.len() < 40 {
+            drained.clear();
+            handle.drain_completions(&mut drained);
+            hub.route(&drained);
+            a.drain_into(&mut got_a, usize::MAX);
+            b.drain_into(&mut got_b, usize::MAX);
+            std::thread::yield_now();
+        }
+        let mut got_a: Vec<_> = got_a.iter().map(|c| c.ticket).collect();
+        let mut got_b: Vec<_> = got_b.iter().map(|c| c.ticket).collect();
+        got_a.sort();
+        got_b.sort();
+        want_a.sort();
+        want_b.sort();
+        assert_eq!(got_a, want_a, "client a must see exactly its tickets");
+        assert_eq!(got_b, want_b, "client b must see exactly its tickets");
+        assert_eq!(hub.routed(), 40);
+        assert_eq!(hub.orphaned() + hub.unowned(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unregistered_owner_counts_as_orphaned_not_lost() {
+        let _guard = crate::test_serial();
+        let mut handle = tiny_engine();
+        let session = handle.session();
+        let hub = CompletionHub::new(session.clone());
+        let gone = hub.register(8);
+        let gone_id = gone.id();
+        let n = 10u64;
+        for i in 0..n {
+            session.try_submit_owned(rmw(i), gone_id).unwrap();
+        }
+        hub.unregister(gone_id); // abrupt disconnect before completions land
+        drop(gone);
+
+        let mut drained = Vec::new();
+        while hub.orphaned() < n {
+            drained.clear();
+            handle.drain_completions(&mut drained);
+            hub.route(&drained);
+            std::thread::yield_now();
+        }
+        assert_eq!(hub.orphaned(), n, "every ticket accounted for");
+        assert_eq!(hub.routed(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn ring_overflow_spills_without_loss() {
+        let _guard = crate::test_serial();
+        let mut handle = tiny_engine();
+        let session = handle.session();
+        let hub = CompletionHub::new(session.clone());
+        // Ring capacity 2: most of the 30 completions must spill into the
+        // overflow queue while the client refuses to drain.
+        let mut rx = hub.register(2);
+        let n = 30u64;
+        for i in 0..n {
+            let mut p = rmw(i);
+            loop {
+                match session.try_submit_owned(p, rx.id()) {
+                    Ok(_) => break,
+                    Err(crate::session::TrySubmitError::Full(back)) => {
+                        p = back;
+                        std::thread::yield_now();
+                    }
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+        }
+        let mut drained = Vec::new();
+        while hub.routed() < n {
+            drained.clear();
+            handle.drain_completions(&mut drained);
+            hub.route(&drained);
+            std::thread::yield_now();
+        }
+        let mut got = Vec::new();
+        assert_eq!(rx.drain_into(&mut got, usize::MAX), n as usize);
+        let mut tickets: Vec<_> = got.iter().map(|c| c.ticket.0).collect();
+        tickets.sort_unstable();
+        assert_eq!(tickets, (0..n).collect::<Vec<_>>());
+        handle.shutdown();
+    }
+}

@@ -115,6 +115,7 @@ pub mod cc;
 pub mod config;
 pub mod engine;
 pub mod exec;
+pub mod hub;
 pub mod ladder;
 pub mod msg;
 pub mod plan;
@@ -129,10 +130,11 @@ mod proptests;
 pub use admit::{AdaptiveController, AdmissionPolicy, Admitted, Admitter};
 pub use config::{CcAssignment, CcMode, OrthrusConfig};
 pub use engine::{EngineError, EngineHandle, OrthrusEngine};
+pub use hub::{ClientRx, CompletionHub};
 pub use orthrus_durability::{DurabilityMode, ReplayReport, SyncInterval};
 pub use plan::LockPlan;
 pub use rebalance::{balanced_assignment, LoadHistogram};
-pub use session::{Session, TrySubmitError};
+pub use session::{BatchSubmit, Session, TrySubmitError};
 pub use source::{ClientSource, Completion, Sourced, SyntheticSource, Ticket, TxnSource};
 
 /// Serializes this crate's timed-engine tests: two concurrent multi-thread

@@ -35,6 +35,7 @@ use orthrus_spsc::Producer;
 use orthrus_txn::Program;
 use parking_lot::Mutex;
 
+use crate::hub::OwnerTable;
 use crate::source::{Submission, Ticket};
 
 /// Why a submission was not accepted. Both variants hand the program
@@ -66,6 +67,21 @@ impl std::fmt::Display for TrySubmitError {
     }
 }
 
+/// Outcome of a [`Session::try_submit_batch`]: which input programs were
+/// accepted (with their tickets) and which were backpressured (handed
+/// back for retry). Indices refer to positions in the submitted batch.
+#[derive(Debug, Default)]
+pub struct BatchSubmit {
+    /// `(input index, ticket)` for each accepted program.
+    pub accepted: Vec<(usize, Ticket)>,
+    /// `(input index, program)` for each program refused by a full lane
+    /// — or by shutdown, in which case `shutdown` is set.
+    pub rejected: Vec<(usize, Program)>,
+    /// Whether any rejection was due to the engine shutting down (a
+    /// terminal condition, unlike ring-full backpressure).
+    pub shutdown: bool,
+}
+
 /// Submission state shared by every session of one service-mode engine:
 /// the ingest-ring producers (one per execution thread), the ticket
 /// counter, and the accepting flag the shutdown fence flips.
@@ -78,6 +94,10 @@ pub(crate) struct SubmitShared {
     /// checked against.
     next_ticket: AtomicU64,
     round_robin: AtomicUsize,
+    /// Ticket → client-id tags for completion fan-out
+    /// ([`crate::hub::CompletionHub`]). Written under the lane lock
+    /// *before* the ring push, so routing always finds the owner.
+    owners: OwnerTable,
 }
 
 impl SubmitShared {
@@ -88,6 +108,7 @@ impl SubmitShared {
             accepting: AtomicBool::new(true),
             next_ticket: AtomicU64::new(0),
             round_robin: AtomicUsize::new(0),
+            owners: OwnerTable::new(),
         }
     }
 
@@ -128,6 +149,21 @@ impl Session {
     /// [`Ticket`] on success, and returns the program back inside
     /// [`TrySubmitError::Full`] when the destination ring is full.
     pub fn try_submit(&self, program: Program) -> Result<Ticket, TrySubmitError> {
+        self.try_submit_inner(program, None)
+    }
+
+    /// [`Self::try_submit`], tagging the ticket with a client id from
+    /// [`crate::hub::CompletionHub::register`] so the hub can route the
+    /// completion back to that client.
+    pub fn try_submit_owned(&self, program: Program, owner: u32) -> Result<Ticket, TrySubmitError> {
+        self.try_submit_inner(program, Some(owner))
+    }
+
+    fn try_submit_inner(
+        &self,
+        program: Program,
+        owner: Option<u32>,
+    ) -> Result<Ticket, TrySubmitError> {
         let shared = &self.shared;
         let lane = match program.hot_key_hint() {
             Some(key) => (fx_hash_u64(key) % shared.lanes.len() as u64) as usize,
@@ -144,6 +180,11 @@ impl Session {
             return Err(TrySubmitError::Full(program));
         }
         let ticket = Ticket(shared.next_ticket.fetch_add(1, Ordering::AcqRel));
+        if let Some(owner) = owner {
+            // Before the push: the completion happens-after the push, so
+            // the router can never see an ownerless owned ticket.
+            shared.owners.insert(ticket.0, owner);
+        }
         producer
             .try_push(Submission {
                 ticket,
@@ -152,6 +193,90 @@ impl Session {
             })
             .unwrap_or_else(|_| unreachable!("space checked under the lane lock"));
         Ok(ticket)
+    }
+
+    /// Submit a whole batch with one lane-lock acquisition and one ring
+    /// publish per *destination lane* — the wire-batching fast path: a
+    /// network front-end turns one TCP read of `k` requests into at most
+    /// `min(k, n_exec)` ring transactions instead of `k`.
+    ///
+    /// Routing is identical to [`Self::try_submit`] (hot-key, else
+    /// round-robin). Acceptance is per lane and best-effort: programs
+    /// that fit are accepted (tickets reported with their input index),
+    /// programs that hit a full lane are handed back in `rejected` for
+    /// the caller to retry — that hand-back is the backpressure signal a
+    /// connection maps onto TCP flow control.
+    pub fn try_submit_batch(&self, programs: Vec<Program>, owner: Option<u32>) -> BatchSubmit {
+        let shared = &self.shared;
+        let n_lanes = shared.lanes.len();
+        let mut out = BatchSubmit {
+            accepted: Vec::with_capacity(programs.len()),
+            rejected: Vec::new(),
+            shutdown: false,
+        };
+        if programs.is_empty() {
+            return out;
+        }
+        let mut slots: Vec<Option<Program>> = programs.into_iter().map(Some).collect();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_lanes];
+        for (i, slot) in slots.iter().enumerate() {
+            let p = slot.as_ref().expect("just wrapped");
+            let lane = match p.hot_key_hint() {
+                Some(key) => (fx_hash_u64(key) % n_lanes as u64) as usize,
+                None => shared.round_robin.fetch_add(1, Ordering::Relaxed) % n_lanes,
+            };
+            buckets[lane].push(i);
+        }
+        let mut stage: Vec<Submission> = Vec::new();
+        for (lane, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut producer = shared.lanes[lane].lock();
+            if !shared.accepting.load(Ordering::SeqCst) {
+                out.shutdown = true;
+                for &i in bucket {
+                    out.rejected.push((i, slots[i].take().expect("unconsumed")));
+                }
+                continue;
+            }
+            // Same dense-ticket discipline as the single-submission path:
+            // count the space under the lane lock, mint exactly that many.
+            let space = producer.capacity() - producer.len();
+            let k = space.min(bucket.len());
+            if k > 0 {
+                let base = shared.next_ticket.fetch_add(k as u64, Ordering::AcqRel);
+                let now = Instant::now();
+                for (j, &i) in bucket[..k].iter().enumerate() {
+                    let ticket = Ticket(base + j as u64);
+                    if let Some(owner) = owner {
+                        shared.owners.insert(ticket.0, owner);
+                    }
+                    stage.push(Submission {
+                        ticket,
+                        program: slots[i].take().expect("unconsumed"),
+                        submitted: now,
+                    });
+                    out.accepted.push((i, ticket));
+                }
+                let pushed = producer.try_push_slice(&mut stage);
+                assert_eq!(
+                    pushed, k,
+                    "space checked under the lane lock; ingest pushes are not fault-injected"
+                );
+                stage.clear();
+            }
+            for &i in &bucket[k..] {
+                out.rejected.push((i, slots[i].take().expect("unconsumed")));
+            }
+        }
+        out
+    }
+
+    /// Remove and return the owner tag of a completed ticket (routing
+    /// consumes the tag — each ticket completes exactly once).
+    pub(crate) fn take_owner(&self, ticket: Ticket) -> Option<u32> {
+        self.shared.owners.take(ticket.0)
     }
 
     /// Submit, backing off while the destination ring is full (the
@@ -170,7 +295,18 @@ impl Session {
                 Ok(t) => return Ok(t),
                 Err(TrySubmitError::Full(p)) => {
                     program = p;
-                    backoff.snooze();
+                    if backoff.is_yielding() {
+                        // A full ring stays full for a whole engine drain
+                        // cycle — much longer than a lock handoff — so once
+                        // the spin budget is spent, sleep instead of burning
+                        // the core on yield_now. Unreachable under the sim
+                        // scheduler: there `snooze` parks via the sim seam
+                        // without ever advancing the backoff step, so the
+                        // schedule stays deterministic.
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    } else {
+                        backoff.snooze();
+                    }
                 }
                 Err(e @ TrySubmitError::Shutdown(_)) => return Err(e),
             }
@@ -286,6 +422,73 @@ mod tests {
                 .sum::<usize>(),
             1
         );
+    }
+
+    #[test]
+    fn batch_submit_accepts_everything_that_fits() {
+        let (s, mut consumers) = shared(2, 16);
+        let session = Session::new(Arc::clone(&s));
+        // Hot keys pin lanes; hintless programs round-robin.
+        let batch = vec![rmw(1), rmw(2), rmw(1), Program::Rmw { keys: vec![] }];
+        let out = session.try_submit_batch(batch, Some(9));
+        assert!(!out.shutdown);
+        assert!(out.rejected.is_empty());
+        assert_eq!(out.accepted.len(), 4);
+        // Dense tickets: exactly 0..4 minted, each reported once.
+        let mut ids: Vec<u64> = out.accepted.iter().map(|(_, t)| t.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(s.accepted(), 4);
+        // Everything reached some ring, and same-hot-key submissions kept
+        // their relative order within their lane.
+        let mut seen = 0;
+        for c in &mut consumers {
+            while let Some(sub) = c.try_pop() {
+                seen += 1;
+                assert!(sub.ticket.0 < 4);
+            }
+        }
+        assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn batch_submit_hands_back_overflow_per_lane() {
+        // One lane, capacity 4: a batch of 7 accepts 4 and rejects 3,
+        // handing the exact programs back with their input indices.
+        let (s, _consumers) = shared(1, 4);
+        let session = Session::new(Arc::clone(&s));
+        let batch: Vec<Program> = (0..7).map(rmw).collect();
+        let out = session.try_submit_batch(batch, None);
+        assert!(!out.shutdown);
+        assert_eq!(out.accepted.len(), 4);
+        assert_eq!(out.rejected.len(), 3);
+        assert_eq!(s.accepted(), 4, "rejected programs must not mint tickets");
+        for (i, p) in &out.rejected {
+            assert_eq!(*p, rmw(*i as u64), "hand-back must preserve the program");
+        }
+    }
+
+    #[test]
+    fn batch_submit_after_close_reports_shutdown() {
+        let (s, _consumers) = shared(2, 8);
+        let session = Session::new(Arc::clone(&s));
+        s.close();
+        let out = session.try_submit_batch(vec![rmw(1), rmw(2)], Some(3));
+        assert!(out.shutdown);
+        assert_eq!(out.accepted.len(), 0);
+        assert_eq!(out.rejected.len(), 2);
+        assert_eq!(s.accepted(), 0);
+    }
+
+    #[test]
+    fn owned_submissions_tag_the_owner_table() {
+        let (s, _consumers) = shared(1, 8);
+        let session = Session::new(Arc::clone(&s));
+        let t = session.try_submit_owned(rmw(1), 42).unwrap();
+        assert_eq!(session.take_owner(t), Some(42));
+        assert_eq!(session.take_owner(t), None, "routing consumes the tag");
+        let t2 = session.try_submit(rmw(2)).unwrap();
+        assert_eq!(session.take_owner(t2), None, "un-owned stays untagged");
     }
 
     #[test]

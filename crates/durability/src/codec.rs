@@ -1,16 +1,21 @@
 //! Wire format for command-log records.
 //!
 //! One record = one fused admission run = a batch of committed
-//! transactions. Hand-rolled little-endian encoding (the offline build
-//! has no serde): compact, versioned through the segment header, and
-//! decode-validated — though in practice decoding only ever sees
-//! checksum-clean payloads (the byte layer drops torn or corrupt tails
-//! before records reach this module).
+//! transactions. The per-program encoding lives in [`orthrus_txn::codec`]
+//! (shared with the TCP front-end); this module adds the run-level
+//! framing: a transaction count, then per transaction an optional client
+//! ticket id followed by the program. Decode-validated — though in
+//! practice decoding only ever sees checksum-clean payloads (the byte
+//! layer drops torn or corrupt tails before records reach this module).
 
-use orthrus_txn::{
-    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,
-    Program, StockLevelInput,
-};
+use orthrus_txn::codec::{decode_program, encode_program, Reader};
+use orthrus_txn::Program;
+
+/// Re-exported so recovery callers keep one error type. The payload
+/// passed its checksum but does not parse — a format bug or version
+/// skew, not a crash artifact. Recovery treats it like a tear (stop at
+/// the longest well-formed prefix).
+pub use orthrus_txn::codec::DecodeError;
 
 /// One committed transaction as logged: the program (command logging —
 /// effects are *not* logged) plus the client ticket id when the commit
@@ -21,18 +26,6 @@ use orthrus_txn::{
 pub struct LoggedCommit {
     pub ticket: Option<u64>,
     pub program: Program,
-}
-
-/// Decoding failure: the payload passed its checksum but does not parse —
-/// a format bug or version skew, not a crash artifact. Recovery treats it
-/// like a tear (stop at the longest well-formed prefix).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DecodeError(pub String);
-
-impl std::fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "command-log decode error: {}", self.0)
-    }
 }
 
 /// Append a run's record payload to `out` (the caller frames and
@@ -53,7 +46,7 @@ pub fn encode_run(txns: &[LoggedCommit], out: &mut Vec<u8>) {
 
 /// Decode one record payload.
 pub fn decode_run(bytes: &[u8]) -> Result<Vec<LoggedCommit>, DecodeError> {
-    let mut r = Reader { bytes, pos: 0 };
+    let mut r = Reader::new(bytes);
     let n = r.u32()?;
     // Bound the preallocation: a garbage count must fail on parse, not
     // abort on a multi-gigabyte reserve (growth is amortized anyway).
@@ -67,207 +60,22 @@ pub fn decode_run(bytes: &[u8]) -> Result<Vec<LoggedCommit>, DecodeError> {
         let program = decode_program(&mut r)?;
         txns.push(LoggedCommit { ticket, program });
     }
-    if r.pos != r.bytes.len() {
+    if r.remaining() != 0 {
         return Err(DecodeError(format!(
             "{} trailing bytes after {n} transactions",
-            r.bytes.len() - r.pos
+            r.remaining()
         )));
     }
     Ok(txns)
 }
 
-/// Program variant tags. Append-only: decoding by tag is the version
-/// contract, so new programs take fresh tags and old ones never change.
-mod tag {
-    pub const READ_ONLY: u8 = 0;
-    pub const RMW: u8 = 1;
-    pub const NEW_ORDER: u8 = 2;
-    pub const PAYMENT: u8 = 3;
-    pub const ORDER_STATUS: u8 = 4;
-    pub const DELIVERY: u8 = 5;
-    pub const STOCK_LEVEL: u8 = 6;
-}
-
-fn encode_program(p: &Program, out: &mut Vec<u8>) {
-    match p {
-        Program::ReadOnly { keys } => {
-            out.push(tag::READ_ONLY);
-            encode_keys(keys, out);
-        }
-        Program::Rmw { keys } => {
-            out.push(tag::RMW);
-            encode_keys(keys, out);
-        }
-        Program::NewOrder(i) => {
-            out.push(tag::NEW_ORDER);
-            out.extend_from_slice(&i.w.to_le_bytes());
-            out.extend_from_slice(&i.d.to_le_bytes());
-            out.extend_from_slice(&i.c.to_le_bytes());
-            out.extend_from_slice(&(i.lines.len() as u32).to_le_bytes());
-            for line in &i.lines {
-                out.extend_from_slice(&line.i_id.to_le_bytes());
-                out.extend_from_slice(&line.supply_w.to_le_bytes());
-                out.extend_from_slice(&line.qty.to_le_bytes());
-            }
-        }
-        Program::Payment(i) => {
-            out.push(tag::PAYMENT);
-            out.extend_from_slice(&i.w.to_le_bytes());
-            out.extend_from_slice(&i.d.to_le_bytes());
-            out.extend_from_slice(&i.amount_cents.to_le_bytes());
-            encode_selector(&i.customer, out);
-        }
-        Program::OrderStatus(i) => {
-            out.push(tag::ORDER_STATUS);
-            encode_selector(&i.customer, out);
-        }
-        Program::Delivery(i) => {
-            out.push(tag::DELIVERY);
-            out.extend_from_slice(&i.w.to_le_bytes());
-            out.push(i.carrier);
-        }
-        Program::StockLevel(i) => {
-            out.push(tag::STOCK_LEVEL);
-            out.extend_from_slice(&i.w.to_le_bytes());
-            out.extend_from_slice(&i.d.to_le_bytes());
-            out.extend_from_slice(&i.threshold.to_le_bytes());
-            out.extend_from_slice(&i.depth.to_le_bytes());
-        }
-    }
-}
-
-fn decode_program(r: &mut Reader<'_>) -> Result<Program, DecodeError> {
-    Ok(match r.u8()? {
-        tag::READ_ONLY => Program::ReadOnly {
-            keys: decode_keys(r)?,
-        },
-        tag::RMW => Program::Rmw {
-            keys: decode_keys(r)?,
-        },
-        tag::NEW_ORDER => {
-            let (w, d, c) = (r.u32()?, r.u32()?, r.u32()?);
-            let n = r.u32()?;
-            let mut lines = Vec::with_capacity(n.min(1024) as usize);
-            for _ in 0..n {
-                lines.push(OrderLineInput {
-                    i_id: r.u32()?,
-                    supply_w: r.u32()?,
-                    qty: r.u32()?,
-                });
-            }
-            Program::NewOrder(NewOrderInput { w, d, c, lines })
-        }
-        tag::PAYMENT => Program::Payment(PaymentInput {
-            w: r.u32()?,
-            d: r.u32()?,
-            amount_cents: r.u64()?,
-            customer: decode_selector(r)?,
-        }),
-        tag::ORDER_STATUS => Program::OrderStatus(OrderStatusInput {
-            customer: decode_selector(r)?,
-        }),
-        tag::DELIVERY => Program::Delivery(DeliveryInput {
-            w: r.u32()?,
-            carrier: r.u8()?,
-        }),
-        tag::STOCK_LEVEL => Program::StockLevel(StockLevelInput {
-            w: r.u32()?,
-            d: r.u32()?,
-            threshold: r.u32()?,
-            depth: r.u32()?,
-        }),
-        other => return Err(DecodeError(format!("unknown program tag {other}"))),
-    })
-}
-
-fn encode_keys(keys: &[u64], out: &mut Vec<u8>) {
-    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
-    for &k in keys {
-        out.extend_from_slice(&k.to_le_bytes());
-    }
-}
-
-fn decode_keys(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
-    let n = r.u32()?;
-    let mut keys = Vec::with_capacity(n.min(4096) as usize);
-    for _ in 0..n {
-        keys.push(r.u64()?);
-    }
-    Ok(keys)
-}
-
-fn encode_selector(s: &CustomerSelector, out: &mut Vec<u8>) {
-    match *s {
-        CustomerSelector::ById { c_w, c_d, c } => {
-            out.push(0);
-            out.extend_from_slice(&c_w.to_le_bytes());
-            out.extend_from_slice(&c_d.to_le_bytes());
-            out.extend_from_slice(&c.to_le_bytes());
-        }
-        CustomerSelector::ByLastName { c_w, c_d, name_id } => {
-            out.push(1);
-            out.extend_from_slice(&c_w.to_le_bytes());
-            out.extend_from_slice(&c_d.to_le_bytes());
-            out.extend_from_slice(&name_id.to_le_bytes());
-        }
-    }
-}
-
-fn decode_selector(r: &mut Reader<'_>) -> Result<CustomerSelector, DecodeError> {
-    Ok(match r.u8()? {
-        0 => CustomerSelector::ById {
-            c_w: r.u32()?,
-            c_d: r.u32()?,
-            c: r.u32()?,
-        },
-        1 => CustomerSelector::ByLastName {
-            c_w: r.u32()?,
-            c_d: r.u32()?,
-            name_id: r.u16()?,
-        },
-        other => return Err(DecodeError(format!("bad customer selector tag {other}"))),
-    })
-}
-
-/// Bounds-checked little-endian cursor.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
-        if self.bytes.len() - self.pos < n {
-            return Err(DecodeError(format!(
-                "payload cut short: wanted {n} bytes at {}",
-                self.pos
-            )));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use orthrus_txn::{
+        CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput,
+        PaymentInput, StockLevelInput,
+    };
 
     fn sample_programs() -> Vec<Program> {
         vec![

@@ -544,6 +544,64 @@ pub fn abl10_durability2(bc: &BenchConfig) -> FigureResult {
     fig
 }
 
+/// A11: the **TCP front door** (`orthrus-net`) vs the in-process
+/// session, and the adaptive wire batcher's response to offered load.
+/// The same contention crucible as A8 (scrambled-Zipf θ = 0.9, 10 RMW,
+/// conflict-batched admission, 1 CC / 2 exec) runs three ways:
+///
+/// - **in-process** closed loop — the capacity reference every wire
+///   cost is measured against;
+/// - **TCP closed loop** — `ORTHRUS_NET_CONNS` loopback connections
+///   with a fixed in-flight window each: how much of that capacity
+///   survives real framing, syscalls, and completion fan-out (the
+///   acceptance floor is 80%);
+/// - **TCP open loop** at 0.5× and 1.3× of capacity — where the batch
+///   series earns its keep: mean completions per response frame must
+///   *shift* with offered load (small frames when underloaded for
+///   latency, large when saturated for throughput), because the flush
+///   setpoint walks the power-of-two ladder on flush-occupancy
+///   evidence instead of sitting on a hand-tuned constant.
+pub fn abl11_net(bc: &BenchConfig) -> FigureResult {
+    use crate::netbench::{run_net_load, NetLoadConfig};
+
+    let mut fig = FigureResult::new(
+        "abl11",
+        "TCP front door: delivered throughput + adaptive wire batching (1 CC / 2 exec)".to_string(),
+        "offered_fraction_of_capacity (0 = closed loop)",
+        "txns/sec (batch series: completions/frame, txns/read-syscall)",
+    );
+    let spec = MicroSpec::zipf(bc.n_records as u64, 10, 0.9, false);
+    let mut bc_cb = bc.clone();
+    bc_cb.admission = AdmissionPolicy::conflict_batch();
+    // The same thread shape the net run uses, so the comparison isolates
+    // the wire instead of the engine size.
+    let capacity = run_orthrus_custom(spec.clone(), 1, 2, true, None, 16, &bc_cb).throughput();
+
+    let mut load = NetLoadConfig::from_env(&bc_cb);
+    load.policy = AdmissionPolicy::conflict_batch();
+
+    let mut inproc = Series::new("in-process txns/sec (capacity)");
+    let mut tput = Series::new("tcp delivered txns/sec");
+    let mut txb = Series::new("wire tx batch mean (completions/frame)");
+    let mut rxb = Series::new("wire rx batch mean (txns/frame)");
+    let mut per_read = Series::new("txns per read syscall");
+    for frac in [0.0f64, 0.5, 1.3] {
+        load.rate = capacity * frac; // 0.0 stays closed-loop
+        let r = run_net_load(&spec, &load, &bc_cb);
+        inproc.push(frac, capacity); // flat row: the reference line
+        tput.push(frac, r.throughput());
+        txb.push(frac, r.tx_batch_mean());
+        rxb.push(frac, r.rx_batch_mean());
+        per_read.push(frac, r.txns_per_read_call());
+    }
+    fig.series.push(inproc);
+    fig.series.push(tput);
+    fig.series.push(txb);
+    fig.series.push(rxb);
+    fig.series.push(per_read);
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +767,29 @@ mod tests {
                 s.label
             );
         }
+    }
+
+    #[test]
+    fn net_ablation_delivers_over_tcp() {
+        let _serial = crate::test_serial();
+        let bc = BenchConfig::test_quick();
+        let fig = abl11_net(&bc);
+        assert_eq!(fig.series.len(), 5);
+        let tput = &fig.series[1];
+        assert_eq!(tput.label, "tcp delivered txns/sec");
+        assert!(
+            tput.points.iter().all(|&(_, y)| y > 0.0),
+            "every load point must deliver work over TCP: {:?}",
+            tput.points
+        );
+        // Frame occupancy is a mean over ≥1-item flushes — it can never
+        // be reported below 1 when any frame went out.
+        let txb = &fig.series[2];
+        assert!(
+            txb.points.iter().all(|&(_, y)| y >= 1.0),
+            "{:?}",
+            txb.points
+        );
     }
 
     #[test]

@@ -64,11 +64,49 @@ pub struct BenchConfig {
     pub replay_threads: usize,
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// Parse a numeric knob. Unset → `default`; present but malformed → a
+/// hard error naming the knob. The old behaviour (silently falling back
+/// to the default) meant a typo'd `ORTHRUS_MEASURE_MS=25O` benchmarked
+/// the wrong configuration without a trace — the same reasoning as the
+/// policy knobs below.
+pub(crate) fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}={v:?} is not a valid integer: {e}")),
+        Err(_) => default,
+    }
+}
+
+/// TCP front-end tuning from `ORTHRUS_NET_*` (each knob defaults to
+/// [`orthrus_net::NetConfig::default`]):
+///
+/// - `ORTHRUS_NET_ADDR` — listen address (`127.0.0.1:0` = ephemeral);
+/// - `ORTHRUS_NET_BATCH_MIN` / `ORTHRUS_NET_BATCH_MAX` — adaptive wire
+///   batcher ladder bounds;
+/// - `ORTHRUS_NET_RING` — per-connection completion-ring capacity;
+/// - `ORTHRUS_NET_READBUF` — socket read buffer bytes;
+/// - `ORTHRUS_NET_BACKPRESSURE` — parked-request cap before a
+///   connection stops reading (ring-full → TCP flow control).
+///
+/// Malformed values are hard errors, like every other knob here.
+pub fn net_config_from_env() -> orthrus_net::NetConfig {
+    let mut cfg = orthrus_net::NetConfig::default();
+    if let Ok(addr) = std::env::var("ORTHRUS_NET_ADDR") {
+        cfg.addr = addr
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("ORTHRUS_NET_ADDR={addr:?} is not a socket address: {e}"));
+    }
+    cfg.batch_min = env_u64("ORTHRUS_NET_BATCH_MIN", cfg.batch_min as u64).max(1) as usize;
+    cfg.batch_max =
+        env_u64("ORTHRUS_NET_BATCH_MAX", cfg.batch_max as u64).max(cfg.batch_min as u64) as usize;
+    cfg.client_ring = env_u64("ORTHRUS_NET_RING", cfg.client_ring as u64).max(2) as usize;
+    cfg.read_buf = env_u64("ORTHRUS_NET_READBUF", cfg.read_buf as u64).max(512) as usize;
+    cfg.backpressure_cap =
+        env_u64("ORTHRUS_NET_BACKPRESSURE", cfg.backpressure_cap as u64).max(1) as usize;
+    cfg
 }
 
 /// Parse `ORTHRUS_ADMISSION`; a present-but-invalid value is a hard error
@@ -232,6 +270,7 @@ mod tests {
 
     #[test]
     fn defaults_are_sane() {
+        let _serial = crate::test_serial();
         let bc = BenchConfig::from_env();
         assert!(bc.n_records > 0);
         assert!(bc.measure > Duration::ZERO);
@@ -244,6 +283,64 @@ mod tests {
                 "default must be the seed's admission order"
             );
         }
+    }
+
+    /// A present-but-malformed numeric knob must abort with the knob's
+    /// name, not silently benchmark the default. One test per knob: the
+    /// regression here was exactly one call site quietly swallowing
+    /// `parse().ok()`, so each knob pins its own path.
+    macro_rules! malformed_knob_panics {
+        ($($test:ident : $knob:literal => $read:expr;)+) => {$(
+            #[test]
+            fn $test() {
+                let _serial = crate::test_serial();
+                std::env::set_var($knob, "not-a-number");
+                let got = std::panic::catch_unwind(|| {
+                    let _ = $read;
+                });
+                std::env::remove_var($knob);
+                let err = got.expect_err("malformed knob must panic");
+                let msg = err
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_else(|| "panic payload was not a String".into());
+                assert!(
+                    msg.contains($knob),
+                    "panic must name the offending knob: {msg:?}"
+                );
+            }
+        )+};
+    }
+
+    malformed_knob_panics! {
+        malformed_measure_ms_panics: "ORTHRUS_MEASURE_MS" => BenchConfig::from_env();
+        malformed_warmup_ms_panics: "ORTHRUS_WARMUP_MS" => BenchConfig::from_env();
+        malformed_seed_panics: "ORTHRUS_SEED" => BenchConfig::from_env();
+        malformed_records_panics: "ORTHRUS_RECORDS" => BenchConfig::from_env();
+        malformed_recsize_panics: "ORTHRUS_RECSIZE" => BenchConfig::from_env();
+        malformed_tpcc_cpd_panics: "ORTHRUS_TPCC_CPD" => BenchConfig::from_env();
+        malformed_tpcc_items_panics: "ORTHRUS_TPCC_ITEMS" => BenchConfig::from_env();
+        malformed_tpcc_oslots_panics: "ORTHRUS_TPCC_OSLOTS" => BenchConfig::from_env();
+        malformed_max_threads_panics: "ORTHRUS_MAX_THREADS" => BenchConfig::from_env();
+        malformed_flush_threshold_panics: "ORTHRUS_FLUSH_THRESHOLD" => BenchConfig::from_env();
+        malformed_checkpoint_panics: "ORTHRUS_CHECKPOINT" => BenchConfig::from_env();
+        malformed_replay_threads_panics: "ORTHRUS_REPLAY_THREADS" => BenchConfig::from_env();
+        malformed_net_addr_panics: "ORTHRUS_NET_ADDR" => net_config_from_env();
+        malformed_net_batch_min_panics: "ORTHRUS_NET_BATCH_MIN" => net_config_from_env();
+        malformed_net_batch_max_panics: "ORTHRUS_NET_BATCH_MAX" => net_config_from_env();
+        malformed_net_ring_panics: "ORTHRUS_NET_RING" => net_config_from_env();
+        malformed_net_readbuf_panics: "ORTHRUS_NET_READBUF" => net_config_from_env();
+        malformed_net_backpressure_panics: "ORTHRUS_NET_BACKPRESSURE" => net_config_from_env();
+    }
+
+    #[test]
+    fn well_formed_knob_overrides_and_unset_defaults() {
+        let _serial = crate::test_serial();
+        std::env::set_var("ORTHRUS_SEED", " 1234 "); // whitespace tolerated
+        let bc = BenchConfig::from_env();
+        std::env::remove_var("ORTHRUS_SEED");
+        assert_eq!(bc.seed, 1234);
+        assert_eq!(BenchConfig::from_env().seed, 42, "unset falls back");
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Adaptive wire batching: walk the frame-size setpoint along the
+//! shared power-of-two ladder.
+//!
+//! One frame costs one syscall and (server-side) one session push — the
+//! wire analogue of the engine's fabric batching. The right batch size
+//! depends on load: under light load a small setpoint flushes frames
+//! immediately (latency), under heavy load a large one amortizes the
+//! fixed per-frame costs over many requests (throughput). Rather than a
+//! knob, the setpoint is *steered*, mirroring the group-fsync
+//! coordinator's interval controller (PR 7) and the adaptive admission
+//! depth (PR 3): both walk `orthrus_core::ladder` with hysteresis so a
+//! noisy signal cannot thrash the knob.
+//!
+//! The signal is flush occupancy. Every flush [`observe`]s how many
+//! items it carried: flushes that *overflow* the current setpoint are
+//! evidence the producer outpaces it (step up after a short streak —
+//! exact fills don't count, or the floor would oscillate); flushes
+//! under a quarter of it — or carrying a single item — are evidence of
+//! over-waiting (step down after a longer streak: shrinking hurts
+//! throughput, so the controller demands more proof). In between,
+//! streaks reset and the setpoint holds.
+//!
+//! [`observe`]: AdaptiveBatcher::observe
+
+use orthrus_core::ladder::{step_down, step_up};
+
+/// Consecutive full flushes before the setpoint doubles.
+const UP_PATIENCE: u32 = 2;
+/// Consecutive near-empty flushes before the setpoint halves.
+const DOWN_PATIENCE: u32 = 8;
+
+/// Hysteresis controller for the per-frame batch setpoint.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatcher {
+    size: usize,
+    min: usize,
+    max: usize,
+    full_streak: u32,
+    sparse_streak: u32,
+}
+
+impl AdaptiveBatcher {
+    /// Start at `min` (latency-first: batches grow only under evidence).
+    pub fn new(min: usize, max: usize) -> Self {
+        let min = min.max(1);
+        let max = max.max(min);
+        AdaptiveBatcher {
+            size: min,
+            min,
+            max,
+            full_streak: 0,
+            sparse_streak: 0,
+        }
+    }
+
+    /// The current setpoint: flush when this many items are pending (or
+    /// when the connection goes idle, whichever is first).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Record a flush of `n` items and steer the setpoint.
+    pub fn observe(&mut self, n: usize) {
+        if n > self.size {
+            self.sparse_streak = 0;
+            self.full_streak += 1;
+            if self.full_streak >= UP_PATIENCE {
+                self.size = step_up(self.size, self.max);
+                self.full_streak = 0;
+            }
+        } else if n <= 1 || n * 4 <= self.size {
+            self.full_streak = 0;
+            self.sparse_streak += 1;
+            if self.sparse_streak >= DOWN_PATIENCE {
+                self.size = step_down(self.size, self.min);
+                self.sparse_streak = 0;
+            }
+        } else {
+            self.full_streak = 0;
+            self.sparse_streak = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustained_full_flushes_climb_to_max() {
+        let mut b = AdaptiveBatcher::new(1, 64);
+        for _ in 0..100 {
+            b.observe(b.size() + 1); // overflowing: producer outpaces
+        }
+        assert_eq!(b.size(), 64, "saturated flushes must reach the ceiling");
+    }
+
+    #[test]
+    fn sustained_sparse_flushes_fall_back_to_min() {
+        let mut b = AdaptiveBatcher::new(1, 64);
+        for _ in 0..100 {
+            b.observe(b.size() + 1);
+        }
+        assert_eq!(b.size(), 64);
+        for _ in 0..200 {
+            b.observe(1); // single-item flushes: over-waiting
+        }
+        assert_eq!(b.size(), 1, "idle wire must walk back down for latency");
+    }
+
+    #[test]
+    fn floor_is_stable_under_single_item_flushes() {
+        // At the floor, a one-item flush is NOT growth evidence (exact
+        // fill ≠ overflow) — otherwise a trickle load would oscillate
+        // between 1 and 2 forever.
+        let mut b = AdaptiveBatcher::new(1, 64);
+        for _ in 0..100 {
+            b.observe(1);
+        }
+        assert_eq!(b.size(), 1);
+    }
+
+    #[test]
+    fn moderate_occupancy_holds_steady() {
+        let mut b = AdaptiveBatcher::new(1, 64);
+        for _ in 0..10 {
+            b.observe(b.size() + 1);
+        }
+        let plateau = b.size();
+        assert!(plateau > 1);
+        // Half-full flushes (between the thresholds) never move the knob.
+        for _ in 0..1000 {
+            b.observe(plateau / 2);
+        }
+        assert_eq!(b.size(), plateau);
+    }
+
+    #[test]
+    fn shrinking_needs_more_proof_than_growing() {
+        let mut b = AdaptiveBatcher::new(1, 16);
+        b.observe(2);
+        b.observe(2);
+        assert_eq!(b.size(), 2, "two overflowing flushes at size 1 step up");
+        // A couple of sparse flushes at the larger size must NOT step
+        // back down — only a sustained streak does.
+        b.observe(0);
+        b.observe(0);
+        assert_eq!(b.size(), 2);
+        for _ in 0..DOWN_PATIENCE {
+            b.observe(0);
+        }
+        assert_eq!(b.size(), 1);
+    }
+
+    #[test]
+    fn bounds_are_respected_and_degenerate_inputs_clamped() {
+        let mut b = AdaptiveBatcher::new(0, 0); // clamps to [1, 1]
+        for _ in 0..10 {
+            b.observe(100);
+        }
+        assert_eq!(b.size(), 1);
+        let mut b = AdaptiveBatcher::new(8, 4); // max < min: clamps to min
+        assert_eq!(b.size(), 8);
+        for _ in 0..10 {
+            b.observe(100);
+        }
+        assert_eq!(b.size(), 8);
+    }
+}

@@ -1,0 +1,372 @@
+//! The wire protocol: length-prefixed, CRC'd, versioned frames.
+//!
+//! The framing reuses the command log's idioms
+//! (`orthrus_storage::log`): a little-endian header carrying an
+//! explicit payload length, a CRC-32 (the same vendored IEEE table) over
+//! the payload, and a version byte so future protocol revisions can
+//! coexist on one port. Programs inside request payloads use the shared
+//! [`orthrus_txn::codec`] encoding — the same bytes the command log
+//! writes.
+//!
+//! ```text
+//! frame   := magic(2, LE "ON") ver(1) kind(1) len(4, LE) crc(4, LE) payload(len)
+//! request := count(4) { req_id(8) program }*
+//! response:= count(4) { req_id(8) latency_ns(8) }*
+//! ```
+//!
+//! ## Rejection policy (desync-free)
+//!
+//! The header itself has no checksum; its integrity check is the magic.
+//! A frame whose header *is* intact but whose version is unknown, whose
+//! CRC mismatches, or whose payload fails to parse is **skipped whole**
+//! (`len` is trusted once the magic matches) and counted — the stream
+//! stays usable, later frames decode normally. A bad magic or an
+//! implausible length means framing itself is lost; that is fatal
+//! ([`WireError::Desync`]) and the connection must close — resyncing a
+//! byte stream with no record markers would be guesswork.
+
+use orthrus_storage::log::crc32;
+use orthrus_txn::codec::{decode_program, encode_program, Reader};
+use orthrus_txn::Program;
+
+/// First two bytes of every frame ("Orthrus Net").
+pub const FRAME_MAGIC: [u8; 2] = *b"ON";
+/// Current protocol version.
+pub const WIRE_VERSION: u8 = 1;
+/// Frame kind: client → server batch of requests.
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind: server → client batch of completions.
+pub const KIND_RESPONSE: u8 = 2;
+/// Header bytes before the payload.
+pub const HEADER_BYTES: usize = 12;
+/// Sanity cap on one frame's payload: a larger length prefix is treated
+/// as lost framing, not as an allocation request (same rationale as the
+/// command log's record cap).
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// One completed request as it travels back over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionMsg {
+    /// Client-chosen correlation id from the request.
+    pub req_id: u64,
+    /// Submit → commit latency measured by the engine.
+    pub latency_ns: u64,
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// `(req_id, program)` pairs, in wire order.
+    Request(Vec<(u64, Program)>),
+    Response(Vec<CompletionMsg>),
+}
+
+/// Fatal stream errors (non-fatal corruption is *counted*, not raised —
+/// see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Framing lost: bad magic or implausible length. Close the stream.
+    Desync(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Desync(msg) => write!(f, "wire desync: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_header(kind: u8, payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encode one request frame carrying a whole batch of programs.
+pub fn encode_request(reqs: &[(u64, Program)], out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(16 * reqs.len() + 4);
+    payload.extend_from_slice(&(reqs.len() as u32).to_le_bytes());
+    for (req_id, program) in reqs {
+        payload.extend_from_slice(&req_id.to_le_bytes());
+        encode_program(program, &mut payload);
+    }
+    put_header(KIND_REQUEST, &payload, out);
+}
+
+/// Encode one response frame carrying a batch of completions.
+pub fn encode_response(resps: &[CompletionMsg], out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(16 * resps.len() + 4);
+    payload.extend_from_slice(&(resps.len() as u32).to_le_bytes());
+    for r in resps {
+        payload.extend_from_slice(&r.req_id.to_le_bytes());
+        payload.extend_from_slice(&r.latency_ns.to_le_bytes());
+    }
+    put_header(KIND_RESPONSE, &payload, out);
+}
+
+fn parse_request(payload: &[u8]) -> Option<Vec<(u64, Program)>> {
+    let mut r = Reader::new(payload);
+    let n = r.u32().ok()?;
+    let mut reqs = Vec::with_capacity((n as usize).min(4096));
+    for _ in 0..n {
+        let req_id = r.u64().ok()?;
+        let program = decode_program(&mut r).ok()?;
+        reqs.push((req_id, program));
+    }
+    (r.remaining() == 0).then_some(reqs)
+}
+
+fn parse_response(payload: &[u8]) -> Option<Vec<CompletionMsg>> {
+    let mut r = Reader::new(payload);
+    let n = r.u32().ok()?;
+    let mut resps = Vec::with_capacity((n as usize).min(4096));
+    for _ in 0..n {
+        resps.push(CompletionMsg {
+            req_id: r.u64().ok()?,
+            latency_ns: r.u64().ok()?,
+        });
+    }
+    (r.remaining() == 0).then_some(resps)
+}
+
+/// Incremental frame decoder over a byte stream. Feed it whatever a
+/// socket read produced; pop whole frames as they complete. Torn frames
+/// (header or payload still in flight) simply wait for more bytes.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily to amortize the memmove.
+    pos: usize,
+    bad_frames: u64,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append raw stream bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: the common case keeps the buffer at one
+        // in-flight frame, not the whole connection history.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed (torn-frame tail).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Frames skipped for non-fatal corruption (bad version, bad CRC,
+    /// unparseable payload) since construction.
+    pub fn bad_frames(&self) -> u64 {
+        self.bad_frames
+    }
+
+    /// Decode the next complete frame: `Ok(Some)` on success, `Ok(None)`
+    /// when more bytes are needed, `Err` when framing is lost (close the
+    /// stream). Corrupt-but-framed messages are skipped and counted, so
+    /// one call may consume several wire frames before returning.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        loop {
+            let avail = &self.buf[self.pos..];
+            if avail.len() < HEADER_BYTES {
+                return Ok(None);
+            }
+            if avail[0..2] != FRAME_MAGIC {
+                return Err(WireError::Desync(format!(
+                    "bad magic {:02x}{:02x}",
+                    avail[0], avail[1]
+                )));
+            }
+            let ver = avail[2];
+            let kind = avail[3];
+            let len = u32::from_le_bytes(avail[4..8].try_into().unwrap());
+            let crc = u32::from_le_bytes(avail[8..12].try_into().unwrap());
+            if len > MAX_PAYLOAD {
+                return Err(WireError::Desync(format!("implausible length {len}")));
+            }
+            if avail.len() < HEADER_BYTES + len as usize {
+                return Ok(None); // torn: wait for the rest
+            }
+            let payload = &avail[HEADER_BYTES..HEADER_BYTES + len as usize];
+            self.pos += HEADER_BYTES + len as usize;
+            if ver != WIRE_VERSION || crc32(payload) != crc {
+                self.bad_frames += 1;
+                continue; // skipped whole; the stream stays in sync
+            }
+            let parsed = match kind {
+                KIND_REQUEST => parse_request(payload).map(Frame::Request),
+                KIND_RESPONSE => parse_response(payload).map(Frame::Response),
+                _ => None,
+            };
+            match parsed {
+                Some(frame) => return Ok(Some(frame)),
+                None => {
+                    self.bad_frames += 1;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rmw(key: u64) -> Program {
+        Program::Rmw { keys: vec![key] }
+    }
+
+    fn sample_batch(n: u64) -> Vec<(u64, Program)> {
+        (0..n).map(|i| (i * 7, rmw(i))).collect()
+    }
+
+    #[test]
+    fn request_roundtrips_through_the_decoder() {
+        let reqs = sample_batch(5);
+        let mut wire = Vec::new();
+        encode_request(&reqs, &mut wire);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.next_frame().unwrap(), Some(Frame::Request(reqs)));
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.bad_frames(), 0);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = vec![
+            CompletionMsg {
+                req_id: 3,
+                latency_ns: 1_000,
+            },
+            CompletionMsg {
+                req_id: 9,
+                latency_ns: u64::MAX,
+            },
+        ];
+        let mut wire = Vec::new();
+        encode_response(&resps, &mut wire);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.next_frame().unwrap(), Some(Frame::Response(resps)));
+    }
+
+    #[test]
+    fn torn_frame_waits_for_the_rest() {
+        let reqs = sample_batch(3);
+        let mut wire = Vec::new();
+        encode_request(&reqs, &mut wire);
+        let mut d = FrameDecoder::new();
+        // Deliver byte by byte: never a frame until the last byte lands.
+        for (i, &b) in wire.iter().enumerate() {
+            d.feed(&[b]);
+            let got = d.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert_eq!(
+                    got,
+                    None,
+                    "frame surfaced {} bytes early",
+                    wire.len() - i - 1
+                );
+            } else {
+                assert_eq!(got, Some(Frame::Request(reqs.clone())));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_crc_is_skipped_without_desyncing() {
+        let mut wire = Vec::new();
+        encode_request(&sample_batch(2), &mut wire);
+        let corrupt_at = wire.len() - 1; // last payload byte
+        wire[corrupt_at] ^= 0xFF;
+        let good = sample_batch(4);
+        encode_request(&good, &mut wire);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        // The corrupt frame vanishes; the next good frame decodes.
+        assert_eq!(d.next_frame().unwrap(), Some(Frame::Request(good)));
+        assert_eq!(d.bad_frames(), 1);
+    }
+
+    #[test]
+    fn bad_version_is_skipped_without_desyncing() {
+        let mut wire = Vec::new();
+        encode_request(&sample_batch(1), &mut wire);
+        wire[2] = 99; // version byte
+        let good = sample_batch(2);
+        encode_request(&good, &mut wire);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.next_frame().unwrap(), Some(Frame::Request(good)));
+        assert_eq!(d.bad_frames(), 1);
+    }
+
+    #[test]
+    fn unknown_kind_is_skipped_without_desyncing() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        let mut wire = Vec::new();
+        put_header(77, &payload, &mut wire);
+        let good = sample_batch(1);
+        encode_request(&good, &mut wire);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.next_frame().unwrap(), Some(Frame::Request(good)));
+        assert_eq!(d.bad_frames(), 1);
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut wire = Vec::new();
+        encode_request(&sample_batch(1), &mut wire);
+        wire[0] = b'X';
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next_frame(), Err(WireError::Desync(_))));
+    }
+
+    #[test]
+    fn implausible_length_is_fatal() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&FRAME_MAGIC);
+        wire.push(WIRE_VERSION);
+        wire.push(KIND_REQUEST);
+        wire.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next_frame(), Err(WireError::Desync(_))));
+    }
+
+    #[test]
+    fn many_frames_in_one_feed_pop_in_order() {
+        let mut wire = Vec::new();
+        for n in 1..6u64 {
+            encode_request(&sample_batch(n), &mut wire);
+        }
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        for n in 1..6u64 {
+            assert_eq!(
+                d.next_frame().unwrap(),
+                Some(Frame::Request(sample_batch(n)))
+            );
+        }
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.pending_bytes(), 0);
+    }
+}

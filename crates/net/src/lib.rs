@@ -1,0 +1,34 @@
+//! # orthrus-net — the TCP front door
+//!
+//! Everything before this crate drives the engine in-process; real
+//! deployments of the paper's design (Ren, Faleiro & Abadi, SIGMOD'16)
+//! face clients over a network, and the wire is its own contention
+//! point: a naive one-txn-per-syscall front-end bottlenecks long before
+//! the lock manager does. This crate adds that missing layer:
+//!
+//! - [`codec`] — the framed binary protocol: length-prefixed, CRC'd,
+//!   versioned frames (the same framing discipline as the command log)
+//!   carrying batches of [`Program`](orthrus_txn::Program)s inbound and
+//!   completion messages outbound, with a desync-free decoder that
+//!   skips damaged-but-framed input and only gives up when the stream
+//!   itself is unrecoverable.
+//! - [`batch`] — **adaptive wire batching**: the per-connection flush
+//!   setpoint walks the shared power-of-two ladder on flush-occupancy
+//!   evidence, so batch size tracks offered load instead of being a
+//!   hand-tuned constant.
+//! - [`server`] — the listener/connection threads: engine ring-full
+//!   backpressure is mapped onto TCP flow control (stop reading → the
+//!   window closes), and every accepted ticket is conserved per
+//!   connection even through abrupt disconnects.
+//! - [`client`] — a deliberately boring blocking client for load
+//!   generation and tests.
+
+pub mod batch;
+pub mod client;
+pub mod codec;
+pub mod server;
+
+pub use batch::AdaptiveBatcher;
+pub use client::NetClient;
+pub use codec::{CompletionMsg, Frame, FrameDecoder, WireError};
+pub use server::{NetConfig, NetServer, FP_NET_READ};

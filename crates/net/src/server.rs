@@ -1,0 +1,567 @@
+//! The TCP front door: listener + per-connection loops over the engine.
+//!
+//! Thread layout mirrors the engine's single-drainer invariant:
+//!
+//! - **`netlisten`** owns the [`EngineHandle`]. It accepts connections
+//!   (non-blocking) and is the *single pump*: it drains the engine's
+//!   completion rings and [`CompletionHub::route`]s each completion to
+//!   the owning connection's [`ClientRx`] ring.
+//! - **`netconn{i}`** (one per accepted connection, numbered in accept
+//!   order) runs the connection state machine: decode request frames,
+//!   submit through a cloned [`Session`] with
+//!   [`Session::try_submit_batch`] — one session push per wire batch —
+//!   drain its own `ClientRx`, and flush response frames, one write
+//!   syscall per flush, sized by the [`AdaptiveBatcher`].
+//!
+//! Backpressure is end-to-end: when the engine's ingest rings reject a
+//! batch, the rejected programs park in a bounded per-connection queue
+//! and the connection **stops reading its socket** until they drain.
+//! The kernel's receive buffer fills, the TCP window closes, and the
+//! client's `write` blocks — ring-full pressure mapped onto TCP flow
+//! control with no RST and no unbounded server-side buffering.
+//!
+//! Both thread kinds enroll in the deterministic-simulation seam under
+//! their thread names, so `orthrus-sim` can interleave them with the
+//! engine's CC/exec threads. Socket readiness itself is OS timing the
+//! scheduler cannot capture, so net sim runs assert *convergence and
+//! conservation* (every accepted ticket answered or accounted), not
+//! trace-hash bit-identity like the in-process corpus.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use orthrus_common::failpoint::{global as failpoints, FailAction};
+use orthrus_common::{sim, Backoff, ThreadStats};
+use orthrus_core::{ClientRx, Completion, CompletionHub, EngineHandle, Session};
+use orthrus_txn::Program;
+
+use crate::batch::AdaptiveBatcher;
+use crate::codec::{encode_response, CompletionMsg, Frame, FrameDecoder, WireError};
+
+/// Failpoint hit on every socket read in the connection loop.
+/// `Err` injects an I/O error (connection teardown path); `Torn(keep)`
+/// delivers only the first `keep` bytes of the read — the stream then
+/// desyncs and the decoder's fatal-desync path closes the connection.
+pub const FP_NET_READ: &str = "net.read";
+
+/// How long a closing connection waits for in-flight tickets to
+/// complete before giving up and orphaning them.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Max parked programs re-offered to the engine per loop iteration
+/// (see the retry step in [`ConnState::run`]).
+const RETRY_CHUNK: usize = 64;
+
+/// Front-end tuning. Every field has an `ORTHRUS_NET_*` knob in the
+/// harness (see `orthrus-harness::config`).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Listen address; port 0 picks an ephemeral port (see
+    /// [`NetServer::addr`]).
+    pub addr: SocketAddr,
+    /// Adaptive batcher floor (frames flush at least this full, or on
+    /// idle).
+    pub batch_min: usize,
+    /// Adaptive batcher ceiling.
+    pub batch_max: usize,
+    /// Per-connection completion-ring capacity (rounded up to a power
+    /// of two by the hub).
+    pub client_ring: usize,
+    /// Socket read buffer size per connection.
+    pub read_buf: usize,
+    /// Max decoded-but-unsubmitted programs a connection holds before
+    /// it stops reading its socket (the ring-full → TCP flow-control
+    /// mapping).
+    pub backpressure_cap: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            batch_min: 1,
+            batch_max: 256,
+            client_ring: 1024,
+            read_buf: 64 * 1024,
+            backpressure_cap: 4096,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Parse and set the listen address.
+    pub fn with_addr<A: ToSocketAddrs>(mut self, addr: A) -> std::io::Result<Self> {
+        self.addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address"))?;
+        Ok(self)
+    }
+}
+
+/// A running TCP front-end. Owns the engine (via the listener thread)
+/// until [`shutdown`](Self::shutdown) hands it back.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    hub: Arc<CompletionHub>,
+    session: Session,
+    listener: Option<JoinHandle<(EngineHandle, ThreadStats)>>,
+}
+
+impl NetServer {
+    /// Bind, spawn the listener thread, and start serving. The engine
+    /// handle moves into the listener (single-drainer invariant); get it
+    /// back from [`shutdown`](Self::shutdown).
+    pub fn start(handle: EngineHandle, cfg: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let session = handle.session();
+        let hub = Arc::new(CompletionHub::new(session.clone()));
+
+        let jh = {
+            let stop = Arc::clone(&stop);
+            let hub = Arc::clone(&hub);
+            let session = session.clone();
+            std::thread::Builder::new()
+                .name("netlisten".into())
+                .spawn(move || listen_loop(listener, handle, session, hub, stop, cfg))
+                .expect("spawn netlisten")
+        };
+
+        Ok(NetServer {
+            addr,
+            stop,
+            hub,
+            session,
+            listener: Some(jh),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloned in-process session — the harness fast path still works
+    /// alongside the TCP front door (its completions count as *unowned*
+    /// in the hub; they are drained and dropped by the pump).
+    pub fn session(&self) -> Session {
+        self.session.clone()
+    }
+
+    /// The completion router, for conservation accounting
+    /// (`routed + orphaned + unowned` = completions drained).
+    pub fn hub(&self) -> &CompletionHub {
+        &self.hub
+    }
+
+    /// Stop accepting, drain in-flight work (bounded by a deadline),
+    /// join every thread, and hand back the engine plus the merged
+    /// network-side [`ThreadStats`]. Does **not** shut the engine down —
+    /// that stays the caller's call.
+    pub fn shutdown(mut self) -> (EngineHandle, ThreadStats) {
+        self.stop.store(true, Ordering::SeqCst);
+        let jh = self.listener.take().expect("shutdown is once");
+        jh.join().expect("netlisten panicked")
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if let Some(jh) = self.listener.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = jh.join();
+        }
+    }
+}
+
+/// Accept + pump loop; owns the engine handle for its whole life.
+fn listen_loop(
+    listener: TcpListener,
+    mut handle: EngineHandle,
+    session: Session,
+    hub: Arc<CompletionHub>,
+    stop: Arc<AtomicBool>,
+    cfg: NetConfig,
+) -> (EngineHandle, ThreadStats) {
+    let _sim = sim::enroll("netlisten");
+    let conn_stats: Arc<parking_lot::Mutex<ThreadStats>> = Arc::default();
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn = 0usize;
+    let mut drained: Vec<Completion> = Vec::new();
+    let mut backoff = Backoff::new();
+
+    loop {
+        let mut progress = false;
+
+        if !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    progress = true;
+                    let name = format!("netconn{next_conn}");
+                    next_conn += 1;
+                    let rx = hub.register(cfg.client_ring);
+                    let conn = ConnState::new(stream, session.clone(), rx, &cfg);
+                    let hub = Arc::clone(&hub);
+                    let stop = Arc::clone(&stop);
+                    let stats = Arc::clone(&conn_stats);
+                    let jh = std::thread::Builder::new()
+                        .name(name.clone())
+                        .spawn(move || {
+                            let _sim = sim::enroll(&name);
+                            let local = conn.run(&stop, &hub);
+                            stats.lock().merge(&local);
+                        })
+                        .expect("spawn netconn");
+                    conns.push(jh);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failure (EMFILE and friends):
+                    // back off and keep serving existing connections.
+                }
+            }
+        }
+
+        drained.clear();
+        if handle.drain_completions(&mut drained) > 0 {
+            hub.route(&drained);
+            progress = true;
+        }
+
+        if stop.load(Ordering::Relaxed) && conns.iter().all(|jh| jh.is_finished()) {
+            break;
+        }
+        if progress {
+            backoff.reset();
+        } else if backoff.is_yielding() {
+            // Idle means no completions and no connection attempts — a
+            // socket-timescale lull. Yield-looping here would starve the
+            // engine threads on an oversubscribed host (every wire
+            // thread burning its quantum re-checking empty rings), so
+            // sleep once the spin budget is spent. Unreachable when the
+            // sim scheduler has this thread enrolled: `snooze` parks
+            // via the sim seam without advancing the backoff step.
+            std::thread::sleep(Duration::from_micros(100));
+        } else {
+            backoff.snooze();
+        }
+    }
+
+    for jh in conns {
+        let _ = jh.join();
+    }
+    // Final pump: route anything the last connections left behind so the
+    // hub's conservation counters (orphaned) balance.
+    drained.clear();
+    if handle.drain_completions(&mut drained) > 0 {
+        hub.route(&drained);
+    }
+    let stats = conn_stats.lock().clone();
+    (handle, stats)
+}
+
+/// Everything one connection thread owns.
+struct ConnState {
+    stream: TcpStream,
+    session: Session,
+    rx: ClientRx,
+    batcher: AdaptiveBatcher,
+    decoder: FrameDecoder,
+    /// Decoded but not yet accepted by the engine (ring-full
+    /// backpressure parks requests here; bounded by `backpressure_cap`,
+    /// beyond which the socket goes unread).
+    pending: VecDeque<(u64, Program)>,
+    /// Accepted tickets awaiting completion, mapped back to the
+    /// client's request ids.
+    inflight: HashMap<u64, u64>,
+    /// Completions translated to wire messages, awaiting a flush.
+    outbox: Vec<CompletionMsg>,
+    /// Encoded frames awaiting (possibly partial) socket writes.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    rdbuf: Vec<u8>,
+    backpressure_cap: usize,
+    stats: ThreadStats,
+}
+
+impl ConnState {
+    fn new(stream: TcpStream, session: Session, rx: ClientRx, cfg: &NetConfig) -> Self {
+        let _ = stream.set_nodelay(true);
+        // Blocking socket with a short read timeout: the kernel wakes
+        // this thread the moment request bytes arrive (instead of the
+        // thread polling a non-blocking fd on a sleep cadence), and a
+        // timed-out read doubles as the idle wait. The write timeout
+        // bounds how long a stalled peer can pin the thread mid-flush;
+        // the partial-write buffer keeps the tail for the next pass.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+        ConnState {
+            stream,
+            session,
+            rx,
+            batcher: AdaptiveBatcher::new(cfg.batch_min, cfg.batch_max),
+            decoder: FrameDecoder::new(),
+            pending: VecDeque::new(),
+            inflight: HashMap::new(),
+            outbox: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            rdbuf: vec![0u8; cfg.read_buf.max(512)],
+            backpressure_cap: cfg.backpressure_cap.max(1),
+            stats: ThreadStats::default(),
+        }
+    }
+
+    /// The connection state machine. Returns this connection's stats.
+    fn run(mut self, stop: &AtomicBool, hub: &CompletionHub) -> ThreadStats {
+        let client_id = self.rx.id();
+        let mut backoff = Backoff::new();
+        let mut comp: Vec<Completion> = Vec::new();
+        // Set on peer close, fatal I/O error, or wire desync: stop
+        // reading, flush what we can, exit.
+        let mut dead = false;
+        // Set when the engine refuses new work (shutdown): requests
+        // still parked in `pending` will never be answered; drop them
+        // and let the closing socket tell the client.
+        let mut engine_closed = false;
+        let mut closing_since: Option<Instant> = None;
+
+        loop {
+            let mut progress = false;
+
+            // 1. Retry backpressured work first: FIFO per connection.
+            // Offer only the head of the queue — the engine can accept
+            // at most a ring's worth anyway, and re-offering thousands
+            // of parked programs per iteration (unzip, per-lane
+            // attempts, re-queue) burns the submission path's CPU in
+            // proportion to the backlog instead of the acceptance.
+            // A dead socket still drains its pending queue: work that
+            // made it off the wire before the disconnect is owed a
+            // ticket (its completions will be orphaned, not lost).
+            if !engine_closed && !self.pending.is_empty() {
+                let chunk = self.pending.len().min(RETRY_CHUNK);
+                let (ids, programs): (Vec<u64>, Vec<Program>) = self.pending.drain(..chunk).unzip();
+                let out = self.session.try_submit_batch(programs, Some(client_id));
+                engine_closed = out.shutdown;
+                progress |= !out.accepted.is_empty();
+                for (idx, ticket) in out.accepted {
+                    self.inflight.insert(ticket.0, ids[idx]);
+                }
+                let mut rejected = out.rejected;
+                rejected.sort_by_key(|(idx, _)| *idx);
+                // Back to the *front* (reversed, preserving order): the
+                // unoffered tail is still parked behind this chunk.
+                for (idx, program) in rejected.into_iter().rev() {
+                    self.pending.push_front((ids[idx], program));
+                }
+            }
+
+            // 2. Read the socket — but only while not backpressured:
+            // parked work closes the TCP window instead of growing an
+            // unbounded queue. The read blocks up to its 1 ms timeout,
+            // so a quiet socket doubles as this iteration's idle wait.
+            let mut waited = false;
+            let closing = dead || engine_closed || stop.load(Ordering::Relaxed);
+            if !closing && self.pending.len() < self.backpressure_cap {
+                match self.read_socket() {
+                    ReadOutcome::Bytes(n) => {
+                        self.stats.net_read_calls += 1;
+                        self.decoder.feed(&self.rdbuf[..n]);
+                        progress = true;
+                    }
+                    ReadOutcome::WouldBlock => waited = true,
+                    ReadOutcome::Closed => dead = true,
+                }
+                loop {
+                    match self.decoder.next_frame() {
+                        Ok(Some(Frame::Request(reqs))) => {
+                            self.stats.net_rx_frames += 1;
+                            self.stats.net_rx_txns += reqs.len() as u64;
+                            self.stats.net_rx_batch.record(reqs.len() as u64);
+                            self.pending.extend(reqs);
+                        }
+                        Ok(Some(Frame::Response(_))) => {
+                            // Clients don't send responses; treat as a
+                            // malformed-but-framed message and move on.
+                            self.stats.net_bad_frames += 1;
+                        }
+                        Ok(None) => break,
+                        Err(WireError::Desync(_)) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // 3. Drain completions for our tickets into the outbox.
+            comp.clear();
+            let n = self.rx.drain_into(&mut comp, 4096);
+            if n > 0 {
+                progress = true;
+                for c in &comp {
+                    // Owner tags are inserted before the ring push, and
+                    // `inflight` before this thread's next drain, so a
+                    // routed completion always resolves.
+                    if let Some(req_id) = self.inflight.remove(&c.ticket.0) {
+                        self.outbox.push(CompletionMsg {
+                            req_id,
+                            latency_ns: c.latency_ns,
+                        });
+                    }
+                }
+            }
+
+            // 4. Flush when the outbox reaches the adaptive setpoint, or
+            // when the connection went idle (don't sit on latency). A
+            // dead socket skips the flush — the drained completions are
+            // already accounted (routed) and the writes can only fail.
+            if !dead
+                && !self.outbox.is_empty()
+                && (self.outbox.len() >= self.batcher.size() || !progress)
+            {
+                self.flush_outbox();
+                progress = true;
+            }
+
+            // 5. Push queued bytes out; partial writes keep their tail.
+            if !dead && self.wpos < self.wbuf.len() {
+                match self.stream.write(&self.wbuf[self.wpos..]) {
+                    Ok(0) => dead = true,
+                    Ok(n) => {
+                        self.stats.net_write_calls += 1;
+                        self.wpos += n;
+                        if self.wpos == self.wbuf.len() {
+                            self.wbuf.clear();
+                            self.wpos = 0;
+                        }
+                        progress = true;
+                    }
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => dead = true,
+                }
+            }
+
+            // 6. Exit policy. A dead socket exits as soon as every
+            // request received before the disconnect has been handed to
+            // the engine (replies have nowhere to go, but accepted work
+            // must be accounted — the hub orphans those completions); a
+            // graceful close waits — bounded — for in-flight tickets so
+            // the client gets its answers.
+            if dead && self.pending.is_empty() {
+                break;
+            }
+            let closing = engine_closed || stop.load(Ordering::Relaxed);
+            if closing {
+                let deadline_passed = match closing_since {
+                    None => {
+                        closing_since = Some(Instant::now());
+                        false
+                    }
+                    Some(t) => t.elapsed() > DRAIN_DEADLINE,
+                };
+                let drained = self.pending.is_empty()
+                    && self.inflight.is_empty()
+                    && self.outbox.is_empty()
+                    && self.wpos >= self.wbuf.len();
+                if drained || deadline_passed {
+                    break;
+                }
+                if engine_closed && !self.pending.is_empty() {
+                    // These can never be accepted; the closed socket is
+                    // the client's (only) signal.
+                    self.pending.clear();
+                }
+            }
+
+            if progress {
+                backoff.reset();
+            } else if !waited {
+                // Idle, and the socket read didn't block this iteration
+                // (backpressured or closing). Sleep rather than
+                // yield-loop once the spin budget is spent — with many
+                // idle connections on few cores, spinning wire threads
+                // otherwise steal the quantum from the CC/exec threads
+                // doing the actual work (measured: 8 idle loopback
+                // connections cost >2× throughput on one core).
+                if backoff.is_yielding() {
+                    std::thread::sleep(Duration::from_micros(100));
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+
+        // Unregister *before* returning: completions for tickets still
+        // in flight will be counted as orphaned by the pump, keeping
+        // per-connection conservation auditable.
+        self.stats.net_bad_frames += self.decoder.bad_frames();
+        hub.unregister(client_id);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.stats
+    }
+
+    fn read_socket(&mut self) -> ReadOutcome {
+        match self.stream.read(&mut self.rdbuf) {
+            Ok(0) => ReadOutcome::Closed,
+            Ok(mut n) => {
+                match failpoints().hit(FP_NET_READ) {
+                    Some(FailAction::Err) => return ReadOutcome::Closed,
+                    Some(FailAction::Torn(keep)) => n = n.min(keep as usize),
+                    Some(FailAction::Maybe(_)) | None => {}
+                }
+                if n == 0 {
+                    ReadOutcome::WouldBlock
+                } else {
+                    ReadOutcome::Bytes(n)
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                ReadOutcome::WouldBlock
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => ReadOutcome::WouldBlock,
+            Err(_) => ReadOutcome::Closed,
+        }
+    }
+
+    /// Encode the whole outbox as response frames (chunked at the
+    /// batcher ceiling) and hand the bytes to the write buffer. One
+    /// flush = one frame per chunk, observed by the batcher.
+    fn flush_outbox(&mut self) {
+        // Compact the already-sent prefix so wbuf doesn't grow forever.
+        if self.wpos > 0 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        let cap = self.batcher.size().max(1);
+        for chunk in self.outbox.chunks(cap) {
+            encode_response(chunk, &mut self.wbuf);
+            self.stats.net_tx_frames += 1;
+            self.stats.net_tx_completions += chunk.len() as u64;
+            self.stats.net_tx_batch.record(chunk.len() as u64);
+        }
+        // Steer on total flush occupancy: what mattered was how much
+        // work accumulated between flushes, not the per-frame chunking.
+        self.batcher.observe(self.outbox.len());
+        self.outbox.clear();
+    }
+}
+
+enum ReadOutcome {
+    Bytes(usize),
+    WouldBlock,
+    Closed,
+}

@@ -3,19 +3,23 @@
 //! ```text
 //! sim explore --seeds N [--base B] [--txns T] [--verbose]
 //! sim run --seed S [--budget B] [--txns T] [--trace]
+//! sim net --seeds N [--base B]
 //! ```
 //!
 //! `explore` sweeps seeds and exits nonzero if any run violates an
 //! invariant, printing each failure with its minimized fault budget and
 //! a replayable trace tail. `run` replays one `(seed, budget)` pair —
-//! the reproduction line `explore` prints.
+//! the reproduction line `explore` prints. `net` sweeps the TCP
+//! front-door corpus (convergence + conservation; see
+//! `orthrus_sim::net`).
 
-use orthrus_sim::{explore, run_sim, SimConfig};
+use orthrus_sim::{explore, run_net_sim, run_sim, NetSimConfig, SimConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  sim explore --seeds N [--base B] [--txns T] [--verbose]\n  \
-         sim run --seed S [--budget B] [--txns T] [--trace]"
+         sim run --seed S [--budget B] [--txns T] [--trace]\n  \
+         sim net --seeds N [--base B]"
     );
     std::process::exit(2);
 }
@@ -95,6 +99,30 @@ fn main() {
                 }
                 std::process::exit(1);
             }
+        }
+        "net" => {
+            let count = seeds.unwrap_or_else(|| usage());
+            let mut failed = 0u64;
+            for seed in base..base + count {
+                let cfg = NetSimConfig::from_seed(seed);
+                let out = run_net_sim(&cfg);
+                println!(
+                    "seed {seed}: {} steps, {} faults, {} committed, {} delivered over TCP",
+                    out.steps, out.perturbations, out.committed, out.delivered
+                );
+                for v in &out.violations {
+                    println!("violation: {v}");
+                }
+                failed += u64::from(!out.violations.is_empty());
+            }
+            if failed > 0 {
+                println!("net corpus: {failed} of {count} seeds FAILED");
+                std::process::exit(1);
+            }
+            println!(
+                "net corpus: {count} seeds ({base}..{}): all invariants held",
+                base + count
+            );
         }
         _ => usage(),
     }

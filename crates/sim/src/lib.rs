@@ -21,15 +21,21 @@
 //!   replay-determinism pin against the command log);
 //! - [`explore`] — the explorer loop: sweep seeds, and on failure
 //!   binary-search the smallest fault budget that still reproduces it,
-//!   printing a replayable trace.
+//!   printing a replayable trace;
+//! - [`net`] — the same treatment for the TCP front door: engine +
+//!   `orthrus-net` listener under the scheduler, connection threads
+//!   free-running, asserting convergence and conservation (not trace
+//!   bit-identity — socket readiness is OS timing; see module docs).
 //!
-//! The `sim` binary fronts both: `sim explore --seeds N` and
-//! `sim run --seed S [--budget B] [--trace]`.
+//! The `sim` binary fronts all three: `sim explore --seeds N`,
+//! `sim run --seed S [--budget B] [--trace]`, and `sim net --seeds N`.
 
 pub mod explore;
+pub mod net;
 pub mod run;
 pub mod sched;
 
 pub use explore::{explore, ExploreReport, FailureReport};
+pub use net::{run_net_sim, NetSimConfig, NetSimOutcome};
 pub use run::{run_sim, SimConfig, SimOutcome, WorkloadKind};
 pub use sched::{FaultPlan, SchedReport, SimScheduler, Step, StepKind};

@@ -156,7 +156,7 @@ pub struct SimOutcome {
 /// Serializes simulated runs process-wide: the sim seam is a process
 /// global, so two concurrent runs would enroll into each other's
 /// schedulers.
-fn sim_lock() -> MutexGuard<'static, ()> {
+pub(crate) fn sim_lock() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
     LOCK.lock().unwrap_or_else(PoisonError::into_inner)
 }

@@ -1,0 +1,51 @@
+//! Regression corpus for the blocking `Session::submit` hot-loop fix.
+//!
+//! `submit` spins on `try_submit` when the ingest ring is full. Its
+//! backoff used to stay in the spin/yield regime forever, which under
+//! the deterministic scheduler (and on oversubscribed hosts) starved
+//! the CC thread that would have drained the ring — a livelock. The fix
+//! routes the saturated regime through `Backoff::snooze`, whose park
+//! step yields the sim token (`sim::on_park`), letting the consumer
+//! run.
+//!
+//! These runs squeeze the ring to near-zero capacity with more
+//! transactions than the engine can hold in flight, so the client
+//! blocks on a full ring on nearly every submission. Convergence under
+//! every seed is the regression pin: if the submit path ever stops
+//! yielding through the park seam, these runs hang (and the harness
+//! timeout turns that into a failure) rather than merely slow down.
+
+use orthrus_sim::{run_sim, SimConfig};
+
+#[test]
+fn blocked_client_on_a_tiny_ring_converges_for_all_seeds() {
+    for seed in 1..=6 {
+        let mut cfg = SimConfig::from_seed(seed);
+        // Near-zero ring with a deep backlog: almost every submit
+        // blocks, whatever workload/admission mix the seed derived.
+        cfg.ingest_capacity = 2;
+        cfg.txns = 40;
+        let out = run_sim(&cfg, false);
+        assert!(
+            out.violations.is_empty(),
+            "seed {seed} ({cfg:?}): {:?}",
+            out.violations
+        );
+        assert_eq!(out.committed, 40, "seed {seed}: backlog must fully drain");
+    }
+}
+
+#[test]
+fn blocked_client_converges_under_fault_injection() {
+    // Pop-delay + push-deny faults on top of the tiny ring: the
+    // scheduler now *also* denies the drains that would free space.
+    let mut cfg = SimConfig::from_seed(3);
+    cfg.ingest_capacity = 2;
+    cfg.txns = 40;
+    cfg.plan.delay_pct = 30;
+    cfg.plan.deny_push_pct = 10;
+    cfg.plan.shuffle_lanes = true;
+    let out = run_sim(&cfg, false);
+    assert!(out.violations.is_empty(), "{:?}", out.violations);
+    assert!(out.perturbations > 0, "fault plan should actually fire");
+}

@@ -52,8 +52,9 @@ pub const RECORD_OVERHEAD: u64 = 8;
 
 /// CRC-32 (IEEE 802.3), table-driven. Vendored: the offline build
 /// environment has no registry access (see `crates/shims/`). Shared
-/// with the checkpoint framing (`checkpoint.rs`).
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+/// with the checkpoint framing (`checkpoint.rs`) and the TCP wire
+/// framing (`orthrus-net`).
+pub fn crc32(bytes: &[u8]) -> u32 {
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];

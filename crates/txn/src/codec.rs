@@ -1,0 +1,334 @@
+//! Wire codec for [`Program`]s: hand-rolled little-endian encoding
+//! shared by every byte-level consumer of transactions — the command
+//! log (`orthrus-durability`) and the TCP front-end (`orthrus-net`).
+//!
+//! The offline build has no serde, so the format is explicit: one tag
+//! byte per program variant followed by fixed-width little-endian
+//! fields. Tags are **append-only** — decoding by tag is the version
+//! contract, so new programs take fresh tags and existing ones never
+//! change meaning. Callers frame and checksum payloads at their own
+//! byte layer; this module only sees checksum-clean bytes and treats
+//! any parse failure as a format bug or version skew, not a crash
+//! artifact.
+
+use crate::program::{
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,
+    Program, StockLevelInput,
+};
+
+/// Decoding failure: the payload does not parse. Consumers decide the
+/// policy — the command log stops at the longest well-formed prefix,
+/// the network layer rejects the frame and keeps the stream alive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "program decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Program variant tags. Append-only (see module docs).
+mod tag {
+    pub const READ_ONLY: u8 = 0;
+    pub const RMW: u8 = 1;
+    pub const NEW_ORDER: u8 = 2;
+    pub const PAYMENT: u8 = 3;
+    pub const ORDER_STATUS: u8 = 4;
+    pub const DELIVERY: u8 = 5;
+    pub const STOCK_LEVEL: u8 = 6;
+}
+
+/// Append one program's encoding to `out`.
+pub fn encode_program(p: &Program, out: &mut Vec<u8>) {
+    match p {
+        Program::ReadOnly { keys } => {
+            out.push(tag::READ_ONLY);
+            encode_keys(keys, out);
+        }
+        Program::Rmw { keys } => {
+            out.push(tag::RMW);
+            encode_keys(keys, out);
+        }
+        Program::NewOrder(i) => {
+            out.push(tag::NEW_ORDER);
+            out.extend_from_slice(&i.w.to_le_bytes());
+            out.extend_from_slice(&i.d.to_le_bytes());
+            out.extend_from_slice(&i.c.to_le_bytes());
+            out.extend_from_slice(&(i.lines.len() as u32).to_le_bytes());
+            for line in &i.lines {
+                out.extend_from_slice(&line.i_id.to_le_bytes());
+                out.extend_from_slice(&line.supply_w.to_le_bytes());
+                out.extend_from_slice(&line.qty.to_le_bytes());
+            }
+        }
+        Program::Payment(i) => {
+            out.push(tag::PAYMENT);
+            out.extend_from_slice(&i.w.to_le_bytes());
+            out.extend_from_slice(&i.d.to_le_bytes());
+            out.extend_from_slice(&i.amount_cents.to_le_bytes());
+            encode_selector(&i.customer, out);
+        }
+        Program::OrderStatus(i) => {
+            out.push(tag::ORDER_STATUS);
+            encode_selector(&i.customer, out);
+        }
+        Program::Delivery(i) => {
+            out.push(tag::DELIVERY);
+            out.extend_from_slice(&i.w.to_le_bytes());
+            out.push(i.carrier);
+        }
+        Program::StockLevel(i) => {
+            out.push(tag::STOCK_LEVEL);
+            out.extend_from_slice(&i.w.to_le_bytes());
+            out.extend_from_slice(&i.d.to_le_bytes());
+            out.extend_from_slice(&i.threshold.to_le_bytes());
+            out.extend_from_slice(&i.depth.to_le_bytes());
+        }
+    }
+}
+
+/// Decode one program at the reader's cursor.
+pub fn decode_program(r: &mut Reader<'_>) -> Result<Program, DecodeError> {
+    Ok(match r.u8()? {
+        tag::READ_ONLY => Program::ReadOnly {
+            keys: decode_keys(r)?,
+        },
+        tag::RMW => Program::Rmw {
+            keys: decode_keys(r)?,
+        },
+        tag::NEW_ORDER => {
+            let (w, d, c) = (r.u32()?, r.u32()?, r.u32()?);
+            let n = r.u32()?;
+            let mut lines = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                lines.push(OrderLineInput {
+                    i_id: r.u32()?,
+                    supply_w: r.u32()?,
+                    qty: r.u32()?,
+                });
+            }
+            Program::NewOrder(NewOrderInput { w, d, c, lines })
+        }
+        tag::PAYMENT => Program::Payment(PaymentInput {
+            w: r.u32()?,
+            d: r.u32()?,
+            amount_cents: r.u64()?,
+            customer: decode_selector(r)?,
+        }),
+        tag::ORDER_STATUS => Program::OrderStatus(OrderStatusInput {
+            customer: decode_selector(r)?,
+        }),
+        tag::DELIVERY => Program::Delivery(DeliveryInput {
+            w: r.u32()?,
+            carrier: r.u8()?,
+        }),
+        tag::STOCK_LEVEL => Program::StockLevel(StockLevelInput {
+            w: r.u32()?,
+            d: r.u32()?,
+            threshold: r.u32()?,
+            depth: r.u32()?,
+        }),
+        other => return Err(DecodeError(format!("unknown program tag {other}"))),
+    })
+}
+
+fn encode_keys(keys: &[u64], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for &k in keys {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+}
+
+fn decode_keys(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = r.u32()?;
+    let mut keys = Vec::with_capacity(n.min(4096) as usize);
+    for _ in 0..n {
+        keys.push(r.u64()?);
+    }
+    Ok(keys)
+}
+
+fn encode_selector(s: &CustomerSelector, out: &mut Vec<u8>) {
+    match *s {
+        CustomerSelector::ById { c_w, c_d, c } => {
+            out.push(0);
+            out.extend_from_slice(&c_w.to_le_bytes());
+            out.extend_from_slice(&c_d.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        CustomerSelector::ByLastName { c_w, c_d, name_id } => {
+            out.push(1);
+            out.extend_from_slice(&c_w.to_le_bytes());
+            out.extend_from_slice(&c_d.to_le_bytes());
+            out.extend_from_slice(&name_id.to_le_bytes());
+        }
+    }
+}
+
+fn decode_selector(r: &mut Reader<'_>) -> Result<CustomerSelector, DecodeError> {
+    Ok(match r.u8()? {
+        0 => CustomerSelector::ById {
+            c_w: r.u32()?,
+            c_d: r.u32()?,
+            c: r.u32()?,
+        },
+        1 => CustomerSelector::ByLastName {
+            c_w: r.u32()?,
+            c_d: r.u32()?,
+            name_id: r.u16()?,
+        },
+        other => return Err(DecodeError(format!("bad customer selector tag {other}"))),
+    })
+}
+
+/// Bounds-checked little-endian cursor over a payload slice.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(DecodeError(format!(
+                "payload cut short: wanted {n} bytes at {}",
+                self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_programs() -> Vec<Program> {
+        vec![
+            Program::ReadOnly { keys: vec![] },
+            Program::ReadOnly { keys: vec![7, 1] },
+            Program::Rmw {
+                keys: vec![u64::MAX, 0, 42],
+            },
+            Program::NewOrder(NewOrderInput {
+                w: 3,
+                d: 9,
+                c: 2999,
+                lines: vec![
+                    OrderLineInput {
+                        i_id: 77,
+                        supply_w: 3,
+                        qty: 10,
+                    },
+                    OrderLineInput {
+                        i_id: 1,
+                        supply_w: 4,
+                        qty: 1,
+                    },
+                ],
+            }),
+            Program::Payment(PaymentInput {
+                w: 1,
+                d: 2,
+                amount_cents: 499_999,
+                customer: CustomerSelector::ById {
+                    c_w: 0,
+                    c_d: 1,
+                    c: 8,
+                },
+            }),
+            Program::Payment(PaymentInput {
+                w: 0,
+                d: 0,
+                amount_cents: 1,
+                customer: CustomerSelector::ByLastName {
+                    c_w: 2,
+                    c_d: 3,
+                    name_id: 999,
+                },
+            }),
+            Program::OrderStatus(OrderStatusInput {
+                customer: CustomerSelector::ByLastName {
+                    c_w: 1,
+                    c_d: 0,
+                    name_id: 4,
+                },
+            }),
+            Program::Delivery(DeliveryInput { w: 7, carrier: 10 }),
+            Program::StockLevel(StockLevelInput {
+                w: 2,
+                d: 5,
+                threshold: 17,
+                depth: 20,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for p in sample_programs() {
+            let mut buf = Vec::new();
+            encode_program(&p, &mut buf);
+            let mut r = Reader::new(&buf);
+            assert_eq!(decode_program(&mut r).unwrap(), p);
+            assert_eq!(r.remaining(), 0, "decode must consume exactly the encoding");
+        }
+    }
+
+    #[test]
+    fn every_prefix_is_rejected_not_misread() {
+        for p in sample_programs() {
+            let mut buf = Vec::new();
+            encode_program(&p, &mut buf);
+            for cut in 0..buf.len() {
+                let mut r = Reader::new(&buf[..cut]);
+                // A strict prefix either fails or (never) decodes to a
+                // different program — it must not reproduce the original.
+                if let Ok(decoded) = decode_program(&mut r) {
+                    assert_ne!(decoded, p, "prefix of {cut} bytes decoded the original");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let buf = [250u8, 0, 0, 0, 0];
+        assert!(decode_program(&mut Reader::new(&buf)).is_err());
+    }
+}

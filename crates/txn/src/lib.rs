@@ -14,11 +14,15 @@
 //!   customer-last-name secondary index, and for the data-dependent
 //!   order/item sets of Delivery and StockLevel (read lock-free from the
 //!   [`orthrus_storage::tpcc::ReconBoard`], validated under locks).
+//! - [`codec`]: the shared little-endian wire encoding of [`Program`]s,
+//!   used by both the command log (`orthrus-durability`) and the TCP
+//!   front-end (`orthrus-net`); tags are append-only for version safety.
 //! - [`exec`]: the interpreter. Data accesses are funneled through an
 //!   [`exec::AccessGuard`], which is how one interpreter serves both
 //!   dynamic 2PL (guard acquires locks as accesses happen) and the planned
 //!   engines (guard is a no-op because all locks are already held).
 
+pub mod codec;
 pub mod db;
 pub mod exec;
 pub mod plan;

@@ -406,3 +406,67 @@ fn unreadable_log_is_a_typed_recovery_error() {
         Err(other) => panic!("expected Recovery, got {other:?}"),
     }
 }
+
+/// `drain_completions` stays safe after the engine is shut down: the
+/// workers are joined, but the handle still owns the completion rings
+/// and the internal stash, so the call returns every remaining
+/// completion and then empties — it must never panic on joined threads.
+#[test]
+fn drain_completions_after_shutdown_returns_leftovers_then_empty() {
+    let _serial = common::serial();
+    let n = 25u64;
+    let db = Arc::new(Database::Flat(Table::new(KEYS as usize, 64)));
+    let cfg = OrthrusConfig::with_threads(1, 2, CcAssignment::KeyModulo);
+    let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+    let mut handle = engine.start(17);
+    let session = handle.session();
+    let mut gen = Spec::Micro(MicroSpec::hot_cold(KEYS, 8, 2, 3, false)).generator(41, 0);
+    for _ in 0..n {
+        session.submit(gen.next_program()).expect("accepting");
+    }
+    // No drains before shutdown: everything lands in the shutdown stash.
+    handle.shutdown();
+    let mut done = Vec::new();
+    assert_eq!(handle.drain_completions(&mut done) as u64, n);
+    assert_eq!(
+        done.len() as u64,
+        n,
+        "post-shutdown drain conserves tickets"
+    );
+    // Drained dry: further calls are cheap no-ops, not errors.
+    for _ in 0..3 {
+        assert_eq!(handle.drain_completions(&mut done), 0);
+    }
+}
+
+/// Same audit on the *failed*-shutdown path: after a worker panic the
+/// handle reports `EngineError::Failed` on retries, and draining must
+/// still be a non-panicking no-op (whatever completed before the fault
+/// is collectable; nothing hangs).
+#[test]
+fn drain_completions_after_failed_shutdown_does_not_panic() {
+    let _serial = common::serial();
+    let scratch = TempDir::new("drain-after-fail");
+    let db = Arc::new(Database::Flat(Table::new(KEYS as usize, 64)));
+    let cfg = OrthrusConfig::with_threads(1, 1, CcAssignment::KeyModulo)
+        .with_durability(DurabilityMode::Log, scratch.path());
+    let engine = OrthrusEngine::service(Arc::clone(&db), cfg);
+    let mut handle = engine.start(17);
+    let session = handle.session();
+    let mut gen = Spec::Micro(MicroSpec::hot_cold(KEYS, 8, 2, 3, false)).generator(41, 0);
+    let _armed = ArmedRegistry::arm(FP_APPEND, FailAction::Err, Some(1));
+    for _ in 0..10 {
+        session.submit(gen.next_program()).expect("accepting");
+    }
+    match handle.try_shutdown() {
+        Err(EngineError::WorkerPanicked(_)) => {}
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    let mut done = Vec::new();
+    handle.drain_completions(&mut done); // must not panic
+    match handle.try_shutdown() {
+        Err(EngineError::Failed(_)) => {}
+        other => panic!("expected Failed on retried shutdown, got {other:?}"),
+    }
+    handle.drain_completions(&mut done); // still safe after Failed
+}
