@@ -26,5 +26,5 @@ pub use ids::{CcId, ExecId, Key, LockMode, PartitionId, ThreadId, TxnId};
 pub use latency::LatencyHistogram;
 pub use rng::XorShift64;
 pub use runtime::{timed_run, RunCtl, RunParams};
-pub use stats::{Phase, PhaseBreakdown, PhaseTimer, RunStats, ThreadStats};
+pub use stats::{HubBreakdown, Phase, PhaseBreakdown, PhaseTimer, RunStats, ThreadStats};
 pub use tempdir::TempDir;

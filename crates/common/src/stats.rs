@@ -211,6 +211,31 @@ pub struct PhaseBreakdown {
     pub waiting_pct: f64,
 }
 
+/// Per-partition completion-routing counters: a completion hub's (or
+/// partitioned pump's) routed/orphaned/unowned tallies labeled with the
+/// partition that produced them. The conservation audit
+/// `routed + orphaned + unowned == accepted` holds per partition, so a
+/// failing audit localizes the loss to one partition instead of one
+/// global number.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubBreakdown {
+    /// Partition index (0 for an unpartitioned engine).
+    pub partition: usize,
+    /// Completions routed to a registered owner.
+    pub routed: u64,
+    /// Owned completions whose owner had already unregistered.
+    pub orphaned: u64,
+    /// Completions for tickets submitted without an owner.
+    pub unowned: u64,
+}
+
+impl HubBreakdown {
+    /// Every completion this partition accounted for.
+    pub fn total(&self) -> u64 {
+        self.routed + self.orphaned + self.unowned
+    }
+}
+
 /// Aggregated results of a timed run.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -226,6 +251,11 @@ pub struct RunStats {
     /// than its siblings under conflict-class routing — so open-loop
     /// experiments report both.
     pub per_thread_latency: Vec<LatencyHistogram>,
+    /// Per-partition completion-routing breakdown. Empty when no
+    /// completion fan-in ran (closed-loop runs); one entry per partition
+    /// under `orthrus-part`, a single labeled entry when a lone
+    /// `CompletionHub` reports through [`RunStats::with_hub`].
+    pub hub: Vec<HubBreakdown>,
 }
 
 impl RunStats {
@@ -240,7 +270,28 @@ impl RunStats {
             elapsed,
             threads: per_thread.len(),
             per_thread_latency: per_thread.iter().map(|t| t.latency.clone()).collect(),
+            hub: Vec::new(),
         }
+    }
+
+    /// Attach a completion-routing breakdown entry (builder-style; used
+    /// by completion fan-in layers after shutdown).
+    pub fn with_hub(mut self, entry: HubBreakdown) -> Self {
+        self.hub.push(entry);
+        self
+    }
+
+    /// Fold another run's counters into this one — the partitioned
+    /// engine's shutdown merges one `RunStats` per partition. The window
+    /// is the longest of the two (partitions measure concurrently, so
+    /// windows overlap rather than add); everything else sums or
+    /// concatenates.
+    pub fn absorb(&mut self, other: RunStats) {
+        self.totals.merge(&other.totals);
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.threads += other.threads;
+        self.per_thread_latency.extend(other.per_thread_latency);
+        self.hub.extend(other.hub);
     }
 
     /// Committed transactions per second.
@@ -500,6 +551,43 @@ mod tests {
         assert!((b.execution_pct - 50.0).abs() < 1e-9);
         assert!((b.locking_pct - 25.0).abs() < 1e-9);
         assert!((b.waiting_pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_merges_partition_runs_and_hub_entries() {
+        let mut a = RunStats::collect(
+            &[ThreadStats {
+                committed: 10,
+                ..Default::default()
+            }],
+            Duration::from_secs(2),
+        )
+        .with_hub(HubBreakdown {
+            partition: 0,
+            routed: 8,
+            orphaned: 1,
+            unowned: 1,
+        });
+        let b = RunStats::collect(
+            &[ThreadStats {
+                committed: 5,
+                ..Default::default()
+            }],
+            Duration::from_secs(1),
+        )
+        .with_hub(HubBreakdown {
+            partition: 1,
+            routed: 5,
+            orphaned: 0,
+            unowned: 0,
+        });
+        a.absorb(b);
+        assert_eq!(a.totals.committed, 15);
+        assert_eq!(a.elapsed, Duration::from_secs(2), "windows overlap");
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.hub.len(), 2);
+        assert_eq!(a.hub[0].total(), 10);
+        assert_eq!(a.hub[1].partition, 1);
     }
 
     #[test]

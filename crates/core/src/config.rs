@@ -134,6 +134,12 @@ pub struct OrthrusConfig {
     /// suffix across (footprint-parallel leveling, bit-identical to
     /// serial). 1 = serial.
     pub replay_threads: usize,
+    /// Prefix for the thread names this engine enrolls with the
+    /// deterministic-simulation scheduler (`cc0`, `exec1`, `sync`, ...).
+    /// Empty for a standalone engine; a partitioned deployment gives
+    /// each member engine a distinct prefix (`p0.`, `p1.`, ...) so N
+    /// engines under one seeded scheduler don't collide on names.
+    pub sim_prefix: String,
 }
 
 /// Default fabric batching degree: deep enough to amortize the
@@ -172,6 +178,7 @@ impl OrthrusConfig {
             sync_interval: SyncInterval::default(),
             checkpoint_bytes: None,
             replay_threads: 1,
+            sim_prefix: String::new(),
         }
     }
 
@@ -196,6 +203,7 @@ impl OrthrusConfig {
             sync_interval: SyncInterval::default(),
             checkpoint_bytes: None,
             replay_threads: 1,
+            sim_prefix: String::new(),
         }
     }
 

@@ -329,11 +329,12 @@ impl OrthrusEngine {
             let active = Arc::clone(&active_execs);
             let flush = cfg.effective_flush_threshold();
             let shared = shared_table.clone();
+            let sim_prefix = cfg.sim_prefix.clone();
             workers.push(std::thread::spawn(move || {
                 // Under a sim scheduler this blocks until every worker
                 // (and the client) has enrolled; a no-op otherwise. The
                 // guard retires the thread on drop, panics included.
-                let _sim = orthrus_common::sim::enroll(&format!("cc{cc}"));
+                let _sim = orthrus_common::sim::enroll(&format!("{sim_prefix}cc{cc}"));
                 pin_to_core(cc);
                 match shared {
                     None => run_cc(cc as u32, CC_TABLE_CAPACITY, flush, ep, &ctl, &active),
@@ -367,7 +368,7 @@ impl OrthrusEngine {
             let active = Arc::clone(&active_execs);
             let log = self.log.clone();
             workers.push(std::thread::spawn(move || {
-                let _sim = orthrus_common::sim::enroll(&format!("exec{ex}"));
+                let _sim = orthrus_common::sim::enroll(&format!("{}exec{ex}", cfg.sim_prefix));
                 pin_to_core(cfg.n_cc + ex);
                 let source = ClientSource::new(submit_rx, cfg.effective_flush_threshold());
                 let admit = crate::admit::Admitter::new(
@@ -462,18 +463,20 @@ impl AuxThreads {
         if log.group_sync() {
             let (log, stop) = (Arc::clone(log), Arc::clone(&aux.stop));
             let interval = cfg.sync_interval;
+            let sim_prefix = cfg.sim_prefix.clone();
             aux.sync = Some(std::thread::spawn(move || {
                 // Same enrollment contract as the workers: a named sim
                 // participant under a sim scheduler, a no-op otherwise.
-                let _sim = orthrus_common::sim::enroll("sync");
+                let _sim = orthrus_common::sim::enroll(&format!("{sim_prefix}sync"));
                 run_sync_coordinator(&log, &stop, interval)
             }));
         }
         if let Some(every) = cfg.checkpoint_bytes {
             let (log, stop) = (Arc::clone(log), Arc::clone(&aux.stop));
             let dir = cfg.log_dir.clone().expect("validated: log_dir is set");
+            let sim_prefix = cfg.sim_prefix.clone();
             aux.ckpt = Some(std::thread::spawn(move || {
-                let _sim = orthrus_common::sim::enroll("ckpt");
+                let _sim = orthrus_common::sim::enroll(&format!("{sim_prefix}ckpt"));
                 // Real I/O failures panic inside `run_checkpointer`; an
                 // `Err` is an *injected* failpoint — a scripted crash the
                 // recovery suite owns. The live engine just stops

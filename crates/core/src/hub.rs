@@ -116,6 +116,7 @@ pub struct CompletionHub {
     session: Session,
     slots: Mutex<HashMap<u32, Slot>>,
     next_id: AtomicU32,
+    partition: usize,
     routed: AtomicU64,
     orphaned: AtomicU64,
     unowned: AtomicU64,
@@ -124,12 +125,21 @@ pub struct CompletionHub {
 impl CompletionHub {
     /// Build a hub over the engine the session belongs to. The session is
     /// only used to reach the shared [`OwnerTable`]; cloning one costs an
-    /// `Arc` bump.
+    /// `Arc` bump. The hub labels itself partition 0; a partitioned
+    /// deployment uses [`with_partition`](Self::with_partition).
     pub fn new(session: Session) -> Self {
+        Self::with_partition(session, 0)
+    }
+
+    /// Like [`new`](Self::new), but tagging this hub with the partition it
+    /// serves so conservation audits ([`breakdown`](Self::breakdown)) can
+    /// localize routed/orphaned losses to one partition.
+    pub fn with_partition(session: Session, partition: usize) -> Self {
         CompletionHub {
             session,
             slots: Mutex::new(HashMap::new()),
             next_id: AtomicU32::new(0),
+            partition,
             routed: AtomicU64::new(0),
             orphaned: AtomicU64::new(0),
             unowned: AtomicU64::new(0),
@@ -205,6 +215,23 @@ impl CompletionHub {
     pub fn unowned(&self) -> u64 {
         self.unowned.load(Ordering::Relaxed)
     }
+
+    /// The partition this hub serves (0 for unpartitioned deployments).
+    pub fn partition(&self) -> usize {
+        self.partition
+    }
+
+    /// Snapshot the per-partition routing ledger for
+    /// [`orthrus_common::RunStats::hub`] — how this partition's drained
+    /// completions split into routed / orphaned / unowned.
+    pub fn breakdown(&self) -> orthrus_common::HubBreakdown {
+        orthrus_common::HubBreakdown {
+            partition: self.partition,
+            routed: self.routed(),
+            orphaned: self.orphaned(),
+            unowned: self.unowned(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +296,9 @@ mod tests {
         assert_eq!(got_b, want_b, "client b must see exactly its tickets");
         assert_eq!(hub.routed(), 40);
         assert_eq!(hub.orphaned() + hub.unowned(), 0);
+        let bd = hub.breakdown();
+        assert_eq!(bd.partition, 0, "plain hubs label themselves partition 0");
+        assert_eq!(bd.total(), 40);
         handle.shutdown();
     }
 
@@ -296,6 +326,15 @@ mod tests {
         }
         assert_eq!(hub.orphaned(), n, "every ticket accounted for");
         assert_eq!(hub.routed(), 0);
+        assert_eq!(
+            hub.breakdown(),
+            orthrus_common::HubBreakdown {
+                partition: 0,
+                routed: 0,
+                orphaned: n,
+                unowned: 0
+            }
+        );
         handle.shutdown();
     }
 

@@ -38,6 +38,25 @@ use parking_lot::Mutex;
 use crate::hub::OwnerTable;
 use crate::source::{Submission, Ticket};
 
+/// Acquire a lane's producer lock without OS-blocking: under the
+/// deterministic sim scheduler another enrolled submitter may be parked
+/// *inside* its ring push (a schedule point) while still holding the
+/// lane mutex, so a blocking `lock()` would wedge the token. Parking at
+/// the sim seam keeps the handoff deterministic; outside the sim the
+/// loop is the plain try-spin a short critical section tolerates.
+fn lock_lane(
+    lane: &Mutex<Producer<Submission>>,
+) -> parking_lot::MutexGuard<'_, Producer<Submission>> {
+    loop {
+        if let Some(g) = lane.try_lock() {
+            return g;
+        }
+        if !orthrus_common::sim::on_park() {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// Why a submission was not accepted. Both variants hand the program
 /// back so the caller can retry without cloning.
 #[derive(Debug)]
@@ -145,8 +164,11 @@ impl Session {
     }
 
     /// Submit without blocking. Routes by the program's
-    /// [`Program::hot_key_hint`] (round-robin when it has none), mints a
-    /// [`Ticket`] on success, and returns the program back inside
+    /// [`Program::routing_key`] — the hot-key hint, else the smallest
+    /// static-footprint key, so hint-less programs with a known footprint
+    /// (transfers, fused batches) still land on a deterministic lane;
+    /// only footprint-free programs round-robin. Mints a [`Ticket`] on
+    /// success, and returns the program back inside
     /// [`TrySubmitError::Full`] when the destination ring is full.
     pub fn try_submit(&self, program: Program) -> Result<Ticket, TrySubmitError> {
         self.try_submit_inner(program, None)
@@ -165,11 +187,11 @@ impl Session {
         owner: Option<u32>,
     ) -> Result<Ticket, TrySubmitError> {
         let shared = &self.shared;
-        let lane = match program.hot_key_hint() {
+        let lane = match program.routing_key() {
             Some(key) => (fx_hash_u64(key) % shared.lanes.len() as u64) as usize,
             None => shared.round_robin.fetch_add(1, Ordering::Relaxed) % shared.lanes.len(),
         };
-        let mut producer = shared.lanes[lane].lock();
+        let mut producer = lock_lane(&shared.lanes[lane]);
         if !shared.accepting.load(Ordering::SeqCst) {
             return Err(TrySubmitError::Shutdown(program));
         }
@@ -200,7 +222,7 @@ impl Session {
     /// network front-end turns one TCP read of `k` requests into at most
     /// `min(k, n_exec)` ring transactions instead of `k`.
     ///
-    /// Routing is identical to [`Self::try_submit`] (hot-key, else
+    /// Routing is identical to [`Self::try_submit`] (routing key, else
     /// round-robin). Acceptance is per lane and best-effort: programs
     /// that fit are accepted (tickets reported with their input index),
     /// programs that hit a full lane are handed back in `rejected` for
@@ -221,7 +243,7 @@ impl Session {
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_lanes];
         for (i, slot) in slots.iter().enumerate() {
             let p = slot.as_ref().expect("just wrapped");
-            let lane = match p.hot_key_hint() {
+            let lane = match p.routing_key() {
                 Some(key) => (fx_hash_u64(key) % n_lanes as u64) as usize,
                 None => shared.round_robin.fetch_add(1, Ordering::Relaxed) % n_lanes,
             };
@@ -232,7 +254,7 @@ impl Session {
             if bucket.is_empty() {
                 continue;
             }
-            let mut producer = shared.lanes[lane].lock();
+            let mut producer = lock_lane(&shared.lanes[lane]);
             if !shared.accepting.load(Ordering::SeqCst) {
                 out.shutdown = true;
                 for &i in bucket {
@@ -398,6 +420,41 @@ mod tests {
         for c in &consumers {
             assert_eq!(c.len(), 3, "round-robin must spread hintless work");
         }
+    }
+
+    #[test]
+    fn hintless_programs_with_footprints_route_by_footprint() {
+        // Regression (ISSUE 9 satellite): routing once keyed on
+        // `hot_key_hint` alone, so hint-less programs with a perfectly
+        // known footprint (transfers, fused batches) round-robined — and
+        // a partitioned front-end classifying by footprint would disagree
+        // with the lane the session picked. The footprint fallback must
+        // pin them to one deterministic lane, symmetric in argument order.
+        let (s, consumers) = shared(4, 64);
+        let session = Session::new(Arc::clone(&s));
+        for i in 0..6 {
+            let (from, to) = if i % 2 == 0 { (7, 3) } else { (3, 7) };
+            let p = Program::Transfer {
+                from,
+                to,
+                amount: 1,
+            };
+            assert_eq!(p.hot_key_hint(), None, "transfer must stay hint-less");
+            session.try_submit(p).unwrap();
+        }
+        session
+            .try_submit(Program::Fused {
+                epoch: 1,
+                parts: vec![Program::Adjust { key: 3, delta: 1 }],
+            })
+            .unwrap();
+        let occupied: Vec<usize> = consumers.iter().map(orthrus_spsc::Consumer::len).collect();
+        assert_eq!(occupied.iter().sum::<usize>(), 7);
+        assert_eq!(
+            occupied.iter().filter(|&&n| n > 0).count(),
+            1,
+            "footprint key 3 must pin every submission to one lane: {occupied:?}"
+        );
     }
 
     #[test]

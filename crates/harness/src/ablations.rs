@@ -602,6 +602,130 @@ pub fn abl11_net(bc: &BenchConfig) -> FigureResult {
     fig
 }
 
+/// Drive one partitioned-deployment cell: an open-loop client pushing a
+/// contended hot/cold mix against [`PartitionedEngine`], with
+/// `cross_pct`% of programs spanning two partitions (epoch-sequenced)
+/// and `bc.xpart_pct`% emitted as transfers on top. Measures completed
+/// transactions per second over the bench window.
+///
+/// Resources are held constant across partition counts: the whole
+/// deployment always gets 4 CC + 2 exec threads (2+1 per partition at
+/// `parts == 2`), so the comparison isolates what sharding buys — no
+/// cross-CC grant forwarding, no hot-lock traffic between unrelated key
+/// ranges — rather than just granting the deployment more threads.
+pub fn run_partitioned(parts: usize, cross_pct: u32, bc: &BenchConfig) -> RunStats {
+    use orthrus_part::{PartitionedConfig, PartitionedEngine};
+
+    let n = bc.n_records as u64;
+    let dbs: Vec<Arc<Database>> = (0..parts)
+        .map(|_| Arc::new(Database::Flat(Table::new(bc.n_records, bc.record_size))))
+        .collect();
+    let per_part = |total: usize| (total / parts).max(1);
+    let mut ocfg = OrthrusConfig::with_threads(per_part(4), per_part(2), CcAssignment::KeyModulo);
+    ocfg.admission = bc.admission.clone();
+    ocfg.flush_threshold = bc.flush_threshold;
+    // Shallow pipelines: the cell isolates coordination (grant-chain
+    // hops, the epoch barrier), which deep in-flight windows would
+    // amortize away.
+    ocfg.max_inflight = 1;
+    let mut pcfg = PartitionedConfig::new(parts, ocfg);
+    // Small epochs: each barrier round trip covers a handful of
+    // cross-partition programs, so the per-epoch deployment-wide stall
+    // shows up in the curve instead of vanishing into a 64-deep batch.
+    pcfg.epoch_max_batch = 1;
+    let mut handle = PartitionedEngine::start(dbs, pcfg, bc.seed);
+    let session = handle.session();
+
+    // The paper's high-contention shape: a tiny hot set every program
+    // hits, so the unsharded engine pays hot-lock grant chains that hop
+    // between its CC threads, while each partition's slice of the hot
+    // set lives under a single CC. `cross_pct` flips that fraction of
+    // programs to a two-partition footprint — same keys-per-program
+    // shape at every point on the curve, only the coordination changes.
+    let hot = (4 * parts.max(2)) as u64;
+    let spec = MicroSpec::hot_cold(n, hot, 4, 4, false)
+        .with_constraint(PartitionConstraint::MultiFraction {
+            pct: cross_pct,
+            of: parts as u32,
+        })
+        .with_transfers(bc.xpart_pct);
+    let mut generator = spec.generator(bc.seed, 0);
+
+    let mut completions = Vec::new();
+    let mut drive = |window: Duration, completions: &mut Vec<_>| -> (u64, Duration) {
+        let t0 = Instant::now();
+        let mut done = 0u64;
+        while t0.elapsed() < window {
+            for _ in 0..32 {
+                let mut program = generator.next_program();
+                loop {
+                    match session.try_submit(program) {
+                        Ok(_) => break,
+                        Err(orthrus_core::TrySubmitError::Full(back)) => {
+                            program = back;
+                            completions.clear();
+                            done += handle.drain_completions(completions) as u64;
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("partitioned submit rejected: {e}"),
+                    }
+                }
+            }
+            completions.clear();
+            done += handle.drain_completions(completions) as u64;
+        }
+        (done, t0.elapsed())
+    };
+    drive(bc.warmup, &mut completions);
+    let (done, elapsed) = drive(bc.measure, &mut completions);
+
+    let mut stats = handle.shutdown();
+    // Report the measured window, not the engines' own run clocks: the
+    // open-loop cell is defined by completions drained per wall second.
+    stats.totals.committed = done;
+    stats.elapsed = elapsed;
+    stats
+}
+
+/// A12: partition scaling × cross-partition fraction — the coordination
+/// collapse curve. At 0% every program fast-paths into its own engine
+/// and the partitioned deployment outruns the equal-resource single
+/// engine (whose hot-lock grants hop between CC threads); as the
+/// cross-partition fraction grows, a rising share of work serializes
+/// behind the epoch barrier's submit/complete round trips and the
+/// partition advantage collapses toward (below, eventually) the
+/// single-engine line, which is flat by construction — the constraint
+/// is inert at one partition. `ORTHRUS_PARTITIONS` extends the
+/// partition-count sweep; `ORTHRUS_XPART_FRACTION` layers transfer
+/// traffic on every cell.
+pub fn abl12_partition(bc: &BenchConfig) -> FigureResult {
+    let mut fig = FigureResult::new(
+        "abl12",
+        "Partitioned deployment: throughput vs cross-partition fraction (4 CC + 2 exec total)"
+            .to_string(),
+        "cross_partition_pct",
+        "txns/sec",
+    );
+    let mut counts = vec![1usize, 2];
+    if bc.partitions > 2 {
+        counts.push(bc.partitions);
+    }
+    let fracs = [0u32, 1, 5, 20, 50];
+    for &parts in &counts {
+        let mut s = Series::new(if parts == 1 {
+            "1 partition (single engine)".to_string()
+        } else {
+            format!("{parts} partitions")
+        });
+        for &pct in &fracs {
+            let stats = run_partitioned(parts, pct, bc);
+            s.push(pct as f64, stats.throughput());
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +742,24 @@ mod tests {
         // ≥2× separation itself is a release-run acceptance number, not
         // a quick-test invariant).
         assert!(fig.series[1].points.iter().all(|&(_, y)| y >= 1.0));
+    }
+
+    #[test]
+    fn partition_ablation_covers_every_cell() {
+        let _serial = crate::test_serial();
+        let mut bc = BenchConfig::test_quick();
+        // Tiny windows: the test pins shape and liveness, not the
+        // release-run scaling ratio (that's an EXPERIMENTS.md number).
+        bc.warmup = Duration::from_millis(10);
+        bc.measure = Duration::from_millis(40);
+        let fig = abl12_partition(&bc);
+        // 1-partition baseline plus the 2-partition deployment (the env
+        // knob can extend the sweep but never shrinks it).
+        assert!(fig.series.len() >= 2, "{}", fig.series.len());
+        for s in &fig.series {
+            assert!(s.points.len() >= 5, "{}", s.label);
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0), "{}", s.label);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use orthrus_harness::{ablations, figures, BenchConfig};
 const ALL: &[&str] = &[
     "fig01", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
     "abl01", "abl02", "abl03", "abl04", "abl05", "abl06", "abl07", "abl08", "abl09", "abl10",
-    "abl11", "ext01", "ext02", "ext03", "ext04", "ext05", "ext06",
+    "abl11", "abl12", "ext01", "ext02", "ext03", "ext04", "ext05", "ext06",
 ];
 
 fn run_one(id: &str, bc: &BenchConfig) {
@@ -53,6 +53,7 @@ fn run_one(id: &str, bc: &BenchConfig) {
         "abl09" => ablations::abl09_durability(bc).print(),
         "abl10" => ablations::abl10_durability2(bc).print(),
         "abl11" => ablations::abl11_net(bc).print(),
+        "abl12" => ablations::abl12_partition(bc).print(),
         "ext01" => figures::ext01_tpcc_fullmix(bc).print(),
         "ext02" => figures::ext02_fullmix_scalability(bc).print(),
         "ext03" => {

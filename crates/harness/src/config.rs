@@ -62,6 +62,15 @@ pub struct BenchConfig {
     /// Replay parallelism during recovery (`ORTHRUS_REPLAY_THREADS`,
     /// default 1 = serial).
     pub replay_threads: usize,
+    /// Partition count for partitioned-deployment runs
+    /// (`ORTHRUS_PARTITIONS`, default 1 = the single shared-memory
+    /// engine; ≥ 2 shards the engine behind the `orthrus-part` router —
+    /// see ablation A12).
+    pub partitions: usize,
+    /// Percent of partitioned-run programs emitted as cross-partition
+    /// transfers (`ORTHRUS_XPART_FRACTION`, default 0; inert unless
+    /// `partitions` ≥ 2 — see ablation A12).
+    pub xpart_pct: u32,
 }
 
 /// Parse a numeric knob. Unset → `default`; present but malformed → a
@@ -171,6 +180,8 @@ impl BenchConfig {
             sync_interval: sync_interval_from_env(),
             checkpoint_bytes: checkpoint_from_env(),
             replay_threads: env_u64("ORTHRUS_REPLAY_THREADS", 1).max(1) as usize,
+            partitions: env_u64("ORTHRUS_PARTITIONS", 1).max(1) as usize,
+            xpart_pct: env_u64("ORTHRUS_XPART_FRACTION", 0).min(100) as u32,
         }
     }
 
@@ -203,6 +214,8 @@ impl BenchConfig {
             sync_interval: sync_interval_from_env(),
             checkpoint_bytes: checkpoint_from_env(),
             replay_threads: env_u64("ORTHRUS_REPLAY_THREADS", 1).max(1) as usize,
+            partitions: env_u64("ORTHRUS_PARTITIONS", 1).max(1) as usize,
+            xpart_pct: env_u64("ORTHRUS_XPART_FRACTION", 0).min(100) as u32,
         }
     }
 
@@ -325,6 +338,8 @@ mod tests {
         malformed_flush_threshold_panics: "ORTHRUS_FLUSH_THRESHOLD" => BenchConfig::from_env();
         malformed_checkpoint_panics: "ORTHRUS_CHECKPOINT" => BenchConfig::from_env();
         malformed_replay_threads_panics: "ORTHRUS_REPLAY_THREADS" => BenchConfig::from_env();
+        malformed_partitions_panics: "ORTHRUS_PARTITIONS" => BenchConfig::from_env();
+        malformed_xpart_fraction_panics: "ORTHRUS_XPART_FRACTION" => BenchConfig::from_env();
         malformed_net_addr_panics: "ORTHRUS_NET_ADDR" => net_config_from_env();
         malformed_net_batch_min_panics: "ORTHRUS_NET_BATCH_MIN" => net_config_from_env();
         malformed_net_batch_max_panics: "ORTHRUS_NET_BATCH_MAX" => net_config_from_env();

@@ -245,6 +245,45 @@ mod tests {
         assert_eq!(d.bad_frames(), 0);
     }
 
+    /// The partitioned front end routes each wire request by its planned
+    /// footprint *before* lane selection, so the hint-less partition-
+    /// layer variants (transfers, adjusts, fused epoch batches) must
+    /// survive the frame codec exactly — a truncated key set would
+    /// silently reroute a program to the wrong partition.
+    #[test]
+    fn partition_layer_programs_roundtrip() {
+        let reqs = vec![
+            (
+                1,
+                Program::Transfer {
+                    from: 3,
+                    to: 6,
+                    amount: u64::MAX - 5,
+                },
+            ),
+            (
+                2,
+                Program::Adjust {
+                    key: 9,
+                    delta: 41u64.wrapping_neg(),
+                },
+            ),
+            (
+                3,
+                Program::Fused {
+                    epoch: 7,
+                    parts: vec![rmw(4), Program::Adjust { key: 2, delta: 1 }],
+                },
+            ),
+        ];
+        let mut wire = Vec::new();
+        encode_request(&reqs, &mut wire);
+        let mut d = FrameDecoder::new();
+        d.feed(&wire);
+        assert_eq!(d.next_frame().unwrap(), Some(Frame::Request(reqs)));
+        assert_eq!(d.bad_frames(), 0);
+    }
+
     #[test]
     fn response_roundtrips() {
         let resps = vec![

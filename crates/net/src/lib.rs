@@ -22,6 +22,16 @@
 //!   connection even through abrupt disconnects.
 //! - [`client`] — a deliberately boring blocking client for load
 //!   generation and tests.
+//!
+//! Requests are routed by their planned footprint *before* lane
+//! selection: the submission path keys on
+//! [`Program::routing_key`](orthrus_txn::Program::routing_key) (hot-key
+//! hint, else the smallest static-footprint key), so the hint-less
+//! partition-layer variants — transfers, adjusts, fused epoch batches —
+//! land deterministically whether the engine behind the listener is a
+//! single [`orthrus_core::OrthrusEngine`] or one partition of an
+//! `orthrus-part` deployment. The codec carries all of those variants
+//! verbatim (see `codec::tests::partition_layer_programs_roundtrip`).
 
 pub mod batch;
 pub mod client;

@@ -1,0 +1,636 @@
+//! The partitioned engine: N independent ORTHRUS engines behind one
+//! router, with cross-partition work sequenced into deterministic
+//! epoch batches.
+//!
+//! ## Shape
+//!
+//! [`PartitionedEngine::start`] boots one service-mode
+//! [`OrthrusEngine`] per partition (threads today; each partition
+//! shares nothing with its peers — own database, own CC/exec threads,
+//! own command log — so the step to one *process* per partition is a
+//! transport change, not a redesign). A [`PartSession`] classifies each
+//! submitted [`Program`] by its planned footprint
+//! ([`crate::map::route`]):
+//!
+//! - **Single-partition** (the overwhelming majority by design):
+//!   submitted straight into that partition's existing ingest ring —
+//!   the fast path adds one partition-map lookup and one local→global
+//!   ticket-map insert to the unpartitioned submit path.
+//! - **Cross-partition**: queued for the **sequencer**. The sequencer
+//!   drains the queue into ordered batches, assigns each batch a global
+//!   *epoch* number, slices every program per partition
+//!   ([`crate::map::slice`]), and submits one fused program
+//!   ([`Program::Fused`]) per touched partition. It releases epoch
+//!   `E+1` only after every partition has *completed* its slice of
+//!   epoch `E` — the epoch barrier.
+//!
+//! ## Why this is deadlock- and 2PC-free
+//!
+//! Each fused slice is an ordinary program inside its partition: its
+//! whole footprint is planned and acquired through the partition's
+//! planned-locking CC threads (`execute_planned` underneath), so there
+//! is no distributed lock graph — no partition ever waits on another's
+//! locks, only the sequencer waits on completions. The barrier makes
+//! the epoch order *the* serial order for cross-partition work under
+//! any admission policy: at most one epoch is in flight anywhere, every
+//! partition executes its slice of `E` strictly before its slice of
+//! `E+1`, and single-partition transactions — which touch exactly one
+//! partition — interleave with epochs at that partition alone, so no
+//! cross-partition cycle can form. No prepare/commit round trips, no
+//! aborts for atomicity: a batch's slices are logged and executed as
+//! committed work on every touched partition.
+//!
+//! ## Tickets and conservation
+//!
+//! The partition layer mints its own dense global tickets
+//! (`0..accepted`), exactly like a single engine: the conservation
+//! audit (`accepted == completions delivered`) holds across the whole
+//! deployment. Per-partition completions are fanned back in through one
+//! [`CompletionHub`] per partition (labelled with its partition id, so
+//! [`RunStats::hub`] localizes routed/orphaned counts), translated
+//! local→global by the sequencer thread, and handed to the client via
+//! [`PartitionedHandle::drain_completions`].
+//!
+//! ## Durability
+//!
+//! Each partition appends to its own command log under
+//! `<log_dir>/part-<i>`. Fused programs carry their epoch number in the
+//! program encoding, so epoch markers ride the existing codec for free:
+//! recovery ([`PartitionedEngine::recover`]) replays each partition's
+//! log independently, and because the barrier ensured epoch `E` was
+//! fully logged everywhere before `E+1` existed anywhere, per-partition
+//! log order *is* epoch order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use orthrus_common::RunStats;
+use orthrus_core::{
+    ClientRx, Completion, CompletionHub, EngineHandle, OrthrusConfig, OrthrusEngine, Session,
+    Ticket, TrySubmitError,
+};
+use orthrus_durability::ReplayReport;
+use orthrus_txn::{Database, Program};
+use parking_lot::Mutex;
+
+use crate::map::{route, slice, PartitionMap, Route};
+
+/// Default cap on cross-partition programs fused into one epoch: deep
+/// enough to amortize the barrier round trip, shallow enough that one
+/// epoch's fused footprint stays a small multiple of a normal program.
+pub const DEFAULT_EPOCH_BATCH: usize = 64;
+
+/// Default bound on the queued-but-unsequenced cross-partition backlog;
+/// a full queue backpressures the submitter ([`TrySubmitError::Full`]),
+/// mirroring a full ingest ring.
+pub const DEFAULT_XP_CAPACITY: usize = 1024;
+
+/// Shape of a partitioned deployment.
+#[derive(Debug, Clone)]
+pub struct PartitionedConfig {
+    /// Key → partition ownership.
+    pub map: PartitionMap,
+    /// Template for every member engine. `log_dir`, when set, is the
+    /// *base*: partition `i` logs under `<log_dir>/part-<i>`.
+    /// `sim_prefix` is likewise composed per partition (`p<i>.`).
+    pub engine: OrthrusConfig,
+    /// Max cross-partition programs fused into one epoch batch.
+    pub epoch_max_batch: usize,
+    /// Bound on the queued cross-partition backlog.
+    pub xp_capacity: usize,
+}
+
+impl PartitionedConfig {
+    /// `parts` modulo-mapped partitions, every engine cloned from
+    /// `engine`.
+    pub fn new(parts: usize, engine: OrthrusConfig) -> Self {
+        PartitionedConfig {
+            map: PartitionMap::Modulo { parts },
+            engine,
+            epoch_max_batch: DEFAULT_EPOCH_BATCH,
+            xp_capacity: DEFAULT_XP_CAPACITY,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.map.partitions()
+    }
+
+    /// The member-engine configuration for partition `i`: the template
+    /// with a partition-scoped sim-enrollment prefix and log directory.
+    pub fn engine_for(&self, i: usize) -> OrthrusConfig {
+        let mut cfg = self.engine.clone();
+        cfg.sim_prefix = format!("{}p{i}.", self.engine.sim_prefix);
+        if let Some(base) = &self.engine.log_dir {
+            cfg.log_dir = Some(base.join(format!("part-{i}")));
+        }
+        cfg
+    }
+}
+
+/// Acquire a partition's local→global ticket map without OS-blocking:
+/// a submitter holds this mutex *across* its ingest-ring push — a
+/// deterministic-sim schedule point where the thread may park — so a
+/// blocking `lock()` from another enrolled thread would wedge the
+/// scheduler's token. Parking at the sim seam keeps the interleaving
+/// seeded; outside the sim this is a plain try-spin over a critical
+/// section short enough to tolerate it.
+fn lock_sp_map(m: &Mutex<HashMap<u64, u64>>) -> parking_lot::MutexGuard<'_, HashMap<u64, u64>> {
+    loop {
+        if let Some(g) = m.try_lock() {
+            return g;
+        }
+        if !orthrus_common::sim::on_park() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One queued cross-partition program awaiting its epoch.
+struct XpEntry {
+    global: u64,
+    program: Program,
+    enqueued: Instant,
+}
+
+/// State shared between client sessions and the sequencer thread.
+struct PartShared {
+    accepting: AtomicBool,
+    stop: AtomicBool,
+    /// Dense global ticket mint — the deployment-wide conservation
+    /// ledger, exactly like a single engine's.
+    next_global: AtomicU64,
+    /// Global completions handed to the fan-in buffer so far.
+    emitted: AtomicU64,
+    sessions: Vec<Session>,
+    /// The sequencer's client id at each partition's hub (all
+    /// partition-layer submissions are owned, so the hubs' routed
+    /// counters account for every ticket).
+    owners: Vec<u32>,
+    /// Per partition: local ticket → global ticket for fast-path
+    /// submissions. Locked around the submit+mint pair so the sequencer
+    /// can never see a local completion before its mapping exists.
+    sp_maps: Vec<Mutex<HashMap<u64, u64>>>,
+    /// Cross-partition backlog, drained by the sequencer into epochs.
+    xp: Mutex<Vec<XpEntry>>,
+    xp_capacity: usize,
+    /// Fan-in: translated global completions awaiting the client.
+    fanin: Mutex<Vec<Completion>>,
+}
+
+impl PartShared {
+    fn accepted(&self) -> u64 {
+        self.next_global.load(Ordering::SeqCst)
+    }
+}
+
+/// A client handle onto the partitioned deployment. Cheap to clone;
+/// submission is classified per program (fast path vs epoch queue).
+#[derive(Clone)]
+pub struct PartSession {
+    shared: Arc<PartShared>,
+    map: PartitionMap,
+}
+
+impl PartSession {
+    /// Submit without blocking. Returns the *global* ticket: dense
+    /// across the whole deployment, completed exactly once via
+    /// [`PartitionedHandle::drain_completions`].
+    pub fn try_submit(&self, program: Program) -> Result<Ticket, TrySubmitError> {
+        let shared = &self.shared;
+        match route(&program, &self.map) {
+            Route::Single(p) => {
+                // Mint under the map lock: the shutdown quiescing sweep
+                // (see the sequencer) relies on every in-flight submit
+                // being either visible in `next_global` or rejected.
+                let mut map = lock_sp_map(&shared.sp_maps[p]);
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    return Err(TrySubmitError::Shutdown(program));
+                }
+                let local = shared.sessions[p].try_submit_owned(program, shared.owners[p])?;
+                let global = shared.next_global.fetch_add(1, Ordering::SeqCst);
+                map.insert(local.0, global);
+                Ok(Ticket(global))
+            }
+            Route::Cross(_) => {
+                let mut q = shared.xp.lock();
+                if !shared.accepting.load(Ordering::SeqCst) {
+                    return Err(TrySubmitError::Shutdown(program));
+                }
+                if q.len() >= shared.xp_capacity {
+                    return Err(TrySubmitError::Full(program));
+                }
+                let global = shared.next_global.fetch_add(1, Ordering::SeqCst);
+                q.push(XpEntry {
+                    global,
+                    program,
+                    enqueued: Instant::now(),
+                });
+                Ok(Ticket(global))
+            }
+        }
+    }
+
+    /// Global tickets minted so far (single- and cross-partition).
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted()
+    }
+}
+
+/// The partitioned engine constructor — the partitioned analogue of
+/// [`OrthrusEngine`].
+pub struct PartitionedEngine;
+
+impl PartitionedEngine {
+    /// Boot every partition engine and the sequencer thread; returns the
+    /// running deployment's handle. `dbs[i]` is partition `i`'s database
+    /// (each sized for the full keyspace; a partition only ever touches
+    /// the keys the map assigns it).
+    pub fn start(dbs: Vec<Arc<Database>>, cfg: PartitionedConfig, seed: u64) -> PartitionedHandle {
+        cfg.map.validate();
+        let n = cfg.partitions();
+        assert_eq!(dbs.len(), n, "one database per partition");
+
+        let mut handles = Vec::with_capacity(n);
+        let mut hubs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        let mut sessions = Vec::with_capacity(n);
+        let mut owners = Vec::with_capacity(n);
+        for (i, db) in dbs.into_iter().enumerate() {
+            let engine = OrthrusEngine::service(db, cfg.engine_for(i));
+            // Distinct per-partition seeds: partitions are independent
+            // engines, not replicas.
+            let handle = engine.start(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let session = handle.session();
+            let hub = Arc::new(CompletionHub::with_partition(session.clone(), i));
+            let rx = hub.register(cfg.engine.ingest_capacity.max(64));
+            owners.push(rx.id());
+            sessions.push(session);
+            hubs.push(hub);
+            rxs.push(rx);
+            handles.push(handle);
+        }
+
+        let shared = Arc::new(PartShared {
+            accepting: AtomicBool::new(true),
+            stop: AtomicBool::new(false),
+            next_global: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            sessions,
+            owners,
+            sp_maps: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            xp: Mutex::new(Vec::new()),
+            xp_capacity: cfg.xp_capacity,
+            fanin: Mutex::new(Vec::new()),
+        });
+
+        let seq = Sequencer {
+            shared: Arc::clone(&shared),
+            map: cfg.map.clone(),
+            handles,
+            hubs,
+            rxs,
+            epoch: 0,
+            inflight: None,
+            max_batch: cfg.epoch_max_batch.max(1),
+        };
+        let sim_prefix = cfg.engine.sim_prefix.clone();
+        let seq_thread = std::thread::spawn(move || {
+            let _sim = orthrus_common::sim::enroll(&format!("{sim_prefix}partseq"));
+            seq.run()
+        });
+
+        PartitionedHandle {
+            shared,
+            map: cfg.map,
+            seq_thread: Some(seq_thread),
+            stats: None,
+        }
+    }
+
+    /// Crash recovery: replay every partition's command log under
+    /// `<log_dir>/part-<i>` against its database (repairing torn tails
+    /// in place). Per-partition log order is epoch order (see the module
+    /// docs), so independent replays reconstruct a cross-partition-
+    /// consistent state for every fully-logged epoch.
+    pub fn recover(
+        dbs: &[Arc<Database>],
+        cfg: &PartitionedConfig,
+    ) -> std::io::Result<Vec<ReplayReport>> {
+        let n = cfg.partitions();
+        assert_eq!(dbs.len(), n, "one database per partition");
+        let mut reports = Vec::with_capacity(n);
+        for (i, db) in dbs.iter().enumerate() {
+            let dir = cfg
+                .engine_for(i)
+                .log_dir
+                .expect("recovery requires a log_dir base");
+            reports.push(orthrus_durability::recover_with(
+                db,
+                &dir,
+                cfg.engine.replay_threads.max(1),
+            )?);
+        }
+        Ok(reports)
+    }
+}
+
+/// The running deployment: owns the sequencer thread (which in turn
+/// owns every partition's [`EngineHandle`]).
+pub struct PartitionedHandle {
+    shared: Arc<PartShared>,
+    map: PartitionMap,
+    seq_thread: Option<std::thread::JoinHandle<Result<RunStats, String>>>,
+    stats: Option<RunStats>,
+}
+
+impl PartitionedHandle {
+    /// A client handle; clone freely across submitter threads.
+    pub fn session(&self) -> PartSession {
+        PartSession {
+            shared: Arc::clone(&self.shared),
+            map: self.map.clone(),
+        }
+    }
+
+    /// Global tickets accepted so far — the conservation ledger.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted()
+    }
+
+    /// Move every available translated completion into `out`; returns
+    /// how many. Tickets are the *global* ids [`PartSession::try_submit`]
+    /// returned.
+    pub fn drain_completions(&mut self, out: &mut Vec<Completion>) -> usize {
+        let mut fanin = self.shared.fanin.lock();
+        let n = fanin.len();
+        out.append(&mut fanin);
+        n
+    }
+
+    /// Shut down: fence submissions, let the sequencer flush the
+    /// cross-partition backlog and drain every accepted ticket, then
+    /// stop every partition engine and return the merged statistics
+    /// (one [`orthrus_common::HubBreakdown`] per partition in
+    /// [`RunStats::hub`]). Completions remain collectable via
+    /// [`Self::drain_completions`] afterwards.
+    pub fn shutdown(&mut self) -> RunStats {
+        self.try_shutdown()
+            .unwrap_or_else(|e| panic!("partitioned shutdown failed: {e}"))
+    }
+
+    /// [`Self::shutdown`], reporting member-engine failures instead of
+    /// panicking.
+    pub fn try_shutdown(&mut self) -> Result<RunStats, String> {
+        if let Some(stats) = &self.stats {
+            return Ok(stats.clone());
+        }
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let thread = self.seq_thread.take().ok_or_else(|| {
+            "partitioned shutdown already failed; the handle is spent".to_string()
+        })?;
+        let stats = thread
+            .join()
+            .map_err(|_| "sequencer thread panicked".to_string())??;
+        self.stats = Some(stats.clone());
+        Ok(stats)
+    }
+}
+
+impl Drop for PartitionedHandle {
+    fn drop(&mut self) {
+        if self.seq_thread.is_some() {
+            let _ = self.try_shutdown();
+        }
+    }
+}
+
+/// One in-flight epoch at the barrier.
+struct EpochInflight {
+    /// Per partition: the local ticket of its fused slice, cleared on
+    /// completion. `None` = partition untouched or already done.
+    fused: Vec<Option<u64>>,
+    /// Touched partitions still running their slice.
+    outstanding: usize,
+    /// Global tickets (and their enqueue instants, for latency) to
+    /// complete when the barrier clears.
+    globals: Vec<(u64, Instant)>,
+}
+
+/// The sequencer-and-pump thread: drains every partition's completions
+/// (translating local → global tickets), and runs the epoch barrier for
+/// cross-partition batches.
+struct Sequencer {
+    shared: Arc<PartShared>,
+    map: PartitionMap,
+    handles: Vec<EngineHandle>,
+    hubs: Vec<Arc<CompletionHub>>,
+    rxs: Vec<ClientRx>,
+    epoch: u64,
+    inflight: Option<EpochInflight>,
+    max_batch: usize,
+}
+
+impl Sequencer {
+    fn run(mut self) -> Result<RunStats, String> {
+        let mut drained: Vec<Completion> = Vec::new();
+        let mut got: Vec<Completion> = Vec::new();
+        let mut swept = false;
+        let mut idle_rounds = 0u32;
+        loop {
+            let mut progress = self.pump(&mut drained, &mut got);
+
+            // Barrier cleared? Emit the epoch's global completions and
+            // release the next batch.
+            if self.inflight.as_ref().is_some_and(|e| e.outstanding == 0) {
+                let done = self.inflight.take().expect("checked above");
+                let k = done.globals.len() as u64;
+                let mut fanin = self.shared.fanin.lock();
+                for (global, enqueued) in done.globals {
+                    fanin.push(Completion {
+                        ticket: Ticket(global),
+                        latency_ns: enqueued.elapsed().as_nanos() as u64,
+                    });
+                }
+                drop(fanin);
+                self.shared.emitted.fetch_add(k, Ordering::SeqCst);
+                progress = true;
+            }
+            if self.inflight.is_none() {
+                let batch: Vec<XpEntry> = {
+                    let mut q = self.shared.xp.lock();
+                    let k = q.len().min(self.max_batch);
+                    q.drain(..k).collect()
+                };
+                if !batch.is_empty() {
+                    self.release_epoch(batch, &mut drained, &mut got);
+                    progress = true;
+                }
+            }
+
+            if self.shared.stop.load(Ordering::SeqCst) {
+                if !swept {
+                    // Quiescing sweep: submitters check `accepting`
+                    // *under* these locks, so once we have cycled each
+                    // one, every successful mint is visible in
+                    // `next_global` and no new ones can start.
+                    for m in &self.shared.sp_maps {
+                        drop(lock_sp_map(m));
+                    }
+                    drop(self.shared.xp.lock());
+                    swept = true;
+                }
+                let done = self.inflight.is_none()
+                    && self.shared.xp.lock().is_empty()
+                    && self.shared.emitted.load(Ordering::SeqCst) == self.shared.accepted();
+                if done {
+                    break;
+                }
+            }
+            // Idle policy: park at the sim seam when simulated; outside
+            // the sim, yield briefly, then back off to a micro-sleep —
+            // a hot pump loop would otherwise burn a whole core on an
+            // oversubscribed host, starving the very partitions it is
+            // polling.
+            if progress {
+                idle_rounds = 0;
+            } else if !orthrus_common::sim::on_park() {
+                idle_rounds = idle_rounds.saturating_add(1);
+                if idle_rounds < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(20));
+                }
+            }
+        }
+
+        // Every global ticket is emitted; the member engines are idle.
+        // Stop them and merge their statistics, one hub breakdown per
+        // partition.
+        let hubs = std::mem::take(&mut self.hubs);
+        let mut merged: Option<RunStats> = None;
+        let mut fail: Option<String> = None;
+        for (mut handle, hub) in std::mem::take(&mut self.handles).into_iter().zip(hubs) {
+            match handle.try_shutdown() {
+                Ok(stats) => {
+                    let stats = stats.with_hub(hub.breakdown());
+                    match &mut merged {
+                        None => merged = Some(stats),
+                        Some(m) => m.absorb(stats),
+                    }
+                }
+                Err(e) => {
+                    fail.get_or_insert_with(|| e.to_string());
+                }
+            };
+        }
+        match fail {
+            Some(e) => Err(e),
+            None => Ok(merged.expect("at least one partition")),
+        }
+    }
+
+    /// Drain engine rings → hubs → our per-partition receivers, and
+    /// translate/observe everything received. Returns whether anything
+    /// moved.
+    fn pump(&mut self, drained: &mut Vec<Completion>, got: &mut Vec<Completion>) -> bool {
+        let mut progress = false;
+        for i in 0..self.handles.len() {
+            drained.clear();
+            if self.handles[i].drain_completions(drained) > 0 {
+                self.hubs[i].route(drained);
+            }
+            got.clear();
+            self.rxs[i].drain_into(got, usize::MAX);
+            for j in 0..got.len() {
+                let c = got[j];
+                progress = true;
+                self.observe(i, c);
+            }
+        }
+        progress
+    }
+
+    /// One local completion from partition `part`: either a fused slice
+    /// of the in-flight epoch (barrier bookkeeping) or a fast-path
+    /// submission (translate and emit).
+    fn observe(&mut self, part: usize, c: Completion) {
+        if let Some(e) = &mut self.inflight {
+            if e.fused[part] == Some(c.ticket.0) {
+                e.fused[part] = None;
+                e.outstanding -= 1;
+                return;
+            }
+        }
+        let global = lock_sp_map(&self.shared.sp_maps[part])
+            .remove(&c.ticket.0)
+            .expect("local completion with no global mapping");
+        self.shared.fanin.lock().push(Completion {
+            ticket: Ticket(global),
+            latency_ns: c.latency_ns,
+        });
+        self.shared.emitted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Slice `batch` per partition, stamp the next epoch number, and
+    /// submit one fused program to every touched partition. The epoch
+    /// is recorded in-flight *before* the first submission so slice
+    /// completions arriving during the submit loop are matched.
+    fn release_epoch(
+        &mut self,
+        batch: Vec<XpEntry>,
+        drained: &mut Vec<Completion>,
+        got: &mut Vec<Completion>,
+    ) {
+        self.epoch += 1;
+        let n = self.handles.len();
+        let mut parts: Vec<Vec<Program>> = vec![Vec::new(); n];
+        let mut globals = Vec::with_capacity(batch.len());
+        for entry in batch {
+            for (p, s) in slice(&entry.program, &self.map) {
+                parts[p].push(s);
+            }
+            globals.push((entry.global, entry.enqueued));
+        }
+        self.inflight = Some(EpochInflight {
+            fused: vec![None; n],
+            outstanding: 0,
+            globals,
+        });
+        for (p, progs) in parts.into_iter().enumerate() {
+            if progs.is_empty() {
+                continue;
+            }
+            let mut program = Program::Fused {
+                epoch: self.epoch,
+                parts: progs,
+            };
+            // Retry on a full ingest ring, draining completions in
+            // between so the partition can make room — the sequencer
+            // must never wedge on backpressure it is itself the only
+            // thread able to relieve.
+            let local = loop {
+                match self.shared.sessions[p].try_submit_owned(program, self.shared.owners[p]) {
+                    Ok(t) => break t,
+                    Err(TrySubmitError::Full(back)) => {
+                        program = back;
+                        self.pump(drained, got);
+                        if !orthrus_common::sim::on_park() {
+                            std::thread::yield_now();
+                        }
+                    }
+                    Err(TrySubmitError::Shutdown(_)) => {
+                        unreachable!("member sessions outlive the sequencer loop")
+                    }
+                }
+            };
+            let e = self.inflight.as_mut().expect("just set");
+            e.fused[p] = Some(local.0);
+            e.outstanding += 1;
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Key → partition mapping and program classification.
+//!
+//! The partitioned engine needs two static judgements about every
+//! submitted program, both derived from the *planned* footprint (the
+//! same keys `orthrus_txn::plan_accesses` locks — no reconnaissance, no
+//! data-dependent surprises):
+//!
+//! - [`route`]: which partitions the program touches. One partition (or
+//!   none — a footprint-free program) takes the fast path straight into
+//!   that partition's ingest ring; two or more make it a cross-partition
+//!   program for the epoch sequencer.
+//! - [`slice`]: the per-partition decomposition of a cross-partition
+//!   program, each slice touching only its own partition's keys. A
+//!   [`Program::Transfer`] spanning partitions becomes a debit
+//!   [`Program::Adjust`] on the `from` partition and a credit `Adjust`
+//!   on the `to` partition — sum-conserving because the two deltas
+//!   cancel mod 2⁶⁴.
+
+use orthrus_common::Key;
+use orthrus_txn::Program;
+
+/// How table keys map onto partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionMap {
+    /// `key % parts` — aligned with the workload generators'
+    /// `PartitionConstraint` convention (`orthrus-workload`), where
+    /// partition `p (mod of)` owns every key congruent to `p`.
+    Modulo { parts: usize },
+    /// Contiguous ranges: `bounds[i]` is the first key *past* partition
+    /// `i`; the last partition is unbounded above. `bounds` must be
+    /// strictly ascending.
+    Range { bounds: Vec<Key> },
+}
+
+impl PartitionMap {
+    /// Number of partitions this map spreads keys over.
+    pub fn partitions(&self) -> usize {
+        match self {
+            PartitionMap::Modulo { parts } => *parts,
+            PartitionMap::Range { bounds } => bounds.len() + 1,
+        }
+    }
+
+    /// The partition owning `key`.
+    #[inline]
+    pub fn partition_of(&self, key: Key) -> usize {
+        match self {
+            PartitionMap::Modulo { parts } => (key % *parts as u64) as usize,
+            PartitionMap::Range { bounds } => bounds.partition_point(|&b| b <= key),
+        }
+    }
+
+    /// Panic on a malformed map; called once at engine construction.
+    pub fn validate(&self) {
+        match self {
+            PartitionMap::Modulo { parts } => assert!(*parts >= 1, "need at least one partition"),
+            PartitionMap::Range { bounds } => assert!(
+                bounds.windows(2).all(|w| w[0] < w[1]),
+                "range bounds must be strictly ascending"
+            ),
+        }
+    }
+}
+
+/// Where a program's static footprint lands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Every planned key lives in one partition — or the program has no
+    /// static footprint at all, in which case it lands on partition 0
+    /// (any fixed choice preserves determinism; footprint-free programs
+    /// touch no data).
+    Single(usize),
+    /// The footprint spans these partitions (sorted, deduplicated,
+    /// `len() >= 2`): epoch-sequenced, never fast-pathed.
+    Cross(Vec<usize>),
+}
+
+/// Classify a program by planned footprint.
+pub fn route(program: &Program, map: &PartitionMap) -> Route {
+    let mut touched: Vec<usize> = Vec::new();
+    program.for_each_static_key(&mut |k| {
+        let p = map.partition_of(k);
+        if !touched.contains(&p) {
+            touched.push(p);
+        }
+    });
+    match touched.len() {
+        0 => Route::Single(0),
+        1 => Route::Single(touched[0]),
+        _ => {
+            touched.sort_unstable();
+            Route::Cross(touched)
+        }
+    }
+}
+
+/// Decompose a cross-partition program into per-partition slices, each
+/// touching only keys the named partition owns. Returns `(partition,
+/// slice)` pairs in ascending partition order.
+///
+/// Slicing is exact for the statically-footprinted variants:
+/// `ReadOnly`/`Rmw` split their key lists (each key is read or bumped
+/// independently), `Transfer` becomes the cancelling `Adjust` pair, and
+/// a `Fused` batch slices recursively. Programs with data-dependent
+/// footprints (TPC-C) are never sliced — [`route`] pins them to their
+/// warehouse-hint partition, so they always fast-path.
+pub fn slice(program: &Program, map: &PartitionMap) -> Vec<(usize, Program)> {
+    let mut out: Vec<(usize, Program)> = Vec::new();
+    slice_into(program, map, &mut out);
+    out.sort_by_key(|(p, _)| *p);
+    out
+}
+
+fn push_slice(out: &mut Vec<(usize, Program)>, p: usize, prog: Program) {
+    match (out.iter_mut().find(|(q, _)| *q == p), prog) {
+        (None, prog) => out.push((p, prog)),
+        // Merge same-partition slices of one program into a list shape.
+        (Some((_, Program::ReadOnly { keys })), Program::ReadOnly { keys: more }) => {
+            keys.extend(more)
+        }
+        (Some((_, Program::Rmw { keys })), Program::Rmw { keys: more }) => keys.extend(more),
+        (Some(slot), prog) => {
+            // Heterogeneous slices on one partition (e.g. a Fused batch
+            // mixing a Transfer leg with an Rmw): nest them in a
+            // single-partition Fused wrapper, epoch filled by the
+            // sequencer.
+            let (_, existing) = slot;
+            let existing = std::mem::replace(existing, Program::ReadOnly { keys: Vec::new() });
+            let parts = match existing {
+                Program::Fused { mut parts, .. } => {
+                    parts.push(prog);
+                    parts
+                }
+                other => vec![other, prog],
+            };
+            slot.1 = Program::Fused { epoch: 0, parts };
+        }
+    }
+}
+
+fn slice_into(program: &Program, map: &PartitionMap, out: &mut Vec<(usize, Program)>) {
+    match program {
+        Program::ReadOnly { keys } => {
+            for &k in keys {
+                push_slice(
+                    out,
+                    map.partition_of(k),
+                    Program::ReadOnly { keys: vec![k] },
+                );
+            }
+        }
+        Program::Rmw { keys } => {
+            for &k in keys {
+                push_slice(out, map.partition_of(k), Program::Rmw { keys: vec![k] });
+            }
+        }
+        Program::Transfer { from, to, amount } => {
+            let (pf, pt) = (map.partition_of(*from), map.partition_of(*to));
+            if pf == pt {
+                push_slice(
+                    out,
+                    pf,
+                    Program::Transfer {
+                        from: *from,
+                        to: *to,
+                        amount: *amount,
+                    },
+                );
+            } else {
+                push_slice(
+                    out,
+                    pf,
+                    Program::Adjust {
+                        key: *from,
+                        delta: amount.wrapping_neg(),
+                    },
+                );
+                push_slice(
+                    out,
+                    pt,
+                    Program::Adjust {
+                        key: *to,
+                        delta: *amount,
+                    },
+                );
+            }
+        }
+        Program::Adjust { key, delta } => push_slice(
+            out,
+            map.partition_of(*key),
+            Program::Adjust {
+                key: *key,
+                delta: *delta,
+            },
+        ),
+        Program::Fused { parts, .. } => {
+            for part in parts {
+                slice_into(part, map, out);
+            }
+        }
+        other => {
+            // Data-dependent footprint: never reaches here via the
+            // router ([`route`] returns `Single` for these), but keep
+            // slicing total rather than panicking on a direct call.
+            let p = other.routing_key().map_or(0, |k| map.partition_of(k));
+            push_slice(out, p, other.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modulo(parts: usize) -> PartitionMap {
+        PartitionMap::Modulo { parts }
+    }
+
+    #[test]
+    fn modulo_and_range_maps_agree_on_ownership_shape() {
+        let m = modulo(3);
+        assert_eq!(m.partitions(), 3);
+        assert_eq!(m.partition_of(7), 1);
+        let r = PartitionMap::Range {
+            bounds: vec![10, 20],
+        };
+        r.validate();
+        assert_eq!(r.partitions(), 3);
+        assert_eq!(r.partition_of(0), 0);
+        assert_eq!(r.partition_of(10), 1);
+        assert_eq!(r.partition_of(19), 1);
+        assert_eq!(r.partition_of(20), 2);
+        assert_eq!(r.partition_of(u64::MAX), 2);
+    }
+
+    #[test]
+    fn single_partition_programs_fast_path() {
+        let map = modulo(4);
+        // Keys 1, 5, 9 are all ≡ 1 (mod 4).
+        let p = Program::Rmw {
+            keys: vec![1, 5, 9],
+        };
+        assert_eq!(route(&p, &map), Route::Single(1));
+        // Footprint-free programs pin to partition 0.
+        let empty = Program::Rmw { keys: vec![] };
+        assert_eq!(route(&empty, &map), Route::Single(0));
+    }
+
+    #[test]
+    fn cross_partition_transfer_slices_into_cancelling_adjusts() {
+        let map = modulo(2);
+        let t = Program::Transfer {
+            from: 3,
+            to: 6,
+            amount: 41,
+        };
+        assert_eq!(route(&t, &map), Route::Cross(vec![0, 1]));
+        let slices = slice(&t, &map);
+        assert_eq!(
+            slices,
+            vec![
+                (0, Program::Adjust { key: 6, delta: 41 }),
+                (
+                    1,
+                    Program::Adjust {
+                        key: 3,
+                        delta: 41u64.wrapping_neg()
+                    }
+                ),
+            ]
+        );
+        // Deltas cancel: the global sum is conserved mod 2⁶⁴.
+        let total: u64 = slices
+            .iter()
+            .map(|(_, s)| match s {
+                Program::Adjust { delta, .. } => *delta,
+                _ => unreachable!(),
+            })
+            .fold(0u64, u64::wrapping_add);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn same_partition_transfer_stays_whole() {
+        let map = modulo(2);
+        let t = Program::Transfer {
+            from: 2,
+            to: 4,
+            amount: 5,
+        };
+        assert_eq!(route(&t, &map), Route::Single(0));
+        assert_eq!(slice(&t, &map), vec![(0, t)]);
+    }
+
+    #[test]
+    fn rmw_spanning_partitions_splits_by_key_ownership() {
+        let map = modulo(2);
+        let p = Program::Rmw {
+            keys: vec![0, 1, 2, 5],
+        };
+        assert_eq!(route(&p, &map), Route::Cross(vec![0, 1]));
+        assert_eq!(
+            slice(&p, &map),
+            vec![
+                (0, Program::Rmw { keys: vec![0, 2] }),
+                (1, Program::Rmw { keys: vec![1, 5] }),
+            ]
+        );
+    }
+
+    #[test]
+    fn mixed_slices_on_one_partition_nest_in_a_fused_wrapper() {
+        let map = modulo(2);
+        let batch = Program::Fused {
+            epoch: 0,
+            parts: vec![
+                Program::Transfer {
+                    from: 1,
+                    to: 2,
+                    amount: 9,
+                },
+                Program::Rmw { keys: vec![4] },
+            ],
+        };
+        let slices = slice(&batch, &map);
+        // Partition 0 gets the credit Adjust *and* the Rmw — wrapped.
+        let p0 = &slices[0].1;
+        match p0 {
+            Program::Fused { parts, .. } => assert_eq!(parts.len(), 2),
+            other => panic!("expected fused wrapper, got {}", other.kind()),
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! sim explore --seeds N [--base B] [--txns T] [--verbose]
 //! sim run --seed S [--budget B] [--txns T] [--trace]
 //! sim net --seeds N [--base B]
+//! sim part --seeds N [--base B]
 //! ```
 //!
 //! `explore` sweeps seeds and exits nonzero if any run violates an
@@ -11,15 +12,20 @@
 //! a replayable trace tail. `run` replays one `(seed, budget)` pair —
 //! the reproduction line `explore` prints. `net` sweeps the TCP
 //! front-door corpus (convergence + conservation; see
-//! `orthrus_sim::net`).
+//! `orthrus_sim::net`). `part` sweeps the partitioned-deployment corpus
+//! (cross-partition conservation + epoch-ordered replay; see
+//! `orthrus_sim::part`).
 
-use orthrus_sim::{explore, run_net_sim, run_sim, NetSimConfig, SimConfig};
+use orthrus_sim::{
+    explore, run_net_sim, run_part_sim, run_sim, NetSimConfig, PartSimConfig, SimConfig,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  sim explore --seeds N [--base B] [--txns T] [--verbose]\n  \
          sim run --seed S [--budget B] [--txns T] [--trace]\n  \
-         sim net --seeds N [--base B]"
+         sim net --seeds N [--base B]\n  \
+         sim part --seeds N [--base B]"
     );
     std::process::exit(2);
 }
@@ -121,6 +127,31 @@ fn main() {
             }
             println!(
                 "net corpus: {count} seeds ({base}..{}): all invariants held",
+                base + count
+            );
+        }
+        "part" => {
+            let count = seeds.unwrap_or_else(|| usage());
+            let mut failed = 0u64;
+            for seed in base..base + count {
+                let cfg = PartSimConfig::from_seed(seed);
+                let out = run_part_sim(&cfg);
+                println!(
+                    "seed {seed}: {} steps, {} faults, {} accepted ({} cross-partition), \
+                     {} epochs logged",
+                    out.steps, out.perturbations, out.accepted, out.cross, out.epochs_logged
+                );
+                for v in &out.violations {
+                    println!("violation: {v}");
+                }
+                failed += u64::from(!out.violations.is_empty());
+            }
+            if failed > 0 {
+                println!("part corpus: {failed} of {count} seeds FAILED");
+                std::process::exit(1);
+            }
+            println!(
+                "part corpus: {count} seeds ({base}..{}): all invariants held",
                 base + count
             );
         }

@@ -25,17 +25,24 @@
 //! - [`net`] — the same treatment for the TCP front door: engine +
 //!   `orthrus-net` listener under the scheduler, connection threads
 //!   free-running, asserting convergence and conservation (not trace
-//!   bit-identity — socket readiness is OS timing; see module docs).
+//!   bit-identity — socket readiness is OS timing; see module docs);
+//! - [`part`] — the partitioned deployment (`orthrus-part`): every
+//!   partition's workers plus the epoch sequencer under one barrier,
+//!   asserting cross-partition money conservation, global ticket
+//!   conservation, and epoch-ordered replay after recovery.
 //!
-//! The `sim` binary fronts all three: `sim explore --seeds N`,
-//! `sim run --seed S [--budget B] [--trace]`, and `sim net --seeds N`.
+//! The `sim` binary fronts all four: `sim explore --seeds N`,
+//! `sim run --seed S [--budget B] [--trace]`, `sim net --seeds N`,
+//! and `sim part --seeds N`.
 
 pub mod explore;
 pub mod net;
+pub mod part;
 pub mod run;
 pub mod sched;
 
 pub use explore::{explore, ExploreReport, FailureReport};
 pub use net::{run_net_sim, NetSimConfig, NetSimOutcome};
+pub use part::{run_part_sim, PartSimConfig, PartSimOutcome};
 pub use run::{run_sim, SimConfig, SimOutcome, WorkloadKind};
 pub use sched::{FaultPlan, SchedReport, SimScheduler, Step, StepKind};

@@ -43,6 +43,16 @@ impl Partition {
         self.store.rmw_increment(slot)
     }
 
+    /// Add a wrapping delta to the record counter (transfer primitive).
+    ///
+    /// # Safety
+    /// Same contract as [`Partition::rmw`].
+    #[inline]
+    pub unsafe fn add_counter(&self, key: Key, delta: u64) -> u64 {
+        let slot = self.index.get(key).expect("key not in partition");
+        self.store.rmw_add(slot, delta)
+    }
+
     /// Read the record counter.
     ///
     /// # Safety
@@ -130,6 +140,15 @@ impl PartitionedTable {
     #[inline]
     pub unsafe fn read_counter(&self, key: Key) -> u64 {
         self.partitions[self.partition_of(key)].read_counter(key)
+    }
+
+    /// Route a key to its partition and add a wrapping delta.
+    ///
+    /// # Safety
+    /// Same contract as [`Partition::rmw`].
+    #[inline]
+    pub unsafe fn add_counter(&self, key: Key, delta: u64) -> u64 {
+        self.partitions[self.partition_of(key)].add_counter(key, delta)
     }
 }
 

@@ -112,7 +112,20 @@ impl RecordStore {
     /// Caller must hold an exclusive logical lock on the record.
     #[inline]
     pub unsafe fn rmw_increment(&self, rid: usize) -> u64 {
-        let v = self.read_u64(rid).wrapping_add(1);
+        self.rmw_add(rid, 1)
+    }
+
+    /// Read-modify-write with an arbitrary wrapping delta: the transfer
+    /// primitive. Subtraction passes the two's complement
+    /// (`amount.wrapping_neg()`), so a debit/credit pair conserves the sum
+    /// of all counters modulo 2⁶⁴ — the money-conservation invariant the
+    /// cross-partition simulation corpus checks.
+    ///
+    /// # Safety
+    /// Caller must hold an exclusive logical lock on the record.
+    #[inline]
+    pub unsafe fn rmw_add(&self, rid: usize, delta: u64) -> u64 {
+        let v = self.read_u64(rid).wrapping_add(delta);
         self.write_u64(rid, v);
         // Touch one byte per cache line of the remaining payload, like a
         // real row update would.

@@ -67,6 +67,18 @@ impl Table {
         let slot = self.index.get(key).expect("key not loaded");
         self.store.rmw_increment(slot)
     }
+
+    /// Add a wrapping delta to the record counter under an exclusive
+    /// logical lock (the transfer primitive; see
+    /// [`crate::RecordStore::rmw_add`]).
+    ///
+    /// # Safety
+    /// Caller must hold an exclusive logical lock on `key`.
+    #[inline]
+    pub unsafe fn add_counter(&self, key: Key, delta: u64) -> u64 {
+        let slot = self.index.get(key).expect("key not loaded");
+        self.store.rmw_add(slot, delta)
+    }
 }
 
 #[cfg(test)]

@@ -39,7 +39,14 @@ mod tag {
     pub const ORDER_STATUS: u8 = 4;
     pub const DELIVERY: u8 = 5;
     pub const STOCK_LEVEL: u8 = 6;
+    pub const TRANSFER: u8 = 7;
+    pub const ADJUST: u8 = 8;
+    pub const FUSED: u8 = 9;
 }
+
+/// Fused batches nest; a hostile length prefix must not recurse the
+/// decoder off the stack, and real sequencers never nest past one level.
+const MAX_FUSED_DEPTH: u32 = 4;
 
 /// Append one program's encoding to `out`.
 pub fn encode_program(p: &Program, out: &mut Vec<u8>) {
@@ -87,11 +94,34 @@ pub fn encode_program(p: &Program, out: &mut Vec<u8>) {
             out.extend_from_slice(&i.threshold.to_le_bytes());
             out.extend_from_slice(&i.depth.to_le_bytes());
         }
+        Program::Transfer { from, to, amount } => {
+            out.push(tag::TRANSFER);
+            out.extend_from_slice(&from.to_le_bytes());
+            out.extend_from_slice(&to.to_le_bytes());
+            out.extend_from_slice(&amount.to_le_bytes());
+        }
+        Program::Adjust { key, delta } => {
+            out.push(tag::ADJUST);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&delta.to_le_bytes());
+        }
+        Program::Fused { epoch, parts } => {
+            out.push(tag::FUSED);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+            for part in parts {
+                encode_program(part, out);
+            }
+        }
     }
 }
 
 /// Decode one program at the reader's cursor.
 pub fn decode_program(r: &mut Reader<'_>) -> Result<Program, DecodeError> {
+    decode_program_at(r, 0)
+}
+
+fn decode_program_at(r: &mut Reader<'_>, depth: u32) -> Result<Program, DecodeError> {
     Ok(match r.u8()? {
         tag::READ_ONLY => Program::ReadOnly {
             keys: decode_keys(r)?,
@@ -131,6 +161,29 @@ pub fn decode_program(r: &mut Reader<'_>) -> Result<Program, DecodeError> {
             threshold: r.u32()?,
             depth: r.u32()?,
         }),
+        tag::TRANSFER => Program::Transfer {
+            from: r.u64()?,
+            to: r.u64()?,
+            amount: r.u64()?,
+        },
+        tag::ADJUST => Program::Adjust {
+            key: r.u64()?,
+            delta: r.u64()?,
+        },
+        tag::FUSED => {
+            if depth >= MAX_FUSED_DEPTH {
+                return Err(DecodeError(format!(
+                    "fused batch nested past depth {MAX_FUSED_DEPTH}"
+                )));
+            }
+            let epoch = r.u64()?;
+            let n = r.u32()?;
+            let mut parts = Vec::with_capacity(n.min(4096) as usize);
+            for _ in 0..n {
+                parts.push(decode_program_at(r, depth + 1)?);
+            }
+            Program::Fused { epoch, parts }
+        }
         other => return Err(DecodeError(format!("unknown program tag {other}"))),
     })
 }
@@ -296,6 +349,31 @@ mod tests {
                 threshold: 17,
                 depth: 20,
             }),
+            Program::Transfer {
+                from: 9,
+                to: u64::MAX,
+                amount: 123_456,
+            },
+            Program::Adjust {
+                key: 4,
+                delta: u64::MAX, // a debit: two's-complement −1
+            },
+            Program::Fused {
+                epoch: 0x1234_5678_9ABC_DEF0,
+                parts: vec![
+                    Program::Rmw { keys: vec![3, 5] },
+                    Program::Adjust { key: 1, delta: 7 },
+                    Program::Transfer {
+                        from: 0,
+                        to: 2,
+                        amount: 50,
+                    },
+                ],
+            },
+            Program::Fused {
+                epoch: 1,
+                parts: vec![],
+            },
         ]
     }
 
@@ -324,6 +402,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fused_nesting_is_bounded() {
+        // One level of nesting (what sequencers mint) round-trips …
+        let one = Program::Fused {
+            epoch: 2,
+            parts: vec![Program::Fused {
+                epoch: 2,
+                parts: vec![Program::Adjust { key: 0, delta: 1 }],
+            }],
+        };
+        let mut buf = Vec::new();
+        encode_program(&one, &mut buf);
+        assert_eq!(decode_program(&mut Reader::new(&buf)).unwrap(), one);
+
+        // … but a nesting bomb is rejected, not recursed.
+        let mut p = Program::Adjust { key: 0, delta: 1 };
+        for _ in 0..8 {
+            p = Program::Fused {
+                epoch: 0,
+                parts: vec![p],
+            };
+        }
+        buf.clear();
+        encode_program(&p, &mut buf);
+        assert!(decode_program(&mut Reader::new(&buf)).is_err());
     }
 
     #[test]

@@ -48,6 +48,22 @@ impl Database {
         }
     }
 
+    /// Add a wrapping delta to a record's counter (the transfer
+    /// primitive: debit = `amount.wrapping_neg()`, credit = `amount`, so
+    /// the sum of all counters is conserved modulo 2⁶⁴).
+    ///
+    /// # Safety
+    /// Caller must hold an exclusive logical lock (or partition lock)
+    /// covering `key`.
+    #[inline]
+    pub unsafe fn add_counter(&self, key: Key, delta: u64) -> u64 {
+        match self {
+            Database::Flat(t) => t.add_counter(key, delta),
+            Database::Partitioned(t) => t.add_counter(key, delta),
+            Database::Tpcc(_) => panic!("counter ops are not TPC-C operations"),
+        }
+    }
+
     /// The TPC-C database, when this is one.
     #[inline]
     pub fn tpcc(&self) -> &TpccDb {

@@ -121,6 +121,32 @@ pub fn execute(
         Program::OrderStatus(input) => execute_order_status(input, db, guard, plan),
         Program::Delivery(input) => execute_delivery(input, db, guard, plan),
         Program::StockLevel(input) => execute_stock_level(input, db, guard, plan),
+        Program::Transfer { from, to, amount } => {
+            guard.access(*from, LockMode::Exclusive)?;
+            guard.access(*to, LockMode::Exclusive)?;
+            // SAFETY: guard established exclusive access to both
+            // endpoints. Debit + credit wrap, so the sum of all counters
+            // is conserved modulo 2⁶⁴ (money invariant).
+            unsafe {
+                db.add_counter(*from, amount.wrapping_neg());
+                Ok(db.add_counter(*to, *amount))
+            }
+        }
+        Program::Adjust { key, delta } => {
+            guard.access(*key, LockMode::Exclusive)?;
+            // SAFETY: guard established exclusive access.
+            Ok(unsafe { db.add_counter(*key, *delta) })
+        }
+        Program::Fused { parts, .. } => {
+            // One partition's epoch slice: the constituents run
+            // back-to-back under the union plan, in sequencer order —
+            // the same order every other partition uses for this epoch.
+            let mut last = 0u64;
+            for part in parts {
+                last = execute(part, db, guard, plan)?;
+            }
+            Ok(last)
+        }
     }
 }
 

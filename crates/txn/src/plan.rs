@@ -181,6 +181,38 @@ pub fn plan_accesses(
         Program::OrderStatus(input) => plan_order_status(db.tpcc(), input, ollp_noise_percent, rng),
         Program::Delivery(input) => plan_delivery(db.tpcc(), input, ollp_noise_percent, rng),
         Program::StockLevel(input) => plan_stock_level(db.tpcc(), input, ollp_noise_percent, rng),
+        Program::Transfer { from, to, .. } => Plan {
+            accesses: AccessSet::from_unsorted(vec![
+                (*from, LockMode::Exclusive),
+                (*to, LockMode::Exclusive),
+            ]),
+            annotation: Annotation::None,
+        },
+        Program::Adjust { key, .. } => Plan {
+            accesses: AccessSet::from_unsorted(vec![(*key, LockMode::Exclusive)]),
+            annotation: Annotation::None,
+        },
+        Program::Fused { parts, .. } => {
+            // The fused plan is the pure union of the parts' access sets.
+            // Parts are restricted to static footprints (the sequencer
+            // only fuses counter programs), so there is no annotation to
+            // compose — a data-dependent part would silently lose its
+            // estimate, hence the assert.
+            let mut raw = Vec::new();
+            for part in parts {
+                let sub = plan_accesses(part, db, ollp_noise_percent, rng);
+                assert!(
+                    matches!(sub.annotation, Annotation::None),
+                    "fused part {} has a data-dependent footprint",
+                    part.kind()
+                );
+                raw.extend_from_slice(sub.accesses.entries());
+            }
+            Plan {
+                accesses: AccessSet::from_unsorted(raw),
+                annotation: Annotation::None,
+            }
+        }
     }
 }
 

@@ -96,6 +96,26 @@ pub enum Program {
     Delivery(DeliveryInput),
     /// TPC-C StockLevel (full-mix extension).
     StockLevel(StockLevelInput),
+    /// Move `amount` from one counter to another, both under exclusive
+    /// locks. Sum-conserving modulo 2⁶⁴ — the money invariant of the
+    /// cross-partition simulation corpus. Deliberately hint-less: neither
+    /// endpoint is statically hotter, so routing falls back to the full
+    /// planned footprint ([`Program::routing_key`]), which keeps a key
+    /// pair in the same class regardless of argument order.
+    Transfer { from: Key, to: Key, amount: u64 },
+    /// Add a wrapping delta to one counter: the single-partition slice of
+    /// a cross-partition [`Program::Transfer`], minted by the partitioned
+    /// engine's sequencer (debit slice `amount.wrapping_neg()` on the
+    /// `from` partition, credit slice `amount` on the `to` partition).
+    Adjust { key: Key, delta: u64 },
+    /// One partition's slice of a cross-partition epoch batch
+    /// (`orthrus-part`): the sequencer fuses every constituent program
+    /// touching this partition into one planned unit executed
+    /// back-to-back at the epoch barrier. `epoch` travels with the
+    /// program into the command log, so recovery replays cross-partition
+    /// batches in epoch order. Parts must have static footprints (no
+    /// reconnaissance): the fused plan is the pure union of the parts'.
+    Fused { epoch: u64, parts: Vec<Program> },
 }
 
 impl Program {
@@ -124,6 +144,60 @@ impl Program {
             },
             Program::Delivery(i) => Some(TpccLayout::warehouse_key_of(i.w)),
             Program::StockLevel(i) => Some(TpccLayout::warehouse_key_of(i.w)),
+            // A transfer's endpoints are equally contended and a fused
+            // batch has no single hot key: no hint. Consumers route by
+            // [`Program::routing_key`], whose footprint fallback keeps
+            // these deterministic.
+            Program::Transfer { .. } | Program::Fused { .. } => None,
+            Program::Adjust { key, .. } => Some(*key),
+        }
+    }
+
+    /// The key to route this program by — for ingest-lane selection
+    /// (`orthrus-core::Session`) and partition classification
+    /// (`orthrus-part`). The hot-key hint when present; otherwise the
+    /// *smallest statically-known footprint key*, so hint-less programs
+    /// (transfers, fused batches) still route deterministically instead
+    /// of falling to round-robin and misrouting across partitions.
+    pub fn routing_key(&self) -> Option<Key> {
+        self.hot_key_hint().or_else(|| self.min_static_key())
+    }
+
+    /// Smallest key of the static footprint, when one is known without
+    /// planning. TPC-C programs defer to their warehouse hint.
+    fn min_static_key(&self) -> Option<Key> {
+        match self {
+            Program::ReadOnly { keys } | Program::Rmw { keys } => keys.iter().copied().min(),
+            Program::Transfer { from, to, .. } => Some((*from).min(*to)),
+            Program::Adjust { key, .. } => Some(*key),
+            Program::Fused { parts, .. } => parts.iter().filter_map(Program::routing_key).min(),
+            _ => self.hot_key_hint(),
+        }
+    }
+
+    /// Visit every *statically known* footprint key — the partition
+    /// router's classification input (`orthrus-part`). TPC-C programs
+    /// have data-dependent footprints; they contribute only their
+    /// warehouse hint, which is exactly the key their partition is
+    /// derived from.
+    pub fn for_each_static_key(&self, f: &mut impl FnMut(Key)) {
+        match self {
+            Program::ReadOnly { keys } | Program::Rmw { keys } => keys.iter().copied().for_each(f),
+            Program::Transfer { from, to, .. } => {
+                f(*from);
+                f(*to);
+            }
+            Program::Adjust { key, .. } => f(*key),
+            Program::Fused { parts, .. } => {
+                for part in parts {
+                    part.for_each_static_key(f);
+                }
+            }
+            _ => {
+                if let Some(k) = self.hot_key_hint() {
+                    f(k);
+                }
+            }
         }
     }
 
@@ -137,6 +211,9 @@ impl Program {
             Program::OrderStatus(_) => "order-status",
             Program::Delivery(_) => "delivery",
             Program::StockLevel(_) => "stock-level",
+            Program::Transfer { .. } => "transfer",
+            Program::Adjust { .. } => "adjust",
+            Program::Fused { .. } => "fused",
         }
     }
 
@@ -155,6 +232,11 @@ impl Program {
                 matches!(o.customer, CustomerSelector::ByLastName { .. })
             }
             Program::Delivery(_) | Program::StockLevel(_) => true,
+            Program::Transfer { .. } | Program::Adjust { .. } => false,
+            // Fused batches are restricted to static-footprint parts by
+            // the sequencer; `any` keeps the answer honest if that ever
+            // changes.
+            Program::Fused { parts, .. } => parts.iter().any(Program::needs_reconnaissance),
         }
     }
 }
@@ -278,6 +360,51 @@ mod tests {
     }
 
     #[test]
+    fn transfer_and_fused_are_hintless_but_route_by_footprint() {
+        // Satellite of ISSUE 9: hint-less programs must not fall to
+        // round-robin — the routing key comes from the static footprint,
+        // and is symmetric in the transfer's argument order.
+        let ab = Program::Transfer {
+            from: 7,
+            to: 3,
+            amount: 10,
+        };
+        let ba = Program::Transfer {
+            from: 3,
+            to: 7,
+            amount: 10,
+        };
+        assert_eq!(ab.hot_key_hint(), None);
+        assert_eq!(ab.routing_key(), Some(3));
+        assert_eq!(ba.routing_key(), Some(3));
+
+        let fused = Program::Fused {
+            epoch: 4,
+            parts: vec![
+                Program::Rmw { keys: vec![9, 5] },
+                Program::Adjust { key: 2, delta: 1 },
+            ],
+        };
+        assert_eq!(fused.hot_key_hint(), None);
+        assert_eq!(fused.routing_key(), Some(2));
+        assert!(!fused.needs_reconnaissance());
+
+        // Programs with a hint keep it as the routing key.
+        assert_eq!(Program::Rmw { keys: vec![7, 3] }.routing_key(), Some(7));
+        assert_eq!(Program::Adjust { key: 8, delta: 1 }.routing_key(), Some(8));
+        // Empty programs still have no routing key.
+        assert_eq!(Program::ReadOnly { keys: vec![] }.routing_key(), None);
+        assert_eq!(
+            Program::Fused {
+                epoch: 0,
+                parts: vec![]
+            }
+            .routing_key(),
+            None
+        );
+    }
+
+    #[test]
     fn kinds_are_distinct() {
         let kinds = [
             Program::ReadOnly { keys: vec![] }.kind(),
@@ -315,6 +442,18 @@ mod tests {
                 threshold: 10,
                 depth: 20,
             })
+            .kind(),
+            Program::Transfer {
+                from: 0,
+                to: 1,
+                amount: 1,
+            }
+            .kind(),
+            Program::Adjust { key: 0, delta: 1 }.kind(),
+            Program::Fused {
+                epoch: 0,
+                parts: vec![],
+            }
             .kind(),
         ];
         let mut dedup = kinds.to_vec();

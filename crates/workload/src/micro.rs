@@ -46,6 +46,13 @@ pub struct MicroSpec {
     /// model) instead of uniform choice. Exclusive with `n_hot` and
     /// partition constraints.
     pub zipf_theta: Option<f64>,
+    /// Percent of programs emitted as two-endpoint [`Program::Transfer`]s
+    /// instead of the read/rmw shape — the partitioned engine's
+    /// cross-partition knob (`ORTHRUS_XPART_FRACTION` in the harness).
+    /// Under a partition constraint with `of >= 2` the endpoints land in
+    /// two *different* partitions (a guaranteed cross-partition
+    /// transaction); unconstrained, they are two distinct uniform keys.
+    pub transfer_pct: u32,
 }
 
 impl MicroSpec {
@@ -60,6 +67,7 @@ impl MicroSpec {
             read_only,
             constraint: PartitionConstraint::None,
             zipf_theta: None,
+            transfer_pct: 0,
         }
     }
 
@@ -100,6 +108,7 @@ impl MicroSpec {
             read_only,
             constraint: PartitionConstraint::None,
             zipf_theta: None,
+            transfer_pct: 0,
         }
     }
 
@@ -110,6 +119,14 @@ impl MicroSpec {
             assert!(count as usize <= self.total_ops);
         }
         self.constraint = c;
+        self
+    }
+
+    /// Emit `pct`% of programs as [`Program::Transfer`]s (see
+    /// [`Self::transfer_pct`]).
+    pub fn with_transfers(mut self, pct: u32) -> Self {
+        assert!(pct <= 100, "transfer_pct is a percentage");
+        self.transfer_pct = pct;
         self
     }
 
@@ -155,12 +172,58 @@ impl MicroGen {
     /// *before* admission — the contract the conflict-class admission
     /// scheduler (`orthrus-core::admit`) classifies on.
     pub fn next_program(&mut self) -> Program {
+        if self.spec.transfer_pct > 0 && self.rng.chance_percent(self.spec.transfer_pct) {
+            return self.next_transfer();
+        }
         self.next_keys();
         let keys = self.keys.clone();
         if self.spec.read_only {
             Program::ReadOnly { keys }
         } else {
             Program::Rmw { keys }
+        }
+    }
+
+    /// A two-endpoint transfer. Under a partition constraint with
+    /// `of >= 2` the endpoints are drawn from two *different* partitions
+    /// — a guaranteed cross-partition transaction for the partitioned
+    /// engine; otherwise two distinct uniform keys.
+    fn next_transfer(&mut self) -> Program {
+        let spec = &self.spec;
+        let of = match spec.constraint {
+            PartitionConstraint::Exact { of, .. }
+            | PartitionConstraint::MultiFraction { of, .. }
+                if of >= 2 =>
+            {
+                Some(of as u64)
+            }
+            _ => None,
+        };
+        let (from, to) = match of {
+            Some(of) => {
+                let pa = self.rng.next_below(of);
+                let mut pb = self.rng.next_below(of - 1);
+                if pb >= pa {
+                    pb += 1;
+                }
+                (
+                    Self::sample_in_partition_range(&mut self.rng, 0, spec.n_records, pa, of),
+                    Self::sample_in_partition_range(&mut self.rng, 0, spec.n_records, pb, of),
+                )
+            }
+            None => {
+                let from = self.rng.next_below(spec.n_records);
+                let mut to = self.rng.next_below(spec.n_records - 1);
+                if to >= from {
+                    to += 1;
+                }
+                (from, to)
+            }
+        };
+        Program::Transfer {
+            from,
+            to,
+            amount: 1 + self.rng.next_below(1000),
         }
     }
 
@@ -260,6 +323,28 @@ impl MicroGen {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transfer_knob_emits_cross_partition_transfers() {
+        let spec = MicroSpec::uniform(64, 2, false)
+            .with_constraint(PartitionConstraint::MultiFraction { pct: 0, of: 4 })
+            .with_transfers(100);
+        let mut gen = spec.generator(99, 0);
+        for _ in 0..200 {
+            match gen.next_program() {
+                Program::Transfer { from, to, .. } => {
+                    assert!(from < 64 && to < 64);
+                    assert_ne!(from % 4, to % 4, "endpoints span two partitions");
+                }
+                other => panic!("expected a transfer, got {}", other.kind()),
+            }
+        }
+        // pct = 0 keeps the classic shape.
+        let mut gen = MicroSpec::uniform(64, 2, false).generator(99, 0);
+        for _ in 0..50 {
+            assert!(matches!(gen.next_program(), Program::Rmw { .. }));
+        }
+    }
 
     fn keys_of(p: Program) -> Vec<u64> {
         match p {

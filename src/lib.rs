@@ -72,6 +72,7 @@ pub use orthrus_durability as durability;
 pub use orthrus_harness as harness;
 pub use orthrus_lockmgr as lockmgr;
 pub use orthrus_net as net;
+pub use orthrus_part as part;
 pub use orthrus_spsc as spsc;
 pub use orthrus_storage as storage;
 pub use orthrus_txn as txn;
