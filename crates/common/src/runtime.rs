@@ -15,6 +15,11 @@ use crate::stats::{RunStats, ThreadStats};
 pub struct RunCtl {
     measuring: AtomicBool,
     stop: AtomicBool,
+    /// A worker thread died (panicked) mid-run. Survivors poll this to
+    /// avoid waiting forever on a peer that will never drain its ring —
+    /// the run is already doomed to report the panic; liveness of the
+    /// shutdown path is all that is left to protect.
+    failed: AtomicBool,
 }
 
 impl RunCtl {
@@ -28,6 +33,7 @@ impl RunCtl {
         RunCtl {
             measuring: AtomicBool::new(false),
             stop: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
         }
     }
 
@@ -53,6 +59,21 @@ impl RunCtl {
     /// Ask workers to wind down (drain and exit their loops).
     pub fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Record that a worker thread died mid-run (called from its unwind
+    /// path). See [`Self::is_failed`].
+    pub fn mark_failed(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Whether some worker thread has died. A producer blocked on a full
+    /// ring whose consumer may be the dead thread must stop waiting and
+    /// discard — the consumer will never drain again, and the engine is
+    /// already committed to reporting the panic at shutdown.
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
     }
 }
 

@@ -41,6 +41,19 @@ pub enum SimOp<'a> {
     Point { name: &'a str },
 }
 
+/// What the scheduler decided about one hooked operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimDecision {
+    /// Perform the operation.
+    Proceed,
+    /// Deny it (pretend-full push, pretend-empty pop).
+    Deny,
+    /// Kill the calling thread here: the dispatch layer panics on its
+    /// behalf (after releasing the scheduler lock), modelling a thread
+    /// that dies mid-run. The enrollment guard retires it during unwind.
+    Crash,
+}
+
 /// A simulation scheduler: owns virtual time and decides, at every hook,
 /// who runs next and whether the operation proceeds.
 pub trait Scheduler: Send + Sync {
@@ -54,14 +67,27 @@ pub trait Scheduler: Send + Sync {
     /// The thread is exiting; pass the token on.
     fn unregister(&self, thread: usize);
 
-    /// Thread `thread` reached a hook. Returns `false` to deny the
-    /// operation (pretend-full push, pretend-empty pop). May block to run
-    /// other threads first.
-    fn reached(&self, thread: usize, op: SimOp<'_>) -> bool;
+    /// Thread `thread` reached a hook. May block to run other threads
+    /// first; the returned [`SimDecision`] says whether the operation
+    /// proceeds, is denied, or the thread is crashed on the spot.
+    fn reached(&self, thread: usize, op: SimOp<'_>) -> SimDecision;
 
     /// Pick the starting lane for a fan-in drain round (grant/message
     /// reordering), or `None` to keep the engine's own rotation.
     fn fanin_start(&self, thread: usize, lanes: usize) -> Option<usize>;
+
+    /// Whether the thread enrolled under `name` is still live (enrolled
+    /// and not yet exited) in **virtual** time. Wait loops use this in
+    /// place of `JoinHandle::is_finished`, which flips on *OS* time: a
+    /// retired thread's handle stays unfinished for however long its
+    /// real unwind takes, and a hooked spin gated on that would record a
+    /// timing-dependent number of steps — nondeterminism. `None` means
+    /// the name is not a participant of this simulation (it runs
+    /// unenrolled; the caller should fall back to the OS-level check).
+    fn peer_live(&self, name: &str) -> Option<bool> {
+        let _ = name;
+        None
+    }
 
     /// Assign a trace id to a newly created ring.
     fn alloc_chan(&self, label: &'static str) -> ChanId;
@@ -147,7 +173,17 @@ fn dispatch_slow(op: SimOp<'_>) -> Option<bool> {
     let me = SIM_THREAD.with(|t| t.get())?;
     let guard = SCHEDULER.read().unwrap();
     let sched = guard.as_ref()?;
-    Some(sched.reached(me, op))
+    match sched.reached(me, op) {
+        SimDecision::Proceed => Some(true),
+        SimDecision::Deny => Some(false),
+        SimDecision::Crash => {
+            // Release the scheduler read lock *before* unwinding: the
+            // enrollment guard's drop re-acquires it to unregister, and
+            // std's RwLock is not reentrant.
+            drop(guard);
+            panic!("sim: injected crash of enrolled thread {me}");
+        }
+    }
 }
 
 /// Hook before publishing `n` messages. `false` = pretend the ring is
@@ -169,6 +205,36 @@ pub fn on_pop(chan: ChanId, label: &str) -> bool {
 #[inline]
 pub fn on_park() -> bool {
     dispatch(SimOp::Park).is_some()
+}
+
+/// Whether the thread enrolled under `name` is still live in virtual
+/// time. `None` when no scheduler is installed *or* the name is not a
+/// participant of the current simulation — callers then fall back to an
+/// OS-level check like `JoinHandle::is_finished`. See
+/// [`Scheduler::peer_live`] for why join-wait loops must not gate on OS
+/// time under the simulation.
+pub fn peer_live(name: &str) -> Option<bool> {
+    if !is_active() {
+        return None;
+    }
+    SCHEDULER
+        .read()
+        .unwrap()
+        .as_ref()
+        .and_then(|s| s.peer_live(name))
+}
+
+/// Whether a spawned thread is still running, preferring virtual-time
+/// liveness over the OS clock: under a scheduler that knows `name`,
+/// this is [`peer_live`]; otherwise it falls back to
+/// `JoinHandle::is_finished`. Join-wait loops that record sim steps
+/// (hooked pops/parks) must gate on this, not on `is_finished`
+/// directly — see [`Scheduler::peer_live`].
+pub fn thread_running<T>(handle: &std::thread::JoinHandle<T>, name: &str) -> bool {
+    match peer_live(name) {
+        Some(live) => live,
+        None => !handle.is_finished(),
+    }
 }
 
 /// Hook at a named synchronization point. The return value is currently

@@ -27,6 +27,7 @@ use std::time::Instant;
 
 use orthrus_common::affinity::pin_to_core;
 use orthrus_common::runtime::{timed_run, RunCtl, RunParams};
+use orthrus_common::sim;
 use orthrus_common::{Backoff, RunStats, ThreadStats};
 use orthrus_durability::checkpoint::{run_checkpointer, write_initial_checkpoint};
 use orthrus_durability::{run_sync_coordinator, CommandLog, ReplayReport};
@@ -323,18 +324,20 @@ impl OrthrusEngine {
         let shared_table = shared_table_for(&cfg);
         let aux = AuxThreads::spawn(&cfg, &self.log);
         let mut workers = Vec::with_capacity(cfg.total_threads());
+        let mut worker_names = Vec::with_capacity(cfg.total_threads());
 
         for (cc, ep) in fabric.cc.into_iter().enumerate() {
             let ctl = Arc::clone(&ctl);
             let active = Arc::clone(&active_execs);
             let flush = cfg.effective_flush_threshold();
             let shared = shared_table.clone();
-            let sim_prefix = cfg.sim_prefix.clone();
+            let name = format!("{}cc{cc}", cfg.sim_prefix);
+            worker_names.push(name.clone());
             workers.push(std::thread::spawn(move || {
                 // Under a sim scheduler this blocks until every worker
                 // (and the client) has enrolled; a no-op otherwise. The
                 // guard retires the thread on drop, panics included.
-                let _sim = orthrus_common::sim::enroll(&format!("{sim_prefix}cc{cc}"));
+                let _sim = sim::enroll(&name);
                 pin_to_core(cc);
                 match shared {
                     None => run_cc(cc as u32, CC_TABLE_CAPACITY, flush, ep, &ctl, &active),
@@ -367,8 +370,10 @@ impl OrthrusEngine {
             let ctl = Arc::clone(&ctl);
             let active = Arc::clone(&active_execs);
             let log = self.log.clone();
+            let name = format!("{}exec{ex}", cfg.sim_prefix);
+            worker_names.push(name.clone());
             workers.push(std::thread::spawn(move || {
-                let _sim = orthrus_common::sim::enroll(&format!("{}exec{ex}", cfg.sim_prefix));
+                let _sim = sim::enroll(&name);
                 pin_to_core(cfg.n_cc + ex);
                 let source = ClientSource::new(submit_rx, cfg.effective_flush_threshold());
                 let admit = crate::admit::Admitter::new(
@@ -391,6 +396,7 @@ impl OrthrusEngine {
             completions,
             stash: Vec::new(),
             workers,
+            worker_names,
             n_cc: self.cfg.n_cc,
             measure_from: Instant::now(),
             stats: None,
@@ -450,6 +456,10 @@ struct AuxThreads {
     stop: Arc<AtomicBool>,
     sync: Option<std::thread::JoinHandle<ThreadStats>>,
     ckpt: Option<std::thread::JoinHandle<()>>,
+    /// The companions' sim enrollment names are `{sim_prefix}sync` /
+    /// `{sim_prefix}ckpt`; kept so [`Self::finish`] can gate its wait
+    /// loop on virtual-time liveness.
+    sim_prefix: String,
 }
 
 impl AuxThreads {
@@ -458,6 +468,7 @@ impl AuxThreads {
             stop: Arc::new(AtomicBool::new(false)),
             sync: None,
             ckpt: None,
+            sim_prefix: cfg.sim_prefix.clone(),
         };
         let Some(log) = log else { return aux };
         if log.group_sync() {
@@ -496,10 +507,15 @@ impl AuxThreads {
         self.stop.store(true, Ordering::Release);
         // Under a sim scheduler the caller holds the token, and a bare
         // join would block while the companions sit parked waiting for
-        // it — yield through the park point until both have actually
-        // exited (a no-op spin outside the sim).
-        while self.sync.as_ref().is_some_and(|h| !h.is_finished())
-            || self.ckpt.as_ref().is_some_and(|h| !h.is_finished())
+        // it — yield through the park point until both have retired (a
+        // no-op spin outside the sim). The exit condition must be
+        // *virtual*-time liveness: gating on `is_finished` would record
+        // however many park steps the companions' real OS unwind takes,
+        // which is timing-dependent — nondeterminism.
+        let sync_name = format!("{}sync", self.sim_prefix);
+        let ckpt_name = format!("{}ckpt", self.sim_prefix);
+        while (self.sync.as_ref()).is_some_and(|h| sim::thread_running(h, &sync_name))
+            || (self.ckpt.as_ref()).is_some_and(|h| sim::thread_running(h, &ckpt_name))
         {
             if !orthrus_common::sim::on_park() {
                 std::thread::yield_now();
@@ -630,6 +646,9 @@ pub struct EngineHandle {
     /// CC workers first, then execution workers (join order matters only
     /// for the stats split).
     workers: Vec<std::thread::JoinHandle<ThreadStats>>,
+    /// The workers' sim enrollment names, index-aligned with `workers`,
+    /// so the shutdown drain can gate on virtual-time liveness.
+    worker_names: Vec<String>,
     n_cc: usize,
     measure_from: Instant,
     stats: Option<RunStats>,
@@ -716,8 +735,12 @@ impl EngineHandle {
         let elapsed = self.measure_from.elapsed();
         self.ctl.request_stop();
         // Workers may be blocked publishing completions; keep draining
-        // while they wind down.
-        while self.workers.iter().any(|w| !w.is_finished()) {
+        // while they wind down. Gate on virtual-time liveness under a
+        // sim scheduler (the pops below are hooked steps — counting
+        // them against real OS unwind time would vary run to run).
+        while (self.workers.iter().zip(&self.worker_names))
+            .any(|(w, name)| sim::thread_running(w, name))
+        {
             let mut stash = std::mem::take(&mut self.stash);
             for ring in &mut self.completions {
                 ring.pop_batch(&mut stash);
@@ -823,16 +846,36 @@ impl CcOutBufs {
         stats.messages_sent += 1;
     }
 
-    /// Publish every staged message, one slice per destination.
-    fn flush(&mut self, ep: &mut CcEndpoints) {
+    /// Publish every staged message, one slice per destination. A dead
+    /// destination (its thread panicked; see [`RunCtl::is_failed`]) can
+    /// never drain its ring again, so a plain blocking `push_slice`
+    /// would spin forever once the ring fills — under the simulator's
+    /// crash faults that wedged the whole shutdown. On failure the
+    /// staged remainder is discarded instead: the engine is already
+    /// committed to reporting `WorkerPanicked`, and completions lost
+    /// with the dead thread are exactly what the recovery path replays.
+    fn flush(&mut self, ep: &mut CcEndpoints, ctl: &RunCtl) {
+        fn push_or_discard<T>(ring: &mut Producer<T>, buf: &mut Vec<T>, ctl: &RunCtl) {
+            let mut backoff = Backoff::new();
+            while !buf.is_empty() {
+                if ring.try_push_slice(buf) > 0 {
+                    backoff.reset();
+                } else if ctl.is_failed() {
+                    buf.clear();
+                    return;
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
         for (cc, buf) in self.to_cc.iter_mut().enumerate() {
             if !buf.is_empty() {
-                ep.to_cc[cc].push_slice(buf);
+                push_or_discard(&mut ep.to_cc[cc], buf, ctl);
             }
         }
         for (exec, buf) in self.to_exec.iter_mut().enumerate() {
             if !buf.is_empty() {
-                ep.to_exec[exec].push_slice(buf);
+                push_or_discard(&mut ep.to_exec[exec], buf, ctl);
             }
         }
     }
@@ -874,7 +917,7 @@ fn run_cc(
                     out_bufs.stage(msg, &mut stats);
                 }
             }
-            out_bufs.flush(&mut ep);
+            out_bufs.flush(&mut ep, ctl);
             backoff.reset();
         } else if ctl.is_stopped() && active_execs.load(std::sync::atomic::Ordering::Acquire) == 0 {
             // Every exec flushed its final sends before decrementing, and
@@ -929,12 +972,16 @@ fn run_cc_shared(
         for msg in out.drain(..) {
             out_bufs.stage(msg, &mut stats);
         }
-        out_bufs.flush(&mut ep);
+        out_bufs.flush(&mut ep, ctl);
         if progress {
             backoff.reset();
         } else if ctl.is_stopped()
             && active_execs.load(std::sync::atomic::Ordering::Acquire) == 0
-            && state.pending_count() == 0
+            // A dead exec thread never releases the locks its in-flight
+            // transactions hold, so its peers' parked acquisitions can
+            // never be granted — on failure, abandon them instead of
+            // polling forever.
+            && (state.pending_count() == 0 || ctl.is_failed())
         {
             if ep.fanin.is_empty() {
                 break;

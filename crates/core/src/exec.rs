@@ -317,14 +317,20 @@ impl<'a, S: TxnSource> ExecThread<'a, S> {
     pub fn run(mut self, ctl: &RunCtl, active_execs: &AtomicUsize) -> ThreadStats {
         // Decrement on every exit path, unwinding included: a panicking
         // exec thread must not leave CC threads waiting forever on an
-        // `active_execs` count that can no longer reach zero.
-        struct ActiveGuard<'g>(&'g AtomicUsize);
+        // `active_execs` count that can no longer reach zero. The same
+        // unwind also raises `RunCtl::mark_failed` so a CC thread blocked
+        // pushing grants into this (now consumer-less) thread's ring can
+        // discard and exit instead of spinning forever.
+        struct ActiveGuard<'g>(&'g AtomicUsize, &'g RunCtl);
         impl Drop for ActiveGuard<'_> {
             fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.1.mark_failed();
+                }
                 self.0.fetch_sub(1, Ordering::AcqRel);
             }
         }
-        let _active = ActiveGuard(active_execs);
+        let _active = ActiveGuard(active_execs, ctl);
         let mut timer = PhaseTimer::start(Phase::Locking);
         let mut backoff = Backoff::new();
         let mut in_window = false;

@@ -125,6 +125,13 @@ impl SyncState {
         self.failed.load(Ordering::Acquire)
     }
 
+    /// Raise the failure flag without an fsync error — used when the
+    /// coordinator thread itself dies (panic or injected crash), which
+    /// also means the watermark will never advance again.
+    pub fn mark_failed(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
     /// Group fsyncs issued so far.
     pub fn group_syncs(&self) -> u64 {
         self.group_syncs.load(Ordering::Relaxed)

@@ -107,6 +107,19 @@ pub fn run_sync_coordinator(
     stop: &AtomicBool,
     interval: SyncInterval,
 ) -> ThreadStats {
+    // If this thread dies for *any* reason — an fsync error panic below,
+    // or a simulated crash injected at one of its hooks — the watermark
+    // will never advance again, and exec threads waiting on it must fail
+    // loudly rather than hang. Raise the shared failure flag on unwind.
+    struct FailOnUnwind<'a>(&'a CommandLog);
+    impl Drop for FailOnUnwind<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.sync_state().mark_failed();
+            }
+        }
+    }
+    let _unwind_guard = FailOnUnwind(log);
     let mut stats = ThreadStats::default();
     let adaptive = interval == SyncInterval::Adaptive;
     let mut pause_us = interval.initial_micros().max(1);

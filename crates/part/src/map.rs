@@ -330,4 +330,89 @@ mod tests {
             other => panic!("expected fused wrapper, got {}", other.kind()),
         }
     }
+
+    #[test]
+    fn slicing_an_empty_footprint_yields_no_slices() {
+        // A footprint-free program routes to partition 0 whole (see
+        // `route`), but a *direct* slice call must not invent work: no
+        // keys, no slices — including through a Fused wrapper.
+        let map = modulo(3);
+        assert_eq!(slice(&Program::Rmw { keys: vec![] }, &map), vec![]);
+        assert_eq!(slice(&Program::ReadOnly { keys: vec![] }, &map), vec![]);
+        let hollow = Program::Fused {
+            epoch: 0,
+            parts: vec![
+                Program::Rmw { keys: vec![] },
+                Program::ReadOnly { keys: vec![] },
+            ],
+        };
+        assert_eq!(slice(&hollow, &map), vec![]);
+    }
+
+    #[test]
+    fn all_keys_on_one_partition_collapse_to_a_single_slice() {
+        // Slicing is total even when routing would have fast-pathed: a
+        // single-partition footprint comes back as exactly one slice
+        // equal to the original key set.
+        let map = modulo(4);
+        let p = Program::Rmw {
+            keys: vec![2, 6, 10, 14],
+        };
+        assert_eq!(route(&p, &map), Route::Single(2));
+        assert_eq!(
+            slice(&p, &map),
+            vec![(
+                2,
+                Program::Rmw {
+                    keys: vec![2, 6, 10, 14]
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_across_fused_parts_are_preserved_per_partition() {
+        // Two fused parts bumping the same key: the per-partition merge
+        // concatenates key lists, and must keep *both* occurrences —
+        // each is one increment, and dedup would change the effect.
+        let map = modulo(2);
+        let batch = Program::Fused {
+            epoch: 0,
+            parts: vec![
+                Program::Rmw { keys: vec![4, 1] },
+                Program::Rmw { keys: vec![4, 2] },
+            ],
+        };
+        let slices = slice(&batch, &map);
+        assert_eq!(
+            slices,
+            vec![
+                (
+                    0,
+                    Program::Rmw {
+                        keys: vec![4, 4, 2]
+                    }
+                ),
+                (1, Program::Rmw { keys: vec![1] }),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_partition_range_map_owns_every_key() {
+        // The degenerate Range map (no bounds) is one unbounded
+        // partition; validate() accepts it and everything routes there.
+        let r = PartitionMap::Range { bounds: vec![] };
+        r.validate();
+        assert_eq!(r.partitions(), 1);
+        assert_eq!(r.partition_of(0), 0);
+        assert_eq!(r.partition_of(u64::MAX), 0);
+        let t = Program::Transfer {
+            from: 1,
+            to: u64::MAX,
+            amount: 7,
+        };
+        assert_eq!(route(&t, &r), Route::Single(0));
+        assert_eq!(slice(&t, &r), vec![(0, t)]);
+    }
 }

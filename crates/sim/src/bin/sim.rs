@@ -1,29 +1,37 @@
 //! The simulation harness CLI.
 //!
 //! ```text
-//! sim explore --seeds N [--base B] [--txns T] [--verbose]
-//! sim run --seed S [--budget B] [--txns T] [--trace]
+//! sim explore --seeds N [--base B] [--txns T] [--guided] [--verbose]
+//! sim run --seed S [--budget B] [--txns T] [--keep I,J,K] [--plan SPEC] [--trace]
+//! sim crash --seeds N [--base B]
+//! sim coverage --seeds N [--base B] [--txns T] [--out FILE]
 //! sim net --seeds N [--base B]
 //! sim part --seeds N [--base B]
 //! ```
 //!
 //! `explore` sweeps seeds and exits nonzero if any run violates an
-//! invariant, printing each failure with its minimized fault budget and
-//! a replayable trace tail. `run` replays one `(seed, budget)` pair —
-//! the reproduction line `explore` prints. `net` sweeps the TCP
-//! front-door corpus (convergence + conservation; see
-//! `orthrus_sim::net`). `part` sweeps the partitioned-deployment corpus
-//! (cross-partition conservation + epoch-ordered replay; see
-//! `orthrus_sim::part`).
+//! invariant, printing each failure with its shrunken transaction list,
+//! minimized fault budget, and a replayable trace tail; `--guided`
+//! biases every seed's scheduler toward handoff transitions the sweep
+//! has not covered yet. `run` replays one reproduction line. `crash`
+//! sweeps the mid-run crash-restart corpus (kill one engine thread,
+//! recover in-sim; see `orthrus_sim::crash`). `coverage` runs the same
+//! seed range uniform *and* guided and fails unless guidance covered
+//! strictly more transitions — the CI gate for the guided picker. `net`
+//! sweeps the TCP front-door corpus, `part` the partitioned-deployment
+//! corpus.
 
 use orthrus_sim::{
-    explore, run_net_sim, run_part_sim, run_sim, NetSimConfig, PartSimConfig, SimConfig,
+    explore, run_crash_sim, run_net_sim, run_part_sim, run_sim, CrashSimConfig, FaultPlan,
+    NetSimConfig, PartSimConfig, SimConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  sim explore --seeds N [--base B] [--txns T] [--verbose]\n  \
-         sim run --seed S [--budget B] [--txns T] [--trace]\n  \
+        "usage:\n  sim explore --seeds N [--base B] [--txns T] [--guided] [--verbose]\n  \
+         sim run --seed S [--budget B] [--txns T] [--keep I,J,K] [--plan SPEC] [--trace]\n  \
+         sim crash --seeds N [--base B]\n  \
+         sim coverage --seeds N [--base B] [--txns T] [--out FILE]\n  \
          sim net --seeds N [--base B]\n  \
          sim part --seeds N [--base B]"
     );
@@ -32,7 +40,7 @@ fn usage() -> ! {
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
     value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-        eprintln!("{flag} needs a numeric argument");
+        eprintln!("{flag} needs a valid argument");
         usage()
     })
 }
@@ -45,8 +53,12 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut budget: Option<u64> = None;
     let mut txns: Option<usize> = None;
+    let mut keep: Option<Vec<u32>> = None;
+    let mut plan: Option<FaultPlan> = None;
+    let mut out_file: Option<String> = None;
     let mut trace = false;
     let mut verbose = false;
+    let mut guided = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--seeds" => seeds = Some(parse(&flag, args.next())),
@@ -54,8 +66,25 @@ fn main() {
             "--seed" => seed = Some(parse(&flag, args.next())),
             "--budget" => budget = Some(parse(&flag, args.next())),
             "--txns" => txns = Some(parse(&flag, args.next())),
+            "--keep" => {
+                let list: String = parse(&flag, args.next());
+                let parsed: Result<Vec<u32>, _> = list.split(',').map(str::parse::<u32>).collect();
+                keep = Some(parsed.unwrap_or_else(|_| {
+                    eprintln!("--keep wants a comma-separated index list, got {list:?}");
+                    usage()
+                }));
+            }
+            "--plan" => {
+                let spec: String = parse(&flag, args.next());
+                plan = Some(spec.parse().unwrap_or_else(|e| {
+                    eprintln!("--plan: {e}");
+                    usage()
+                }));
+            }
+            "--out" => out_file = Some(parse(&flag, args.next())),
             "--trace" => trace = true,
             "--verbose" => verbose = true,
+            "--guided" => guided = true,
             _ => usage(),
         }
     }
@@ -63,20 +92,29 @@ fn main() {
     match cmd.as_str() {
         "explore" => {
             let count = seeds.unwrap_or_else(|| usage());
-            let report = explore(base, count, txns, verbose);
+            let report = explore(base, count, txns, verbose, guided);
+            let mode = if guided { "guided" } else { "uniform" };
+            let plateau = if report.plateau {
+                " (coverage plateaued — consider a different corpus)"
+            } else {
+                ""
+            };
             if report.ok() {
                 println!(
-                    "explored {} seeds ({base}..{}): all invariants held",
+                    "explored {} seeds ({base}..{}, {mode}): all invariants held, \
+                     {} transitions covered{plateau}",
                     report.seeds_run,
-                    base + count
+                    base + count,
+                    report.transitions_covered,
                 );
             } else {
                 for failure in &report.failures {
                     println!("{failure}");
                 }
                 println!(
-                    "explored {} seeds: {} FAILED",
+                    "explored {} seeds ({mode}, {} transitions covered{plateau}): {} FAILED",
                     report.seeds_run,
+                    report.transitions_covered,
                     report.failures.len()
                 );
                 std::process::exit(1);
@@ -88,9 +126,13 @@ fn main() {
             if let Some(t) = txns {
                 cfg.txns = t;
             }
+            if let Some(p) = plan {
+                cfg.plan = p;
+            }
             if let Some(b) = budget {
                 cfg.plan = cfg.plan.with_budget(b);
             }
+            cfg.keep = keep;
             let out = run_sim(&cfg, trace);
             println!(
                 "seed {seed}: {} steps, {} faults, {} committed, trace hash {:#018x}",
@@ -106,6 +148,70 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "crash" => {
+            let count = seeds.unwrap_or_else(|| usage());
+            let mut failed = 0u64;
+            let mut fired = 0u64;
+            for seed in base..base + count {
+                let cfg = CrashSimConfig::from_seed(seed);
+                let victim = cfg
+                    .plan
+                    .crash
+                    .as_ref()
+                    .map_or_else(|| "?".to_string(), |c| c.victim.clone());
+                let out = run_crash_sim(&cfg, false);
+                println!(
+                    "seed {seed}: {} steps, victim {victim}, crashed={}, {} replayed",
+                    out.steps, out.crashed, out.replayed
+                );
+                for v in &out.violations {
+                    println!("violation: {v}");
+                }
+                fired += u64::from(out.crashed);
+                failed += u64::from(!out.violations.is_empty());
+            }
+            if failed > 0 {
+                println!("crash corpus: {failed} of {count} seeds FAILED");
+                std::process::exit(1);
+            }
+            println!(
+                "crash corpus: {count} seeds ({base}..{}): {fired} crashes fired \
+                 and recovered, all invariants held",
+                base + count
+            );
+        }
+        "coverage" => {
+            let count = seeds.unwrap_or_else(|| usage());
+            let uniform = explore(base, count, txns, false, false);
+            let guided_sweep = explore(base, count, txns, false, true);
+            let lines = format!(
+                "coverage at {count} seeds (base {base}):\n  uniform: {} transitions\n  \
+                 guided:  {} transitions\n  uniform growth: {:?}\n  guided growth:  {:?}\n",
+                uniform.transitions_covered,
+                guided_sweep.transitions_covered,
+                uniform.growth,
+                guided_sweep.growth,
+            );
+            print!("{lines}");
+            if let Some(path) = out_file {
+                if let Err(e) = std::fs::write(&path, &lines) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            if !uniform.ok() || !guided_sweep.ok() {
+                println!("coverage: invariant FAILURES during the sweeps");
+                std::process::exit(1);
+            }
+            if guided_sweep.transitions_covered <= uniform.transitions_covered {
+                println!(
+                    "coverage: guided sweep must cover strictly more transitions \
+                     than uniform at equal seeds"
+                );
+                std::process::exit(1);
+            }
+            println!("coverage: guided strictly exceeds uniform");
+        }
         "net" => {
             let count = seeds.unwrap_or_else(|| usage());
             let mut failed = 0u64;
@@ -113,8 +219,13 @@ fn main() {
                 let cfg = NetSimConfig::from_seed(seed);
                 let out = run_net_sim(&cfg);
                 println!(
-                    "seed {seed}: {} steps, {} faults, {} committed, {} delivered over TCP",
-                    out.steps, out.perturbations, out.committed, out.delivered
+                    "seed {seed}: {} steps, {} faults, {} committed, {} delivered over TCP, \
+                     {} transitions",
+                    out.steps,
+                    out.perturbations,
+                    out.committed,
+                    out.delivered,
+                    out.report.transitions.len()
                 );
                 for v in &out.violations {
                     println!("violation: {v}");
@@ -138,8 +249,13 @@ fn main() {
                 let out = run_part_sim(&cfg);
                 println!(
                     "seed {seed}: {} steps, {} faults, {} accepted ({} cross-partition), \
-                     {} epochs logged",
-                    out.steps, out.perturbations, out.accepted, out.cross, out.epochs_logged
+                     {} epochs logged, {} transitions",
+                    out.steps,
+                    out.perturbations,
+                    out.accepted,
+                    out.cross,
+                    out.epochs_logged,
+                    out.report.transitions.len()
                 );
                 for v in &out.violations {
                     println!("violation: {v}");

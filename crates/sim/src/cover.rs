@@ -1,0 +1,102 @@
+//! Handoff-transition coverage: the signal the guided explorer steers by.
+//!
+//! A **label** names one hooked operation independently of the run that
+//! produced it: the enrolled thread's *name* (never its id — ids depend
+//! on the participant list) combined with the operation kind and the
+//! ring label or point name it touches. A **transition** is an adjacent
+//! (previous label → next label) pair in the executed step stream — the
+//! unit of "schedule novelty". Two runs that execute the same operations
+//! in a different interleaving produce different transition sets, which
+//! is exactly what distinguishes a schedule from a workload.
+//!
+//! Labels and transitions are stable 64-bit hashes of those strings, so
+//! a [`CoverageMap`] accumulated across seeds needs no shared interner
+//! and stays a pure function of the seed sequence: runs are serialized
+//! process-wide, every fold happens in seed order, and nothing here
+//! consults time or OS identity.
+
+use std::collections::HashSet;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte string — the label hash primitive.
+pub fn fnv_str(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fold one more component into a label hash.
+#[inline]
+pub fn fnv_mix(mut h: u64, v: u64) -> u64 {
+    h ^= v;
+    h.wrapping_mul(FNV_PRIME)
+}
+
+/// The transition key for an adjacent (prev → next) label pair.
+/// Asymmetric on purpose: `a → b` and `b → a` are different schedules.
+#[inline]
+pub fn transition(prev: u64, next: u64) -> u64 {
+    fnv_mix(fnv_mix(FNV_OFFSET, prev.rotate_left(17)), next)
+}
+
+/// Transitions accumulated across a seed sweep. The explorer snapshots
+/// it before each run (the scheduler biases picks against the snapshot)
+/// and absorbs the run's per-run set afterwards, so guidance at seed
+/// `s` depends only on seeds before `s` — the reproducibility contract:
+/// replaying the sweep from the same base rebuilds the same snapshots.
+#[derive(Debug, Default, Clone)]
+pub struct CoverageMap {
+    seen: HashSet<u64>,
+}
+
+impl CoverageMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unique transitions covered so far.
+    pub fn covered(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Clone the current set — what a guided run biases against.
+    pub fn snapshot(&self) -> HashSet<u64> {
+        self.seen.clone()
+    }
+
+    /// Merge one run's transitions; returns how many were new.
+    pub fn absorb(&mut self, run: &HashSet<u64>) -> usize {
+        let before = self.seen.len();
+        self.seen.extend(run.iter().copied());
+        self.seen.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_are_directional_and_stable() {
+        let a = fnv_str("cc0:pop:exec_cc");
+        let b = fnv_str("exec0:push:exec_cc");
+        assert_ne!(transition(a, b), transition(b, a));
+        assert_eq!(fnv_str("cc0:pop:exec_cc"), a, "hash must be pure");
+    }
+
+    #[test]
+    fn coverage_map_counts_only_new_transitions() {
+        let mut map = CoverageMap::new();
+        let run: HashSet<u64> = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(map.absorb(&run), 3);
+        assert_eq!(map.absorb(&run), 0);
+        assert_eq!(map.covered(), 3);
+        let snap = map.snapshot();
+        assert!(snap.contains(&2));
+    }
+}

@@ -35,14 +35,18 @@
 //! `sim run --seed S [--budget B] [--trace]`, `sim net --seeds N`,
 //! and `sim part --seeds N`.
 
+pub mod cover;
+pub mod crash;
 pub mod explore;
 pub mod net;
 pub mod part;
 pub mod run;
 pub mod sched;
 
-pub use explore::{explore, ExploreReport, FailureReport};
+pub use cover::CoverageMap;
+pub use crash::{run_crash_sim, CrashSimConfig, CrashSimOutcome};
+pub use explore::{explore, minimize, ExploreReport, FailureReport};
 pub use net::{run_net_sim, NetSimConfig, NetSimOutcome};
 pub use part::{run_part_sim, PartSimConfig, PartSimOutcome};
-pub use run::{run_sim, SimConfig, SimOutcome, WorkloadKind};
-pub use sched::{FaultPlan, SchedReport, SimScheduler, Step, StepKind};
+pub use run::{run_sim, run_sim_guided, SimConfig, SimOutcome, WorkloadKind};
+pub use sched::{CrashSpec, FaultPlan, SchedReport, SimScheduler, Step, StepKind};

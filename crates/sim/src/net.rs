@@ -38,7 +38,7 @@ use orthrus_txn::{Database, Program};
 use orthrus_workload::{MicroSpec, Spec};
 
 use crate::run::sim_lock;
-use crate::sched::{FaultPlan, SimScheduler};
+use crate::sched::{FaultPlan, SchedReport, SimScheduler};
 
 /// Keyspace for the net corpus — tiny, so conflicts are the norm.
 const N_RECORDS: u64 = 32;
@@ -120,6 +120,9 @@ pub struct NetSimOutcome {
     pub delivered: u64,
     /// Invariant violations; empty means the run passed.
     pub violations: Vec<String>,
+    /// The schedule's observables — the corpus surfaces its transition
+    /// coverage alongside the core corpus's (see `crate::cover`).
+    pub report: SchedReport,
 }
 
 /// Run one engine-behind-TCP lifetime under the seeded scheduler and
@@ -157,6 +160,7 @@ pub fn run_net_sim(cfg: &NetSimConfig) -> NetSimOutcome {
                 committed: 0,
                 delivered: 0,
                 violations: vec![format!("server failed to start: {e}")],
+                report: sched.report(),
             };
         }
     };
@@ -288,6 +292,7 @@ pub fn run_net_sim(cfg: &NetSimConfig) -> NetSimOutcome {
         committed,
         delivered,
         violations,
+        report,
     }
 }
 

@@ -41,7 +41,7 @@ use orthrus_txn::{Database, Program};
 use orthrus_workload::{MicroSpec, PartitionConstraint};
 
 use crate::run::sim_lock;
-use crate::sched::{FaultPlan, SimScheduler};
+use crate::sched::{FaultPlan, SchedReport, SimScheduler};
 
 /// Keyspace per partition-mapped table — tiny, so the hot set collides
 /// and fused epochs repeat keys.
@@ -122,6 +122,9 @@ pub struct PartSimOutcome {
     pub epochs_logged: u64,
     /// Invariant violations; empty means the run passed.
     pub violations: Vec<String>,
+    /// The schedule's observables — the corpus surfaces its transition
+    /// coverage alongside the core corpus's (see `crate::cover`).
+    pub report: SchedReport,
 }
 
 /// Fold one submitted program into the exact wrapping counter model.
@@ -398,6 +401,7 @@ pub fn run_part_sim(cfg: &PartSimConfig) -> PartSimOutcome {
         cross,
         epochs_logged,
         violations,
+        report,
     }
 }
 

@@ -5,6 +5,7 @@
 //! Violations are *collected*, not asserted: the explorer wants to report
 //! a failing seed (and minimize its fault budget) rather than unwind.
 
+use std::collections::HashSet;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use orthrus_common::rng::XorShift64;
@@ -21,10 +22,10 @@ use orthrus_workload::{MicroSpec, Spec, TpccSpec};
 use crate::sched::{FaultPlan, SchedReport, SimScheduler};
 
 /// Flat-keyspace size for the micro workloads (small: more contention).
-const N_RECORDS: u64 = 32;
+pub(crate) const N_RECORDS: u64 = 32;
 /// Fixed TPC-C load seed — part of the deterministic surface, and what
 /// recovery reloads as the log's logical starting snapshot.
-const TPCC_DB_SEED: u64 = 7;
+pub(crate) const TPCC_DB_SEED: u64 = 7;
 
 /// Which workload the simulated clients submit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +44,12 @@ pub enum WorkloadKind {
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     pub seed: u64,
-    /// Transactions the client submits before shutting down.
+    /// Transactions the clients submit (between them) before shutdown.
     pub txns: usize,
+    /// Client threads enrolled in the schedule (≥ 1). Client `k`
+    /// submits the transactions with index ≡ k (mod `n_clients`), each
+    /// from its own generator stream.
+    pub n_clients: usize,
     pub n_cc: usize,
     pub n_exec: usize,
     pub max_inflight: usize,
@@ -64,6 +69,16 @@ pub struct SimConfig {
     pub forwarding: bool,
     pub workload: WorkloadKind,
     pub plan: FaultPlan,
+    /// Submit only these transaction indices (the workload shrinker's
+    /// knob). `None` = all of `0..txns`. Generator streams are *not*
+    /// re-derived — dropped indices are generated and skipped, so the
+    /// kept transactions are byte-identical to the full run's.
+    pub keep: Option<Vec<u32>>,
+    /// Self-test fault for the shrinker: report a violation when the
+    /// final counter of `(key, threshold).0` reaches `threshold`. Lets a
+    /// test hand-seed a failing run whose minimal repro size is known
+    /// exactly (micro workloads only; inert otherwise).
+    pub poison: Option<(u64, u64)>,
 }
 
 impl SimConfig {
@@ -109,9 +124,10 @@ impl SimConfig {
         // TPC-C keeps the paper's warehouse partitioning; the shared
         // table is a micro-only variant here.
         let shared_table = workload != WorkloadKind::Tpcc && rng.chance_percent(25);
-        SimConfig {
+        let mut cfg = SimConfig {
             seed,
             txns: 24 + rng.next_below(17) as usize,
+            n_clients: 1,
             n_cc: 1 + rng.next_below(3) as usize,
             n_exec: 1 + rng.next_below(2) as usize,
             max_inflight: 2 + rng.next_below(3) as usize,
@@ -130,6 +146,20 @@ impl SimConfig {
                 shuffle_lanes: rng.chance_percent(50),
                 ..FaultPlan::default()
             },
+            keep: None,
+            poison: None,
+        };
+        // Drawn last so the knob rides along without re-deriving any
+        // earlier field for pre-existing seeds.
+        cfg.n_clients = if rng.chance_percent(25) { 2 } else { 1 };
+        cfg
+    }
+
+    /// How many transactions the keep-filter actually submits.
+    pub fn submitted_txns(&self) -> usize {
+        match &self.keep {
+            None => self.txns,
+            Some(keep) => (0..self.txns as u32).filter(|i| keep.contains(i)).count(),
         }
     }
 }
@@ -161,7 +191,7 @@ pub(crate) fn sim_lock() -> MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn build_db(workload: WorkloadKind) -> Arc<Database> {
+pub(crate) fn build_db(workload: WorkloadKind) -> Arc<Database> {
     match workload {
         WorkloadKind::MicroHot | WorkloadKind::MicroUniform => {
             Arc::new(Database::Flat(Table::new(N_RECORDS as usize, 64)))
@@ -173,7 +203,7 @@ fn build_db(workload: WorkloadKind) -> Arc<Database> {
     }
 }
 
-fn workload_spec(workload: WorkloadKind) -> Spec {
+pub(crate) fn workload_spec(workload: WorkloadKind) -> Spec {
     match workload {
         WorkloadKind::MicroHot => Spec::Micro(MicroSpec::hot_cold(N_RECORDS, 8, 2, 3, false)),
         WorkloadKind::MicroUniform => Spec::Micro(MicroSpec::uniform(N_RECORDS, 3, false)),
@@ -185,7 +215,7 @@ fn workload_spec(workload: WorkloadKind) -> Spec {
 /// field the workloads mutate; `Instant`-derived latencies never reach
 /// table state, so equal digests under equal schedules are the
 /// serializability/replay pin.
-fn digest(db: &Database, workload: WorkloadKind) -> Vec<u64> {
+pub(crate) fn digest(db: &Database, workload: WorkloadKind) -> Vec<u64> {
     match workload {
         WorkloadKind::MicroHot | WorkloadKind::MicroUniform => (0..N_RECORDS)
             .map(|k| unsafe { db.read_counter(k) })
@@ -236,11 +266,22 @@ fn digest(db: &Database, workload: WorkloadKind) -> Vec<u64> {
 /// `keep_trace` records the full step list (memory-heavy; the explorer
 /// enables it only when reproducing a failure).
 pub fn run_sim(cfg: &SimConfig, keep_trace: bool) -> SimOutcome {
+    run_sim_guided(cfg, keep_trace, None)
+}
+
+/// [`run_sim`] with an optional coverage snapshot: the scheduler biases
+/// its picks toward handoff transitions absent from `snapshot` (see
+/// [`crate::cover`]). Bit-identical replay needs the same snapshot.
+pub fn run_sim_guided(
+    cfg: &SimConfig,
+    keep_trace: bool,
+    snapshot: Option<HashSet<u64>>,
+) -> SimOutcome {
     let _serial = sim_lock();
     let mut violations: Vec<String> = Vec::new();
+    assert!(cfg.n_clients >= 1, "a run needs a driving client");
 
     let db = build_db(cfg.workload);
-    let mut generator = workload_spec(cfg.workload).generator(cfg.seed, 0);
 
     let assignment = match cfg.workload {
         WorkloadKind::Tpcc => CcAssignment::Warehouse,
@@ -267,24 +308,56 @@ pub fn run_sim(cfg: &SimConfig, keep_trace: bool) -> SimOutcome {
     // mirror the engine's aux-thread spawn conditions: the group-sync
     // coordinator runs only under fsync durability with a grouped
     // interval, the checkpointer whenever a cadence is configured.
-    let mut names = SimScheduler::engine_names(cfg.n_cc, cfg.n_exec);
+    let mut names = SimScheduler::engine_names_with_clients(cfg.n_cc, cfg.n_exec, cfg.n_clients);
     if ocfg.durability == DurabilityMode::LogFsync && ocfg.sync_interval.is_group() {
         names.push("sync".to_string());
     }
     if ocfg.durability.is_on() && ocfg.checkpoint_bytes.is_some() {
         names.push("ckpt".to_string());
     }
-    let sched = Arc::new(SimScheduler::new(
-        cfg.seed,
-        names,
-        cfg.plan.clone(),
-        keep_trace,
-    ));
+    let mut sched = SimScheduler::new(cfg.seed, names, cfg.plan.clone(), keep_trace);
+    if let Some(snap) = snapshot {
+        sched = sched.with_coverage(snap);
+    }
+    let sched = Arc::new(sched);
     let thread_names = sched.names().to_vec();
     sim::install(Arc::<SimScheduler>::clone(&sched));
 
     let engine = OrthrusEngine::service(Arc::clone(&db), ocfg.clone());
     let mut handle = engine.start(cfg.seed);
+
+    // Secondary clients: enrolled participants submitting their share of
+    // the index space through their own sessions, each returning its
+    // local expected-effect model (per-key increments commute, so the
+    // merged model checks exactly).
+    let mut extra_clients = Vec::new();
+    for k in 1..cfg.n_clients {
+        let session = handle.session();
+        let mut generator = workload_spec(cfg.workload).generator(cfg.seed, k);
+        let (txns, n_clients, keep) = (cfg.txns, cfg.n_clients, cfg.keep.clone());
+        extra_clients.push(std::thread::spawn(move || {
+            let _sim = sim::enroll(&format!("client{k}"));
+            let mut model = vec![0u64; N_RECORDS as usize];
+            let mut errors = Vec::new();
+            for i in (k..txns).step_by(n_clients) {
+                let program = generator.next_program();
+                if keep.as_ref().is_some_and(|ks| !ks.contains(&(i as u32))) {
+                    continue;
+                }
+                if let Program::Rmw { keys } = &program {
+                    for &key in keys {
+                        model[key as usize] += 1;
+                    }
+                }
+                if let Err(e) = session.submit(program) {
+                    errors.push(format!("client{k} submit #{i} rejected: {e:?}"));
+                    break;
+                }
+            }
+            (model, errors)
+        }));
+    }
+
     // Enroll *after* start(): the registration barrier waits for every
     // participant, and the workers are only spawned by start().
     let client = sim::enroll("client");
@@ -292,10 +365,19 @@ pub fn run_sim(cfg: &SimConfig, keep_trace: bool) -> SimOutcome {
     // Expected effect model for the micro workloads: each Rmw increments
     // each of its keys once (multi-mentions count multiply).
     let mut expected = vec![0u64; N_RECORDS as usize];
+    let mut generator = workload_spec(cfg.workload).generator(cfg.seed, 0);
     let session = handle.session();
     let mut completions = Vec::new();
-    for i in 0..cfg.txns {
+    let mut drains = 0usize;
+    for i in (0..cfg.txns).step_by(cfg.n_clients) {
         let program = generator.next_program();
+        if cfg
+            .keep
+            .as_ref()
+            .is_some_and(|ks| !ks.contains(&(i as u32)))
+        {
+            continue;
+        }
         if let Program::Rmw { keys } = &program {
             for &k in keys {
                 expected[k as usize] += 1;
@@ -305,16 +387,38 @@ pub fn run_sim(cfg: &SimConfig, keep_trace: bool) -> SimOutcome {
             violations.push(format!("submit #{i} rejected: {e:?}"));
             break;
         }
-        if i % 8 == 7 {
+        drains += 1;
+        if drains % 8 == 7 {
             handle.drain_completions(&mut completions);
         }
     }
 
+    // Join the secondary clients before fencing submissions: their
+    // blocking submits park through the sim seam, so spinning here with
+    // `on_park` keeps the token circulating (same pattern as the
+    // engine's aux-thread join).
+    for (k, h) in extra_clients.into_iter().enumerate() {
+        // Virtual-time liveness, not `is_finished`: the OS unwind of a
+        // retired client takes real time, and counting parks against it
+        // would make the step count timing-dependent.
+        while sim::thread_running(&h, &format!("client{}", k + 1)) {
+            if !sim::on_park() {
+                std::thread::yield_now();
+            }
+            handle.drain_completions(&mut completions);
+        }
+        let (model, errors) = h.join().expect("client thread panicked");
+        for (k, n) in model.into_iter().enumerate() {
+            expected[k] += n;
+        }
+        violations.extend(errors);
+    }
+
+    let submitted = cfg.submitted_txns() as u64;
     let accepted = handle.accepted();
-    if accepted != cfg.txns as u64 && violations.is_empty() {
+    if accepted != submitted && violations.is_empty() {
         violations.push(format!(
-            "submission ledger: accepted {accepted} of {} submitted",
-            cfg.txns
+            "submission ledger: accepted {accepted} of {submitted} submitted"
         ));
     }
 
@@ -357,6 +461,19 @@ pub fn run_sim(cfg: &SimConfig, keep_trace: bool) -> SimOutcome {
 
     if shutdown_ok {
         check_semantics(&db, cfg.workload, &expected, &mut violations);
+    }
+    if let Some((key, threshold)) = cfg.poison {
+        if matches!(
+            cfg.workload,
+            WorkloadKind::MicroHot | WorkloadKind::MicroUniform
+        ) {
+            let got = unsafe { db.read_counter(key) };
+            if got >= threshold {
+                violations.push(format!(
+                    "poison: key {key} counter {got} reached threshold {threshold}"
+                ));
+            }
+        }
     }
     let state_digest = digest(&db, cfg.workload);
 
